@@ -1,0 +1,52 @@
+//! Criterion bench: full EMTS runs — backs the paper's §V run-time
+//! discussion (EMTS5 vs EMTS10 on small and large PTGs/platforms).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use emts::{Emts, EmtsConfig};
+use exec_model::{SyntheticModel, TimeMatrix};
+use platform::{chti, grelon};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use workloads::{daggen::random_ptg, strassen::strassen_ptg, CostConfig, DaggenParams};
+
+fn bench_emts(c: &mut Criterion) {
+    let mut group = c.benchmark_group("emts");
+    group.sample_size(10);
+    let mut rng = ChaCha8Rng::seed_from_u64(17);
+    let costs = CostConfig::default();
+    let small = strassen_ptg(&costs, &mut rng);
+    let large = random_ptg(
+        &DaggenParams {
+            n: 100,
+            width: 0.5,
+            regularity: 0.2,
+            density: 0.2,
+            jump: 2,
+        },
+        &costs,
+        &mut rng,
+    );
+    for cluster in [chti(), grelon()] {
+        for (wname, g) in [("strassen", &small), ("n100", &large)] {
+            let matrix = TimeMatrix::compute(
+                g,
+                &SyntheticModel::default(),
+                cluster.speed_flops(),
+                cluster.processors,
+            );
+            for (cname, cfg) in [("EMTS5", EmtsConfig::emts5()), ("EMTS10", EmtsConfig::emts10())] {
+                let emts = Emts::new(cfg);
+                let label = format!("{}_{}_{}", cname, cluster.name, wname);
+                group.bench_with_input(
+                    BenchmarkId::from_parameter(&label),
+                    &(g, &matrix),
+                    |b, (g, m)| b.iter(|| black_box(emts.run(g, m, 42).best_makespan)),
+                );
+            }
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_emts);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Criterion bench: workload generator throughput (corpus construction is
+//! the fixed cost of every experiment sweep).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use workloads::{daggen::random_ptg, fft::fft_ptg, strassen::strassen_ptg, CostConfig, DaggenParams};
+
+fn bench_generators(c: &mut Criterion) {
+    let mut group = c.benchmark_group("generators");
+    let costs = CostConfig::default();
+    for k in [4u32, 16] {
+        group.bench_with_input(BenchmarkId::new("fft", k), &k, |b, &k| {
+            let mut rng = ChaCha8Rng::seed_from_u64(1);
+            b.iter(|| black_box(fft_ptg(k, &costs, &mut rng).task_count()))
+        });
+    }
+    group.bench_function("strassen", |b| {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        b.iter(|| black_box(strassen_ptg(&costs, &mut rng).task_count()))
+    });
+    for n in [20usize, 100] {
+        let params = DaggenParams {
+            n,
+            width: 0.5,
+            regularity: 0.2,
+            density: 0.8,
+            jump: 4,
+        };
+        group.bench_with_input(BenchmarkId::new("daggen", n), &params, |b, p| {
+            let mut rng = ChaCha8Rng::seed_from_u64(3);
+            b.iter(|| black_box(random_ptg(p, &costs, &mut rng).task_count()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_generators);
+criterion_main!(benches);

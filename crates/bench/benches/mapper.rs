@@ -1,0 +1,54 @@
+//! Criterion bench: the list-scheduling mapping function — the EA's fitness
+//! evaluation and, per the paper, the dominant cost of EMTS.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use exec_model::{SyntheticModel, TimeMatrix};
+use platform::{chti, grelon};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use sched::{Allocation, InsertionScheduler, ListScheduler, Mapper};
+use workloads::{daggen::random_ptg, CostConfig, DaggenParams};
+
+fn bench_mapper(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mapper");
+    for (cluster, n) in [(chti(), 20usize), (grelon(), 100)] {
+        let params = DaggenParams {
+            n,
+            width: 0.5,
+            regularity: 0.2,
+            density: 0.2,
+            jump: 2,
+        };
+        let mut rng = ChaCha8Rng::seed_from_u64(11);
+        let g = random_ptg(&params, &CostConfig::default(), &mut rng);
+        let matrix = TimeMatrix::compute(
+            &g,
+            &SyntheticModel::default(),
+            cluster.speed_flops(),
+            cluster.processors,
+        );
+        let alloc = Allocation::from_vec(
+            (0..n).map(|_| rng.gen_range(1..=cluster.processors)).collect(),
+        );
+        let label = format!("{}_n{}", cluster.name, n);
+        group.bench_with_input(
+            BenchmarkId::new("list_makespan_only", &label),
+            &(&g, &matrix, &alloc),
+            |b, (g, m, a)| b.iter(|| black_box(ListScheduler.makespan(g, m, a))),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("list_full_schedule", &label),
+            &(&g, &matrix, &alloc),
+            |b, (g, m, a)| b.iter(|| black_box(ListScheduler.map(g, m, a).makespan())),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("insertion", &label),
+            &(&g, &matrix, &alloc),
+            |b, (g, m, a)| b.iter(|| black_box(InsertionScheduler.map(g, m, a).makespan())),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_mapper);
+criterion_main!(benches);

@@ -1,0 +1,136 @@
+//! Shared machinery for the ablation benches.
+//!
+//! DESIGN.md calls out the design choices the paper fixes without
+//! measurement (mutation operator shape, heuristic seeding, plus-selection,
+//! non-insertion mapping, `f_m`, Δ). Each ablation binary compares EMTS
+//! configurations on a common set of irregular 100-task PTGs — the workload
+//! where the paper sees the largest effects — and reports mean makespans
+//! and pairwise ratios.
+
+use emts::{Emts, EmtsConfig};
+use exec_model::{SyntheticModel, TimeMatrix};
+use platform::grelon;
+use ptg::Ptg;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::Serialize;
+use stats::summary::ratio_summary;
+use stats::Summary;
+use workloads::{daggen::random_ptg, CostConfig, DaggenParams};
+
+/// The standard ablation workload: irregular 100-task PTGs.
+pub fn ablation_workload(count: usize, seed: u64) -> Vec<Ptg> {
+    let params = DaggenParams {
+        n: 100,
+        width: 0.5,
+        regularity: 0.2,
+        density: 0.2,
+        jump: 2,
+    };
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    (0..count)
+        .map(|_| random_ptg(&params, &CostConfig::default(), &mut rng))
+        .collect()
+}
+
+/// Per-configuration makespans over a workload (Grelon, Model 2).
+pub fn run_config(cfg: &EmtsConfig, graphs: &[Ptg], seed: u64) -> Vec<f64> {
+    let cluster = grelon();
+    let model = SyntheticModel::default();
+    let emts = Emts::new(cfg.clone());
+    graphs
+        .iter()
+        .enumerate()
+        .map(|(i, g)| {
+            let matrix = TimeMatrix::compute(g, &model, cluster.speed_flops(), cluster.processors);
+            emts.run(g, &matrix, seed + i as u64).best_makespan
+        })
+        .collect()
+}
+
+/// One row of an ablation report.
+#[derive(Debug, Clone, Serialize)]
+pub struct AblationRow {
+    /// Configuration label.
+    pub label: String,
+    /// Makespan summary across the workload.
+    pub makespan: Summary,
+    /// Mean ratio of this configuration's makespan to the baseline's
+    /// (> 1.0 means the baseline wins).
+    pub vs_baseline: Summary,
+}
+
+/// Compares labeled configurations against the first one (the baseline).
+pub fn compare(
+    configs: &[(String, EmtsConfig)],
+    workload_size: usize,
+    seed: u64,
+) -> Vec<AblationRow> {
+    assert!(!configs.is_empty(), "need at least a baseline configuration");
+    let graphs = ablation_workload(workload_size, seed);
+    let baseline = run_config(&configs[0].1, &graphs, seed);
+    configs
+        .iter()
+        .map(|(label, cfg)| {
+            let ms = run_config(cfg, &graphs, seed);
+            AblationRow {
+                label: label.clone(),
+                makespan: Summary::of(&ms),
+                vs_baseline: ratio_summary(&ms, &baseline),
+            }
+        })
+        .collect()
+}
+
+/// Renders ablation rows as a terminal table.
+pub fn render(rows: &[AblationRow]) -> String {
+    let mut table = stats::TextTable::new(["configuration", "makespan [s]", "× baseline"]);
+    for r in rows {
+        table.push([
+            r.label.clone(),
+            r.makespan.format(2),
+            r.vs_baseline.format(3),
+        ]);
+    }
+    table.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_ratio_is_exactly_one() {
+        let configs = vec![
+            ("base".to_string(), EmtsConfig::emts5()),
+            (
+                "no-seeds".to_string(),
+                EmtsConfig {
+                    heuristic_seeds: false,
+                    ..EmtsConfig::emts5()
+                },
+            ),
+        ];
+        let rows = compare(&configs, 2, 1);
+        assert_eq!(rows.len(), 2);
+        assert!((rows[0].vs_baseline.mean - 1.0).abs() < 1e-12);
+        assert!(rows[1].makespan.mean.is_finite());
+    }
+
+    #[test]
+    fn workload_is_reproducible() {
+        let a = ablation_workload(2, 5);
+        let b = ablation_workload(2, 5);
+        assert_eq!(a[0].tasks(), b[0].tasks());
+        assert_eq!(a[1].edge_count(), b[1].edge_count());
+    }
+
+    #[test]
+    fn render_lists_every_row() {
+        let configs = vec![("base".to_string(), EmtsConfig::emts5())];
+        let rows = compare(&configs, 1, 2);
+        let txt = render(&rows);
+        assert!(txt.contains("base"));
+        assert!(txt.contains("× baseline"));
+    }
+}

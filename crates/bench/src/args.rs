@@ -1,0 +1,131 @@
+//! Minimal CLI argument handling shared by all harness binaries.
+//!
+//! Flags (all optional):
+//!
+//! * `--scale <f>` — corpus scale in `(0, 1]`; default 0.1 for quick runs,
+//! * `--full` — shorthand for `--scale 1.0` (the paper's instance counts),
+//! * `--seed <u64>` — RNG seed (default 2011, the paper's year),
+//! * `--out <dir>` — directory for JSON results (default `results/`).
+
+use std::path::PathBuf;
+
+/// Parsed harness arguments.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HarnessArgs {
+    /// Corpus scale in `(0, 1]`.
+    pub scale: f64,
+    /// Master RNG seed.
+    pub seed: u64,
+    /// Output directory for JSON artifacts.
+    pub out: PathBuf,
+}
+
+impl Default for HarnessArgs {
+    fn default() -> Self {
+        HarnessArgs {
+            scale: 0.1,
+            seed: 2011,
+            out: PathBuf::from("results"),
+        }
+    }
+}
+
+impl HarnessArgs {
+    /// Parses `std::env::args`-style input (first element = program name).
+    ///
+    /// Returns an error string mentioning the offending flag on bad input.
+    pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Self, String> {
+        let mut out = HarnessArgs::default();
+        let mut iter = args.into_iter().skip(1);
+        while let Some(arg) = iter.next() {
+            match arg.as_str() {
+                "--scale" => {
+                    let v = iter.next().ok_or("--scale needs a value")?;
+                    out.scale = v
+                        .parse::<f64>()
+                        .map_err(|_| format!("bad --scale value {v:?}"))?;
+                    if !(out.scale > 0.0 && out.scale <= 1.0) {
+                        return Err(format!("--scale must lie in (0, 1], got {}", out.scale));
+                    }
+                }
+                "--full" => out.scale = 1.0,
+                "--seed" => {
+                    let v = iter.next().ok_or("--seed needs a value")?;
+                    out.seed = v
+                        .parse::<u64>()
+                        .map_err(|_| format!("bad --seed value {v:?}"))?;
+                }
+                "--out" => {
+                    out.out = PathBuf::from(iter.next().ok_or("--out needs a value")?);
+                }
+                "--help" | "-h" => {
+                    return Err(
+                        "usage: [--scale <0..1> | --full] [--seed <u64>] [--out <dir>]".into(),
+                    )
+                }
+                other => return Err(format!("unknown flag {other:?}")),
+            }
+        }
+        Ok(out)
+    }
+
+    /// Parses the real process arguments, printing usage and exiting on
+    /// error.
+    pub fn from_env() -> Self {
+        match Self::parse(std::env::args()) {
+            Ok(args) => args,
+            Err(msg) => {
+                eprintln!("{msg}");
+                std::process::exit(2);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<HarnessArgs, String> {
+        HarnessArgs::parse(
+            std::iter::once("prog".to_string()).chain(args.iter().map(|s| s.to_string())),
+        )
+    }
+
+    #[test]
+    fn defaults_apply_with_no_flags() {
+        let a = parse(&[]).unwrap();
+        assert_eq!(a, HarnessArgs::default());
+        assert_eq!(a.seed, 2011);
+    }
+
+    #[test]
+    fn flags_override_defaults() {
+        let a = parse(&["--scale", "0.5", "--seed", "7", "--out", "/tmp/x"]).unwrap();
+        assert_eq!(a.scale, 0.5);
+        assert_eq!(a.seed, 7);
+        assert_eq!(a.out, PathBuf::from("/tmp/x"));
+    }
+
+    #[test]
+    fn full_sets_scale_to_one() {
+        assert_eq!(parse(&["--full"]).unwrap().scale, 1.0);
+    }
+
+    #[test]
+    fn out_of_range_scale_is_rejected() {
+        assert!(parse(&["--scale", "0"]).is_err());
+        assert!(parse(&["--scale", "1.5"]).is_err());
+        assert!(parse(&["--scale", "abc"]).is_err());
+    }
+
+    #[test]
+    fn unknown_flags_are_rejected() {
+        assert!(parse(&["--bogus"]).is_err());
+    }
+
+    #[test]
+    fn missing_values_are_rejected() {
+        assert!(parse(&["--seed"]).is_err());
+    }
+}

@@ -1,0 +1,40 @@
+//! Ablation — fixed σ = 5 (paper) vs Rechenberg's 1/5 success rule.
+//!
+//! The paper fixes the mutation spread at σ₁ = σ₂ = 5; the evolution-
+//! strategy literature it cites (Schwefel & Rudolph) adapts step sizes
+//! online. This bench measures whether self-adaptation pays at the paper's
+//! short generation budgets.
+
+use bench::ablation::{compare, render};
+use bench::{output, HarnessArgs};
+use emts::EmtsConfig;
+
+fn main() {
+    let args = HarnessArgs::from_env();
+    let n = ((20.0 * args.scale.max(0.1)) as usize).max(3);
+    let configs = vec![
+        ("fixed sigma = 5 (paper), EMTS5".to_string(), EmtsConfig::emts5()),
+        (
+            "1/5 success rule, EMTS5".to_string(),
+            EmtsConfig {
+                adaptive_sigma: true,
+                ..EmtsConfig::emts5()
+            },
+        ),
+        ("fixed sigma = 5, EMTS10".to_string(), EmtsConfig::emts10()),
+        (
+            "1/5 success rule, EMTS10".to_string(),
+            EmtsConfig {
+                adaptive_sigma: true,
+                ..EmtsConfig::emts10()
+            },
+        ),
+    ];
+    let rows = compare(&configs, n, args.seed);
+    println!("Ablation: step-size adaptation (irregular n=100, Grelon, Model 2, {n} PTGs)\n");
+    println!("{}", render(&rows));
+    match output::write_json(&args.out, "ablation_adaptive.json", &rows) {
+        Ok(path) => println!("wrote {path}"),
+        Err(e) => eprintln!("could not write results: {e}"),
+    }
+}

@@ -1,0 +1,65 @@
+//! Ablation — the paper's non-insertion list scheduler vs an
+//! insertion-based (backfilling) mapper, applied to the same allocations.
+//! The paper's future-work section speculates about cheaper mapping; this
+//! measures what a *stronger* mapper would buy instead.
+
+use bench::ablation::ablation_workload;
+use bench::{output, HarnessArgs};
+use exec_model::{SyntheticModel, TimeMatrix};
+use heuristics::{Allocator, Mcpa};
+use platform::grelon;
+use sched::{InsertionScheduler, ListScheduler, Mapper};
+use serde::Serialize;
+use stats::summary::ratio_summary;
+use stats::{Summary, TextTable};
+
+#[derive(Serialize)]
+struct MapperRow {
+    allocator: String,
+    list_makespan: Summary,
+    insertion_makespan: Summary,
+    list_over_insertion: Summary,
+}
+
+fn main() {
+    let args = HarnessArgs::from_env();
+    let n = ((20.0 * args.scale.max(0.1)) as usize).max(3);
+    let graphs = ablation_workload(n, args.seed);
+    let cluster = grelon();
+    let model = SyntheticModel::default();
+
+    let mut rows = Vec::new();
+    for (name, allocator) in [("MCPA", &Mcpa as &dyn Allocator)] {
+        let mut list_ms = Vec::new();
+        let mut ins_ms = Vec::new();
+        for g in &graphs {
+            let matrix = TimeMatrix::compute(g, &model, cluster.speed_flops(), cluster.processors);
+            let alloc = allocator.allocate(g, &matrix);
+            list_ms.push(ListScheduler.makespan(g, &matrix, &alloc));
+            ins_ms.push(InsertionScheduler.map(g, &matrix, &alloc).makespan());
+        }
+        rows.push(MapperRow {
+            allocator: name.to_string(),
+            list_makespan: Summary::of(&list_ms),
+            insertion_makespan: Summary::of(&ins_ms),
+            list_over_insertion: ratio_summary(&list_ms, &ins_ms),
+        });
+    }
+
+    let mut table = TextTable::new(["allocator", "list [s]", "insertion [s]", "list / insertion"]);
+    for r in &rows {
+        table.push([
+            r.allocator.clone(),
+            r.list_makespan.format(2),
+            r.insertion_makespan.format(2),
+            r.list_over_insertion.format(3),
+        ]);
+    }
+    println!("Ablation: mapping step — list vs insertion ({n} irregular n=100 PTGs, Grelon, Model 2)\n");
+    println!("{}", table.render());
+    println!("(ratios > 1.0: backfilling shortens the schedule)");
+    match output::write_json(&args.out, "ablation_mapper.json", &rows) {
+        Ok(path) => println!("wrote {path}"),
+        Err(e) => eprintln!("could not write results: {e}"),
+    }
+}

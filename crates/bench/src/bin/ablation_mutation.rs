@@ -1,0 +1,42 @@
+//! Ablation — the paper's asymmetric folded-normal mutation operator vs a
+//! uniform-step operator (§III-D argues uniform steps oscillate more).
+
+use bench::ablation::{compare, render};
+use bench::{output, HarnessArgs};
+use emts::EmtsConfig;
+
+fn main() {
+    let args = HarnessArgs::from_env();
+    let n = ((20.0 * args.scale.max(0.1)) as usize).max(3);
+    let configs = vec![
+        ("paper operator (folded normal)".to_string(), EmtsConfig::emts5()),
+        (
+            "uniform steps U{1..10}".to_string(),
+            EmtsConfig {
+                uniform_mutation: true,
+                ..EmtsConfig::emts5()
+            },
+        ),
+        (
+            "symmetric (a = 0.5)".to_string(),
+            EmtsConfig {
+                shrink_prob: 0.5,
+                ..EmtsConfig::emts5()
+            },
+        ),
+        (
+            "stretch-only (a = 0)".to_string(),
+            EmtsConfig {
+                shrink_prob: 0.0,
+                ..EmtsConfig::emts5()
+            },
+        ),
+    ];
+    let rows = compare(&configs, n, args.seed);
+    println!("Ablation: mutation operator (irregular n=100, Grelon, Model 2, {n} PTGs)\n");
+    println!("{}", render(&rows));
+    match output::write_json(&args.out, "ablation_mutation.json", &rows) {
+        Ok(path) => println!("wrote {path}"),
+        Err(e) => eprintln!("could not write results: {e}"),
+    }
+}

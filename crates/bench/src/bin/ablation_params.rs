@@ -1,0 +1,50 @@
+//! Ablation — sweeps of the two tunables the paper fixes by judgement:
+//! the initial mutation fraction f_m = 0.33 and the criticality threshold
+//! Δ = 0.9 of the seeding heuristic.
+
+use bench::ablation::{compare, render};
+use bench::{output, HarnessArgs};
+use emts::EmtsConfig;
+
+fn main() {
+    let args = HarnessArgs::from_env();
+    let n = ((20.0 * args.scale.max(0.1)) as usize).max(3);
+
+    let fm_configs: Vec<(String, EmtsConfig)> = [0.33, 0.1, 0.66, 1.0]
+        .iter()
+        .map(|&fm| {
+            (
+                format!("f_m = {fm}{}", if fm == 0.33 { " (paper)" } else { "" }),
+                EmtsConfig {
+                    fm,
+                    ..EmtsConfig::emts5()
+                },
+            )
+        })
+        .collect();
+    let fm_rows = compare(&fm_configs, n, args.seed);
+    println!("Ablation: mutation fraction f_m (irregular n=100, Grelon, Model 2, {n} PTGs)\n");
+    println!("{}", render(&fm_rows));
+
+    let delta_configs: Vec<(String, EmtsConfig)> = [0.9, 0.5, 0.7, 1.0]
+        .iter()
+        .map(|&delta| {
+            (
+                format!("Δ = {delta}{}", if delta == 0.9 { " (paper)" } else { "" }),
+                EmtsConfig {
+                    delta,
+                    ..EmtsConfig::emts5()
+                },
+            )
+        })
+        .collect();
+    let delta_rows = compare(&delta_configs, n, args.seed);
+    println!("Ablation: criticality threshold Δ of the seed heuristic\n");
+    println!("{}", render(&delta_rows));
+
+    let all: Vec<_> = fm_rows.into_iter().chain(delta_rows).collect();
+    match output::write_json(&args.out, "ablation_params.json", &all) {
+        Ok(path) => println!("wrote {path}"),
+        Err(e) => eprintln!("could not write results: {e}"),
+    }
+}

@@ -1,0 +1,103 @@
+//! Ablation — the rejection strategy proposed in the paper's conclusions.
+//!
+//! §VI: "it would be beneficial to design heuristics that reject solutions
+//! if the current schedule does not meet certain conditions while the
+//! algorithm is still in the mapping phase. With such a rejection strategy,
+//! the construction of the whole schedule for inefficient solutions could
+//! be avoided." We implemented it (abort once any task's start plus its
+//! bottom level exceeds `slack × best-so-far`); this bench measures what it
+//! buys: wall-clock per run, rejected-offspring counts, and whether
+//! solution quality survives.
+
+use bench::ablation::ablation_workload;
+use bench::{output, HarnessArgs};
+use emts::{Emts, EmtsConfig};
+use exec_model::{SyntheticModel, TimeMatrix};
+use platform::grelon;
+use serde::Serialize;
+use stats::{Summary, TextTable};
+
+#[derive(Serialize)]
+struct RejectionRow {
+    label: String,
+    makespan: Summary,
+    wall_ms: Summary,
+    rejected_per_run: Summary,
+}
+
+fn main() {
+    let args = HarnessArgs::from_env();
+    let n = ((20.0 * args.scale.max(0.1)) as usize).max(3);
+    let graphs = ablation_workload(n, args.seed);
+    let cluster = grelon();
+    let model = SyntheticModel::default();
+
+    let configs = vec![
+        ("no rejection (paper)".to_string(), EmtsConfig::emts10()),
+        (
+            "rejection, slack 1.0".to_string(),
+            EmtsConfig {
+                rejection: true,
+                rejection_slack: 1.0,
+                ..EmtsConfig::emts10()
+            },
+        ),
+        (
+            "rejection, slack 1.5".to_string(),
+            EmtsConfig {
+                rejection: true,
+                rejection_slack: 1.5,
+                ..EmtsConfig::emts10()
+            },
+        ),
+        (
+            "rejection, slack 3.0".to_string(),
+            EmtsConfig {
+                rejection: true,
+                rejection_slack: 3.0,
+                ..EmtsConfig::emts10()
+            },
+        ),
+    ];
+
+    let mut rows = Vec::new();
+    for (label, cfg) in &configs {
+        let emts = Emts::new(cfg.clone());
+        let mut ms = Vec::new();
+        let mut wall = Vec::new();
+        let mut rejected = Vec::new();
+        for (i, g) in graphs.iter().enumerate() {
+            let matrix = TimeMatrix::compute(g, &model, cluster.speed_flops(), cluster.processors);
+            let r = emts.run(g, &matrix, args.seed + i as u64);
+            ms.push(r.best_makespan);
+            wall.push(r.wall_time.as_secs_f64() * 1e3);
+            rejected.push(r.rejected as f64);
+        }
+        rows.push(RejectionRow {
+            label: label.clone(),
+            makespan: Summary::of(&ms),
+            wall_ms: Summary::of(&wall),
+            rejected_per_run: Summary::of(&rejected),
+        });
+    }
+
+    let mut table = TextTable::new(["configuration", "makespan [s]", "wall [ms]", "rejected/run"]);
+    for r in &rows {
+        table.push([
+            r.label.clone(),
+            r.makespan.format(2),
+            r.wall_ms.format(1),
+            format!("{:.1}", r.rejected_per_run.mean),
+        ]);
+    }
+    println!(
+        "Ablation: §VI rejection strategy (EMTS10, {n} irregular n=100 PTGs, Grelon, Model 2)\n"
+    );
+    println!("{}", table.render());
+    println!("tight slack rejects more offspring (less mapping work) — watch the");
+    println!("makespan column to see whether quality pays for it.");
+    match output::write_json(&args.out, "ablation_rejection.json", &rows) {
+        Ok(path) => println!("\nwrote {path}"),
+        Err(e) => eprintln!("could not write results: {e}"),
+    }
+}

@@ -1,0 +1,37 @@
+//! Ablation — heuristic seeding (§III-B) vs a cold start from all-ones
+//! allocations. The paper claims seeding "significantly reduces the time to
+//! find efficient schedules"; this quantifies the solution-quality gap at
+//! the paper's small generation budgets.
+
+use bench::ablation::{compare, render};
+use bench::{output, HarnessArgs};
+use emts::EmtsConfig;
+
+fn main() {
+    let args = HarnessArgs::from_env();
+    let n = ((20.0 * args.scale.max(0.1)) as usize).max(3);
+    let configs = vec![
+        ("seeded (MCPA+HCPA+Δ)".to_string(), EmtsConfig::emts5()),
+        (
+            "cold start (all ones)".to_string(),
+            EmtsConfig {
+                heuristic_seeds: false,
+                ..EmtsConfig::emts5()
+            },
+        ),
+        (
+            "cold start, EMTS10 budget".to_string(),
+            EmtsConfig {
+                heuristic_seeds: false,
+                ..EmtsConfig::emts10()
+            },
+        ),
+    ];
+    let rows = compare(&configs, n, args.seed);
+    println!("Ablation: starting solutions (irregular n=100, Grelon, Model 2, {n} PTGs)\n");
+    println!("{}", render(&rows));
+    match output::write_json(&args.out, "ablation_seeding.json", &rows) {
+        Ok(path) => println!("wrote {path}"),
+        Err(e) => eprintln!("could not write results: {e}"),
+    }
+}

@@ -1,0 +1,36 @@
+//! Ablation — the paper's (µ+λ) plus-selection (monotone, conserves the
+//! best individual) vs (µ,λ) comma-selection.
+
+use bench::ablation::{compare, render};
+use bench::{output, HarnessArgs};
+use emts::EmtsConfig;
+
+fn main() {
+    let args = HarnessArgs::from_env();
+    let n = ((20.0 * args.scale.max(0.1)) as usize).max(3);
+    let configs = vec![
+        ("(5+25) plus".to_string(), EmtsConfig::emts5()),
+        (
+            "(5,25) comma".to_string(),
+            EmtsConfig {
+                comma_selection: true,
+                ..EmtsConfig::emts5()
+            },
+        ),
+        ("(10+100) plus".to_string(), EmtsConfig::emts10()),
+        (
+            "(10,100) comma".to_string(),
+            EmtsConfig {
+                comma_selection: true,
+                ..EmtsConfig::emts10()
+            },
+        ),
+    ];
+    let rows = compare(&configs, n, args.seed);
+    println!("Ablation: selection strategy (irregular n=100, Grelon, Model 2, {n} PTGs)\n");
+    println!("{}", render(&rows));
+    match output::write_json(&args.out, "ablation_selection.json", &rows) {
+        Ok(path) => println!("wrote {path}"),
+        Err(e) => eprintln!("could not write results: {e}"),
+    }
+}

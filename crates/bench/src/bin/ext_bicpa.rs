@@ -1,0 +1,65 @@
+//! Extension — BiCPA's bi-criteria trade-off curve.
+//!
+//! The paper's related work cites BiCPA (Desprez & Suter, CCGrid 2010) as
+//! optimizing both completion time and resource usage. This experiment
+//! prints the (makespan, work) Pareto front of the capped-CPA sweep for one
+//! irregular 100-task PTG on Grelon, and compares the pure-makespan corner
+//! against MCPA and EMTS5.
+
+use bench::ablation::ablation_workload;
+use bench::{output, HarnessArgs};
+use emts::{Emts, EmtsConfig};
+use exec_model::{SyntheticModel, TimeMatrix};
+use heuristics::bicpa::{pareto_front, tradeoff_curve};
+use heuristics::{allocate_and_map, Mcpa};
+use platform::grelon;
+use serde::Serialize;
+use stats::TextTable;
+
+#[derive(Serialize)]
+struct FrontPoint {
+    cap: u32,
+    makespan: f64,
+    work: f64,
+}
+
+fn main() {
+    let args = HarnessArgs::from_env();
+    let g = &ablation_workload(1, args.seed)[0];
+    let cluster = grelon();
+    let model = SyntheticModel::default();
+    let matrix = TimeMatrix::compute(g, &model, cluster.speed_flops(), cluster.processors);
+
+    let curve = tradeoff_curve(g, &matrix);
+    let front = pareto_front(&curve);
+    let mut table = TextTable::new(["cap", "makespan [s]", "work [proc·s]"]);
+    for p in &front {
+        table.push([
+            p.cap.to_string(),
+            format!("{:.2}", p.makespan),
+            format!("{:.0}", p.work),
+        ]);
+    }
+    println!("Extension: BiCPA (makespan, work) Pareto front — irregular n=100, Grelon, Model 2\n");
+    println!("{}", table.render());
+
+    let best_ms = front.first().map(|p| p.makespan).unwrap_or(f64::NAN);
+    let (_, mcpa_ms) = allocate_and_map(&Mcpa, g, &matrix);
+    let emts_ms = Emts::new(EmtsConfig::emts5())
+        .run(g, &matrix, args.seed)
+        .best_makespan;
+    println!("pure-makespan corner: {best_ms:.2} s   MCPA: {mcpa_ms:.2} s   EMTS5: {emts_ms:.2} s");
+
+    let points: Vec<FrontPoint> = front
+        .iter()
+        .map(|p| FrontPoint {
+            cap: p.cap,
+            makespan: p.makespan,
+            work: p.work,
+        })
+        .collect();
+    match output::write_json(&args.out, "ext_bicpa.json", &points) {
+        Ok(path) => println!("\nwrote {path}"),
+        Err(e) => eprintln!("could not write results: {e}"),
+    }
+}

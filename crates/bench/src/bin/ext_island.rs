@@ -1,0 +1,99 @@
+//! Extension — island-model parallel EMTS vs the single-population EA.
+//!
+//! Compares plain EMTS10 against an island model with a comparable total
+//! evaluation budget (islands × per-island budget), reporting solution
+//! quality and wall-clock. Islands trade per-population depth for
+//! diversity and thread-level parallelism.
+
+use bench::ablation::ablation_workload;
+use bench::{output, HarnessArgs};
+use emts::{Emts, EmtsConfig, IslandConfig, IslandEmts};
+use exec_model::{SyntheticModel, TimeMatrix};
+use platform::grelon;
+use serde::Serialize;
+use stats::{Summary, TextTable};
+
+#[derive(Serialize)]
+struct IslandRow {
+    label: String,
+    makespan: Summary,
+    wall_ms: Summary,
+    evaluations: f64,
+}
+
+fn main() {
+    let args = HarnessArgs::from_env();
+    let n = ((20.0 * args.scale.max(0.1)) as usize).max(3);
+    let graphs = ablation_workload(n, args.seed);
+    let cluster = grelon();
+    let model = SyntheticModel::default();
+
+    let mut rows: Vec<IslandRow> = Vec::new();
+    let mut table = TextTable::new(["configuration", "makespan [s]", "wall [ms]", "evals/run"]);
+
+    // Plain EMTS10: 10 + 10×100 = 1010 evaluations.
+    {
+        let emts = Emts::new(EmtsConfig::emts10());
+        let mut ms = Vec::new();
+        let mut wall = Vec::new();
+        let mut evals = 0usize;
+        for (i, g) in graphs.iter().enumerate() {
+            let matrix = TimeMatrix::compute(g, &model, cluster.speed_flops(), cluster.processors);
+            let r = emts.run(g, &matrix, args.seed + i as u64);
+            ms.push(r.best_makespan);
+            wall.push(r.wall_time.as_secs_f64() * 1e3);
+            evals += r.evaluations;
+        }
+        table.push([
+            "EMTS10 (single population)".into(),
+            Summary::of(&ms).format(2),
+            Summary::of(&wall).format(1),
+            format!("{:.0}", evals as f64 / graphs.len() as f64),
+        ]);
+        rows.push(IslandRow {
+            label: "EMTS10".into(),
+            makespan: Summary::of(&ms),
+            wall_ms: Summary::of(&wall),
+            evaluations: evals as f64 / graphs.len() as f64,
+        });
+    }
+
+    // Island models with a similar total budget: 4 islands × (5+25)-ES ×
+    // 5 generations × 2 epochs ≈ 4 × 260 × ... evaluations.
+    for (label, islands, epochs) in [("4 islands × 2 epochs", 4usize, 2usize), ("8 islands × 2 epochs", 8, 2)] {
+        let island = IslandEmts::new(IslandConfig {
+            base: EmtsConfig::emts5(),
+            islands,
+            epochs,
+        });
+        let mut ms = Vec::new();
+        let mut wall = Vec::new();
+        let mut evals = 0usize;
+        for (i, g) in graphs.iter().enumerate() {
+            let matrix = TimeMatrix::compute(g, &model, cluster.speed_flops(), cluster.processors);
+            let r = island.run(g, &matrix, args.seed + i as u64);
+            ms.push(r.best_makespan);
+            wall.push(r.wall_time.as_secs_f64() * 1e3);
+            evals += r.evaluations;
+        }
+        table.push([
+            label.to_string(),
+            Summary::of(&ms).format(2),
+            Summary::of(&wall).format(1),
+            format!("{:.0}", evals as f64 / graphs.len() as f64),
+        ]);
+        rows.push(IslandRow {
+            label: label.into(),
+            makespan: Summary::of(&ms),
+            wall_ms: Summary::of(&wall),
+            evaluations: evals as f64 / graphs.len() as f64,
+        });
+    }
+
+    println!("Extension: island-model EMTS ({n} irregular n=100 PTGs, Grelon, Model 2)\n");
+    println!("{}", table.render());
+    match output::write_json(&args.out, "ext_island.json", &rows) {
+        Ok(path) => println!("\nwrote {path}"),
+        Err(e) => eprintln!("could not write results: {e}"),
+    }
+}

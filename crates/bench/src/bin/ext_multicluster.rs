@@ -1,0 +1,74 @@
+//! Extension — multi-cluster scheduling on the combined paper platforms.
+//!
+//! Runs each PTG on Chti alone, Grelon alone, and the combined grid
+//! (HCPA-grid and grid-EMTS5), reporting mean makespans. The combined grid
+//! should dominate the smaller cluster and usually beat the larger one too
+//! (140 processors, mixed speeds).
+
+use bench::ablation::ablation_workload;
+use bench::{output, HarnessArgs};
+use emts::{Emts, EmtsConfig, GridEmts};
+use exec_model::{SyntheticModel, TimeMatrix};
+use heuristics::{allocate_and_map, Hcpa, HcpaGrid};
+use platform::grid::grid5000_pair;
+use serde::Serialize;
+use stats::{Summary, TextTable};
+
+#[derive(Serialize)]
+struct Row {
+    scheduler: String,
+    platform: String,
+    makespan: Summary,
+}
+
+fn main() {
+    let args = HarnessArgs::from_env();
+    let n = ((20.0 * args.scale.max(0.1)) as usize).max(3);
+    let graphs = ablation_workload(n, args.seed);
+    let grid = grid5000_pair();
+    let model = SyntheticModel::default();
+
+    let mut series: Vec<(String, String, Vec<f64>)> = vec![
+        ("HCPA".into(), "Chti".into(), Vec::new()),
+        ("EMTS5".into(), "Chti".into(), Vec::new()),
+        ("HCPA".into(), "Grelon".into(), Vec::new()),
+        ("EMTS5".into(), "Grelon".into(), Vec::new()),
+        ("HCPA-grid".into(), grid.name.clone(), Vec::new()),
+        ("grid-EMTS5".into(), grid.name.clone(), Vec::new()),
+    ];
+
+    for (i, g) in graphs.iter().enumerate() {
+        for (c, cluster) in grid.clusters.iter().enumerate() {
+            let matrix = TimeMatrix::compute(g, &model, cluster.speed_flops(), cluster.processors);
+            series[2 * c].2.push(allocate_and_map(&Hcpa, g, &matrix).1);
+            series[2 * c + 1].2.push(
+                Emts::new(EmtsConfig::emts5())
+                    .run(g, &matrix, args.seed + i as u64)
+                    .best_makespan,
+            );
+        }
+        let (_, hcpa_grid) = HcpaGrid.schedule(g, &model, &grid);
+        series[4].2.push(hcpa_grid.makespan());
+        let r = GridEmts::default().run(g, &model, &grid, args.seed + i as u64);
+        series[5].2.push(r.best_makespan.min(r.hcpa_native_makespan));
+    }
+
+    let mut table = TextTable::new(["scheduler", "platform", "makespan [s] (mean ± CI)"]);
+    let mut rows = Vec::new();
+    for (scheduler, platform, ms) in &series {
+        let s = Summary::of(ms);
+        table.push([scheduler.clone(), platform.clone(), s.format(2)]);
+        rows.push(Row {
+            scheduler: scheduler.clone(),
+            platform: platform.clone(),
+            makespan: s,
+        });
+    }
+    println!("Extension: multi-cluster scheduling ({n} irregular n=100 PTGs, Model 2)\n");
+    println!("{}", table.render());
+    println!("the combined grid (140 procs) should beat either cluster alone.");
+    match output::write_json(&args.out, "ext_multicluster.json", &rows) {
+        Ok(path) => println!("\nwrote {path}"),
+        Err(e) => eprintln!("could not write results: {e}"),
+    }
+}

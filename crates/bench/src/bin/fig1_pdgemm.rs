@@ -1,0 +1,66 @@
+//! Figure 1 — PDGEMM-style execution times vs. processor count.
+//!
+//! The paper motivates EMTS with PDGEMM timings measured on LBNL's Cray
+//! XT4 for 1024×1024 and 2048×2048 matrices: execution time is *not*
+//! monotonically decreasing in the processor count. We have no Cray, so per
+//! DESIGN.md the substitution is the paper's own Model 2 (built to imitate
+//! exactly these timings) evaluated on two matrix-multiplication tasks of
+//! the same sizes — the staircase shape (odd counts and non-square even
+//! counts slower) is what the figure exists to show.
+
+use bench::HarnessArgs;
+use exec_model::{ExecutionTimeModel, SyntheticModel};
+use ptg::Task;
+use serde::Serialize;
+use stats::TextTable;
+
+#[derive(Serialize)]
+struct Series {
+    matrix_size: u32,
+    points: Vec<(u32, f64)>,
+}
+
+fn main() {
+    let args = HarnessArgs::from_env();
+    let model = SyntheticModel::default();
+    // 2 n³ FLOP per n×n matrix multiply; α small like a tuned PDGEMM.
+    let tasks = [
+        (1024u32, Task::new("pdgemm_1024", 2.0 * 1024f64.powi(3), 0.02)),
+        (2048u32, Task::new("pdgemm_2048", 2.0 * 2048f64.powi(3), 0.02)),
+    ];
+    let speed = 4.3e9; // one Chti-class processor
+    let ps: Vec<u32> = (2..=32).collect();
+
+    let mut table = TextTable::new(["p", "t(1024) [s]", "t(2048) [s]", "penalty"]);
+    let mut series = Vec::new();
+    for (size, task) in &tasks {
+        let points: Vec<(u32, f64)> = ps.iter().map(|&p| (p, model.time(task, p, speed))).collect();
+        series.push(Series {
+            matrix_size: *size,
+            points,
+        });
+    }
+    for (i, &p) in ps.iter().enumerate() {
+        table.push([
+            p.to_string(),
+            format!("{:.4}", series[0].points[i].1),
+            format!("{:.4}", series[1].points[i].1),
+            format!("{:.1}", model.penalty(p)),
+        ]);
+    }
+    println!("Figure 1 — non-monotonic task execution time (Model 2 stand-in for PDGEMM)\n");
+    println!("{}", table.render());
+
+    // Point out the non-monotonic steps the figure is about.
+    let rises: Vec<String> = series[1]
+        .points
+        .windows(2)
+        .filter(|w| w[1].1 > w[0].1)
+        .map(|w| format!("p={}→{}", w[0].0, w[1].0))
+        .collect();
+    println!("execution time *rises* at: {}", rises.join(", "));
+    match bench::output::write_json(&args.out, "fig1_pdgemm.json", &series) {
+        Ok(path) => println!("\nwrote {path}"),
+        Err(e) => eprintln!("could not write results: {e}"),
+    }
+}

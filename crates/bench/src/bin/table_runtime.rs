@@ -1,0 +1,87 @@
+//! §V run-time table — wall-clock cost of the EMTS optimization itself.
+//!
+//! The paper reports (Python prototype, Core i5 2.53 GHz): EMTS5 between
+//! 0.45 s (SD 0.01) for Strassen and 2.7 s (SD 1.1) for 100-task PTGs on
+//! the Chti model, 1.3–5.5 s on Grelon; EMTS10 on Grelon between 9.6 s
+//! (SD 0.5) and 38.1 s (SD 9.5). The authors expect "a reduction of the run
+//! time by a factor of 10 for an optimized C program" — this Rust build
+//! should comfortably beat that; EXPERIMENTS.md records the comparison.
+
+use bench::{output, HarnessArgs};
+use exec_model::{SyntheticModel, TimeMatrix};
+use platform::{chti, grelon};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::Serialize;
+use stats::{Summary, TextTable};
+use sim::Algorithm;
+use workloads::{daggen::random_ptg, strassen::strassen_ptg, CostConfig, DaggenParams};
+
+#[derive(Serialize)]
+struct RuntimeRow {
+    algorithm: String,
+    platform: String,
+    workload: String,
+    seconds: Summary,
+}
+
+fn main() {
+    let args = HarnessArgs::from_env();
+    let reps = ((10.0 * args.scale.max(0.3)) as usize).max(3);
+    let mut rng = ChaCha8Rng::seed_from_u64(args.seed);
+    let costs = CostConfig::default();
+    let model = SyntheticModel::default();
+
+    // The paper's two extremes: small Strassen PTGs and 100-task PTGs.
+    let strassens: Vec<_> = (0..reps).map(|_| strassen_ptg(&costs, &mut rng)).collect();
+    let hundred_params = DaggenParams {
+        n: 100,
+        width: 0.5,
+        regularity: 0.2,
+        density: 0.2,
+        jump: 2,
+    };
+    let hundreds: Vec<_> = (0..reps)
+        .map(|_| random_ptg(&hundred_params, &costs, &mut rng))
+        .collect();
+
+    let mut rows = Vec::new();
+    for cluster in [chti(), grelon()] {
+        for (workload, graphs) in [("Strassen (23 tasks)", &strassens), ("irregular n=100", &hundreds)] {
+            for alg in [Algorithm::Emts5, Algorithm::Emts10] {
+                let mut secs = Vec::with_capacity(graphs.len());
+                for (i, g) in graphs.iter().enumerate() {
+                    let matrix =
+                        TimeMatrix::compute(g, &model, cluster.speed_flops(), cluster.processors);
+                    let t0 = std::time::Instant::now();
+                    let _ = alg.allocate(g, &matrix, args.seed + i as u64);
+                    secs.push(t0.elapsed().as_secs_f64());
+                }
+                rows.push(RuntimeRow {
+                    algorithm: alg.name().to_string(),
+                    platform: cluster.name.clone(),
+                    workload: workload.to_string(),
+                    seconds: Summary::of(&secs),
+                });
+            }
+        }
+    }
+
+    let mut table = TextTable::new(["algorithm", "platform", "workload", "seconds (mean ± CI)", "SD"]);
+    for r in &rows {
+        table.push([
+            r.algorithm.clone(),
+            r.platform.clone(),
+            r.workload.clone(),
+            r.seconds.format(4),
+            format!("{:.4}", r.seconds.sd),
+        ]);
+    }
+    println!("§V run-time table — EMTS optimization wall-clock ({reps} PTGs per cell)\n");
+    println!("{}", table.render());
+    println!("paper (Python): EMTS5 0.45–2.7 s Chti / 1.3–5.5 s Grelon; EMTS10 9.6–38.1 s Grelon");
+    match output::write_json(&args.out, "table_runtime.json", &rows) {
+        Ok(path) => println!("\nwrote {path}"),
+        Err(e) => eprintln!("could not write results: {e}"),
+    }
+}

@@ -1,0 +1,15 @@
+//! Experiment harness regenerating every figure and table of the paper.
+//!
+//! Each `fig*`/`table*` binary in `src/bin/` reproduces one artifact of the
+//! paper's evaluation (see DESIGN.md §5 for the full index); the Criterion
+//! benches in `benches/` time the building blocks behind the §V runtime
+//! discussion. This library holds the shared machinery: CLI parsing, the
+//! relative-makespan experiment of Figures 4 and 5, and result output.
+
+pub mod ablation;
+pub mod args;
+pub mod experiment;
+pub mod output;
+
+pub use args::HarnessArgs;
+pub use experiment::{relative_makespan_grid, EmtsVariant, PanelResult};

@@ -1,0 +1,93 @@
+//! Result output: terminal tables and JSON artifacts.
+
+use crate::experiment::PanelResult;
+use serde::Serialize;
+use stats::TextTable;
+use std::fs;
+use std::path::Path;
+
+/// Renders a figure grid as an aligned terminal table, one row per bar.
+pub fn panel_table(results: &[PanelResult]) -> String {
+    let mut table = TextTable::new([
+        "class",
+        "platform",
+        "baseline",
+        "emts",
+        "rel. makespan (mean ± 95% CI)",
+        "n",
+    ]);
+    for r in results {
+        table.push([
+            r.class.clone(),
+            r.platform.clone(),
+            r.baseline.clone(),
+            r.emts.clone(),
+            r.rel_makespan.format(3),
+            r.instances.to_string(),
+        ]);
+    }
+    table.render()
+}
+
+/// Writes any serializable result as pretty JSON under `dir/name`.
+/// Creates the directory if needed and returns the path written.
+pub fn write_json<T: Serialize>(dir: &Path, name: &str, value: &T) -> std::io::Result<String> {
+    fs::create_dir_all(dir)?;
+    let path = dir.join(name);
+    let json = serde_json::to_string_pretty(value).expect("results serialize infallibly");
+    fs::write(&path, json)?;
+    Ok(path.display().to_string())
+}
+
+/// Writes a plain text artifact (e.g. an SVG or an ASCII chart).
+pub fn write_text(dir: &Path, name: &str, content: &str) -> std::io::Result<String> {
+    fs::create_dir_all(dir)?;
+    let path = dir.join(name);
+    fs::write(&path, content)?;
+    Ok(path.display().to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stats::Summary;
+
+    fn sample_results() -> Vec<PanelResult> {
+        vec![PanelResult {
+            class: "FFT".into(),
+            platform: "Chti".into(),
+            baseline: "MCPA".into(),
+            emts: "EMTS5".into(),
+            rel_makespan: Summary::of(&[1.05, 1.10, 1.08]),
+            instances: 3,
+        }]
+    }
+
+    #[test]
+    fn table_contains_all_cells() {
+        let txt = panel_table(&sample_results());
+        assert!(txt.contains("FFT"));
+        assert!(txt.contains("Chti"));
+        assert!(txt.contains("MCPA"));
+        assert!(txt.contains('±'));
+    }
+
+    #[test]
+    fn json_artifacts_round_trip_through_disk() {
+        let dir = std::env::temp_dir().join(format!("emts_bench_test_{}", std::process::id()));
+        let path = write_json(&dir, "panel.json", &sample_results()).unwrap();
+        let content = fs::read_to_string(&path).unwrap();
+        let back: Vec<PanelResult> = serde_json::from_str(&content).unwrap();
+        assert_eq!(back.len(), 1);
+        assert_eq!(back[0].class, "FFT");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn text_artifacts_are_written_verbatim() {
+        let dir = std::env::temp_dir().join(format!("emts_bench_txt_{}", std::process::id()));
+        let path = write_text(&dir, "chart.txt", "hello\n").unwrap();
+        assert_eq!(fs::read_to_string(path).unwrap(), "hello\n");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

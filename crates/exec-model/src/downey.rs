@@ -1,0 +1,147 @@
+//! Downey's speedup model (related-work extension).
+//!
+//! A. B. Downey, "A Model for Speedup of Parallel Programs", UC Berkeley
+//! TR CSD-97-933, 1997. Each task is characterized by its *average
+//! parallelism* `A` and the *variance of parallelism* `σ`; the speedup
+//! `S(p)` is piecewise defined and saturates at `A`. The paper under
+//! reproduction cites this as one of the two standard models ("most
+//! scheduling algorithms use one of two different models … the first is
+//! based on the speed-up model of Downey"), so we provide it for
+//! experimentation beyond the paper's own Models 1 and 2.
+
+use crate::ExecutionTimeModel;
+use ptg::Task;
+
+/// Downey's speedup model. `T(v,p) = T(v,1) / S(p; A, σ)`.
+///
+/// The task's `alpha` field is ignored; `A` and `σ` are model-level
+/// parameters here (per-task variants can be built with one `Downey` value
+/// per task through [`Tabulated`](crate::Tabulated) if needed).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Downey {
+    /// Average parallelism `A ≥ 1`.
+    pub avg_parallelism: f64,
+    /// Variance of parallelism `σ ≥ 0`.
+    pub sigma: f64,
+}
+
+impl Downey {
+    /// Creates the model, validating `A ≥ 1` and `σ ≥ 0`.
+    pub fn new(avg_parallelism: f64, sigma: f64) -> Self {
+        assert!(
+            avg_parallelism >= 1.0 && avg_parallelism.is_finite(),
+            "average parallelism must be ≥ 1"
+        );
+        assert!(sigma >= 0.0 && sigma.is_finite(), "sigma must be ≥ 0");
+        Downey {
+            avg_parallelism,
+            sigma,
+        }
+    }
+
+    /// Downey's speedup function `S(n)`.
+    pub fn speedup(&self, n: u32) -> f64 {
+        let a = self.avg_parallelism;
+        let s = self.sigma;
+        let n = n as f64;
+        if n <= 1.0 {
+            return 1.0;
+        }
+        let sp = if s <= 1.0 {
+            // Low-variance branch.
+            if n <= a {
+                a * n / (a + s / 2.0 * (n - 1.0))
+            } else if n <= 2.0 * a - 1.0 {
+                a * n / (s * (a - 0.5) + n * (1.0 - s / 2.0))
+            } else {
+                a
+            }
+        } else {
+            // High-variance branch.
+            let knee = a + a * s - s;
+            if n < knee {
+                n * a * (s + 1.0) / (s * (n + a - 1.0) + a)
+            } else {
+                a
+            }
+        };
+        sp.clamp(1.0, a.max(1.0))
+    }
+}
+
+impl ExecutionTimeModel for Downey {
+    fn time(&self, task: &Task, p: u32, speed_flops: f64) -> f64 {
+        assert!(p >= 1, "allocation must use at least one processor");
+        let seq = task.flop / speed_flops;
+        seq / self.speedup(p)
+    }
+
+    fn name(&self) -> &'static str {
+        "downey"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn speedup_at_one_processor_is_one() {
+        for (a, s) in [(4.0, 0.5), (16.0, 2.0), (1.0, 0.0)] {
+            assert_eq!(Downey::new(a, s).speedup(1), 1.0);
+        }
+    }
+
+    #[test]
+    fn speedup_saturates_at_average_parallelism() {
+        let m = Downey::new(8.0, 0.5);
+        assert!((m.speedup(1000) - 8.0).abs() < 1e-12);
+        let m = Downey::new(8.0, 3.0);
+        assert!((m.speedup(1000) - 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn speedup_is_monotone_non_decreasing() {
+        for (a, s) in [(10.0, 0.3), (10.0, 1.0), (10.0, 4.0), (3.0, 0.0)] {
+            let m = Downey::new(a, s);
+            let mut prev = 0.0;
+            for n in 1..=64 {
+                let cur = m.speedup(n);
+                assert!(cur + 1e-12 >= prev, "A={a} s={s} n={n}: {cur} < {prev}");
+                prev = cur;
+            }
+        }
+    }
+
+    #[test]
+    fn zero_variance_means_linear_then_flat() {
+        let m = Downey::new(6.0, 0.0);
+        for n in 1..=6u32 {
+            assert!((m.speedup(n) - n as f64).abs() < 1e-9, "n = {n}");
+        }
+        assert!((m.speedup(32) - 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn time_is_seq_over_speedup() {
+        let m = Downey::new(4.0, 0.5);
+        let t = Task::new("x", 8e9, 0.0);
+        let seq = m.time(&t, 1, 1e9);
+        assert!((seq - 8.0).abs() < 1e-12);
+        let t4 = m.time(&t, 4, 1e9);
+        assert!((t4 - seq / m.speedup(4)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn higher_variance_gives_lower_speedup_midrange() {
+        let low = Downey::new(16.0, 0.2);
+        let high = Downey::new(16.0, 4.0);
+        assert!(low.speedup(8) > high.speedup(8));
+    }
+
+    #[test]
+    #[should_panic(expected = "average parallelism")]
+    fn invalid_parallelism_panics() {
+        let _ = Downey::new(0.5, 0.1);
+    }
+}

@@ -1,0 +1,197 @@
+//! Fitting analytic models to measurements.
+//!
+//! "Finding a good empirical model for predicting the execution time of a
+//! parallel application is challenging. Linear regression can help to
+//! provide such a function" (§II-B, citing Pfeiffer & Wright). This module
+//! closes the loop from measurements to the models the schedulers consume:
+//! least-squares estimation of Amdahl's `(T₁, α)` from `(p, time)` samples.
+//!
+//! Amdahl's law is linear in the regressor `x = 1/p`:
+//! `T(p) = T₁·α + T₁·(1−α) · x = a + b·x`, so ordinary least squares on
+//! `(1/p, T)` recovers `T₁ = a + b` and `α = a / (a + b)`.
+
+use crate::ExecutionTimeModel;
+use ptg::Task;
+
+/// An Amdahl fit: estimated sequential time and serial fraction, plus the
+/// fit quality.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AmdahlFit {
+    /// Estimated sequential execution time `T₁` in seconds.
+    pub seq_time: f64,
+    /// Estimated serial fraction `α`, clamped into `[0, 1]`.
+    pub alpha: f64,
+    /// Coefficient of determination R² of the regression in `(1/p, T)`
+    /// space (1.0 = perfect fit).
+    pub r_squared: f64,
+}
+
+impl AmdahlFit {
+    /// Predicted time at `p` processors.
+    pub fn predict(&self, p: u32) -> f64 {
+        assert!(p >= 1);
+        self.seq_time * (self.alpha + (1.0 - self.alpha) / p as f64)
+    }
+
+    /// Converts the fit into a [`Task`] whose Amdahl evaluation at speed
+    /// `speed_flops` reproduces the fitted curve.
+    pub fn to_task(&self, name: impl Into<String>, speed_flops: f64) -> Task {
+        Task::new(name, self.seq_time * speed_flops, self.alpha)
+    }
+}
+
+/// Least-squares Amdahl fit over `(p, time)` measurements.
+///
+/// # Panics
+/// Panics with fewer than two distinct processor counts or non-positive
+/// times.
+pub fn fit_amdahl(measurements: &[(u32, f64)]) -> AmdahlFit {
+    assert!(
+        measurements.len() >= 2,
+        "need at least two measurements to fit two parameters"
+    );
+    assert!(
+        measurements.iter().all(|&(p, t)| p >= 1 && t > 0.0 && t.is_finite()),
+        "measurements must have p ≥ 1 and positive finite times"
+    );
+    let n = measurements.len() as f64;
+    let xs: Vec<f64> = measurements.iter().map(|&(p, _)| 1.0 / p as f64).collect();
+    let ys: Vec<f64> = measurements.iter().map(|&(_, t)| t).collect();
+    let mean_x = xs.iter().sum::<f64>() / n;
+    let mean_y = ys.iter().sum::<f64>() / n;
+    let sxx: f64 = xs.iter().map(|x| (x - mean_x).powi(2)).sum();
+    assert!(
+        sxx > 0.0,
+        "need at least two distinct processor counts to fit"
+    );
+    let sxy: f64 = xs
+        .iter()
+        .zip(&ys)
+        .map(|(x, y)| (x - mean_x) * (y - mean_y))
+        .sum();
+    let b = sxy / sxx; // slope = T₁(1−α)
+    let a = mean_y - b * mean_x; // intercept = T₁·α
+    let seq_time = (a + b).max(f64::MIN_POSITIVE);
+    let alpha = (a / seq_time).clamp(0.0, 1.0);
+
+    let ss_tot: f64 = ys.iter().map(|y| (y - mean_y).powi(2)).sum();
+    let ss_res: f64 = xs
+        .iter()
+        .zip(&ys)
+        .map(|(x, y)| (y - (a + b * x)).powi(2))
+        .sum();
+    let r_squared = if ss_tot > 0.0 {
+        1.0 - ss_res / ss_tot
+    } else {
+        1.0
+    };
+    AmdahlFit {
+        seq_time,
+        alpha,
+        r_squared,
+    }
+}
+
+/// Samples a model at the given processor counts and fits Amdahl to the
+/// result — measures how "Amdahl-like" an arbitrary model is.
+pub fn fit_amdahl_to_model<M: ExecutionTimeModel + ?Sized>(
+    model: &M,
+    task: &Task,
+    speed_flops: f64,
+    ps: &[u32],
+) -> AmdahlFit {
+    let samples: Vec<(u32, f64)> = ps
+        .iter()
+        .map(|&p| (p, model.time(task, p, speed_flops)))
+        .collect();
+    fit_amdahl(&samples)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Amdahl, SyntheticModel};
+
+    #[test]
+    fn recovers_exact_amdahl_parameters() {
+        let task = Task::new("t", 10e9, 0.2);
+        let ps = [1u32, 2, 4, 8, 16, 32];
+        let fit = fit_amdahl_to_model(&Amdahl, &task, 1e9, &ps);
+        assert!((fit.seq_time - 10.0).abs() < 1e-9, "{fit:?}");
+        assert!((fit.alpha - 0.2).abs() < 1e-9, "{fit:?}");
+        assert!(fit.r_squared > 1.0 - 1e-12);
+    }
+
+    #[test]
+    fn prediction_matches_amdahl_evaluation() {
+        let fit = AmdahlFit {
+            seq_time: 8.0,
+            alpha: 0.25,
+            r_squared: 1.0,
+        };
+        for p in [1u32, 3, 10] {
+            let expected = 8.0 * (0.25 + 0.75 / p as f64);
+            assert!((fit.predict(p) - expected).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn to_task_round_trips_through_the_amdahl_model() {
+        let fit = AmdahlFit {
+            seq_time: 4.0,
+            alpha: 0.1,
+            r_squared: 1.0,
+        };
+        let task = fit.to_task("fitted", 2e9);
+        for p in 1..=16 {
+            assert!((Amdahl.time(&task, p, 2e9) - fit.predict(p)).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn model2_fits_worse_than_model1() {
+        let task = Task::new("t", 10e9, 0.1);
+        let ps: Vec<u32> = (1..=16).collect();
+        let clean = fit_amdahl_to_model(&Amdahl, &task, 1e9, &ps);
+        let noisy = fit_amdahl_to_model(&SyntheticModel::default(), &task, 1e9, &ps);
+        assert!(noisy.r_squared < clean.r_squared);
+        assert!(noisy.r_squared > 0.5, "still roughly Amdahl-shaped");
+    }
+
+    #[test]
+    fn noisy_measurements_give_reasonable_estimates() {
+        // Hand-made measurements of T(p) = 6·(0.3 + 0.7/p) with ±2 % noise.
+        let data: Vec<(u32, f64)> = [
+            (1u32, 1.00),
+            (2, 0.98),
+            (4, 1.02),
+            (8, 0.99),
+            (16, 1.01),
+        ]
+        .iter()
+        .map(|&(p, noise)| (p, 6.0 * (0.3 + 0.7 / p as f64) * noise))
+        .collect();
+        let fit = fit_amdahl(&data);
+        assert!((fit.seq_time - 6.0).abs() < 0.3, "{fit:?}");
+        assert!((fit.alpha - 0.3).abs() < 0.05, "{fit:?}");
+    }
+
+    #[test]
+    fn alpha_is_clamped_for_super_linear_data() {
+        // Super-linear speedup (cache effects) would imply α < 0; clamp.
+        let fit = fit_amdahl(&[(1, 8.0), (2, 3.5), (4, 1.6)]);
+        assert!(fit.alpha >= 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "two distinct processor counts")]
+    fn single_width_panics() {
+        let _ = fit_amdahl(&[(4, 1.0), (4, 1.1)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two measurements")]
+    fn single_sample_panics() {
+        let _ = fit_amdahl(&[(1, 1.0)]);
+    }
+}

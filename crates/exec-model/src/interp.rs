@@ -1,0 +1,159 @@
+//! Interpolated models from sparse measurements.
+//!
+//! Benchmarking a code at *every* processor count (as [`crate::Tabulated`]
+//! assumes) is rarely affordable; real measurement campaigns sample a few
+//! widths — powers of two, say — and predict the rest. The paper's related
+//! work points at exactly this gap (Pfeiffer & Wright's regression case
+//! study: "many experiments are required to obtain robust fits").
+//! `SparseTabulated` stores `(p, time)` samples for one reference task and
+//! predicts intermediate widths by linear interpolation of the *speedup*
+//! curve, clamping outside the sampled range.
+
+use crate::ExecutionTimeModel;
+use ptg::Task;
+
+/// Speedup model interpolated from sparse `(p, speedup)` samples.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SparseTabulated {
+    /// Sorted, deduplicated samples; always starts at `(1, 1.0)`.
+    samples: Vec<(u32, f64)>,
+}
+
+impl SparseTabulated {
+    /// Builds the model from measured `(p, time)` pairs of one reference
+    /// task. A sample at `p = 1` is required (it anchors the speedups).
+    ///
+    /// # Panics
+    /// Panics on duplicate processor counts, missing `p = 1`, or
+    /// non-positive times.
+    pub fn from_measurements(measurements: &[(u32, f64)]) -> Self {
+        assert!(!measurements.is_empty(), "need at least one measurement");
+        let mut sorted = measurements.to_vec();
+        sorted.sort_by_key(|&(p, _)| p);
+        assert!(
+            sorted.windows(2).all(|w| w[0].0 < w[1].0),
+            "duplicate processor counts in measurements"
+        );
+        assert_eq!(sorted[0].0, 1, "a measurement at p = 1 is required");
+        assert!(
+            sorted.iter().all(|&(_, t)| t > 0.0 && t.is_finite()),
+            "times must be positive and finite"
+        );
+        let t1 = sorted[0].1;
+        let samples = sorted.into_iter().map(|(p, t)| (p, t1 / t)).collect();
+        SparseTabulated { samples }
+    }
+
+    /// The interpolated speedup at `p`.
+    pub fn speedup(&self, p: u32) -> f64 {
+        assert!(p >= 1, "allocation must use at least one processor");
+        match self.samples.binary_search_by_key(&p, |&(q, _)| q) {
+            Ok(i) => self.samples[i].1,
+            Err(i) => {
+                if i == 0 {
+                    self.samples[0].1
+                } else if i == self.samples.len() {
+                    self.samples[self.samples.len() - 1].1
+                } else {
+                    let (p0, s0) = self.samples[i - 1];
+                    let (p1, s1) = self.samples[i];
+                    let frac = (p - p0) as f64 / (p1 - p0) as f64;
+                    s0 + frac * (s1 - s0)
+                }
+            }
+        }
+    }
+
+    /// Largest sampled processor count.
+    pub fn p_max_sampled(&self) -> u32 {
+        self.samples.last().expect("non-empty samples").0
+    }
+}
+
+impl ExecutionTimeModel for SparseTabulated {
+    fn time(&self, task: &Task, p: u32, speed_flops: f64) -> f64 {
+        let seq = task.flop / speed_flops;
+        seq / self.speedup(p)
+    }
+
+    fn name(&self) -> &'static str {
+        "sparse-tabulated"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Power-of-two measurements of a nearly linear code.
+    fn model() -> SparseTabulated {
+        SparseTabulated::from_measurements(&[(1, 8.0), (2, 4.2), (4, 2.2), (8, 1.3), (16, 0.9)])
+    }
+
+    #[test]
+    fn exact_samples_are_reproduced() {
+        let m = model();
+        assert_eq!(m.speedup(1), 1.0);
+        assert!((m.speedup(4) - 8.0 / 2.2).abs() < 1e-12);
+        assert!((m.speedup(16) - 8.0 / 0.9).abs() < 1e-12);
+        assert_eq!(m.p_max_sampled(), 16);
+    }
+
+    #[test]
+    fn intermediate_widths_interpolate_linearly() {
+        let m = model();
+        let s2 = m.speedup(2);
+        let s4 = m.speedup(4);
+        let s3 = m.speedup(3);
+        assert!((s3 - (s2 + s4) / 2.0).abs() < 1e-12, "midpoint of 2 and 4");
+        assert!(s2 < s3 && s3 < s4);
+    }
+
+    #[test]
+    fn beyond_the_last_sample_clamps() {
+        let m = model();
+        assert_eq!(m.speedup(64), m.speedup(16));
+    }
+
+    #[test]
+    fn time_uses_task_size_and_speed() {
+        let m = model();
+        let t = Task::new("x", 16e9, 0.0);
+        // seq = 16 s at 1 GFLOPS; at p = 8 speedup is 8/1.3
+        let expected = 16.0 / (8.0 / 1.3);
+        assert!((m.time(&t, 8, 1e9) - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn interpolation_can_encode_non_monotonic_measurements() {
+        // A measured slowdown at p = 3 (odd-count penalty) survives.
+        let m = SparseTabulated::from_measurements(&[(1, 8.0), (2, 4.0), (3, 4.8), (4, 2.0)]);
+        assert!(m.speedup(3) < m.speedup(2));
+        assert!(m.speedup(4) > m.speedup(2));
+    }
+
+    #[test]
+    fn works_with_the_time_matrix_and_emts_pipeline() {
+        use crate::TimeMatrix;
+        use ptg::PtgBuilder;
+        let mut b = PtgBuilder::new();
+        let a = b.add_task("a", 8e9, 0.0);
+        let c = b.add_task("c", 8e9, 0.0);
+        b.add_edge(a, c).unwrap();
+        let g = b.build().unwrap();
+        let matrix = TimeMatrix::compute(&g, &model(), 1e9, 16);
+        assert!(matrix.time(a, 16) < matrix.time(a, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "p = 1 is required")]
+    fn missing_sequential_sample_panics() {
+        let _ = SparseTabulated::from_measurements(&[(2, 4.0), (4, 2.0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate processor counts")]
+    fn duplicate_sample_panics() {
+        let _ = SparseTabulated::from_measurements(&[(1, 8.0), (2, 4.0), (2, 3.9)]);
+    }
+}

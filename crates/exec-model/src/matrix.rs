@@ -1,0 +1,185 @@
+//! Pre-evaluated `(task, p)` time matrix.
+
+use crate::ExecutionTimeModel;
+use ptg::{Ptg, TaskId};
+
+/// Dense matrix of execution times `t(v, p)` for every task of a PTG and
+/// every processor count `1 ..= p_max`.
+///
+/// Allocation heuristics query `t(v, p)` and `t(v, p+1)` in tight loops and
+/// the EA's fitness function evaluates whole allocation vectors thousands of
+/// times per run; for the problem sizes of the paper (V ≤ 100, P ≤ 120) the
+/// full matrix is ≤ 96 kB and pre-computing it removes the model from the
+/// hot path entirely.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimeMatrix {
+    p_max: u32,
+    /// Row-major: `times[v * p_max + (p - 1)]`.
+    times: Vec<f64>,
+}
+
+impl TimeMatrix {
+    /// Evaluates `model` for every task of `g` at every `p ∈ 1..=p_max`.
+    pub fn compute<M: ExecutionTimeModel + ?Sized>(
+        g: &Ptg,
+        model: &M,
+        speed_flops: f64,
+        p_max: u32,
+    ) -> Self {
+        assert!(p_max >= 1, "platform must have at least one processor");
+        let mut times = Vec::with_capacity(g.task_count() * p_max as usize);
+        for v in g.task_ids() {
+            let task = g.task(v);
+            for p in 1..=p_max {
+                let t = model.time(task, p, speed_flops);
+                assert!(
+                    t.is_finite() && t > 0.0,
+                    "model produced invalid time {t} for task {v} at p = {p}"
+                );
+                times.push(t);
+            }
+        }
+        TimeMatrix { p_max, times }
+    }
+
+    /// Largest processor count covered.
+    #[inline]
+    pub fn p_max(&self) -> u32 {
+        self.p_max
+    }
+
+    /// Number of tasks covered.
+    #[inline]
+    pub fn task_count(&self) -> usize {
+        self.times.len() / self.p_max as usize
+    }
+
+    /// The execution time of task `v` on `p` processors.
+    ///
+    /// # Panics
+    /// Panics (via debug assertion / slice indexing) if `p` is 0 or exceeds
+    /// `p_max`, or if `v` is out of range.
+    #[inline]
+    pub fn time(&self, v: TaskId, p: u32) -> f64 {
+        debug_assert!(p >= 1 && p <= self.p_max, "p = {p} out of range");
+        self.times[v.index() * self.p_max as usize + (p as usize - 1)]
+    }
+
+    /// Gathers the per-task times for an allocation vector `alloc[v]`.
+    pub fn times_for(&self, alloc: &[u32]) -> Vec<f64> {
+        assert_eq!(alloc.len(), self.task_count());
+        alloc
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| self.time(TaskId::from_index(i), p))
+            .collect()
+    }
+
+    /// Writes the per-task times for `alloc` into `out` without allocating.
+    pub fn fill_times(&self, alloc: &[u32], out: &mut Vec<f64>) {
+        assert_eq!(alloc.len(), self.task_count());
+        out.clear();
+        out.extend(
+            alloc
+                .iter()
+                .enumerate()
+                .map(|(i, &p)| self.time(TaskId::from_index(i), p)),
+        );
+    }
+
+    /// The processor count minimizing `t(v, ·)` (smallest on ties).
+    pub fn best_p(&self, v: TaskId) -> u32 {
+        let mut best = 1;
+        let mut best_t = self.time(v, 1);
+        for p in 2..=self.p_max {
+            let t = self.time(v, p);
+            if t < best_t {
+                best_t = t;
+                best = p;
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Amdahl, SyntheticModel};
+    use ptg::PtgBuilder;
+
+    fn two_task_graph() -> Ptg {
+        let mut b = PtgBuilder::new();
+        let a = b.add_task("a", 1e9, 0.0);
+        let c = b.add_task("c", 2e9, 0.5);
+        b.add_edge(a, c).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn matrix_matches_direct_model_evaluation() {
+        let g = two_task_graph();
+        let m = SyntheticModel::default();
+        let mat = TimeMatrix::compute(&g, &m, 2e9, 16);
+        for v in g.task_ids() {
+            for p in 1..=16 {
+                assert_eq!(mat.time(v, p), m.time(g.task(v), p, 2e9));
+            }
+        }
+    }
+
+    #[test]
+    fn dimensions_are_reported() {
+        let g = two_task_graph();
+        let mat = TimeMatrix::compute(&g, &Amdahl, 1e9, 8);
+        assert_eq!(mat.p_max(), 8);
+        assert_eq!(mat.task_count(), 2);
+    }
+
+    #[test]
+    fn times_for_gathers_per_allocation() {
+        let g = two_task_graph();
+        let mat = TimeMatrix::compute(&g, &Amdahl, 1e9, 8);
+        let times = mat.times_for(&[2, 4]);
+        assert_eq!(times[0], mat.time(TaskId(0), 2));
+        assert_eq!(times[1], mat.time(TaskId(1), 4));
+    }
+
+    #[test]
+    fn fill_times_reuses_buffer() {
+        let g = two_task_graph();
+        let mat = TimeMatrix::compute(&g, &Amdahl, 1e9, 8);
+        let mut buf = Vec::with_capacity(2);
+        mat.fill_times(&[1, 1], &mut buf);
+        assert_eq!(buf, mat.times_for(&[1, 1]));
+        mat.fill_times(&[8, 8], &mut buf);
+        assert_eq!(buf, mat.times_for(&[8, 8]));
+    }
+
+    #[test]
+    fn best_p_finds_global_minimum_under_model2() {
+        let g = two_task_graph();
+        let mat = TimeMatrix::compute(&g, &SyntheticModel::default(), 1e9, 8);
+        // Fully parallel task 0: minimum at p = 8? t(8) = 1.1/8 = 0.1375,
+        // t(4) = 0.25 — so 8 wins despite the penalty.
+        assert_eq!(mat.best_p(TaskId(0)), 8);
+        // Task 1 has alpha = 0.5: t(4) = 0.625·2 = 1.25, t(8) = 1.1·(0.5+0.0625)·2 = 1.2375,
+        // still 8... verify against brute force instead of hand numbers.
+        let brute = (1..=8)
+            .min_by(|&a, &b| {
+                mat.time(TaskId(1), a)
+                    .partial_cmp(&mat.time(TaskId(1), b))
+                    .unwrap()
+            })
+            .unwrap();
+        assert_eq!(mat.best_p(TaskId(1)), brute);
+    }
+
+    #[test]
+    #[should_panic]
+    fn mismatched_allocation_length_panics() {
+        let g = two_task_graph();
+        let mat = TimeMatrix::compute(&g, &Amdahl, 1e9, 4);
+        let _ = mat.times_for(&[1]);
+    }
+}

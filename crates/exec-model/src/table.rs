@@ -1,0 +1,142 @@
+//! Tabulated (measured) execution times.
+
+use crate::ExecutionTimeModel;
+use ptg::Task;
+
+/// A model backed by a table of measured *speedups* per processor count.
+///
+/// Real systems rarely come with closed-form time functions; what exists are
+/// benchmark measurements like the paper's PDGEMM timings (Fig. 1). A
+/// `Tabulated` model stores `speedup[p-1]` for `p = 1..=p_max` and converts a
+/// task's sequential time through it, so one table can serve tasks of
+/// different sizes. Queries beyond `p_max` clamp to the last entry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tabulated {
+    speedups: Vec<f64>,
+}
+
+impl Tabulated {
+    /// Builds the table from raw speedups (`speedups[0]` must be 1.0 for
+    /// `p = 1`).
+    pub fn from_speedups(speedups: Vec<f64>) -> Self {
+        assert!(!speedups.is_empty(), "table must cover at least p = 1");
+        assert!(
+            (speedups[0] - 1.0).abs() < 1e-9,
+            "speedup at p = 1 must be 1.0, got {}",
+            speedups[0]
+        );
+        assert!(
+            speedups.iter().all(|&s| s > 0.0 && s.is_finite()),
+            "speedups must be positive and finite"
+        );
+        Tabulated { speedups }
+    }
+
+    /// Builds the table from measured times of *one reference task*: the
+    /// speedup at `p` is `times[0] / times[p-1]`.
+    pub fn from_times(times: &[f64]) -> Self {
+        assert!(!times.is_empty(), "need at least the sequential time");
+        let t1 = times[0];
+        assert!(t1 > 0.0, "sequential time must be positive");
+        Tabulated::from_speedups(times.iter().map(|&t| t1 / t).collect())
+    }
+
+    /// Builds a table by sampling an arbitrary model at each `p ≤ p_max` for
+    /// a reference task. Useful to freeze a model into data.
+    pub fn sample<M: ExecutionTimeModel>(
+        model: &M,
+        task: &Task,
+        speed_flops: f64,
+        p_max: u32,
+    ) -> Self {
+        assert!(p_max >= 1);
+        let times: Vec<f64> = (1..=p_max)
+            .map(|p| model.time(task, p, speed_flops))
+            .collect();
+        Tabulated::from_times(&times)
+    }
+
+    /// Largest processor count covered by the table.
+    pub fn p_max(&self) -> u32 {
+        self.speedups.len() as u32
+    }
+
+    /// The speedup at `p` (clamped to the table range).
+    pub fn speedup(&self, p: u32) -> f64 {
+        assert!(p >= 1, "allocation must use at least one processor");
+        let idx = (p as usize - 1).min(self.speedups.len() - 1);
+        self.speedups[idx]
+    }
+}
+
+impl ExecutionTimeModel for Tabulated {
+    fn time(&self, task: &Task, p: u32, speed_flops: f64) -> f64 {
+        let seq = task.flop / speed_flops;
+        seq / self.speedup(p)
+    }
+
+    fn name(&self) -> &'static str {
+        "tabulated"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SyntheticModel;
+
+    #[test]
+    fn from_times_computes_speedups() {
+        let t = Tabulated::from_times(&[10.0, 5.0, 4.0, 2.5]);
+        assert_eq!(t.speedup(1), 1.0);
+        assert_eq!(t.speedup(2), 2.0);
+        assert_eq!(t.speedup(4), 4.0);
+    }
+
+    #[test]
+    fn queries_beyond_table_clamp() {
+        let t = Tabulated::from_times(&[10.0, 5.0]);
+        assert_eq!(t.speedup(100), 2.0);
+        assert_eq!(t.p_max(), 2);
+    }
+
+    #[test]
+    fn time_scales_with_task_size() {
+        let tab = Tabulated::from_times(&[8.0, 4.0, 2.0, 1.0]);
+        let small = Task::new("s", 1e9, 0.0);
+        let big = Task::new("b", 4e9, 0.0);
+        assert!((tab.time(&big, 4, 1e9) - 4.0 * tab.time(&small, 4, 1e9)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sampling_a_model_reproduces_it() {
+        let m = SyntheticModel::default();
+        let task = Task::new("ref", 2e9, 0.1);
+        let tab = Tabulated::sample(&m, &task, 1e9, 16);
+        for p in 1..=16 {
+            let a = tab.time(&task, p, 1e9);
+            let b = m.time(&task, p, 1e9);
+            assert!((a - b).abs() < 1e-9 * b, "p = {p}: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn sampled_table_preserves_non_monotonicity() {
+        let m = SyntheticModel::default();
+        let task = Task::new("ref", 8e9, 0.05);
+        let tab = Tabulated::sample(&m, &task, 1e9, 8);
+        assert!(tab.time(&task, 5, 1e9) > tab.time(&task, 4, 1e9));
+    }
+
+    #[test]
+    #[should_panic(expected = "p = 1 must be 1.0")]
+    fn first_speedup_must_be_unity() {
+        let _ = Tabulated::from_speedups(vec![2.0, 3.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least p = 1")]
+    fn empty_table_panics() {
+        let _ = Tabulated::from_speedups(vec![]);
+    }
+}

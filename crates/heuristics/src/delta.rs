@@ -1,0 +1,163 @@
+//! The paper's Δ-critical seeding heuristic (§III-B).
+//!
+//! "First, the bottom level of each task is computed assuming that each task
+//! is allocated to one processor. […] we separate the nodes by precedence
+//! level (depth of the nodes from the source) and share all processors of
+//! the system among the Δ-critical nodes of a layer. […] tasks on the
+//! critical path in one precedence level receive P/c_l processors and
+//! non-critical ones receive 1 processor (c_l is the number of almost
+//! critical tasks of level l)."
+//!
+//! A task of layer `l` is Δ-critical when `bl(v) ≥ Δ · max bl` over the
+//! tasks of that layer; `Δ = 0.9` in the paper's experiments, i.e. tasks at
+//! most 10 % below the layer maximum also count as critical (the concept of
+//! Δ-critical tasks is due to Suter, GRID 2007).
+
+use crate::Allocator;
+use exec_model::TimeMatrix;
+use ptg::critpath::bottom_levels;
+use ptg::levels::PrecedenceLevels;
+use ptg::Ptg;
+use sched::Allocation;
+
+/// The Δ-critical processor-sharing heuristic.
+#[derive(Debug, Clone, Copy)]
+pub struct DeltaCritical {
+    /// Criticality threshold `Δ ∈ [0, 1]`; the paper uses 0.9.
+    pub delta: f64,
+}
+
+impl Default for DeltaCritical {
+    fn default() -> Self {
+        DeltaCritical { delta: 0.9 }
+    }
+}
+
+impl DeltaCritical {
+    /// Creates the heuristic with an explicit Δ.
+    pub fn new(delta: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&delta),
+            "delta must lie in [0, 1], got {delta}"
+        );
+        DeltaCritical { delta }
+    }
+}
+
+impl Allocator for DeltaCritical {
+    fn allocate(&self, g: &Ptg, matrix: &TimeMatrix) -> Allocation {
+        let p_total = matrix.p_max();
+        // Bottom levels under the all-ones allocation, per the paper.
+        let times: Vec<f64> = g.task_ids().map(|v| matrix.time(v, 1)).collect();
+        let bl = bottom_levels(g, &times);
+        let levels = PrecedenceLevels::compute(g);
+        let mut alloc = Allocation::ones(g.task_count());
+        for (_, tasks) in levels.iter() {
+            let layer_max = tasks
+                .iter()
+                .map(|&v| bl[v.index()])
+                .fold(0.0f64, f64::max);
+            let critical: Vec<_> = tasks
+                .iter()
+                .copied()
+                .filter(|&v| bl[v.index()] >= self.delta * layer_max)
+                .collect();
+            let share = (p_total / critical.len() as u32).max(1);
+            for v in critical {
+                alloc.set(v, share);
+            }
+        }
+        alloc
+    }
+
+    fn name(&self) -> &'static str {
+        "DeltaCritical"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use exec_model::Amdahl;
+    use ptg::{PtgBuilder, TaskId};
+
+    /// Layer of one heavy + two light tasks below a source.
+    fn skewed() -> Ptg {
+        let mut b = PtgBuilder::new();
+        let src = b.add_task("src", 1e9, 0.1);
+        let heavy = b.add_task("heavy", 100e9, 0.05);
+        let light1 = b.add_task("l1", 1e9, 0.1);
+        let light2 = b.add_task("l2", 1e9, 0.1);
+        for t in [heavy, light1, light2] {
+            b.add_edge(src, t).unwrap();
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn critical_task_gets_the_platform_share() {
+        let g = skewed();
+        let p = 12u32;
+        let m = TimeMatrix::compute(&g, &Amdahl, 1e9, p);
+        let alloc = DeltaCritical::default().allocate(&g, &m);
+        // Layer 1: heavy dominates its layer alone at Δ=0.9 → P/1 procs.
+        assert_eq!(alloc.of(TaskId(1)), p);
+        assert_eq!(alloc.of(TaskId(2)), 1);
+        assert_eq!(alloc.of(TaskId(3)), 1);
+        // Layer 0: src is the single (critical) task of its layer.
+        assert_eq!(alloc.of(TaskId(0)), p);
+    }
+
+    #[test]
+    fn equal_tasks_split_the_platform() {
+        let mut b = PtgBuilder::new();
+        for i in 0..4 {
+            b.add_task(format!("t{i}"), 10e9, 0.05);
+        }
+        let g = b.build().unwrap();
+        let m = TimeMatrix::compute(&g, &Amdahl, 1e9, 12);
+        let alloc = DeltaCritical::default().allocate(&g, &m);
+        assert_eq!(alloc.as_slice(), &[3, 3, 3, 3]);
+    }
+
+    #[test]
+    fn delta_zero_marks_every_task_critical() {
+        let g = skewed();
+        let m = TimeMatrix::compute(&g, &Amdahl, 1e9, 12);
+        let alloc = DeltaCritical::new(0.0).allocate(&g, &m);
+        // Layer 1 has 3 critical tasks → 12/3 = 4 each.
+        assert_eq!(alloc.of(TaskId(1)), 4);
+        assert_eq!(alloc.of(TaskId(2)), 4);
+        assert_eq!(alloc.of(TaskId(3)), 4);
+    }
+
+    #[test]
+    fn more_critical_tasks_than_processors_degrades_to_ones() {
+        let mut b = PtgBuilder::new();
+        for i in 0..8 {
+            b.add_task(format!("t{i}"), 10e9, 0.05);
+        }
+        let g = b.build().unwrap();
+        let m = TimeMatrix::compute(&g, &Amdahl, 1e9, 4);
+        let alloc = DeltaCritical::new(0.0).allocate(&g, &m);
+        assert!(alloc.as_slice().iter().all(|&s| s == 1));
+    }
+
+    #[test]
+    fn allocation_is_always_valid() {
+        let g = skewed();
+        for p in [1u32, 2, 7, 20, 120] {
+            let m = TimeMatrix::compute(&g, &Amdahl, 1e9, p);
+            for delta in [0.0, 0.5, 0.9, 1.0] {
+                let alloc = DeltaCritical::new(delta).allocate(&g, &m);
+                assert!(alloc.is_valid_for(&g, p), "p={p} delta={delta}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "delta must lie in")]
+    fn invalid_delta_panics() {
+        let _ = DeltaCritical::new(1.5);
+    }
+}

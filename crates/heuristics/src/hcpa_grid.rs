@@ -1,0 +1,272 @@
+//! HCPA on a multi-cluster grid — the algorithm's original habitat
+//! (extension).
+//!
+//! N'Takpé & Suter's HCPA handles heterogeneous platforms made of several
+//! homogeneous clusters by allocating *equivalent processors* of a virtual
+//! **reference cluster** (we use the fastest cluster's speed, with
+//! `Σ_k n_k · s_k / s_ref` reference processors), then translating each
+//! task's reference allocation to whatever cluster it lands on during
+//! mapping:
+//!
+//! 1. **Allocation** — the CPA loop runs against the reference cluster:
+//!    start every task at one reference processor and widen the most
+//!    profitable critical-path task while the critical path dominates the
+//!    average area.
+//! 2. **Mapping** — ready tasks (by decreasing bottom level) try every
+//!    cluster: the reference allocation is translated to the smallest
+//!    local width whose predicted time is no worse than the reference time
+//!    (capped at the cluster size), and the cluster finishing the task
+//!    earliest wins.
+//!
+//! On a single-cluster grid both steps reduce exactly to the paper's
+//! HCPA/CPA (asserted in tests), which is why the flat [`crate::Hcpa`] is a
+//! faithful stand-in for the paper's experiments.
+
+use crate::common::{run_cpa_loop, CpaLoop};
+use exec_model::{ExecutionTimeModel, TimeMatrix};
+use platform::grid::Grid;
+use ptg::critpath::bottom_levels;
+use ptg::{Ptg, TaskId};
+use sched::multi::{GridAllocation, GridPlacement, GridSchedule, GridTimeMatrix};
+use sched::{Allocation, Placement};
+
+/// The multi-cluster HCPA scheduler.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct HcpaGrid;
+
+impl HcpaGrid {
+    /// Step 1: reference-cluster allocation.
+    pub fn reference_allocation<M: ExecutionTimeModel + ?Sized>(
+        &self,
+        g: &Ptg,
+        model: &M,
+        grid: &Grid,
+    ) -> Allocation {
+        let s_ref = grid.reference_speed_gflops() * 1e9;
+        let p_ref = grid.equivalent_processors();
+        let matrix = TimeMatrix::compute(g, model, s_ref, p_ref);
+        run_cpa_loop(g, &matrix, &CpaLoop::default())
+    }
+
+    /// Translates a reference allocation of task `v` to cluster `k`: the
+    /// smallest local width whose time does not exceed the reference time
+    /// (falling back to the whole cluster when even that is slower).
+    fn translate(
+        matrices: &GridTimeMatrix,
+        v: TaskId,
+        t_ref: f64,
+        k: usize,
+        cluster_size: u32,
+    ) -> u32 {
+        for p in 1..=cluster_size {
+            if matrices.cluster(k).time(v, p) <= t_ref {
+                return p;
+            }
+        }
+        cluster_size
+    }
+
+    /// Runs both steps and returns the grid schedule plus the allocation.
+    pub fn schedule<M: ExecutionTimeModel + ?Sized>(
+        &self,
+        g: &Ptg,
+        model: &M,
+        grid: &Grid,
+    ) -> (GridAllocation, GridSchedule) {
+        let s_ref = grid.reference_speed_gflops() * 1e9;
+        let p_ref = grid.equivalent_processors();
+        let ref_matrix = TimeMatrix::compute(g, model, s_ref, p_ref);
+        let ref_alloc = run_cpa_loop(g, &ref_matrix, &CpaLoop::default());
+        let matrices = GridTimeMatrix::compute(g, model, grid);
+
+        // Reference times drive both the priorities and the translation.
+        let t_ref: Vec<f64> = g
+            .task_ids()
+            .map(|v| ref_matrix.time(v, ref_alloc.of(v)))
+            .collect();
+        let bl = bottom_levels(g, &t_ref);
+
+        let mut in_deg: Vec<usize> = g.task_ids().map(|v| g.in_degree(v)).collect();
+        let mut ready: Vec<TaskId> = g.task_ids().filter(|&v| in_deg[v.index()] == 0).collect();
+        let mut avail: Vec<Vec<f64>> = grid
+            .clusters
+            .iter()
+            .map(|c| vec![0.0; c.processors as usize])
+            .collect();
+        let mut data_ready = vec![0.0f64; g.task_count()];
+        let mut placements: Vec<Option<GridPlacement>> = vec![None; g.task_count()];
+        let mut per_task: Vec<(u32, u32)> = vec![(0, 1); g.task_count()];
+
+        while !ready.is_empty() {
+            let (idx, _) = ready
+                .iter()
+                .enumerate()
+                .max_by(|a, b| {
+                    bl[a.1.index()]
+                        .partial_cmp(&bl[b.1.index()])
+                        .expect("finite bottom levels")
+                        .then(b.1.cmp(a.1))
+                })
+                .expect("ready set non-empty");
+            let v = ready.swap_remove(idx);
+
+            // Try every cluster; earliest finish wins (ties → lower index).
+            let mut best: Option<(f64, f64, usize, u32, Vec<u32>)> = None;
+            for (k, cluster) in grid.clusters.iter().enumerate() {
+                let width = Self::translate(&matrices, v, t_ref[v.index()], k, cluster.processors);
+                let pool = &avail[k];
+                let mut order: Vec<u32> = (0..pool.len() as u32).collect();
+                order.sort_unstable_by(|&a, &b| {
+                    pool[a as usize]
+                        .partial_cmp(&pool[b as usize])
+                        .expect("finite availability")
+                        .then(a.cmp(&b))
+                });
+                let chosen = &order[..width as usize];
+                let start = data_ready[v.index()].max(pool[chosen[width as usize - 1] as usize]);
+                let finish = start + matrices.cluster(k).time(v, width);
+                let better = match &best {
+                    None => true,
+                    Some((best_finish, ..)) => finish < best_finish - 1e-15,
+                };
+                if better {
+                    let mut procs: Vec<u32> = chosen.to_vec();
+                    procs.sort_unstable();
+                    best = Some((finish, start, k, width, procs));
+                }
+            }
+            let (finish, start, k, width, processors) = best.expect("grid has clusters");
+            for &q in &processors {
+                avail[k][q as usize] = finish;
+            }
+            per_task[v.index()] = (k as u32, width);
+            placements[v.index()] = Some(GridPlacement {
+                cluster: k as u32,
+                placement: Placement {
+                    task: v,
+                    start,
+                    finish,
+                    processors,
+                },
+            });
+            for &w in g.successors(v) {
+                data_ready[w.index()] = data_ready[w.index()].max(finish);
+                in_deg[w.index()] -= 1;
+                if in_deg[w.index()] == 0 {
+                    ready.push(w);
+                }
+            }
+        }
+        (
+            GridAllocation { per_task },
+            GridSchedule {
+                placements: placements
+                    .into_iter()
+                    .map(|p| p.expect("all tasks scheduled"))
+                    .collect(),
+            },
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{allocate_and_map, Hcpa};
+    use exec_model::{Amdahl, SyntheticModel};
+    use platform::grid::grid5000_pair;
+    use platform::Cluster;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+    use sched::multi::validate_grid_schedule;
+    use workloads::{daggen::random_ptg, CostConfig, DaggenParams};
+
+    fn sample(n: usize, seed: u64) -> Ptg {
+        random_ptg(
+            &DaggenParams {
+                n,
+                width: 0.5,
+                regularity: 0.5,
+                density: 0.3,
+                jump: 1,
+            },
+            &CostConfig::default(),
+            &mut ChaCha8Rng::seed_from_u64(seed),
+        )
+    }
+
+    #[test]
+    fn grid_schedules_are_valid() {
+        let g = sample(40, 1);
+        let grid = grid5000_pair();
+        for model in [&Amdahl as &dyn ExecutionTimeModel, &SyntheticModel::default()] {
+            let (alloc, schedule) = HcpaGrid.schedule(&g, model, &grid);
+            assert!(alloc.is_valid_for(&g, &grid));
+            validate_grid_schedule(&g, &grid, &schedule).unwrap();
+        }
+    }
+
+    #[test]
+    fn single_cluster_grid_matches_flat_hcpa() {
+        let g = sample(25, 2);
+        let cluster = Cluster::new("solo", 20, 4.3);
+        let grid = platform::grid::Grid::new("solo", vec![cluster.clone()]);
+        let (_, grid_schedule) = HcpaGrid.schedule(&g, &Amdahl, &grid);
+        let flat_matrix =
+            TimeMatrix::compute(&g, &Amdahl, cluster.speed_flops(), cluster.processors);
+        let (_, flat_ms) = allocate_and_map(&Hcpa, &g, &flat_matrix);
+        assert!(
+            (grid_schedule.makespan() - flat_ms).abs() <= 1e-9 * flat_ms,
+            "grid {} vs flat {}",
+            grid_schedule.makespan(),
+            flat_ms
+        );
+    }
+
+    #[test]
+    fn two_clusters_beat_the_smaller_one_alone() {
+        // With both clusters available, HCPA-grid should never be slower
+        // than flat HCPA restricted to Chti (it can always fall back to a
+        // single cluster). Not a strict theorem for list scheduling, so we
+        // allow a small tolerance and check it holds on several instances.
+        let grid = grid5000_pair();
+        let chti = &grid.clusters[0];
+        let mut wins = 0;
+        for seed in 0..5 {
+            let g = sample(40, 100 + seed);
+            let (_, grid_schedule) = HcpaGrid.schedule(&g, &Amdahl, &grid);
+            let chti_matrix = TimeMatrix::compute(&g, &Amdahl, chti.speed_flops(), chti.processors);
+            let (_, chti_ms) = allocate_and_map(&Hcpa, &g, &chti_matrix);
+            if grid_schedule.makespan() <= chti_ms * 1.001 {
+                wins += 1;
+            }
+        }
+        assert!(wins >= 4, "grid lost to little Chti too often: {wins}/5");
+    }
+
+    #[test]
+    fn translation_prefers_narrow_widths_on_fast_clusters() {
+        let g = sample(10, 3);
+        let grid = grid5000_pair();
+        let matrices = GridTimeMatrix::compute(&g, &Amdahl, &grid);
+        let v = TaskId(0);
+        // Reference time at 4 reference processors (speed 4.3): translating
+        // to the *same speed* cluster 0 must give width ≤ 4; to the slower
+        // cluster 1 a width ≥ 4.
+        let s_ref = grid.reference_speed_gflops() * 1e9;
+        let ref_matrix = TimeMatrix::compute(&g, &Amdahl, s_ref, grid.equivalent_processors());
+        let t_ref = ref_matrix.time(v, 4);
+        let w0 = HcpaGrid::translate(&matrices, v, t_ref, 0, grid.clusters[0].processors);
+        let w1 = HcpaGrid::translate(&matrices, v, t_ref, 1, grid.clusters[1].processors);
+        assert!(w0 <= 4, "same-speed translation widened: {w0}");
+        assert!(w1 >= w0, "slower cluster should need at least as many: {w1} < {w0}");
+    }
+
+    #[test]
+    fn reference_allocation_is_a_plain_cpa_result() {
+        let g = sample(20, 4);
+        let grid = grid5000_pair();
+        let alloc = HcpaGrid.reference_allocation(&g, &Amdahl, &grid);
+        assert!(alloc.is_valid_for(&g, grid.equivalent_processors()));
+    }
+}

@@ -1,0 +1,95 @@
+//! Trivial reference allocators.
+//!
+//! Not competitors from the paper, but useful anchors: `AllOne` is the pure
+//! task-parallel extreme, `AllMax` the pure data-parallel extreme, and
+//! `BestSpeedup` greedily picks each task's individually fastest width
+//! (ignoring contention) — a natural straw man under non-monotonic models.
+
+use crate::Allocator;
+use exec_model::TimeMatrix;
+use ptg::Ptg;
+use sched::Allocation;
+
+/// Every task runs on a single processor.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AllOne;
+
+impl Allocator for AllOne {
+    fn allocate(&self, g: &Ptg, _matrix: &TimeMatrix) -> Allocation {
+        Allocation::ones(g.task_count())
+    }
+
+    fn name(&self) -> &'static str {
+        "AllOne"
+    }
+}
+
+/// Every task runs on the whole platform.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AllMax;
+
+impl Allocator for AllMax {
+    fn allocate(&self, g: &Ptg, matrix: &TimeMatrix) -> Allocation {
+        Allocation::uniform(g.task_count(), matrix.p_max())
+    }
+
+    fn name(&self) -> &'static str {
+        "AllMax"
+    }
+}
+
+/// Each task gets the processor count minimizing its own execution time
+/// (the smallest such count on ties).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BestSpeedup;
+
+impl Allocator for BestSpeedup {
+    fn allocate(&self, g: &Ptg, matrix: &TimeMatrix) -> Allocation {
+        Allocation::from_vec(g.task_ids().map(|v| matrix.best_p(v)).collect())
+    }
+
+    fn name(&self) -> &'static str {
+        "BestSpeedup"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use exec_model::{Amdahl, SyntheticModel};
+    use ptg::PtgBuilder;
+
+    fn graph() -> Ptg {
+        let mut b = PtgBuilder::new();
+        let a = b.add_task("a", 4e9, 0.0);
+        let c = b.add_task("c", 4e9, 1.0); // fully sequential
+        b.add_edge(a, c).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn all_one_and_all_max() {
+        let g = graph();
+        let m = TimeMatrix::compute(&g, &Amdahl, 1e9, 6);
+        assert_eq!(AllOne.allocate(&g, &m).as_slice(), &[1, 1]);
+        assert_eq!(AllMax.allocate(&g, &m).as_slice(), &[6, 6]);
+    }
+
+    #[test]
+    fn best_speedup_respects_per_task_scaling() {
+        let g = graph();
+        let m = TimeMatrix::compute(&g, &Amdahl, 1e9, 6);
+        let alloc = BestSpeedup.allocate(&g, &m);
+        assert_eq!(alloc.as_slice()[0], 6, "scalable task takes everything");
+        assert_eq!(alloc.as_slice()[1], 1, "sequential task stays narrow");
+    }
+
+    #[test]
+    fn best_speedup_avoids_penalized_widths_under_model2() {
+        let g = graph();
+        let m = TimeMatrix::compute(&g, &SyntheticModel::default(), 1e9, 5);
+        let alloc = BestSpeedup.allocate(&g, &m);
+        // p = 5 is odd (×1.3): 1.3/5 = 0.26 > 1/4 = 0.25 → best is 4.
+        assert_eq!(alloc.as_slice()[0], 4);
+    }
+}

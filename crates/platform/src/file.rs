@@ -1,0 +1,204 @@
+//! Plain-text platform files.
+//!
+//! The paper's simulator "reads a platform file, containing the processors'
+//! speed". Our format is a minimal line-oriented description:
+//!
+//! ```text
+//! # comment lines start with '#'
+//! name chti
+//! processors 20
+//! speed_gflops 4.3
+//! ```
+//!
+//! Keys may appear in any order; `name` is optional (defaults to
+//! `"cluster"`). Unknown keys are rejected to catch typos.
+
+use crate::cluster::Cluster;
+use std::fmt;
+
+/// Errors from [`parse_platform`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PlatformFileError {
+    /// Line did not split into `key value`.
+    Malformed { line: usize, content: String },
+    /// Unrecognized key.
+    UnknownKey { line: usize, key: String },
+    /// Value failed to parse for the key.
+    BadValue { line: usize, key: String, value: String },
+    /// A required key never appeared.
+    Missing(&'static str),
+    /// Same key given twice.
+    Duplicate { line: usize, key: String },
+}
+
+impl fmt::Display for PlatformFileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlatformFileError::Malformed { line, content } => {
+                write!(f, "line {line}: expected 'key value', got {content:?}")
+            }
+            PlatformFileError::UnknownKey { line, key } => {
+                write!(f, "line {line}: unknown key {key:?}")
+            }
+            PlatformFileError::BadValue { line, key, value } => {
+                write!(f, "line {line}: bad value {value:?} for key {key:?}")
+            }
+            PlatformFileError::Missing(key) => write!(f, "missing required key {key:?}"),
+            PlatformFileError::Duplicate { line, key } => {
+                write!(f, "line {line}: duplicate key {key:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PlatformFileError {}
+
+/// Parses the platform-file format described in the module docs.
+pub fn parse_platform(input: &str) -> Result<Cluster, PlatformFileError> {
+    let mut name: Option<String> = None;
+    let mut processors: Option<u32> = None;
+    let mut speed: Option<f64> = None;
+    for (idx, raw) in input.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (key, value) = line.split_once(char::is_whitespace).ok_or_else(|| {
+            PlatformFileError::Malformed {
+                line: line_no,
+                content: line.to_string(),
+            }
+        })?;
+        let value = value.trim();
+        match key {
+            "name" => {
+                if name.replace(value.to_string()).is_some() {
+                    return Err(PlatformFileError::Duplicate {
+                        line: line_no,
+                        key: key.into(),
+                    });
+                }
+            }
+            "processors" => {
+                let v: u32 = value.parse().map_err(|_| PlatformFileError::BadValue {
+                    line: line_no,
+                    key: key.into(),
+                    value: value.into(),
+                })?;
+                if processors.replace(v).is_some() {
+                    return Err(PlatformFileError::Duplicate {
+                        line: line_no,
+                        key: key.into(),
+                    });
+                }
+            }
+            "speed_gflops" => {
+                let v: f64 = value.parse().map_err(|_| PlatformFileError::BadValue {
+                    line: line_no,
+                    key: key.into(),
+                    value: value.into(),
+                })?;
+                if speed.replace(v).is_some() {
+                    return Err(PlatformFileError::Duplicate {
+                        line: line_no,
+                        key: key.into(),
+                    });
+                }
+            }
+            other => {
+                return Err(PlatformFileError::UnknownKey {
+                    line: line_no,
+                    key: other.into(),
+                })
+            }
+        }
+    }
+    let processors = processors.ok_or(PlatformFileError::Missing("processors"))?;
+    let speed = speed.ok_or(PlatformFileError::Missing("speed_gflops"))?;
+    Ok(Cluster::new(
+        name.unwrap_or_else(|| "cluster".into()),
+        processors,
+        speed,
+    ))
+}
+
+/// Renders a cluster in the platform-file format (round-trips through
+/// [`parse_platform`]).
+pub fn render_platform(c: &Cluster) -> String {
+    format!(
+        "name {}\nprocessors {}\nspeed_gflops {}\n",
+        c.name, c.processors, c.speed_gflops
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets::chti;
+
+    #[test]
+    fn parses_the_documented_example() {
+        let c = parse_platform("# Grid'5000\nname Chti\nprocessors 20\nspeed_gflops 4.3\n")
+            .unwrap();
+        assert_eq!(c, chti());
+    }
+
+    #[test]
+    fn name_is_optional() {
+        let c = parse_platform("processors 8\nspeed_gflops 1.0").unwrap();
+        assert_eq!(c.name, "cluster");
+    }
+
+    #[test]
+    fn round_trip() {
+        let c = chti();
+        assert_eq!(parse_platform(&render_platform(&c)).unwrap(), c);
+    }
+
+    #[test]
+    fn missing_keys_are_reported() {
+        assert_eq!(
+            parse_platform("processors 8").unwrap_err(),
+            PlatformFileError::Missing("speed_gflops")
+        );
+        assert_eq!(
+            parse_platform("speed_gflops 2.0").unwrap_err(),
+            PlatformFileError::Missing("processors")
+        );
+    }
+
+    #[test]
+    fn unknown_key_is_an_error() {
+        assert!(matches!(
+            parse_platform("cores 4").unwrap_err(),
+            PlatformFileError::UnknownKey { key, .. } if key == "cores"
+        ));
+    }
+
+    #[test]
+    fn bad_value_is_reported_with_position() {
+        let err = parse_platform("processors many\nspeed_gflops 1").unwrap_err();
+        assert!(matches!(err, PlatformFileError::BadValue { line: 1, .. }));
+    }
+
+    #[test]
+    fn duplicate_keys_are_rejected() {
+        let err = parse_platform("processors 1\nprocessors 2\nspeed_gflops 1").unwrap_err();
+        assert!(matches!(err, PlatformFileError::Duplicate { line: 2, .. }));
+    }
+
+    #[test]
+    fn malformed_line_is_rejected() {
+        assert!(matches!(
+            parse_platform("justoneword").unwrap_err(),
+            PlatformFileError::Malformed { line: 1, .. }
+        ));
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_ignored() {
+        let c = parse_platform("\n# hi\n\nprocessors 2\n# mid\nspeed_gflops 3\n\n").unwrap();
+        assert_eq!(c.processors, 2);
+    }
+}

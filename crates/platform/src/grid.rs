@@ -1,0 +1,107 @@
+//! Multi-cluster grids (extension).
+//!
+//! The paper schedules onto a *single* homogeneous cluster, but its HCPA
+//! baseline was designed for multi-cluster platforms like Grid'5000
+//! (N'Takpé & Suter, ICPADS 2006). A [`Grid`] is a set of homogeneous
+//! clusters, each internally uniform but differing in size and speed —
+//! heterogeneity *between* clusters, homogeneity *within* them. Tasks run
+//! inside one cluster (moldable tasks do not span the wide-area network).
+
+use crate::cluster::Cluster;
+use serde::{Deserialize, Serialize};
+
+/// A multi-cluster platform.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Grid {
+    /// Grid name (for reports).
+    pub name: String,
+    /// The member clusters, in a fixed order (cluster ids are indices).
+    pub clusters: Vec<Cluster>,
+}
+
+impl Grid {
+    /// Creates a grid from at least one cluster.
+    pub fn new(name: impl Into<String>, clusters: Vec<Cluster>) -> Self {
+        assert!(!clusters.is_empty(), "a grid needs at least one cluster");
+        Grid {
+            name: name.into(),
+            clusters,
+        }
+    }
+
+    /// Number of clusters.
+    pub fn cluster_count(&self) -> usize {
+        self.clusters.len()
+    }
+
+    /// Total processor count across all clusters.
+    pub fn total_processors(&self) -> u32 {
+        self.clusters.iter().map(|c| c.processors).sum()
+    }
+
+    /// The highest per-processor speed in the grid (the natural reference
+    /// speed for equivalent-processor computations).
+    pub fn reference_speed_gflops(&self) -> f64 {
+        self.clusters
+            .iter()
+            .map(|c| c.speed_gflops)
+            .fold(0.0, f64::max)
+    }
+
+    /// The grid's aggregate compute expressed in *equivalent processors* of
+    /// the reference speed: `Σ_k n_k · s_k / s_ref` (rounded down, ≥ 1).
+    pub fn equivalent_processors(&self) -> u32 {
+        let s_ref = self.reference_speed_gflops();
+        let eq: f64 = self
+            .clusters
+            .iter()
+            .map(|c| c.processors as f64 * c.speed_gflops / s_ref)
+            .sum();
+        (eq.floor() as u32).max(1)
+    }
+
+    /// Aggregate peak performance in GFLOPS.
+    pub fn peak_gflops(&self) -> f64 {
+        self.clusters.iter().map(Cluster::peak_gflops).sum()
+    }
+}
+
+/// The two-paper-cluster Grid'5000 excerpt: Chti (20 × 4.3) + Grelon
+/// (120 × 3.1).
+pub fn grid5000_pair() -> Grid {
+    Grid::new("Grid5000-pair", vec![crate::presets::chti(), crate::presets::grelon()])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pair_preset_aggregates_correctly() {
+        let g = grid5000_pair();
+        assert_eq!(g.cluster_count(), 2);
+        assert_eq!(g.total_processors(), 140);
+        assert_eq!(g.reference_speed_gflops(), 4.3);
+        assert!((g.peak_gflops() - (20.0 * 4.3 + 120.0 * 3.1)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn equivalent_processors_normalize_by_reference_speed() {
+        let g = grid5000_pair();
+        // 20 · 1.0 + 120 · (3.1/4.3) ≈ 20 + 86.5 → 106
+        assert_eq!(g.equivalent_processors(), 106);
+    }
+
+    #[test]
+    fn single_cluster_grid_is_the_identity_case() {
+        let g = Grid::new("solo", vec![crate::presets::chti()]);
+        assert_eq!(g.equivalent_processors(), 20);
+        assert_eq!(g.total_processors(), 20);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one cluster")]
+    fn empty_grid_is_rejected() {
+        let _ = Grid::new("empty", vec![]);
+    }
+}

@@ -1,0 +1,48 @@
+//! The two Grid'5000 clusters used throughout the paper's evaluation.
+
+use crate::cluster::Cluster;
+
+/// Chti (Lille): 20 nodes of 4.3 GFLOPS — the paper's *small* platform.
+///
+/// "The smaller cluster named Chti is located in Lille and comprises 20
+/// computational nodes with a computing speed of 4.3 GFLOPS" (§IV-A). Peak
+/// speeds were measured by the authors with HP-LinPACK/ACML.
+pub fn chti() -> Cluster {
+    Cluster::new("Chti", 20, 4.3)
+}
+
+/// Grelon (Nancy): 120 nodes of 3.1 GFLOPS — the paper's *large* platform.
+pub fn grelon() -> Cluster {
+    Cluster::new("Grelon", 120, 3.1)
+}
+
+/// Both paper platforms, small first (the order figures use).
+pub fn paper_platforms() -> Vec<Cluster> {
+    vec![chti(), grelon()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chti_matches_paper() {
+        let c = chti();
+        assert_eq!(c.processors, 20);
+        assert!((c.speed_gflops - 4.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn grelon_matches_paper() {
+        let c = grelon();
+        assert_eq!(c.processors, 120);
+        assert!((c.speed_gflops - 3.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn paper_platforms_ordered_small_to_large() {
+        let ps = paper_platforms();
+        assert_eq!(ps.len(), 2);
+        assert!(ps[0].processors < ps[1].processors);
+    }
+}

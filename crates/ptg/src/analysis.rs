@@ -1,0 +1,193 @@
+//! Shape statistics and reachability queries over PTGs.
+
+use crate::graph::Ptg;
+use crate::levels::PrecedenceLevels;
+use crate::node::TaskId;
+
+/// Aggregate shape description of a PTG, handy for logging experiment
+/// corpora and for sanity checks in tests.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShapeStats {
+    /// Number of tasks `V`.
+    pub tasks: usize,
+    /// Number of edges `E`.
+    pub edges: usize,
+    /// Number of precedence levels.
+    pub levels: usize,
+    /// Maximum number of tasks on one precedence level.
+    pub max_width: usize,
+    /// Mean number of tasks per level.
+    pub mean_width: f64,
+    /// Number of source tasks.
+    pub sources: usize,
+    /// Number of sink tasks.
+    pub sinks: usize,
+    /// Longest edge span in levels (1 for layered PTGs).
+    pub max_jump: usize,
+    /// Total work in FLOP.
+    pub total_flop: f64,
+}
+
+/// Computes [`ShapeStats`] in O(V + E).
+pub fn shape_stats(g: &Ptg) -> ShapeStats {
+    let lv = PrecedenceLevels::compute(g);
+    let max_jump = g
+        .edges()
+        .map(|(a, b)| lv.level_of(b) - lv.level_of(a))
+        .max()
+        .unwrap_or(0);
+    ShapeStats {
+        tasks: g.task_count(),
+        edges: g.edge_count(),
+        levels: lv.level_count(),
+        max_width: lv.max_width(),
+        mean_width: g.task_count() as f64 / lv.level_count() as f64,
+        sources: g.sources().len(),
+        sinks: g.sinks().len(),
+        max_jump,
+        total_flop: g.total_flop(),
+    }
+}
+
+/// Returns the set of tasks reachable from `start` (excluding `start`
+/// itself), i.e. all its transitive descendants.
+pub fn descendants(g: &Ptg, start: TaskId) -> Vec<TaskId> {
+    let mut seen = vec![false; g.task_count()];
+    let mut stack = vec![start];
+    let mut out = Vec::new();
+    while let Some(v) = stack.pop() {
+        for &s in g.successors(v) {
+            if !seen[s.index()] {
+                seen[s.index()] = true;
+                out.push(s);
+                stack.push(s);
+            }
+        }
+    }
+    out.sort_unstable();
+    out
+}
+
+/// Returns all transitive ancestors of `start` (excluding `start`).
+pub fn ancestors(g: &Ptg, start: TaskId) -> Vec<TaskId> {
+    let mut seen = vec![false; g.task_count()];
+    let mut stack = vec![start];
+    let mut out = Vec::new();
+    while let Some(v) = stack.pop() {
+        for &p in g.predecessors(v) {
+            if !seen[p.index()] {
+                seen[p.index()] = true;
+                out.push(p);
+                stack.push(p);
+            }
+        }
+    }
+    out.sort_unstable();
+    out
+}
+
+/// True if there is a directed path `from ⇝ to` (of length ≥ 1).
+pub fn reaches(g: &Ptg, from: TaskId, to: TaskId) -> bool {
+    if from == to {
+        return false;
+    }
+    let mut seen = vec![false; g.task_count()];
+    let mut stack = vec![from];
+    while let Some(v) = stack.pop() {
+        for &s in g.successors(v) {
+            if s == to {
+                return true;
+            }
+            if !seen[s.index()] {
+                seen[s.index()] = true;
+                stack.push(s);
+            }
+        }
+    }
+    false
+}
+
+/// Two tasks are *independent* (may run concurrently) iff neither reaches
+/// the other.
+pub fn independent(g: &Ptg, a: TaskId, b: TaskId) -> bool {
+    a != b && !reaches(g, a, b) && !reaches(g, b, a)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::PtgBuilder;
+
+    /// 0 -> 1 -> 3; 0 -> 2; 2 -> 3; plus isolated 4
+    fn sample() -> Ptg {
+        let mut b = PtgBuilder::new();
+        for i in 0..5 {
+            b.add_task(format!("t{i}"), 2.0, 0.0);
+        }
+        b.add_edge(TaskId(0), TaskId(1)).unwrap();
+        b.add_edge(TaskId(0), TaskId(2)).unwrap();
+        b.add_edge(TaskId(1), TaskId(3)).unwrap();
+        b.add_edge(TaskId(2), TaskId(3)).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn shape_stats_counts_everything() {
+        let s = shape_stats(&sample());
+        assert_eq!(s.tasks, 5);
+        assert_eq!(s.edges, 4);
+        assert_eq!(s.levels, 3);
+        assert_eq!(s.sources, 2); // t0 and the isolated t4
+        assert_eq!(s.sinks, 2); // t3 and t4
+        assert_eq!(s.max_jump, 1);
+        assert!((s.total_flop - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn shape_stats_width_details() {
+        // level 0: {0, 4}, level 1: {1, 2}, level 2: {3}
+        let s = shape_stats(&sample());
+        assert_eq!(s.max_width, 2);
+        assert!((s.mean_width - 5.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn descendants_are_transitive() {
+        let g = sample();
+        assert_eq!(
+            descendants(&g, TaskId(0)),
+            vec![TaskId(1), TaskId(2), TaskId(3)]
+        );
+        assert!(descendants(&g, TaskId(3)).is_empty());
+        assert!(descendants(&g, TaskId(4)).is_empty());
+    }
+
+    #[test]
+    fn ancestors_are_transitive() {
+        let g = sample();
+        assert_eq!(
+            ancestors(&g, TaskId(3)),
+            vec![TaskId(0), TaskId(1), TaskId(2)]
+        );
+        assert!(ancestors(&g, TaskId(0)).is_empty());
+    }
+
+    #[test]
+    fn reaches_follows_direction() {
+        let g = sample();
+        assert!(reaches(&g, TaskId(0), TaskId(3)));
+        assert!(!reaches(&g, TaskId(3), TaskId(0)));
+        assert!(!reaches(&g, TaskId(1), TaskId(2)));
+        assert!(!reaches(&g, TaskId(0), TaskId(0)), "trivial path excluded");
+    }
+
+    #[test]
+    fn independence_is_symmetric_and_irreflexive() {
+        let g = sample();
+        assert!(independent(&g, TaskId(1), TaskId(2)));
+        assert!(independent(&g, TaskId(2), TaskId(1)));
+        assert!(!independent(&g, TaskId(0), TaskId(3)));
+        assert!(!independent(&g, TaskId(1), TaskId(1)));
+        assert!(independent(&g, TaskId(4), TaskId(0)));
+    }
+}

@@ -1,0 +1,139 @@
+//! Graphviz DOT export for PTGs.
+
+use crate::graph::Ptg;
+use std::fmt::Write as _;
+
+/// Options controlling DOT output.
+#[derive(Debug, Clone)]
+pub struct DotOptions {
+    /// Graph name used in the `digraph` header.
+    pub name: String,
+    /// Include each task's FLOP cost and alpha in the node label.
+    pub show_costs: bool,
+    /// Rank tasks of equal precedence level on the same row.
+    pub rank_by_level: bool,
+}
+
+impl Default for DotOptions {
+    fn default() -> Self {
+        DotOptions {
+            name: "ptg".into(),
+            show_costs: true,
+            rank_by_level: false,
+        }
+    }
+}
+
+/// Renders the PTG in Graphviz DOT format.
+pub fn to_dot(g: &Ptg, opts: &DotOptions) -> String {
+    let mut out = String::new();
+    writeln!(out, "digraph {} {{", sanitize(&opts.name)).unwrap();
+    writeln!(out, "  rankdir=TB;").unwrap();
+    writeln!(out, "  node [shape=box];").unwrap();
+    for v in g.task_ids() {
+        let t = g.task(v);
+        let label = if opts.show_costs {
+            format!(
+                "{}\\n{:.3} GFLOP, a={:.2}",
+                escape(&t.name),
+                t.flop / 1e9,
+                t.alpha
+            )
+        } else {
+            escape(&t.name)
+        };
+        writeln!(out, "  n{} [label=\"{}\"];", v.0, label).unwrap();
+    }
+    for (a, b) in g.edges() {
+        writeln!(out, "  n{} -> n{};", a.0, b.0).unwrap();
+    }
+    if opts.rank_by_level {
+        let lv = crate::levels::PrecedenceLevels::compute(g);
+        for (_, tasks) in lv.iter() {
+            let ids: Vec<String> = tasks.iter().map(|t| format!("n{}", t.0)).collect();
+            writeln!(out, "  {{ rank=same; {}; }}", ids.join("; ")).unwrap();
+        }
+    }
+    writeln!(out, "}}").unwrap();
+    out
+}
+
+fn sanitize(name: &str) -> String {
+    let cleaned: String = name
+        .chars()
+        .map(|c| if c.is_alphanumeric() || c == '_' { c } else { '_' })
+        .collect();
+    if cleaned.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+        format!("g{cleaned}")
+    } else if cleaned.is_empty() {
+        "ptg".into()
+    } else {
+        cleaned
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::PtgBuilder;
+    use crate::node::TaskId;
+
+    fn tiny() -> Ptg {
+        let mut b = PtgBuilder::new();
+        b.add_task("src", 1e9, 0.1);
+        b.add_task("dst", 2e9, 0.2);
+        b.add_edge(TaskId(0), TaskId(1)).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn dot_lists_all_nodes_and_edges() {
+        let dot = to_dot(&tiny(), &DotOptions::default());
+        assert!(dot.starts_with("digraph ptg {"));
+        assert!(dot.contains("n0 ["));
+        assert!(dot.contains("n1 ["));
+        assert!(dot.contains("n0 -> n1;"));
+        assert!(dot.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn costs_can_be_hidden() {
+        let dot = to_dot(
+            &tiny(),
+            &DotOptions {
+                show_costs: false,
+                ..DotOptions::default()
+            },
+        );
+        assert!(!dot.contains("GFLOP"));
+        assert!(dot.contains("label=\"src\""));
+    }
+
+    #[test]
+    fn rank_by_level_emits_rank_groups() {
+        let dot = to_dot(
+            &tiny(),
+            &DotOptions {
+                rank_by_level: true,
+                ..DotOptions::default()
+            },
+        );
+        assert!(dot.contains("rank=same"));
+    }
+
+    #[test]
+    fn names_are_sanitized() {
+        assert_eq!(sanitize("my graph!"), "my_graph_");
+        assert_eq!(sanitize("1abc"), "g1abc");
+        assert_eq!(sanitize(""), "ptg");
+    }
+
+    #[test]
+    fn labels_are_escaped() {
+        assert_eq!(escape("a\"b\\c"), "a\\\"b\\\\c");
+    }
+}

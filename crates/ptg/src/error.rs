@@ -1,0 +1,54 @@
+//! Error type for PTG construction and queries.
+
+use crate::node::TaskId;
+use std::fmt;
+
+/// Errors raised while building or querying a PTG.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PtgError {
+    /// An edge references a task id that was never added.
+    UnknownTask(TaskId),
+    /// A self-loop `v → v` was requested.
+    SelfLoop(TaskId),
+    /// The same edge was added twice.
+    DuplicateEdge(TaskId, TaskId),
+    /// The finished graph contains a cycle; the payload is one task on it.
+    Cycle(TaskId),
+    /// The graph has no tasks at all.
+    Empty,
+    /// A task payload failed validation (message from [`Task::validate`]).
+    ///
+    /// [`Task::validate`]: crate::node::Task::validate
+    InvalidTask(String),
+}
+
+impl fmt::Display for PtgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PtgError::UnknownTask(id) => write!(f, "unknown task id {id}"),
+            PtgError::SelfLoop(id) => write!(f, "self loop on task {id}"),
+            PtgError::DuplicateEdge(a, b) => write!(f, "duplicate edge {a} -> {b}"),
+            PtgError::Cycle(id) => write!(f, "graph contains a cycle through {id}"),
+            PtgError::Empty => write!(f, "graph contains no tasks"),
+            PtgError::InvalidTask(msg) => write!(f, "invalid task: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for PtgError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_mention_the_offender() {
+        assert!(PtgError::UnknownTask(TaskId(3)).to_string().contains("v3"));
+        assert!(PtgError::SelfLoop(TaskId(1)).to_string().contains("v1"));
+        assert!(PtgError::DuplicateEdge(TaskId(0), TaskId(2))
+            .to_string()
+            .contains("v0 -> v2"));
+        assert!(PtgError::Cycle(TaskId(5)).to_string().contains("v5"));
+        assert!(PtgError::Empty.to_string().contains("no tasks"));
+    }
+}

@@ -1,0 +1,191 @@
+//! The immutable, validated PTG.
+
+use crate::node::{Task, TaskId};
+use serde::{Deserialize, Serialize};
+
+/// An immutable parallel task graph.
+///
+/// Built through [`PtgBuilder`](crate::PtgBuilder), which guarantees:
+///
+/// * the graph is non-empty and acyclic,
+/// * `topo_order` is a valid topological order of all tasks,
+/// * adjacency lists are deduplicated and free of self-loops.
+///
+/// Per-task data (`tasks`, adjacency) is indexed by [`TaskId::index`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Ptg {
+    pub(crate) tasks: Vec<Task>,
+    pub(crate) succ: Vec<Vec<TaskId>>,
+    pub(crate) pred: Vec<Vec<TaskId>>,
+    pub(crate) topo: Vec<TaskId>,
+    pub(crate) edge_count: usize,
+}
+
+impl Ptg {
+    /// Number of tasks `V`.
+    #[inline]
+    pub fn task_count(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// Number of edges `E`.
+    #[inline]
+    pub fn edge_count(&self) -> usize {
+        self.edge_count
+    }
+
+    /// The task payload for `id`.
+    #[inline]
+    pub fn task(&self, id: TaskId) -> &Task {
+        &self.tasks[id.index()]
+    }
+
+    /// All task payloads, indexed by [`TaskId::index`].
+    #[inline]
+    pub fn tasks(&self) -> &[Task] {
+        &self.tasks
+    }
+
+    /// Iterator over all task ids in increasing order.
+    pub fn task_ids(&self) -> impl ExactSizeIterator<Item = TaskId> + '_ {
+        (0..self.tasks.len()).map(TaskId::from_index)
+    }
+
+    /// Direct successors of `id` (tasks depending on it).
+    #[inline]
+    pub fn successors(&self, id: TaskId) -> &[TaskId] {
+        &self.succ[id.index()]
+    }
+
+    /// Direct predecessors of `id` (tasks it depends on).
+    #[inline]
+    pub fn predecessors(&self, id: TaskId) -> &[TaskId] {
+        &self.pred[id.index()]
+    }
+
+    /// In-degree of `id`.
+    #[inline]
+    pub fn in_degree(&self, id: TaskId) -> usize {
+        self.pred[id.index()].len()
+    }
+
+    /// Out-degree of `id`.
+    #[inline]
+    pub fn out_degree(&self, id: TaskId) -> usize {
+        self.succ[id.index()].len()
+    }
+
+    /// A topological order computed at build time (sources first).
+    #[inline]
+    pub fn topo_order(&self) -> &[TaskId] {
+        &self.topo
+    }
+
+    /// Tasks with no predecessors.
+    pub fn sources(&self) -> Vec<TaskId> {
+        self.task_ids().filter(|&v| self.in_degree(v) == 0).collect()
+    }
+
+    /// Tasks with no successors.
+    pub fn sinks(&self) -> Vec<TaskId> {
+        self.task_ids().filter(|&v| self.out_degree(v) == 0).collect()
+    }
+
+    /// True if the graph contains the edge `a → b`.
+    pub fn has_edge(&self, a: TaskId, b: TaskId) -> bool {
+        self.succ[a.index()].contains(&b)
+    }
+
+    /// Iterator over all edges `(from, to)`.
+    pub fn edges(&self) -> impl Iterator<Item = (TaskId, TaskId)> + '_ {
+        self.task_ids()
+            .flat_map(move |v| self.successors(v).iter().map(move |&w| (v, w)))
+    }
+
+    /// Total work of the graph in FLOP.
+    pub fn total_flop(&self) -> f64 {
+        self.tasks.iter().map(|t| t.flop).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::build::PtgBuilder;
+    use crate::node::TaskId;
+
+    fn diamond() -> crate::Ptg {
+        // 0 -> {1, 2} -> 3
+        let mut b = PtgBuilder::new();
+        for i in 0..4 {
+            b.add_task(format!("t{i}"), 1e9, 0.1);
+        }
+        b.add_edge(TaskId(0), TaskId(1)).unwrap();
+        b.add_edge(TaskId(0), TaskId(2)).unwrap();
+        b.add_edge(TaskId(1), TaskId(3)).unwrap();
+        b.add_edge(TaskId(2), TaskId(3)).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn counts_match_construction() {
+        let g = diamond();
+        assert_eq!(g.task_count(), 4);
+        assert_eq!(g.edge_count(), 4);
+        assert_eq!(g.edges().count(), 4);
+    }
+
+    #[test]
+    fn adjacency_is_consistent_both_ways() {
+        let g = diamond();
+        for (a, b) in g.edges() {
+            assert!(g.successors(a).contains(&b));
+            assert!(g.predecessors(b).contains(&a));
+        }
+    }
+
+    #[test]
+    fn sources_and_sinks_of_diamond() {
+        let g = diamond();
+        assert_eq!(g.sources(), vec![TaskId(0)]);
+        assert_eq!(g.sinks(), vec![TaskId(3)]);
+    }
+
+    #[test]
+    fn degrees_of_diamond() {
+        let g = diamond();
+        assert_eq!(g.out_degree(TaskId(0)), 2);
+        assert_eq!(g.in_degree(TaskId(3)), 2);
+        assert_eq!(g.in_degree(TaskId(0)), 0);
+        assert_eq!(g.out_degree(TaskId(3)), 0);
+    }
+
+    #[test]
+    fn has_edge_checks_direction() {
+        let g = diamond();
+        assert!(g.has_edge(TaskId(0), TaskId(1)));
+        assert!(!g.has_edge(TaskId(1), TaskId(0)));
+        assert!(!g.has_edge(TaskId(1), TaskId(2)));
+    }
+
+    #[test]
+    fn total_flop_sums_all_tasks() {
+        let g = diamond();
+        assert!((g.total_flop() - 4e9).abs() < 1e-6);
+    }
+
+    #[test]
+    fn topo_order_respects_edges() {
+        let g = diamond();
+        let pos: Vec<usize> = {
+            let mut pos = vec![0usize; g.task_count()];
+            for (i, &v) in g.topo_order().iter().enumerate() {
+                pos[v.index()] = i;
+            }
+            pos
+        };
+        for (a, b) in g.edges() {
+            assert!(pos[a.index()] < pos[b.index()], "{a} must precede {b}");
+        }
+    }
+
+}

@@ -1,0 +1,165 @@
+//! Precedence levels: the depth of each task measured from the sources.
+//!
+//! The paper's Δ-critical starting heuristic and the MCPA allocation bound
+//! both reason per *precedence level* — "the depth of the nodes from the
+//! source". A task's level is the length (in edges) of the longest path from
+//! any source to it; all sources sit on level 0.
+
+use crate::graph::Ptg;
+use crate::node::TaskId;
+
+/// Per-task precedence level, plus level grouping.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PrecedenceLevels {
+    /// `level[v]` is the depth of task `v` (sources are 0).
+    level: Vec<usize>,
+    /// `groups[l]` lists the tasks on level `l` in increasing id order.
+    groups: Vec<Vec<TaskId>>,
+}
+
+impl PrecedenceLevels {
+    /// Computes precedence levels with one topological sweep, O(V + E).
+    pub fn compute(g: &Ptg) -> Self {
+        let mut level = vec![0usize; g.task_count()];
+        for &v in g.topo_order() {
+            for &p in g.predecessors(v) {
+                level[v.index()] = level[v.index()].max(level[p.index()] + 1);
+            }
+        }
+        let depth = level.iter().copied().max().unwrap_or(0);
+        let mut groups = vec![Vec::new(); depth + 1];
+        for v in g.task_ids() {
+            groups[level[v.index()]].push(v);
+        }
+        PrecedenceLevels { level, groups }
+    }
+
+    /// The level of task `v`.
+    #[inline]
+    pub fn level_of(&self, v: TaskId) -> usize {
+        self.level[v.index()]
+    }
+
+    /// Number of levels (`max level + 1`).
+    #[inline]
+    pub fn level_count(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// Tasks on level `l`.
+    #[inline]
+    pub fn tasks_on_level(&self, l: usize) -> &[TaskId] {
+        &self.groups[l]
+    }
+
+    /// Iterator over `(level, tasks)` pairs, shallowest first.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, &[TaskId])> {
+        self.groups.iter().enumerate().map(|(l, ts)| (l, ts.as_slice()))
+    }
+
+    /// The maximum number of tasks that share one level (the *width* of a
+    /// layered view of the PTG).
+    pub fn max_width(&self) -> usize {
+        self.groups.iter().map(Vec::len).max().unwrap_or(0)
+    }
+
+    /// Raw per-task levels, indexed by [`TaskId::index`].
+    pub fn as_slice(&self) -> &[usize] {
+        &self.level
+    }
+}
+
+/// True if every edge connects adjacent precedence levels, i.e. the PTG is
+/// *layered* in the paper's sense (`jump = 0`).
+pub fn is_layered(g: &Ptg) -> bool {
+    let lv = PrecedenceLevels::compute(g);
+    g.edges()
+        .all(|(a, b)| lv.level_of(b) == lv.level_of(a) + 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::PtgBuilder;
+
+    /// 0 -> 1 -> 3, 0 -> 2 -> 3, 0 -> 3 (jump edge)
+    fn diamond_with_jump() -> Ptg {
+        let mut b = PtgBuilder::new();
+        for i in 0..4 {
+            b.add_task(format!("t{i}"), 1.0, 0.0);
+        }
+        b.add_edge(TaskId(0), TaskId(1)).unwrap();
+        b.add_edge(TaskId(0), TaskId(2)).unwrap();
+        b.add_edge(TaskId(1), TaskId(3)).unwrap();
+        b.add_edge(TaskId(2), TaskId(3)).unwrap();
+        b.add_edge(TaskId(0), TaskId(3)).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn levels_are_longest_paths_from_sources() {
+        let g = diamond_with_jump();
+        let lv = PrecedenceLevels::compute(&g);
+        assert_eq!(lv.level_of(TaskId(0)), 0);
+        assert_eq!(lv.level_of(TaskId(1)), 1);
+        assert_eq!(lv.level_of(TaskId(2)), 1);
+        assert_eq!(lv.level_of(TaskId(3)), 2);
+        assert_eq!(lv.level_count(), 3);
+    }
+
+    #[test]
+    fn groups_partition_all_tasks() {
+        let g = diamond_with_jump();
+        let lv = PrecedenceLevels::compute(&g);
+        let total: usize = (0..lv.level_count()).map(|l| lv.tasks_on_level(l).len()).sum();
+        assert_eq!(total, g.task_count());
+        assert_eq!(lv.tasks_on_level(1), &[TaskId(1), TaskId(2)]);
+    }
+
+    #[test]
+    fn max_width_of_diamond_is_two() {
+        let g = diamond_with_jump();
+        assert_eq!(PrecedenceLevels::compute(&g).max_width(), 2);
+    }
+
+    #[test]
+    fn jump_edges_break_layeredness() {
+        let g = diamond_with_jump();
+        assert!(!is_layered(&g));
+    }
+
+    #[test]
+    fn pure_diamond_is_layered() {
+        let mut b = PtgBuilder::new();
+        for i in 0..4 {
+            b.add_task(format!("t{i}"), 1.0, 0.0);
+        }
+        b.add_edge(TaskId(0), TaskId(1)).unwrap();
+        b.add_edge(TaskId(0), TaskId(2)).unwrap();
+        b.add_edge(TaskId(1), TaskId(3)).unwrap();
+        b.add_edge(TaskId(2), TaskId(3)).unwrap();
+        let g = b.build().unwrap();
+        assert!(is_layered(&g));
+    }
+
+    #[test]
+    fn independent_tasks_all_sit_on_level_zero() {
+        let mut b = PtgBuilder::new();
+        for i in 0..5 {
+            b.add_task(format!("t{i}"), 1.0, 0.0);
+        }
+        let g = b.build().unwrap();
+        let lv = PrecedenceLevels::compute(&g);
+        assert_eq!(lv.level_count(), 1);
+        assert_eq!(lv.max_width(), 5);
+        assert!(is_layered(&g)); // vacuously: no edges
+    }
+
+    #[test]
+    fn iter_yields_levels_in_order() {
+        let g = diamond_with_jump();
+        let lv = PrecedenceLevels::compute(&g);
+        let collected: Vec<usize> = lv.iter().map(|(l, _)| l).collect();
+        assert_eq!(collected, vec![0, 1, 2]);
+    }
+}

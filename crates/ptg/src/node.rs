@@ -1,0 +1,145 @@
+//! Task identifiers and task payloads.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Index of a task within its [`Ptg`](crate::Ptg).
+///
+/// Identifiers are dense: a graph with `n` tasks uses ids `0..n`. They are
+/// only meaningful relative to the graph that produced them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct TaskId(pub u32);
+
+impl TaskId {
+    /// The id as a `usize` index into per-task arrays.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Builds a `TaskId` from a `usize` index.
+    ///
+    /// # Panics
+    /// Panics if `idx` does not fit in `u32` (graphs that large are far
+    /// outside the problem sizes considered here).
+    #[inline]
+    pub fn from_index(idx: usize) -> Self {
+        TaskId(u32::try_from(idx).expect("task index exceeds u32::MAX"))
+    }
+}
+
+impl fmt::Display for TaskId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// A moldable parallel task.
+///
+/// The cost is expressed in floating-point operations, matching the paper's
+/// simulator ("Every task of the PTG has associated costs, measured in number
+/// of floating point operations"). `alpha` is the fraction of
+/// non-parallelizable work used by Amdahl-style models, `0 ≤ alpha ≤ 1`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Task {
+    /// Human-readable label (used by DOT export and Gantt charts).
+    pub name: String,
+    /// Computational cost in FLOP.
+    pub flop: f64,
+    /// Non-parallelizable fraction of the task (Amdahl's `alpha`).
+    pub alpha: f64,
+}
+
+impl Task {
+    /// Creates a task, validating the cost and `alpha` ranges.
+    pub fn new(name: impl Into<String>, flop: f64, alpha: f64) -> Self {
+        let task = Task {
+            name: name.into(),
+            flop,
+            alpha,
+        };
+        task.validate()
+            .unwrap_or_else(|e| panic!("invalid task: {e}"));
+        task
+    }
+
+    /// Checks the invariants `flop > 0` (finite) and `alpha ∈ [0, 1]`.
+    pub fn validate(&self) -> Result<(), String> {
+        if !self.flop.is_finite() || self.flop <= 0.0 {
+            return Err(format!(
+                "task {:?}: flop must be positive and finite, got {}",
+                self.name, self.flop
+            ));
+        }
+        if !self.alpha.is_finite() || !(0.0..=1.0).contains(&self.alpha) {
+            return Err(format!(
+                "task {:?}: alpha must lie in [0, 1], got {}",
+                self.name, self.alpha
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn task_id_round_trips_through_index() {
+        let id = TaskId::from_index(42);
+        assert_eq!(id.index(), 42);
+        assert_eq!(id, TaskId(42));
+    }
+
+    #[test]
+    fn task_id_displays_with_v_prefix() {
+        assert_eq!(TaskId(7).to_string(), "v7");
+    }
+
+    #[test]
+    fn valid_task_passes_validation() {
+        let t = Task::new("mm", 1e9, 0.1);
+        assert!(t.validate().is_ok());
+        assert_eq!(t.name, "mm");
+    }
+
+    #[test]
+    fn zero_flop_is_rejected() {
+        let t = Task {
+            name: "bad".into(),
+            flop: 0.0,
+            alpha: 0.1,
+        };
+        assert!(t.validate().is_err());
+    }
+
+    #[test]
+    fn negative_flop_is_rejected() {
+        let t = Task {
+            name: "bad".into(),
+            flop: -1.0,
+            alpha: 0.1,
+        };
+        assert!(t.validate().is_err());
+    }
+
+    #[test]
+    fn alpha_outside_unit_interval_is_rejected() {
+        for alpha in [-0.1, 1.1, f64::NAN] {
+            let t = Task {
+                name: "bad".into(),
+                flop: 1.0,
+                alpha,
+            };
+            assert!(t.validate().is_err(), "alpha = {alpha} should be invalid");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid task")]
+    fn constructor_panics_on_invalid_input() {
+        let _ = Task::new("bad", f64::INFINITY, 0.0);
+    }
+}

@@ -1,0 +1,140 @@
+//! Topological ordering (Kahn's algorithm) and cycle detection.
+
+use crate::error::PtgError;
+use crate::graph::Ptg;
+use crate::node::TaskId;
+use std::collections::VecDeque;
+
+/// Computes a topological order over raw adjacency lists.
+///
+/// Used by the builder before a [`Ptg`] exists. Returns
+/// [`PtgError::Cycle`] naming one task on a cycle if the graph is cyclic.
+/// The produced order is deterministic: among simultaneously-ready tasks the
+/// one with the smallest id comes first.
+pub(crate) fn topological_order(
+    succ: &[Vec<TaskId>],
+    pred: &[Vec<TaskId>],
+) -> Result<Vec<TaskId>, PtgError> {
+    let n = succ.len();
+    let mut in_deg: Vec<usize> = pred.iter().map(Vec::len).collect();
+    // A binary heap would give strictly sorted ready sets; a FIFO over
+    // ids pushed in increasing order is deterministic too and O(V + E).
+    let mut queue: VecDeque<TaskId> = (0..n)
+        .filter(|&i| in_deg[i] == 0)
+        .map(TaskId::from_index)
+        .collect();
+    let mut order = Vec::with_capacity(n);
+    while let Some(v) = queue.pop_front() {
+        order.push(v);
+        for &w in &succ[v.index()] {
+            in_deg[w.index()] -= 1;
+            if in_deg[w.index()] == 0 {
+                queue.push_back(w);
+            }
+        }
+    }
+    if order.len() != n {
+        // Some task kept a nonzero in-degree: it lies on (or behind) a cycle.
+        let culprit = (0..n)
+            .find(|&i| in_deg[i] > 0)
+            .map(TaskId::from_index)
+            .expect("cycle implies a task with nonzero in-degree");
+        return Err(PtgError::Cycle(culprit));
+    }
+    Ok(order)
+}
+
+/// Verifies that `order` is a permutation of all tasks in which every edge
+/// goes forward. Useful for property tests and debugging.
+pub fn is_valid_topological_order(g: &Ptg, order: &[TaskId]) -> bool {
+    if order.len() != g.task_count() {
+        return false;
+    }
+    let mut pos = vec![usize::MAX; g.task_count()];
+    for (i, &v) in order.iter().enumerate() {
+        if v.index() >= g.task_count() || pos[v.index()] != usize::MAX {
+            return false; // out of range or repeated
+        }
+        pos[v.index()] = i;
+    }
+    g.edges().all(|(a, b)| pos[a.index()] < pos[b.index()])
+}
+
+/// Returns the tasks in reverse topological order (sinks first).
+pub fn reverse_topo_order(g: &Ptg) -> Vec<TaskId> {
+    let mut order = g.topo_order().to_vec();
+    order.reverse();
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::PtgBuilder;
+
+    fn chain(n: usize) -> Ptg {
+        let mut b = PtgBuilder::new();
+        let ids: Vec<_> = (0..n).map(|i| b.add_task(format!("t{i}"), 1.0, 0.0)).collect();
+        for w in ids.windows(2) {
+            b.add_edge(w[0], w[1]).unwrap();
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn chain_orders_sequentially() {
+        let g = chain(6);
+        let order = g.topo_order();
+        assert!(is_valid_topological_order(&g, order));
+        assert_eq!(order.first().copied(), Some(TaskId(0)));
+        assert_eq!(order.last().copied(), Some(TaskId(5)));
+    }
+
+    #[test]
+    fn reverse_order_starts_at_sink() {
+        let g = chain(4);
+        let rev = reverse_topo_order(&g);
+        assert_eq!(rev.first().copied(), Some(TaskId(3)));
+        assert_eq!(rev.last().copied(), Some(TaskId(0)));
+    }
+
+    #[test]
+    fn validator_rejects_wrong_length() {
+        let g = chain(3);
+        assert!(!is_valid_topological_order(&g, &[TaskId(0)]));
+    }
+
+    #[test]
+    fn validator_rejects_repeated_task() {
+        let g = chain(3);
+        assert!(!is_valid_topological_order(
+            &g,
+            &[TaskId(0), TaskId(0), TaskId(2)]
+        ));
+    }
+
+    #[test]
+    fn validator_rejects_backward_edge() {
+        let g = chain(3);
+        assert!(!is_valid_topological_order(
+            &g,
+            &[TaskId(1), TaskId(0), TaskId(2)]
+        ));
+    }
+
+    #[test]
+    fn validator_accepts_any_valid_interleaving() {
+        // fork: 0 -> {1,2,3}
+        let mut b = PtgBuilder::new();
+        let r = b.add_task("r", 1.0, 0.0);
+        let kids: Vec<_> = (0..3).map(|i| b.add_task(format!("k{i}"), 1.0, 0.0)).collect();
+        for &k in &kids {
+            b.add_edge(r, k).unwrap();
+        }
+        let g = b.build().unwrap();
+        assert!(is_valid_topological_order(
+            &g,
+            &[r, kids[2], kids[0], kids[1]]
+        ));
+    }
+}

@@ -1,0 +1,129 @@
+//! Property-based tests for the PTG substrate.
+//!
+//! Strategy: generate random "forward" edge sets over `n` tasks (only edges
+//! `i → j` with `i < j`), which are acyclic by construction, and check that
+//! every derived structure (topological order, precedence levels, bottom
+//! levels, reachability) satisfies its defining invariants.
+
+use proptest::prelude::*;
+use ptg::critpath::{bottom_levels, critical_path, critical_path_length, top_levels};
+use ptg::levels::PrecedenceLevels;
+use ptg::topo::is_valid_topological_order;
+use ptg::{Ptg, PtgBuilder, TaskId};
+
+/// Builds a PTG from a task count and a set of forward edge pairs.
+fn build_graph(n: usize, edges: &[(usize, usize)], times_seed: u64) -> (Ptg, Vec<f64>) {
+    let mut b = PtgBuilder::with_capacity(n);
+    for i in 0..n {
+        // Cheap deterministic pseudo-random costs derived from the seed.
+        let flop = 1e9 * (1.0 + ((times_seed.wrapping_mul(i as u64 + 1) % 97) as f64));
+        b.add_task(format!("t{i}"), flop, 0.1);
+    }
+    for &(i, j) in edges {
+        let _ = b.add_edge_dedup(TaskId::from_index(i), TaskId::from_index(j));
+    }
+    let g = b.build().expect("forward edges are acyclic");
+    let times: Vec<f64> = g.tasks().iter().map(|t| t.flop / 1e9).collect();
+    (g, times)
+}
+
+/// Strategy producing (n, forward edges).
+fn dag_strategy() -> impl Strategy<Value = (usize, Vec<(usize, usize)>)> {
+    (2usize..40).prop_flat_map(|n| {
+        let edge = (0usize..n, 0usize..n).prop_filter_map("forward edge", |(a, b)| {
+            if a < b {
+                Some((a, b))
+            } else if b < a {
+                Some((b, a))
+            } else {
+                None
+            }
+        });
+        (Just(n), proptest::collection::vec(edge, 0..(n * 3)))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn topo_order_is_always_valid((n, edges) in dag_strategy(), seed in 1u64..1000) {
+        let (g, _) = build_graph(n, &edges, seed);
+        prop_assert!(is_valid_topological_order(&g, g.topo_order()));
+    }
+
+    #[test]
+    fn edge_and_task_counts_are_consistent((n, edges) in dag_strategy(), seed in 1u64..1000) {
+        let (g, _) = build_graph(n, &edges, seed);
+        prop_assert_eq!(g.task_count(), n);
+        prop_assert_eq!(g.edges().count(), g.edge_count());
+        let back_edges: usize = g.task_ids().map(|v| g.predecessors(v).len()).sum();
+        prop_assert_eq!(back_edges, g.edge_count());
+    }
+
+    #[test]
+    fn levels_strictly_increase_along_edges((n, edges) in dag_strategy(), seed in 1u64..1000) {
+        let (g, _) = build_graph(n, &edges, seed);
+        let lv = PrecedenceLevels::compute(&g);
+        for (a, b) in g.edges() {
+            prop_assert!(lv.level_of(a) < lv.level_of(b));
+        }
+        // every non-source has a predecessor exactly one level up
+        for v in g.task_ids() {
+            if lv.level_of(v) > 0 {
+                prop_assert!(!g.predecessors(v).is_empty());
+                let best = g.predecessors(v).iter().map(|&p| lv.level_of(p)).max().unwrap();
+                prop_assert_eq!(best + 1, lv.level_of(v));
+            }
+        }
+    }
+
+    #[test]
+    fn bottom_levels_dominate_successors((n, edges) in dag_strategy(), seed in 1u64..1000) {
+        let (g, times) = build_graph(n, &edges, seed);
+        let bl = bottom_levels(&g, &times);
+        for (a, b) in g.edges() {
+            // bl(a) >= t(a) + bl(b)
+            prop_assert!(bl[a.index()] >= times[a.index()] + bl[b.index()] - 1e-9);
+        }
+        for v in g.task_ids() {
+            prop_assert!(bl[v.index()] >= times[v.index()]);
+        }
+    }
+
+    #[test]
+    fn critical_path_realizes_cp_length((n, edges) in dag_strategy(), seed in 1u64..1000) {
+        let (g, times) = build_graph(n, &edges, seed);
+        let cp = critical_path(&g, &times);
+        let len: f64 = cp.iter().map(|v| times[v.index()]).sum();
+        let cp_len = critical_path_length(&g, &times);
+        prop_assert!((len - cp_len).abs() < 1e-6 * cp_len.max(1.0),
+            "path sum {} vs cp length {}", len, cp_len);
+        // consecutive path elements must be actual edges
+        for w in cp.windows(2) {
+            prop_assert!(g.has_edge(w[0], w[1]));
+        }
+    }
+
+    #[test]
+    fn top_plus_bottom_bounded_by_cp((n, edges) in dag_strategy(), seed in 1u64..1000) {
+        let (g, times) = build_graph(n, &edges, seed);
+        let bl = bottom_levels(&g, &times);
+        let tl = top_levels(&g, &times);
+        let cp = critical_path_length(&g, &times);
+        for v in g.task_ids() {
+            prop_assert!(tl[v.index()] + bl[v.index()] <= cp + 1e-6 * cp.max(1.0));
+        }
+    }
+
+    #[test]
+    fn descendants_and_ancestors_are_duals((n, edges) in dag_strategy(), seed in 1u64..1000) {
+        let (g, _) = build_graph(n, &edges, seed);
+        for v in g.task_ids() {
+            for d in ptg::analysis::descendants(&g, v) {
+                prop_assert!(ptg::analysis::ancestors(&g, d).contains(&v));
+                prop_assert!(ptg::analysis::reaches(&g, v, d));
+            }
+        }
+    }
+}

@@ -1,0 +1,222 @@
+//! Gantt-chart rendering (text and SVG) — regenerates the paper's Figure 6.
+
+use crate::schedule::Schedule;
+use ptg::Ptg;
+use std::fmt::Write as _;
+
+/// Renders an ASCII Gantt chart: one row per processor, time binned into
+/// `width` columns. Each cell shows the last two digits of the task id
+/// running there (`.` = idle).
+pub fn ascii_gantt(schedule: &Schedule, width: usize) -> String {
+    assert!(width >= 4, "chart width too small");
+    let makespan = schedule.makespan();
+    let mut out = String::new();
+    if makespan <= 0.0 {
+        return "(empty schedule)\n".into();
+    }
+    let dt = makespan / width as f64;
+    // cell[proc][col] = Some(task)
+    let mut cells: Vec<Vec<Option<u32>>> = vec![vec![None; width]; schedule.processors as usize];
+    for p in &schedule.placements {
+        // Sample the *midpoint* of each column so short tasks still show.
+        let c0 = ((p.start / dt).floor() as usize).min(width - 1);
+        let c1 = ((p.finish / dt).ceil() as usize).clamp(c0 + 1, width);
+        for &q in &p.processors {
+            for cell in &mut cells[q as usize][c0..c1] {
+                *cell = Some(p.task.0);
+            }
+        }
+    }
+    writeln!(out, "time: 0 .. {makespan:.3} s  ({width} cols, {dt:.3} s/col)").unwrap();
+    for (q, row) in cells.iter().enumerate() {
+        write!(out, "P{q:>3} |").unwrap();
+        for cell in row {
+            match cell {
+                Some(t) => write!(out, "{:02}", t % 100).unwrap(),
+                None => out.push_str(" ."),
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Options for SVG rendering.
+#[derive(Debug, Clone)]
+pub struct SvgOptions {
+    /// Chart width in pixels (time axis).
+    pub width_px: u32,
+    /// Height of one processor row in pixels.
+    pub row_px: u32,
+    /// Show task names inside boxes that are wide enough.
+    pub labels: bool,
+}
+
+impl Default for SvgOptions {
+    fn default() -> Self {
+        SvgOptions {
+            width_px: 900,
+            row_px: 12,
+            labels: true,
+        }
+    }
+}
+
+/// Renders the schedule as a standalone SVG document, one horizontal band
+/// per processor, one rectangle per (task, processor-span) with a color
+/// derived from the task id.
+pub fn svg_gantt(g: &Ptg, schedule: &Schedule, opts: &SvgOptions) -> String {
+    let makespan = schedule.makespan().max(1e-12);
+    let w = opts.width_px as f64;
+    let rows = schedule.processors;
+    let h = (rows * opts.row_px) as f64 + 30.0;
+    let mut out = String::new();
+    writeln!(
+        out,
+        r#"<svg xmlns="http://www.w3.org/2000/svg" width="{}" height="{}" viewBox="0 0 {} {}">"#,
+        opts.width_px,
+        h as u32,
+        opts.width_px,
+        h as u32
+    )
+    .unwrap();
+    writeln!(out, r#"<rect width="100%" height="100%" fill="white"/>"#).unwrap();
+    for p in &schedule.placements {
+        let x = p.start / makespan * w;
+        let bw = ((p.finish - p.start) / makespan * w).max(0.5);
+        let color = task_color(p.task.0);
+        // Contiguous processor runs render as one tall rectangle.
+        for run in contiguous_runs(&p.processors) {
+            let y = (run.0 * opts.row_px) as f64;
+            let bh = ((run.1 - run.0 + 1) * opts.row_px) as f64;
+            writeln!(
+                out,
+                r#"<rect x="{x:.2}" y="{y:.2}" width="{bw:.2}" height="{bh:.2}" fill="{color}" stroke="black" stroke-width="0.4"/>"#
+            )
+            .unwrap();
+            if opts.labels && bw > 28.0 && bh >= 10.0 {
+                writeln!(
+                    out,
+                    r#"<text x="{:.2}" y="{:.2}" font-size="8" font-family="monospace">{}</text>"#,
+                    x + 2.0,
+                    y + bh / 2.0 + 3.0,
+                    xml_escape(&g.task(p.task).name)
+                )
+                .unwrap();
+            }
+        }
+    }
+    // time axis
+    let axis_y = (rows * opts.row_px) as f64 + 12.0;
+    writeln!(
+        out,
+        r#"<text x="0" y="{axis_y:.0}" font-size="10" font-family="monospace">0 s</text>"#
+    )
+    .unwrap();
+    writeln!(
+        out,
+        r#"<text x="{:.0}" y="{axis_y:.0}" font-size="10" font-family="monospace" text-anchor="end">{makespan:.2} s</text>"#,
+        w
+    )
+    .unwrap();
+    writeln!(out, "</svg>").unwrap();
+    out
+}
+
+/// Deterministic pastel color per task id.
+fn task_color(id: u32) -> String {
+    // Golden-ratio hue stepping gives well-separated hues.
+    let hue = (id as f64 * 137.507_764) % 360.0;
+    format!("hsl({hue:.0},65%,70%)")
+}
+
+/// Splits a sorted processor list into inclusive contiguous runs.
+fn contiguous_runs(procs: &[u32]) -> Vec<(u32, u32)> {
+    let mut runs = Vec::new();
+    let mut iter = procs.iter().copied();
+    if let Some(first) = iter.next() {
+        let (mut lo, mut hi) = (first, first);
+        for q in iter {
+            if q == hi + 1 {
+                hi = q;
+            } else {
+                runs.push((lo, hi));
+                lo = q;
+                hi = q;
+            }
+        }
+        runs.push((lo, hi));
+    }
+    runs
+}
+
+fn xml_escape(s: &str) -> String {
+    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::allocation::Allocation;
+    use crate::mapper::{ListScheduler, Mapper};
+    use exec_model::{Amdahl, TimeMatrix};
+    use ptg::PtgBuilder;
+
+    fn sample() -> (Ptg, Schedule) {
+        let mut b = PtgBuilder::new();
+        let a = b.add_task("alpha", 2e9, 0.0);
+        let c = b.add_task("beta", 1e9, 0.0);
+        b.add_edge(a, c).unwrap();
+        let g = b.build().unwrap();
+        let m = TimeMatrix::compute(&g, &Amdahl, 1e9, 4);
+        let s = ListScheduler.map(&g, &m, &Allocation::from_vec(vec![2, 4]));
+        (g, s)
+    }
+
+    #[test]
+    fn ascii_chart_has_one_row_per_processor() {
+        let (_, s) = sample();
+        let chart = ascii_gantt(&s, 20);
+        let rows = chart.lines().filter(|l| l.starts_with('P')).count();
+        assert_eq!(rows, 4);
+        assert!(chart.contains("time: 0"));
+    }
+
+    #[test]
+    fn ascii_chart_shows_busy_and_idle_cells() {
+        let (_, s) = sample();
+        let chart = ascii_gantt(&s, 20);
+        assert!(chart.contains("00"), "task 0 visible");
+        assert!(chart.contains("01"), "task 1 visible");
+        assert!(chart.contains(" ."), "idle cells visible (procs 2,3 early)");
+    }
+
+    #[test]
+    fn svg_contains_rect_per_task_run() {
+        let (g, s) = sample();
+        let svg = svg_gantt(&g, &s, &SvgOptions::default());
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.trim_end().ends_with("</svg>"));
+        // task 0 spans procs 0-1 (one run), task 1 spans 0-3 (one run) → ≥ 2 rects + bg
+        assert!(svg.matches("<rect").count() >= 3);
+        assert!(svg.contains("alpha"));
+    }
+
+    #[test]
+    fn contiguous_runs_split_correctly() {
+        assert_eq!(contiguous_runs(&[0, 1, 2]), vec![(0, 2)]);
+        assert_eq!(contiguous_runs(&[0, 2, 3, 7]), vec![(0, 0), (2, 3), (7, 7)]);
+        assert!(contiguous_runs(&[]).is_empty());
+    }
+
+    #[test]
+    fn colors_are_deterministic_and_distinct() {
+        assert_eq!(task_color(3), task_color(3));
+        assert_ne!(task_color(3), task_color(4));
+    }
+
+    #[test]
+    fn xml_escaping() {
+        assert_eq!(xml_escape("a<b>&c"), "a&lt;b&gt;&amp;c");
+    }
+}

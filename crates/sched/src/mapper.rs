@@ -1,0 +1,578 @@
+//! The mapping step: placing allocated tasks onto processors.
+//!
+//! [`ListScheduler`] is the paper's mapping function ("the ready nodes are
+//! sorted by decreasing bottom level and each ready node v is mapped to the
+//! first processor set that contains s(v) available processors"), originally
+//! from Radulescu & van Gemund's CPA. It doubles as the EA's fitness
+//! function, so it has a makespan-only fast path that skips building the
+//! placement lists.
+//!
+//! [`InsertionScheduler`] is a backfilling variant that may start a task in
+//! an earlier idle gap; the paper's future-work section motivates cheaper
+//! mapping functions, and the ablation benches use this one to quantify what
+//! insertion buys.
+
+use crate::allocation::Allocation;
+use crate::schedule::{Placement, Schedule};
+use exec_model::TimeMatrix;
+use ptg::critpath::bottom_levels;
+use ptg::{Ptg, TaskId};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// A mapping algorithm: allocation → schedule.
+pub trait Mapper {
+    /// Produces a full schedule (placements with processor indices).
+    fn map(&self, g: &Ptg, matrix: &TimeMatrix, alloc: &Allocation) -> Schedule;
+
+    /// The schedule's makespan only. Implementations may use a faster path;
+    /// the default maps and measures.
+    fn makespan(&self, g: &Ptg, matrix: &TimeMatrix, alloc: &Allocation) -> f64 {
+        self.map(g, matrix, alloc).makespan()
+    }
+
+    /// Human-readable name for reports.
+    fn name(&self) -> &'static str;
+}
+
+/// Priority-queue entry: larger bottom level first, then smaller task id.
+#[derive(Debug, PartialEq)]
+struct ReadyTask {
+    bl: f64,
+    task: TaskId,
+}
+
+impl Eq for ReadyTask {}
+
+impl Ord for ReadyTask {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap: order by bl ascending so larger bl pops
+        // first, and by *reversed* id so the smaller id pops first on ties.
+        self.bl
+            .partial_cmp(&other.bl)
+            .expect("bottom levels are finite")
+            .then_with(|| other.task.cmp(&self.task))
+    }
+}
+
+impl PartialOrd for ReadyTask {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// The paper's list scheduler (non-insertion, bottom-level priority).
+///
+/// ```
+/// use exec_model::{Amdahl, TimeMatrix};
+/// use ptg::PtgBuilder;
+/// use sched::{Allocation, ListScheduler, Mapper};
+///
+/// let mut b = PtgBuilder::new();
+/// let a = b.add_task("produce", 4e9, 0.0);
+/// let c = b.add_task("consume", 4e9, 0.0);
+/// b.add_edge(a, c).unwrap();
+/// let g = b.build().unwrap();
+///
+/// let matrix = TimeMatrix::compute(&g, &Amdahl, 1e9, 4);
+/// let alloc = Allocation::from_vec(vec![4, 2]);
+/// let schedule = ListScheduler.map(&g, &matrix, &alloc);
+/// // 4 s of work on 4 procs, then 4 s on 2 procs: 1 + 2 = 3 s.
+/// assert_eq!(schedule.makespan(), 3.0);
+/// // The fast path agrees exactly.
+/// assert_eq!(ListScheduler.makespan(&g, &matrix, &alloc), 3.0);
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ListScheduler;
+
+impl ListScheduler {
+    /// Shared setup: per-task times, bottom levels, ready queue seeded with
+    /// the sources.
+    fn prepare(
+        g: &Ptg,
+        matrix: &TimeMatrix,
+        alloc: &Allocation,
+    ) -> (Vec<f64>, BinaryHeap<ReadyTask>, Vec<usize>) {
+        assert_eq!(alloc.len(), g.task_count(), "allocation/PTG size mismatch");
+        assert!(
+            alloc.as_slice().iter().all(|&p| p <= matrix.p_max()),
+            "allocation exceeds platform size"
+        );
+        let times = matrix.times_for(alloc.as_slice());
+        let bl = bottom_levels(g, &times);
+        let in_deg: Vec<usize> = g.task_ids().map(|v| g.in_degree(v)).collect();
+        let mut ready = BinaryHeap::with_capacity(g.task_count());
+        for v in g.task_ids() {
+            if in_deg[v.index()] == 0 {
+                ready.push(ReadyTask {
+                    bl: bl[v.index()],
+                    task: v,
+                });
+            }
+        }
+        (times, ready, in_deg)
+    }
+}
+
+impl Mapper for ListScheduler {
+    fn map(&self, g: &Ptg, matrix: &TimeMatrix, alloc: &Allocation) -> Schedule {
+        let p_total = matrix.p_max();
+        let (times, mut ready, mut in_deg) = Self::prepare(g, matrix, alloc);
+        let bl = bottom_levels(g, &times);
+        let mut avail = vec![0.0f64; p_total as usize];
+        let mut data_ready = vec![0.0f64; g.task_count()];
+        let mut placements = Vec::with_capacity(g.task_count());
+        // Reusable index buffer for selecting the earliest-free processors.
+        let mut order: Vec<u32> = (0..p_total).collect();
+
+        while let Some(ReadyTask { task: v, .. }) = ready.pop() {
+            let s = alloc.of(v) as usize;
+            // "First processor set with s(v) available processors": the s
+            // earliest-free processors, ties broken by processor index.
+            order.sort_unstable_by(|&a, &b| {
+                avail[a as usize]
+                    .partial_cmp(&avail[b as usize])
+                    .expect("availability times are finite")
+                    .then(a.cmp(&b))
+            });
+            let chosen = &order[..s];
+            let procs_free = avail[chosen[s - 1] as usize];
+            let start = data_ready[v.index()].max(procs_free);
+            let finish = start + times[v.index()];
+            let mut processors: Vec<u32> = chosen.to_vec();
+            processors.sort_unstable();
+            for &q in &processors {
+                avail[q as usize] = finish;
+            }
+            placements.push(Placement {
+                task: v,
+                start,
+                finish,
+                processors,
+            });
+            for &w in g.successors(v) {
+                data_ready[w.index()] = data_ready[w.index()].max(finish);
+                in_deg[w.index()] -= 1;
+                if in_deg[w.index()] == 0 {
+                    ready.push(ReadyTask {
+                        bl: bl[w.index()],
+                        task: w,
+                    });
+                }
+            }
+        }
+        Schedule::new(p_total, placements)
+    }
+
+    /// Makespan-only evaluation.
+    ///
+    /// Identical placement decisions as [`Mapper::map`], but processor
+    /// availability is kept in a min-heap of free times instead of an
+    /// indexed array: picking the `s` earliest-free processors is popping
+    /// `s` entries, and starting a task pushes back `s` copies of its finish
+    /// time. This drops the O(P log P) sort per task to O(s log P) and skips
+    /// all placement bookkeeping — this is the EA's inner loop.
+    fn makespan(&self, g: &Ptg, matrix: &TimeMatrix, alloc: &Allocation) -> f64 {
+        let p_total = matrix.p_max();
+        let (times, mut ready, mut in_deg) = Self::prepare(g, matrix, alloc);
+        let bl = bottom_levels(g, &times);
+        // Min-heap of processor free times via Reverse-ordered floats.
+        let mut avail: BinaryHeap<std::cmp::Reverse<OrderedF64>> =
+            (0..p_total).map(|_| std::cmp::Reverse(OrderedF64(0.0))).collect();
+        let mut data_ready = vec![0.0f64; g.task_count()];
+        let mut popped = Vec::with_capacity(p_total as usize);
+        let mut makespan = 0.0f64;
+
+        while let Some(ReadyTask { task: v, .. }) = ready.pop() {
+            let s = alloc.of(v) as usize;
+            popped.clear();
+            for _ in 0..s {
+                popped.push(avail.pop().expect("alloc ≤ P ensured by prepare").0 .0);
+            }
+            let procs_free = *popped.last().expect("s ≥ 1");
+            let start = data_ready[v.index()].max(procs_free);
+            let finish = start + times[v.index()];
+            for _ in 0..s {
+                avail.push(std::cmp::Reverse(OrderedF64(finish)));
+            }
+            makespan = makespan.max(finish);
+            for &w in g.successors(v) {
+                data_ready[w.index()] = data_ready[w.index()].max(finish);
+                in_deg[w.index()] -= 1;
+                if in_deg[w.index()] == 0 {
+                    ready.push(ReadyTask {
+                        bl: bl[w.index()],
+                        task: w,
+                    });
+                }
+            }
+        }
+        makespan
+    }
+
+    fn name(&self) -> &'static str {
+        "list"
+    }
+}
+
+impl ListScheduler {
+    /// Makespan evaluation with early rejection — the paper's proposed
+    /// future-work optimization ("reject solutions if the current schedule
+    /// does not meet certain conditions while the algorithm is still in the
+    /// mapping phase", §VI).
+    ///
+    /// Returns `None` as soon as the partial schedule *provably* exceeds
+    /// `cutoff`: when a task starts at time `t`, the final makespan is at
+    /// least `t + bl(v)` (its bottom level still has to execute), so the
+    /// construction can stop without finishing the schedule. For a task
+    /// mapped below the cutoff the bound is exact at the sink, hence
+    /// `makespan_bounded(..., f64::INFINITY)` always returns
+    /// `Some(makespan)` equal to [`Mapper::makespan`].
+    pub fn makespan_bounded(
+        &self,
+        g: &Ptg,
+        matrix: &TimeMatrix,
+        alloc: &Allocation,
+        cutoff: f64,
+    ) -> Option<f64> {
+        let p_total = matrix.p_max();
+        let (times, mut ready, mut in_deg) = Self::prepare(g, matrix, alloc);
+        let bl = bottom_levels(g, &times);
+        let mut avail: BinaryHeap<std::cmp::Reverse<OrderedF64>> =
+            (0..p_total).map(|_| std::cmp::Reverse(OrderedF64(0.0))).collect();
+        let mut data_ready = vec![0.0f64; g.task_count()];
+        let mut popped = Vec::with_capacity(p_total as usize);
+        let mut makespan = 0.0f64;
+
+        while let Some(ReadyTask { task: v, .. }) = ready.pop() {
+            let s = alloc.of(v) as usize;
+            popped.clear();
+            for _ in 0..s {
+                popped.push(avail.pop().expect("alloc ≤ P ensured by prepare").0 .0);
+            }
+            let start = data_ready[v.index()].max(*popped.last().expect("s ≥ 1"));
+            // Rejection test: everything on v's bottom-level path still has
+            // to run after `start`. The small relative slack keeps the test
+            // sound under floating-point reassociation — `start + bl` can
+            // exceed the true makespan by an ulp because the bottom level
+            // sums task times in a different order than the schedule
+            // accumulates them, and a schedule exactly at the cutoff must
+            // not be rejected.
+            if start + bl[v.index()] > cutoff * (1.0 + 1e-9) {
+                return None;
+            }
+            let finish = start + times[v.index()];
+            for _ in 0..s {
+                avail.push(std::cmp::Reverse(OrderedF64(finish)));
+            }
+            makespan = makespan.max(finish);
+            for &w in g.successors(v) {
+                data_ready[w.index()] = data_ready[w.index()].max(finish);
+                in_deg[w.index()] -= 1;
+                if in_deg[w.index()] == 0 {
+                    ready.push(ReadyTask {
+                        bl: bl[w.index()],
+                        task: w,
+                    });
+                }
+            }
+        }
+        Some(makespan)
+    }
+}
+
+/// Total-ordered wrapper for finite f64 heap keys.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct OrderedF64(f64);
+
+impl Eq for OrderedF64 {}
+impl PartialOrd for OrderedF64 {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for OrderedF64 {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.0.partial_cmp(&other.0).expect("finite times")
+    }
+}
+
+/// Insertion-based (backfilling) list scheduler.
+///
+/// Tasks are considered in the same bottom-level order, but each task may be
+/// inserted into the earliest time window, possibly *before* previously
+/// placed work, as long as `s(v)` processors are simultaneously idle for its
+/// whole duration.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct InsertionScheduler;
+
+impl Mapper for InsertionScheduler {
+    fn map(&self, g: &Ptg, matrix: &TimeMatrix, alloc: &Allocation) -> Schedule {
+        let p_total = matrix.p_max() as usize;
+        let (times, mut ready, mut in_deg) = ListScheduler::prepare(g, matrix, alloc);
+        let bl = bottom_levels(g, &times);
+        // Per-processor busy intervals, kept sorted by start time.
+        let mut busy: Vec<Vec<(f64, f64)>> = vec![Vec::new(); p_total];
+        let mut data_ready = vec![0.0f64; g.task_count()];
+        let mut placements = Vec::with_capacity(g.task_count());
+
+        while let Some(ReadyTask { task: v, .. }) = ready.pop() {
+            let s = alloc.of(v) as usize;
+            let d = times[v.index()];
+            let r = data_ready[v.index()];
+            // Candidate start times: the ready time and every interval end
+            // after it. The earliest feasible candidate wins.
+            let mut candidates: Vec<f64> = vec![r];
+            for iv in busy.iter().flatten() {
+                if iv.1 > r {
+                    candidates.push(iv.1);
+                }
+            }
+            candidates.sort_unstable_by(|a, b| a.partial_cmp(b).expect("finite times"));
+            candidates.dedup();
+            let mut placed: Option<(f64, Vec<u32>)> = None;
+            for &t in &candidates {
+                let free: Vec<u32> = (0..p_total)
+                    .filter(|&q| is_free(&busy[q], t, t + d))
+                    .map(|q| q as u32)
+                    .collect();
+                if free.len() >= s {
+                    placed = Some((t, free[..s].to_vec()));
+                    break;
+                }
+            }
+            let (start, processors) =
+                placed.expect("the time after all work finishes is always feasible");
+            let finish = start + d;
+            for &q in &processors {
+                let list = &mut busy[q as usize];
+                let pos = list
+                    .binary_search_by(|iv| iv.0.partial_cmp(&start).expect("finite times"))
+                    .unwrap_or_else(|e| e);
+                list.insert(pos, (start, finish));
+            }
+            placements.push(Placement {
+                task: v,
+                start,
+                finish,
+                processors,
+            });
+            for &w in g.successors(v) {
+                data_ready[w.index()] = data_ready[w.index()].max(finish);
+                in_deg[w.index()] -= 1;
+                if in_deg[w.index()] == 0 {
+                    ready.push(ReadyTask {
+                        bl: bl[w.index()],
+                        task: w,
+                    });
+                }
+            }
+        }
+        Schedule::new(p_total as u32, placements)
+    }
+
+    fn name(&self) -> &'static str {
+        "insertion"
+    }
+}
+
+/// True if processor `q` (busy intervals sorted by start) is idle during the
+/// whole window `[start, finish)`.
+fn is_free(busy: &[(f64, f64)], start: f64, finish: f64) -> bool {
+    busy.iter().all(|&(s, f)| finish <= s || f <= start)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use exec_model::Amdahl;
+    use ptg::PtgBuilder;
+
+    /// Fork-join: src -> {a, b, c} -> sink, all 1 GFLOP fully parallel,
+    /// on a 4-processor 1 GFLOPS platform.
+    fn fork_join() -> Ptg {
+        let mut b = PtgBuilder::new();
+        let src = b.add_task("src", 1e9, 0.0);
+        let mids: Vec<_> = (0..3).map(|i| b.add_task(format!("m{i}"), 1e9, 0.0)).collect();
+        let sink = b.add_task("sink", 1e9, 0.0);
+        for &m in &mids {
+            b.add_edge(src, m).unwrap();
+            b.add_edge(m, sink).unwrap();
+        }
+        b.build().unwrap()
+    }
+
+    fn matrix(g: &Ptg, p: u32) -> TimeMatrix {
+        TimeMatrix::compute(g, &Amdahl, 1e9, p)
+    }
+
+    #[test]
+    fn sequential_allocation_runs_middles_concurrently() {
+        let g = fork_join();
+        let m = matrix(&g, 4);
+        let s = ListScheduler.map(&g, &m, &Allocation::ones(5));
+        // src: 1s; three mids in parallel on 3 procs: 1s; sink: 1s → 3s.
+        assert!((s.makespan() - 3.0).abs() < 1e-9, "got {}", s.makespan());
+    }
+
+    #[test]
+    fn wide_allocation_serializes_middles() {
+        let g = fork_join();
+        let m = matrix(&g, 4);
+        // Middles take all 4 procs each: 0.25 s each but serialized.
+        let alloc = Allocation::from_vec(vec![4, 4, 4, 4, 4]);
+        let s = ListScheduler.map(&g, &m, &alloc);
+        // src 0.25 + 3 × 0.25 + sink 0.25 = 1.25 s
+        assert!((s.makespan() - 1.25).abs() < 1e-9, "got {}", s.makespan());
+    }
+
+    #[test]
+    fn fast_makespan_matches_full_map() {
+        let g = fork_join();
+        let m = matrix(&g, 4);
+        for alloc in [
+            Allocation::ones(5),
+            Allocation::from_vec(vec![4, 2, 1, 3, 4]),
+            Allocation::from_vec(vec![2, 2, 2, 2, 2]),
+        ] {
+            let full = ListScheduler.map(&g, &m, &alloc).makespan();
+            let fast = ListScheduler.makespan(&g, &m, &alloc);
+            assert!((full - fast).abs() < 1e-9, "alloc {alloc:?}: {full} vs {fast}");
+        }
+    }
+
+    #[test]
+    fn schedules_are_valid() {
+        let g = fork_join();
+        let m = matrix(&g, 4);
+        let alloc = Allocation::from_vec(vec![3, 2, 2, 1, 4]);
+        for mapper in [&ListScheduler as &dyn Mapper, &InsertionScheduler] {
+            let s = mapper.map(&g, &m, &alloc);
+            crate::validate::validate_schedule(&g, &m, &alloc, &s)
+                .unwrap_or_else(|e| panic!("{}: {e}", mapper.name()));
+        }
+    }
+
+    #[test]
+    fn insertion_never_loses_to_list_on_samples() {
+        let g = fork_join();
+        let m = matrix(&g, 4);
+        for alloc in [
+            Allocation::ones(5),
+            Allocation::from_vec(vec![4, 3, 1, 1, 2]),
+            Allocation::from_vec(vec![1, 4, 4, 1, 1]),
+        ] {
+            let list = ListScheduler.map(&g, &m, &alloc).makespan();
+            let ins = InsertionScheduler.map(&g, &m, &alloc).makespan();
+            assert!(ins <= list + 1e-9, "insertion worse: {ins} vs {list}");
+        }
+    }
+
+    #[test]
+    fn insertion_backfills_into_gaps() {
+        // Two independent chains force a gap for the list scheduler:
+        //   a1(long, all procs) ; b1(short,1p) -> b2(short,1p)
+        // With priorities, list runs a1 first on all procs; insertion can
+        // squeeze b-chain before/alongside.
+        let mut b = PtgBuilder::new();
+        let a1 = b.add_task("a1", 8e9, 0.0); // 2s on 4 procs
+        let b1 = b.add_task("b1", 1e9, 0.0);
+        let b2 = b.add_task("b2", 1e9, 0.0);
+        b.add_edge(b1, b2).unwrap();
+        let g = b.build().unwrap();
+        let m = matrix(&g, 4);
+        let alloc = Allocation::from_vec(vec![4, 1, 1]);
+        let list = ListScheduler.map(&g, &m, &alloc).makespan();
+        let ins = InsertionScheduler.map(&g, &m, &alloc).makespan();
+        assert!(ins <= list + 1e-9);
+        let _ = a1;
+    }
+
+    #[test]
+    fn priority_prefers_larger_bottom_level() {
+        // Two ready tasks, one processor: the one heading the longer chain
+        // must run first.
+        let mut b = PtgBuilder::new();
+        let short = b.add_task("short", 1e9, 0.0);
+        let long_head = b.add_task("lh", 1e9, 0.0);
+        let long_tail = b.add_task("lt", 5e9, 0.0);
+        b.add_edge(long_head, long_tail).unwrap();
+        let g = b.build().unwrap();
+        let m = matrix(&g, 1);
+        let s = ListScheduler.map(&g, &m, &Allocation::ones(3));
+        assert!(s.placement(long_head).start < s.placement(short).start);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let g = fork_join();
+        let m = matrix(&g, 4);
+        let alloc = Allocation::from_vec(vec![2, 3, 1, 2, 4]);
+        let s1 = ListScheduler.map(&g, &m, &alloc);
+        let s2 = ListScheduler.map(&g, &m, &alloc);
+        assert_eq!(s1, s2);
+    }
+
+    #[test]
+    fn bounded_makespan_with_infinite_cutoff_matches_exact() {
+        let g = fork_join();
+        let m = matrix(&g, 4);
+        for alloc in [
+            Allocation::ones(5),
+            Allocation::from_vec(vec![4, 2, 1, 3, 4]),
+        ] {
+            let exact = ListScheduler.makespan(&g, &m, &alloc);
+            let bounded = ListScheduler
+                .makespan_bounded(&g, &m, &alloc, f64::INFINITY)
+                .expect("infinite cutoff never rejects");
+            assert!((exact - bounded).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn bounded_makespan_rejects_above_cutoff_and_accepts_below() {
+        let g = fork_join();
+        let m = matrix(&g, 4);
+        let alloc = Allocation::ones(5);
+        let exact = ListScheduler.makespan(&g, &m, &alloc);
+        assert_eq!(
+            ListScheduler.makespan_bounded(&g, &m, &alloc, exact * 0.9),
+            None,
+            "cutoff below the real makespan must reject"
+        );
+        let accepted = ListScheduler.makespan_bounded(&g, &m, &alloc, exact * 1.1);
+        assert_eq!(accepted, Some(exact));
+        // cutoff exactly at the makespan: bound start+bl never exceeds it
+        assert_eq!(
+            ListScheduler.makespan_bounded(&g, &m, &alloc, exact),
+            Some(exact)
+        );
+    }
+
+    #[test]
+    fn rejection_is_sound_never_rejects_schedules_within_cutoff() {
+        // For a spread of allocations, whenever the exact makespan is within
+        // the cutoff, the bounded version must return it.
+        let g = fork_join();
+        let m = matrix(&g, 4);
+        for a0 in 1..=4u32 {
+            for a2 in 1..=4u32 {
+                let alloc = Allocation::from_vec(vec![a0, 2, a2, 1, 3]);
+                let exact = ListScheduler.makespan(&g, &m, &alloc);
+                for cutoff_factor in [1.0, 1.5, 3.0] {
+                    let cutoff = exact * cutoff_factor;
+                    let got = ListScheduler.makespan_bounded(&g, &m, &alloc, cutoff);
+                    assert_eq!(got, Some(exact), "alloc {alloc:?} cutoff {cutoff}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "allocation exceeds platform")]
+    fn over_allocation_panics() {
+        let g = fork_join();
+        let m = matrix(&g, 4);
+        let _ = ListScheduler.map(&g, &m, &Allocation::from_vec(vec![5, 1, 1, 1, 1]));
+    }
+}

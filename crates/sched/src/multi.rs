@@ -1,0 +1,331 @@
+//! Multi-cluster scheduling (extension).
+//!
+//! Extends the two-step framework to [`platform::grid::Grid`] platforms:
+//! a task is *assigned* to one cluster and *allocated* some of its
+//! processors; the mapper keeps one availability pool per cluster. This is
+//! the setting HCPA was designed for — the single-cluster algorithms of
+//! this workspace are the degenerate case of a one-cluster grid.
+
+use crate::schedule::Placement;
+use exec_model::{ExecutionTimeModel, TimeMatrix};
+use platform::grid::Grid;
+use ptg::critpath::bottom_levels;
+use ptg::{Ptg, TaskId};
+use serde::{Deserialize, Serialize};
+
+/// Pre-computed time matrices, one per cluster of a grid.
+#[derive(Debug, Clone)]
+pub struct GridTimeMatrix {
+    per_cluster: Vec<TimeMatrix>,
+}
+
+impl GridTimeMatrix {
+    /// Evaluates `model` for every task at every width on every cluster.
+    pub fn compute<M: ExecutionTimeModel + ?Sized>(g: &Ptg, model: &M, grid: &Grid) -> Self {
+        GridTimeMatrix {
+            per_cluster: grid
+                .clusters
+                .iter()
+                .map(|c| TimeMatrix::compute(g, model, c.speed_flops(), c.processors))
+                .collect(),
+        }
+    }
+
+    /// The time matrix of cluster `k`.
+    pub fn cluster(&self, k: usize) -> &TimeMatrix {
+        &self.per_cluster[k]
+    }
+
+    /// Number of clusters covered.
+    pub fn cluster_count(&self) -> usize {
+        self.per_cluster.len()
+    }
+}
+
+/// Per-task grid allocation: which cluster, how many of its processors.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GridAllocation {
+    /// `(cluster index, processor count)` per task.
+    pub per_task: Vec<(u32, u32)>,
+}
+
+impl GridAllocation {
+    /// Validates against a grid: cluster indices in range, widths within
+    /// the chosen cluster.
+    pub fn is_valid_for(&self, g: &Ptg, grid: &Grid) -> bool {
+        self.per_task.len() == g.task_count()
+            && self.per_task.iter().all(|&(k, p)| {
+                (k as usize) < grid.cluster_count()
+                    && p >= 1
+                    && p <= grid.clusters[k as usize].processors
+            })
+    }
+}
+
+/// One task's placement on a grid.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GridPlacement {
+    /// Cluster executing the task.
+    pub cluster: u32,
+    /// The within-cluster placement (processor indices are local to the
+    /// cluster).
+    pub placement: Placement,
+}
+
+/// A complete multi-cluster schedule.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GridSchedule {
+    /// One entry per task, indexed by [`TaskId::index`].
+    pub placements: Vec<GridPlacement>,
+}
+
+impl GridSchedule {
+    /// The schedule's makespan.
+    pub fn makespan(&self) -> f64 {
+        self.placements
+            .iter()
+            .map(|p| p.placement.finish)
+            .fold(0.0, f64::max)
+    }
+
+    /// The placement of task `v`.
+    pub fn placement(&self, v: TaskId) -> &GridPlacement {
+        &self.placements[v.index()]
+    }
+}
+
+/// List scheduling over a grid: ready tasks by decreasing bottom level;
+/// each task starts on its assigned cluster's earliest-free processors.
+///
+/// Bottom levels use each task's time on its *assigned* cluster and width,
+/// mirroring the single-cluster mapper exactly.
+pub fn map_on_grid(
+    g: &Ptg,
+    matrices: &GridTimeMatrix,
+    alloc: &GridAllocation,
+    grid: &Grid,
+) -> GridSchedule {
+    assert!(alloc.is_valid_for(g, grid), "invalid grid allocation");
+    let times: Vec<f64> = alloc
+        .per_task
+        .iter()
+        .enumerate()
+        .map(|(i, &(k, p))| matrices.cluster(k as usize).time(TaskId::from_index(i), p))
+        .collect();
+    let bl = bottom_levels(g, &times);
+    let mut in_deg: Vec<usize> = g.task_ids().map(|v| g.in_degree(v)).collect();
+    let mut ready: Vec<TaskId> = g.task_ids().filter(|&v| in_deg[v.index()] == 0).collect();
+    let mut avail: Vec<Vec<f64>> = grid
+        .clusters
+        .iter()
+        .map(|c| vec![0.0; c.processors as usize])
+        .collect();
+    let mut data_ready = vec![0.0f64; g.task_count()];
+    let mut placements: Vec<Option<GridPlacement>> = vec![None; g.task_count()];
+
+    while !ready.is_empty() {
+        // Highest bottom level first; ties by smaller id.
+        let (idx, _) = ready
+            .iter()
+            .enumerate()
+            .max_by(|a, b| {
+                bl[a.1.index()]
+                    .partial_cmp(&bl[b.1.index()])
+                    .expect("finite bottom levels")
+                    .then(b.1.cmp(a.1))
+            })
+            .expect("ready set non-empty");
+        let v = ready.swap_remove(idx);
+        let (k, width) = alloc.per_task[v.index()];
+        let pool = &mut avail[k as usize];
+        let mut order: Vec<u32> = (0..pool.len() as u32).collect();
+        order.sort_unstable_by(|&a, &b| {
+            pool[a as usize]
+                .partial_cmp(&pool[b as usize])
+                .expect("finite availability")
+                .then(a.cmp(&b))
+        });
+        let chosen = &order[..width as usize];
+        let start = data_ready[v.index()].max(pool[chosen[width as usize - 1] as usize]);
+        let finish = start + times[v.index()];
+        let mut processors: Vec<u32> = chosen.to_vec();
+        processors.sort_unstable();
+        for &q in &processors {
+            pool[q as usize] = finish;
+        }
+        placements[v.index()] = Some(GridPlacement {
+            cluster: k,
+            placement: Placement {
+                task: v,
+                start,
+                finish,
+                processors,
+            },
+        });
+        for &w in g.successors(v) {
+            data_ready[w.index()] = data_ready[w.index()].max(finish);
+            in_deg[w.index()] -= 1;
+            if in_deg[w.index()] == 0 {
+                ready.push(w);
+            }
+        }
+    }
+    GridSchedule {
+        placements: placements
+            .into_iter()
+            .map(|p| p.expect("all tasks scheduled"))
+            .collect(),
+    }
+}
+
+/// Validates a grid schedule: dependencies respected; within every
+/// cluster, no processor runs two overlapping tasks.
+pub fn validate_grid_schedule(g: &Ptg, grid: &Grid, schedule: &GridSchedule) -> Result<(), String> {
+    if schedule.placements.len() != g.task_count() {
+        return Err(format!(
+            "schedule covers {} tasks, PTG has {}",
+            schedule.placements.len(),
+            g.task_count()
+        ));
+    }
+    for (a, b) in g.edges() {
+        let fa = schedule.placement(a).placement.finish;
+        let sb = schedule.placement(b).placement.start;
+        if sb + 1e-9 * fa.max(1.0) < fa {
+            return Err(format!("{b} starts before predecessor {a} finishes"));
+        }
+    }
+    for (k, cluster) in grid.clusters.iter().enumerate() {
+        let mut per_proc: Vec<Vec<(f64, f64)>> = vec![Vec::new(); cluster.processors as usize];
+        for gp in &schedule.placements {
+            if gp.cluster as usize != k {
+                continue;
+            }
+            for &q in &gp.placement.processors {
+                per_proc[q as usize].push((gp.placement.start, gp.placement.finish));
+            }
+        }
+        for (q, intervals) in per_proc.iter_mut().enumerate() {
+            intervals.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite times"));
+            for w in intervals.windows(2) {
+                if w[1].0 + 1e-9 * w[0].1.max(1.0) < w[0].1 {
+                    return Err(format!("overlap on cluster {k} processor {q}"));
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use exec_model::Amdahl;
+    use platform::grid::grid5000_pair;
+    use platform::Cluster;
+    use ptg::PtgBuilder;
+
+    fn fork(workers: usize) -> Ptg {
+        let mut b = PtgBuilder::new();
+        let src = b.add_task("src", 1e9, 0.0);
+        for i in 0..workers {
+            let w = b.add_task(format!("w{i}"), 8e9, 0.0);
+            b.add_edge(src, w).unwrap();
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn grid_mapping_produces_valid_schedules() {
+        let g = fork(4);
+        let grid = grid5000_pair();
+        let m = GridTimeMatrix::compute(&g, &Amdahl, &grid);
+        // src on Chti; two workers per cluster
+        let alloc = GridAllocation {
+            per_task: vec![(0, 4), (0, 8), (0, 8), (1, 16), (1, 16)],
+        };
+        let s = map_on_grid(&g, &m, &alloc, &grid);
+        validate_grid_schedule(&g, &grid, &s).unwrap();
+        assert!(s.makespan() > 0.0);
+    }
+
+    #[test]
+    fn one_cluster_grid_matches_the_flat_mapper() {
+        use crate::{Allocation, ListScheduler, Mapper};
+        let g = fork(3);
+        let cluster = Cluster::new("only", 8, 2.0);
+        let grid = Grid::new("solo", vec![cluster.clone()]);
+        let gm = GridTimeMatrix::compute(&g, &Amdahl, &grid);
+        let flat_m = TimeMatrix::compute(&g, &Amdahl, cluster.speed_flops(), cluster.processors);
+        let widths = [2u32, 4, 1, 3];
+        let grid_alloc = GridAllocation {
+            per_task: widths.iter().map(|&p| (0, p)).collect(),
+        };
+        let flat_alloc = Allocation::from_vec(widths.to_vec());
+        let grid_ms = map_on_grid(&g, &gm, &grid_alloc, &grid).makespan();
+        let flat_ms = ListScheduler.makespan(&g, &flat_m, &flat_alloc);
+        assert!((grid_ms - flat_ms).abs() < 1e-9, "{grid_ms} vs {flat_ms}");
+    }
+
+    #[test]
+    fn clusters_work_concurrently() {
+        // Two independent heavy tasks on different clusters overlap in time.
+        let mut b = PtgBuilder::new();
+        b.add_task("a", 8e9, 0.0);
+        b.add_task("b", 8e9, 0.0);
+        let g = b.build().unwrap();
+        let grid = grid5000_pair();
+        let m = GridTimeMatrix::compute(&g, &Amdahl, &grid);
+        let alloc = GridAllocation {
+            per_task: vec![(0, 20), (1, 120)],
+        };
+        let s = map_on_grid(&g, &m, &alloc, &grid);
+        let a = &s.placement(TaskId(0)).placement;
+        let c = &s.placement(TaskId(1)).placement;
+        assert_eq!(a.start, 0.0);
+        assert_eq!(c.start, 0.0, "different clusters need not serialize");
+    }
+
+    #[test]
+    fn invalid_cluster_index_is_rejected() {
+        let g = fork(1);
+        let grid = grid5000_pair();
+        let alloc = GridAllocation {
+            per_task: vec![(5, 1), (0, 1)],
+        };
+        assert!(!alloc.is_valid_for(&g, &grid));
+    }
+
+    #[test]
+    fn validator_catches_dependency_violation() {
+        let mut b = PtgBuilder::new();
+        let a = b.add_task("a", 1e9, 0.0);
+        let c = b.add_task("c", 1e9, 0.0);
+        b.add_edge(a, c).unwrap();
+        let g = b.build().unwrap();
+        let grid = grid5000_pair();
+        let bad = GridSchedule {
+            placements: vec![
+                GridPlacement {
+                    cluster: 0,
+                    placement: Placement {
+                        task: a,
+                        start: 0.0,
+                        finish: 1.0,
+                        processors: vec![0],
+                    },
+                },
+                GridPlacement {
+                    cluster: 1,
+                    placement: Placement {
+                        task: c,
+                        start: 0.5,
+                        finish: 1.5,
+                        processors: vec![0],
+                    },
+                },
+            ],
+        };
+        assert!(validate_grid_schedule(&g, &grid, &bad).is_err());
+    }
+}

@@ -1,0 +1,138 @@
+//! Property-based tests for the mapping step.
+//!
+//! For random DAGs and random allocations, both mappers must produce valid
+//! schedules whose makespans respect the two classic lower bounds (critical
+//! path and total-area / P), and the list scheduler's fast makespan-only
+//! path must agree exactly with the full mapping.
+
+use proptest::prelude::*;
+use ptg::critpath::critical_path_length;
+use ptg::{Ptg, PtgBuilder, TaskId};
+use sched::validate::all_violations;
+use sched::{Allocation, InsertionScheduler, ListScheduler, Mapper};
+
+use exec_model::{Amdahl, SyntheticModel, TimeMatrix};
+
+fn build_graph(n: usize, edges: &[(usize, usize)]) -> Ptg {
+    let mut b = PtgBuilder::with_capacity(n);
+    for i in 0..n {
+        let flop = 1e9 * (1 + (i * 7919) % 23) as f64;
+        let alpha = ((i * 31) % 26) as f64 / 100.0; // 0 .. 0.25
+        b.add_task(format!("t{i}"), flop, alpha);
+    }
+    for &(i, j) in edges {
+        let _ = b.add_edge_dedup(TaskId::from_index(i), TaskId::from_index(j));
+    }
+    b.build().expect("forward edges are acyclic")
+}
+
+fn scenario() -> impl Strategy<Value = (usize, Vec<(usize, usize)>, u32, Vec<u32>)> {
+    (2usize..25).prop_flat_map(|n| {
+        let edge = (0usize..n, 0usize..n)
+            .prop_filter_map("fwd", |(a, b)| match a.cmp(&b) {
+                std::cmp::Ordering::Less => Some((a, b)),
+                std::cmp::Ordering::Greater => Some((b, a)),
+                std::cmp::Ordering::Equal => None,
+            });
+        (2u32..20).prop_flat_map(move |p| {
+            (
+                Just(n),
+                proptest::collection::vec(edge.clone(), 0..n * 2),
+                Just(p),
+                proptest::collection::vec(1u32..=p, n),
+            )
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn both_mappers_produce_valid_schedules((n, edges, p, alloc) in scenario()) {
+        let g = build_graph(n, &edges);
+        let m = TimeMatrix::compute(&g, &SyntheticModel::default(), 1e9, p);
+        let alloc = Allocation::from_vec(alloc);
+        for mapper in [&ListScheduler as &dyn Mapper, &InsertionScheduler] {
+            let s = mapper.map(&g, &m, &alloc);
+            let v = all_violations(&g, &m, &alloc, &s);
+            prop_assert!(v.is_empty(), "{}: {:?}", mapper.name(), v);
+        }
+    }
+
+    #[test]
+    fn fast_makespan_equals_full_map((n, edges, p, alloc) in scenario()) {
+        let g = build_graph(n, &edges);
+        let m = TimeMatrix::compute(&g, &Amdahl, 1e9, p);
+        let alloc = Allocation::from_vec(alloc);
+        let full = ListScheduler.map(&g, &m, &alloc).makespan();
+        let fast = ListScheduler.makespan(&g, &m, &alloc);
+        prop_assert!((full - fast).abs() <= 1e-9 * full.max(1.0), "{full} vs {fast}");
+    }
+
+    #[test]
+    fn makespan_respects_lower_bounds((n, edges, p, alloc) in scenario()) {
+        let g = build_graph(n, &edges);
+        let m = TimeMatrix::compute(&g, &SyntheticModel::default(), 1e9, p);
+        let alloc = Allocation::from_vec(alloc);
+        let times = m.times_for(alloc.as_slice());
+        let cp = critical_path_length(&g, &times);
+        let area = alloc.work_area(&times) / p as f64;
+        let lower = cp.max(area);
+        for mapper in [&ListScheduler as &dyn Mapper, &InsertionScheduler] {
+            let ms = mapper.map(&g, &m, &alloc).makespan();
+            prop_assert!(ms + 1e-9 * lower >= lower,
+                "{}: makespan {} below lower bound {}", mapper.name(), ms, lower);
+        }
+    }
+
+    #[test]
+    fn insertion_never_beats_dependency_bound_nor_loses_validity((n, edges, p, alloc) in scenario()) {
+        let g = build_graph(n, &edges);
+        let m = TimeMatrix::compute(&g, &Amdahl, 1e9, p);
+        let alloc = Allocation::from_vec(alloc);
+        let s = InsertionScheduler.map(&g, &m, &alloc);
+        // every task starts no earlier than the chain of its ancestors allows
+        for v in g.task_ids() {
+            let min_start: f64 = {
+                // longest-path arrival using the same times
+                let times = m.times_for(alloc.as_slice());
+                ptg::critpath::top_levels(&g, &times)[v.index()]
+            };
+            prop_assert!(s.placement(v).start + 1e-9 >= min_start);
+        }
+    }
+
+    #[test]
+    fn bounded_makespan_is_exact_or_correctly_rejecting((n, edges, p, alloc) in scenario()) {
+        let g = build_graph(n, &edges);
+        let m = TimeMatrix::compute(&g, &SyntheticModel::default(), 1e9, p);
+        let alloc = Allocation::from_vec(alloc);
+        let exact = ListScheduler.makespan(&g, &m, &alloc);
+        // Infinite cutoff: always exact.
+        prop_assert_eq!(
+            ListScheduler.makespan_bounded(&g, &m, &alloc, f64::INFINITY),
+            Some(exact)
+        );
+        // Cutoff at the exact value: accepted.
+        prop_assert_eq!(
+            ListScheduler.makespan_bounded(&g, &m, &alloc, exact),
+            Some(exact)
+        );
+        // Cutoff strictly below: must reject (makespan > cutoff).
+        prop_assert_eq!(
+            ListScheduler.makespan_bounded(&g, &m, &alloc, exact * 0.999_999),
+            None
+        );
+    }
+
+    #[test]
+    fn serial_platform_makespan_is_total_work((n, edges, _p, _alloc) in scenario()) {
+        let g = build_graph(n, &edges);
+        let m = TimeMatrix::compute(&g, &Amdahl, 1e9, 1);
+        let alloc = Allocation::ones(n);
+        let ms = ListScheduler.makespan(&g, &m, &alloc);
+        let total: f64 = g.task_ids().map(|v| m.time(v, 1)).sum();
+        prop_assert!((ms - total).abs() < 1e-9 * total.max(1.0));
+    }
+}

@@ -1,0 +1,136 @@
+//! `emts-sim` — the paper's simulator as a command-line tool.
+//!
+//! Reads a platform file and a PTG file, runs a scheduling algorithm under
+//! a chosen execution-time model, replays the schedule in the
+//! discrete-event executor, and prints the run report (and optionally a
+//! Gantt chart).
+//!
+//! ```text
+//! usage: emts-sim --platform <file> --ptg <file>
+//!                 [--algorithm cpa|hcpa|mcpa|delta|emts5|emts10]
+//!                 [--model model1|model2] [--seed <u64>]
+//!                 [--gantt] [--json]
+//! ```
+
+use exec_model::PaperModel;
+use platform::file::parse_platform;
+use sim::formats::parse_ptg;
+use sim::runner::{run, Algorithm};
+
+struct Args {
+    platform: String,
+    ptg: String,
+    algorithm: Algorithm,
+    model: PaperModel,
+    seed: u64,
+    gantt: bool,
+    json: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut platform = None;
+    let mut ptg = None;
+    let mut algorithm = Algorithm::Emts5;
+    let mut model = PaperModel::Model2;
+    let mut seed = 2011u64;
+    let mut gantt = false;
+    let mut json = false;
+    let mut iter = std::env::args().skip(1);
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--platform" => platform = Some(iter.next().ok_or("--platform needs a file")?),
+            "--ptg" => ptg = Some(iter.next().ok_or("--ptg needs a file")?),
+            "--algorithm" => {
+                let v = iter.next().ok_or("--algorithm needs a name")?;
+                algorithm =
+                    Algorithm::parse(&v).ok_or_else(|| format!("unknown algorithm {v:?}"))?;
+            }
+            "--model" => {
+                let v = iter.next().ok_or("--model needs a name")?;
+                model = PaperModel::parse(&v).ok_or_else(|| format!("unknown model {v:?}"))?;
+            }
+            "--seed" => {
+                seed = iter
+                    .next()
+                    .ok_or("--seed needs a value")?
+                    .parse()
+                    .map_err(|_| "bad --seed value".to_string())?;
+            }
+            "--gantt" => gantt = true,
+            "--json" => json = true,
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    Ok(Args {
+        platform: platform.ok_or("--platform is required")?,
+        ptg: ptg.ok_or("--ptg is required")?,
+        algorithm,
+        model,
+        seed,
+        gantt,
+        json,
+    })
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!(
+                "usage: emts-sim --platform <file> --ptg <file> \
+                 [--algorithm cpa|hcpa|mcpa|delta|emts5|emts10] \
+                 [--model model1|model2] [--seed <u64>] [--gantt] [--json]"
+            );
+            std::process::exit(2);
+        }
+    };
+    let platform_text = std::fs::read_to_string(&args.platform).unwrap_or_else(|e| {
+        eprintln!("cannot read {}: {e}", args.platform);
+        std::process::exit(1);
+    });
+    let cluster = parse_platform(&platform_text).unwrap_or_else(|e| {
+        eprintln!("{}: {e}", args.platform);
+        std::process::exit(1);
+    });
+    let ptg_text = std::fs::read_to_string(&args.ptg).unwrap_or_else(|e| {
+        eprintln!("cannot read {}: {e}", args.ptg);
+        std::process::exit(1);
+    });
+    let graph = parse_ptg(&ptg_text).unwrap_or_else(|e| {
+        eprintln!("{}: {e}", args.ptg);
+        std::process::exit(1);
+    });
+
+    let model = args.model.instantiate();
+    let (report, schedule) = run(args.algorithm, &graph, &cluster, model.as_ref(), args.seed);
+
+    if args.json {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&report).expect("reports serialize")
+        );
+    } else {
+        println!(
+            "{} on {} under {}: {} tasks, makespan {:.3} s, utilization {:.1} %",
+            report.algorithm,
+            cluster,
+            report.model,
+            report.tasks,
+            report.makespan,
+            100.0 * report.sim.utilization()
+        );
+        println!(
+            "allocation: {:?}",
+            report.allocation
+        );
+        println!(
+            "allocation step {:.1} ms, mapping step {:.2} ms",
+            report.allocation_seconds * 1e3,
+            report.mapping_seconds * 1e3
+        );
+    }
+    if args.gantt {
+        println!("\n{}", sched::gantt::ascii_gantt(&schedule, 100));
+    }
+}

@@ -1,0 +1,173 @@
+//! Persisting experiment corpora to disk.
+//!
+//! A corpus directory holds one `.ptg` text file per instance (the format
+//! of [`crate::formats`]) plus a `manifest.json` with per-instance
+//! metadata (class, size, name). Freezing the generated corpus makes runs
+//! auditable and lets external tools consume the exact same instances.
+
+use crate::formats::{parse_ptg, render_ptg, PtgFileError};
+use serde::{Deserialize, Serialize};
+use std::fs;
+use std::path::Path;
+use workloads::{Corpus, CorpusEntry, PtgClass};
+
+/// Per-instance record of the manifest.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ManifestEntry {
+    /// Instance name (also the `.ptg` file stem).
+    pub name: String,
+    /// PTG class.
+    pub class: PtgClass,
+    /// Task count.
+    pub n: usize,
+}
+
+/// Errors from corpus persistence.
+#[derive(Debug)]
+pub enum CorpusIoError {
+    /// Filesystem failure.
+    Io(std::io::Error),
+    /// Manifest (de)serialization failure.
+    Manifest(serde_json::Error),
+    /// A `.ptg` file failed to parse.
+    Ptg { name: String, error: PtgFileError },
+}
+
+impl std::fmt::Display for CorpusIoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CorpusIoError::Io(e) => write!(f, "io error: {e}"),
+            CorpusIoError::Manifest(e) => write!(f, "manifest error: {e}"),
+            CorpusIoError::Ptg { name, error } => write!(f, "{name}: {error}"),
+        }
+    }
+}
+
+impl std::error::Error for CorpusIoError {}
+
+impl From<std::io::Error> for CorpusIoError {
+    fn from(e: std::io::Error) -> Self {
+        CorpusIoError::Io(e)
+    }
+}
+
+/// Writes `corpus` into `dir` (created if missing). Returns the number of
+/// instances written.
+pub fn save_corpus(dir: &Path, corpus: &Corpus) -> Result<usize, CorpusIoError> {
+    fs::create_dir_all(dir)?;
+    let manifest: Vec<ManifestEntry> = corpus
+        .entries
+        .iter()
+        .map(|e| ManifestEntry {
+            name: e.name.clone(),
+            class: e.class,
+            n: e.n,
+        })
+        .collect();
+    let manifest_json =
+        serde_json::to_string_pretty(&manifest).map_err(CorpusIoError::Manifest)?;
+    fs::write(dir.join("manifest.json"), manifest_json)?;
+    for entry in &corpus.entries {
+        fs::write(dir.join(format!("{}.ptg", entry.name)), render_ptg(&entry.ptg))?;
+    }
+    Ok(corpus.entries.len())
+}
+
+/// Loads a corpus previously written by [`save_corpus`].
+pub fn load_corpus(dir: &Path) -> Result<Corpus, CorpusIoError> {
+    let manifest_json = fs::read_to_string(dir.join("manifest.json"))?;
+    let manifest: Vec<ManifestEntry> =
+        serde_json::from_str(&manifest_json).map_err(CorpusIoError::Manifest)?;
+    let mut entries = Vec::with_capacity(manifest.len());
+    for m in manifest {
+        let text = fs::read_to_string(dir.join(format!("{}.ptg", m.name)))?;
+        let ptg = parse_ptg(&text).map_err(|error| CorpusIoError::Ptg {
+            name: m.name.clone(),
+            error,
+        })?;
+        entries.push(CorpusEntry {
+            ptg,
+            class: m.class,
+            n: m.n,
+            name: m.name,
+        });
+    }
+    Ok(Corpus { entries })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+    use workloads::CostConfig;
+
+    fn tmp_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("emts_corpus_{tag}_{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn small_corpus() -> Corpus {
+        Corpus::paper(
+            0.01,
+            &CostConfig::default(),
+            &mut ChaCha8Rng::seed_from_u64(5),
+        )
+    }
+
+    #[test]
+    fn save_then_load_round_trips() {
+        let dir = tmp_dir("roundtrip");
+        let corpus = small_corpus();
+        let written = save_corpus(&dir, &corpus).unwrap();
+        assert_eq!(written, corpus.len());
+        let loaded = load_corpus(&dir).unwrap();
+        assert_eq!(loaded.len(), corpus.len());
+        for (a, b) in corpus.entries.iter().zip(&loaded.entries) {
+            assert_eq!(a.name, b.name);
+            assert_eq!(a.class, b.class);
+            assert_eq!(a.n, b.n);
+            assert_eq!(a.ptg.task_count(), b.ptg.task_count());
+            assert_eq!(a.ptg.edge_count(), b.ptg.edge_count());
+            assert!(a.ptg.edges().eq(b.ptg.edges()));
+        }
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn loaded_costs_match_within_float_printing() {
+        let dir = tmp_dir("costs");
+        let corpus = small_corpus();
+        save_corpus(&dir, &corpus).unwrap();
+        let loaded = load_corpus(&dir).unwrap();
+        for (a, b) in corpus.entries.iter().zip(&loaded.entries) {
+            for (ta, tb) in a.ptg.tasks().iter().zip(b.ptg.tasks()) {
+                assert!((ta.flop - tb.flop).abs() <= 1e-9 * ta.flop);
+                assert!((ta.alpha - tb.alpha).abs() <= 1e-12);
+            }
+        }
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn missing_directory_errors_cleanly() {
+        let err = load_corpus(Path::new("/nonexistent/emts_corpus")).unwrap_err();
+        assert!(matches!(err, CorpusIoError::Io(_)));
+    }
+
+    #[test]
+    fn corrupt_ptg_file_is_reported_by_name() {
+        let dir = tmp_dir("corrupt");
+        let corpus = small_corpus();
+        save_corpus(&dir, &corpus).unwrap();
+        let victim = &corpus.entries[0].name;
+        fs::write(dir.join(format!("{victim}.ptg")), "garbage line\n").unwrap();
+        let err = load_corpus(&dir).unwrap_err();
+        match err {
+            CorpusIoError::Ptg { name, .. } => assert_eq!(&name, victim),
+            other => panic!("unexpected error {other}"),
+        }
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,146 @@
+//! The simulator's event queue.
+
+use ptg::TaskId;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Kinds of simulation events.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// A task begins executing.
+    Start,
+    /// A task completes and releases its processors.
+    Finish,
+}
+
+/// One timestamped event.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Event {
+    /// Simulation time in seconds.
+    pub time: f64,
+    /// What happens.
+    pub kind: EventKind,
+    /// The task involved.
+    pub task: TaskId,
+}
+
+impl Eq for Event {}
+
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Min-heap semantics via reversed comparison; at equal times,
+        // finishes run before starts so released processors are reusable
+        // at the same instant, and ties beyond that break by task id for
+        // determinism.
+        other
+            .time
+            .partial_cmp(&self.time)
+            .expect("event times are finite")
+            .then_with(|| match (self.kind, other.kind) {
+                (EventKind::Finish, EventKind::Start) => Ordering::Greater,
+                (EventKind::Start, EventKind::Finish) => Ordering::Less,
+                _ => Ordering::Equal,
+            })
+            .then_with(|| other.task.cmp(&self.task))
+    }
+}
+
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A time-ordered event queue (earliest first; finishes before starts at
+/// equal times).
+#[derive(Debug, Default)]
+pub struct EventQueue {
+    heap: BinaryHeap<Event>,
+}
+
+impl EventQueue {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Enqueues an event.
+    pub fn push(&mut self, event: Event) {
+        assert!(
+            event.time.is_finite() && event.time >= 0.0,
+            "event time must be non-negative and finite"
+        );
+        self.heap.push(event);
+    }
+
+    /// Removes and returns the earliest event.
+    pub fn pop(&mut self) -> Option<Event> {
+        self.heap.pop()
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True if no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(time: f64, kind: EventKind, task: u32) -> Event {
+        Event {
+            time,
+            kind,
+            task: TaskId(task),
+        }
+    }
+
+    #[test]
+    fn events_pop_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(ev(3.0, EventKind::Start, 0));
+        q.push(ev(1.0, EventKind::Start, 1));
+        q.push(ev(2.0, EventKind::Start, 2));
+        let times: Vec<f64> = std::iter::from_fn(|| q.pop()).map(|e| e.time).collect();
+        assert_eq!(times, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn finish_precedes_start_at_equal_time() {
+        let mut q = EventQueue::new();
+        q.push(ev(1.0, EventKind::Start, 0));
+        q.push(ev(1.0, EventKind::Finish, 1));
+        assert_eq!(q.pop().unwrap().kind, EventKind::Finish);
+        assert_eq!(q.pop().unwrap().kind, EventKind::Start);
+    }
+
+    #[test]
+    fn equal_events_break_ties_by_task_id() {
+        let mut q = EventQueue::new();
+        q.push(ev(1.0, EventKind::Start, 5));
+        q.push(ev(1.0, EventKind::Start, 2));
+        assert_eq!(q.pop().unwrap().task, TaskId(2));
+    }
+
+    #[test]
+    fn len_and_is_empty_track_contents() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        q.push(ev(1.0, EventKind::Start, 0));
+        assert_eq!(q.len(), 1);
+        q.pop();
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_time_panics() {
+        EventQueue::new().push(ev(-1.0, EventKind::Start, 0));
+    }
+}

@@ -1,0 +1,225 @@
+//! File formats: a line-oriented PTG text format and JSON round-tripping.
+//!
+//! The text format mirrors the paper's simulator inputs ("the simulator
+//! reads the description of the PTG"):
+//!
+//! ```text
+//! # FFT PTG, 5 tasks
+//! task split 1.2e9 0.05
+//! task left  2.0e9 0.10
+//! task right 2.0e9 0.12
+//! edge 0 1
+//! edge 0 2
+//! ```
+//!
+//! Task ids are assigned in file order starting at 0; edges reference those
+//! ids. JSON serialization (serde) is available for every structured type
+//! of the workspace; helpers here cover the common graph case.
+
+use ptg::{Ptg, PtgBuilder, TaskId};
+use std::fmt;
+
+/// Errors from [`parse_ptg`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum PtgFileError {
+    /// A line had the wrong shape or an unknown directive.
+    Malformed { line: usize, content: String },
+    /// A numeric field failed to parse.
+    BadNumber { line: usize, field: &'static str },
+    /// Graph construction failed (cycle, bad edge, invalid task, …).
+    Graph(String),
+}
+
+impl fmt::Display for PtgFileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PtgFileError::Malformed { line, content } => {
+                write!(f, "line {line}: malformed: {content:?}")
+            }
+            PtgFileError::BadNumber { line, field } => {
+                write!(f, "line {line}: cannot parse {field}")
+            }
+            PtgFileError::Graph(msg) => write!(f, "graph error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for PtgFileError {}
+
+/// Parses the PTG text format.
+pub fn parse_ptg(input: &str) -> Result<Ptg, PtgFileError> {
+    let mut b = PtgBuilder::new();
+    for (idx, raw) in input.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        match parts.next() {
+            Some("task") => {
+                let name = parts.next().ok_or_else(|| PtgFileError::Malformed {
+                    line: line_no,
+                    content: line.into(),
+                })?;
+                let flop: f64 = parts
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or(PtgFileError::BadNumber {
+                        line: line_no,
+                        field: "flop",
+                    })?;
+                let alpha: f64 = parts
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or(PtgFileError::BadNumber {
+                        line: line_no,
+                        field: "alpha",
+                    })?;
+                b.push_task(ptg::Task {
+                    name: name.to_string(),
+                    flop,
+                    alpha,
+                });
+            }
+            Some("edge") => {
+                let from: u32 = parts
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or(PtgFileError::BadNumber {
+                        line: line_no,
+                        field: "edge source",
+                    })?;
+                let to: u32 = parts
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or(PtgFileError::BadNumber {
+                        line: line_no,
+                        field: "edge target",
+                    })?;
+                b.add_edge(TaskId(from), TaskId(to))
+                    .map_err(|e| PtgFileError::Graph(e.to_string()))?;
+            }
+            _ => {
+                return Err(PtgFileError::Malformed {
+                    line: line_no,
+                    content: line.into(),
+                })
+            }
+        }
+        if parts.next().is_some() {
+            return Err(PtgFileError::Malformed {
+                line: line_no,
+                content: line.into(),
+            });
+        }
+    }
+    b.build().map_err(|e| PtgFileError::Graph(e.to_string()))
+}
+
+/// Renders a PTG in the text format ([`parse_ptg`] round-trips it).
+pub fn render_ptg(g: &Ptg) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    writeln!(out, "# {} tasks, {} edges", g.task_count(), g.edge_count()).unwrap();
+    for v in g.task_ids() {
+        let t = g.task(v);
+        // Space-free names keep the format line-parseable.
+        let name = t.name.replace(char::is_whitespace, "_");
+        writeln!(out, "task {} {} {}", name, t.flop, t.alpha).unwrap();
+    }
+    for (a, c) in g.edges() {
+        writeln!(out, "edge {} {}", a.0, c.0).unwrap();
+    }
+    out
+}
+
+/// JSON-serializes a PTG.
+pub fn ptg_to_json(g: &Ptg) -> String {
+    serde_json::to_string_pretty(g).expect("PTGs serialize infallibly")
+}
+
+/// Parses a PTG from JSON produced by [`ptg_to_json`].
+pub fn ptg_from_json(json: &str) -> Result<Ptg, serde_json::Error> {
+    serde_json::from_str(json)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "# demo\ntask a 1e9 0.1\ntask b 2e9 0.2\nedge 0 1\n";
+
+    #[test]
+    fn parses_and_round_trips_text() {
+        let g = parse_ptg(SAMPLE).unwrap();
+        assert_eq!(g.task_count(), 2);
+        assert_eq!(g.edge_count(), 1);
+        assert_eq!(g.task(TaskId(1)).alpha, 0.2);
+        let again = parse_ptg(&render_ptg(&g)).unwrap();
+        assert_eq!(again.tasks(), g.tasks());
+        assert!(again.edges().eq(g.edges()));
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let g = parse_ptg(SAMPLE).unwrap();
+        let back = ptg_from_json(&ptg_to_json(&g)).unwrap();
+        assert_eq!(back.tasks(), g.tasks());
+        assert!(back.edges().eq(g.edges()));
+        assert_eq!(back.topo_order(), g.topo_order());
+    }
+
+    #[test]
+    fn unknown_directive_is_rejected() {
+        assert!(matches!(
+            parse_ptg("node a 1 0").unwrap_err(),
+            PtgFileError::Malformed { line: 1, .. }
+        ));
+    }
+
+    #[test]
+    fn bad_numbers_are_reported_by_field() {
+        assert_eq!(
+            parse_ptg("task a x 0.1").unwrap_err(),
+            PtgFileError::BadNumber {
+                line: 1,
+                field: "flop"
+            }
+        );
+        assert_eq!(
+            parse_ptg("task a 1e9 0.1\nedge 0 q").unwrap_err(),
+            PtgFileError::BadNumber {
+                line: 2,
+                field: "edge target"
+            }
+        );
+    }
+
+    #[test]
+    fn trailing_garbage_is_rejected() {
+        assert!(matches!(
+            parse_ptg("task a 1e9 0.1 extra").unwrap_err(),
+            PtgFileError::Malformed { .. }
+        ));
+    }
+
+    #[test]
+    fn cyclic_file_is_rejected_with_graph_error() {
+        let cyclic = "task a 1e9 0\ntask b 1e9 0\nedge 0 1\nedge 1 0\n";
+        assert!(matches!(
+            parse_ptg(cyclic).unwrap_err(),
+            PtgFileError::Graph(_)
+        ));
+    }
+
+    #[test]
+    fn names_with_spaces_are_sanitized_on_render() {
+        let mut b = PtgBuilder::new();
+        b.add_task("my task", 1e9, 0.0);
+        let g = b.build().unwrap();
+        let text = render_ptg(&g);
+        assert!(text.contains("task my_task"));
+        assert!(parse_ptg(&text).is_ok());
+    }
+}

@@ -1,0 +1,30 @@
+//! Discrete-event cluster simulator and experiment runner.
+//!
+//! The paper evaluates every algorithm inside a simulator that "reads a
+//! platform file, containing the processors' speed, […] reads the
+//! description of the PTG and executes the scheduling algorithm" (§IV).
+//! This crate is that simulator:
+//!
+//! * [`executor`] — a discrete-event replay engine that executes a
+//!   [`sched::Schedule`] against the platform, enforcing dependency and
+//!   processor-capacity constraints *dynamically* and re-deriving the
+//!   makespan independently of the mapper (the static checks live in
+//!   [`sched::validate`]; agreement of the two is asserted in tests),
+//! * [`formats`] — a line-oriented PTG text format plus JSON (serde)
+//!   round-tripping for graphs, schedules and reports,
+//! * [`runner`] — the end-to-end pipeline: platform + PTG + algorithm name
+//!   + model → allocation, schedule, simulation report,
+//! * [`trace`] — the replay's event log as data (occupancy profiles,
+//!   human-readable timelines),
+//! * [`corpus_io`] — freezing generated corpora to disk for auditable
+//!   experiment runs.
+
+pub mod corpus_io;
+pub mod event;
+pub mod executor;
+pub mod formats;
+pub mod runner;
+pub mod trace;
+
+pub use executor::{ExecutionError, SimReport};
+pub use runner::{Algorithm, RunReport};

@@ -1,0 +1,229 @@
+//! End-to-end experiment pipeline: platform + PTG + algorithm → report.
+
+use crate::executor::{execute, SimReport};
+use emts::{Emts, EmtsConfig};
+use exec_model::{ExecutionTimeModel, TimeMatrix};
+use heuristics::{Allocator, Cpa, DeltaCritical, Hcpa, Mcpa, Mcpa2};
+use platform::Cluster;
+use ptg::Ptg;
+use serde::{Deserialize, Serialize};
+use sched::{Allocation, ListScheduler, Mapper, Schedule};
+use std::time::Instant;
+
+/// Every scheduling algorithm the simulator can run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Algorithm {
+    /// Plain CPA allocation.
+    Cpa,
+    /// HCPA allocation (single-cluster specialization).
+    Hcpa,
+    /// MCPA allocation with per-level bounds.
+    Mcpa,
+    /// MCPA2 allocation with work-proportional per-level bounds.
+    Mcpa2,
+    /// The Δ-critical sharing heuristic with Δ = 0.9.
+    DeltaCritical,
+    /// EMTS with the (5+25)-ES, 5 generations.
+    Emts5,
+    /// EMTS with the (10+100)-ES, 10 generations.
+    Emts10,
+}
+
+impl Algorithm {
+    /// All algorithms, heuristics first.
+    pub const ALL: [Algorithm; 7] = [
+        Algorithm::Cpa,
+        Algorithm::Hcpa,
+        Algorithm::Mcpa,
+        Algorithm::Mcpa2,
+        Algorithm::DeltaCritical,
+        Algorithm::Emts5,
+        Algorithm::Emts10,
+    ];
+
+    /// Canonical name as used in the paper's figures.
+    pub fn name(self) -> &'static str {
+        match self {
+            Algorithm::Cpa => "CPA",
+            Algorithm::Hcpa => "HCPA",
+            Algorithm::Mcpa => "MCPA",
+            Algorithm::Mcpa2 => "MCPA2",
+            Algorithm::DeltaCritical => "DeltaCritical",
+            Algorithm::Emts5 => "EMTS5",
+            Algorithm::Emts10 => "EMTS10",
+        }
+    }
+
+    /// Parses a (case-insensitive) algorithm name.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s.to_ascii_lowercase().as_str() {
+            "cpa" => Some(Algorithm::Cpa),
+            "hcpa" => Some(Algorithm::Hcpa),
+            "mcpa" => Some(Algorithm::Mcpa),
+            "mcpa2" => Some(Algorithm::Mcpa2),
+            "delta" | "deltacritical" | "delta-critical" => Some(Algorithm::DeltaCritical),
+            "emts5" => Some(Algorithm::Emts5),
+            "emts10" => Some(Algorithm::Emts10),
+            _ => None,
+        }
+    }
+
+    /// Computes the allocation for `g`. EMTS variants derive their RNG from
+    /// `seed`; heuristics are deterministic and ignore it.
+    pub fn allocate(self, g: &Ptg, matrix: &TimeMatrix, seed: u64) -> Allocation {
+        match self {
+            Algorithm::Cpa => Cpa::default().allocate(g, matrix),
+            Algorithm::Hcpa => Hcpa.allocate(g, matrix),
+            Algorithm::Mcpa => Mcpa.allocate(g, matrix),
+            Algorithm::Mcpa2 => Mcpa2.allocate(g, matrix),
+            Algorithm::DeltaCritical => DeltaCritical::default().allocate(g, matrix),
+            Algorithm::Emts5 => Emts::new(EmtsConfig::emts5()).run(g, matrix, seed).best,
+            Algorithm::Emts10 => Emts::new(EmtsConfig::emts10()).run(g, matrix, seed).best,
+        }
+    }
+}
+
+/// A complete run record: the allocation, the schedule's makespan, the
+/// replayed simulation report and wall-clock timings.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RunReport {
+    /// Algorithm that produced the schedule.
+    pub algorithm: String,
+    /// Platform name.
+    pub platform: String,
+    /// Execution-time model name.
+    pub model: String,
+    /// Number of tasks of the PTG.
+    pub tasks: usize,
+    /// Final per-task allocation.
+    pub allocation: Vec<u32>,
+    /// Makespan reported by the mapper.
+    pub makespan: f64,
+    /// Replay report from the discrete-event executor.
+    pub sim: SimReport,
+    /// Seconds spent computing the allocation (the paper's §V-B timing).
+    pub allocation_seconds: f64,
+    /// Seconds spent mapping the final allocation.
+    pub mapping_seconds: f64,
+}
+
+/// Runs `algorithm` for `g` on `cluster` under `model`, replays the
+/// schedule in the discrete-event executor and cross-checks the makespan.
+///
+/// # Panics
+/// Panics if the replayed makespan disagrees with the mapper's, or the
+/// schedule fails dynamic validation — both indicate an internal bug, never
+/// bad user input.
+pub fn run<M: ExecutionTimeModel + ?Sized>(
+    algorithm: Algorithm,
+    g: &Ptg,
+    cluster: &Cluster,
+    model: &M,
+    seed: u64,
+) -> (RunReport, Schedule) {
+    let matrix = TimeMatrix::compute(g, model, cluster.speed_flops(), cluster.processors);
+    let t0 = Instant::now();
+    let alloc = algorithm.allocate(g, &matrix, seed);
+    let allocation_seconds = t0.elapsed().as_secs_f64();
+    let t1 = Instant::now();
+    let schedule = ListScheduler.map(g, &matrix, &alloc);
+    let mapping_seconds = t1.elapsed().as_secs_f64();
+    let makespan = schedule.makespan();
+    let sim = execute(g, &schedule).expect("mapper emits executable schedules");
+    assert!(
+        (sim.makespan - makespan).abs() <= 1e-9 * makespan.max(1.0),
+        "simulator ({}) and mapper ({}) disagree",
+        sim.makespan,
+        makespan
+    );
+    (
+        RunReport {
+            algorithm: algorithm.name().to_string(),
+            platform: cluster.name.clone(),
+            model: model.name().to_string(),
+            tasks: g.task_count(),
+            allocation: alloc.as_slice().to_vec(),
+            makespan,
+            sim,
+            allocation_seconds,
+            mapping_seconds,
+        },
+        schedule,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use exec_model::{PaperModel, SyntheticModel};
+    use platform::presets::{chti, grelon};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+    use workloads::{fft::fft_ptg, CostConfig};
+
+    fn graph() -> Ptg {
+        fft_ptg(4, &CostConfig::default(), &mut ChaCha8Rng::seed_from_u64(8))
+    }
+
+    #[test]
+    fn algorithm_names_round_trip() {
+        for alg in Algorithm::ALL {
+            assert_eq!(Algorithm::parse(alg.name()), Some(alg));
+        }
+        assert_eq!(Algorithm::parse("emts5"), Some(Algorithm::Emts5));
+        assert_eq!(Algorithm::parse("nope"), None);
+    }
+
+    #[test]
+    fn every_algorithm_produces_a_consistent_report() {
+        let g = graph();
+        let cluster = chti();
+        let model = SyntheticModel::default();
+        for alg in Algorithm::ALL {
+            let (report, schedule) = run(alg, &g, &cluster, &model, 1);
+            assert_eq!(report.algorithm, alg.name());
+            assert_eq!(report.tasks, g.task_count());
+            assert_eq!(report.allocation.len(), g.task_count());
+            assert!((report.sim.makespan - schedule.makespan()).abs() < 1e-9);
+            assert!(report.makespan > 0.0);
+        }
+    }
+
+    #[test]
+    fn emts_beats_or_matches_its_seed_heuristics_in_the_pipeline() {
+        let g = graph();
+        let cluster = grelon();
+        let model = SyntheticModel::default();
+        let (mcpa, _) = run(Algorithm::Mcpa, &g, &cluster, &model, 1);
+        let (hcpa, _) = run(Algorithm::Hcpa, &g, &cluster, &model, 1);
+        let (emts, _) = run(Algorithm::Emts5, &g, &cluster, &model, 1);
+        assert!(emts.makespan <= mcpa.makespan + 1e-9);
+        assert!(emts.makespan <= hcpa.makespan + 1e-9);
+    }
+
+    #[test]
+    fn report_serializes_to_json() {
+        let g = graph();
+        let (report, _) = run(
+            Algorithm::Mcpa,
+            &g,
+            &chti(),
+            PaperModel::Model1.instantiate().as_ref(),
+            1,
+        );
+        let json = serde_json::to_string(&report).unwrap();
+        let back: RunReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.algorithm, "MCPA");
+        assert_eq!(back.makespan, report.makespan);
+    }
+
+    #[test]
+    fn emts_runs_are_seed_reproducible_end_to_end() {
+        let g = graph();
+        let model = SyntheticModel::default();
+        let (a, _) = run(Algorithm::Emts5, &g, &chti(), &model, 77);
+        let (b, _) = run(Algorithm::Emts5, &g, &chti(), &model, 77);
+        assert_eq!(a.allocation, b.allocation);
+        assert_eq!(a.makespan, b.makespan);
+    }
+}

@@ -1,0 +1,167 @@
+//! Execution traces: the simulator's event log as data.
+//!
+//! A trace records every start/finish the replay engine processes, in
+//! simulation order, together with the running processor occupancy. Traces
+//! feed visualizations and make regressions diagnosable ("which task
+//! started late?") without stepping through the executor.
+
+use crate::event::{Event, EventKind, EventQueue};
+use ptg::{Ptg, TaskId};
+use serde::{Deserialize, Serialize};
+use sched::Schedule;
+use std::fmt::Write as _;
+
+/// One logged simulation step.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TraceEntry {
+    /// Simulation time.
+    pub time: f64,
+    /// The task starting or finishing.
+    pub task: TaskId,
+    /// True for a start event, false for a finish.
+    pub is_start: bool,
+    /// Busy processors immediately *after* this event.
+    pub busy_processors: u32,
+    /// Running tasks immediately after this event.
+    pub running_tasks: usize,
+}
+
+/// Produces the full event trace of a schedule (assumed valid — run
+/// [`crate::executor::execute`] first if unsure; this function only
+/// replays order, it does not re-validate).
+pub fn trace_schedule(g: &Ptg, schedule: &Schedule) -> Vec<TraceEntry> {
+    let mut queue = EventQueue::new();
+    for pl in &schedule.placements {
+        queue.push(Event {
+            time: pl.start,
+            kind: EventKind::Start,
+            task: pl.task,
+        });
+        queue.push(Event {
+            time: pl.finish,
+            kind: EventKind::Finish,
+            task: pl.task,
+        });
+    }
+    let mut busy = 0u32;
+    let mut running = 0usize;
+    let mut out = Vec::with_capacity(g.task_count() * 2);
+    while let Some(ev) = queue.pop() {
+        let width = schedule.placement(ev.task).width();
+        let is_start = matches!(ev.kind, EventKind::Start);
+        if is_start {
+            busy += width;
+            running += 1;
+        } else {
+            busy -= width;
+            running -= 1;
+        }
+        out.push(TraceEntry {
+            time: ev.time,
+            task: ev.task,
+            is_start,
+            busy_processors: busy,
+            running_tasks: running,
+        });
+    }
+    out
+}
+
+/// Renders a trace as a human-readable timeline.
+pub fn render_trace(g: &Ptg, trace: &[TraceEntry]) -> String {
+    let mut out = String::new();
+    for e in trace {
+        writeln!(
+            out,
+            "{:>10.4}s  {:<6} {:<16} busy={:<4} running={}",
+            e.time,
+            if e.is_start { "start" } else { "finish" },
+            g.task(e.task).name,
+            e.busy_processors,
+            e.running_tasks
+        )
+        .unwrap();
+    }
+    out
+}
+
+/// The processor-occupancy step function `(time, busy)` of a trace —
+/// plottable as a utilization profile.
+pub fn occupancy_profile(trace: &[TraceEntry]) -> Vec<(f64, u32)> {
+    trace.iter().map(|e| (e.time, e.busy_processors)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use exec_model::{Amdahl, TimeMatrix};
+    use ptg::PtgBuilder;
+    use sched::{Allocation, ListScheduler, Mapper};
+
+    fn setup() -> (Ptg, Schedule) {
+        let mut b = PtgBuilder::new();
+        let a = b.add_task("a", 2e9, 0.0);
+        let c = b.add_task("c", 2e9, 0.0);
+        let d = b.add_task("d", 2e9, 0.0);
+        b.add_edge(a, c).unwrap();
+        b.add_edge(a, d).unwrap();
+        let g = b.build().unwrap();
+        let m = TimeMatrix::compute(&g, &Amdahl, 1e9, 4);
+        let s = ListScheduler.map(&g, &m, &Allocation::from_vec(vec![4, 2, 2]));
+        (g, s)
+    }
+
+    #[test]
+    fn trace_has_two_events_per_task() {
+        let (g, s) = setup();
+        let t = trace_schedule(&g, &s);
+        assert_eq!(t.len(), 2 * g.task_count());
+        assert_eq!(t.iter().filter(|e| e.is_start).count(), g.task_count());
+    }
+
+    #[test]
+    fn occupancy_starts_and_ends_at_zero() {
+        let (g, s) = setup();
+        let t = trace_schedule(&g, &s);
+        assert_eq!(t.first().unwrap().busy_processors, 4); // a starts on all 4
+        assert_eq!(t.last().unwrap().busy_processors, 0);
+        assert_eq!(t.last().unwrap().running_tasks, 0);
+    }
+
+    #[test]
+    fn times_are_non_decreasing() {
+        let (g, s) = setup();
+        let t = trace_schedule(&g, &s);
+        for w in t.windows(2) {
+            assert!(w[0].time <= w[1].time);
+        }
+    }
+
+    #[test]
+    fn concurrent_children_overlap_in_the_trace() {
+        let (g, s) = setup();
+        let t = trace_schedule(&g, &s);
+        let max_running = t.iter().map(|e| e.running_tasks).max().unwrap();
+        assert_eq!(max_running, 2, "c and d run concurrently");
+        let max_busy = t.iter().map(|e| e.busy_processors).max().unwrap();
+        assert_eq!(max_busy, 4);
+    }
+
+    #[test]
+    fn render_mentions_every_task() {
+        let (g, s) = setup();
+        let txt = render_trace(&g, &trace_schedule(&g, &s));
+        for v in g.task_ids() {
+            assert!(txt.contains(&g.task(v).name));
+        }
+        assert!(txt.contains("start"));
+        assert!(txt.contains("finish"));
+    }
+
+    #[test]
+    fn occupancy_profile_matches_trace_length() {
+        let (g, s) = setup();
+        let t = trace_schedule(&g, &s);
+        assert_eq!(occupancy_profile(&t).len(), t.len());
+    }
+}

@@ -1,0 +1,164 @@
+//! Percentiles and two-sample comparison (Welch's t-test).
+//!
+//! The ablation binaries don't just want means — "configuration A beats B"
+//! needs a significance check. Welch's unequal-variance t-test is the
+//! standard tool for comparing two makespan samples without assuming equal
+//! spread.
+
+use crate::summary::t_quantile_975;
+use serde::{Deserialize, Serialize};
+
+/// The `q`-quantile of a sample (linear interpolation between order
+/// statistics, the common "type 7" estimator).
+///
+/// # Panics
+/// Panics on an empty sample, non-finite values, or `q ∉ [0, 1]`.
+pub fn quantile(values: &[f64], q: f64) -> f64 {
+    assert!(!values.is_empty(), "quantile of empty sample");
+    assert!((0.0..=1.0).contains(&q), "q must lie in [0, 1], got {q}");
+    assert!(
+        values.iter().all(|v| v.is_finite()),
+        "sample contains non-finite values"
+    );
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite values"));
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    let frac = pos - lo as f64;
+    sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+}
+
+/// The median (50th percentile).
+pub fn median(values: &[f64]) -> f64 {
+    quantile(values, 0.5)
+}
+
+/// Result of a Welch two-sample t-test.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WelchTest {
+    /// The t statistic (positive when sample A's mean is larger).
+    pub t: f64,
+    /// Welch–Satterthwaite degrees of freedom.
+    pub df: f64,
+    /// Difference of means `mean(a) − mean(b)`.
+    pub mean_diff: f64,
+    /// True if |t| exceeds the two-sided 5 % critical value for `df`.
+    pub significant_at_5pct: bool,
+}
+
+/// Welch's t-test for the difference of the means of `a` and `b`.
+///
+/// # Panics
+/// Panics if either sample has fewer than two values.
+pub fn welch_t_test(a: &[f64], b: &[f64]) -> WelchTest {
+    assert!(a.len() >= 2 && b.len() >= 2, "need ≥ 2 values per sample");
+    let mean = |s: &[f64]| s.iter().sum::<f64>() / s.len() as f64;
+    let var = |s: &[f64], m: f64| s.iter().map(|v| (v - m).powi(2)).sum::<f64>() / (s.len() - 1) as f64;
+    let (ma, mb) = (mean(a), mean(b));
+    let (va, vb) = (var(a, ma), var(b, mb));
+    let (na, nb) = (a.len() as f64, b.len() as f64);
+    let se2 = va / na + vb / nb;
+    let mean_diff = ma - mb;
+    if se2 == 0.0 {
+        // Identical constant samples: no evidence of difference (t = 0) or
+        // infinite evidence (means differ with zero variance).
+        let t = if mean_diff == 0.0 { 0.0 } else { f64::INFINITY * mean_diff.signum() };
+        return WelchTest {
+            t,
+            df: na + nb - 2.0,
+            mean_diff,
+            significant_at_5pct: mean_diff != 0.0,
+        };
+    }
+    let t = mean_diff / se2.sqrt();
+    // Welch–Satterthwaite approximation.
+    let df = se2.powi(2)
+        / ((va / na).powi(2) / (na - 1.0) + (vb / nb).powi(2) / (nb - 1.0));
+    let critical = t_quantile_975(df.floor().max(1.0) as usize);
+    WelchTest {
+        t,
+        df,
+        mean_diff,
+        significant_at_5pct: t.abs() > critical,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantiles_of_known_sample() {
+        let v = [1.0, 2.0, 3.0, 4.0, 5.0];
+        assert_eq!(quantile(&v, 0.0), 1.0);
+        assert_eq!(quantile(&v, 1.0), 5.0);
+        assert_eq!(median(&v), 3.0);
+        assert_eq!(quantile(&v, 0.25), 2.0);
+        // interpolation between order statistics
+        assert!((quantile(&v, 0.1) - 1.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn median_of_even_sample_interpolates() {
+        assert_eq!(median(&[1.0, 2.0, 3.0, 4.0]), 2.5);
+    }
+
+    #[test]
+    fn unsorted_input_is_handled() {
+        assert_eq!(median(&[5.0, 1.0, 3.0]), 3.0);
+    }
+
+    #[test]
+    fn clearly_different_samples_are_significant() {
+        let a = [10.0, 10.1, 9.9, 10.2, 9.8, 10.0];
+        let b = [5.0, 5.1, 4.9, 5.2, 4.8, 5.0];
+        let test = welch_t_test(&a, &b);
+        assert!(test.significant_at_5pct, "{test:?}");
+        assert!(test.t > 0.0);
+        assert!((test.mean_diff - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn identical_samples_are_not_significant() {
+        let a = [3.0, 3.5, 2.5, 3.2];
+        let test = welch_t_test(&a, &a);
+        assert!(!test.significant_at_5pct);
+        assert!(test.t.abs() < 1e-12);
+    }
+
+    #[test]
+    fn overlapping_noisy_samples_are_not_significant() {
+        let a = [10.0, 12.0, 8.0, 11.0];
+        let b = [9.5, 11.5, 8.5, 12.5];
+        let test = welch_t_test(&a, &b);
+        assert!(!test.significant_at_5pct, "{test:?}");
+    }
+
+    #[test]
+    fn constant_but_different_samples_are_significant() {
+        let test = welch_t_test(&[2.0, 2.0], &[3.0, 3.0]);
+        assert!(test.significant_at_5pct);
+        assert!(test.t.is_infinite() && test.t < 0.0);
+    }
+
+    #[test]
+    fn df_is_between_min_and_sum_of_sample_dfs() {
+        let a = [1.0, 2.0, 3.0, 4.0];
+        let b = [2.0, 4.0, 6.0, 8.0, 10.0];
+        let test = welch_t_test(&a, &b);
+        assert!(test.df >= 3.0 && test.df <= 7.0, "df = {}", test.df);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty sample")]
+    fn quantile_of_empty_panics() {
+        let _ = quantile(&[], 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "≥ 2 values")]
+    fn welch_needs_two_values() {
+        let _ = welch_t_test(&[1.0], &[1.0, 2.0]);
+    }
+}

@@ -1,0 +1,158 @@
+//! Fixed-bin histograms (used to regenerate the mutation density of Fig. 3).
+
+use serde::{Deserialize, Serialize};
+use std::fmt::Write as _;
+
+/// A histogram over `[lo, hi)` with equally wide bins; values outside the
+/// range land in saturating edge bins.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    counts: Vec<u64>,
+    total: u64,
+}
+
+impl Histogram {
+    /// Creates an empty histogram with `bins` bins over `[lo, hi)`.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(bins >= 1, "need at least one bin");
+        assert!(lo < hi, "lo must be below hi");
+        Histogram {
+            lo,
+            hi,
+            counts: vec![0; bins],
+            total: 0,
+        }
+    }
+
+    /// Adds one observation.
+    pub fn add(&mut self, value: f64) {
+        assert!(value.is_finite(), "histogram values must be finite");
+        let bins = self.counts.len();
+        let idx = if value < self.lo {
+            0
+        } else if value >= self.hi {
+            bins - 1
+        } else {
+            (((value - self.lo) / (self.hi - self.lo)) * bins as f64) as usize
+        };
+        self.counts[idx.min(bins - 1)] += 1;
+        self.total += 1;
+    }
+
+    /// Adds many observations.
+    pub fn extend<I: IntoIterator<Item = f64>>(&mut self, values: I) {
+        for v in values {
+            self.add(v);
+        }
+    }
+
+    /// Total number of observations.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Raw bin counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// The `(center, density)` pairs of all bins — directly plottable as an
+    /// empirical PDF (densities integrate to 1 over the range).
+    pub fn density(&self) -> Vec<(f64, f64)> {
+        let bins = self.counts.len();
+        let bin_width = (self.hi - self.lo) / bins as f64;
+        let norm = if self.total == 0 {
+            0.0
+        } else {
+            1.0 / (self.total as f64 * bin_width)
+        };
+        self.counts
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| {
+                let center = self.lo + (i as f64 + 0.5) * bin_width;
+                (center, c as f64 * norm)
+            })
+            .collect()
+    }
+
+    /// Renders a horizontal bar chart, `width` characters for the largest
+    /// bin.
+    pub fn render(&self, width: usize) -> String {
+        let max = self.counts.iter().copied().max().unwrap_or(0).max(1);
+        let bins = self.counts.len();
+        let bin_width = (self.hi - self.lo) / bins as f64;
+        let mut out = String::new();
+        for (i, &c) in self.counts.iter().enumerate() {
+            let lo = self.lo + i as f64 * bin_width;
+            let bar_len = (c as f64 / max as f64 * width as f64).round() as usize;
+            writeln!(
+                out,
+                "{:>9.2} | {:<w$} {}",
+                lo,
+                "#".repeat(bar_len),
+                c,
+                w = width
+            )
+            .unwrap();
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn values_land_in_the_right_bins() {
+        let mut h = Histogram::new(0.0, 10.0, 10);
+        h.extend([0.5, 1.5, 1.7, 9.9]);
+        assert_eq!(h.counts()[0], 1);
+        assert_eq!(h.counts()[1], 2);
+        assert_eq!(h.counts()[9], 1);
+        assert_eq!(h.total(), 4);
+    }
+
+    #[test]
+    fn out_of_range_values_saturate() {
+        let mut h = Histogram::new(0.0, 10.0, 5);
+        h.add(-100.0);
+        h.add(100.0);
+        assert_eq!(h.counts()[0], 1);
+        assert_eq!(h.counts()[4], 1);
+    }
+
+    #[test]
+    fn density_integrates_to_one() {
+        let mut h = Histogram::new(-5.0, 5.0, 20);
+        h.extend((0..1000).map(|i| -4.9 + 9.8 * (i as f64 / 999.0)));
+        let bin_width = 10.0 / 20.0;
+        let integral: f64 = h.density().iter().map(|&(_, d)| d * bin_width).sum();
+        assert!((integral - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn density_centers_are_correct() {
+        let h = Histogram::new(0.0, 4.0, 4);
+        let centers: Vec<f64> = h.density().iter().map(|&(c, _)| c).collect();
+        assert_eq!(centers, vec![0.5, 1.5, 2.5, 3.5]);
+    }
+
+    #[test]
+    fn render_has_one_line_per_bin() {
+        let mut h = Histogram::new(0.0, 3.0, 3);
+        h.extend([0.5, 1.5, 1.6]);
+        let txt = h.render(10);
+        assert_eq!(txt.lines().count(), 3);
+        assert!(txt.contains('#'));
+    }
+
+    #[test]
+    #[should_panic(expected = "lo must be below hi")]
+    fn inverted_range_panics() {
+        let _ = Histogram::new(5.0, 1.0, 3);
+    }
+}

@@ -1,0 +1,172 @@
+//! Mean, standard deviation and Student-t confidence intervals.
+
+use serde::{Deserialize, Serialize};
+
+/// Summary of one sample: count, mean, sample SD and a 95 % confidence
+/// interval for the mean (Student's t).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Summary {
+    /// Sample size.
+    pub n: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Sample standard deviation (n − 1 denominator); 0 for n < 2.
+    pub sd: f64,
+    /// Half-width of the 95 % confidence interval; 0 for n < 2.
+    pub ci95: f64,
+}
+
+impl Summary {
+    /// Computes the summary of `values`.
+    ///
+    /// # Panics
+    /// Panics on an empty slice or non-finite values.
+    pub fn of(values: &[f64]) -> Self {
+        assert!(!values.is_empty(), "cannot summarize an empty sample");
+        assert!(
+            values.iter().all(|v| v.is_finite()),
+            "sample contains non-finite values"
+        );
+        let n = values.len();
+        let mean = values.iter().sum::<f64>() / n as f64;
+        if n < 2 {
+            return Summary {
+                n,
+                mean,
+                sd: 0.0,
+                ci95: 0.0,
+            };
+        }
+        let var = values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / (n - 1) as f64;
+        let sd = var.sqrt();
+        let ci95 = t_quantile_975(n - 1) * sd / (n as f64).sqrt();
+        Summary { n, mean, sd, ci95 }
+    }
+
+    /// Lower bound of the 95 % CI.
+    pub fn ci_low(&self) -> f64 {
+        self.mean - self.ci95
+    }
+
+    /// Upper bound of the 95 % CI.
+    pub fn ci_high(&self) -> f64 {
+        self.mean + self.ci95
+    }
+
+    /// `"mean ± ci95"` with the given precision — the paper's bar-plot
+    /// annotation style.
+    pub fn format(&self, precision: usize) -> String {
+        format!("{:.p$} ± {:.p$}", self.mean, self.ci95, p = precision)
+    }
+}
+
+/// Two-sided 97.5 % Student-t quantile for `df` degrees of freedom (the
+/// multiplier for a 95 % CI). Table values for small df, asymptotic beyond.
+pub fn t_quantile_975(df: usize) -> f64 {
+    const TABLE: [f64; 30] = [
+        12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228, 2.201, 2.179,
+        2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086, 2.080, 2.074, 2.069, 2.064,
+        2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+    ];
+    match df {
+        0 => f64::INFINITY,
+        1..=30 => TABLE[df - 1],
+        31..=40 => 2.021,
+        41..=60 => 2.000,
+        61..=120 => 1.980,
+        _ => 1.960,
+    }
+}
+
+/// Mean of pairwise ratios `num[i] / den[i]` — the paper's *relative
+/// makespan* aggregation (`T_MCPA / T_EMTS5` averaged over instances).
+pub fn ratio_summary(numerators: &[f64], denominators: &[f64]) -> Summary {
+    assert_eq!(
+        numerators.len(),
+        denominators.len(),
+        "ratio inputs must pair up"
+    );
+    assert!(
+        denominators.iter().all(|&d| d > 0.0),
+        "denominators must be positive"
+    );
+    let ratios: Vec<f64> = numerators
+        .iter()
+        .zip(denominators)
+        .map(|(&n, &d)| n / d)
+        .collect();
+    Summary::of(&ratios)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_sd_of_known_sample() {
+        let s = Summary::of(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert!((s.mean - 5.0).abs() < 1e-12);
+        assert!((s.sd - (32.0f64 / 7.0).sqrt()).abs() < 1e-12);
+        assert_eq!(s.n, 8);
+    }
+
+    #[test]
+    fn single_value_has_zero_spread() {
+        let s = Summary::of(&[3.5]);
+        assert_eq!(s.mean, 3.5);
+        assert_eq!(s.sd, 0.0);
+        assert_eq!(s.ci95, 0.0);
+        assert_eq!(s.ci_low(), s.ci_high());
+    }
+
+    #[test]
+    fn ci_uses_t_distribution() {
+        // n = 4, df = 3 → t = 3.182
+        let s = Summary::of(&[1.0, 2.0, 3.0, 4.0]);
+        let expected = 3.182 * s.sd / 2.0;
+        assert!((s.ci95 - expected).abs() < 1e-9);
+        assert!(s.ci_low() < s.mean && s.mean < s.ci_high());
+    }
+
+    #[test]
+    fn t_table_is_monotone_decreasing() {
+        let mut prev = f64::INFINITY;
+        for df in 1..200 {
+            let t = t_quantile_975(df);
+            assert!(t <= prev, "df = {df}");
+            prev = t;
+        }
+        assert_eq!(t_quantile_975(10_000), 1.96);
+    }
+
+    #[test]
+    fn ratio_summary_matches_manual_ratios() {
+        let s = ratio_summary(&[2.0, 3.0, 4.0], &[1.0, 1.5, 2.0]);
+        assert!((s.mean - 2.0).abs() < 1e-12);
+        assert_eq!(s.sd, 0.0);
+    }
+
+    #[test]
+    fn formatting_shows_mean_and_halfwidth() {
+        let s = Summary::of(&[1.0, 2.0, 3.0]);
+        assert_eq!(s.format(2), format!("{:.2} ± {:.2}", s.mean, s.ci95));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty sample")]
+    fn empty_sample_panics() {
+        let _ = Summary::of(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite")]
+    fn nan_sample_panics() {
+        let _ = Summary::of(&[1.0, f64::NAN]);
+    }
+
+    #[test]
+    #[should_panic(expected = "must pair up")]
+    fn mismatched_ratio_inputs_panic() {
+        let _ = ratio_summary(&[1.0], &[1.0, 2.0]);
+    }
+}

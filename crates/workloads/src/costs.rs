@@ -1,0 +1,188 @@
+//! Task-cost assignment (§IV-C, "Choosing Task Complexities").
+//!
+//! Each task operates on a dataset of `d` doubles; with ≥ 1 GB of memory per
+//! processor the upper bound is `d = 125·10⁶`. The FLOP count follows one of
+//! three computational patterns — `a·d` (stencil), `a·d·log₂ d` (sorting),
+//! `d^{3/2}` (√d × √d matrix multiplication) — with `a ∈ [2⁶, 2⁹]` modeling
+//! repeated iterations, and the non-parallelizable fraction `α` drawn
+//! uniformly from `[0, 0.25]` ("very scalable tasks").
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// The paper's upper bound on the dataset size (125 million doubles = 1 GB).
+pub const D_MAX_PAPER: f64 = 125e6;
+
+/// The three computational patterns of §IV-C.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CostPattern {
+    /// `a · d` — e.g. a stencil sweep.
+    Linear,
+    /// `a · d · log₂ d` — e.g. sorting an array.
+    LogLinear,
+    /// `d^{3/2}` — multiplying two √d × √d matrices.
+    MatMul,
+}
+
+impl CostPattern {
+    /// All patterns, in the paper's order.
+    pub const ALL: [CostPattern; 3] = [
+        CostPattern::Linear,
+        CostPattern::LogLinear,
+        CostPattern::MatMul,
+    ];
+
+    /// FLOP count for dataset size `d` and iteration factor `a`.
+    pub fn flop(self, d: f64, a: f64) -> f64 {
+        assert!(d > 1.0, "dataset size must exceed one element");
+        match self {
+            CostPattern::Linear => a * d,
+            CostPattern::LogLinear => a * d * d.log2(),
+            CostPattern::MatMul => d.powf(1.5),
+        }
+    }
+}
+
+/// Random cost generation parameters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CostConfig {
+    /// Smallest dataset size (doubles).
+    pub d_min: f64,
+    /// Largest dataset size (doubles); the paper uses 125·10⁶.
+    pub d_max: f64,
+    /// Lower bound of the iteration factor `a` (paper: 2⁶ = 64).
+    pub a_min: f64,
+    /// Upper bound of the iteration factor `a` (paper: 2⁹ = 512).
+    pub a_max: f64,
+    /// Upper bound of `α` (paper: 0.25).
+    pub alpha_max: f64,
+}
+
+impl Default for CostConfig {
+    fn default() -> Self {
+        CostConfig {
+            d_min: 1e6,
+            d_max: D_MAX_PAPER,
+            a_min: 64.0,
+            a_max: 512.0,
+            alpha_max: 0.25,
+        }
+    }
+}
+
+/// One sampled task cost.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TaskCost {
+    /// The drawn computational pattern.
+    pub pattern: CostPattern,
+    /// The drawn dataset size.
+    pub d: f64,
+    /// FLOP count for the task.
+    pub flop: f64,
+    /// Non-parallelizable fraction.
+    pub alpha: f64,
+}
+
+impl CostConfig {
+    /// Validates bounds.
+    fn check(&self) {
+        assert!(self.d_min > 1.0 && self.d_min <= self.d_max, "bad d range");
+        assert!(self.a_min > 0.0 && self.a_min <= self.a_max, "bad a range");
+        assert!((0.0..=1.0).contains(&self.alpha_max), "bad alpha_max");
+    }
+
+    /// Draws a full random task cost: pattern, `d`, `a` and `α`.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> TaskCost {
+        self.check();
+        let pattern = CostPattern::ALL[rng.gen_range(0..CostPattern::ALL.len())];
+        let d = rng.gen_range(self.d_min..=self.d_max);
+        self.sample_with(rng, pattern, d)
+    }
+
+    /// Draws `a` and `α` for a fixed pattern and dataset size — used by the
+    /// layered generator, where tasks of one layer share pattern and size.
+    pub fn sample_with<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        pattern: CostPattern,
+        d: f64,
+    ) -> TaskCost {
+        self.check();
+        let a = rng.gen_range(self.a_min..=self.a_max);
+        let alpha = rng.gen_range(0.0..=self.alpha_max);
+        TaskCost {
+            pattern,
+            d,
+            flop: pattern.flop(d, a),
+            alpha,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn pattern_formulas() {
+        assert_eq!(CostPattern::Linear.flop(1024.0, 2.0), 2048.0);
+        assert_eq!(CostPattern::LogLinear.flop(1024.0, 1.0), 1024.0 * 10.0);
+        assert_eq!(CostPattern::MatMul.flop(1e6, 99.0), 1e9);
+    }
+
+    #[test]
+    fn samples_respect_bounds() {
+        let cfg = CostConfig::default();
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        for _ in 0..500 {
+            let c = cfg.sample(&mut rng);
+            assert!(c.d >= cfg.d_min && c.d <= cfg.d_max);
+            assert!(c.alpha >= 0.0 && c.alpha <= 0.25);
+            assert!(c.flop > 0.0 && c.flop.is_finite());
+        }
+    }
+
+    #[test]
+    fn all_patterns_eventually_drawn() {
+        let cfg = CostConfig::default();
+        let mut rng = ChaCha8Rng::seed_from_u64(11);
+        let mut seen = [false; 3];
+        for _ in 0..200 {
+            match cfg.sample(&mut rng).pattern {
+                CostPattern::Linear => seen[0] = true,
+                CostPattern::LogLinear => seen[1] = true,
+                CostPattern::MatMul => seen[2] = true,
+            }
+        }
+        assert_eq!(seen, [true, true, true]);
+    }
+
+    #[test]
+    fn sampling_is_reproducible_from_seed() {
+        let cfg = CostConfig::default();
+        let a = cfg.sample(&mut ChaCha8Rng::seed_from_u64(42));
+        let b = cfg.sample(&mut ChaCha8Rng::seed_from_u64(42));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn flops_are_in_plausible_paper_magnitudes() {
+        // At d = 125e6 the matmul pattern gives ~1.4e12 FLOP ≈ 450 s
+        // sequential on Grelon's 3.1 GFLOPS — heavy but feasible tasks.
+        let flop = CostPattern::MatMul.flop(D_MAX_PAPER, 1.0);
+        assert!(flop > 1e12 && flop < 2e12);
+    }
+
+    #[test]
+    #[should_panic(expected = "bad d range")]
+    fn invalid_config_panics() {
+        let cfg = CostConfig {
+            d_min: 10.0,
+            d_max: 5.0,
+            ..CostConfig::default()
+        };
+        let _ = cfg.sample(&mut ChaCha8Rng::seed_from_u64(0));
+    }
+}

@@ -1,0 +1,194 @@
+//! Classic parameterized DAG families from the scheduling literature.
+//!
+//! Beyond the paper's FFT/Strassen/DAGGEN corpus, these canonical shapes
+//! are invaluable for unit tests with known optima and for probing where
+//! schedulers break: chains (pure critical path), independent bags (pure
+//! area), fork-join (both at once), out-trees (divide phases) and diamond
+//! meshes (wavefront/stencil dependence).
+
+use crate::costs::CostConfig;
+use ptg::{Ptg, PtgBuilder, TaskId};
+use rand::Rng;
+
+/// A chain `t0 → t1 → … → t(n−1)` — makespan is always the sum of times.
+pub fn chain<R: Rng + ?Sized>(n: usize, costs: &CostConfig, rng: &mut R) -> Ptg {
+    assert!(n >= 1);
+    let mut b = PtgBuilder::with_capacity(n);
+    let ids: Vec<TaskId> = (0..n)
+        .map(|i| {
+            let c = costs.sample(rng);
+            b.add_task(format!("c{i}"), c.flop, c.alpha)
+        })
+        .collect();
+    for w in ids.windows(2) {
+        b.add_edge(w[0], w[1]).expect("fresh edge");
+    }
+    b.build().expect("chain is acyclic")
+}
+
+/// `n` independent tasks — no precedence constraints at all.
+pub fn independent<R: Rng + ?Sized>(n: usize, costs: &CostConfig, rng: &mut R) -> Ptg {
+    assert!(n >= 1);
+    let mut b = PtgBuilder::with_capacity(n);
+    for i in 0..n {
+        let c = costs.sample(rng);
+        b.add_task(format!("i{i}"), c.flop, c.alpha);
+    }
+    b.build().expect("no edges, trivially acyclic")
+}
+
+/// Fork-join: a source fans out to `width` workers which join into a sink.
+pub fn fork_join<R: Rng + ?Sized>(width: usize, costs: &CostConfig, rng: &mut R) -> Ptg {
+    assert!(width >= 1);
+    let mut b = PtgBuilder::with_capacity(width + 2);
+    let sample = |b: &mut PtgBuilder, name: String, rng: &mut R| {
+        let c = costs.sample(rng);
+        b.add_task(name, c.flop, c.alpha)
+    };
+    let src = sample(&mut b, "fork".into(), rng);
+    let workers: Vec<TaskId> = (0..width)
+        .map(|i| sample(&mut b, format!("w{i}"), rng))
+        .collect();
+    let sink = sample(&mut b, "join".into(), rng);
+    for &w in &workers {
+        b.add_edge(src, w).expect("fresh edge");
+        b.add_edge(w, sink).expect("fresh edge");
+    }
+    b.build().expect("fork-join is acyclic")
+}
+
+/// A complete binary out-tree of the given `depth` (`2^depth − 1` tasks):
+/// recursive decomposition without a combine phase.
+pub fn binary_out_tree<R: Rng + ?Sized>(depth: u32, costs: &CostConfig, rng: &mut R) -> Ptg {
+    assert!(depth >= 1, "depth must be at least 1");
+    let n = (1usize << depth) - 1;
+    let mut b = PtgBuilder::with_capacity(n);
+    for i in 0..n {
+        let c = costs.sample(rng);
+        b.add_task(format!("n{i}"), c.flop, c.alpha);
+    }
+    for i in 1..n {
+        let parent = TaskId::from_index((i - 1) / 2);
+        b.add_edge(parent, TaskId::from_index(i)).expect("fresh edge");
+    }
+    b.build().expect("trees are acyclic")
+}
+
+/// A `rows × cols` diamond/wavefront mesh: task `(r, c)` depends on
+/// `(r−1, c)` and `(r, c−1)` — the dependence pattern of stencil sweeps and
+/// dynamic programming (Smith-Waterman, etc.).
+pub fn diamond_mesh<R: Rng + ?Sized>(
+    rows: usize,
+    cols: usize,
+    costs: &CostConfig,
+    rng: &mut R,
+) -> Ptg {
+    assert!(rows >= 1 && cols >= 1);
+    let mut b = PtgBuilder::with_capacity(rows * cols);
+    let id = |r: usize, c: usize| TaskId::from_index(r * cols + c);
+    for r in 0..rows {
+        for c in 0..cols {
+            let cost = costs.sample(rng);
+            b.add_task(format!("m{r}_{c}"), cost.flop, cost.alpha);
+        }
+    }
+    for r in 0..rows {
+        for c in 0..cols {
+            if r > 0 {
+                b.add_edge(id(r - 1, c), id(r, c)).expect("fresh edge");
+            }
+            if c > 0 {
+                b.add_edge(id(r, c - 1), id(r, c)).expect("fresh edge");
+            }
+        }
+    }
+    b.build().expect("mesh edges point forward")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ptg::levels::PrecedenceLevels;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn rng() -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(3)
+    }
+
+    fn costs() -> CostConfig {
+        CostConfig::default()
+    }
+
+    #[test]
+    fn chain_has_n_levels_of_width_one() {
+        let g = chain(6, &costs(), &mut rng());
+        let lv = PrecedenceLevels::compute(&g);
+        assert_eq!(lv.level_count(), 6);
+        assert_eq!(lv.max_width(), 1);
+        assert_eq!(g.edge_count(), 5);
+    }
+
+    #[test]
+    fn independent_bag_is_flat() {
+        let g = independent(9, &costs(), &mut rng());
+        assert_eq!(g.edge_count(), 0);
+        assert_eq!(PrecedenceLevels::compute(&g).level_count(), 1);
+    }
+
+    #[test]
+    fn fork_join_shape() {
+        let g = fork_join(5, &costs(), &mut rng());
+        assert_eq!(g.task_count(), 7);
+        assert_eq!(g.sources().len(), 1);
+        assert_eq!(g.sinks().len(), 1);
+        let lv = PrecedenceLevels::compute(&g);
+        assert_eq!(lv.level_count(), 3);
+        assert_eq!(lv.max_width(), 5);
+    }
+
+    #[test]
+    fn out_tree_counts_and_degrees() {
+        let g = binary_out_tree(4, &costs(), &mut rng());
+        assert_eq!(g.task_count(), 15);
+        assert_eq!(g.sources().len(), 1);
+        assert_eq!(g.sinks().len(), 8); // leaves
+        for v in g.task_ids().skip(1) {
+            assert_eq!(g.in_degree(v), 1);
+        }
+    }
+
+    #[test]
+    fn diamond_mesh_dependencies() {
+        let g = diamond_mesh(3, 4, &costs(), &mut rng());
+        assert_eq!(g.task_count(), 12);
+        // interior node (1,1) = index 5 has 2 parents
+        assert_eq!(g.in_degree(TaskId(5)), 2);
+        // corner (0,0) is the single source, (2,3) the single sink
+        assert_eq!(g.sources(), vec![TaskId(0)]);
+        assert_eq!(g.sinks(), vec![TaskId(11)]);
+        // wavefront: level of (r,c) is r+c
+        let lv = PrecedenceLevels::compute(&g);
+        assert_eq!(lv.level_of(TaskId(5)), 2);
+        assert_eq!(lv.level_count(), 3 + 4 - 1);
+    }
+
+    #[test]
+    fn families_schedule_cleanly_end_to_end() {
+        use exec_model::{SyntheticModel, TimeMatrix};
+        use sched::{Allocation, ListScheduler, Mapper};
+        let graphs = vec![
+            chain(5, &costs(), &mut rng()),
+            independent(7, &costs(), &mut rng()),
+            fork_join(4, &costs(), &mut rng()),
+            binary_out_tree(3, &costs(), &mut rng()),
+            diamond_mesh(3, 3, &costs(), &mut rng()),
+        ];
+        for g in &graphs {
+            let m = TimeMatrix::compute(g, &SyntheticModel::default(), 1e9, 8);
+            let alloc = Allocation::ones(g.task_count());
+            let s = ListScheduler.map(g, &m, &alloc);
+            assert!(sched::validate::all_violations(g, &m, &alloc, &s).is_empty());
+        }
+    }
+}

@@ -1,0 +1,154 @@
+//! FFT parallel task graphs.
+//!
+//! The FFT PTG (Cormen et al.; also in Suter's DAG suite and Hall et al.)
+//! consists of a binary *recursion tree* fanning out from a single source to
+//! `k` leaves, followed by `log₂ k` *butterfly* stages of `k` tasks each.
+//! For the paper's "levels" parameter `k ∈ {2, 4, 8, 16}` the task counts
+//! are `k·log₂ k + 2k − 1` = 5, 15, 39, 95 — exactly the counts in §IV-C.
+
+use crate::costs::CostConfig;
+use ptg::{Ptg, PtgBuilder, TaskId};
+use rand::Rng;
+
+/// Expected task count for an FFT PTG with parameter `k` (a power of two).
+pub fn fft_task_count(k: u32) -> usize {
+    let k = k as usize;
+    let log = k.trailing_zeros() as usize;
+    k * log + 2 * k - 1
+}
+
+/// Builds an FFT PTG with `k` leaves (`k` must be a power of two ≥ 2) and
+/// random task costs drawn from `costs`.
+pub fn fft_ptg<R: Rng + ?Sized>(k: u32, costs: &CostConfig, rng: &mut R) -> Ptg {
+    assert!(k >= 2 && k.is_power_of_two(), "k must be a power of two ≥ 2");
+    let log_k = k.trailing_zeros();
+    let mut b = PtgBuilder::with_capacity(fft_task_count(k));
+    let add = |b: &mut PtgBuilder, name: String, rng: &mut R| -> TaskId {
+        let c = costs.sample(rng);
+        b.add_task(name, c.flop, c.alpha)
+    };
+
+    // Recursion tree: level t has 2^t nodes, t = 0..=log_k; level log_k are
+    // the leaves feeding the butterfly stages.
+    let mut tree_levels: Vec<Vec<TaskId>> = Vec::with_capacity(log_k as usize + 1);
+    for t in 0..=log_k {
+        let width = 1u32 << t;
+        let level: Vec<TaskId> = (0..width)
+            .map(|i| add(&mut b, format!("split_{t}_{i}"), rng))
+            .collect();
+        if let Some(parents) = tree_levels.last() {
+            for (i, &child) in level.iter().enumerate() {
+                b.add_edge(parents[i / 2], child).expect("fresh edge");
+            }
+        }
+        tree_levels.push(level);
+    }
+
+    // Butterfly stages: stage s (0-based) connects node i of the previous
+    // row to nodes i and i XOR 2^s of the current row.
+    let mut prev: Vec<TaskId> = tree_levels.last().expect("tree has levels").clone();
+    for s in 0..log_k {
+        let stage: Vec<TaskId> = (0..k)
+            .map(|i| add(&mut b, format!("bfly_{s}_{i}"), rng))
+            .collect();
+        for (i, &node) in stage.iter().enumerate() {
+            let partner = i ^ (1usize << s);
+            b.add_edge(prev[i], node).expect("fresh edge");
+            b.add_edge(prev[partner], node).expect("fresh edge");
+        }
+        prev = stage;
+    }
+
+    b.build().expect("FFT construction is acyclic")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ptg::analysis::shape_stats;
+    use ptg::levels::PrecedenceLevels;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn rng() -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(1)
+    }
+
+    #[test]
+    fn task_counts_match_the_paper() {
+        // "We use FFT PTGs with 2, 4, 8, and 16 levels, which lead to 5, 15,
+        // 39, or 95 tasks respectively."
+        assert_eq!(fft_task_count(2), 5);
+        assert_eq!(fft_task_count(4), 15);
+        assert_eq!(fft_task_count(8), 39);
+        assert_eq!(fft_task_count(16), 95);
+        for k in [2u32, 4, 8, 16] {
+            let g = fft_ptg(k, &CostConfig::default(), &mut rng());
+            assert_eq!(g.task_count(), fft_task_count(k), "k = {k}");
+        }
+    }
+
+    #[test]
+    fn single_source_and_k_sinks() {
+        for k in [2u32, 4, 8] {
+            let g = fft_ptg(k, &CostConfig::default(), &mut rng());
+            assert_eq!(g.sources().len(), 1, "k = {k}");
+            assert_eq!(g.sinks().len(), k as usize, "k = {k}");
+        }
+    }
+
+    #[test]
+    fn depth_is_two_log_k_plus_one_levels() {
+        for k in [2u32, 4, 8, 16] {
+            let g = fft_ptg(k, &CostConfig::default(), &mut rng());
+            let lv = PrecedenceLevels::compute(&g);
+            let log_k = k.trailing_zeros() as usize;
+            assert_eq!(lv.level_count(), 2 * log_k + 1, "k = {k}");
+            assert_eq!(lv.max_width(), k as usize);
+        }
+    }
+
+    #[test]
+    fn butterfly_nodes_have_two_parents() {
+        let g = fft_ptg(8, &CostConfig::default(), &mut rng());
+        let lv = PrecedenceLevels::compute(&g);
+        let log_k = 3;
+        for l in (log_k + 1)..lv.level_count() {
+            for &v in lv.tasks_on_level(l) {
+                assert_eq!(g.in_degree(v), 2, "butterfly {v} at level {l}");
+            }
+        }
+    }
+
+    #[test]
+    fn graph_is_layered() {
+        for k in [2u32, 4, 16] {
+            let g = fft_ptg(k, &CostConfig::default(), &mut rng());
+            assert!(ptg::levels::is_layered(&g), "k = {k}");
+        }
+    }
+
+    #[test]
+    fn generation_is_seed_deterministic_in_structure_and_costs() {
+        let a = fft_ptg(8, &CostConfig::default(), &mut rng());
+        let b = fft_ptg(8, &CostConfig::default(), &mut rng());
+        assert_eq!(shape_stats(&a), shape_stats(&b));
+        for (ta, tb) in a.tasks().iter().zip(b.tasks()) {
+            assert_eq!(ta, tb);
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ_in_costs_not_shape() {
+        let a = fft_ptg(8, &CostConfig::default(), &mut ChaCha8Rng::seed_from_u64(1));
+        let b = fft_ptg(8, &CostConfig::default(), &mut ChaCha8Rng::seed_from_u64(2));
+        assert_eq!(a.edge_count(), b.edge_count());
+        assert!(a.tasks().iter().zip(b.tasks()).any(|(x, y)| x.flop != y.flop));
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_rejected() {
+        let _ = fft_ptg(6, &CostConfig::default(), &mut rng());
+    }
+}

@@ -1,0 +1,50 @@
+//! Side-by-side Gantt comparison of a heuristic and EMTS (mini Figure 6).
+//!
+//! Schedules one irregular 40-task PTG on a 32-processor cluster with MCPA
+//! and EMTS10, prints both ASCII Gantt charts, and writes SVG versions next
+//! to the binary output so the packing difference is visible at a glance.
+//!
+//! Run with: `cargo run --release --example gantt_compare`
+
+use exec_model::{SyntheticModel, TimeMatrix};
+use platform::Cluster;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use sched::gantt::{ascii_gantt, svg_gantt, SvgOptions};
+use sched::metrics::compute_metrics;
+use sim::runner::{run, Algorithm};
+use workloads::{daggen::random_ptg, CostConfig, DaggenParams};
+
+fn main() {
+    let params = DaggenParams {
+        n: 40,
+        width: 0.5,
+        regularity: 0.2,
+        density: 0.3,
+        jump: 2,
+    };
+    let mut rng = ChaCha8Rng::seed_from_u64(6);
+    let g = random_ptg(&params, &CostConfig::default(), &mut rng);
+    let cluster = Cluster::new("mini-grelon", 32, 3.1);
+    let model = SyntheticModel::default();
+    let matrix = TimeMatrix::compute(&g, &model, cluster.speed_flops(), cluster.processors);
+
+    for alg in [Algorithm::Mcpa, Algorithm::Emts10] {
+        let (report, schedule) = run(alg, &g, &cluster, &model, 123);
+        let metrics = compute_metrics(&g, &matrix, &schedule);
+        println!(
+            "== {} ==  makespan {:.2} s, utilization {:.1} %",
+            report.algorithm,
+            report.makespan,
+            100.0 * metrics.utilization
+        );
+        println!("{}", ascii_gantt(&schedule, 80));
+        let svg = svg_gantt(&g, &schedule, &SvgOptions::default());
+        let path = std::env::temp_dir().join(format!("gantt_{}.svg", report.algorithm));
+        if std::fs::write(&path, svg).is_ok() {
+            println!("wrote {}\n", path.display());
+        }
+    }
+    println!("MCPA's narrow allocations leave processors idle; EMTS stretches the");
+    println!("long tasks across more processors and packs the machine tighter.");
+}

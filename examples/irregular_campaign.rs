@@ -1,0 +1,60 @@
+//! A small experiment campaign over random irregular PTGs.
+//!
+//! Mirrors the paper's headline case (irregular 100-task PTGs on the large
+//! Grelon cluster, Model 2): generates a batch of random graphs, runs MCPA,
+//! HCPA and EMTS5 on each, and reports the mean relative makespan with 95 %
+//! confidence intervals — a miniature of Figure 5 you can run in seconds.
+//!
+//! Run with: `cargo run --release --example irregular_campaign`
+
+use emts::{Emts, EmtsConfig};
+use exec_model::{SyntheticModel, TimeMatrix};
+use heuristics::{allocate_and_map, Hcpa, Mcpa};
+use platform::grelon;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use stats::summary::ratio_summary;
+use stats::Summary;
+use workloads::{daggen::random_ptg, CostConfig, DaggenParams};
+
+fn main() {
+    let cluster = grelon();
+    let model = SyntheticModel::default();
+    let emts = Emts::new(EmtsConfig::emts5());
+    let mut rng = ChaCha8Rng::seed_from_u64(2011);
+    let costs = CostConfig::default();
+    let params = DaggenParams {
+        n: 100,
+        width: 0.5,
+        regularity: 0.2,
+        density: 0.2,
+        jump: 2,
+    };
+    let instances = 10;
+
+    let mut mcpa = Vec::new();
+    let mut hcpa = Vec::new();
+    let mut best = Vec::new();
+    for i in 0..instances {
+        let g = random_ptg(&params, &costs, &mut rng);
+        let matrix = TimeMatrix::compute(&g, &model, cluster.speed_flops(), cluster.processors);
+        mcpa.push(allocate_and_map(&Mcpa, &g, &matrix).1);
+        hcpa.push(allocate_and_map(&Hcpa, &g, &matrix).1);
+        best.push(emts.run(&g, &matrix, i).best_makespan);
+        println!(
+            "instance {i:2}: MCPA {:8.2} s  HCPA {:8.2} s  EMTS5 {:8.2} s",
+            mcpa[i as usize], hcpa[i as usize], best[i as usize]
+        );
+    }
+
+    println!("\n{instances} irregular n=100 PTGs on {cluster}, Model 2:");
+    println!("  makespans: EMTS5 {}", Summary::of(&best).format(2));
+    println!(
+        "  rel. makespan MCPA/EMTS5: {}   (paper Fig. 5: well above 1.0 on Grelon)",
+        ratio_summary(&mcpa, &best).format(3)
+    );
+    println!(
+        "  rel. makespan HCPA/EMTS5: {}",
+        ratio_summary(&hcpa, &best).format(3)
+    );
+}

@@ -1,0 +1,75 @@
+//! Explore execution-time models — including plugging in your own.
+//!
+//! EMTS's selling point is model independence: the EA only ever calls
+//! `ExecutionTimeModel::time`, so *any* implementation works. This example
+//! prints the time-vs-processors curves of the built-in models for one
+//! task, then defines a custom "cache-cliff" model and lets EMTS schedule
+//! against it.
+//!
+//! Run with: `cargo run --example model_explorer`
+
+use emts::{Emts, EmtsConfig};
+use exec_model::{Amdahl, Downey, ExecutionTimeModel, Monotonized, SyntheticModel, TimeMatrix};
+use ptg::{PtgBuilder, Task};
+use stats::TextTable;
+
+/// A custom model: Amdahl, but tasks fall off a cache cliff beyond 8
+/// processors per task (e.g. the working set no longer fits cooperative
+/// caches), making times sharply non-monotonic.
+struct CacheCliff;
+
+impl ExecutionTimeModel for CacheCliff {
+    fn time(&self, task: &Task, p: u32, speed_flops: f64) -> f64 {
+        let base = Amdahl.time(task, p, speed_flops);
+        if p > 8 {
+            base * 2.5
+        } else {
+            base
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "cache-cliff"
+    }
+}
+
+fn main() {
+    let task = Task::new("pdgemm", 50e9, 0.05);
+    let speed = 4.3e9;
+    let amdahl = Amdahl;
+    let model2 = SyntheticModel::default();
+    let downey = Downey::new(16.0, 1.5);
+    let mono2 = Monotonized::new(SyntheticModel::default());
+    let cliff = CacheCliff;
+
+    let mut table = TextTable::new(["p", "Amdahl", "Model 2", "Downey", "mono(M2)", "cache-cliff"]);
+    for p in [1u32, 2, 3, 4, 5, 6, 8, 9, 12, 16, 20] {
+        table.push([
+            p.to_string(),
+            format!("{:.3}", amdahl.time(&task, p, speed)),
+            format!("{:.3}", model2.time(&task, p, speed)),
+            format!("{:.3}", downey.time(&task, p, speed)),
+            format!("{:.3}", mono2.time(&task, p, speed)),
+            format!("{:.3}", cliff.time(&task, p, speed)),
+        ]);
+    }
+    println!("Execution time [s] of a 50 GFLOP task (alpha = 0.05) at 4.3 GFLOPS/proc\n");
+    println!("{}", table.render());
+    println!("Model 2 rises at odd p (×1.3) and non-square even p (×1.1);");
+    println!("the monotonized wrapper flattens those bumps away.\n");
+
+    // EMTS against the custom model: a chain of two tasks on 20 processors.
+    let mut b = PtgBuilder::new();
+    let a = b.add_task("a", 50e9, 0.05);
+    let c = b.add_task("c", 50e9, 0.05);
+    b.add_edge(a, c).expect("fresh edge");
+    let g = b.build().expect("acyclic");
+    let matrix = TimeMatrix::compute(&g, &CacheCliff, speed, 20);
+    let result = Emts::new(EmtsConfig::emts5()).run(&g, &matrix, 1);
+    println!(
+        "EMTS under cache-cliff: allocation {:?}, makespan {:.2} s",
+        result.best.as_slice(),
+        result.best_makespan
+    );
+    println!("note how the EA keeps every task at ≤ 8 processors — it learned the cliff.");
+}

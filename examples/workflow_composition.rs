@@ -1,0 +1,69 @@
+//! Composing workflows and racing EA configurations.
+//!
+//! Real pipelines chain kernels: this example builds "Strassen, then an
+//! FFT over the result, beside an independent stencil sweep" by composing
+//! PTGs serially and in parallel, then schedules the composite with a
+//! *portfolio* of EMTS configurations racing on separate threads — the
+//! paper's future-work idea of comparing evolutionary methods, automated.
+//!
+//! Run with: `cargo run --release --example workflow_composition`
+
+use emts::portfolio::{default_portfolio, run_portfolio};
+use exec_model::{SyntheticModel, TimeMatrix};
+use platform::Cluster;
+use ptg::transform::{compose_parallel, compose_serial, transitive_reduction};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use workloads::families::diamond_mesh;
+use workloads::{fft::fft_ptg, strassen::strassen_ptg, CostConfig};
+
+fn main() {
+    let mut rng = ChaCha8Rng::seed_from_u64(5);
+    let costs = CostConfig::default();
+
+    let strassen = strassen_ptg(&costs, &mut rng);
+    let fft = fft_ptg(8, &costs, &mut rng);
+    let stencil = diamond_mesh(4, 4, &costs, &mut rng);
+
+    // (Strassen ; FFT) ∥ stencil
+    let pipeline = compose_serial(&strassen, &fft);
+    let workflow = compose_parallel(&pipeline, &stencil);
+    let workflow = transitive_reduction(&workflow);
+    let stats = ptg::analysis::shape_stats(&workflow);
+    println!(
+        "composite workflow: {} tasks, {} edges, {} levels, width {}, {:.1} TFLOP total",
+        stats.tasks,
+        stats.edges,
+        stats.levels,
+        stats.max_width,
+        stats.total_flop / 1e12
+    );
+
+    let cluster = Cluster::new("dept-cluster", 48, 3.1);
+    let matrix = TimeMatrix::compute(
+        &workflow,
+        &SyntheticModel::default(),
+        cluster.speed_flops(),
+        cluster.processors,
+    );
+
+    let portfolio = default_portfolio();
+    let outcome = run_portfolio(&portfolio, &workflow, &matrix, 17);
+    println!("\nportfolio results on {cluster}:");
+    for member in &outcome.members {
+        println!(
+            "  {:<16} makespan {:>8.2} s  ({} evaluations, {:.0} ms)",
+            member.label,
+            member.result.best_makespan,
+            member.result.evaluations,
+            member.result.wall_time.as_secs_f64() * 1e3
+        );
+    }
+    let best = outcome.best();
+    println!(
+        "\nwinner: {} at {:.2} s ({}× improvement over its seeds)",
+        best.label,
+        best.result.best_makespan,
+        format_args!("{:.3}", best.result.improvement())
+    );
+}

@@ -1,0 +1,102 @@
+//! Multi-cluster integration: grids, HCPA-grid and grid-EMTS end-to-end.
+
+use emts::GridEmts;
+use exec_model::{Amdahl, SyntheticModel};
+use heuristics::HcpaGrid;
+use platform::grid::{grid5000_pair, Grid};
+use platform::Cluster;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use sched::multi::{map_on_grid, validate_grid_schedule, GridTimeMatrix};
+use workloads::daggen::{random_ptg, DaggenParams};
+use workloads::CostConfig;
+
+fn sample(n: usize, seed: u64) -> ptg::Ptg {
+    random_ptg(
+        &DaggenParams {
+            n,
+            width: 0.5,
+            regularity: 0.5,
+            density: 0.3,
+            jump: 1,
+        },
+        &CostConfig::default(),
+        &mut ChaCha8Rng::seed_from_u64(seed),
+    )
+}
+
+#[test]
+fn combined_grid_beats_the_small_cluster_alone() {
+    use exec_model::TimeMatrix;
+    use heuristics::{allocate_and_map, Hcpa};
+    let grid = grid5000_pair();
+    let chti = &grid.clusters[0];
+    let model = SyntheticModel::default();
+    let mut grid_wins = 0;
+    for seed in 0..4 {
+        let g = sample(60, 300 + seed);
+        let (_, grid_schedule) = HcpaGrid.schedule(&g, &model, &grid);
+        let matrix = TimeMatrix::compute(&g, &model, chti.speed_flops(), chti.processors);
+        let (_, chti_ms) = allocate_and_map(&Hcpa, &g, &matrix);
+        if grid_schedule.makespan() < chti_ms {
+            grid_wins += 1;
+        }
+    }
+    assert!(grid_wins >= 3, "grid won only {grid_wins}/4 against Chti");
+}
+
+#[test]
+fn grid_emts_improves_or_matches_remapped_hcpa_under_both_models() {
+    let grid = grid5000_pair();
+    for seed in 0..2 {
+        let g = sample(40, 400 + seed);
+        for model_case in 0..2 {
+            let result = if model_case == 0 {
+                GridEmts::default().run(&g, &Amdahl, &grid, seed)
+            } else {
+                GridEmts::default().run(&g, &SyntheticModel::default(), &grid, seed)
+            };
+            assert!(result.best_makespan <= result.seed_makespan + 1e-9);
+            assert!(result.best.is_valid_for(&g, &grid));
+        }
+    }
+}
+
+#[test]
+fn heterogeneous_three_cluster_grid_works() {
+    let grid = Grid::new(
+        "tri",
+        vec![
+            Cluster::new("fast-small", 8, 6.0),
+            Cluster::new("mid", 32, 3.0),
+            Cluster::new("slow-big", 64, 1.5),
+        ],
+    );
+    let model = SyntheticModel::default();
+    let g = sample(50, 500);
+    let (alloc, schedule) = HcpaGrid.schedule(&g, &model, &grid);
+    assert!(alloc.is_valid_for(&g, &grid));
+    validate_grid_schedule(&g, &grid, &schedule).unwrap();
+    // Re-mapping the produced allocation is also valid.
+    let matrices = GridTimeMatrix::compute(&g, &model, &grid);
+    let remapped = map_on_grid(&g, &matrices, &alloc, &grid);
+    validate_grid_schedule(&g, &grid, &remapped).unwrap();
+}
+
+#[test]
+fn equivalent_processors_scale_reference_allocations_sensibly() {
+    // Doubling every cluster's speed must not change the *structure* of the
+    // reference allocation (times scale uniformly).
+    let g = sample(30, 600);
+    let base = grid5000_pair();
+    let double = Grid::new(
+        "double",
+        base.clusters
+            .iter()
+            .map(|c| Cluster::new(c.name.clone(), c.processors, c.speed_gflops * 2.0))
+            .collect(),
+    );
+    let a = HcpaGrid.reference_allocation(&g, &Amdahl, &base);
+    let b = HcpaGrid.reference_allocation(&g, &Amdahl, &double);
+    assert_eq!(a, b, "uniform speedup must not alter the CPA trajectory");
+}

@@ -1,0 +1,136 @@
+//! The paper's central experimental claims, asserted as integration tests
+//! on small corpora. These are *qualitative shape* checks (who wins,
+//! where the effect is largest), not absolute-number comparisons — the
+//! paper itself only reports relative makespans.
+
+use emts::{Emts, EmtsConfig};
+use exec_model::{Amdahl, ExecutionTimeModel, SyntheticModel, TimeMatrix};
+use heuristics::{allocate_and_map, Hcpa, Mcpa};
+use platform::presets::{chti, grelon};
+use platform::Cluster;
+use ptg::Ptg;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use workloads::daggen::{random_ptg, DaggenParams};
+use workloads::CostConfig;
+
+fn irregular_batch(count: usize, seed: u64) -> Vec<Ptg> {
+    let params = DaggenParams {
+        n: 100,
+        width: 0.5,
+        regularity: 0.2,
+        density: 0.2,
+        jump: 2,
+    };
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    (0..count)
+        .map(|_| random_ptg(&params, &CostConfig::default(), &mut rng))
+        .collect()
+}
+
+/// Mean relative makespan `T_baseline / T_EMTS5` over a batch.
+fn mean_rel<M: ExecutionTimeModel>(graphs: &[Ptg], cluster: &Cluster, model: &M) -> (f64, f64) {
+    let emts = Emts::new(EmtsConfig::emts5());
+    let (mut mcpa_sum, mut hcpa_sum) = (0.0, 0.0);
+    for (i, g) in graphs.iter().enumerate() {
+        let matrix = TimeMatrix::compute(g, model, cluster.speed_flops(), cluster.processors);
+        let (_, mcpa) = allocate_and_map(&Mcpa, g, &matrix);
+        let (_, hcpa) = allocate_and_map(&Hcpa, g, &matrix);
+        let best = emts.run(g, &matrix, i as u64).best_makespan;
+        mcpa_sum += mcpa / best;
+        hcpa_sum += hcpa / best;
+    }
+    (
+        mcpa_sum / graphs.len() as f64,
+        hcpa_sum / graphs.len() as f64,
+    )
+}
+
+#[test]
+fn claim_emts_never_worse_than_its_seeds_model1_and_model2() {
+    // §V: "the best solution that has been found is definitely conserved"
+    // — relative makespans are ≥ 1 for every instance and both models.
+    let graphs = irregular_batch(4, 50);
+    for cluster in [chti(), grelon()] {
+        let (m1_mcpa, m1_hcpa) = mean_rel(&graphs, &cluster, &Amdahl);
+        let (m2_mcpa, m2_hcpa) = mean_rel(&graphs, &cluster, &SyntheticModel::default());
+        for (label, v) in [
+            ("M1/MCPA", m1_mcpa),
+            ("M1/HCPA", m1_hcpa),
+            ("M2/MCPA", m2_mcpa),
+            ("M2/HCPA", m2_hcpa),
+        ] {
+            assert!(v >= 1.0 - 1e-9, "{}/{}: {v}", cluster.name, label);
+        }
+    }
+}
+
+#[test]
+fn claim_emts_improves_significantly_on_irregular_ptgs_on_grelon_model2() {
+    // Fig. 5's strongest cell: irregular n=100 on the large platform under
+    // the non-monotonic model. The paper shows clear improvements (bars
+    // well above 1.0); we require ≥ 2 % mean improvement as a conservative
+    // smoke threshold.
+    let graphs = irregular_batch(5, 51);
+    let (rel_mcpa, rel_hcpa) = mean_rel(&graphs, &grelon(), &SyntheticModel::default());
+    assert!(rel_mcpa > 1.02, "MCPA/EMTS5 = {rel_mcpa}");
+    assert!(rel_hcpa > 1.02, "HCPA/EMTS5 = {rel_hcpa}");
+}
+
+#[test]
+fn claim_improvement_larger_on_bigger_platform() {
+    // §V-A: "EMTS performs comparatively better for larger platforms" —
+    // checked for MCPA under Model 2 where the paper's effect is clearest.
+    let graphs = irregular_batch(5, 52);
+    let model = SyntheticModel::default();
+    let (chti_rel, _) = mean_rel(&graphs, &chti(), &model);
+    let (grelon_rel, _) = mean_rel(&graphs, &grelon(), &model);
+    assert!(
+        grelon_rel >= chti_rel - 0.02,
+        "Grelon {grelon_rel} should be ≳ Chti {chti_rel}"
+    );
+}
+
+#[test]
+fn claim_emts10_at_least_as_good_as_emts5_on_average() {
+    // §V-B: "the scheduling performance improves if more individuals are
+    // created and tested" — EMTS10 vs EMTS5 mean makespans.
+    let graphs = irregular_batch(4, 53);
+    let cluster = grelon();
+    let model = SyntheticModel::default();
+    let e5 = Emts::new(EmtsConfig::emts5());
+    let e10 = Emts::new(EmtsConfig::emts10());
+    let (mut sum5, mut sum10) = (0.0, 0.0);
+    for (i, g) in graphs.iter().enumerate() {
+        let matrix = TimeMatrix::compute(g, &model, cluster.speed_flops(), cluster.processors);
+        sum5 += e5.run(g, &matrix, i as u64).best_makespan;
+        sum10 += e10.run(g, &matrix, i as u64).best_makespan;
+    }
+    assert!(
+        sum10 <= sum5 * 1.005,
+        "EMTS10 mean {} vs EMTS5 mean {}",
+        sum10 / graphs.len() as f64,
+        sum5 / graphs.len() as f64
+    );
+}
+
+#[test]
+fn claim_mcpa_and_hcpa_grow_allocations_under_model2() {
+    // §V-B: "when applying Model 2, the allocation routine of MCPA or HCPA
+    // does not stop with 1-processor allocations. Often allocations will
+    // grow up to a size of 4–8 processors."
+    use heuristics::Allocator;
+    let graphs = irregular_batch(3, 54);
+    let cluster = grelon();
+    let model = SyntheticModel::default();
+    for g in &graphs {
+        let matrix = TimeMatrix::compute(g, &model, cluster.speed_flops(), cluster.processors);
+        for (name, alloc) in [
+            ("MCPA", Mcpa.allocate(g, &matrix)),
+            ("HCPA", Hcpa.allocate(g, &matrix)),
+        ] {
+            let grown = alloc.as_slice().iter().filter(|&&s| s > 1).count();
+            assert!(grown > 0, "{name} stayed at all-ones");
+        }
+    }
+}
