@@ -1,12 +1,16 @@
 //! Criterion bench: full EMTS runs — backs the paper's §V run-time
-//! discussion (EMTS5 vs EMTS10 on small and large PTGs/platforms).
+//! discussion (EMTS5 vs EMTS10 on small and large PTGs/platforms) — plus
+//! the fitness-engine comparison (scoped threads vs persistent pool vs
+//! memo-cache hits) behind `scripts/bench_smoke.sh`.
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use emts::parallel::{evaluate_fitness_bounded, EvalPool, FitnessEngine};
 use emts::{Emts, EmtsConfig};
 use exec_model::{SyntheticModel, TimeMatrix};
 use platform::{chti, grelon};
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
+use sched::Allocation;
 use workloads::{daggen::random_ptg, strassen::strassen_ptg, CostConfig, DaggenParams};
 
 fn bench_emts(c: &mut Criterion) {
@@ -48,5 +52,116 @@ fn bench_emts(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_emts);
+/// The paper's headline hard case — irregular n=100 on Grelon (P=120) —
+/// evaluated as one generation-sized batch (λ = 25) through each fitness
+/// path. `prepr_baseline` reproduces the pre-engine implementation exactly
+/// (a fresh thread scope per batch, fresh buffers and a per-processor
+/// availability heap per evaluation); `scoped` is that same dispatch over
+/// the new grouped-run mapper core; `pooled` is the persistent worker
+/// pool; `memo_hit` is the steady-state cost once the cache knows the
+/// batch.
+fn bench_fitness_engine(c: &mut Criterion) {
+    const LAMBDA: usize = 25;
+    let mut group = c.benchmark_group("fitness");
+    group.sample_size(10);
+    let mut rng = ChaCha8Rng::seed_from_u64(17);
+    let costs = CostConfig::default();
+    let g = random_ptg(
+        &DaggenParams {
+            n: 100,
+            width: 0.5,
+            regularity: 0.2,
+            density: 0.2,
+            jump: 2,
+        },
+        &costs,
+        &mut rng,
+    );
+    let cluster = grelon();
+    let matrix = TimeMatrix::compute(
+        &g,
+        &SyntheticModel::default(),
+        cluster.speed_flops(),
+        cluster.processors,
+    );
+    let allocs: Vec<Allocation> = (0..LAMBDA)
+        .map(|_| {
+            Allocation::from_vec(
+                (0..g.task_count())
+                    .map(|_| rng.gen_range(1..=cluster.processors))
+                    .collect(),
+            )
+        })
+        .collect();
+
+    group.bench_function("prepr_baseline_grelon_n100_batch25", |b| {
+        b.iter(|| {
+            // The pre-engine fitness path: one thread scope per batch, each
+            // evaluation allocating its own buffers and walking one heap
+            // entry per processor (ListScheduler::makespan_bounded_reference
+            // preserves that core as the correctness oracle).
+            let threads = std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+                .min(allocs.len());
+            let mut results: Vec<Option<f64>> = vec![None; allocs.len()];
+            let chunk = allocs.len().div_ceil(threads);
+            std::thread::scope(|scope| {
+                for (ac, rc) in allocs.chunks(chunk).zip(results.chunks_mut(chunk)) {
+                    scope.spawn(|| {
+                        for (a, r) in ac.iter().zip(rc.iter_mut()) {
+                            *r = sched::ListScheduler.makespan_bounded_reference(
+                                &g,
+                                &matrix,
+                                a,
+                                f64::INFINITY,
+                            );
+                        }
+                    });
+                }
+            });
+            black_box(results)
+        })
+    });
+    group.bench_function("scoped_grelon_n100_batch25", |b| {
+        b.iter(|| {
+            black_box(evaluate_fitness_bounded(
+                &g,
+                &matrix,
+                &allocs,
+                true,
+                f64::INFINITY,
+            ))
+        })
+    });
+    EvalPool::with(&g, &matrix, true, |pool| {
+        group.bench_function("pooled_grelon_n100_batch25", |b| {
+            b.iter(|| black_box(pool.run_batch(allocs.clone(), f64::INFINITY)))
+        });
+    });
+    EvalPool::with(&g, &matrix, false, |pool| {
+        group.bench_function("serial_scratch_grelon_n100_batch25", |b| {
+            b.iter(|| black_box(pool.run_batch(allocs.clone(), f64::INFINITY)))
+        });
+    });
+    EvalPool::with(&g, &matrix, false, |pool| {
+        let mut engine = FitnessEngine::new(pool);
+        let _ = engine.evaluate(&allocs, f64::INFINITY);
+        group.bench_function("memo_hit_grelon_n100_batch25", |b| {
+            b.iter(|| black_box(engine.evaluate(&allocs, f64::INFINITY)))
+        });
+    });
+    group.finish();
+
+    // Cache behaviour of a real run, parsed by scripts/bench_smoke.sh.
+    let r = Emts::new(EmtsConfig::emts10()).run(&g, &matrix, 42);
+    println!(
+        "CACHE_STATS hits={} misses={} rate={:.4}",
+        r.trace.cache_hits,
+        r.trace.cache_misses,
+        r.trace.cache_hit_rate()
+    );
+}
+
+criterion_group!(benches, bench_emts, bench_fitness_engine);
 criterion_main!(benches);

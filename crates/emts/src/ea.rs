@@ -3,9 +3,9 @@
 use crate::config::EmtsConfig;
 use crate::individual::{select_best, Individual};
 use crate::mutation::{mutation_count, MutationOperator};
-use crate::parallel::evaluate_fitness_bounded;
+use crate::parallel::{EvalPool, FitnessEngine};
 use crate::seeds::initial_population;
-use crate::trace::GenerationStats;
+use crate::trace::{ConvergenceTrace, GenerationStats};
 use exec_model::TimeMatrix;
 use ptg::Ptg;
 use rand::SeedableRng;
@@ -34,8 +34,9 @@ pub struct EmtsResult {
     /// Which seed/origin the best individual descended from at the moment
     /// of final selection (`"mutant"` once mutated).
     pub best_origin: &'static str,
-    /// Per-generation fitness trace (first entry is the seed population).
-    pub trace: Vec<GenerationStats>,
+    /// Per-generation fitness trace (first entry is the seed population),
+    /// including the fitness engine's memo-cache counters.
+    pub trace: ConvergenceTrace,
     /// Total fitness evaluations performed (seeds + offspring).
     pub evaluations: usize,
     /// Wall-clock time of the whole run.
@@ -76,7 +77,23 @@ impl Emts {
 
     /// Runs the evolution strategy on `g` for the platform captured in
     /// `matrix`, deterministically derived from `seed`.
+    ///
+    /// Fitness goes through the evaluation engine: a worker pool spawned
+    /// once for the whole run (when `parallel_evaluation` is on) behind a
+    /// memo cache — see [`crate::parallel`]. Neither changes any result.
     pub fn run(&self, g: &Ptg, matrix: &TimeMatrix, seed: u64) -> EmtsResult {
+        EvalPool::with(g, matrix, self.cfg.parallel_evaluation, |pool| {
+            self.run_with_pool(g, matrix, seed, pool)
+        })
+    }
+
+    fn run_with_pool(
+        &self,
+        g: &Ptg,
+        matrix: &TimeMatrix,
+        seed: u64,
+        pool: &mut EvalPool<'_>,
+    ) -> EmtsResult {
         let start = Instant::now();
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
         let v = g.task_count();
@@ -86,13 +103,14 @@ impl Emts {
         // the scheduler object (runs stay independent).
         let mut op = self.op;
 
+        let mut engine = FitnessEngine::new(pool);
         let mut population = initial_population(cfg, &op, g, matrix, &mut rng);
         let mut evaluations = population.len();
         let seed_makespan = population
             .iter()
             .map(|i| i.fitness)
             .fold(f64::INFINITY, f64::min);
-        let mut trace = Vec::with_capacity(cfg.generations + 1);
+        let mut trace = ConvergenceTrace::with_capacity(cfg.generations + 1);
         trace.push(GenerationStats::from_fitness(
             GenerationStats::SEED,
             &population.iter().map(|i| i.fitness).collect::<Vec<_>>(),
@@ -135,13 +153,7 @@ impl Emts {
             } else {
                 f64::INFINITY
             };
-            let fitness = evaluate_fitness_bounded(
-                g,
-                matrix,
-                &offspring_allocs,
-                cfg.parallel_evaluation,
-                cutoff,
-            );
+            let fitness = engine.evaluate(&offspring_allocs, cutoff);
             evaluations += offspring_allocs.len();
             let offspring: Vec<Individual> = offspring_allocs
                 .into_iter()
@@ -191,6 +203,8 @@ impl Emts {
             ));
         }
 
+        trace.cache_hits = engine.cache_hits();
+        trace.cache_misses = engine.cache_misses();
         let best = population
             .into_iter()
             .min_by(|a, b| {
@@ -293,6 +307,16 @@ mod tests {
         assert_eq!(result.evaluations, 5 + 5 * 25);
         assert_eq!(result.generations_run, 5);
         assert_eq!(result.trace.len(), 6);
+    }
+
+    #[test]
+    fn cache_counters_account_for_every_offspring() {
+        let (g, m) = fft_setup(true);
+        let r = Emts::new(EmtsConfig::emts5()).run(&g, &m, 2);
+        // Seeds are evaluated during population init; the engine sees the
+        // λ offspring of each of the 5 generations.
+        assert_eq!(r.trace.cache_hits + r.trace.cache_misses, 5 * 25);
+        assert!((0.0..=1.0).contains(&r.trace.cache_hit_rate()));
     }
 
     #[test]

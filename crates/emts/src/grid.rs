@@ -58,6 +58,8 @@ pub struct GridEmtsResult {
     pub hcpa_native_makespan: f64,
     /// Total fitness evaluations.
     pub evaluations: usize,
+    /// Evaluations answered by the memo cache (subset of `evaluations`).
+    pub cache_hits: usize,
     /// Wall-clock time of the run.
     pub wall_time: Duration,
 }
@@ -97,8 +99,22 @@ impl GridEmts {
         };
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
         let matrices = GridTimeMatrix::compute(g, model, grid);
-        let fitness_of =
-            |alloc: &GridAllocation| map_on_grid(g, &matrices, alloc, grid).makespan();
+        // Memo cache keyed by the full (cluster, width) vector: the grid
+        // mapper is deterministic, so duplicated individuals (plus-selection
+        // keeps parents around, mutation reproduces earlier alleles) skip
+        // the mapping entirely.
+        let mut cache: std::collections::HashMap<Vec<(u32, u32)>, f64> =
+            std::collections::HashMap::new();
+        let mut cache_hits = 0usize;
+        let mut fitness_of = |alloc: &GridAllocation| -> f64 {
+            if let Some(&f) = cache.get(&alloc.per_task) {
+                cache_hits += 1;
+                return f;
+            }
+            let f = map_on_grid(g, &matrices, alloc, grid).makespan();
+            cache.insert(alloc.per_task.clone(), f);
+            f
+        };
 
         // Seeds: HCPA-grid, plus "everything on cluster k, sequential" for
         // each cluster, then mutated copies up to µ.
@@ -155,6 +171,7 @@ impl GridEmts {
             seed_makespan,
             hcpa_native_makespan,
             evaluations,
+            cache_hits,
             wall_time: start.elapsed(),
         }
     }

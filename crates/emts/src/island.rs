@@ -96,10 +96,10 @@ impl IslandEmts {
         for epoch in 0..cfg.epochs {
             let mut results: Vec<Option<(Allocation, f64, usize)>> = Vec::new();
             results.resize_with(cfg.islands, || None);
-            crossbeam::thread::scope(|scope| {
+            std::thread::scope(|scope| {
                 for (i, (slot, warm)) in results.iter_mut().zip(&carried).enumerate() {
                     let epoch_cfg = &epoch_cfg;
-                    scope.spawn(move |_| {
+                    scope.spawn(move || {
                         // Warm start: inject the carried individual by
                         // running EMTS whose first mutation targets it via
                         // the ordinary seeding, then take the better of the
@@ -124,8 +124,7 @@ impl IslandEmts {
                         *slot = Some((alloc, ms, r.evaluations));
                     });
                 }
-            })
-            .expect("island threads do not panic");
+            });
             let epoch_results: Vec<(Allocation, f64, usize)> = results
                 .into_iter()
                 .map(|r| r.expect("every island completed"))

@@ -59,5 +59,6 @@ pub use grid::{GridEmts, GridEmtsConfig, GridEmtsResult};
 pub use individual::Individual;
 pub use island::{IslandConfig, IslandEmts, IslandResult};
 pub use mutation::MutationOperator;
+pub use parallel::{EvalPool, FitnessEngine};
 pub use portfolio::{run_portfolio, PortfolioResult};
-pub use trace::GenerationStats;
+pub use trace::{ConvergenceTrace, GenerationStats};

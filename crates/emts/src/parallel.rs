@@ -1,4 +1,4 @@
-//! Parallel fitness evaluation.
+//! The fitness evaluation engine: persistent worker pool + memo cache.
 //!
 //! The paper notes the EA's cost "is mainly determined by the mapping
 //! function as it evaluates the fitness of individuals". Fitness evaluation
@@ -6,14 +6,42 @@
 //! returns a makespan — so the λ offspring of a generation can be evaluated
 //! on all cores with no effect on the results: mutation (the only RNG
 //! consumer) stays on the caller's thread.
+//!
+//! Three layers, composed by [`crate::Emts::run`]:
+//!
+//! * [`sched::EvalScratch`] (in the `sched` crate) — one set of reusable
+//!   buffers per thread, so a steady-state evaluation performs zero heap
+//!   allocations,
+//! * [`EvalPool`] — worker threads spawned **once per run** and fed batches
+//!   over a channel, instead of a fresh thread scope per generation,
+//! * [`FitnessEngine`] — a memo cache in front of the pool keyed by the
+//!   allocation vector: plus-selection and the shrinking mutation operator
+//!   frequently reproduce earlier individuals, and a cached individual
+//!   skips the mapper entirely.
+//!
+//! Caching cannot change any result: the mapper is deterministic in the
+//! allocation, and a completed evaluation's [`sched::BoundedEval`] carries
+//! `reject_key = max_v (start(v) + bl(v))`, the exact quantity the engine's
+//! in-flight rejection test compares against the cutoff — so the cache
+//! reproduces accept/reject decisions for *any* later cutoff bit-for-bit.
+//!
+//! [`evaluate_fitness`] / [`evaluate_fitness_bounded`] keep the original
+//! scope-per-call implementation as the reference path; the equivalence
+//! tests and the `emts_generation` bench compare the engine against it.
 
 use exec_model::TimeMatrix;
 use ptg::Ptg;
-use sched::{Allocation, ListScheduler};
+use sched::{Allocation, BoundedEval, EvalScratch, ListScheduler};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
 
 /// Evaluates the makespan of every allocation, in parallel when asked.
 ///
 /// Output order matches input order regardless of thread interleaving.
+/// This is the reference implementation (a fresh thread scope per call);
+/// the EA itself runs on [`EvalPool`] + [`FitnessEngine`].
 pub fn evaluate_fitness(
     g: &Ptg,
     matrix: &TimeMatrix,
@@ -49,17 +77,297 @@ pub fn evaluate_fitness_bounded(
         .min(allocs.len());
     let mut results: Vec<Option<f64>> = vec![None; allocs.len()];
     let chunk = allocs.len().div_ceil(threads);
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         for (alloc_chunk, result_chunk) in allocs.chunks(chunk).zip(results.chunks_mut(chunk)) {
-            scope.spawn(move |_| {
+            scope.spawn(move || {
                 for (a, r) in alloc_chunk.iter().zip(result_chunk.iter_mut()) {
                     *r = ListScheduler.makespan_bounded(g, matrix, a, cutoff);
                 }
             });
         }
-    })
-    .expect("fitness evaluation threads do not panic");
+    });
     results
+}
+
+/// One batch of evaluations shared between the pool's workers.
+///
+/// Workers claim indices with an atomic counter, so items are never
+/// evaluated twice and results land positionally no matter which worker
+/// takes which item.
+struct Batch {
+    allocs: Vec<Allocation>,
+    cutoff: f64,
+    /// Next unclaimed index.
+    next: AtomicUsize,
+    /// One write-once slot per allocation.
+    results: Vec<OnceLock<BoundedEval>>,
+    /// Items not yet finished; the worker that finishes the last one flags
+    /// `done`.
+    pending: AtomicUsize,
+    done: Mutex<bool>,
+    done_cv: Condvar,
+}
+
+/// Claims and evaluates items from `batch` until none remain.
+fn drain_batch(g: &Ptg, matrix: &TimeMatrix, batch: &Batch, scratch: &mut EvalScratch) {
+    loop {
+        let i = batch.next.fetch_add(1, Ordering::Relaxed);
+        if i >= batch.allocs.len() {
+            return;
+        }
+        let outcome =
+            ListScheduler.evaluate_bounded_with(g, matrix, &batch.allocs[i], batch.cutoff, scratch);
+        batch.results[i]
+            .set(outcome)
+            .expect("each index is claimed exactly once");
+        if batch.pending.fetch_sub(1, Ordering::AcqRel) == 1 {
+            *batch.done.lock().expect("no poisoned batch lock") = true;
+            batch.done_cv.notify_all();
+        }
+    }
+}
+
+/// A worker: one scratch for its whole lifetime, batches from the shared
+/// channel until the pool is dropped.
+fn worker_loop(g: &Ptg, matrix: &TimeMatrix, rx: &Mutex<Receiver<Arc<Batch>>>) {
+    let mut scratch = EvalScratch::new();
+    loop {
+        // Hold the receiver lock only for the handoff, not the evaluation.
+        let msg = rx.lock().expect("no poisoned receiver lock").recv();
+        match msg {
+            Ok(batch) => drain_batch(g, matrix, &batch, &mut scratch),
+            Err(_) => return, // pool dropped its sender: shut down
+        }
+    }
+}
+
+/// A persistent evaluation pool: worker threads spawned once (per EMTS
+/// run), each owning one [`EvalScratch`], fed whole generations as batches
+/// over a channel.
+///
+/// The calling thread participates in every batch with its own scratch, so
+/// a pool with zero workers degenerates to plain serial evaluation — that
+/// is also the configuration chosen when `parallel` is off.
+pub struct EvalPool<'env> {
+    g: &'env Ptg,
+    matrix: &'env TimeMatrix,
+    /// `None` in serial mode.
+    tx: Option<Sender<Arc<Batch>>>,
+    workers: usize,
+    /// The calling thread's scratch.
+    scratch: EvalScratch,
+}
+
+impl<'env> EvalPool<'env> {
+    /// Runs `f` with a pool over `g`/`matrix`; workers live exactly as long
+    /// as the call (they are joined before `with` returns).
+    ///
+    /// With `parallel` false — or on a single-core machine — no threads are
+    /// spawned and every evaluation runs inline on the caller's scratch.
+    pub fn with<T>(
+        g: &Ptg,
+        matrix: &TimeMatrix,
+        parallel: bool,
+        f: impl FnOnce(&mut EvalPool<'_>) -> T,
+    ) -> T {
+        let workers = if parallel {
+            // The caller drains batches too, so spawn cores − 1 workers.
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+                .saturating_sub(1)
+        } else {
+            0
+        };
+        if workers == 0 {
+            let mut pool = EvalPool {
+                g,
+                matrix,
+                tx: None,
+                workers: 0,
+                scratch: EvalScratch::new(),
+            };
+            return f(&mut pool);
+        }
+        let (tx, rx) = channel::<Arc<Batch>>();
+        let rx = Mutex::new(rx);
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                let rx = &rx;
+                scope.spawn(move || worker_loop(g, matrix, rx));
+            }
+            let mut pool = EvalPool {
+                g,
+                matrix,
+                tx: Some(tx),
+                workers,
+                scratch: EvalScratch::new(),
+            };
+            let out = f(&mut pool);
+            // Dropping the pool drops the sender; workers see the
+            // disconnect and exit, and the scope joins them.
+            drop(pool);
+            out
+        })
+    }
+
+    /// Number of worker threads (0 in serial mode).
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Evaluates every allocation under `cutoff`; results are positional.
+    pub fn run_batch(&mut self, allocs: Vec<Allocation>, cutoff: f64) -> Vec<BoundedEval> {
+        let n = allocs.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let tx = match &self.tx {
+            // Serial mode, and tiny batches aren't worth the dispatch.
+            Some(tx) if n >= 4 => tx,
+            _ => {
+                return allocs
+                    .iter()
+                    .map(|a| {
+                        ListScheduler.evaluate_bounded_with(
+                            self.g,
+                            self.matrix,
+                            a,
+                            cutoff,
+                            &mut self.scratch,
+                        )
+                    })
+                    .collect();
+            }
+        };
+        let batch = Arc::new(Batch {
+            allocs,
+            cutoff,
+            next: AtomicUsize::new(0),
+            results: (0..n).map(|_| OnceLock::new()).collect(),
+            pending: AtomicUsize::new(n),
+            done: Mutex::new(false),
+            done_cv: Condvar::new(),
+        });
+        // One handle per worker; a worker still busy with nothing (batches
+        // are strictly sequential) picks its copy up immediately. A stale
+        // copy that outlives its batch drains zero items and is discarded.
+        for _ in 0..self.workers.min(n) {
+            tx.send(Arc::clone(&batch))
+                .expect("workers outlive the pool handle");
+        }
+        drain_batch(self.g, self.matrix, &batch, &mut self.scratch);
+        let mut done = batch.done.lock().expect("no poisoned batch lock");
+        while !*done {
+            done = batch.done_cv.wait(done).expect("no poisoned batch lock");
+        }
+        drop(done);
+        batch
+            .results
+            .iter()
+            .map(|slot| *slot.get().expect("finished batch has every result"))
+            .collect()
+    }
+}
+
+/// A completed evaluation's cached outcome.
+#[derive(Debug, Clone, Copy)]
+struct Cached {
+    makespan: f64,
+    reject_key: f64,
+}
+
+/// Memoizing front end of the evaluation engine.
+///
+/// Keyed by the full allocation vector. Only *completed* evaluations are
+/// cached (a rejection proves nothing about other cutoffs); a hit decides
+/// accept/reject from the stored `reject_key` with the engine's exact test,
+/// so hits and misses are bit-for-bit interchangeable.
+pub struct FitnessEngine<'p, 'env> {
+    pool: &'p mut EvalPool<'env>,
+    cache: HashMap<Allocation, Cached>,
+    hits: usize,
+    misses: usize,
+}
+
+impl<'p, 'env> FitnessEngine<'p, 'env> {
+    /// Wraps `pool` with an empty cache.
+    pub fn new(pool: &'p mut EvalPool<'env>) -> Self {
+        FitnessEngine {
+            pool,
+            cache: HashMap::new(),
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Bounded fitness of every allocation (`None` = rejected), positional.
+    ///
+    /// Duplicates — across generations via the cache, and within the batch
+    /// via in-batch dedup — are evaluated once.
+    pub fn evaluate(&mut self, allocs: &[Allocation], cutoff: f64) -> Vec<Option<f64>> {
+        // Must match the mapper's rejection threshold exactly (see
+        // `ListScheduler::makespan_bounded` for why the slack exists).
+        let threshold = cutoff * (1.0 + 1e-9);
+        let mut results: Vec<Option<f64>> = vec![None; allocs.len()];
+        let mut first_seen: HashMap<&Allocation, usize> = HashMap::new();
+        let mut miss_indices: Vec<usize> = Vec::new();
+        let mut aliases: Vec<(usize, usize)> = Vec::new();
+        for (i, a) in allocs.iter().enumerate() {
+            if let Some(c) = self.cache.get(a) {
+                self.hits += 1;
+                results[i] = (c.reject_key <= threshold).then_some(c.makespan);
+            } else if let Some(&j) = first_seen.get(a) {
+                self.hits += 1;
+                aliases.push((i, j));
+            } else {
+                self.misses += 1;
+                first_seen.insert(a, i);
+                miss_indices.push(i);
+            }
+        }
+        if !miss_indices.is_empty() {
+            let batch: Vec<Allocation> = miss_indices.iter().map(|&i| allocs[i].clone()).collect();
+            let outcomes = self.pool.run_batch(batch, cutoff);
+            for (&i, outcome) in miss_indices.iter().zip(outcomes) {
+                match outcome {
+                    BoundedEval::Complete {
+                        makespan,
+                        reject_key,
+                    } => {
+                        self.cache.insert(
+                            allocs[i].clone(),
+                            Cached {
+                                makespan,
+                                reject_key,
+                            },
+                        );
+                        results[i] = Some(makespan);
+                    }
+                    BoundedEval::Rejected => results[i] = None,
+                }
+            }
+        }
+        for (i, j) in aliases {
+            results[i] = results[j];
+        }
+        results
+    }
+
+    /// Evaluations answered from the cache (including in-batch duplicates).
+    pub fn cache_hits(&self) -> usize {
+        self.hits
+    }
+
+    /// Evaluations that ran the mapper.
+    pub fn cache_misses(&self) -> usize {
+        self.misses
+    }
+
+    /// Distinct completed allocations currently cached.
+    pub fn cache_len(&self) -> usize {
+        self.cache.len()
+    }
 }
 
 #[cfg(test)]
@@ -67,8 +375,8 @@ mod tests {
     use super::*;
     use exec_model::{SyntheticModel, TimeMatrix};
     use rand::{Rng, SeedableRng};
-    use sched::Mapper as _;
     use rand_chacha::ChaCha8Rng;
+    use sched::Mapper as _;
     use workloads::{daggen::random_ptg, CostConfig, DaggenParams};
 
     fn setup() -> (Ptg, TimeMatrix, Vec<Allocation>) {
@@ -140,6 +448,113 @@ mod tests {
         // The chosen cutoff must actually reject about half the batch.
         let rejected = serial.iter().filter(|f| f.is_none()).count();
         assert!(rejected > 0 && rejected < allocs.len());
+    }
+
+    #[test]
+    fn pool_matches_scoped_reference_with_and_without_cutoff() {
+        let (g, m, allocs) = setup();
+        let exact = evaluate_fitness(&g, &m, &allocs, false);
+        let cutoff = stats_median(&exact);
+        for parallel in [false, true] {
+            for c in [f64::INFINITY, cutoff] {
+                let reference = evaluate_fitness_bounded(&g, &m, &allocs, false, c);
+                let pooled = EvalPool::with(&g, &m, parallel, |pool| {
+                    pool.run_batch(allocs.clone(), c)
+                        .into_iter()
+                        .map(|o| match o {
+                            BoundedEval::Complete { makespan, .. } => Some(makespan),
+                            BoundedEval::Rejected => None,
+                        })
+                        .collect::<Vec<_>>()
+                });
+                assert_eq!(reference, pooled, "parallel={parallel} cutoff={c}");
+            }
+        }
+    }
+
+    #[test]
+    fn pool_reuses_workers_across_batches() {
+        let (g, m, allocs) = setup();
+        let reference = evaluate_fitness(&g, &m, &allocs, false);
+        EvalPool::with(&g, &m, true, |pool| {
+            for _ in 0..3 {
+                let got: Vec<f64> = pool
+                    .run_batch(allocs.clone(), f64::INFINITY)
+                    .into_iter()
+                    .map(|o| match o {
+                        BoundedEval::Complete { makespan, .. } => makespan,
+                        BoundedEval::Rejected => unreachable!("infinite cutoff"),
+                    })
+                    .collect();
+                assert_eq!(reference, got);
+            }
+        });
+    }
+
+    #[test]
+    fn engine_cache_hits_return_identical_values() {
+        let (g, m, allocs) = setup();
+        let reference = evaluate_fitness(&g, &m, &allocs, false);
+        EvalPool::with(&g, &m, false, |pool| {
+            let mut engine = FitnessEngine::new(pool);
+            let first = engine.evaluate(&allocs, f64::INFINITY);
+            assert_eq!(engine.cache_misses(), allocs.len());
+            assert_eq!(engine.cache_hits(), 0);
+            let second = engine.evaluate(&allocs, f64::INFINITY);
+            assert_eq!(engine.cache_hits(), allocs.len());
+            assert_eq!(first, second);
+            for (f, r) in first.iter().zip(&reference) {
+                assert_eq!(f.unwrap(), *r);
+            }
+        });
+    }
+
+    #[test]
+    fn engine_cached_rejection_decisions_match_fresh_evaluation() {
+        let (g, m, allocs) = setup();
+        let exact = evaluate_fitness(&g, &m, &allocs, false);
+        let cutoff = stats_median(&exact);
+        EvalPool::with(&g, &m, false, |pool| {
+            let mut engine = FitnessEngine::new(pool);
+            // Warm the cache with completions (infinite cutoff), then query
+            // at a tight cutoff: every answer must come from the cache and
+            // equal the engine's own decision.
+            let _ = engine.evaluate(&allocs, f64::INFINITY);
+            let misses_before = engine.cache_misses();
+            let cached = engine.evaluate(&allocs, cutoff);
+            assert_eq!(engine.cache_misses(), misses_before, "all hits expected");
+            let fresh = evaluate_fitness_bounded(&g, &m, &allocs, false, cutoff);
+            assert_eq!(cached, fresh);
+        });
+    }
+
+    #[test]
+    fn engine_deduplicates_within_a_batch() {
+        let (g, m, allocs) = setup();
+        let mut dup = allocs.clone();
+        dup.extend(allocs.iter().take(5).cloned());
+        EvalPool::with(&g, &m, false, |pool| {
+            let mut engine = FitnessEngine::new(pool);
+            let results = engine.evaluate(&dup, f64::INFINITY);
+            assert_eq!(engine.cache_misses(), allocs.len());
+            assert_eq!(engine.cache_hits(), 5);
+            for i in 0..5 {
+                assert_eq!(results[i], results[allocs.len() + i]);
+            }
+        });
+    }
+
+    #[test]
+    fn rejected_evaluations_are_not_cached() {
+        let (g, m, allocs) = setup();
+        let exact = evaluate_fitness(&g, &m, &allocs, false);
+        let cutoff = stats_median(&exact);
+        EvalPool::with(&g, &m, false, |pool| {
+            let mut engine = FitnessEngine::new(pool);
+            let bounded = engine.evaluate(&allocs, cutoff);
+            let completed = bounded.iter().filter(|f| f.is_some()).count();
+            assert_eq!(engine.cache_len(), completed);
+        });
     }
 
     fn stats_median(values: &[f64]) -> f64 {

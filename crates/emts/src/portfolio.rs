@@ -53,9 +53,9 @@ pub fn run_portfolio(
     assert!(!configs.is_empty(), "portfolio needs at least one member");
     let mut members: Vec<Option<MemberResult>> = Vec::new();
     members.resize_with(configs.len(), || None);
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         for (i, ((label, cfg), slot)) in configs.iter().zip(members.iter_mut()).enumerate() {
-            scope.spawn(move |_| {
+            scope.spawn(move || {
                 let mut cfg = cfg.clone();
                 cfg.parallel_evaluation = false;
                 let emts = Emts::new(cfg);
@@ -66,8 +66,7 @@ pub fn run_portfolio(
                 });
             });
         }
-    })
-    .expect("portfolio members do not panic");
+    });
     let members: Vec<MemberResult> = members
         .into_iter()
         .map(|m| m.expect("every member completed"))

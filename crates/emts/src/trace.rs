@@ -44,9 +44,86 @@ impl GenerationStats {
     }
 }
 
+/// The full convergence record of one run: per-generation statistics plus
+/// the fitness engine's memo-cache counters.
+///
+/// Derefs to the generation vector, so existing `trace[i]` / `trace.iter()`
+/// call sites keep working.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ConvergenceTrace {
+    /// One entry per generation; the first describes the seed population.
+    pub generations: Vec<GenerationStats>,
+    /// Fitness requests answered from the memo cache.
+    pub cache_hits: usize,
+    /// Fitness requests that ran the mapper.
+    pub cache_misses: usize,
+}
+
+impl ConvergenceTrace {
+    /// Empty trace with room for `capacity` generations.
+    pub fn with_capacity(capacity: usize) -> Self {
+        ConvergenceTrace {
+            generations: Vec::with_capacity(capacity),
+            cache_hits: 0,
+            cache_misses: 0,
+        }
+    }
+
+    /// Fraction of fitness requests served by the cache (0 when none were
+    /// made).
+    pub fn cache_hit_rate(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / total as f64
+        }
+    }
+}
+
+impl std::ops::Deref for ConvergenceTrace {
+    type Target = Vec<GenerationStats>;
+    fn deref(&self) -> &Self::Target {
+        &self.generations
+    }
+}
+
+impl std::ops::DerefMut for ConvergenceTrace {
+    fn deref_mut(&mut self) -> &mut Self::Target {
+        &mut self.generations
+    }
+}
+
+impl<'a> IntoIterator for &'a ConvergenceTrace {
+    type Item = &'a GenerationStats;
+    type IntoIter = std::slice::Iter<'a, GenerationStats>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.generations.iter()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn trace_derefs_to_generations() {
+        let mut trace = ConvergenceTrace::with_capacity(2);
+        trace.push(GenerationStats::from_fitness(GenerationStats::SEED, &[2.0], 0));
+        trace.push(GenerationStats::from_fitness(0, &[1.0], 3));
+        assert_eq!(trace.len(), 2);
+        assert!(trace[0].is_seed());
+        assert_eq!(trace.iter().map(|t| t.best).fold(f64::INFINITY, f64::min), 1.0);
+    }
+
+    #[test]
+    fn hit_rate_handles_empty_and_mixed() {
+        let mut trace = ConvergenceTrace::default();
+        assert_eq!(trace.cache_hit_rate(), 0.0);
+        trace.cache_hits = 3;
+        trace.cache_misses = 1;
+        assert_eq!(trace.cache_hit_rate(), 0.75);
+    }
 
     #[test]
     fn summary_statistics() {

@@ -1,0 +1,123 @@
+//! Property-based equivalence of every fitness-evaluation path.
+//!
+//! The evaluation engine (scratch reuse, persistent pool, memo cache) is a
+//! pure performance layer: on random DAGGEN PTGs and random allocations,
+//! fresh-serial, scratch-reuse, scoped-parallel, pooled-parallel, and
+//! memoized evaluation must return *identical* makespans — including the
+//! accept/reject decision under rejection cutoffs, and including cache hits
+//! answered at a different cutoff than the one they were computed under.
+
+use emts::parallel::{evaluate_fitness_bounded, EvalPool, FitnessEngine};
+use exec_model::{SyntheticModel, TimeMatrix};
+use proptest::prelude::*;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use sched::{Allocation, BoundedEval, EvalScratch, ListScheduler};
+use workloads::{daggen::random_ptg, CostConfig, DaggenParams};
+
+fn scenario() -> impl Strategy<Value = (u64, usize, u32, f64)> {
+    // (graph/allocation seed, task count, platform size, cutoff factor
+    // around the batch median)
+    (0u64..1 << 40, 8usize..40, 4u32..64, 0.5f64..1.5)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn all_fitness_paths_agree_exactly((seed, n, p, cutoff_factor) in scenario()) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let params = DaggenParams {
+            n,
+            width: 0.5,
+            regularity: 0.4,
+            density: 0.3,
+            jump: 2,
+        };
+        let g = random_ptg(&params, &CostConfig::default(), &mut rng);
+        let m = TimeMatrix::compute(&g, &SyntheticModel::default(), 3.1e9, p);
+        let tasks = g.task_count();
+        let allocs: Vec<Allocation> = (0..12)
+            .map(|_| Allocation::from_vec((0..tasks).map(|_| rng.gen_range(1..=p)).collect()))
+            .collect();
+
+        let exact: Vec<f64> = allocs
+            .iter()
+            .map(|a| sched::Mapper::makespan(&ListScheduler, &g, &m, a))
+            .collect();
+        let mut sorted = exact.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite makespans"));
+        let median = sorted[sorted.len() / 2];
+
+        for cutoff in [f64::INFINITY, median * cutoff_factor] {
+            // Reference: a fresh allocation of every buffer per call.
+            let fresh: Vec<Option<f64>> = allocs
+                .iter()
+                .map(|a| ListScheduler.makespan_bounded(&g, &m, a, cutoff))
+                .collect();
+
+            // The per-processor oracle: the pre-optimization core that keeps
+            // one heap entry per processor instead of grouped runs. The
+            // grouped fitness core must agree bit-for-bit, accept and
+            // reject alike.
+            let reference: Vec<Option<f64>> = allocs
+                .iter()
+                .map(|a| ListScheduler.makespan_bounded_reference(&g, &m, a, cutoff))
+                .collect();
+            prop_assert_eq!(&reference, &fresh);
+
+            // One scratch reused across the whole batch.
+            let mut scratch = EvalScratch::new();
+            let scratched: Vec<Option<f64>> = allocs
+                .iter()
+                .map(|a| ListScheduler.makespan_bounded_with(&g, &m, a, cutoff, &mut scratch))
+                .collect();
+            prop_assert_eq!(&fresh, &scratched);
+
+            // The legacy scope-per-call parallel path.
+            let scoped = evaluate_fitness_bounded(&g, &m, &allocs, true, cutoff);
+            prop_assert_eq!(&fresh, &scoped);
+
+            // The persistent pool, parallel and serial.
+            for parallel in [true, false] {
+                let pooled = EvalPool::with(&g, &m, parallel, |pool| {
+                    pool.run_batch(allocs.clone(), cutoff)
+                        .into_iter()
+                        .map(|o| match o {
+                            BoundedEval::Complete { makespan, .. } => Some(makespan),
+                            BoundedEval::Rejected => None,
+                        })
+                        .collect::<Vec<_>>()
+                });
+                prop_assert_eq!(&fresh, &pooled, "parallel={}", parallel);
+            }
+
+            // The memoizing engine: first pass (all misses), second pass
+            // (all hits for completed entries) must both match.
+            EvalPool::with(&g, &m, false, |pool| {
+                let mut engine = FitnessEngine::new(pool);
+                let first = engine.evaluate(&allocs, cutoff);
+                let second = engine.evaluate(&allocs, cutoff);
+                assert_eq!(first, fresh, "engine first pass diverged");
+                assert_eq!(second, fresh, "engine cached pass diverged");
+            });
+        }
+
+        // Cross-cutoff memoization: warm the cache with completions at an
+        // infinite cutoff, then query at the tight cutoff — every answer is
+        // a cache hit and must reproduce the engine's own decision.
+        EvalPool::with(&g, &m, false, |pool| {
+            let mut engine = FitnessEngine::new(pool);
+            let _ = engine.evaluate(&allocs, f64::INFINITY);
+            let misses = engine.cache_misses();
+            let tight = median * cutoff_factor;
+            let cached = engine.evaluate(&allocs, tight);
+            assert_eq!(engine.cache_misses(), misses, "expected pure cache hits");
+            let fresh: Vec<Option<f64>> = allocs
+                .iter()
+                .map(|a| ListScheduler.makespan_bounded(&g, &m, a, tight))
+                .collect();
+            assert_eq!(cached, fresh, "cached cutoff decision diverged");
+        });
+    }
+}

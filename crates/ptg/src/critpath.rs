@@ -20,21 +20,32 @@ use crate::node::TaskId;
 /// # Panics
 /// Panics if `times.len() != g.task_count()`.
 pub fn bottom_levels(g: &Ptg, times: &[f64]) -> Vec<f64> {
+    let mut bl = Vec::new();
+    bottom_levels_into(g, times, &mut bl);
+    bl
+}
+
+/// Like [`bottom_levels`], but writes into `out` (cleared first) so hot
+/// loops can reuse one buffer across evaluations instead of allocating.
+///
+/// # Panics
+/// Panics if `times.len() != g.task_count()`.
+pub fn bottom_levels_into(g: &Ptg, times: &[f64], out: &mut Vec<f64>) {
     assert_eq!(
         times.len(),
         g.task_count(),
         "one execution time per task required"
     );
-    let mut bl = vec![0.0f64; g.task_count()];
+    out.clear();
+    out.resize(g.task_count(), 0.0);
     for &v in g.topo_order().iter().rev() {
         let down = g
             .successors(v)
             .iter()
-            .map(|&s| bl[s.index()])
+            .map(|&s| out[s.index()])
             .fold(0.0f64, f64::max);
-        bl[v.index()] = times[v.index()] + down;
+        out[v.index()] = times[v.index()] + down;
     }
-    bl
 }
 
 /// Computes the top level of every task in O(V + E).
@@ -198,6 +209,15 @@ mod tests {
         let d5 = delta_critical(&g, &t, 0.5).len();
         let d1 = delta_critical(&g, &t, 0.1).len();
         assert!(d9 <= d5 && d5 <= d1);
+    }
+
+    #[test]
+    fn bottom_levels_into_reuses_buffer_and_matches() {
+        let (g, t) = weighted_diamond();
+        let mut buf = vec![99.0; 10]; // stale, wrong-sized buffer
+        bottom_levels_into(&g, &t, &mut buf);
+        assert_eq!(buf, bottom_levels(&g, &t));
+        assert_eq!(buf.len(), g.task_count());
     }
 
     #[test]

@@ -31,5 +31,5 @@ pub mod schedule;
 pub mod validate;
 
 pub use allocation::Allocation;
-pub use mapper::{InsertionScheduler, ListScheduler, Mapper};
+pub use mapper::{BoundedEval, EvalScratch, InsertionScheduler, ListScheduler, Mapper};
 pub use schedule::{Placement, Schedule};

@@ -5,7 +5,8 @@
 //! first processor set that contains s(v) available processors"), originally
 //! from Radulescu & van Gemund's CPA. It doubles as the EA's fitness
 //! function, so it has a makespan-only fast path that skips building the
-//! placement lists.
+//! placement lists and tracks processor availability as grouped runs (see
+//! [`ListScheduler::makespan_bounded_with`] and `schedule_core_grouped`).
 //!
 //! [`InsertionScheduler`] is a backfilling variant that may start a task in
 //! an earlier idle gap; the paper's future-work section motivates cheaper
@@ -15,9 +16,9 @@
 use crate::allocation::Allocation;
 use crate::schedule::{Placement, Schedule};
 use exec_model::TimeMatrix;
-use ptg::critpath::bottom_levels;
+use ptg::critpath::{bottom_levels, bottom_levels_into};
 use ptg::{Ptg, TaskId};
-use std::cmp::Ordering;
+use std::cmp::{Ordering, Reverse};
 use std::collections::BinaryHeap;
 
 /// A mapping algorithm: allocation → schedule.
@@ -36,7 +37,7 @@ pub trait Mapper {
 }
 
 /// Priority-queue entry: larger bottom level first, then smaller task id.
-#[derive(Debug, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 struct ReadyTask {
     bl: f64,
     task: TaskId,
@@ -85,14 +86,114 @@ impl PartialOrd for ReadyTask {
 #[derive(Debug, Clone, Copy, Default)]
 pub struct ListScheduler;
 
+/// All per-evaluation buffers of the list scheduler, reusable across
+/// evaluations.
+///
+/// The EA evaluates the mapping function thousands of times per run on
+/// graphs of identical size; with a scratch carried between calls the whole
+/// evaluation — time gather, bottom levels, ready queue, processor heap —
+/// runs without touching the allocator (heaps and vectors are `clear()`ed,
+/// which keeps their capacity). Create one per worker thread and pass it to
+/// [`ListScheduler::makespan_bounded_with`].
+#[derive(Debug, Clone, Default)]
+pub struct EvalScratch {
+    /// Per-task execution time under the current allocation.
+    times: Vec<f64>,
+    /// Per-task bottom level under the current allocation.
+    bl: Vec<f64>,
+    /// Remaining unscheduled predecessors per task.
+    in_deg: Vec<usize>,
+    /// Latest finish time over each task's scheduled predecessors.
+    data_ready: Vec<f64>,
+    /// Ready tasks by decreasing bottom level.
+    ready: BinaryHeap<ReadyTask>,
+    /// Min-heap of `(free time, processor)` — used by the full mapper,
+    /// which must report concrete processor indices.
+    avail: BinaryHeap<Reverse<(OrderedF64, u32)>>,
+    /// The processors popped for the task being placed (full mapper only).
+    popped: Vec<(f64, u32)>,
+    /// Min-heap of processor *groups* for the makespan-only core: every
+    /// processor popped for a task gets the same finish time, so the heap
+    /// can carry `(free time, count)` runs instead of `count` individual
+    /// entries. Heap traffic drops from `O(Σ s(v) log P)` to
+    /// `O(V log V)` — the dominant cost for wide allocations.
+    groups: BinaryHeap<Reverse<ProcGroup>>,
+}
+
+impl EvalScratch {
+    /// An empty scratch; buffers grow to steady-state size on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A scratch pre-sized for `tasks` tasks on `procs` processors, so even
+    /// the first evaluation allocates nothing beyond this call.
+    pub fn with_capacity(tasks: usize, procs: u32) -> Self {
+        EvalScratch {
+            times: Vec::with_capacity(tasks),
+            bl: Vec::with_capacity(tasks),
+            in_deg: Vec::with_capacity(tasks),
+            data_ready: Vec::with_capacity(tasks),
+            ready: BinaryHeap::with_capacity(tasks),
+            avail: BinaryHeap::with_capacity(procs as usize),
+            popped: Vec::with_capacity(procs as usize),
+            groups: BinaryHeap::with_capacity(tasks + 1),
+        }
+    }
+}
+
+/// A run of processors sharing one availability time.
+///
+/// `seq` is a per-evaluation insertion counter: it makes heap keys unique so
+/// pop order is fully deterministic, without affecting results (groups with
+/// equal times are interchangeable for start-time purposes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct ProcGroup {
+    avail: OrderedF64,
+    seq: u64,
+    count: u32,
+}
+
+impl Ord for ProcGroup {
+    fn cmp(&self, other: &Self) -> Ordering {
+        (self.avail, self.seq).cmp(&(other.avail, other.seq))
+    }
+}
+
+impl PartialOrd for ProcGroup {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Outcome of one bounded evaluation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum BoundedEval {
+    /// The schedule completed within the cutoff.
+    Complete {
+        /// The schedule's makespan.
+        makespan: f64,
+        /// `max_v (start(v) + bl(v))` over the complete schedule — the
+        /// exact quantity the rejection test compares against the cutoff.
+        /// Caching it alongside the makespan lets a memo layer reproduce
+        /// the engine's accept/reject decision for *any* cutoff
+        /// bit-for-bit without re-evaluating (see `emts`'s fitness cache).
+        reject_key: f64,
+    },
+    /// Construction stopped early: some task's `start + bl` exceeded the
+    /// cutoff.
+    Rejected,
+}
+
 impl ListScheduler {
-    /// Shared setup: per-task times, bottom levels, ready queue seeded with
-    /// the sources.
+    /// Shared setup for the *allocating* mappers: per-task times, bottom
+    /// levels, in-degrees and the ready queue seeded with the sources.
+    /// (The list scheduler's own paths use [`EvalScratch`] instead.)
     fn prepare(
         g: &Ptg,
         matrix: &TimeMatrix,
         alloc: &Allocation,
-    ) -> (Vec<f64>, BinaryHeap<ReadyTask>, Vec<usize>) {
+    ) -> (Vec<f64>, Vec<f64>, BinaryHeap<ReadyTask>, Vec<usize>) {
         assert_eq!(alloc.len(), g.task_count(), "allocation/PTG size mismatch");
         assert!(
             alloc.as_slice().iter().all(|&p| p <= matrix.p_max()),
@@ -110,104 +211,236 @@ impl ListScheduler {
                 });
             }
         }
-        (times, ready, in_deg)
+        (times, bl, ready, in_deg)
+    }
+
+    /// Resets `scratch`'s task-side buffers for an evaluation of `alloc` on
+    /// `g`; no allocation once the buffers have reached steady-state
+    /// capacity. The processor-side heap is seeded by the placement core
+    /// (per-processor entries for the full mapper, one group for the
+    /// makespan-only core).
+    fn prepare_into(g: &Ptg, matrix: &TimeMatrix, alloc: &Allocation, scratch: &mut EvalScratch) {
+        assert_eq!(alloc.len(), g.task_count(), "allocation/PTG size mismatch");
+        assert!(
+            alloc.as_slice().iter().all(|&p| p <= matrix.p_max()),
+            "allocation exceeds platform size"
+        );
+        matrix.fill_times(alloc.as_slice(), &mut scratch.times);
+        bottom_levels_into(g, &scratch.times, &mut scratch.bl);
+        scratch.in_deg.clear();
+        scratch.in_deg.extend(g.task_ids().map(|v| g.in_degree(v)));
+        scratch.data_ready.clear();
+        scratch.data_ready.resize(g.task_count(), 0.0);
+        scratch.ready.clear();
+        for v in g.task_ids() {
+            if scratch.in_deg[v.index()] == 0 {
+                scratch.ready.push(ReadyTask {
+                    bl: scratch.bl[v.index()],
+                    task: v,
+                });
+            }
+        }
+    }
+
+    /// The per-processor placement routine behind [`Mapper::map`] (and the
+    /// reference oracle for the grouped core below).
+    ///
+    /// Ready tasks pop by decreasing bottom level (ties toward the smaller
+    /// task id); each takes the `s(v)` earliest-free processors from the
+    /// min-heap — identical tie-breaking by processor index as a full sort
+    /// of the availability vector, at O(s log P) instead of O(P log P) per
+    /// task. `on_place` observes every placement `(task, start, finish,
+    /// popped processors)`; the full mapper records placements there while
+    /// the makespan-only reference passes a no-op.
+    #[inline]
+    fn schedule_core<F>(
+        g: &Ptg,
+        alloc: &Allocation,
+        p_max: u32,
+        cutoff: f64,
+        scratch: &mut EvalScratch,
+        mut on_place: F,
+    ) -> BoundedEval
+    where
+        F: FnMut(TaskId, f64, f64, &[(f64, u32)]),
+    {
+        // The rejection test keeps a small relative slack: `start + bl` can
+        // exceed the true makespan by an ulp because the bottom level sums
+        // task times in a different order than the schedule accumulates
+        // them, and a schedule exactly at the cutoff must not be rejected.
+        let threshold = cutoff * (1.0 + 1e-9);
+        let mut makespan = 0.0f64;
+        let mut reject_key = 0.0f64;
+        scratch.avail.clear();
+        for q in 0..p_max {
+            scratch.avail.push(Reverse((OrderedF64(0.0), q)));
+        }
+
+        while let Some(ReadyTask { task: v, .. }) = scratch.ready.pop() {
+            let s = alloc.of(v) as usize;
+            scratch.popped.clear();
+            for _ in 0..s {
+                let Reverse((OrderedF64(free), q)) =
+                    scratch.avail.pop().expect("alloc ≤ P ensured by prepare");
+                scratch.popped.push((free, q));
+            }
+            let procs_free = scratch.popped.last().expect("s ≥ 1").0;
+            let start = scratch.data_ready[v.index()].max(procs_free);
+            // Rejection test: everything on v's bottom-level path still has
+            // to run after `start`, so the final makespan is at least
+            // `start + bl(v)`.
+            let lower_bound = start + scratch.bl[v.index()];
+            if lower_bound > threshold {
+                return BoundedEval::Rejected;
+            }
+            reject_key = reject_key.max(lower_bound);
+            let finish = start + scratch.times[v.index()];
+            for i in 0..s {
+                let q = scratch.popped[i].1;
+                scratch.avail.push(Reverse((OrderedF64(finish), q)));
+            }
+            makespan = makespan.max(finish);
+            on_place(v, start, finish, &scratch.popped);
+            for &w in g.successors(v) {
+                scratch.data_ready[w.index()] = scratch.data_ready[w.index()].max(finish);
+                scratch.in_deg[w.index()] -= 1;
+                if scratch.in_deg[w.index()] == 0 {
+                    scratch.ready.push(ReadyTask {
+                        bl: scratch.bl[w.index()],
+                        task: w,
+                    });
+                }
+            }
+        }
+        BoundedEval::Complete {
+            makespan,
+            reject_key,
+        }
+    }
+
+    /// The makespan-only placement core — the EA's inner loop.
+    ///
+    /// Equivalent to [`Self::schedule_core`] but tracks processor
+    /// availability as *groups*: a task's `s(v)` processors all free up at
+    /// the same finish time, so they re-enter the heap as a single
+    /// `(finish, s(v))` run, and selection pops whole runs until `s(v)`
+    /// processors are covered (splitting at most the last run). The start
+    /// time only depends on the s(v)-th smallest availability value, which
+    /// is the same multiset either way, so makespans and rejection keys are
+    /// **bit-identical** to the per-processor core — proven by the property
+    /// tests in `emts/tests/prop_fitness.rs`.
+    ///
+    /// Each placement pushes at most two runs, so total heap traffic is
+    /// O(V log V) regardless of allocation widths — on wide platforms
+    /// (P = 120 and mean width P/2 this is ~30× fewer heap operations than
+    /// the per-processor core).
+    fn schedule_core_grouped(
+        g: &Ptg,
+        alloc: &Allocation,
+        p_max: u32,
+        cutoff: f64,
+        scratch: &mut EvalScratch,
+    ) -> BoundedEval {
+        // Same slack rationale as `schedule_core`.
+        let threshold = cutoff * (1.0 + 1e-9);
+        let mut makespan = 0.0f64;
+        let mut reject_key = 0.0f64;
+        scratch.groups.clear();
+        scratch.groups.push(Reverse(ProcGroup {
+            avail: OrderedF64(0.0),
+            seq: 0,
+            count: p_max,
+        }));
+        let mut next_seq = 1u64;
+
+        while let Some(ReadyTask { task: v, .. }) = scratch.ready.pop() {
+            let s = alloc.of(v);
+            let mut need = s;
+            let mut procs_free = 0.0f64;
+            let mut remainder: Option<ProcGroup> = None;
+            while need > 0 {
+                let Reverse(run) = scratch.groups.pop().expect("alloc ≤ P ensured by prepare");
+                // Runs pop in nondecreasing availability order, so the last
+                // one visited carries the s(v)-th smallest free time.
+                procs_free = run.avail.0;
+                if run.count > need {
+                    remainder = Some(ProcGroup {
+                        count: run.count - need,
+                        ..run
+                    });
+                    need = 0;
+                } else {
+                    need -= run.count;
+                }
+            }
+            let start = scratch.data_ready[v.index()].max(procs_free);
+            let lower_bound = start + scratch.bl[v.index()];
+            if lower_bound > threshold {
+                return BoundedEval::Rejected;
+            }
+            reject_key = reject_key.max(lower_bound);
+            let finish = start + scratch.times[v.index()];
+            if let Some(run) = remainder {
+                scratch.groups.push(Reverse(run));
+            }
+            scratch.groups.push(Reverse(ProcGroup {
+                avail: OrderedF64(finish),
+                seq: next_seq,
+                count: s,
+            }));
+            next_seq += 1;
+            makespan = makespan.max(finish);
+            for &w in g.successors(v) {
+                scratch.data_ready[w.index()] = scratch.data_ready[w.index()].max(finish);
+                scratch.in_deg[w.index()] -= 1;
+                if scratch.in_deg[w.index()] == 0 {
+                    scratch.ready.push(ReadyTask {
+                        bl: scratch.bl[w.index()],
+                        task: w,
+                    });
+                }
+            }
+        }
+        BoundedEval::Complete {
+            makespan,
+            reject_key,
+        }
     }
 }
 
 impl Mapper for ListScheduler {
     fn map(&self, g: &Ptg, matrix: &TimeMatrix, alloc: &Allocation) -> Schedule {
         let p_total = matrix.p_max();
-        let (times, mut ready, mut in_deg) = Self::prepare(g, matrix, alloc);
-        let bl = bottom_levels(g, &times);
-        let mut avail = vec![0.0f64; p_total as usize];
-        let mut data_ready = vec![0.0f64; g.task_count()];
+        let mut scratch = EvalScratch::with_capacity(g.task_count(), p_total);
+        Self::prepare_into(g, matrix, alloc, &mut scratch);
         let mut placements = Vec::with_capacity(g.task_count());
-        // Reusable index buffer for selecting the earliest-free processors.
-        let mut order: Vec<u32> = (0..p_total).collect();
-
-        while let Some(ReadyTask { task: v, .. }) = ready.pop() {
-            let s = alloc.of(v) as usize;
-            // "First processor set with s(v) available processors": the s
-            // earliest-free processors, ties broken by processor index.
-            order.sort_unstable_by(|&a, &b| {
-                avail[a as usize]
-                    .partial_cmp(&avail[b as usize])
-                    .expect("availability times are finite")
-                    .then(a.cmp(&b))
-            });
-            let chosen = &order[..s];
-            let procs_free = avail[chosen[s - 1] as usize];
-            let start = data_ready[v.index()].max(procs_free);
-            let finish = start + times[v.index()];
-            let mut processors: Vec<u32> = chosen.to_vec();
-            processors.sort_unstable();
-            for &q in &processors {
-                avail[q as usize] = finish;
-            }
-            placements.push(Placement {
-                task: v,
-                start,
-                finish,
-                processors,
-            });
-            for &w in g.successors(v) {
-                data_ready[w.index()] = data_ready[w.index()].max(finish);
-                in_deg[w.index()] -= 1;
-                if in_deg[w.index()] == 0 {
-                    ready.push(ReadyTask {
-                        bl: bl[w.index()],
-                        task: w,
-                    });
-                }
-            }
-        }
+        let outcome = Self::schedule_core(
+            g,
+            alloc,
+            p_total,
+            f64::INFINITY,
+            &mut scratch,
+            |task, start, finish, popped| {
+                let mut processors: Vec<u32> = popped.iter().map(|&(_, q)| q).collect();
+                processors.sort_unstable();
+                placements.push(Placement {
+                    task,
+                    start,
+                    finish,
+                    processors,
+                });
+            },
+        );
+        debug_assert!(matches!(outcome, BoundedEval::Complete { .. }));
         Schedule::new(p_total, placements)
     }
 
-    /// Makespan-only evaluation.
-    ///
-    /// Identical placement decisions as [`Mapper::map`], but processor
-    /// availability is kept in a min-heap of free times instead of an
-    /// indexed array: picking the `s` earliest-free processors is popping
-    /// `s` entries, and starting a task pushes back `s` copies of its finish
-    /// time. This drops the O(P log P) sort per task to O(s log P) and skips
-    /// all placement bookkeeping — this is the EA's inner loop.
+    /// Makespan-only evaluation: the same placement routine with placement
+    /// recording compiled out — this is the EA's inner loop.
     fn makespan(&self, g: &Ptg, matrix: &TimeMatrix, alloc: &Allocation) -> f64 {
-        let p_total = matrix.p_max();
-        let (times, mut ready, mut in_deg) = Self::prepare(g, matrix, alloc);
-        let bl = bottom_levels(g, &times);
-        // Min-heap of processor free times via Reverse-ordered floats.
-        let mut avail: BinaryHeap<std::cmp::Reverse<OrderedF64>> =
-            (0..p_total).map(|_| std::cmp::Reverse(OrderedF64(0.0))).collect();
-        let mut data_ready = vec![0.0f64; g.task_count()];
-        let mut popped = Vec::with_capacity(p_total as usize);
-        let mut makespan = 0.0f64;
-
-        while let Some(ReadyTask { task: v, .. }) = ready.pop() {
-            let s = alloc.of(v) as usize;
-            popped.clear();
-            for _ in 0..s {
-                popped.push(avail.pop().expect("alloc ≤ P ensured by prepare").0 .0);
-            }
-            let procs_free = *popped.last().expect("s ≥ 1");
-            let start = data_ready[v.index()].max(procs_free);
-            let finish = start + times[v.index()];
-            for _ in 0..s {
-                avail.push(std::cmp::Reverse(OrderedF64(finish)));
-            }
-            makespan = makespan.max(finish);
-            for &w in g.successors(v) {
-                data_ready[w.index()] = data_ready[w.index()].max(finish);
-                in_deg[w.index()] -= 1;
-                if in_deg[w.index()] == 0 {
-                    ready.push(ReadyTask {
-                        bl: bl[w.index()],
-                        task: w,
-                    });
-                }
-            }
-        }
-        makespan
+        let mut scratch = EvalScratch::with_capacity(g.task_count(), matrix.p_max());
+        self.makespan_bounded_with(g, matrix, alloc, f64::INFINITY, &mut scratch)
+            .expect("infinite cutoff never rejects")
     }
 
     fn name(&self) -> &'static str {
@@ -235,49 +468,62 @@ impl ListScheduler {
         alloc: &Allocation,
         cutoff: f64,
     ) -> Option<f64> {
-        let p_total = matrix.p_max();
-        let (times, mut ready, mut in_deg) = Self::prepare(g, matrix, alloc);
-        let bl = bottom_levels(g, &times);
-        let mut avail: BinaryHeap<std::cmp::Reverse<OrderedF64>> =
-            (0..p_total).map(|_| std::cmp::Reverse(OrderedF64(0.0))).collect();
-        let mut data_ready = vec![0.0f64; g.task_count()];
-        let mut popped = Vec::with_capacity(p_total as usize);
-        let mut makespan = 0.0f64;
+        let mut scratch = EvalScratch::with_capacity(g.task_count(), matrix.p_max());
+        self.makespan_bounded_with(g, matrix, alloc, cutoff, &mut scratch)
+    }
 
-        while let Some(ReadyTask { task: v, .. }) = ready.pop() {
-            let s = alloc.of(v) as usize;
-            popped.clear();
-            for _ in 0..s {
-                popped.push(avail.pop().expect("alloc ≤ P ensured by prepare").0 .0);
-            }
-            let start = data_ready[v.index()].max(*popped.last().expect("s ≥ 1"));
-            // Rejection test: everything on v's bottom-level path still has
-            // to run after `start`. The small relative slack keeps the test
-            // sound under floating-point reassociation — `start + bl` can
-            // exceed the true makespan by an ulp because the bottom level
-            // sums task times in a different order than the schedule
-            // accumulates them, and a schedule exactly at the cutoff must
-            // not be rejected.
-            if start + bl[v.index()] > cutoff * (1.0 + 1e-9) {
-                return None;
-            }
-            let finish = start + times[v.index()];
-            for _ in 0..s {
-                avail.push(std::cmp::Reverse(OrderedF64(finish)));
-            }
-            makespan = makespan.max(finish);
-            for &w in g.successors(v) {
-                data_ready[w.index()] = data_ready[w.index()].max(finish);
-                in_deg[w.index()] -= 1;
-                if in_deg[w.index()] == 0 {
-                    ready.push(ReadyTask {
-                        bl: bl[w.index()],
-                        task: w,
-                    });
-                }
-            }
+    /// [`Self::makespan_bounded`] with caller-provided buffers: after the
+    /// first call on a given problem size, evaluation performs **zero heap
+    /// allocations**. This is the entry point the EA's evaluation engine
+    /// uses, one scratch per worker thread.
+    pub fn makespan_bounded_with(
+        &self,
+        g: &Ptg,
+        matrix: &TimeMatrix,
+        alloc: &Allocation,
+        cutoff: f64,
+        scratch: &mut EvalScratch,
+    ) -> Option<f64> {
+        match self.evaluate_bounded_with(g, matrix, alloc, cutoff, scratch) {
+            BoundedEval::Complete { makespan, .. } => Some(makespan),
+            BoundedEval::Rejected => None,
         }
-        Some(makespan)
+    }
+
+    /// Like [`Self::makespan_bounded_with`], but a completed evaluation
+    /// also reports its rejection key (see [`BoundedEval`]) so callers can
+    /// memoize accept/reject decisions exactly.
+    pub fn evaluate_bounded_with(
+        &self,
+        g: &Ptg,
+        matrix: &TimeMatrix,
+        alloc: &Allocation,
+        cutoff: f64,
+        scratch: &mut EvalScratch,
+    ) -> BoundedEval {
+        Self::prepare_into(g, matrix, alloc, scratch);
+        Self::schedule_core_grouped(g, alloc, matrix.p_max(), cutoff, scratch)
+    }
+
+    /// The straightforward per-processor evaluation, retained as the
+    /// correctness oracle for the grouped fitness core and as the benchmark
+    /// baseline for the pre-engine implementation: fresh buffers every call,
+    /// one heap entry per processor. Produces bit-identical results to
+    /// [`Self::makespan_bounded`].
+    pub fn makespan_bounded_reference(
+        &self,
+        g: &Ptg,
+        matrix: &TimeMatrix,
+        alloc: &Allocation,
+        cutoff: f64,
+    ) -> Option<f64> {
+        let mut scratch = EvalScratch::with_capacity(g.task_count(), matrix.p_max());
+        Self::prepare_into(g, matrix, alloc, &mut scratch);
+        match Self::schedule_core(g, alloc, matrix.p_max(), cutoff, &mut scratch, |_, _, _, _| {})
+        {
+            BoundedEval::Complete { makespan, .. } => Some(makespan),
+            BoundedEval::Rejected => None,
+        }
     }
 }
 
@@ -309,8 +555,7 @@ pub struct InsertionScheduler;
 impl Mapper for InsertionScheduler {
     fn map(&self, g: &Ptg, matrix: &TimeMatrix, alloc: &Allocation) -> Schedule {
         let p_total = matrix.p_max() as usize;
-        let (times, mut ready, mut in_deg) = ListScheduler::prepare(g, matrix, alloc);
-        let bl = bottom_levels(g, &times);
+        let (times, bl, mut ready, mut in_deg) = ListScheduler::prepare(g, matrix, alloc);
         // Per-processor busy intervals, kept sorted by start time.
         let mut busy: Vec<Vec<(f64, f64)>> = vec![Vec::new(); p_total];
         let mut data_ready = vec![0.0f64; g.task_count()];
@@ -564,6 +809,114 @@ mod tests {
                     let got = ListScheduler.makespan_bounded(&g, &m, &alloc, cutoff);
                     assert_eq!(got, Some(exact), "alloc {alloc:?} cutoff {cutoff}");
                 }
+            }
+        }
+    }
+
+    #[test]
+    fn scratch_reuse_matches_fresh_evaluation() {
+        let g = fork_join();
+        let m = matrix(&g, 4);
+        let mut scratch = EvalScratch::new();
+        for alloc in [
+            Allocation::ones(5),
+            Allocation::from_vec(vec![4, 2, 1, 3, 4]),
+            Allocation::from_vec(vec![2, 2, 2, 2, 2]),
+            Allocation::from_vec(vec![1, 4, 4, 1, 1]),
+        ] {
+            let fresh = ListScheduler.makespan(&g, &m, &alloc);
+            let reused = ListScheduler
+                .makespan_bounded_with(&g, &m, &alloc, f64::INFINITY, &mut scratch)
+                .expect("infinite cutoff never rejects");
+            assert_eq!(fresh.to_bits(), reused.to_bits(), "alloc {alloc:?}");
+        }
+    }
+
+    #[test]
+    fn scratch_survives_changing_problem_sizes() {
+        // A stale scratch from a bigger problem must not leak into a smaller
+        // one (and vice versa).
+        let big = fork_join();
+        let big_m = matrix(&big, 4);
+        let mut b = PtgBuilder::new();
+        let x = b.add_task("x", 1e9, 0.0);
+        let y = b.add_task("y", 2e9, 0.0);
+        b.add_edge(x, y).unwrap();
+        let small = b.build().unwrap();
+        let small_m = matrix(&small, 2);
+
+        let mut scratch = EvalScratch::new();
+        let alloc_big = Allocation::from_vec(vec![4, 2, 1, 3, 4]);
+        let alloc_small = Allocation::from_vec(vec![2, 1]);
+        for _ in 0..2 {
+            let r_big = ListScheduler
+                .makespan_bounded_with(&big, &big_m, &alloc_big, f64::INFINITY, &mut scratch)
+                .unwrap();
+            assert_eq!(r_big, ListScheduler.makespan(&big, &big_m, &alloc_big));
+            let r_small = ListScheduler
+                .makespan_bounded_with(&small, &small_m, &alloc_small, f64::INFINITY, &mut scratch)
+                .unwrap();
+            assert_eq!(r_small, ListScheduler.makespan(&small, &small_m, &alloc_small));
+        }
+    }
+
+    #[test]
+    fn reject_key_reproduces_cutoff_decisions() {
+        // For a completed evaluation, `reject_key > cutoff * (1 + 1e-9)`
+        // must agree with the engine's own accept/reject for any cutoff.
+        let g = fork_join();
+        let m = matrix(&g, 4);
+        let mut scratch = EvalScratch::new();
+        for alloc in [
+            Allocation::ones(5),
+            Allocation::from_vec(vec![4, 2, 1, 3, 4]),
+            Allocation::from_vec(vec![1, 4, 4, 1, 1]),
+        ] {
+            let BoundedEval::Complete { makespan, reject_key } = ListScheduler
+                .evaluate_bounded_with(&g, &m, &alloc, f64::INFINITY, &mut scratch)
+            else {
+                panic!("infinite cutoff never rejects");
+            };
+            for factor in [0.3, 0.8, 0.95, 1.0, 1.05, 2.0] {
+                let cutoff = makespan * factor;
+                let engine = ListScheduler.makespan_bounded(&g, &m, &alloc, cutoff);
+                let memo = if reject_key > cutoff * (1.0 + 1e-9) {
+                    None
+                } else {
+                    Some(makespan)
+                };
+                assert_eq!(engine, memo, "alloc {alloc:?} cutoff {cutoff}");
+            }
+        }
+    }
+
+    #[test]
+    fn grouped_core_is_bit_identical_to_per_processor_reference() {
+        // The fitness path tracks processor availability as (time, count)
+        // runs; the full mapper keeps individual processors. Same multiset
+        // of free times → bit-identical start/finish times.
+        let g = fork_join();
+        let m = matrix(&g, 4);
+        for alloc in [
+            Allocation::ones(5),
+            Allocation::from_vec(vec![4, 2, 1, 3, 4]),
+            Allocation::from_vec(vec![2, 3, 2, 1, 2]),
+            Allocation::from_vec(vec![1, 4, 4, 1, 1]),
+        ] {
+            let reference = ListScheduler
+                .makespan_bounded_reference(&g, &m, &alloc, f64::INFINITY)
+                .expect("infinite cutoff never rejects");
+            let grouped = ListScheduler.makespan(&g, &m, &alloc);
+            assert_eq!(reference.to_bits(), grouped.to_bits(), "alloc {alloc:?}");
+            let mapped = ListScheduler.map(&g, &m, &alloc).makespan();
+            assert_eq!(reference.to_bits(), mapped.to_bits(), "alloc {alloc:?}");
+            for factor in [0.5, 0.9, 1.0, 1.1] {
+                let cutoff = reference * factor;
+                assert_eq!(
+                    ListScheduler.makespan_bounded_reference(&g, &m, &alloc, cutoff),
+                    ListScheduler.makespan_bounded(&g, &m, &alloc, cutoff),
+                    "alloc {alloc:?} cutoff {cutoff}"
+                );
             }
         }
     }

@@ -1,0 +1,80 @@
+#!/usr/bin/env bash
+# Fitness-engine benchmark smoke run.
+#
+# Runs the `fitness` group of crates/bench/benches/emts_generation.rs —
+# pre-engine baseline vs the zero-allocation grouped-core engine paths on
+# the paper's hard case (irregular n=100 DAGGEN on Grelon, P=120, one
+# generation-sized batch of λ=25) — and writes BENCH_fitness.json at the
+# repo root with per-evaluation medians and the memo-cache statistics of a
+# real EMTS10 run.
+#
+# Usage: scripts/bench_smoke.sh
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BATCH=25
+OUT=BENCH_fitness.json
+LOG=$(mktemp)
+trap 'rm -f "$LOG"' EXIT
+
+cargo bench --offline -p bench --bench mapper 2>&1 | tee "$LOG"
+cargo bench --offline -p bench --bench emts_generation -- fitness 2>&1 | tee -a "$LOG"
+
+awk -v batch="$BATCH" '
+    /^CRITERION_RESULT id=fitness\// {
+        id = ""; median = ""
+        for (i = 1; i <= NF; i++) {
+            if ($i ~ /^id=/)        { id = substr($i, 4); sub(/^fitness\//, "", id) }
+            if ($i ~ /^median_ns=/) { median = substr($i, 11) }
+        }
+        sub(/_grelon_n100_batch25$/, "", id)
+        medians[id] = median
+        order[n++] = id
+    }
+    /^CRITERION_RESULT id=mapper\// {
+        id = ""; median = ""
+        for (i = 1; i <= NF; i++) {
+            if ($i ~ /^id=/)        { id = substr($i, 4); sub(/^mapper\//, "", id) }
+            if ($i ~ /^median_ns=/) { median = substr($i, 11) }
+        }
+        mapper[id] = median
+        mapper_order[mn++] = id
+    }
+    /^CACHE_STATS / {
+        for (i = 1; i <= NF; i++) {
+            if ($i ~ /^hits=/)   hits = substr($i, 6)
+            if ($i ~ /^misses=/) misses = substr($i, 8)
+            if ($i ~ /^rate=/)   rate = substr($i, 6)
+        }
+    }
+    END {
+        if (n == 0) { print "no CRITERION_RESULT lines found" > "/dev/stderr"; exit 1 }
+        printf "{\n"
+        printf "  \"workload\": \"daggen irregular n=100 on grelon (P=120)\",\n"
+        printf "  \"batch_size\": %d,\n", batch
+        printf "  \"paths_ns_per_eval\": {\n"
+        for (i = 0; i < n; i++) {
+            id = order[i]
+            printf "    \"%s\": %.1f%s\n", id, medians[id] / batch, (i < n - 1) ? "," : ""
+        }
+        printf "  },\n"
+        if (mn > 0) {
+            printf "  \"mapper_ns_per_call\": {\n"
+            for (i = 0; i < mn; i++) {
+                id = mapper_order[i]
+                printf "    \"%s\": %.1f%s\n", id, mapper[id], (i < mn - 1) ? "," : ""
+            }
+            printf "  },\n"
+        }
+        if ("prepr_baseline" in medians && "serial_scratch" in medians)
+            printf "  \"speedup_vs_prepr_baseline\": %.1f,\n", \
+                medians["prepr_baseline"] / medians["serial_scratch"]
+        printf "  \"emts10_run_cache\": { \"hits\": %d, \"misses\": %d, \"hit_rate\": %s }\n", \
+            hits, misses, rate
+        printf "}\n"
+    }
+' "$LOG" > "$OUT"
+
+echo "wrote $OUT:"
+cat "$OUT"

@@ -1,0 +1,266 @@
+//! Offline micro-benchmark harness exposing the subset of the criterion
+//! API this workspace's benches use.
+//!
+//! Timing is real: each benchmark is warmed up, then measured over
+//! `sample_size` samples whose per-iteration means are aggregated into a
+//! median. Results are printed human-readably plus one machine-parsable
+//! `CRITERION_RESULT` line per benchmark (consumed by
+//! `scripts/bench_smoke.sh`). No plots, no statistical regression
+//! analysis.
+
+use std::fmt::{self, Display};
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level benchmark context.
+pub struct Criterion {
+    /// Benchmark id filter (substring match) from the command line.
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `cargo bench -- <filter>` forwards everything after `--`;
+        // cargo itself injects `--bench`. Everything that is not a flag
+        // is treated as a substring filter.
+        let filter = std::env::args()
+            .skip(1)
+            .find(|a| !a.starts_with('-'));
+        Criterion { filter }
+    }
+}
+
+impl Criterion {
+    /// Compatibility no-op: argument handling happens in `default()`.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Opens a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let filter = self.filter.clone();
+        BenchmarkGroup {
+            _parent: self,
+            name: name.into(),
+            sample_size: 20,
+            filter,
+        }
+    }
+}
+
+/// Identifies one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter`.
+    pub fn new(function_name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// Just the parameter.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// A group of related benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    filter: Option<String>,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Number of measurement samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Target per-sample measurement time (accepted for API compatibility).
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Benchmarks `f` under `id`.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.run_one(&id.to_string(), |b| f(b));
+        self
+    }
+
+    /// Benchmarks `f` with a borrowed input under `id`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.run_one(&id.id, |b| f(b, input));
+        self
+    }
+
+    fn run_one(&mut self, id: &str, mut f: impl FnMut(&mut Bencher)) {
+        let full = format!("{}/{}", self.name, id);
+        if let Some(filter) = &self.filter {
+            if !full.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let mut bencher = Bencher {
+            sample_size: self.sample_size,
+            samples_ns: Vec::new(),
+        };
+        f(&mut bencher);
+        bencher.report(&full);
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Runs the measured closure.
+pub struct Bencher {
+    sample_size: usize,
+    samples_ns: Vec<f64>,
+}
+
+impl Bencher {
+    /// Measures `f`, recording per-iteration wall time.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warmup + calibration: time single calls until 5 ms or 5 calls.
+        let mut calib = Vec::new();
+        let warm_start = Instant::now();
+        loop {
+            let t0 = Instant::now();
+            black_box(f());
+            calib.push(t0.elapsed().as_nanos() as f64);
+            if calib.len() >= 5 || warm_start.elapsed() > Duration::from_millis(5) {
+                break;
+            }
+        }
+        let rough = calib.iter().copied().fold(f64::INFINITY, f64::min).max(1.0);
+        // Aim for ~5 ms per sample, capped to keep slow benches bounded.
+        let iters = ((5_000_000.0 / rough).ceil() as u64).clamp(1, 1_000_000);
+        self.samples_ns.clear();
+        for _ in 0..self.sample_size {
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            let per_iter = t0.elapsed().as_nanos() as f64 / iters as f64;
+            self.samples_ns.push(per_iter);
+        }
+    }
+
+    fn report(&self, full_id: &str) {
+        if self.samples_ns.is_empty() {
+            println!("{full_id:<60} (no measurement)");
+            return;
+        }
+        let mut sorted = self.samples_ns.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+        let median = sorted[sorted.len() / 2];
+        let lo = sorted[0];
+        let hi = sorted[sorted.len() - 1];
+        println!(
+            "{full_id:<60} median {:>12}  [{} .. {}]",
+            fmt_ns(median),
+            fmt_ns(lo),
+            fmt_ns(hi)
+        );
+        println!(
+            "CRITERION_RESULT id={full_id} median_ns={median:.1} min_ns={lo:.1} max_ns={hi:.1} samples={}",
+            sorted.len()
+        );
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.1} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+/// Declares a group-runner function invoking each benchmark function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_and_reports() {
+        let mut b = Bencher {
+            sample_size: 5,
+            samples_ns: Vec::new(),
+        };
+        b.iter(|| {
+            let mut acc = 0u64;
+            for i in 0..100u64 {
+                acc = acc.wrapping_add(black_box(i));
+            }
+            acc
+        });
+        assert_eq!(b.samples_ns.len(), 5);
+        assert!(b.samples_ns.iter().all(|&s| s > 0.0));
+    }
+
+    #[test]
+    fn benchmark_ids_format() {
+        assert_eq!(BenchmarkId::new("f", 10).to_string(), "f/10");
+        assert_eq!(BenchmarkId::from_parameter("p").to_string(), "p");
+    }
+
+    #[test]
+    fn ns_formatting_scales() {
+        assert!(fmt_ns(12.0).contains("ns"));
+        assert!(fmt_ns(12_000.0).contains("µs"));
+        assert!(fmt_ns(12_000_000.0).contains("ms"));
+        assert!(fmt_ns(12_000_000_000.0).contains('s'));
+    }
+}

@@ -1,0 +1,447 @@
+//! Offline property-testing subset compatible with how this workspace
+//! uses proptest.
+//!
+//! Differences from upstream: no shrinking (a failing case prints its
+//! generated input and panics as-is), and generation is deterministic —
+//! the RNG is seeded from the test's name, so a given test sees the same
+//! case sequence on every run. Rejections (`prop_filter_map`) regenerate
+//! the case; a global rejection budget guards against vacuous filters.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use std::fmt::Debug;
+use std::ops::{Range, RangeInclusive};
+
+/// The RNG driving all generation.
+pub type TestRng = StdRng;
+
+/// A generator of test-case values.
+///
+/// `generate` returns `None` when the underlying value was rejected by a
+/// filter; callers regenerate.
+pub trait Strategy: Clone {
+    type Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Option<Self::Value>;
+
+    /// Transforms generated values.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        F: Fn(Self::Value) -> O + Clone,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Generates a value, then generates from the strategy derived from it.
+    fn prop_flat_map<S2, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        S2: Strategy,
+        F: Fn(Self::Value) -> S2 + Clone,
+    {
+        FlatMap { inner: self, f }
+    }
+
+    /// Transforms values, rejecting those mapped to `None`. The label is
+    /// only documentation (upstream reports it on exhaustion).
+    fn prop_filter_map<O, F>(self, label: &'static str, f: F) -> FilterMap<Self, F>
+    where
+        F: Fn(Self::Value) -> Option<O> + Clone,
+    {
+        FilterMap {
+            inner: self,
+            label,
+            f,
+        }
+    }
+}
+
+/// Always produces a clone of the given value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> Option<T> {
+        Some(self.0.clone())
+    }
+}
+
+/// See [`Strategy::prop_map`].
+#[derive(Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O + Clone,
+{
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> Option<O> {
+        self.inner.generate(rng).map(&self.f)
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+#[derive(Clone)]
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, S2, F> Strategy for FlatMap<S, F>
+where
+    S: Strategy,
+    S2: Strategy,
+    F: Fn(S::Value) -> S2 + Clone,
+{
+    type Value = S2::Value;
+    fn generate(&self, rng: &mut TestRng) -> Option<S2::Value> {
+        let first = self.inner.generate(rng)?;
+        (self.f)(first).generate(rng)
+    }
+}
+
+/// See [`Strategy::prop_filter_map`].
+#[derive(Clone)]
+pub struct FilterMap<S, F> {
+    inner: S,
+    #[allow(dead_code)]
+    label: &'static str,
+    f: F,
+}
+
+impl<S, O, F> Strategy for FilterMap<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> Option<O> + Clone,
+{
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> Option<O> {
+        self.inner.generate(rng).and_then(&self.f)
+    }
+}
+
+// Integer and float ranges are strategies sampling uniformly.
+macro_rules! range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> Option<$t> {
+                Some(rng.gen_range(self.clone()))
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> Option<$t> {
+                Some(rng.gen_range(self.clone()))
+            }
+        }
+    )*};
+}
+range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+// Tuples of strategies generate tuples of values; a rejection in any
+// component rejects the tuple.
+macro_rules! tuple_strategy {
+    ($(($($S:ident $idx:tt),+))*) => {$(
+        impl<$($S: Strategy),+> Strategy for ($($S,)+) {
+            type Value = ($($S::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Option<Self::Value> {
+                Some(($(self.$idx.generate(rng)?,)+))
+            }
+        }
+    )*};
+}
+tuple_strategy! {
+    (A 0)
+    (A 0, B 1)
+    (A 0, B 1, C 2)
+    (A 0, B 1, C 2, D 3)
+    (A 0, B 1, C 2, D 3, E 4)
+    (A 0, B 1, C 2, D 3, E 4, F 5)
+    (A 0, B 1, C 2, D 3, E 4, F 5, G 6)
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use super::{Strategy, TestRng};
+    use rand::Rng;
+    use std::ops::Range;
+
+    /// Something that can decide a collection length.
+    pub trait SizeRange: Clone {
+        fn sample_len(&self, rng: &mut TestRng) -> usize;
+    }
+
+    impl SizeRange for usize {
+        fn sample_len(&self, _rng: &mut TestRng) -> usize {
+            *self
+        }
+    }
+
+    impl SizeRange for Range<usize> {
+        fn sample_len(&self, rng: &mut TestRng) -> usize {
+            if self.start >= self.end {
+                self.start
+            } else {
+                rng.gen_range(self.clone())
+            }
+        }
+    }
+
+    /// A `Vec` whose length is drawn from `size` and whose elements come
+    /// from `element`.
+    pub fn vec<S: Strategy, L: SizeRange>(element: S, size: L) -> VecStrategy<S, L> {
+        VecStrategy { element, size }
+    }
+
+    /// See [`vec`].
+    #[derive(Clone)]
+    pub struct VecStrategy<S, L> {
+        element: S,
+        size: L,
+    }
+
+    impl<S: Strategy, L: SizeRange> Strategy for VecStrategy<S, L> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Option<Vec<S::Value>> {
+            let len = self.size.sample_len(rng);
+            let mut out = Vec::with_capacity(len);
+            for _ in 0..len {
+                // Retry rejected elements locally; far cheaper than
+                // rejecting the whole collection.
+                let mut attempts = 0;
+                loop {
+                    if let Some(v) = self.element.generate(rng) {
+                        out.push(v);
+                        break;
+                    }
+                    attempts += 1;
+                    if attempts > 1000 {
+                        return None;
+                    }
+                }
+            }
+            Some(out)
+        }
+    }
+}
+
+/// Per-test configuration.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of generated cases each test runs.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+pub mod test_runner {
+    //! The case loop behind the [`proptest!`](crate::proptest) macro.
+
+    use super::{ProptestConfig, Strategy, TestRng};
+    use rand::SeedableRng;
+    use std::fmt::Debug;
+    use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+
+    /// Runs one property over many generated cases.
+    pub struct TestRunner {
+        config: ProptestConfig,
+        name: &'static str,
+        rng: TestRng,
+    }
+
+    impl TestRunner {
+        /// Deterministic runner: the RNG seed is derived from the test
+        /// name (FNV-1a), so each test replays the same case sequence.
+        pub fn new(config: ProptestConfig, name: &'static str) -> Self {
+            let mut seed = 0xcbf2_9ce4_8422_2325u64;
+            for b in name.bytes() {
+                seed ^= b as u64;
+                seed = seed.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+            TestRunner {
+                config,
+                name,
+                rng: TestRng::seed_from_u64(seed),
+            }
+        }
+
+        /// Generates and runs `config.cases` cases, panicking with the
+        /// offending input if the property panics.
+        pub fn run<S>(&mut self, strategy: &S, mut test: impl FnMut(S::Value))
+        where
+            S: Strategy,
+            S::Value: Debug,
+        {
+            let mut case = 0u32;
+            let mut rejections = 0u32;
+            while case < self.config.cases {
+                match strategy.generate(&mut self.rng) {
+                    Some(value) => {
+                        let shown = format!("{value:?}");
+                        if let Err(payload) =
+                            catch_unwind(AssertUnwindSafe(|| test(value)))
+                        {
+                            eprintln!(
+                                "proptest `{}`: case {case}/{} failed for input:\n  {shown}",
+                                self.name, self.config.cases
+                            );
+                            resume_unwind(payload);
+                        }
+                        case += 1;
+                    }
+                    None => {
+                        rejections += 1;
+                        assert!(
+                            rejections < 65_536,
+                            "proptest `{}`: too many rejected cases",
+                            self.name
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Defines property tests: `#[test]` functions whose arguments are drawn
+/// from strategies.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($cfg:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::__proptest_items! { [$cfg] $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { [$crate::ProptestConfig::default()] $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    ([$cfg:expr]) => {};
+    (
+        [$cfg:expr]
+        $(#[$meta:meta])*
+        fn $name:ident( $($arg_pat:pat in $arg_strat:expr),+ $(,)? ) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let mut runner = $crate::test_runner::TestRunner::new(
+                $cfg,
+                stringify!($name),
+            );
+            let strategy = ($($arg_strat,)+);
+            runner.run(&strategy, |($($arg_pat,)+)| $body);
+        }
+        $crate::__proptest_items! { [$cfg] $($rest)* }
+    };
+}
+
+/// Asserts inside a property; on failure the runner reports the input.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Equality assertion inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Inequality assertion inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+pub mod prelude {
+    //! The imports property tests conventionally glob in.
+    pub use crate::collection;
+    pub use crate::test_runner::TestRunner;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, proptest, Just, ProptestConfig, Strategy,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = crate::TestRng::seed_from_u64(1);
+        use rand::SeedableRng;
+        let _ = &mut rng;
+        let mut rng = crate::TestRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let v = (3u32..7).generate(&mut rng).unwrap();
+            assert!((3..7).contains(&v));
+            let f = (0.25f64..=0.75).generate(&mut rng).unwrap();
+            assert!((0.25..=0.75).contains(&f));
+        }
+    }
+
+    #[test]
+    fn filter_map_rejects_and_retries() {
+        use rand::SeedableRng;
+        let mut rng = crate::TestRng::seed_from_u64(7);
+        let s = (0usize..10, 0usize..10)
+            .prop_filter_map("distinct", |(a, b)| if a != b { Some((a, b)) } else { None });
+        let v = collection::vec(s, 50usize).generate(&mut rng).unwrap();
+        assert_eq!(v.len(), 50);
+        assert!(v.iter().all(|&(a, b)| a != b));
+    }
+
+    #[test]
+    fn deterministic_across_runners() {
+        let gen = |_: ()| {
+            let mut r = TestRunner::new(ProptestConfig::with_cases(5), "determinism_probe");
+            let mut seen = Vec::new();
+            r.run(&(0u64..1_000_000,), |(x,)| seen.push(x));
+            seen
+        };
+        assert_eq!(gen(()), gen(()));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn macro_compiles_and_runs(x in 1u32..100, (a, b) in (0u8..5, 0u8..5)) {
+            prop_assert!(x >= 1 && x < 100);
+            prop_assert!(a < 5 && b < 5);
+        }
+
+        #[test]
+        fn flat_map_dependent_generation(v in (1usize..9).prop_flat_map(|n| {
+            collection::vec(0usize..n, n)
+        })) {
+            prop_assert!(!v.is_empty());
+            let n = v.len();
+            prop_assert!(v.iter().all(|&x| x < n));
+        }
+    }
+}

@@ -1,0 +1,355 @@
+//! Offline drop-in subset of the `rand` 0.8 API.
+//!
+//! The build container has no access to crates.io, so the workspace vendors
+//! the small slice of `rand` it actually uses: the [`RngCore`] /
+//! [`SeedableRng`] / [`Rng`] traits, uniform `gen_range` over integer and
+//! float ranges, `gen_bool`, and the `Standard` distribution for `f64`.
+//!
+//! Algorithms are chosen for statistical quality, not for bit-compatibility
+//! with upstream `rand` (nothing in the workspace depends on upstream
+//! streams): integers use Lemire's unbiased multiply-shift rejection method,
+//! floats use the standard 53-bit mantissa construction, and
+//! `seed_from_u64` expands the seed with the same PCG32-based scheme as
+//! `rand_core` so different `u64` seeds land on well-separated states.
+
+use std::ops::{Range, RangeInclusive};
+
+/// The core of a random number generator: raw 32/64-bit output.
+pub trait RngCore {
+    /// The next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+    /// The next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut chunks = dest.chunks_exact_mut(4);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next_u32().to_le_bytes());
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
+            let bytes = self.next_u32().to_le_bytes();
+            rem.copy_from_slice(&bytes[..rem.len()]);
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+/// A generator seedable from a fixed-size byte seed or a single `u64`.
+pub trait SeedableRng: Sized {
+    /// The byte-array seed type.
+    type Seed: Sized + Default + AsMut<[u8]>;
+
+    /// Creates the generator from a full seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Expands a `u64` into a full seed (PCG32 output function, as in
+    /// `rand_core` 0.6) and constructs the generator from it.
+    fn seed_from_u64(mut state: u64) -> Self {
+        const MUL: u64 = 6364136223846793005;
+        const INC: u64 = 11634580027462260723;
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(4) {
+            state = state.wrapping_mul(MUL).wrapping_add(INC);
+            let xorshifted = (((state >> 18) ^ state) >> 27) as u32;
+            let rot = (state >> 59) as u32;
+            let x = xorshifted.rotate_right(rot);
+            chunk.copy_from_slice(&x.to_le_bytes()[..chunk.len()]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+pub mod distributions {
+    //! The distribution seam `Rng::gen` samples through.
+
+    use super::{Rng, RngCore};
+
+    /// Types that can produce values of `T` from a source of randomness.
+    pub trait Distribution<T> {
+        /// Draws one value.
+        fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> T;
+    }
+
+    /// The "natural" distribution of a type: uniform over its value range
+    /// (floats: uniform in `[0, 1)`).
+    #[derive(Debug, Clone, Copy, Default)]
+    pub struct Standard;
+
+    impl Distribution<f64> for Standard {
+        fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+            // 53 random mantissa bits scaled into [0, 1).
+            (RngCore::next_u64(rng) >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+
+    impl Distribution<f32> for Standard {
+        fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f32 {
+            (RngCore::next_u32(rng) >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+        }
+    }
+
+    impl Distribution<bool> for Standard {
+        fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> bool {
+            RngCore::next_u32(rng) & 1 == 1
+        }
+    }
+
+    macro_rules! standard_int {
+        ($($t:ty => $m:ident),*) => {$(
+            impl Distribution<$t> for Standard {
+                fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> $t {
+                    RngCore::$m(rng) as $t
+                }
+            }
+        )*};
+    }
+    standard_int!(u8 => next_u32, u16 => next_u32, u32 => next_u32,
+                  i8 => next_u32, i16 => next_u32, i32 => next_u32,
+                  u64 => next_u64, i64 => next_u64, usize => next_u64,
+                  isize => next_u64);
+}
+
+use distributions::{Distribution, Standard};
+
+/// Uniformly draws one `u32` in `[0, range)` (Lemire's method, unbiased).
+fn uniform_u32<R: RngCore + ?Sized>(rng: &mut R, range: u32) -> u32 {
+    debug_assert!(range > 0);
+    let mut m = rng.next_u32() as u64 * range as u64;
+    if (m as u32) < range {
+        let threshold = range.wrapping_neg() % range;
+        while (m as u32) < threshold {
+            m = rng.next_u32() as u64 * range as u64;
+        }
+    }
+    (m >> 32) as u32
+}
+
+/// Uniformly draws one `u64` in `[0, range)` (Lemire's method, unbiased).
+fn uniform_u64<R: RngCore + ?Sized>(rng: &mut R, range: u64) -> u64 {
+    debug_assert!(range > 0);
+    let mut m = rng.next_u64() as u128 * range as u128;
+    if (m as u64) < range {
+        let threshold = range.wrapping_neg() % range;
+        while (m as u64) < threshold {
+            m = rng.next_u64() as u128 * range as u128;
+        }
+    }
+    (m >> 64) as u64
+}
+
+/// Ranges `gen_range` accepts; mirrors `rand`'s `SampleRange`.
+pub trait SampleRange<T> {
+    /// Draws one value from the range.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+/// Types `gen_range` can sample uniformly. The `SampleRange` impls below
+/// are generic over this trait so the element type is pinned by the range
+/// argument itself (keeps type inference working exactly like upstream).
+pub trait SampleUniform: Sized + PartialOrd {
+    fn sample_half_open<R: RngCore + ?Sized>(lo: Self, hi: Self, rng: &mut R) -> Self;
+    fn sample_inclusive<R: RngCore + ?Sized>(lo: Self, hi: Self, rng: &mut R) -> Self;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_half_open(self.start, self.end, rng)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        let (lo, hi) = self.into_inner();
+        T::sample_inclusive(lo, hi, rng)
+    }
+}
+
+macro_rules! int_uniform {
+    ($($t:ty : $wide:ty : $sampler:ident),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_half_open<R: RngCore + ?Sized>(lo: $t, hi: $t, rng: &mut R) -> $t {
+                assert!(lo < hi, "cannot sample empty range");
+                let span = (hi as $wide).wrapping_sub(lo as $wide);
+                lo.wrapping_add($sampler(rng, span) as $t)
+            }
+            fn sample_inclusive<R: RngCore + ?Sized>(lo: $t, hi: $t, rng: &mut R) -> $t {
+                assert!(lo <= hi, "cannot sample empty range");
+                let span = (hi as $wide).wrapping_sub(lo as $wide).wrapping_add(1);
+                if span == 0 {
+                    // Full type range: every bit pattern is fair.
+                    return rng.next_u64() as $t;
+                }
+                lo.wrapping_add($sampler(rng, span) as $t)
+            }
+        }
+    )*};
+}
+int_uniform!(u8: u32: uniform_u32, u16: u32: uniform_u32, u32: u32: uniform_u32,
+             i8: u32: uniform_u32, i16: u32: uniform_u32, i32: u32: uniform_u32,
+             u64: u64: uniform_u64, i64: u64: uniform_u64,
+             usize: u64: uniform_u64, isize: u64: uniform_u64);
+
+macro_rules! float_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_half_open<R: RngCore + ?Sized>(lo: $t, hi: $t, rng: &mut R) -> $t {
+                assert!(lo < hi, "cannot sample empty range");
+                let unit = (rng.next_u64() >> 11) as $t * (1.0 / (1u64 << 53) as $t);
+                lo + (hi - lo) * unit
+            }
+            fn sample_inclusive<R: RngCore + ?Sized>(lo: $t, hi: $t, rng: &mut R) -> $t {
+                assert!(lo <= hi, "cannot sample empty range");
+                let unit =
+                    (rng.next_u64() >> 11) as $t * (1.0 / ((1u64 << 53) - 1) as $t);
+                lo + (hi - lo) * unit
+            }
+        }
+    )*};
+}
+float_uniform!(f32, f64);
+
+/// User-facing convenience methods; blanket-implemented for every
+/// [`RngCore`].
+pub trait Rng: RngCore {
+    /// Samples a value via the [`Standard`] distribution.
+    fn gen<T>(&mut self) -> T
+    where
+        Standard: Distribution<T>,
+    {
+        Standard.sample(self)
+    }
+
+    /// Uniformly samples from `range` (half-open or inclusive).
+    fn gen_range<T, Rg>(&mut self, range: Rg) -> T
+    where
+        Rg: SampleRange<T>,
+    {
+        range.sample_single(self)
+    }
+
+    /// Bernoulli trial with success probability `p ∈ [0, 1]`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "p must lie in [0, 1], got {p}");
+        ((self.next_u64() >> 11) as f64) < p * (1u64 << 53) as f64
+    }
+
+    /// Samples through an explicit distribution object.
+    fn sample<T, D: Distribution<T>>(&mut self, distr: D) -> T {
+        distr.sample(self)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+pub mod rngs {
+    //! Simple generators for tests that do not need a named algorithm.
+
+    use super::{RngCore, SeedableRng};
+
+    /// SplitMix64: tiny, fast, passes BigCrush; good enough as a stand-in
+    /// for `StdRng` in tests.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl RngCore for StdRng {
+        fn next_u32(&mut self) -> u32 {
+            (self.next_u64() >> 32) as u32
+        }
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E3779B97F4A7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        type Seed = [u8; 32];
+        fn from_seed(seed: Self::Seed) -> Self {
+            let mut s = [0u8; 8];
+            s.copy_from_slice(&seed[..8]);
+            StdRng {
+                state: u64::from_le_bytes(s),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rngs::StdRng;
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let a: u32 = rng.gen_range(3..17);
+            assert!((3..17).contains(&a));
+            let b: usize = rng.gen_range(0..5);
+            assert!(b < 5);
+            let c: i64 = rng.gen_range(-4..=9);
+            assert!((-4..=9).contains(&c));
+            let d: f64 = rng.gen_range(-1.0..=1.0);
+            assert!((-1.0..=1.0).contains(&d));
+        }
+    }
+
+    #[test]
+    fn gen_range_is_roughly_uniform() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut counts = [0usize; 10];
+        let n = 100_000;
+        for _ in 0..n {
+            counts[rng.gen_range(0usize..10)] += 1;
+        }
+        for &c in &counts {
+            let f = c as f64 / n as f64;
+            assert!((f - 0.1).abs() < 0.01, "bucket frequency {f}");
+        }
+    }
+
+    #[test]
+    fn gen_bool_matches_probability() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let n = 100_000;
+        let hits = (0..n).filter(|_| rng.gen_bool(0.2)).count();
+        let f = hits as f64 / n as f64;
+        assert!((f - 0.2).abs() < 0.01, "frequency {f}");
+        assert!((0..100).all(|_| !rng.gen_bool(0.0)));
+        assert!((0..100).all(|_| rng.gen_bool(1.0)));
+    }
+
+    #[test]
+    fn standard_f64_is_unit_interval() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..10_000 {
+            let x: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn seed_from_u64_separates_streams() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        let va: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let vb: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        assert_ne!(va, vb);
+    }
+}

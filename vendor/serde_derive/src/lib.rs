@@ -1,0 +1,279 @@
+//! Offline `#[derive(Serialize, Deserialize)]` for the vendored serde
+//! subset.
+//!
+//! Supports exactly the shapes this workspace uses:
+//!
+//! * structs with named fields → JSON objects (field order preserved),
+//! * newtype structs (and `#[serde(transparent)]`) → the inner value,
+//! * enums with unit variants only → the variant name as a string.
+//!
+//! No `syn`/`quote` in the container, so the input is parsed with a small
+//! hand-rolled token walker and the generated impl is assembled as a string
+//! (`proc_macro::TokenStream` implements `FromStr`). Generic types are
+//! rejected with a compile error rather than silently mis-handled.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// What we learned about the deriving type.
+enum Shape {
+    /// Named-field struct with its field identifiers in declaration order.
+    Struct { name: String, fields: Vec<String> },
+    /// Tuple struct with one field (newtype / transparent).
+    Newtype { name: String },
+    /// Enum whose variants are all unit variants.
+    UnitEnum { name: String, variants: Vec<String> },
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});").parse().unwrap()
+}
+
+/// Extracts the identifiers naming the fields of a brace-delimited struct
+/// body: for every top-level `name : Type` pair, `name` (attributes and
+/// visibility modifiers are skipped; generics inside types never reach the
+/// top level because `<`/`>` depth is tracked).
+fn named_fields(body: &[TokenTree]) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut angle_depth = 0i32;
+    let mut expecting_name = true;
+    let mut pending: Option<String> = None;
+    let mut i = 0;
+    while i < body.len() {
+        match &body[i] {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                expecting_name = true;
+                pending = None;
+            }
+            TokenTree::Punct(p) if p.as_char() == ':' && angle_depth == 0 => {
+                // `::` belongs to a path inside a type, a single `:`
+                // terminates the field name.
+                let double = matches!(body.get(i + 1), Some(TokenTree::Punct(q)) if q.as_char() == ':')
+                    || matches!(body.get(i.wrapping_sub(1)), Some(TokenTree::Punct(q)) if q.as_char() == ':');
+                if !double {
+                    if let Some(name) = pending.take() {
+                        fields.push(name);
+                    }
+                    expecting_name = false;
+                }
+            }
+            TokenTree::Punct(p) if p.as_char() == '#' && expecting_name => {
+                // Field attribute: skip the following bracket group.
+                if matches!(body.get(i + 1), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket)
+                {
+                    i += 1;
+                }
+            }
+            TokenTree::Ident(id) if expecting_name => {
+                let s = id.to_string();
+                if s != "pub" {
+                    pending = Some(s);
+                }
+            }
+            TokenTree::Group(_) if expecting_name => {
+                // `pub(crate)` and friends.
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    fields
+}
+
+/// Extracts unit-variant names from a brace-delimited enum body. Returns
+/// `None` if any variant carries data.
+fn unit_variants(body: &[TokenTree]) -> Option<Vec<String>> {
+    let mut variants = Vec::new();
+    let mut expecting_name = true;
+    let mut i = 0;
+    while i < body.len() {
+        match &body[i] {
+            TokenTree::Punct(p) if p.as_char() == ',' => expecting_name = true,
+            TokenTree::Punct(p) if p.as_char() == '#' && expecting_name => {
+                if matches!(body.get(i + 1), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket)
+                {
+                    i += 1;
+                }
+            }
+            TokenTree::Ident(id) if expecting_name => {
+                variants.push(id.to_string());
+                expecting_name = false;
+            }
+            TokenTree::Group(_) => return None, // data-carrying variant
+            _ => {}
+        }
+        i += 1;
+    }
+    Some(variants)
+}
+
+fn parse_shape(input: TokenStream) -> Result<Shape, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    // Skip outer attributes and visibility.
+    let mut kind: Option<&'static str> = None;
+    let mut name = String::new();
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => i += 1, // plus its group below
+            TokenTree::Group(_) => {}
+            TokenTree::Ident(id) => {
+                let s = id.to_string();
+                if s == "struct" || s == "enum" {
+                    kind = Some(if s == "struct" { "struct" } else { "enum" });
+                    if let Some(TokenTree::Ident(n)) = tokens.get(i + 1) {
+                        name = n.to_string();
+                    } else {
+                        return Err("expected type name".into());
+                    }
+                    i += 2;
+                    break;
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    let kind = kind.ok_or("expected `struct` or `enum`")?;
+    // Reject generics: a `<` before the body group.
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "vendored serde_derive does not support generic type `{name}`"
+        ));
+    }
+    // Find the body group (skips `where`-less paths; tuple structs use
+    // parentheses).
+    for t in &tokens[i..] {
+        if let TokenTree::Group(g) = t {
+            let body: Vec<TokenTree> = g.stream().into_iter().collect();
+            return match (kind, g.delimiter()) {
+                ("struct", Delimiter::Brace) => Ok(Shape::Struct {
+                    name,
+                    fields: named_fields(&body),
+                }),
+                ("struct", Delimiter::Parenthesis) => {
+                    let commas = body
+                        .iter()
+                        .filter(
+                            |t| matches!(t, TokenTree::Punct(p) if p.as_char() == ','),
+                        )
+                        .count();
+                    if commas > 1 {
+                        Err(format!(
+                            "vendored serde_derive supports only 1-field tuple structs, `{name}` has more"
+                        ))
+                    } else {
+                        Ok(Shape::Newtype { name })
+                    }
+                }
+                ("enum", Delimiter::Brace) => match unit_variants(&body) {
+                    Some(variants) => Ok(Shape::UnitEnum { name, variants }),
+                    None => Err(format!(
+                        "vendored serde_derive supports only unit-variant enums, `{name}` carries data"
+                    )),
+                },
+                _ => Err("unsupported type shape".into()),
+            };
+        }
+    }
+    Err("type body not found".into())
+}
+
+/// `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let shape = match parse_shape(input) {
+        Ok(s) => s,
+        Err(e) => return compile_error(&e),
+    };
+    let code = match shape {
+        Shape::Struct { name, fields } => {
+            let pushes: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "fields.push(({f:?}.to_string(), ::serde::Serialize::to_value(&self.{f})));\n"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         let mut fields: Vec<(String, ::serde::Value)> = Vec::new();\n\
+                         {pushes}\
+                         ::serde::Value::Object(fields)\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Shape::Newtype { name } => format!(
+            "impl ::serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> ::serde::Value {{\n\
+                     ::serde::Serialize::to_value(&self.0)\n\
+                 }}\n\
+             }}"
+        ),
+        Shape::UnitEnum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("{name}::{v} => ::serde::Value::Str({v:?}.to_string()),\n"))
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         match self {{ {arms} }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    code.parse().unwrap()
+}
+
+/// `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let shape = match parse_shape(input) {
+        Ok(s) => s,
+        Err(e) => return compile_error(&e),
+    };
+    let code = match shape {
+        Shape::Struct { name, fields } => {
+            let inits: String = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::de_field(obj, {f:?}, {name:?})?,\n"))
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) -> Result<Self, ::serde::DeError> {{\n\
+                         let obj = v.as_object().ok_or_else(|| ::serde::DeError::expected(\"object\", {name:?}))?;\n\
+                         Ok({name} {{ {inits} }})\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Shape::Newtype { name } => format!(
+            "impl ::serde::Deserialize for {name} {{\n\
+                 fn from_value(v: &::serde::Value) -> Result<Self, ::serde::DeError> {{\n\
+                     Ok({name}(::serde::Deserialize::from_value(v)?))\n\
+                 }}\n\
+             }}"
+        ),
+        Shape::UnitEnum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("{v:?} => Ok({name}::{v}),\n"))
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) -> Result<Self, ::serde::DeError> {{\n\
+                         let s = v.as_str().ok_or_else(|| ::serde::DeError::expected(\"string\", {name:?}))?;\n\
+                         match s {{ {arms} _ => Err(::serde::DeError::expected(\"known variant\", {name:?})) }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    code.parse().unwrap()
+}
