@@ -34,11 +34,9 @@ fn bench_allocators(c: &mut Criterion) {
             ("MCPA", &Mcpa),
             ("DeltaCritical", &DeltaCritical::default()),
         ] {
-            group.bench_with_input(
-                BenchmarkId::new(name, n),
-                &(&g, &matrix),
-                |b, (g, m)| b.iter(|| black_box(alloc.allocate(g, m))),
-            );
+            group.bench_with_input(BenchmarkId::new(name, n), &(&g, &matrix), |b, (g, m)| {
+                b.iter(|| black_box(alloc.allocate(g, m)))
+            });
         }
     }
     group.finish();

@@ -38,7 +38,10 @@ fn bench_emts(c: &mut Criterion) {
                 cluster.speed_flops(),
                 cluster.processors,
             );
-            for (cname, cfg) in [("EMTS5", EmtsConfig::emts5()), ("EMTS10", EmtsConfig::emts10())] {
+            for (cname, cfg) in [
+                ("EMTS5", EmtsConfig::emts5()),
+                ("EMTS10", EmtsConfig::emts10()),
+            ] {
                 let emts = Emts::new(cfg);
                 let label = format!("{}_{}_{}", cname, cluster.name, wname);
                 group.bench_with_input(
@@ -153,6 +156,8 @@ fn bench_fitness_engine(c: &mut Criterion) {
     });
     group.finish();
 
+    assert_noop_recorder_overhead(&g, &matrix, &allocs);
+
     // Cache behaviour of a real run, parsed by scripts/bench_smoke.sh.
     let r = Emts::new(EmtsConfig::emts10()).run(&g, &matrix, 42);
     println!(
@@ -160,6 +165,82 @@ fn bench_fitness_engine(c: &mut Criterion) {
         r.trace.cache_hits,
         r.trace.cache_misses,
         r.trace.cache_hit_rate()
+    );
+
+    // Telemetry of a real run, written next to the BENCH_fitness.json
+    // artifact by scripts/bench_smoke.sh.
+    if let Ok(path) = std::env::var("EMTS_RUN_REPORT") {
+        use serde::Serialize;
+        let rec = obs::StatsRecorder::new();
+        let r = Emts::new(EmtsConfig::emts10()).run_recorded(&g, &matrix, 42, &rec);
+        let mut report = rec.report("bench_emts_generation");
+        report
+            .meta
+            .insert("workload".into(), "irregular_n100".into());
+        report.meta.insert("platform".into(), "Grelon".into());
+        report.meta.insert("config".into(), "EMTS10".into());
+        report.convergence = Some(r.trace.to_value());
+        report
+            .save(std::path::Path::new(&path))
+            .expect("can write EMTS_RUN_REPORT");
+        println!("RUN_REPORT path={path}");
+    }
+}
+
+/// Proves the default [`obs::NoopRecorder`] erases the telemetry probes:
+/// the instrumented serial engine path must cost within 1% of the same
+/// batch run as a bare mapper loop. Interleaved min-of-k timing keeps the
+/// comparison robust against one-off scheduler noise.
+fn assert_noop_recorder_overhead(g: &ptg::Ptg, matrix: &TimeMatrix, allocs: &[Allocation]) {
+    const ROUNDS: usize = 15;
+    let mut scratch = sched::EvalScratch::new();
+    let mut raw_best = f64::INFINITY;
+    let mut noop_best = f64::INFINITY;
+    // `run_batch` consumes its batch, so both sides get a fresh identical
+    // clone per round — the timed regions differ only in the code path.
+    let mut batches: Vec<Vec<Allocation>> = (0..2 * ROUNDS + 1).map(|_| allocs.to_vec()).collect();
+    EvalPool::with(g, matrix, false, |pool| {
+        // Warm both paths before timing.
+        for a in allocs {
+            black_box(sched::ListScheduler.evaluate_bounded_with(
+                g,
+                matrix,
+                a,
+                f64::INFINITY,
+                &mut scratch,
+            ));
+        }
+        black_box(pool.run_batch(batches.pop().expect("one batch per side"), f64::INFINITY));
+        while batches.len() >= 2 {
+            let batch = batches.pop().expect("one batch per side");
+            let t = std::time::Instant::now();
+            for a in &batch {
+                black_box(sched::ListScheduler.evaluate_bounded_with(
+                    g,
+                    matrix,
+                    a,
+                    f64::INFINITY,
+                    &mut scratch,
+                ));
+            }
+            raw_best = raw_best.min(t.elapsed().as_secs_f64());
+            drop(batch);
+            let batch = batches.pop().expect("one batch per side");
+            let t = std::time::Instant::now();
+            black_box(pool.run_batch(batch, f64::INFINITY));
+            noop_best = noop_best.min(t.elapsed().as_secs_f64());
+        }
+    });
+    let ratio = noop_best / raw_best;
+    println!(
+        "NOOP_OVERHEAD raw_ns={:.0} noop_ns={:.0} ratio={ratio:.4}",
+        raw_best * 1e9,
+        noop_best * 1e9
+    );
+    assert!(
+        ratio <= 1.01,
+        "no-op recorder path is {:.2}% slower than the bare mapper loop",
+        (ratio - 1.0) * 100.0
     );
 }
 

@@ -4,7 +4,9 @@
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
-use workloads::{daggen::random_ptg, fft::fft_ptg, strassen::strassen_ptg, CostConfig, DaggenParams};
+use workloads::{
+    daggen::random_ptg, fft::fft_ptg, strassen::strassen_ptg, CostConfig, DaggenParams,
+};
 
 fn bench_generators(c: &mut Criterion) {
     let mut group = c.benchmark_group("generators");

@@ -28,7 +28,9 @@ fn bench_mapper(c: &mut Criterion) {
             cluster.processors,
         );
         let alloc = Allocation::from_vec(
-            (0..n).map(|_| rng.gen_range(1..=cluster.processors)).collect(),
+            (0..n)
+                .map(|_| rng.gen_range(1..=cluster.processors))
+                .collect(),
         );
         let label = format!("{}_n{}", cluster.name, n);
         group.bench_with_input(

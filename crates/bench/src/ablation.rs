@@ -9,6 +9,7 @@
 
 use emts::{Emts, EmtsConfig};
 use exec_model::{SyntheticModel, TimeMatrix};
+use obs::{NoopRecorder, Recorder};
 use platform::grelon;
 use ptg::Ptg;
 use rand::SeedableRng;
@@ -35,6 +36,16 @@ pub fn ablation_workload(count: usize, seed: u64) -> Vec<Ptg> {
 
 /// Per-configuration makespans over a workload (Grelon, Model 2).
 pub fn run_config(cfg: &EmtsConfig, graphs: &[Ptg], seed: u64) -> Vec<f64> {
+    run_config_obs(cfg, graphs, seed, &NoopRecorder)
+}
+
+/// [`run_config`] with telemetry: every EA run feeds the recorder.
+pub fn run_config_obs<R: Recorder>(
+    cfg: &EmtsConfig,
+    graphs: &[Ptg],
+    seed: u64,
+    rec: &R,
+) -> Vec<f64> {
     let cluster = grelon();
     let model = SyntheticModel::default();
     let emts = Emts::new(cfg.clone());
@@ -43,7 +54,8 @@ pub fn run_config(cfg: &EmtsConfig, graphs: &[Ptg], seed: u64) -> Vec<f64> {
         .enumerate()
         .map(|(i, g)| {
             let matrix = TimeMatrix::compute(g, &model, cluster.speed_flops(), cluster.processors);
-            emts.run(g, &matrix, seed + i as u64).best_makespan
+            emts.run_recorded(g, &matrix, seed + i as u64, rec)
+                .best_makespan
         })
         .collect()
 }
@@ -66,13 +78,30 @@ pub fn compare(
     workload_size: usize,
     seed: u64,
 ) -> Vec<AblationRow> {
-    assert!(!configs.is_empty(), "need at least a baseline configuration");
-    let graphs = ablation_workload(workload_size, seed);
-    let baseline = run_config(&configs[0].1, &graphs, seed);
+    compare_obs(configs, workload_size, seed, &NoopRecorder)
+}
+
+/// [`compare`] with telemetry: each configuration gets its own phase span
+/// under `ablation/`, so a report shows where the comparison spent time.
+pub fn compare_obs<R: Recorder>(
+    configs: &[(String, EmtsConfig)],
+    workload_size: usize,
+    seed: u64,
+    rec: &R,
+) -> Vec<AblationRow> {
+    assert!(
+        !configs.is_empty(),
+        "need at least a baseline configuration"
+    );
+    let _span = rec.span("ablation");
+    let graphs = rec.time("workload", || ablation_workload(workload_size, seed));
+    let baseline = rec.time("baseline", || {
+        run_config_obs(&configs[0].1, &graphs, seed, rec)
+    });
     configs
         .iter()
         .map(|(label, cfg)| {
-            let ms = run_config(cfg, &graphs, seed);
+            let ms = rec.time("config", || run_config_obs(cfg, &graphs, seed, rec));
             AblationRow {
                 label: label.clone(),
                 makespan: Summary::of(&ms),

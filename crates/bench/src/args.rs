@@ -5,7 +5,10 @@
 //! * `--scale <f>` — corpus scale in `(0, 1]`; default 0.1 for quick runs,
 //! * `--full` — shorthand for `--scale 1.0` (the paper's instance counts),
 //! * `--seed <u64>` — RNG seed (default 2011, the paper's year),
-//! * `--out <dir>` — directory for JSON results (default `results/`).
+//! * `--out <dir>` — directory for JSON results (default `results/`),
+//! * `--quiet` — suppress terminal output (JSON artifacts still written),
+//! * `--report <file>` — write an [`obs::RunReport`] with the run's phase
+//!   timings, counters and histograms (viewable with `emts-report`).
 
 use std::path::PathBuf;
 
@@ -18,6 +21,10 @@ pub struct HarnessArgs {
     pub seed: u64,
     /// Output directory for JSON artifacts.
     pub out: PathBuf,
+    /// Suppress terminal output.
+    pub quiet: bool,
+    /// Where to write the telemetry report, if anywhere.
+    pub report: Option<PathBuf>,
 }
 
 impl Default for HarnessArgs {
@@ -26,6 +33,8 @@ impl Default for HarnessArgs {
             scale: 0.1,
             seed: 2011,
             out: PathBuf::from("results"),
+            quiet: false,
+            report: None,
         }
     }
 }
@@ -58,9 +67,15 @@ impl HarnessArgs {
                 "--out" => {
                     out.out = PathBuf::from(iter.next().ok_or("--out needs a value")?);
                 }
+                "--quiet" | "-q" => out.quiet = true,
+                "--report" => {
+                    out.report = Some(PathBuf::from(iter.next().ok_or("--report needs a file")?));
+                }
                 "--help" | "-h" => {
                     return Err(
-                        "usage: [--scale <0..1> | --full] [--seed <u64>] [--out <dir>]".into(),
+                        "usage: [--scale <0..1> | --full] [--seed <u64>] [--out <dir>] \
+                         [--quiet] [--report <file>]"
+                            .into(),
                     )
                 }
                 other => return Err(format!("unknown flag {other:?}")),
@@ -110,6 +125,15 @@ mod tests {
     #[test]
     fn full_sets_scale_to_one() {
         assert_eq!(parse(&["--full"]).unwrap().scale, 1.0);
+    }
+
+    #[test]
+    fn quiet_and_report_flags_parse() {
+        let a = parse(&["--quiet", "--report", "run.json"]).unwrap();
+        assert!(a.quiet);
+        assert_eq!(a.report, Some(PathBuf::from("run.json")));
+        assert!(parse(&["-q"]).unwrap().quiet);
+        assert!(parse(&["--report"]).is_err());
     }
 
     #[test]

@@ -5,15 +5,19 @@
 //! online. This bench measures whether self-adaptation pays at the paper's
 //! short generation budgets.
 
-use bench::ablation::{compare, render};
-use bench::{output, HarnessArgs};
+use bench::ablation::{compare_obs, render};
+use bench::{output, Harness};
 use emts::EmtsConfig;
 
 fn main() {
-    let args = HarnessArgs::from_env();
+    let h = Harness::from_env("ablation_adaptive");
+    let args = &h.args;
     let n = ((20.0 * args.scale.max(0.1)) as usize).max(3);
     let configs = vec![
-        ("fixed sigma = 5 (paper), EMTS5".to_string(), EmtsConfig::emts5()),
+        (
+            "fixed sigma = 5 (paper), EMTS5".to_string(),
+            EmtsConfig::emts5(),
+        ),
         (
             "1/5 success rule, EMTS5".to_string(),
             EmtsConfig {
@@ -30,11 +34,14 @@ fn main() {
             },
         ),
     ];
-    let rows = compare(&configs, n, args.seed);
-    println!("Ablation: step-size adaptation (irregular n=100, Grelon, Model 2, {n} PTGs)\n");
-    println!("{}", render(&rows));
+    let rows = compare_obs(&configs, n, args.seed, h.recorder());
+    h.say(format_args!(
+        "Ablation: step-size adaptation (irregular n=100, Grelon, Model 2, {n} PTGs)\n"
+    ));
+    h.say(render(&rows));
     match output::write_json(&args.out, "ablation_adaptive.json", &rows) {
-        Ok(path) => println!("wrote {path}"),
+        Ok(path) => h.say(format_args!("wrote {path}")),
         Err(e) => eprintln!("could not write results: {e}"),
     }
+    h.finish();
 }

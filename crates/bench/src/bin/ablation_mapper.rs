@@ -4,9 +4,10 @@
 //! measures what a *stronger* mapper would buy instead.
 
 use bench::ablation::ablation_workload;
-use bench::{output, HarnessArgs};
+use bench::{output, Harness};
 use exec_model::{SyntheticModel, TimeMatrix};
 use heuristics::{Allocator, Mcpa};
+use obs::Recorder;
 use platform::grelon;
 use sched::{InsertionScheduler, ListScheduler, Mapper};
 use serde::Serialize;
@@ -22,7 +23,8 @@ struct MapperRow {
 }
 
 fn main() {
-    let args = HarnessArgs::from_env();
+    let h = Harness::from_env("ablation_mapper");
+    let args = &h.args;
     let n = ((20.0 * args.scale.max(0.1)) as usize).max(3);
     let graphs = ablation_workload(n, args.seed);
     let cluster = grelon();
@@ -35,8 +37,11 @@ fn main() {
         for g in &graphs {
             let matrix = TimeMatrix::compute(g, &model, cluster.speed_flops(), cluster.processors);
             let alloc = allocator.allocate(g, &matrix);
-            list_ms.push(ListScheduler.makespan(g, &matrix, &alloc));
-            ins_ms.push(InsertionScheduler.map(g, &matrix, &alloc).makespan());
+            let rec = h.recorder();
+            list_ms.push(rec.time("list", || ListScheduler.makespan(g, &matrix, &alloc)));
+            ins_ms.push(rec.time("insertion", || {
+                InsertionScheduler.map(g, &matrix, &alloc).makespan()
+            }));
         }
         rows.push(MapperRow {
             allocator: name.to_string(),
@@ -55,11 +60,16 @@ fn main() {
             r.list_over_insertion.format(3),
         ]);
     }
-    println!("Ablation: mapping step — list vs insertion ({n} irregular n=100 PTGs, Grelon, Model 2)\n");
-    println!("{}", table.render());
-    println!("(ratios > 1.0: backfilling shortens the schedule)");
+    h.say(format_args!(
+        "Ablation: mapping step — list vs insertion ({n} irregular n=100 PTGs, Grelon, Model 2)\n"
+    ));
+    h.say(table.render());
+    h.say(format_args!(
+        "(ratios > 1.0: backfilling shortens the schedule)"
+    ));
     match output::write_json(&args.out, "ablation_mapper.json", &rows) {
-        Ok(path) => println!("wrote {path}"),
+        Ok(path) => h.say(format_args!("wrote {path}")),
         Err(e) => eprintln!("could not write results: {e}"),
     }
+    h.finish();
 }

@@ -1,15 +1,19 @@
 //! Ablation — the paper's asymmetric folded-normal mutation operator vs a
 //! uniform-step operator (§III-D argues uniform steps oscillate more).
 
-use bench::ablation::{compare, render};
-use bench::{output, HarnessArgs};
+use bench::ablation::{compare_obs, render};
+use bench::{output, Harness};
 use emts::EmtsConfig;
 
 fn main() {
-    let args = HarnessArgs::from_env();
+    let h = Harness::from_env("ablation_mutation");
+    let args = &h.args;
     let n = ((20.0 * args.scale.max(0.1)) as usize).max(3);
     let configs = vec![
-        ("paper operator (folded normal)".to_string(), EmtsConfig::emts5()),
+        (
+            "paper operator (folded normal)".to_string(),
+            EmtsConfig::emts5(),
+        ),
         (
             "uniform steps U{1..10}".to_string(),
             EmtsConfig {
@@ -32,11 +36,14 @@ fn main() {
             },
         ),
     ];
-    let rows = compare(&configs, n, args.seed);
-    println!("Ablation: mutation operator (irregular n=100, Grelon, Model 2, {n} PTGs)\n");
-    println!("{}", render(&rows));
+    let rows = compare_obs(&configs, n, args.seed, h.recorder());
+    h.say(format_args!(
+        "Ablation: mutation operator (irregular n=100, Grelon, Model 2, {n} PTGs)\n"
+    ));
+    h.say(render(&rows));
     match output::write_json(&args.out, "ablation_mutation.json", &rows) {
-        Ok(path) => println!("wrote {path}"),
+        Ok(path) => h.say(format_args!("wrote {path}")),
         Err(e) => eprintln!("could not write results: {e}"),
     }
+    h.finish();
 }

@@ -2,12 +2,13 @@
 //! the initial mutation fraction f_m = 0.33 and the criticality threshold
 //! Δ = 0.9 of the seeding heuristic.
 
-use bench::ablation::{compare, render};
-use bench::{output, HarnessArgs};
+use bench::ablation::{compare_obs, render};
+use bench::{output, Harness};
 use emts::EmtsConfig;
 
 fn main() {
-    let args = HarnessArgs::from_env();
+    let h = Harness::from_env("ablation_params");
+    let args = &h.args;
     let n = ((20.0 * args.scale.max(0.1)) as usize).max(3);
 
     let fm_configs: Vec<(String, EmtsConfig)> = [0.33, 0.1, 0.66, 1.0]
@@ -22,9 +23,11 @@ fn main() {
             )
         })
         .collect();
-    let fm_rows = compare(&fm_configs, n, args.seed);
-    println!("Ablation: mutation fraction f_m (irregular n=100, Grelon, Model 2, {n} PTGs)\n");
-    println!("{}", render(&fm_rows));
+    let fm_rows = compare_obs(&fm_configs, n, args.seed, h.recorder());
+    h.say(format_args!(
+        "Ablation: mutation fraction f_m (irregular n=100, Grelon, Model 2, {n} PTGs)\n"
+    ));
+    h.say(render(&fm_rows));
 
     let delta_configs: Vec<(String, EmtsConfig)> = [0.9, 0.5, 0.7, 1.0]
         .iter()
@@ -38,13 +41,16 @@ fn main() {
             )
         })
         .collect();
-    let delta_rows = compare(&delta_configs, n, args.seed);
-    println!("Ablation: criticality threshold Δ of the seed heuristic\n");
-    println!("{}", render(&delta_rows));
+    let delta_rows = compare_obs(&delta_configs, n, args.seed, h.recorder());
+    h.say(format_args!(
+        "Ablation: criticality threshold Δ of the seed heuristic\n"
+    ));
+    h.say(render(&delta_rows));
 
     let all: Vec<_> = fm_rows.into_iter().chain(delta_rows).collect();
     match output::write_json(&args.out, "ablation_params.json", &all) {
-        Ok(path) => println!("wrote {path}"),
+        Ok(path) => h.say(format_args!("wrote {path}")),
         Err(e) => eprintln!("could not write results: {e}"),
     }
+    h.finish();
 }

@@ -10,7 +10,7 @@
 //! solution quality survives.
 
 use bench::ablation::ablation_workload;
-use bench::{output, HarnessArgs};
+use bench::{output, Harness};
 use emts::{Emts, EmtsConfig};
 use exec_model::{SyntheticModel, TimeMatrix};
 use platform::grelon;
@@ -26,7 +26,8 @@ struct RejectionRow {
 }
 
 fn main() {
-    let args = HarnessArgs::from_env();
+    let h = Harness::from_env("ablation_rejection");
+    let args = &h.args;
     let n = ((20.0 * args.scale.max(0.1)) as usize).max(3);
     let graphs = ablation_workload(n, args.seed);
     let cluster = grelon();
@@ -68,7 +69,7 @@ fn main() {
         let mut rejected = Vec::new();
         for (i, g) in graphs.iter().enumerate() {
             let matrix = TimeMatrix::compute(g, &model, cluster.speed_flops(), cluster.processors);
-            let r = emts.run(g, &matrix, args.seed + i as u64);
+            let r = emts.run_recorded(g, &matrix, args.seed + i as u64, h.recorder());
             ms.push(r.best_makespan);
             wall.push(r.wall_time.as_secs_f64() * 1e3);
             rejected.push(r.rejected as f64);
@@ -90,14 +91,19 @@ fn main() {
             format!("{:.1}", r.rejected_per_run.mean),
         ]);
     }
-    println!(
+    h.say(format_args!(
         "Ablation: §VI rejection strategy (EMTS10, {n} irregular n=100 PTGs, Grelon, Model 2)\n"
-    );
-    println!("{}", table.render());
-    println!("tight slack rejects more offspring (less mapping work) — watch the");
-    println!("makespan column to see whether quality pays for it.");
+    ));
+    h.say(table.render());
+    h.say(format_args!(
+        "tight slack rejects more offspring (less mapping work) — watch the"
+    ));
+    h.say(format_args!(
+        "makespan column to see whether quality pays for it."
+    ));
     match output::write_json(&args.out, "ablation_rejection.json", &rows) {
-        Ok(path) => println!("\nwrote {path}"),
+        Ok(path) => h.say(format_args!("\nwrote {path}")),
         Err(e) => eprintln!("could not write results: {e}"),
     }
+    h.finish();
 }

@@ -3,12 +3,13 @@
 //! find efficient schedules"; this quantifies the solution-quality gap at
 //! the paper's small generation budgets.
 
-use bench::ablation::{compare, render};
-use bench::{output, HarnessArgs};
+use bench::ablation::{compare_obs, render};
+use bench::{output, Harness};
 use emts::EmtsConfig;
 
 fn main() {
-    let args = HarnessArgs::from_env();
+    let h = Harness::from_env("ablation_seeding");
+    let args = &h.args;
     let n = ((20.0 * args.scale.max(0.1)) as usize).max(3);
     let configs = vec![
         ("seeded (MCPA+HCPA+Δ)".to_string(), EmtsConfig::emts5()),
@@ -27,11 +28,14 @@ fn main() {
             },
         ),
     ];
-    let rows = compare(&configs, n, args.seed);
-    println!("Ablation: starting solutions (irregular n=100, Grelon, Model 2, {n} PTGs)\n");
-    println!("{}", render(&rows));
+    let rows = compare_obs(&configs, n, args.seed, h.recorder());
+    h.say(format_args!(
+        "Ablation: starting solutions (irregular n=100, Grelon, Model 2, {n} PTGs)\n"
+    ));
+    h.say(render(&rows));
     match output::write_json(&args.out, "ablation_seeding.json", &rows) {
-        Ok(path) => println!("wrote {path}"),
+        Ok(path) => h.say(format_args!("wrote {path}")),
         Err(e) => eprintln!("could not write results: {e}"),
     }
+    h.finish();
 }

@@ -1,12 +1,13 @@
 //! Ablation — the paper's (µ+λ) plus-selection (monotone, conserves the
 //! best individual) vs (µ,λ) comma-selection.
 
-use bench::ablation::{compare, render};
-use bench::{output, HarnessArgs};
+use bench::ablation::{compare_obs, render};
+use bench::{output, Harness};
 use emts::EmtsConfig;
 
 fn main() {
-    let args = HarnessArgs::from_env();
+    let h = Harness::from_env("ablation_selection");
+    let args = &h.args;
     let n = ((20.0 * args.scale.max(0.1)) as usize).max(3);
     let configs = vec![
         ("(5+25) plus".to_string(), EmtsConfig::emts5()),
@@ -26,11 +27,14 @@ fn main() {
             },
         ),
     ];
-    let rows = compare(&configs, n, args.seed);
-    println!("Ablation: selection strategy (irregular n=100, Grelon, Model 2, {n} PTGs)\n");
-    println!("{}", render(&rows));
+    let rows = compare_obs(&configs, n, args.seed, h.recorder());
+    h.say(format_args!(
+        "Ablation: selection strategy (irregular n=100, Grelon, Model 2, {n} PTGs)\n"
+    ));
+    h.say(render(&rows));
     match output::write_json(&args.out, "ablation_selection.json", &rows) {
-        Ok(path) => println!("wrote {path}"),
+        Ok(path) => h.say(format_args!("wrote {path}")),
         Err(e) => eprintln!("could not write results: {e}"),
     }
+    h.finish();
 }

@@ -7,7 +7,7 @@
 //! against MCPA and EMTS5.
 
 use bench::ablation::ablation_workload;
-use bench::{output, HarnessArgs};
+use bench::{output, Harness};
 use emts::{Emts, EmtsConfig};
 use exec_model::{SyntheticModel, TimeMatrix};
 use heuristics::bicpa::{pareto_front, tradeoff_curve};
@@ -24,7 +24,8 @@ struct FrontPoint {
 }
 
 fn main() {
-    let args = HarnessArgs::from_env();
+    let h = Harness::from_env("ext_bicpa");
+    let args = &h.args;
     let g = &ablation_workload(1, args.seed)[0];
     let cluster = grelon();
     let model = SyntheticModel::default();
@@ -40,15 +41,19 @@ fn main() {
             format!("{:.0}", p.work),
         ]);
     }
-    println!("Extension: BiCPA (makespan, work) Pareto front — irregular n=100, Grelon, Model 2\n");
-    println!("{}", table.render());
+    h.say(format_args!(
+        "Extension: BiCPA (makespan, work) Pareto front — irregular n=100, Grelon, Model 2\n"
+    ));
+    h.say(table.render());
 
     let best_ms = front.first().map(|p| p.makespan).unwrap_or(f64::NAN);
     let (_, mcpa_ms) = allocate_and_map(&Mcpa, g, &matrix);
     let emts_ms = Emts::new(EmtsConfig::emts5())
-        .run(g, &matrix, args.seed)
+        .run_recorded(g, &matrix, args.seed, h.recorder())
         .best_makespan;
-    println!("pure-makespan corner: {best_ms:.2} s   MCPA: {mcpa_ms:.2} s   EMTS5: {emts_ms:.2} s");
+    h.say(format_args!(
+        "pure-makespan corner: {best_ms:.2} s   MCPA: {mcpa_ms:.2} s   EMTS5: {emts_ms:.2} s"
+    ));
 
     let points: Vec<FrontPoint> = front
         .iter()
@@ -59,7 +64,8 @@ fn main() {
         })
         .collect();
     match output::write_json(&args.out, "ext_bicpa.json", &points) {
-        Ok(path) => println!("\nwrote {path}"),
+        Ok(path) => h.say(format_args!("\nwrote {path}")),
         Err(e) => eprintln!("could not write results: {e}"),
     }
+    h.finish();
 }

@@ -5,7 +5,7 @@
 //! makespan (normalized to the seed value) after each generation of an
 //! EMTS10 run, for regular (FFT) and irregular PTGs.
 
-use bench::{output, HarnessArgs};
+use bench::{output, Harness};
 use emts::{Emts, EmtsConfig};
 use exec_model::{SyntheticModel, TimeMatrix};
 use platform::grelon;
@@ -23,7 +23,8 @@ struct Curve {
 }
 
 fn main() {
-    let args = HarnessArgs::from_env();
+    let h = Harness::from_env("ext_convergence");
+    let args = &h.args;
     let reps = ((10.0 * args.scale.max(0.2)) as usize).max(3);
     let cluster = grelon();
     let model = SyntheticModel::default();
@@ -57,7 +58,7 @@ fn main() {
         let mut acc = vec![0.0f64; gens + 1];
         for (i, g) in graphs.iter().enumerate() {
             let matrix = TimeMatrix::compute(g, &model, cluster.speed_flops(), cluster.processors);
-            let result = emts.run(g, &matrix, args.seed + i as u64);
+            let result = emts.run_recorded(g, &matrix, args.seed + i as u64, h.recorder());
             let seed_best = result.trace[0].best;
             for (j, t) in result.trace.iter().enumerate() {
                 acc[j] += t.best / seed_best;
@@ -74,19 +75,30 @@ fn main() {
 
     let mut table = TextTable::new(["generation", &curves[0].workload, &curves[1].workload]);
     for j in 0..curves[0].normalized_best.len() {
-        let label = if j == 0 { "seeds".to_string() } else { (j - 1).to_string() };
+        let label = if j == 0 {
+            "seeds".to_string()
+        } else {
+            (j - 1).to_string()
+        };
         table.push([
             label,
             format!("{:.4}", curves[0].normalized_best[j]),
             format!("{:.4}", curves[1].normalized_best[j]),
         ]);
     }
-    println!("Extension: EMTS10 convergence, best-so-far makespan normalized to the seeds\n");
-    println!("{}", table.render());
-    println!("expected: irregular PTGs keep improving across generations; regular");
-    println!("PTGs converge almost immediately (paper §V-B's explanation).");
+    h.say(format_args!(
+        "Extension: EMTS10 convergence, best-so-far makespan normalized to the seeds\n"
+    ));
+    h.say(table.render());
+    h.say(format_args!(
+        "expected: irregular PTGs keep improving across generations; regular"
+    ));
+    h.say(format_args!(
+        "PTGs converge almost immediately (paper §V-B's explanation)."
+    ));
     match output::write_json(&args.out, "ext_convergence.json", &curves) {
-        Ok(path) => println!("\nwrote {path}"),
+        Ok(path) => h.say(format_args!("\nwrote {path}")),
         Err(e) => eprintln!("could not write results: {e}"),
     }
+    h.finish();
 }

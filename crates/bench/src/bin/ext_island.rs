@@ -6,7 +6,7 @@
 //! diversity and thread-level parallelism.
 
 use bench::ablation::ablation_workload;
-use bench::{output, HarnessArgs};
+use bench::{output, Harness};
 use emts::{Emts, EmtsConfig, IslandConfig, IslandEmts};
 use exec_model::{SyntheticModel, TimeMatrix};
 use platform::grelon;
@@ -22,7 +22,8 @@ struct IslandRow {
 }
 
 fn main() {
-    let args = HarnessArgs::from_env();
+    let h = Harness::from_env("ext_island");
+    let args = &h.args;
     let n = ((20.0 * args.scale.max(0.1)) as usize).max(3);
     let graphs = ablation_workload(n, args.seed);
     let cluster = grelon();
@@ -39,7 +40,7 @@ fn main() {
         let mut evals = 0usize;
         for (i, g) in graphs.iter().enumerate() {
             let matrix = TimeMatrix::compute(g, &model, cluster.speed_flops(), cluster.processors);
-            let r = emts.run(g, &matrix, args.seed + i as u64);
+            let r = emts.run_recorded(g, &matrix, args.seed + i as u64, h.recorder());
             ms.push(r.best_makespan);
             wall.push(r.wall_time.as_secs_f64() * 1e3);
             evals += r.evaluations;
@@ -60,7 +61,10 @@ fn main() {
 
     // Island models with a similar total budget: 4 islands × (5+25)-ES ×
     // 5 generations × 2 epochs ≈ 4 × 260 × ... evaluations.
-    for (label, islands, epochs) in [("4 islands × 2 epochs", 4usize, 2usize), ("8 islands × 2 epochs", 8, 2)] {
+    for (label, islands, epochs) in [
+        ("4 islands × 2 epochs", 4usize, 2usize),
+        ("8 islands × 2 epochs", 8, 2),
+    ] {
         let island = IslandEmts::new(IslandConfig {
             base: EmtsConfig::emts5(),
             islands,
@@ -90,10 +94,13 @@ fn main() {
         });
     }
 
-    println!("Extension: island-model EMTS ({n} irregular n=100 PTGs, Grelon, Model 2)\n");
-    println!("{}", table.render());
+    h.say(format_args!(
+        "Extension: island-model EMTS ({n} irregular n=100 PTGs, Grelon, Model 2)\n"
+    ));
+    h.say(table.render());
     match output::write_json(&args.out, "ext_island.json", &rows) {
-        Ok(path) => println!("\nwrote {path}"),
+        Ok(path) => h.say(format_args!("\nwrote {path}")),
         Err(e) => eprintln!("could not write results: {e}"),
     }
+    h.finish();
 }

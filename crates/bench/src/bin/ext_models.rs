@@ -7,7 +7,7 @@
 //! per-task model mix — and reports EMTS5's improvement over MCPA for each.
 
 use bench::ablation::ablation_workload;
-use bench::{output, HarnessArgs};
+use bench::{output, Harness};
 use emts::{Emts, EmtsConfig};
 use exec_model::{
     Amdahl, Downey, ExecutionTimeModel, PerTaskModel, RedistributionCost, SyntheticModel,
@@ -26,7 +26,8 @@ struct ModelRow {
 }
 
 fn main() {
-    let args = HarnessArgs::from_env();
+    let h = Harness::from_env("ext_models");
+    let args = &h.args;
     let n = ((20.0 * args.scale.max(0.1)) as usize).max(3);
     let graphs = ablation_workload(n, args.seed);
     let cluster = grelon();
@@ -34,8 +35,14 @@ fn main() {
 
     let models: Vec<(String, Box<dyn ExecutionTimeModel>)> = vec![
         ("Amdahl (Model 1)".into(), Box::new(Amdahl)),
-        ("synthetic (Model 2)".into(), Box::new(SyntheticModel::default())),
-        ("Downey A=32 sigma=1".into(), Box::new(Downey::new(32.0, 1.0))),
+        (
+            "synthetic (Model 2)".into(),
+            Box::new(SyntheticModel::default()),
+        ),
+        (
+            "Downey A=32 sigma=1".into(),
+            Box::new(Downey::new(32.0, 1.0)),
+        ),
         (
             "Model 2 + redistribution".into(),
             Box::new(RedistributionCost::typical(SyntheticModel::default())),
@@ -58,7 +65,10 @@ fn main() {
             let matrix =
                 TimeMatrix::compute(g, model.as_ref(), cluster.speed_flops(), cluster.processors);
             mcpa.push(allocate_and_map(&Mcpa, g, &matrix).1);
-            best.push(emts.run(g, &matrix, args.seed + i as u64).best_makespan);
+            best.push(
+                emts.run_recorded(g, &matrix, args.seed + i as u64, h.recorder())
+                    .best_makespan,
+            );
         }
         let rel = ratio_summary(&mcpa, &best);
         table.push([name.clone(), rel.format(3)]);
@@ -67,12 +77,17 @@ fn main() {
             rel_makespan: rel,
         });
     }
-    println!("Extension: EMTS5 vs MCPA across execution-time models ({n} irregular n=100 PTGs, Grelon)\n");
-    println!("{}", table.render());
-    println!("every ratio is ≥ 1 (plus-selection); larger ratios mean the model");
-    println!("breaks MCPA's assumptions harder and the EA exploits it more.");
+    h.say(format_args!("Extension: EMTS5 vs MCPA across execution-time models ({n} irregular n=100 PTGs, Grelon)\n"));
+    h.say(table.render());
+    h.say(format_args!(
+        "every ratio is ≥ 1 (plus-selection); larger ratios mean the model"
+    ));
+    h.say(format_args!(
+        "breaks MCPA's assumptions harder and the EA exploits it more."
+    ));
     match output::write_json(&args.out, "ext_models.json", &rows) {
-        Ok(path) => println!("\nwrote {path}"),
+        Ok(path) => h.say(format_args!("\nwrote {path}")),
         Err(e) => eprintln!("could not write results: {e}"),
     }
+    h.finish();
 }

@@ -6,7 +6,7 @@
 //! (140 processors, mixed speeds).
 
 use bench::ablation::ablation_workload;
-use bench::{output, HarnessArgs};
+use bench::{output, Harness};
 use emts::{Emts, EmtsConfig, GridEmts};
 use exec_model::{SyntheticModel, TimeMatrix};
 use heuristics::{allocate_and_map, Hcpa, HcpaGrid};
@@ -22,7 +22,8 @@ struct Row {
 }
 
 fn main() {
-    let args = HarnessArgs::from_env();
+    let h = Harness::from_env("ext_multicluster");
+    let args = &h.args;
     let n = ((20.0 * args.scale.max(0.1)) as usize).max(3);
     let graphs = ablation_workload(n, args.seed);
     let grid = grid5000_pair();
@@ -43,14 +44,16 @@ fn main() {
             series[2 * c].2.push(allocate_and_map(&Hcpa, g, &matrix).1);
             series[2 * c + 1].2.push(
                 Emts::new(EmtsConfig::emts5())
-                    .run(g, &matrix, args.seed + i as u64)
+                    .run_recorded(g, &matrix, args.seed + i as u64, h.recorder())
                     .best_makespan,
             );
         }
         let (_, hcpa_grid) = HcpaGrid.schedule(g, &model, &grid);
         series[4].2.push(hcpa_grid.makespan());
         let r = GridEmts::default().run(g, &model, &grid, args.seed + i as u64);
-        series[5].2.push(r.best_makespan.min(r.hcpa_native_makespan));
+        series[5]
+            .2
+            .push(r.best_makespan.min(r.hcpa_native_makespan));
     }
 
     let mut table = TextTable::new(["scheduler", "platform", "makespan [s] (mean ± CI)"]);
@@ -64,11 +67,16 @@ fn main() {
             makespan: s,
         });
     }
-    println!("Extension: multi-cluster scheduling ({n} irregular n=100 PTGs, Model 2)\n");
-    println!("{}", table.render());
-    println!("the combined grid (140 procs) should beat either cluster alone.");
+    h.say(format_args!(
+        "Extension: multi-cluster scheduling ({n} irregular n=100 PTGs, Model 2)\n"
+    ));
+    h.say(table.render());
+    h.say(format_args!(
+        "the combined grid (140 procs) should beat either cluster alone."
+    ));
     match output::write_json(&args.out, "ext_multicluster.json", &rows) {
-        Ok(path) => println!("\nwrote {path}"),
+        Ok(path) => h.say(format_args!("\nwrote {path}")),
         Err(e) => eprintln!("could not write results: {e}"),
     }
+    h.finish();
 }

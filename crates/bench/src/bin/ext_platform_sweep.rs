@@ -7,7 +7,7 @@
 //! per-processor speed, irregular n=100 PTGs, Model 2.
 
 use bench::ablation::ablation_workload;
-use bench::{output, HarnessArgs};
+use bench::{output, Harness};
 use emts::{Emts, EmtsConfig};
 use exec_model::{SyntheticModel, TimeMatrix};
 use heuristics::{allocate_and_map, Mcpa};
@@ -23,7 +23,8 @@ struct SweepPoint {
 }
 
 fn main() {
-    let args = HarnessArgs::from_env();
+    let h = Harness::from_env("ext_platform_sweep");
+    let args = &h.args;
     let n = ((20.0 * args.scale.max(0.1)) as usize).max(3);
     let graphs = ablation_workload(n, args.seed);
     let model = SyntheticModel::default();
@@ -38,7 +39,10 @@ fn main() {
         for (i, g) in graphs.iter().enumerate() {
             let matrix = TimeMatrix::compute(g, &model, cluster.speed_flops(), processors);
             mcpa.push(allocate_and_map(&Mcpa, g, &matrix).1);
-            best.push(emts.run(g, &matrix, args.seed + i as u64).best_makespan);
+            best.push(
+                emts.run_recorded(g, &matrix, args.seed + i as u64, h.recorder())
+                    .best_makespan,
+            );
         }
         let rel = ratio_summary(&mcpa, &best);
         table.push([processors.to_string(), rel.format(3)]);
@@ -47,11 +51,16 @@ fn main() {
             rel_makespan: rel,
         });
     }
-    println!("Extension: EMTS5 improvement vs platform size ({n} irregular n=100 PTGs, Model 2)\n");
-    println!("{}", table.render());
-    println!("expected shape: ratio grows with P (paper §V-A, generalized)");
+    h.say(format_args!(
+        "Extension: EMTS5 improvement vs platform size ({n} irregular n=100 PTGs, Model 2)\n"
+    ));
+    h.say(table.render());
+    h.say(format_args!(
+        "expected shape: ratio grows with P (paper §V-A, generalized)"
+    ));
     match output::write_json(&args.out, "ext_platform_sweep.json", &points) {
-        Ok(path) => println!("\nwrote {path}"),
+        Ok(path) => h.say(format_args!("\nwrote {path}")),
         Err(e) => eprintln!("could not write results: {e}"),
     }
+    h.finish();
 }

@@ -8,7 +8,7 @@
 //! the same sizes — the staircase shape (odd counts and non-square even
 //! counts slower) is what the figure exists to show.
 
-use bench::HarnessArgs;
+use bench::Harness;
 use exec_model::{ExecutionTimeModel, SyntheticModel};
 use ptg::Task;
 use serde::Serialize;
@@ -21,12 +21,19 @@ struct Series {
 }
 
 fn main() {
-    let args = HarnessArgs::from_env();
+    let h = Harness::from_env("fig1_pdgemm");
+    let args = &h.args;
     let model = SyntheticModel::default();
     // 2 n³ FLOP per n×n matrix multiply; α small like a tuned PDGEMM.
     let tasks = [
-        (1024u32, Task::new("pdgemm_1024", 2.0 * 1024f64.powi(3), 0.02)),
-        (2048u32, Task::new("pdgemm_2048", 2.0 * 2048f64.powi(3), 0.02)),
+        (
+            1024u32,
+            Task::new("pdgemm_1024", 2.0 * 1024f64.powi(3), 0.02),
+        ),
+        (
+            2048u32,
+            Task::new("pdgemm_2048", 2.0 * 2048f64.powi(3), 0.02),
+        ),
     ];
     let speed = 4.3e9; // one Chti-class processor
     let ps: Vec<u32> = (2..=32).collect();
@@ -34,7 +41,10 @@ fn main() {
     let mut table = TextTable::new(["p", "t(1024) [s]", "t(2048) [s]", "penalty"]);
     let mut series = Vec::new();
     for (size, task) in &tasks {
-        let points: Vec<(u32, f64)> = ps.iter().map(|&p| (p, model.time(task, p, speed))).collect();
+        let points: Vec<(u32, f64)> = ps
+            .iter()
+            .map(|&p| (p, model.time(task, p, speed)))
+            .collect();
         series.push(Series {
             matrix_size: *size,
             points,
@@ -48,8 +58,10 @@ fn main() {
             format!("{:.1}", model.penalty(p)),
         ]);
     }
-    println!("Figure 1 — non-monotonic task execution time (Model 2 stand-in for PDGEMM)\n");
-    println!("{}", table.render());
+    h.say(format_args!(
+        "Figure 1 — non-monotonic task execution time (Model 2 stand-in for PDGEMM)\n"
+    ));
+    h.say(table.render());
 
     // Point out the non-monotonic steps the figure is about.
     let rises: Vec<String> = series[1]
@@ -58,9 +70,13 @@ fn main() {
         .filter(|w| w[1].1 > w[0].1)
         .map(|w| format!("p={}→{}", w[0].0, w[1].0))
         .collect();
-    println!("execution time *rises* at: {}", rises.join(", "));
+    h.say(format_args!(
+        "execution time *rises* at: {}",
+        rises.join(", ")
+    ));
     match bench::output::write_json(&args.out, "fig1_pdgemm.json", &series) {
-        Ok(path) => println!("\nwrote {path}"),
+        Ok(path) => h.say(format_args!("\nwrote {path}")),
         Err(e) => eprintln!("could not write results: {e}"),
     }
+    h.finish();
 }

@@ -5,11 +5,14 @@
 //! illustrative (the figure carries no measurements), included so every
 //! figure of the paper has a regenerating binary.
 
+use bench::Harness;
 use ptg::dot::{to_dot, DotOptions};
 use ptg::PtgBuilder;
 use sched::Allocation;
+use std::fmt::Write;
 
 fn main() {
+    let h = Harness::from_env("fig2_encoding");
     // The figure shows a 5-node PTG whose node 1 holds 3 processors; the
     // other allocations follow the bar heights in the illustration.
     let mut b = PtgBuilder::new();
@@ -24,17 +27,24 @@ fn main() {
     let g = b.build().expect("acyclic");
     let individual = Allocation::from_vec(vec![3, 2, 4, 2, 1]);
 
-    println!("Figure 2 — encoding of individuals\n");
-    println!("PTG (DOT):\n{}", to_dot(&g, &DotOptions::default()));
-    println!("individual I (one allele per task, allele i = s(v_i)):\n");
-    print!("  position: ");
+    h.say(format_args!("Figure 2 — encoding of individuals\n"));
+    h.say(format_args!(
+        "PTG (DOT):\n{}",
+        to_dot(&g, &DotOptions::default())
+    ));
+    h.say("individual I (one allele per task, allele i = s(v_i)):\n");
+    let mut genotype = String::from("  position: ");
     for i in 1..=individual.len() {
-        print!("{i:>4}");
+        write!(genotype, "{i:>4}").unwrap();
     }
-    print!("\n  allele  : ");
+    genotype.push_str("\n  allele  : ");
     for &s in individual.as_slice() {
-        print!("{s:>4}");
+        write!(genotype, "{s:>4}").unwrap();
     }
-    println!("\n\nreading: node 1 is allocated {} processors, stored at position 1.",
-        individual.as_slice()[0]);
+    h.say(genotype);
+    h.say(format_args!(
+        "\nreading: node 1 is allocated {} processors, stored at position 1.",
+        individual.as_slice()[0]
+    ));
+    h.finish();
 }

@@ -10,21 +10,34 @@
 //! regular PTGs, clearly above 1.0 against HCPA and on irregular PTGs, and
 //! larger improvements on the bigger platform (Grelon).
 
-use bench::{output, relative_makespan_grid, EmtsVariant, HarnessArgs};
+use bench::experiment::relative_makespan_grid_obs;
+use bench::{output, EmtsVariant, Harness};
 use exec_model::Amdahl;
 
 fn main() {
-    let args = HarnessArgs::from_env();
-    eprintln!(
+    let h = Harness::from_env("fig4_model1");
+    let args = &h.args;
+    h.note(format_args!(
         "Figure 4 (Model 1, EMTS5) — scale {}, seed {} …",
         args.scale, args.seed
+    ));
+    let results = relative_makespan_grid_obs(
+        &Amdahl,
+        EmtsVariant::Emts5,
+        args.scale,
+        args.seed,
+        h.recorder(),
     );
-    let results = relative_makespan_grid(&Amdahl, EmtsVariant::Emts5, args.scale, args.seed);
-    println!("Figure 4 — relative makespan vs EMTS5, Model 1 (Amdahl)\n");
-    println!("{}", output::panel_table(&results));
-    println!("(values > 1.0: EMTS5 produced the shorter schedule)");
+    h.say(format_args!(
+        "Figure 4 — relative makespan vs EMTS5, Model 1 (Amdahl)\n"
+    ));
+    h.say(output::panel_table(&results));
+    h.say(format_args!(
+        "(values > 1.0: EMTS5 produced the shorter schedule)"
+    ));
     match output::write_json(&args.out, "fig4_model1.json", &results) {
-        Ok(path) => println!("\nwrote {path}"),
+        Ok(path) => h.say(format_args!("\nwrote {path}")),
         Err(e) => eprintln!("could not write results: {e}"),
     }
+    h.finish();
 }

@@ -1,35 +1,41 @@
-//! Figure 5 — average relative makespan under Model 2 (non-monotonic),
+//! Figure 5 â average relative makespan under Model 2 (non-monotonic),
 //! EMTS5 (top half) and EMTS10 (bottom half).
 //!
-//! Expected shape (paper §V-B): EMTS reduces the makespan more on the
+//! Expected shape (paper Â§V-B): EMTS reduces the makespan more on the
 //! larger platform (Grelon); EMTS10 is at least as good as EMTS5, with the
 //! biggest extra gains on irregular PTGs.
 
-use bench::{output, relative_makespan_grid, EmtsVariant, HarnessArgs};
+use bench::experiment::relative_makespan_grid_obs;
+use bench::{output, EmtsVariant, Harness};
 use exec_model::SyntheticModel;
 
 fn main() {
-    let args = HarnessArgs::from_env();
+    let h = Harness::from_env("fig5_model2");
+    let args = &h.args;
     let model = SyntheticModel::default();
     let mut all = Vec::new();
     for variant in [EmtsVariant::Emts5, EmtsVariant::Emts10] {
-        eprintln!(
-            "Figure 5 (Model 2, {}) — scale {}, seed {} …",
+        h.note(format_args!(
+            "Figure 5 (Model 2, {}) â scale {}, seed {} …",
             variant.label(),
             args.scale,
             args.seed
-        );
-        let results = relative_makespan_grid(&model, variant, args.scale, args.seed);
-        println!(
+        ));
+        let results =
+            relative_makespan_grid_obs(&model, variant, args.scale, args.seed, h.recorder());
+        h.say(format_args!(
             "\nFigure 5 ({}) — relative makespan, Model 2 (synthetic non-monotonic)\n",
             variant.label()
-        );
-        println!("{}", output::panel_table(&results));
+        ));
+        h.say(output::panel_table(&results));
         all.extend(results);
     }
-    println!("(values > 1.0: EMTS produced the shorter schedule)");
+    h.say(format_args!(
+        "(values > 1.0: EMTS produced the shorter schedule)"
+    ));
     match output::write_json(&args.out, "fig5_model2.json", &all) {
-        Ok(path) => println!("\nwrote {path}"),
+        Ok(path) => h.say(format_args!("\nwrote {path}")),
         Err(e) => eprintln!("could not write results: {e}"),
     }
+    h.finish();
 }

@@ -5,18 +5,19 @@
 //! EMTS stretches the big tasks across many processors. The binary prints
 //! ASCII charts and writes SVG files plus utilization numbers.
 
-use bench::{output, HarnessArgs};
+use bench::{output, Harness};
 use exec_model::{SyntheticModel, TimeMatrix};
 use platform::grelon;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use sched::gantt::{ascii_gantt, svg_gantt, SvgOptions};
 use sched::metrics::compute_metrics;
-use sim::runner::{run, Algorithm};
+use sim::runner::{run_obs, Algorithm};
 use workloads::{daggen::random_ptg, CostConfig, DaggenParams};
 
 fn main() {
-    let args = HarnessArgs::from_env();
+    let h = Harness::from_env("fig6_gantt");
+    let args = &h.args;
     let params = DaggenParams {
         n: 100,
         width: 0.5,
@@ -30,22 +31,25 @@ fn main() {
     let model = SyntheticModel::default();
     let matrix = TimeMatrix::compute(&g, &model, cluster.speed_flops(), cluster.processors);
 
-    println!("Figure 6 — MCPA vs EMTS10 schedules, irregular n=100 on Grelon, Model 2\n");
+    h.say(format_args!(
+        "Figure 6 — MCPA vs EMTS10 schedules, irregular n=100 on Grelon, Model 2\n"
+    ));
     for alg in [Algorithm::Mcpa, Algorithm::Emts10] {
-        let (report, schedule) = run(alg, &g, &cluster, &model, args.seed);
+        let (report, schedule, _) = run_obs(alg, &g, &cluster, &model, args.seed, h.recorder());
         let metrics = compute_metrics(&g, &matrix, &schedule);
-        println!(
+        h.say(format_args!(
             "== {} ==  makespan {:.2} s, utilization {:.1} %, peak busy procs {}",
             alg.name(),
             report.makespan,
             100.0 * metrics.utilization,
             report.sim.peak_busy_processors
-        );
-        println!("{}", ascii_gantt(&schedule, 100));
+        ));
+        h.say(ascii_gantt(&schedule, 100));
         let svg = svg_gantt(&g, &schedule, &SvgOptions::default());
         match output::write_text(&args.out, &format!("fig6_{}.svg", report.algorithm), &svg) {
-            Ok(path) => println!("wrote {path}\n"),
+            Ok(path) => h.say(format_args!("wrote {path}\n")),
             Err(e) => eprintln!("could not write SVG: {e}"),
         }
     }
+    h.finish();
 }

@@ -7,14 +7,14 @@
 //! time by a factor of 10 for an optimized C program" — this Rust build
 //! should comfortably beat that; EXPERIMENTS.md records the comparison.
 
-use bench::{output, HarnessArgs};
+use bench::{output, Harness};
 use exec_model::{SyntheticModel, TimeMatrix};
 use platform::{chti, grelon};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use serde::Serialize;
-use stats::{Summary, TextTable};
 use sim::Algorithm;
+use stats::{Summary, TextTable};
 use workloads::{daggen::random_ptg, strassen::strassen_ptg, CostConfig, DaggenParams};
 
 #[derive(Serialize)]
@@ -26,7 +26,8 @@ struct RuntimeRow {
 }
 
 fn main() {
-    let args = HarnessArgs::from_env();
+    let h = Harness::from_env("table_runtime");
+    let args = &h.args;
     let reps = ((10.0 * args.scale.max(0.3)) as usize).max(3);
     let mut rng = ChaCha8Rng::seed_from_u64(args.seed);
     let costs = CostConfig::default();
@@ -47,7 +48,10 @@ fn main() {
 
     let mut rows = Vec::new();
     for cluster in [chti(), grelon()] {
-        for (workload, graphs) in [("Strassen (23 tasks)", &strassens), ("irregular n=100", &hundreds)] {
+        for (workload, graphs) in [
+            ("Strassen (23 tasks)", &strassens),
+            ("irregular n=100", &hundreds),
+        ] {
             for alg in [Algorithm::Emts5, Algorithm::Emts10] {
                 let mut secs = Vec::with_capacity(graphs.len());
                 for (i, g) in graphs.iter().enumerate() {
@@ -67,7 +71,13 @@ fn main() {
         }
     }
 
-    let mut table = TextTable::new(["algorithm", "platform", "workload", "seconds (mean ± CI)", "SD"]);
+    let mut table = TextTable::new([
+        "algorithm",
+        "platform",
+        "workload",
+        "seconds (mean ± CI)",
+        "SD",
+    ]);
     for r in &rows {
         table.push([
             r.algorithm.clone(),
@@ -77,11 +87,16 @@ fn main() {
             format!("{:.4}", r.seconds.sd),
         ]);
     }
-    println!("§V run-time table — EMTS optimization wall-clock ({reps} PTGs per cell)\n");
-    println!("{}", table.render());
-    println!("paper (Python): EMTS5 0.45–2.7 s Chti / 1.3–5.5 s Grelon; EMTS10 9.6–38.1 s Grelon");
+    h.say(format_args!(
+        "§V run-time table — EMTS optimization wall-clock ({reps} PTGs per cell)\n"
+    ));
+    h.say(table.render());
+    h.say(format_args!(
+        "paper (Python): EMTS5 0.45–2.7 s Chti / 1.3–5.5 s Grelon; EMTS10 9.6–38.1 s Grelon"
+    ));
     match output::write_json(&args.out, "table_runtime.json", &rows) {
-        Ok(path) => println!("\nwrote {path}"),
+        Ok(path) => h.say(format_args!("\nwrote {path}")),
         Err(e) => eprintln!("could not write results: {e}"),
     }
+    h.finish();
 }

@@ -9,6 +9,7 @@
 use emts::{Emts, EmtsConfig};
 use exec_model::{ExecutionTimeModel, TimeMatrix};
 use heuristics::{allocate_and_map, Hcpa, Mcpa};
+use obs::{NoopRecorder, Recorder};
 use platform::{chti, grelon, Cluster};
 use serde::{Deserialize, Serialize};
 use stats::summary::ratio_summary;
@@ -87,10 +88,24 @@ pub fn relative_makespan_grid<M: ExecutionTimeModel + ?Sized>(
     scale: f64,
     seed: u64,
 ) -> Vec<PanelResult> {
+    relative_makespan_grid_obs(model, variant, scale, seed, &NoopRecorder)
+}
+
+/// [`relative_makespan_grid`] with telemetry: corpus generation and each
+/// panel get phase spans, and every EMTS run feeds the recorder.
+pub fn relative_makespan_grid_obs<M: ExecutionTimeModel + ?Sized, R: Recorder>(
+    model: &M,
+    variant: EmtsVariant,
+    scale: f64,
+    seed: u64,
+    rec: &R,
+) -> Vec<PanelResult> {
     use rand::SeedableRng;
     let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
-    let corpus = Corpus::paper(scale, &CostConfig::default(), &mut rng);
-    relative_makespan_grid_on(&corpus, model, variant, seed)
+    let corpus = rec.time("corpus", || {
+        Corpus::paper(scale, &CostConfig::default(), &mut rng)
+    });
+    relative_makespan_grid_on_obs(&corpus, model, variant, seed, rec)
 }
 
 /// [`relative_makespan_grid`] over an existing corpus — lets tests and
@@ -101,6 +116,18 @@ pub fn relative_makespan_grid_on<M: ExecutionTimeModel + ?Sized>(
     variant: EmtsVariant,
     seed: u64,
 ) -> Vec<PanelResult> {
+    relative_makespan_grid_on_obs(corpus, model, variant, seed, &NoopRecorder)
+}
+
+/// [`relative_makespan_grid_on`] with telemetry.
+pub fn relative_makespan_grid_on_obs<M: ExecutionTimeModel + ?Sized, R: Recorder>(
+    corpus: &Corpus,
+    model: &M,
+    variant: EmtsVariant,
+    seed: u64,
+    rec: &R,
+) -> Vec<PanelResult> {
+    let _grid_span = rec.span("grid");
     let emts = Emts::new(variant.config());
     let platforms = [chti(), grelon()];
     let mut results = Vec::new();
@@ -114,10 +141,13 @@ pub fn relative_makespan_grid_on<M: ExecutionTimeModel + ?Sized>(
             let mut hcpa_ms = Vec::with_capacity(entries.len());
             let mut emts_ms = Vec::with_capacity(entries.len());
             for entry in &entries {
-                let (mcpa, hcpa, best) = run_instance(model, &emts, cluster, entry, seed);
+                let (mcpa, hcpa, best) = run_instance(model, &emts, cluster, entry, seed, rec);
                 mcpa_ms.push(mcpa);
                 hcpa_ms.push(hcpa);
                 emts_ms.push(best);
+                if R::ENABLED {
+                    rec.add("grid.instances", 1);
+                }
             }
             for (baseline, series) in [("MCPA", &mcpa_ms), ("HCPA", &hcpa_ms)] {
                 results.push(PanelResult {
@@ -135,23 +165,23 @@ pub fn relative_makespan_grid_on<M: ExecutionTimeModel + ?Sized>(
 }
 
 /// Runs one corpus instance: returns `(T_MCPA, T_HCPA, T_EMTS)`.
-fn run_instance<M: ExecutionTimeModel + ?Sized>(
+fn run_instance<M: ExecutionTimeModel + ?Sized, R: Recorder>(
     model: &M,
     emts: &Emts,
     cluster: &Cluster,
     entry: &CorpusEntry,
     seed: u64,
+    rec: &R,
 ) -> (f64, f64, f64) {
-    let matrix = TimeMatrix::compute(
-        &entry.ptg,
-        model,
-        cluster.speed_flops(),
-        cluster.processors,
-    );
-    let (_, mcpa) = allocate_and_map(&Mcpa, &entry.ptg, &matrix);
-    let (_, hcpa) = allocate_and_map(&Hcpa, &entry.ptg, &matrix);
+    let matrix = TimeMatrix::compute(&entry.ptg, model, cluster.speed_flops(), cluster.processors);
+    let mcpa = rec.time("baselines", || {
+        allocate_and_map(&Mcpa, &entry.ptg, &matrix).1
+    });
+    let hcpa = rec.time("baselines", || {
+        allocate_and_map(&Hcpa, &entry.ptg, &matrix).1
+    });
     let ea_seed = seed ^ fxhash_str(&entry.name);
-    let result = emts.run(&entry.ptg, &matrix, ea_seed);
+    let result = emts.run_recorded(&entry.ptg, &matrix, ea_seed, rec);
     (mcpa, hcpa, result.best_makespan)
 }
 

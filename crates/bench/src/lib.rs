@@ -10,6 +10,8 @@ pub mod ablation;
 pub mod args;
 pub mod experiment;
 pub mod output;
+pub mod report;
 
 pub use args::HarnessArgs;
 pub use experiment::{relative_makespan_grid, EmtsVariant, PanelResult};
+pub use report::Harness;

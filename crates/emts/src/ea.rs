@@ -7,6 +7,7 @@ use crate::parallel::{EvalPool, FitnessEngine};
 use crate::seeds::initial_population;
 use crate::trace::{ConvergenceTrace, GenerationStats};
 use exec_model::TimeMatrix;
+use obs::Recorder;
 use ptg::Ptg;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -87,13 +88,33 @@ impl Emts {
         })
     }
 
-    fn run_with_pool(
+    /// [`Self::run`] with telemetry: the whole run is wrapped in an `ea`
+    /// span with per-generation `seed` / `mutate` / `evaluate` / `select`
+    /// child spans, the engine's memo counters and the pool's latency
+    /// histograms flow into `rec`, and the outcome is summarized into the
+    /// `emts.*` counters and gauges. Results are bit-identical to
+    /// [`Self::run`] — telemetry never touches the RNG or the search.
+    pub fn run_recorded<R: Recorder>(
         &self,
         g: &Ptg,
         matrix: &TimeMatrix,
         seed: u64,
-        pool: &mut EvalPool<'_>,
+        rec: &R,
     ) -> EmtsResult {
+        EvalPool::with_recorder(g, matrix, self.cfg.parallel_evaluation, rec, |pool| {
+            self.run_with_pool(g, matrix, seed, pool)
+        })
+    }
+
+    fn run_with_pool<R: Recorder>(
+        &self,
+        g: &Ptg,
+        matrix: &TimeMatrix,
+        seed: u64,
+        pool: &mut EvalPool<'_, R>,
+    ) -> EmtsResult {
+        let rec = pool.recorder();
+        let _run_span = rec.span("ea");
         let start = Instant::now();
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
         let v = g.task_count();
@@ -104,7 +125,7 @@ impl Emts {
         let mut op = self.op;
 
         let mut engine = FitnessEngine::new(pool);
-        let mut population = initial_population(cfg, &op, g, matrix, &mut rng);
+        let mut population = rec.time("seed", || initial_population(cfg, &op, g, matrix, &mut rng));
         let mut evaluations = population.len();
         let seed_makespan = population
             .iter()
@@ -132,14 +153,17 @@ impl Emts {
                 .iter()
                 .map(|i| i.fitness)
                 .fold(f64::INFINITY, f64::min);
-            let offspring_allocs: Vec<Allocation> = (0..cfg.lambda)
-                .map(|_| {
-                    let parent = &population[rand::Rng::gen_range(&mut rng, 0..population.len())];
-                    let mut alloc = parent.alloc.clone();
-                    op.mutate(&mut alloc, m, p_max, &mut rng);
-                    alloc
-                })
-                .collect();
+            let offspring_allocs: Vec<Allocation> = rec.time("mutate", || {
+                (0..cfg.lambda)
+                    .map(|_| {
+                        let parent =
+                            &population[rand::Rng::gen_range(&mut rng, 0..population.len())];
+                        let mut alloc = parent.alloc.clone();
+                        op.mutate(&mut alloc, m, p_max, &mut rng);
+                        alloc
+                    })
+                    .collect()
+            });
             // Rejection cutoff: fixed at the generation's start so the
             // result is independent of evaluation order. With
             // comma-selection every offspring must survive, so rejection is
@@ -153,7 +177,7 @@ impl Emts {
             } else {
                 f64::INFINITY
             };
-            let fitness = engine.evaluate(&offspring_allocs, cutoff);
+            let fitness = rec.time("evaluate", || engine.evaluate(&offspring_allocs, cutoff));
             evaluations += offspring_allocs.len();
             let offspring: Vec<Individual> = offspring_allocs
                 .into_iter()
@@ -166,6 +190,7 @@ impl Emts {
                     }
                 })
                 .collect();
+            let _select_span = rec.span("select");
             if cfg.adaptive_sigma {
                 // Rechenberg's 1/5 success rule: an offspring counts as a
                 // success when it beats the generation-start best. The
@@ -213,6 +238,13 @@ impl Emts {
                     .expect("fitness values are finite")
             })
             .expect("population is never empty");
+        if R::ENABLED {
+            rec.add("emts.evaluations", evaluations as u64);
+            rec.add("emts.rejected", rejected as u64);
+            rec.add("emts.generations", generations_run as u64);
+            rec.gauge("emts.best_makespan", best.fitness);
+            rec.gauge("emts.seed_makespan", seed_makespan);
+        }
         EmtsResult {
             best_makespan: best.fitness,
             seed_makespan,
@@ -237,7 +269,11 @@ mod tests {
     use workloads::{daggen::random_ptg, fft::fft_ptg, CostConfig, DaggenParams};
 
     fn fft_setup(model2: bool) -> (Ptg, TimeMatrix) {
-        let g = fft_ptg(8, &CostConfig::default(), &mut ChaCha8Rng::seed_from_u64(21));
+        let g = fft_ptg(
+            8,
+            &CostConfig::default(),
+            &mut ChaCha8Rng::seed_from_u64(21),
+        );
         let m = if model2 {
             TimeMatrix::compute(&g, &SyntheticModel::default(), 4.3e9, 20)
         } else {

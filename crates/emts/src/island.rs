@@ -251,7 +251,11 @@ mod tests {
             .island_makespans
             .iter()
             .fold(0.0f64, |a, &b| a.max(b));
-        assert!(max / min < 1.5, "islands diverged: {:?}", result.island_makespans);
+        assert!(
+            max / min < 1.5,
+            "islands diverged: {:?}",
+            result.island_makespans
+        );
     }
 
     #[test]

@@ -30,12 +30,18 @@
 //! tests and the `emts_generation` bench compare the engine against it.
 
 use exec_model::TimeMatrix;
+use obs::{NoopRecorder, Recorder};
 use ptg::Ptg;
 use sched::{Allocation, BoundedEval, EvalScratch, ListScheduler};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::time::Instant;
+
+/// The shared disabled recorder every un-instrumented entry point points
+/// at (a zero-sized type, so this is purely a lifetime convenience).
+static NOOP: NoopRecorder = NoopRecorder;
 
 /// Evaluates the makespan of every allocation, in parallel when asked.
 ///
@@ -109,14 +115,37 @@ struct Batch {
 }
 
 /// Claims and evaluates items from `batch` until none remain.
-fn drain_batch(g: &Ptg, matrix: &TimeMatrix, batch: &Batch, scratch: &mut EvalScratch) {
+///
+/// When recording, each evaluation's duration feeds the
+/// `pool.eval_seconds` latency histogram (callable from any thread).
+fn drain_batch<R: Recorder>(
+    g: &Ptg,
+    matrix: &TimeMatrix,
+    batch: &Batch,
+    scratch: &mut EvalScratch,
+    rec: &R,
+) {
     loop {
         let i = batch.next.fetch_add(1, Ordering::Relaxed);
         if i >= batch.allocs.len() {
             return;
         }
-        let outcome =
-            ListScheduler.evaluate_bounded_with(g, matrix, &batch.allocs[i], batch.cutoff, scratch);
+        let eval_start = if R::ENABLED {
+            Some(Instant::now())
+        } else {
+            None
+        };
+        let outcome = ListScheduler.evaluate_bounded_obs(
+            g,
+            matrix,
+            &batch.allocs[i],
+            batch.cutoff,
+            scratch,
+            rec,
+        );
+        if let Some(t) = eval_start {
+            rec.latency("pool.eval_seconds", t.elapsed().as_secs_f64());
+        }
         batch.results[i]
             .set(outcome)
             .expect("each index is claimed exactly once");
@@ -129,15 +158,44 @@ fn drain_batch(g: &Ptg, matrix: &TimeMatrix, batch: &Batch, scratch: &mut EvalSc
 
 /// A worker: one scratch for its whole lifetime, batches from the shared
 /// channel until the pool is dropped.
-fn worker_loop(g: &Ptg, matrix: &TimeMatrix, rx: &Mutex<Receiver<Arc<Batch>>>) {
+///
+/// When recording, the worker accumulates its busy time locally and flushes
+/// it **once at shutdown**: total seconds into the flat `pool/worker_busy`
+/// phase, its personal total into the `pool.worker_busy_seconds` histogram
+/// (one sample per worker — the per-worker busy-time distribution), and
+/// its batch count into `pool.worker_batches`.
+fn worker_loop<R: Recorder>(
+    g: &Ptg,
+    matrix: &TimeMatrix,
+    rx: &Mutex<Receiver<Arc<Batch>>>,
+    rec: &R,
+) {
     let mut scratch = EvalScratch::new();
+    let mut busy = 0.0f64;
+    let mut batches = 0u64;
     loop {
         // Hold the receiver lock only for the handoff, not the evaluation.
         let msg = rx.lock().expect("no poisoned receiver lock").recv();
         match msg {
-            Ok(batch) => drain_batch(g, matrix, &batch, &mut scratch),
-            Err(_) => return, // pool dropped its sender: shut down
+            Ok(batch) => {
+                let batch_start = if R::ENABLED {
+                    Some(Instant::now())
+                } else {
+                    None
+                };
+                drain_batch(g, matrix, &batch, &mut scratch, rec);
+                if let Some(t) = batch_start {
+                    busy += t.elapsed().as_secs_f64();
+                    batches += 1;
+                }
+            }
+            Err(_) => break, // pool dropped its sender: shut down
         }
+    }
+    if R::ENABLED && batches > 0 {
+        rec.phase_add("pool/worker_busy", busy);
+        rec.latency("pool.worker_busy_seconds", busy);
+        rec.add("pool.worker_batches", batches);
     }
 }
 
@@ -148,7 +206,11 @@ fn worker_loop(g: &Ptg, matrix: &TimeMatrix, rx: &Mutex<Receiver<Arc<Batch>>>) {
 /// The calling thread participates in every batch with its own scratch, so
 /// a pool with zero workers degenerates to plain serial evaluation — that
 /// is also the configuration chosen when `parallel` is off.
-pub struct EvalPool<'env> {
+///
+/// The pool is generic over a [`Recorder`], defaulted to the no-op one so
+/// existing call sites are untouched; [`EvalPool::with_recorder`] threads a
+/// live recorder through the dispatch path and every worker.
+pub struct EvalPool<'env, R: Recorder = NoopRecorder> {
     g: &'env Ptg,
     matrix: &'env TimeMatrix,
     /// `None` in serial mode.
@@ -156,6 +218,7 @@ pub struct EvalPool<'env> {
     workers: usize,
     /// The calling thread's scratch.
     scratch: EvalScratch,
+    rec: &'env R,
 }
 
 impl<'env> EvalPool<'env> {
@@ -169,6 +232,20 @@ impl<'env> EvalPool<'env> {
         matrix: &TimeMatrix,
         parallel: bool,
         f: impl FnOnce(&mut EvalPool<'_>) -> T,
+    ) -> T {
+        Self::with_recorder(g, matrix, parallel, &NOOP, f)
+    }
+}
+
+impl<'env, REC: Recorder> EvalPool<'env, REC> {
+    /// [`EvalPool::with`] with telemetry: batch dispatch/drain time, an
+    /// eval-latency histogram and per-worker busy time flow into `rec`.
+    pub fn with_recorder<T>(
+        g: &Ptg,
+        matrix: &TimeMatrix,
+        parallel: bool,
+        rec: &REC,
+        f: impl FnOnce(&mut EvalPool<'_, REC>) -> T,
     ) -> T {
         let workers = if parallel {
             // The caller drains batches too, so spawn cores − 1 workers.
@@ -186,6 +263,7 @@ impl<'env> EvalPool<'env> {
                 tx: None,
                 workers: 0,
                 scratch: EvalScratch::new(),
+                rec,
             };
             return f(&mut pool);
         }
@@ -194,7 +272,7 @@ impl<'env> EvalPool<'env> {
         std::thread::scope(|scope| {
             for _ in 0..workers {
                 let rx = &rx;
-                scope.spawn(move || worker_loop(g, matrix, rx));
+                scope.spawn(move || worker_loop(g, matrix, rx, rec));
             }
             let mut pool = EvalPool {
                 g,
@@ -202,6 +280,7 @@ impl<'env> EvalPool<'env> {
                 tx: Some(tx),
                 workers,
                 scratch: EvalScratch::new(),
+                rec,
             };
             let out = f(&mut pool);
             // Dropping the pool drops the sender; workers see the
@@ -216,6 +295,11 @@ impl<'env> EvalPool<'env> {
         self.workers
     }
 
+    /// The recorder this pool reports into.
+    pub fn recorder(&self) -> &'env REC {
+        self.rec
+    }
+
     /// Evaluates every allocation under `cutoff`; results are positional.
     pub fn run_batch(&mut self, allocs: Vec<Allocation>, cutoff: f64) -> Vec<BoundedEval> {
         let n = allocs.len();
@@ -226,19 +310,39 @@ impl<'env> EvalPool<'env> {
             // Serial mode, and tiny batches aren't worth the dispatch.
             Some(tx) if n >= 4 => tx,
             _ => {
+                if REC::ENABLED {
+                    self.rec.add("pool.batches", 1);
+                    self.rec.add("pool.evals", n as u64);
+                }
                 return allocs
                     .iter()
                     .map(|a| {
-                        ListScheduler.evaluate_bounded_with(
+                        let eval_start = if REC::ENABLED {
+                            Some(Instant::now())
+                        } else {
+                            None
+                        };
+                        let outcome = ListScheduler.evaluate_bounded_obs(
                             self.g,
                             self.matrix,
                             a,
                             cutoff,
                             &mut self.scratch,
-                        )
+                            self.rec,
+                        );
+                        if let Some(t) = eval_start {
+                            self.rec
+                                .latency("pool.eval_seconds", t.elapsed().as_secs_f64());
+                        }
+                        outcome
                     })
                     .collect();
             }
+        };
+        let dispatch_start = if REC::ENABLED {
+            Some(Instant::now())
+        } else {
+            None
         };
         let batch = Arc::new(Batch {
             allocs,
@@ -256,12 +360,24 @@ impl<'env> EvalPool<'env> {
             tx.send(Arc::clone(&batch))
                 .expect("workers outlive the pool handle");
         }
-        drain_batch(self.g, self.matrix, &batch, &mut self.scratch);
+        let drain_start = if let Some(t) = dispatch_start {
+            self.rec
+                .phase_add("pool/dispatch", t.elapsed().as_secs_f64());
+            Some(Instant::now())
+        } else {
+            None
+        };
+        drain_batch(self.g, self.matrix, &batch, &mut self.scratch, self.rec);
         let mut done = batch.done.lock().expect("no poisoned batch lock");
         while !*done {
             done = batch.done_cv.wait(done).expect("no poisoned batch lock");
         }
         drop(done);
+        if let Some(t) = drain_start {
+            self.rec.phase_add("pool/drain", t.elapsed().as_secs_f64());
+            self.rec.add("pool.batches", 1);
+            self.rec.add("pool.evals", n as u64);
+        }
         batch
             .results
             .iter()
@@ -283,16 +399,17 @@ struct Cached {
 /// cached (a rejection proves nothing about other cutoffs); a hit decides
 /// accept/reject from the stored `reject_key` with the engine's exact test,
 /// so hits and misses are bit-for-bit interchangeable.
-pub struct FitnessEngine<'p, 'env> {
-    pool: &'p mut EvalPool<'env>,
+pub struct FitnessEngine<'p, 'env, R: Recorder = NoopRecorder> {
+    pool: &'p mut EvalPool<'env, R>,
     cache: HashMap<Allocation, Cached>,
     hits: usize,
     misses: usize,
 }
 
-impl<'p, 'env> FitnessEngine<'p, 'env> {
-    /// Wraps `pool` with an empty cache.
-    pub fn new(pool: &'p mut EvalPool<'env>) -> Self {
+impl<'p, 'env, R: Recorder> FitnessEngine<'p, 'env, R> {
+    /// Wraps `pool` with an empty cache. Telemetry (the `emts.cache.*`
+    /// counters) flows into the pool's recorder.
+    pub fn new(pool: &'p mut EvalPool<'env, R>) -> Self {
         FitnessEngine {
             pool,
             cache: HashMap::new(),
@@ -313,6 +430,8 @@ impl<'p, 'env> FitnessEngine<'p, 'env> {
         let mut first_seen: HashMap<&Allocation, usize> = HashMap::new();
         let mut miss_indices: Vec<usize> = Vec::new();
         let mut aliases: Vec<(usize, usize)> = Vec::new();
+        let hits_before = self.hits;
+        let misses_before = self.misses;
         for (i, a) in allocs.iter().enumerate() {
             if let Some(c) = self.cache.get(a) {
                 self.hits += 1;
@@ -325,6 +444,11 @@ impl<'p, 'env> FitnessEngine<'p, 'env> {
                 first_seen.insert(a, i);
                 miss_indices.push(i);
             }
+        }
+        if R::ENABLED {
+            let rec = self.pool.recorder();
+            rec.add("emts.cache.hits", (self.hits - hits_before) as u64);
+            rec.add("emts.cache.misses", (self.misses - misses_before) as u64);
         }
         if !miss_indices.is_empty() {
             let batch: Vec<Allocation> = miss_indices.iter().map(|&i| allocs[i].clone()).collect();
@@ -391,9 +515,7 @@ mod tests {
         let g = random_ptg(&params, &CostConfig::default(), &mut rng);
         let m = TimeMatrix::compute(&g, &SyntheticModel::default(), 3.1e9, 120);
         let allocs: Vec<Allocation> = (0..23)
-            .map(|_| {
-                Allocation::from_vec((0..50).map(|_| rng.gen_range(1..=120)).collect())
-            })
+            .map(|_| Allocation::from_vec((0..50).map(|_| rng.gen_range(1..=120)).collect()))
             .collect();
         (g, m, allocs)
     }

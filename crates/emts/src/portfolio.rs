@@ -134,7 +134,11 @@ mod tests {
         assert_eq!(result.members.len(), 4);
         let best = result.best().result.best_makespan;
         for member in &result.members {
-            assert!(best <= member.result.best_makespan + 1e-12, "{}", member.label);
+            assert!(
+                best <= member.result.best_makespan + 1e-12,
+                "{}",
+                member.label
+            );
         }
     }
 

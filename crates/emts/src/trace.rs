@@ -10,10 +10,14 @@ pub struct GenerationStats {
     pub generation: usize,
     /// Best (smallest) makespan in the population.
     pub best: f64,
-    /// Mean makespan.
+    /// Mean makespan over the *finite* fitness values.
     pub mean: f64,
-    /// Worst (largest) makespan.
+    /// Worst (largest) makespan among the *finite* fitness values.
     pub worst: f64,
+    /// Fitness values that were non-finite — individuals surfaced as
+    /// `f64::INFINITY` by the rejection cutoff. They are excluded from
+    /// `mean`/`worst` (one infinity would otherwise poison both).
+    pub rejected: usize,
     /// Number of alleles mutated per offspring this generation (0 for the
     /// seed population).
     pub mutated_alleles: usize,
@@ -24,16 +28,36 @@ impl GenerationStats {
     pub const SEED: usize = usize::MAX;
 
     /// Summarizes a population's fitness values.
+    ///
+    /// Non-finite values (rejected/cutoff individuals surfaced as
+    /// `f64::INFINITY`) are counted in `rejected` and excluded from the
+    /// summary statistics. If *every* value is non-finite the statistics
+    /// degenerate to `f64::INFINITY` (best) and `0.0` (mean/worst).
     pub fn from_fitness(generation: usize, fitness: &[f64], mutated_alleles: usize) -> Self {
         assert!(!fitness.is_empty(), "empty population");
-        let best = fitness.iter().copied().fold(f64::INFINITY, f64::min);
-        let worst = fitness.iter().copied().fold(0.0f64, f64::max);
-        let mean = fitness.iter().sum::<f64>() / fitness.len() as f64;
+        let mut best = f64::INFINITY;
+        let mut worst = 0.0f64;
+        let mut sum = 0.0f64;
+        let mut finite = 0usize;
+        for &f in fitness {
+            if f.is_finite() {
+                finite += 1;
+                sum += f;
+                best = best.min(f);
+                worst = worst.max(f);
+            }
+        }
+        let mean = if finite == 0 {
+            0.0
+        } else {
+            sum / finite as f64
+        };
         GenerationStats {
             generation,
             best,
             mean,
             worst,
+            rejected: fitness.len() - finite,
             mutated_alleles,
         }
     }
@@ -109,11 +133,18 @@ mod tests {
     #[test]
     fn trace_derefs_to_generations() {
         let mut trace = ConvergenceTrace::with_capacity(2);
-        trace.push(GenerationStats::from_fitness(GenerationStats::SEED, &[2.0], 0));
+        trace.push(GenerationStats::from_fitness(
+            GenerationStats::SEED,
+            &[2.0],
+            0,
+        ));
         trace.push(GenerationStats::from_fitness(0, &[1.0], 3));
         assert_eq!(trace.len(), 2);
         assert!(trace[0].is_seed());
-        assert_eq!(trace.iter().map(|t| t.best).fold(f64::INFINITY, f64::min), 1.0);
+        assert_eq!(
+            trace.iter().map(|t| t.best).fold(f64::INFINITY, f64::min),
+            1.0
+        );
     }
 
     #[test]
@@ -131,9 +162,30 @@ mod tests {
         assert_eq!(s.best, 1.0);
         assert_eq!(s.worst, 3.0);
         assert_eq!(s.mean, 2.0);
+        assert_eq!(s.rejected, 0);
         assert_eq!(s.generation, 2);
         assert_eq!(s.mutated_alleles, 7);
         assert!(!s.is_seed());
+    }
+
+    #[test]
+    fn non_finite_fitness_is_counted_not_averaged() {
+        // Rejected individuals surface as +inf; they must not poison the
+        // mean/worst of the survivors.
+        let s = GenerationStats::from_fitness(1, &[4.0, f64::INFINITY, 2.0, f64::NAN], 3);
+        assert_eq!(s.best, 2.0);
+        assert_eq!(s.worst, 4.0);
+        assert_eq!(s.mean, 3.0);
+        assert_eq!(s.rejected, 2);
+    }
+
+    #[test]
+    fn all_rejected_population_degenerates_cleanly() {
+        let s = GenerationStats::from_fitness(0, &[f64::INFINITY, f64::INFINITY], 1);
+        assert_eq!(s.rejected, 2);
+        assert_eq!(s.best, f64::INFINITY);
+        assert_eq!(s.mean, 0.0);
+        assert_eq!(s.worst, 0.0);
     }
 
     #[test]

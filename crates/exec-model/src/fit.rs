@@ -51,7 +51,9 @@ pub fn fit_amdahl(measurements: &[(u32, f64)]) -> AmdahlFit {
         "need at least two measurements to fit two parameters"
     );
     assert!(
-        measurements.iter().all(|&(p, t)| p >= 1 && t > 0.0 && t.is_finite()),
+        measurements
+            .iter()
+            .all(|&(p, t)| p >= 1 && t > 0.0 && t.is_finite()),
         "measurements must have p ≥ 1 and positive finite times"
     );
     let n = measurements.len() as f64;
@@ -161,16 +163,10 @@ mod tests {
     #[test]
     fn noisy_measurements_give_reasonable_estimates() {
         // Hand-made measurements of T(p) = 6·(0.3 + 0.7/p) with ±2 % noise.
-        let data: Vec<(u32, f64)> = [
-            (1u32, 1.00),
-            (2, 0.98),
-            (4, 1.02),
-            (8, 0.99),
-            (16, 1.01),
-        ]
-        .iter()
-        .map(|&(p, noise)| (p, 6.0 * (0.3 + 0.7 / p as f64) * noise))
-        .collect();
+        let data: Vec<(u32, f64)> = [(1u32, 1.00), (2, 0.98), (4, 1.02), (8, 0.99), (16, 1.01)]
+            .iter()
+            .map(|&(p, noise)| (p, 6.0 * (0.3 + 0.7 / p as f64) * noise))
+            .collect();
         let fit = fit_amdahl(&data);
         assert!((fit.seq_time - 6.0).abs() < 0.3, "{fit:?}");
         assert!((fit.alpha - 0.3).abs() < 0.05, "{fit:?}");

@@ -71,7 +71,10 @@ pub struct Scaled<M> {
 impl<M: ExecutionTimeModel> Scaled<M> {
     /// Wraps `base` with a positive scale factor.
     pub fn new(base: M, factor: f64) -> Self {
-        assert!(factor > 0.0 && factor.is_finite(), "factor must be positive");
+        assert!(
+            factor > 0.0 && factor.is_finite(),
+            "factor must be positive"
+        );
         Scaled { base, factor }
     }
 }

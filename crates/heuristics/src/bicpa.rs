@@ -102,8 +102,7 @@ impl Allocator for BiCpa {
         tradeoff_curve(g, matrix)
             .into_iter()
             .min_by(|a, b| {
-                let score =
-                    |p: &TradeoffPoint| p.makespan * p.work.powf(self.beta);
+                let score = |p: &TradeoffPoint| p.makespan * p.work.powf(self.beta);
                 score(a).partial_cmp(&score(b)).expect("finite scores")
             })
             .expect("platforms have at least one processor")
@@ -201,7 +200,10 @@ mod tests {
         let g = graph();
         let m = TimeMatrix::compute(&g, &Amdahl, 1e9, 8);
         let curve = tradeoff_curve(&g, &m);
-        let min_ms = curve.iter().map(|p| p.makespan).fold(f64::INFINITY, f64::min);
+        let min_ms = curve
+            .iter()
+            .map(|p| p.makespan)
+            .fold(f64::INFINITY, f64::min);
         let alloc = BiCpa::default().allocate(&g, &m);
         let ms = ListScheduler.makespan(&g, &m, &alloc);
         let times = m.times_for(alloc.as_slice());

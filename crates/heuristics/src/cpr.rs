@@ -45,8 +45,7 @@ impl Allocator for Cpr {
                 alloc.set(v, alloc.of(v) + 1);
                 let ms = ListScheduler.makespan(g, matrix, &alloc);
                 alloc.set(v, alloc.of(v) - 1);
-                if ms < best_ms - 1e-12 * best_ms.max(1.0)
-                    && best_step.is_none_or(|(_, b)| ms < b)
+                if ms < best_ms - 1e-12 * best_ms.max(1.0) && best_step.is_none_or(|(_, b)| ms < b)
                 {
                     best_step = Some((v, ms));
                 }
@@ -113,7 +112,10 @@ mod tests {
             let m = TimeMatrix::compute(&g, &SyntheticModel::default(), 3.1e9, 20);
             let (_, cpr_ms) = allocate_and_map(&Cpr, &g, &m);
             let (_, ones_ms) = allocate_and_map(&AllOne, &g, &m);
-            assert!(cpr_ms <= ones_ms + 1e-9, "seed {seed}: {cpr_ms} vs {ones_ms}");
+            assert!(
+                cpr_ms <= ones_ms + 1e-9,
+                "seed {seed}: {cpr_ms} vs {ones_ms}"
+            );
         }
     }
 

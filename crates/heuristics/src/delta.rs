@@ -53,10 +53,7 @@ impl Allocator for DeltaCritical {
         let levels = PrecedenceLevels::compute(g);
         let mut alloc = Allocation::ones(g.task_count());
         for (_, tasks) in levels.iter() {
-            let layer_max = tasks
-                .iter()
-                .map(|&v| bl[v.index()])
-                .fold(0.0f64, f64::max);
+            let layer_max = tasks.iter().map(|&v| bl[v.index()]).fold(0.0f64, f64::max);
             let critical: Vec<_> = tasks
                 .iter()
                 .copied()

@@ -199,7 +199,10 @@ mod tests {
     fn grid_schedules_are_valid() {
         let g = sample(40, 1);
         let grid = grid5000_pair();
-        for model in [&Amdahl as &dyn ExecutionTimeModel, &SyntheticModel::default()] {
+        for model in [
+            &Amdahl as &dyn ExecutionTimeModel,
+            &SyntheticModel::default(),
+        ] {
             let (alloc, schedule) = HcpaGrid.schedule(&g, model, &grid);
             assert!(alloc.is_valid_for(&g, &grid));
             validate_grid_schedule(&g, &grid, &schedule).unwrap();
@@ -259,7 +262,10 @@ mod tests {
         let w0 = HcpaGrid::translate(&matrices, v, t_ref, 0, grid.clusters[0].processors);
         let w1 = HcpaGrid::translate(&matrices, v, t_ref, 1, grid.clusters[1].processors);
         assert!(w0 <= 4, "same-speed translation widened: {w0}");
-        assert!(w1 >= w0, "slower cluster should need at least as many: {w1} < {w0}");
+        assert!(
+            w1 >= w0,
+            "slower cluster should need at least as many: {w1} < {w0}"
+        );
     }
 
     #[test]

@@ -1,0 +1,71 @@
+//! `emts-report`: inspect and diff the JSON run reports written by
+//! `emts-sim --report` and the bench binaries.
+//!
+//! ```text
+//! emts-report show run.json          # pretty-print one report
+//! emts-report show --json run.json   # re-emit normalized JSON
+//! emts-report diff a.json b.json     # per-phase / cache / makespan deltas
+//! ```
+
+use obs::render::{render_diff, render_report};
+use obs::RunReport;
+use std::path::Path;
+use std::process::ExitCode;
+
+const USAGE: &str = "usage:
+  emts-report show [--json] <report.json>
+  emts-report diff <a.json> <b.json>";
+
+fn load(path: &str) -> Result<RunReport, String> {
+    RunReport::load(Path::new(path)).map_err(|e| format!("{path}: {e}"))
+}
+
+fn run() -> Result<(), String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("show") => {
+            let mut json = false;
+            let mut paths = Vec::new();
+            for a in &args[1..] {
+                match a.as_str() {
+                    "--json" => json = true,
+                    flag if flag.starts_with("--") => {
+                        return Err(format!("unknown flag {flag}\n{USAGE}"));
+                    }
+                    path => paths.push(path),
+                }
+            }
+            let [path] = paths[..] else {
+                return Err(format!("`show` takes exactly one report\n{USAGE}"));
+            };
+            let report = load(path)?;
+            if json {
+                println!("{}", report.to_json());
+            } else {
+                print!("{}", render_report(&report));
+            }
+            Ok(())
+        }
+        Some("diff") => {
+            let [a, b] = &args[1..] else {
+                return Err(format!("`diff` takes exactly two reports\n{USAGE}"));
+            };
+            let a = load(a)?;
+            let b = load(b)?;
+            print!("{}", render_diff(&a, &b));
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown command {other:?}\n{USAGE}")),
+        None => Err(USAGE.to_string()),
+    }
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("{msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,260 @@
+//! Fixed-bin log-scaled histograms for latency distributions.
+
+use serde::{Deserialize, Serialize};
+
+/// A histogram over geometrically spaced bins.
+///
+/// Latencies in this workspace span seven orders of magnitude (a memoized
+/// fitness hit is ~100 ns, a full EMTS10 run is seconds), so bins are
+/// spaced by a constant *ratio* rather than a constant width. Boundaries
+/// are precomputed at construction and bin lookup is a binary search over
+/// them, which makes the two invariants the property tests check true by
+/// construction: boundaries are strictly increasing, and every sample lands
+/// in exactly one bin (out-of-range samples clamp to the edge bins).
+///
+/// All stored values are finite, so a histogram survives the JSON
+/// round-trip bit-for-bit (the vendored `serde_json` writes non-finite
+/// floats as `null`). Non-finite samples are counted into `total` via the
+/// edge bins but never contaminate `sum`/`min`/`max`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LogHistogram {
+    /// Bin boundaries, strictly increasing, `len() == bins + 1`: bin `i`
+    /// covers `[bounds[i], bounds[i+1])`, with the edge bins absorbing
+    /// anything outside `[bounds[0], bounds[last])`.
+    bounds: Vec<f64>,
+    /// Sample count per bin, `len() == bins`.
+    counts: Vec<u64>,
+    /// Total samples recorded.
+    total: u64,
+    /// Samples that were finite (the only ones `sum`/`min`/`max` cover).
+    finite: u64,
+    /// Sum of all finite samples (seconds).
+    sum: f64,
+    /// Smallest finite sample, `0.0` until one is recorded.
+    min: f64,
+    /// Largest finite sample, `0.0` until one is recorded.
+    max: f64,
+}
+
+impl LogHistogram {
+    /// A histogram with `bins` geometric bins covering `[lo, hi)`.
+    ///
+    /// Panics unless `0 < lo < hi` and `bins ≥ 1`.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(lo > 0.0 && hi > lo, "need 0 < lo < hi, got [{lo}, {hi})");
+        assert!(bins >= 1, "need at least one bin");
+        let ratio = (hi / lo).powf(1.0 / bins as f64);
+        let mut bounds = Vec::with_capacity(bins + 1);
+        for i in 0..=bins {
+            bounds.push(lo * ratio.powi(i as i32));
+        }
+        // powi rounding must not break strict monotonicity or the exact hi
+        // endpoint; pin the last bound and verify.
+        bounds[bins] = hi;
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "degenerate bin layout for [{lo}, {hi}) / {bins}"
+        );
+        LogHistogram {
+            bounds,
+            counts: vec![0; bins],
+            total: 0,
+            finite: 0,
+            sum: 0.0,
+            min: 0.0,
+            max: 0.0,
+        }
+    }
+
+    /// The default latency layout: 10 ns .. 1000 s, 8 bins per decade.
+    pub fn latency_default() -> Self {
+        Self::new(1e-8, 1e3, 88)
+    }
+
+    /// The bin index `sample` falls into (edge bins absorb out-of-range and
+    /// non-finite samples).
+    pub fn bin_of(&self, sample: f64) -> usize {
+        let bins = self.counts.len();
+        if sample.is_nan() || sample < self.bounds[0] {
+            return 0;
+        }
+        if sample >= self.bounds[bins] {
+            return bins - 1;
+        }
+        // First boundary strictly greater than the sample starts the next
+        // bin, so the sample's bin is one to the left.
+        self.bounds.partition_point(|b| *b <= sample) - 1
+    }
+
+    /// Records one sample (seconds).
+    pub fn record(&mut self, sample: f64) {
+        let bin = self.bin_of(sample);
+        self.counts[bin] += 1;
+        self.total += 1;
+        if sample.is_finite() {
+            self.finite += 1;
+            self.sum += sample;
+            if self.finite == 1 || sample < self.min {
+                self.min = sample;
+            }
+            if self.finite == 1 || sample > self.max {
+                self.max = sample;
+            }
+        }
+    }
+
+    /// Folds another histogram with the *same layout* into this one.
+    pub fn merge(&mut self, other: &LogHistogram) {
+        assert_eq!(self.bounds, other.bounds, "incompatible histogram layouts");
+        if other.total == 0 {
+            return;
+        }
+        for (c, o) in self.counts.iter_mut().zip(&other.counts) {
+            *c += o;
+        }
+        if other.finite > 0 {
+            if self.finite == 0 {
+                self.min = other.min;
+                self.max = other.max;
+            } else {
+                self.min = self.min.min(other.min);
+                self.max = self.max.max(other.max);
+            }
+        }
+        self.total += other.total;
+        self.finite += other.finite;
+        self.sum += other.sum;
+    }
+
+    /// Total samples recorded.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Mean of the finite samples (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.finite == 0 {
+            0.0
+        } else {
+            self.sum / self.finite as f64
+        }
+    }
+
+    /// Sum of the finite samples.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Smallest finite sample (0 when empty).
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest finite sample (0 when empty).
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Upper bound of the bin where the cumulative count first reaches
+    /// `q * total` — a conservative quantile estimate (0 when empty).
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let target = (q.clamp(0.0, 1.0) * self.total as f64).ceil().max(1.0) as u64;
+        let mut seen = 0;
+        for (i, c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return self.bounds[i + 1];
+            }
+        }
+        self.bounds[self.counts.len()]
+    }
+
+    /// Bin boundaries (`bins + 1` entries, strictly increasing).
+    pub fn bounds(&self) -> &[f64] {
+        &self.bounds
+    }
+
+    /// Per-bin sample counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// `(low, high, count)` for each non-empty bin.
+    pub fn nonzero_bins(&self) -> impl Iterator<Item = (f64, f64, u64)> + '_ {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| **c > 0)
+            .map(|(i, c)| (self.bounds[i], self.bounds[i + 1], *c))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_land_in_covering_bins() {
+        let mut h = LogHistogram::new(1e-6, 1.0, 12);
+        for s in [1e-6, 3e-5, 0.02, 0.999999] {
+            let bin = h.bin_of(s);
+            assert!(h.bounds()[bin] <= s && s < h.bounds()[bin + 1], "{s}");
+            h.record(s);
+        }
+        assert_eq!(h.total(), 4);
+        assert_eq!(h.counts().iter().sum::<u64>(), 4);
+    }
+
+    #[test]
+    fn out_of_range_clamps_to_edges() {
+        let mut h = LogHistogram::new(1e-3, 1.0, 4);
+        h.record(1e-9);
+        h.record(50.0);
+        h.record(f64::NAN);
+        h.record(f64::INFINITY);
+        assert_eq!(h.counts()[0], 2); // 1e-9 and NaN
+        assert_eq!(h.counts()[3], 2); // 50.0 and +inf
+        assert_eq!(h.total(), 4);
+        // Non-finite samples never reach the finite summary stats.
+        assert!(h.sum().is_finite() && h.max() == 50.0);
+    }
+
+    #[test]
+    fn summary_stats_track_finite_samples() {
+        let mut h = LogHistogram::latency_default();
+        assert_eq!((h.mean(), h.min(), h.max()), (0.0, 0.0, 0.0));
+        h.record(2e-3);
+        h.record(4e-3);
+        assert!((h.mean() - 3e-3).abs() < 1e-12);
+        assert_eq!(h.min(), 2e-3);
+        assert_eq!(h.max(), 4e-3);
+    }
+
+    #[test]
+    fn quantile_is_monotone_and_bounded() {
+        let mut h = LogHistogram::new(1e-6, 1.0, 24);
+        for i in 1..=1000 {
+            h.record(i as f64 * 1e-6);
+        }
+        let q50 = h.quantile(0.5);
+        let q99 = h.quantile(0.99);
+        assert!(q50 <= q99);
+        assert!((4e-4..=7e-4).contains(&q50), "median bin bound {q50}");
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = LogHistogram::new(1e-6, 1.0, 8);
+        let mut b = LogHistogram::new(1e-6, 1.0, 8);
+        a.record(1e-4);
+        b.record(1e-2);
+        b.record(1e-5);
+        a.merge(&b);
+        assert_eq!(a.total(), 3);
+        assert_eq!(a.min(), 1e-5);
+        assert_eq!(a.max(), 1e-2);
+    }
+}

@@ -1,0 +1,30 @@
+//! Telemetry layer for the EMTS suite.
+//!
+//! The EA's inner loop evaluates the mapping function millions of times per
+//! experiment; any instrumentation on that path must cost *nothing* when it
+//! is off. This crate therefore models telemetry as a compile-time choice:
+//! hot paths are generic over a [`Recorder`] whose `ENABLED` associated
+//! constant lets the optimizer erase every probe when the recorder is
+//! [`NoopRecorder`] (the `fitness/engine` bench asserts the erased probes
+//! cost < 1%). [`StatsRecorder`] is the recording implementation: nested
+//! monotonic phase spans, counters, gauges, and fixed-bin log-scaled
+//! latency histograms.
+//!
+//! A finished run is snapshotted into a schema-versioned [`RunReport`]
+//! (JSON via the vendored serde subset) which the `emts-report` binary
+//! pretty-prints and diffs.
+//!
+//! Built from scratch against the offline container (no crates.io
+//! `tracing`/`metrics`); the only dependencies are the vendored `serde`
+//! and `serde_json` subsets.
+
+pub mod hist;
+pub mod recorder;
+pub mod render;
+pub mod report;
+pub mod stats;
+
+pub use hist::LogHistogram;
+pub use recorder::{NoopRecorder, Recorder, Span};
+pub use report::{PhaseStat, ReportError, RunReport, SCHEMA_VERSION};
+pub use stats::StatsRecorder;

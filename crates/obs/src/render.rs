@@ -1,0 +1,279 @@
+//! Human-readable rendering of run reports: single-report summaries and
+//! A/B diffs for regression triage.
+
+use crate::report::RunReport;
+use std::fmt::Write as _;
+
+/// Engineering notation for seconds: picks ns/µs/ms/s.
+pub fn fmt_seconds(s: f64) -> String {
+    let a = s.abs();
+    if a == 0.0 {
+        "0 s".to_string()
+    } else if a < 1e-6 {
+        format!("{:.1} ns", s * 1e9)
+    } else if a < 1e-3 {
+        format!("{:.1} µs", s * 1e6)
+    } else if a < 1.0 {
+        format!("{:.2} ms", s * 1e3)
+    } else {
+        format!("{s:.3} s")
+    }
+}
+
+fn fmt_delta_pct(a: f64, b: f64) -> String {
+    if a == 0.0 {
+        if b == 0.0 {
+            "±0.0%".to_string()
+        } else {
+            "new".to_string()
+        }
+    } else {
+        format!("{:+.1}%", (b - a) / a * 100.0)
+    }
+}
+
+/// Pretty-prints one report: metadata, phase tree, counters, gauges, and
+/// histogram summaries.
+pub fn render_report(r: &RunReport) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "run report — {} (schema v{})",
+        r.source, r.schema_version
+    );
+    let _ = writeln!(out, "wall time: {}", fmt_seconds(r.wall_seconds));
+    if !r.meta.is_empty() {
+        let _ = writeln!(out, "meta:");
+        for (k, v) in &r.meta {
+            let _ = writeln!(out, "  {k}: {v}");
+        }
+    }
+    if !r.phases.is_empty() {
+        let _ = writeln!(out, "phases:");
+        let width = r.phases.keys().map(|k| k.len()).max().unwrap_or(0);
+        for (path, p) in &r.phases {
+            let share = if r.wall_seconds > 0.0 {
+                format!("{:5.1}%", p.seconds / r.wall_seconds * 100.0)
+            } else {
+                "  –  ".to_string()
+            };
+            let _ = writeln!(
+                out,
+                "  {path:<width$}  {:>10}  ×{:<8} {share}",
+                fmt_seconds(p.seconds),
+                p.count
+            );
+        }
+    }
+    if !r.counters.is_empty() {
+        let _ = writeln!(out, "counters:");
+        let width = r.counters.keys().map(|k| k.len()).max().unwrap_or(0);
+        for (name, v) in &r.counters {
+            let _ = writeln!(out, "  {name:<width$}  {v}");
+        }
+    }
+    if let Some(rate) = r.cache_hit_rate() {
+        let _ = writeln!(out, "cache hit rate: {:.1}%", rate * 100.0);
+    }
+    if !r.gauges.is_empty() {
+        let _ = writeln!(out, "gauges:");
+        let width = r.gauges.keys().map(|k| k.len()).max().unwrap_or(0);
+        for (name, v) in &r.gauges {
+            let _ = writeln!(out, "  {name:<width$}  {v:.6}");
+        }
+    }
+    for (name, h) in &r.histograms {
+        let _ = writeln!(
+            out,
+            "histogram {name}: n={} mean={} p50={} p99={} max={}",
+            h.total(),
+            fmt_seconds(h.mean()),
+            fmt_seconds(h.quantile(0.5)),
+            fmt_seconds(h.quantile(0.99)),
+            fmt_seconds(h.max()),
+        );
+        for (lo, hi, c) in h.nonzero_bins() {
+            let bar = "#".repeat(((c * 40).div_ceil(h.total().max(1))) as usize);
+            let _ = writeln!(
+                out,
+                "  [{:>9} .. {:>9})  {c:>8} {bar}",
+                fmt_seconds(lo),
+                fmt_seconds(hi)
+            );
+        }
+    }
+    if r.convergence.is_some() {
+        let _ = writeln!(
+            out,
+            "convergence trace: present (use --json for the raw data)"
+        );
+    }
+    out
+}
+
+/// Renders the diff `a → b`: per-phase time deltas, counter deltas, cache
+/// hit-rate and best-makespan movement.
+pub fn render_diff(a: &RunReport, b: &RunReport) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "report diff: {} → {}", a.source, b.source);
+    let _ = writeln!(
+        out,
+        "wall time: {} → {} ({})",
+        fmt_seconds(a.wall_seconds),
+        fmt_seconds(b.wall_seconds),
+        fmt_delta_pct(a.wall_seconds, b.wall_seconds)
+    );
+
+    let phase_names: Vec<&String> = {
+        let mut names: Vec<&String> = a.phases.keys().chain(b.phases.keys()).collect();
+        names.sort();
+        names.dedup();
+        names
+    };
+    if !phase_names.is_empty() {
+        let _ = writeln!(out, "phases:");
+        let width = phase_names.iter().map(|k| k.len()).max().unwrap_or(0);
+        for name in phase_names {
+            let sa = a.phases.get(name).copied().unwrap_or_default();
+            let sb = b.phases.get(name).copied().unwrap_or_default();
+            let marker = match (sa.count, sb.count) {
+                (0, _) => "  [new]",
+                (_, 0) => "  [gone]",
+                _ => "",
+            };
+            let _ = writeln!(
+                out,
+                "  {name:<width$}  {:>10} → {:>10}  {:>8}{marker}",
+                fmt_seconds(sa.seconds),
+                fmt_seconds(sb.seconds),
+                fmt_delta_pct(sa.seconds, sb.seconds)
+            );
+        }
+    }
+
+    let counter_names: Vec<&String> = {
+        let mut names: Vec<&String> = a.counters.keys().chain(b.counters.keys()).collect();
+        names.sort();
+        names.dedup();
+        names
+    };
+    if !counter_names.is_empty() {
+        let _ = writeln!(out, "counters:");
+        let width = counter_names.iter().map(|k| k.len()).max().unwrap_or(0);
+        for name in counter_names {
+            let ca = a.counters.get(name).copied().unwrap_or(0);
+            let cb = b.counters.get(name).copied().unwrap_or(0);
+            let _ = writeln!(
+                out,
+                "  {name:<width$}  {ca} → {cb} ({:+})",
+                cb as i128 - ca as i128
+            );
+        }
+    }
+
+    match (a.cache_hit_rate(), b.cache_hit_rate()) {
+        (Some(ra), Some(rb)) => {
+            let _ = writeln!(
+                out,
+                "cache hit rate: {:.1}% → {:.1}% ({:+.1} pp)",
+                ra * 100.0,
+                rb * 100.0,
+                (rb - ra) * 100.0
+            );
+        }
+        (Some(ra), None) => {
+            let _ = writeln!(out, "cache hit rate: {:.1}% → (absent)", ra * 100.0);
+        }
+        (None, Some(rb)) => {
+            let _ = writeln!(out, "cache hit rate: (absent) → {:.1}%", rb * 100.0);
+        }
+        (None, None) => {}
+    }
+
+    match (a.best_makespan(), b.best_makespan()) {
+        (Some(ma), Some(mb)) => {
+            let _ = writeln!(
+                out,
+                "best makespan: {ma:.6} → {mb:.6} ({})",
+                fmt_delta_pct(ma, mb)
+            );
+        }
+        (Some(ma), None) => {
+            let _ = writeln!(out, "best makespan: {ma:.6} → (absent)");
+        }
+        (None, Some(mb)) => {
+            let _ = writeln!(out, "best makespan: (absent) → {mb:.6}");
+        }
+        (None, None) => {}
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::PhaseStat;
+
+    fn report(source: &str, eval_s: f64, hits: u64) -> RunReport {
+        let mut r = RunReport::new(source);
+        r.wall_seconds = eval_s + 0.2;
+        r.phases.insert(
+            "ea/evaluate".into(),
+            PhaseStat {
+                seconds: eval_s,
+                count: 10,
+            },
+        );
+        r.counters.insert("emts.cache.hits".into(), hits);
+        r.counters.insert("emts.cache.misses".into(), 100 - hits);
+        r.gauges.insert("emts.best_makespan".into(), 10.0 + eval_s);
+        r
+    }
+
+    #[test]
+    fn report_rendering_mentions_all_sections() {
+        let mut r = report("fig4", 1.0, 60);
+        r.meta.insert("platform".into(), "grelon".into());
+        let mut h = crate::LogHistogram::latency_default();
+        h.record(1e-4);
+        r.histograms.insert("pool.eval_seconds".into(), h);
+        let text = render_report(&r);
+        for needle in [
+            "fig4",
+            "schema v1",
+            "ea/evaluate",
+            "platform: grelon",
+            "emts.cache.hits",
+            "cache hit rate: 60.0%",
+            "emts.best_makespan",
+            "histogram pool.eval_seconds",
+        ] {
+            assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
+        }
+    }
+
+    #[test]
+    fn diff_rendering_shows_phase_and_hit_rate_deltas() {
+        let a = report("baseline", 1.0, 50);
+        let b = report("candidate", 1.5, 75);
+        let text = render_diff(&a, &b);
+        for needle in [
+            "baseline → candidate",
+            "ea/evaluate",
+            "+50.0%",
+            "cache hit rate: 50.0% → 75.0% (+25.0 pp)",
+            "best makespan",
+        ] {
+            assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
+        }
+    }
+
+    #[test]
+    fn seconds_formatting_picks_sane_units() {
+        assert_eq!(fmt_seconds(0.0), "0 s");
+        assert_eq!(fmt_seconds(2.5e-8), "25.0 ns");
+        assert_eq!(fmt_seconds(3.1e-5), "31.0 µs");
+        assert_eq!(fmt_seconds(4e-2), "40.00 ms");
+        assert_eq!(fmt_seconds(2.0), "2.000 s");
+    }
+}

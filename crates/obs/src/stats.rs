@@ -1,0 +1,227 @@
+//! The recording [`Recorder`] implementation.
+
+use crate::hist::LogHistogram;
+use crate::recorder::Recorder;
+use crate::report::{PhaseStat, RunReport};
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Aggregating recorder: spans, counters, gauges and histograms behind one
+/// mutex.
+///
+/// The EA calls the recorder once per *phase* (a generation's mutate /
+/// evaluate / select step, a drained batch, a finished evaluation), never
+/// per heap operation — hot loops accumulate locally and flush once — so a
+/// single uncontended mutex is far cheaper than sharded atomics here and
+/// keeps the whole recorder trivially consistent for snapshotting.
+///
+/// Span nesting uses a stack, so `span_enter`/`span_exit` must come from
+/// one thread at a time (in practice: the main thread). Worker threads
+/// report through the flat primitives (`add`, `gauge`, `latency`,
+/// `phase_add`), which are safe from anywhere.
+pub struct StatsRecorder {
+    started: Instant,
+    inner: Mutex<Inner>,
+}
+
+#[derive(Default)]
+struct Inner {
+    /// Open spans, innermost last; each holds its full `/`-joined path.
+    stack: Vec<OpenSpan>,
+    phases: BTreeMap<String, PhaseStat>,
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+    histograms: BTreeMap<String, LogHistogram>,
+}
+
+struct OpenSpan {
+    path: String,
+    entered: Instant,
+}
+
+impl StatsRecorder {
+    /// A fresh recorder; wall time counts from this moment.
+    pub fn new() -> Self {
+        StatsRecorder {
+            started: Instant::now(),
+            inner: Mutex::new(Inner::default()),
+        }
+    }
+
+    /// Seconds since the recorder was created.
+    pub fn wall_seconds(&self) -> f64 {
+        self.started.elapsed().as_secs_f64()
+    }
+
+    /// Snapshots everything recorded so far into a [`RunReport`].
+    ///
+    /// Open spans contribute nothing until exited, so snapshot after the
+    /// instrumented work completes. `source` names the producing binary.
+    pub fn report(&self, source: &str) -> RunReport {
+        let inner = self.inner.lock().expect("recorder lock");
+        debug_assert!(
+            inner.stack.is_empty(),
+            "snapshot taken with open spans: {:?}",
+            inner.stack.iter().map(|s| &s.path).collect::<Vec<_>>()
+        );
+        RunReport {
+            schema_version: crate::report::SCHEMA_VERSION,
+            source: source.to_string(),
+            meta: BTreeMap::new(),
+            wall_seconds: self.started.elapsed().as_secs_f64(),
+            phases: inner.phases.clone(),
+            counters: inner.counters.clone(),
+            gauges: inner.gauges.clone(),
+            histograms: inner.histograms.clone(),
+            convergence: None,
+        }
+    }
+
+    /// Current value of counter `name` (0 if never written).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.inner
+            .lock()
+            .expect("recorder lock")
+            .counters
+            .get(name)
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Accumulated seconds of phase `name` (0 if never recorded).
+    pub fn phase_seconds(&self, name: &str) -> f64 {
+        self.inner
+            .lock()
+            .expect("recorder lock")
+            .phases
+            .get(name)
+            .map(|p| p.seconds)
+            .unwrap_or(0.0)
+    }
+}
+
+impl Default for StatsRecorder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Recorder for StatsRecorder {
+    const ENABLED: bool = true;
+
+    fn span_enter(&self, name: &'static str) {
+        let entered = Instant::now();
+        let mut inner = self.inner.lock().expect("recorder lock");
+        let path = match inner.stack.last() {
+            Some(parent) => format!("{}/{name}", parent.path),
+            None => name.to_string(),
+        };
+        inner.stack.push(OpenSpan { path, entered });
+    }
+
+    fn span_exit(&self, name: &'static str) {
+        let mut inner = self.inner.lock().expect("recorder lock");
+        let Some(span) = inner.stack.pop() else {
+            debug_assert!(false, "span_exit(\"{name}\") with no span open");
+            return;
+        };
+        debug_assert!(
+            span.path == name || span.path.ends_with(&format!("/{name}")),
+            "span_exit(\"{name}\") closes \"{}\"",
+            span.path
+        );
+        let seconds = span.entered.elapsed().as_secs_f64();
+        let stat = inner.phases.entry(span.path).or_default();
+        stat.seconds += seconds;
+        stat.count += 1;
+    }
+
+    fn phase_add(&self, name: &'static str, seconds: f64) {
+        let mut inner = self.inner.lock().expect("recorder lock");
+        let stat = inner.phases.entry(name.to_string()).or_default();
+        stat.seconds += seconds;
+        stat.count += 1;
+    }
+
+    fn add(&self, name: &'static str, delta: u64) {
+        let mut inner = self.inner.lock().expect("recorder lock");
+        *inner.counters.entry(name.to_string()).or_insert(0) += delta;
+    }
+
+    fn gauge(&self, name: &'static str, value: f64) {
+        let mut inner = self.inner.lock().expect("recorder lock");
+        inner.gauges.insert(name.to_string(), value);
+    }
+
+    fn latency(&self, name: &'static str, seconds: f64) {
+        let mut inner = self.inner.lock().expect("recorder lock");
+        inner
+            .histograms
+            .entry(name.to_string())
+            .or_insert_with(LogHistogram::latency_default)
+            .record(seconds);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_nest_into_slash_paths() {
+        let rec = StatsRecorder::new();
+        rec.time("outer", || {
+            rec.time("inner", || {
+                std::thread::sleep(std::time::Duration::from_millis(1))
+            });
+            rec.time("inner", || ());
+        });
+        let report = rec.report("test");
+        let outer = &report.phases["outer"];
+        let inner = &report.phases["outer/inner"];
+        assert_eq!(outer.count, 1);
+        assert_eq!(inner.count, 2);
+        assert!(inner.seconds > 0.0);
+        assert!(outer.seconds >= inner.seconds);
+    }
+
+    #[test]
+    fn counters_gauges_and_histograms_accumulate() {
+        let rec = StatsRecorder::new();
+        rec.add("c", 2);
+        rec.add("c", 3);
+        rec.gauge("g", 1.0);
+        rec.gauge("g", 7.5);
+        rec.latency("l", 1e-4);
+        rec.latency("l", 2e-4);
+        rec.phase_add("p", 0.25);
+        rec.phase_add("p", 0.25);
+        let report = rec.report("test");
+        assert_eq!(report.counters["c"], 5);
+        assert_eq!(report.gauges["g"], 7.5);
+        assert_eq!(report.histograms["l"].total(), 2);
+        assert_eq!(report.phases["p"].count, 2);
+        assert!((report.phases["p"].seconds - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn flat_primitives_are_thread_safe() {
+        let rec = StatsRecorder::new();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    for _ in 0..100 {
+                        rec.add("hits", 1);
+                        rec.latency("lat", 1e-5);
+                        rec.phase_add("busy", 1e-3);
+                    }
+                });
+            }
+        });
+        assert_eq!(rec.counter("hits"), 400);
+        let report = rec.report("test");
+        assert_eq!(report.histograms["lat"].total(), 400);
+        assert!((report.phases["busy"].seconds - 0.4).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,82 @@
+//! Property tests for the log-scaled histogram: boundaries must be strictly
+//! monotone for any layout, and every sample must land in exactly one bin.
+
+use obs::LogHistogram;
+use proptest::prelude::*;
+
+fn layout() -> impl Strategy<Value = (f64, f64, usize)> {
+    // lo spans 1 ns .. 1 s, the range spans one to nine decades.
+    (-9.0f64..0.0, 0.5f64..9.0, 1usize..128).prop_map(|(lo_exp, decades, bins)| {
+        let lo = 10f64.powf(lo_exp);
+        (lo, lo * 10f64.powf(decades), bins)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn boundaries_are_strictly_monotone((lo, hi, bins) in layout()) {
+        let h = LogHistogram::new(lo, hi, bins);
+        prop_assert_eq!(h.bounds().len(), bins + 1);
+        for w in h.bounds().windows(2) {
+            prop_assert!(w[0] < w[1], "bounds not strictly increasing: {:?}", w);
+        }
+        prop_assert_eq!(h.bounds()[0], lo);
+        prop_assert_eq!(h.bounds()[bins], hi);
+    }
+
+    #[test]
+    fn every_sample_lands_in_exactly_one_bin(
+        (lo, hi, bins) in layout(),
+        samples in proptest::collection::vec(-12.0f64..4.0, 1..64),
+    ) {
+        let mut h = LogHistogram::new(lo, hi, bins);
+        for exp in samples {
+            let s = 10f64.powf(exp);
+            // Exactly one bin covers the sample: the membership predicate
+            // (with edge-clamping) holds for bin_of(s) and no other bin.
+            let covering: Vec<usize> = (0..bins)
+                .filter(|&i| {
+                    let below_all = s < h.bounds()[0] && i == 0;
+                    let above_all = s >= h.bounds()[bins] && i == bins - 1;
+                    let inside = h.bounds()[i] <= s && s < h.bounds()[i + 1];
+                    below_all || above_all || inside
+                })
+                .collect();
+            prop_assert_eq!(covering.len(), 1, "sample {} covered by {:?}", s, covering);
+            prop_assert_eq!(covering[0], h.bin_of(s));
+            h.record(s);
+        }
+        prop_assert_eq!(h.counts().iter().sum::<u64>(), h.total());
+    }
+
+    #[test]
+    fn totals_and_stats_survive_any_sample_stream(
+        samples in proptest::collection::vec((0u8..10, -1e9f64..1e9), 0..64),
+    ) {
+        // Tags 0–2 inject the non-finite values a misbehaving probe could
+        // produce; the rest are ordinary (possibly negative) durations.
+        let samples: Vec<f64> = samples
+            .into_iter()
+            .map(|(tag, v)| match tag {
+                0 => f64::NAN,
+                1 => f64::INFINITY,
+                2 => f64::NEG_INFINITY,
+                _ => v,
+            })
+            .collect();
+        let mut h = LogHistogram::latency_default();
+        for s in &samples {
+            h.record(*s);
+        }
+        prop_assert_eq!(h.total(), samples.len() as u64);
+        prop_assert_eq!(h.counts().iter().sum::<u64>(), h.total());
+        // Summary statistics stay finite no matter what was recorded, so a
+        // report containing this histogram always survives JSON.
+        prop_assert!(h.mean().is_finite());
+        prop_assert!(h.min().is_finite());
+        prop_assert!(h.max().is_finite());
+        prop_assert!(h.sum().is_finite());
+    }
+}

@@ -24,7 +24,11 @@ pub enum PlatformFileError {
     /// Unrecognized key.
     UnknownKey { line: usize, key: String },
     /// Value failed to parse for the key.
-    BadValue { line: usize, key: String, value: String },
+    BadValue {
+        line: usize,
+        key: String,
+        value: String,
+    },
     /// A required key never appeared.
     Missing(&'static str),
     /// Same key given twice.
@@ -64,12 +68,12 @@ pub fn parse_platform(input: &str) -> Result<Cluster, PlatformFileError> {
         if line.is_empty() || line.starts_with('#') {
             continue;
         }
-        let (key, value) = line.split_once(char::is_whitespace).ok_or_else(|| {
-            PlatformFileError::Malformed {
-                line: line_no,
-                content: line.to_string(),
-            }
-        })?;
+        let (key, value) =
+            line.split_once(char::is_whitespace)
+                .ok_or_else(|| PlatformFileError::Malformed {
+                    line: line_no,
+                    content: line.to_string(),
+                })?;
         let value = value.trim();
         match key {
             "name" => {
@@ -139,8 +143,8 @@ mod tests {
 
     #[test]
     fn parses_the_documented_example() {
-        let c = parse_platform("# Grid'5000\nname Chti\nprocessors 20\nspeed_gflops 4.3\n")
-            .unwrap();
+        let c =
+            parse_platform("# Grid'5000\nname Chti\nprocessors 20\nspeed_gflops 4.3\n").unwrap();
         assert_eq!(c, chti());
     }
 

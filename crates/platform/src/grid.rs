@@ -69,7 +69,10 @@ impl Grid {
 /// The two-paper-cluster Grid'5000 excerpt: Chti (20 × 4.3) + Grelon
 /// (120 × 3.1).
 pub fn grid5000_pair() -> Grid {
-    Grid::new("Grid5000-pair", vec![crate::presets::chti(), crate::presets::grelon()])
+    Grid::new(
+        "Grid5000-pair",
+        vec![crate::presets::chti(), crate::presets::grelon()],
+    )
 }
 
 #[cfg(test)]

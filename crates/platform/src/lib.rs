@@ -8,8 +8,8 @@
 //! time model, per the paper).
 
 pub mod cluster;
-pub mod grid;
 pub mod file;
+pub mod grid;
 pub mod presets;
 
 pub use cluster::Cluster;

@@ -230,7 +230,9 @@ mod tests {
     #[test]
     fn chain_bottom_levels_accumulate() {
         let mut b = PtgBuilder::new();
-        let ids: Vec<_> = (0..4).map(|i| b.add_task(format!("t{i}"), 1.0, 0.0)).collect();
+        let ids: Vec<_> = (0..4)
+            .map(|i| b.add_task(format!("t{i}"), 1.0, 0.0))
+            .collect();
         for w in ids.windows(2) {
             b.add_edge(w[0], w[1]).unwrap();
         }

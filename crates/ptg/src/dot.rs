@@ -61,7 +61,13 @@ pub fn to_dot(g: &Ptg, opts: &DotOptions) -> String {
 fn sanitize(name: &str) -> String {
     let cleaned: String = name
         .chars()
-        .map(|c| if c.is_alphanumeric() || c == '_' { c } else { '_' })
+        .map(|c| {
+            if c.is_alphanumeric() || c == '_' {
+                c
+            } else {
+                '_'
+            }
+        })
         .collect();
     if cleaned.chars().next().is_some_and(|c| c.is_ascii_digit()) {
         format!("g{cleaned}")

@@ -83,12 +83,16 @@ impl Ptg {
 
     /// Tasks with no predecessors.
     pub fn sources(&self) -> Vec<TaskId> {
-        self.task_ids().filter(|&v| self.in_degree(v) == 0).collect()
+        self.task_ids()
+            .filter(|&v| self.in_degree(v) == 0)
+            .collect()
     }
 
     /// Tasks with no successors.
     pub fn sinks(&self) -> Vec<TaskId> {
-        self.task_ids().filter(|&v| self.out_degree(v) == 0).collect()
+        self.task_ids()
+            .filter(|&v| self.out_degree(v) == 0)
+            .collect()
     }
 
     /// True if the graph contains the edge `a → b`.
@@ -187,5 +191,4 @@ mod tests {
             assert!(pos[a.index()] < pos[b.index()], "{a} must precede {b}");
         }
     }
-
 }

@@ -54,7 +54,10 @@ impl PrecedenceLevels {
 
     /// Iterator over `(level, tasks)` pairs, shallowest first.
     pub fn iter(&self) -> impl Iterator<Item = (usize, &[TaskId])> {
-        self.groups.iter().enumerate().map(|(l, ts)| (l, ts.as_slice()))
+        self.groups
+            .iter()
+            .enumerate()
+            .map(|(l, ts)| (l, ts.as_slice()))
     }
 
     /// The maximum number of tasks that share one level (the *width* of a
@@ -73,8 +76,7 @@ impl PrecedenceLevels {
 /// *layered* in the paper's sense (`jump = 0`).
 pub fn is_layered(g: &Ptg) -> bool {
     let lv = PrecedenceLevels::compute(g);
-    g.edges()
-        .all(|(a, b)| lv.level_of(b) == lv.level_of(a) + 1)
+    g.edges().all(|(a, b)| lv.level_of(b) == lv.level_of(a) + 1)
 }
 
 #[cfg(test)]
@@ -111,7 +113,9 @@ mod tests {
     fn groups_partition_all_tasks() {
         let g = diamond_with_jump();
         let lv = PrecedenceLevels::compute(&g);
-        let total: usize = (0..lv.level_count()).map(|l| lv.tasks_on_level(l).len()).sum();
+        let total: usize = (0..lv.level_count())
+            .map(|l| lv.tasks_on_level(l).len())
+            .sum();
         assert_eq!(total, g.task_count());
         assert_eq!(lv.tasks_on_level(1), &[TaskId(1), TaskId(2)]);
     }

@@ -74,7 +74,9 @@ mod tests {
 
     fn chain(n: usize) -> Ptg {
         let mut b = PtgBuilder::new();
-        let ids: Vec<_> = (0..n).map(|i| b.add_task(format!("t{i}"), 1.0, 0.0)).collect();
+        let ids: Vec<_> = (0..n)
+            .map(|i| b.add_task(format!("t{i}"), 1.0, 0.0))
+            .collect();
         for w in ids.windows(2) {
             b.add_edge(w[0], w[1]).unwrap();
         }
@@ -127,7 +129,9 @@ mod tests {
         // fork: 0 -> {1,2,3}
         let mut b = PtgBuilder::new();
         let r = b.add_task("r", 1.0, 0.0);
-        let kids: Vec<_> = (0..3).map(|i| b.add_task(format!("k{i}"), 1.0, 0.0)).collect();
+        let kids: Vec<_> = (0..3)
+            .map(|i| b.add_task(format!("k{i}"), 1.0, 0.0))
+            .collect();
         for &k in &kids {
             b.add_edge(r, k).unwrap();
         }

@@ -136,10 +136,7 @@ pub fn merge_series(g: &Ptg) -> (Ptg, Vec<Vec<TaskId>>) {
                 .expect("group edges follow topological order");
         }
     }
-    (
-        b.build().expect("contraction of a DAG is a DAG"),
-        groups,
-    )
+    (b.build().expect("contraction of a DAG is a DAG"), groups)
 }
 
 /// Parallel composition: the two graphs side by side, no new edges.

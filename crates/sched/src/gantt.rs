@@ -27,7 +27,11 @@ pub fn ascii_gantt(schedule: &Schedule, width: usize) -> String {
             }
         }
     }
-    writeln!(out, "time: 0 .. {makespan:.3} s  ({width} cols, {dt:.3} s/col)").unwrap();
+    writeln!(
+        out,
+        "time: 0 .. {makespan:.3} s  ({width} cols, {dt:.3} s/col)"
+    )
+    .unwrap();
     for (q, row) in cells.iter().enumerate() {
         write!(out, "P{q:>3} |").unwrap();
         for cell in row {
@@ -74,10 +78,7 @@ pub fn svg_gantt(g: &Ptg, schedule: &Schedule, opts: &SvgOptions) -> String {
     writeln!(
         out,
         r#"<svg xmlns="http://www.w3.org/2000/svg" width="{}" height="{}" viewBox="0 0 {} {}">"#,
-        opts.width_px,
-        h as u32,
-        opts.width_px,
-        h as u32
+        opts.width_px, h as u32, opts.width_px, h as u32
     )
     .unwrap();
     writeln!(out, r#"<rect width="100%" height="100%" fill="white"/>"#).unwrap();
@@ -151,7 +152,9 @@ fn contiguous_runs(procs: &[u32]) -> Vec<(u32, u32)> {
 }
 
 fn xml_escape(s: &str) -> String {
-    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
 }
 
 #[cfg(test)]

@@ -16,6 +16,7 @@
 use crate::allocation::Allocation;
 use crate::schedule::{Placement, Schedule};
 use exec_model::TimeMatrix;
+use obs::{NoopRecorder, Recorder};
 use ptg::critpath::{bottom_levels, bottom_levels_into};
 use ptg::{Ptg, TaskId};
 use std::cmp::{Ordering, Reverse};
@@ -46,6 +47,11 @@ struct ReadyTask {
 impl Eq for ReadyTask {}
 
 impl Ord for ReadyTask {
+    // `#[inline]` on the heap comparators matters: the grouped fitness core
+    // is generic over a recorder, so `BinaryHeap`'s sift loops monomorphize
+    // in the *calling* crate — without the hint every comparison would be a
+    // cross-crate call on the EA's hottest path.
+    #[inline]
     fn cmp(&self, other: &Self) -> Ordering {
         // BinaryHeap is a max-heap: order by bl ascending so larger bl pops
         // first, and by *reversed* id so the smaller id pops first on ties.
@@ -57,6 +63,7 @@ impl Ord for ReadyTask {
 }
 
 impl PartialOrd for ReadyTask {
+    #[inline]
     fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
         Some(self.cmp(other))
     }
@@ -155,12 +162,16 @@ struct ProcGroup {
 }
 
 impl Ord for ProcGroup {
+    // Same rationale as `ReadyTask::cmp`: keep heap comparisons inlinable
+    // from other crates' monomorphizations of the fitness core.
+    #[inline]
     fn cmp(&self, other: &Self) -> Ordering {
         (self.avail, self.seq).cmp(&(other.avail, other.seq))
     }
 }
 
 impl PartialOrd for ProcGroup {
+    #[inline]
     fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
         Some(self.cmp(other))
     }
@@ -334,17 +345,29 @@ impl ListScheduler {
     /// O(V log V) regardless of allocation widths — on wide platforms
     /// (P = 120 and mean width P/2 this is ~30× fewer heap operations than
     /// the per-processor core).
-    fn schedule_core_grouped(
+    /// When recording (`R::ENABLED`), heap traffic is accumulated in local
+    /// counters and flushed to `rec` **once per evaluation** — the counters
+    /// and the flush monomorphize away entirely under
+    /// [`obs::NoopRecorder`], keeping the disabled hot path identical to
+    /// the uninstrumented code (asserted by the bench's no-op overhead
+    /// check). Counter names: `sched.tasks_placed` (ready-queue pops),
+    /// `sched.group_pops` / `sched.group_pushes` (processor-group heap
+    /// traffic), `sched.rejections` (evaluations stopped by the cutoff).
+    fn schedule_core_grouped<R: Recorder>(
         g: &Ptg,
         alloc: &Allocation,
         p_max: u32,
         cutoff: f64,
         scratch: &mut EvalScratch,
+        rec: &R,
     ) -> BoundedEval {
         // Same slack rationale as `schedule_core`.
         let threshold = cutoff * (1.0 + 1e-9);
         let mut makespan = 0.0f64;
         let mut reject_key = 0.0f64;
+        let mut tasks_placed = 0u64;
+        let mut group_pops = 0u64;
+        let mut group_pushes = 0u64;
         scratch.groups.clear();
         scratch.groups.push(Reverse(ProcGroup {
             avail: OrderedF64(0.0),
@@ -360,6 +383,9 @@ impl ListScheduler {
             let mut remainder: Option<ProcGroup> = None;
             while need > 0 {
                 let Reverse(run) = scratch.groups.pop().expect("alloc ≤ P ensured by prepare");
+                if R::ENABLED {
+                    group_pops += 1;
+                }
                 // Runs pop in nondecreasing availability order, so the last
                 // one visited carries the s(v)-th smallest free time.
                 procs_free = run.avail.0;
@@ -376,12 +402,21 @@ impl ListScheduler {
             let start = scratch.data_ready[v.index()].max(procs_free);
             let lower_bound = start + scratch.bl[v.index()];
             if lower_bound > threshold {
+                if R::ENABLED {
+                    rec.add("sched.tasks_placed", tasks_placed);
+                    rec.add("sched.group_pops", group_pops);
+                    rec.add("sched.group_pushes", group_pushes);
+                    rec.add("sched.rejections", 1);
+                }
                 return BoundedEval::Rejected;
             }
             reject_key = reject_key.max(lower_bound);
             let finish = start + scratch.times[v.index()];
             if let Some(run) = remainder {
                 scratch.groups.push(Reverse(run));
+                if R::ENABLED {
+                    group_pushes += 1;
+                }
             }
             scratch.groups.push(Reverse(ProcGroup {
                 avail: OrderedF64(finish),
@@ -390,6 +425,10 @@ impl ListScheduler {
             }));
             next_seq += 1;
             makespan = makespan.max(finish);
+            if R::ENABLED {
+                group_pushes += 1;
+                tasks_placed += 1;
+            }
             for &w in g.successors(v) {
                 scratch.data_ready[w.index()] = scratch.data_ready[w.index()].max(finish);
                 scratch.in_deg[w.index()] -= 1;
@@ -400,6 +439,11 @@ impl ListScheduler {
                     });
                 }
             }
+        }
+        if R::ENABLED {
+            rec.add("sched.tasks_placed", tasks_placed);
+            rec.add("sched.group_pops", group_pops);
+            rec.add("sched.group_pushes", group_pushes);
         }
         BoundedEval::Complete {
             makespan,
@@ -501,8 +545,25 @@ impl ListScheduler {
         cutoff: f64,
         scratch: &mut EvalScratch,
     ) -> BoundedEval {
+        self.evaluate_bounded_obs(g, matrix, alloc, cutoff, scratch, &NoopRecorder)
+    }
+
+    /// [`Self::evaluate_bounded_with`] with telemetry: heap-operation
+    /// counters and rejection counts flow into `rec` (see
+    /// `schedule_core_grouped` for the counter names). With
+    /// [`obs::NoopRecorder`] this *is* `evaluate_bounded_with` — every
+    /// probe compiles away.
+    pub fn evaluate_bounded_obs<R: Recorder>(
+        &self,
+        g: &Ptg,
+        matrix: &TimeMatrix,
+        alloc: &Allocation,
+        cutoff: f64,
+        scratch: &mut EvalScratch,
+        rec: &R,
+    ) -> BoundedEval {
         Self::prepare_into(g, matrix, alloc, scratch);
-        Self::schedule_core_grouped(g, alloc, matrix.p_max(), cutoff, scratch)
+        Self::schedule_core_grouped(g, alloc, matrix.p_max(), cutoff, scratch, rec)
     }
 
     /// The straightforward per-processor evaluation, retained as the
@@ -519,8 +580,14 @@ impl ListScheduler {
     ) -> Option<f64> {
         let mut scratch = EvalScratch::with_capacity(g.task_count(), matrix.p_max());
         Self::prepare_into(g, matrix, alloc, &mut scratch);
-        match Self::schedule_core(g, alloc, matrix.p_max(), cutoff, &mut scratch, |_, _, _, _| {})
-        {
+        match Self::schedule_core(
+            g,
+            alloc,
+            matrix.p_max(),
+            cutoff,
+            &mut scratch,
+            |_, _, _, _| {},
+        ) {
             BoundedEval::Complete { makespan, .. } => Some(makespan),
             BoundedEval::Rejected => None,
         }
@@ -533,11 +600,15 @@ struct OrderedF64(f64);
 
 impl Eq for OrderedF64 {}
 impl PartialOrd for OrderedF64 {
+    #[inline]
     fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
         Some(self.cmp(other))
     }
 }
 impl Ord for OrderedF64 {
+    // Same rationale as `ReadyTask::cmp`: keep heap comparisons inlinable
+    // from other crates' monomorphizations of the fitness core.
+    #[inline]
     fn cmp(&self, other: &Self) -> Ordering {
         self.0.partial_cmp(&other.0).expect("finite times")
     }
@@ -638,7 +709,9 @@ mod tests {
     fn fork_join() -> Ptg {
         let mut b = PtgBuilder::new();
         let src = b.add_task("src", 1e9, 0.0);
-        let mids: Vec<_> = (0..3).map(|i| b.add_task(format!("m{i}"), 1e9, 0.0)).collect();
+        let mids: Vec<_> = (0..3)
+            .map(|i| b.add_task(format!("m{i}"), 1e9, 0.0))
+            .collect();
         let sink = b.add_task("sink", 1e9, 0.0);
         for &m in &mids {
             b.add_edge(src, m).unwrap();
@@ -682,7 +755,10 @@ mod tests {
         ] {
             let full = ListScheduler.map(&g, &m, &alloc).makespan();
             let fast = ListScheduler.makespan(&g, &m, &alloc);
-            assert!((full - fast).abs() < 1e-9, "alloc {alloc:?}: {full} vs {fast}");
+            assert!(
+                (full - fast).abs() < 1e-9,
+                "alloc {alloc:?}: {full} vs {fast}"
+            );
         }
     }
 
@@ -856,7 +932,10 @@ mod tests {
             let r_small = ListScheduler
                 .makespan_bounded_with(&small, &small_m, &alloc_small, f64::INFINITY, &mut scratch)
                 .unwrap();
-            assert_eq!(r_small, ListScheduler.makespan(&small, &small_m, &alloc_small));
+            assert_eq!(
+                r_small,
+                ListScheduler.makespan(&small, &small_m, &alloc_small)
+            );
         }
     }
 
@@ -872,8 +951,10 @@ mod tests {
             Allocation::from_vec(vec![4, 2, 1, 3, 4]),
             Allocation::from_vec(vec![1, 4, 4, 1, 1]),
         ] {
-            let BoundedEval::Complete { makespan, reject_key } = ListScheduler
-                .evaluate_bounded_with(&g, &m, &alloc, f64::INFINITY, &mut scratch)
+            let BoundedEval::Complete {
+                makespan,
+                reject_key,
+            } = ListScheduler.evaluate_bounded_with(&g, &m, &alloc, f64::INFINITY, &mut scratch)
             else {
                 panic!("infinite cutoff never rejects");
             };
@@ -919,6 +1000,34 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn recorded_evaluation_counts_heap_ops_and_rejections() {
+        use obs::StatsRecorder;
+        let g = fork_join();
+        let m = matrix(&g, 4);
+        let alloc = Allocation::from_vec(vec![4, 2, 1, 3, 4]);
+        let mut scratch = EvalScratch::new();
+        let rec = StatsRecorder::new();
+        let plain =
+            ListScheduler.evaluate_bounded_with(&g, &m, &alloc, f64::INFINITY, &mut scratch);
+        let recorded =
+            ListScheduler.evaluate_bounded_obs(&g, &m, &alloc, f64::INFINITY, &mut scratch, &rec);
+        assert_eq!(plain, recorded, "telemetry must not change results");
+        assert_eq!(rec.counter("sched.tasks_placed"), g.task_count() as u64);
+        assert!(rec.counter("sched.group_pops") >= g.task_count() as u64);
+        assert!(rec.counter("sched.group_pushes") >= g.task_count() as u64);
+        assert_eq!(rec.counter("sched.rejections"), 0);
+
+        // A cutoff below the real makespan must be counted as a rejection.
+        let BoundedEval::Complete { makespan, .. } = recorded else {
+            panic!("infinite cutoff never rejects");
+        };
+        let outcome =
+            ListScheduler.evaluate_bounded_obs(&g, &m, &alloc, makespan * 0.5, &mut scratch, &rec);
+        assert_eq!(outcome, BoundedEval::Rejected);
+        assert_eq!(rec.counter("sched.rejections"), 1);
     }
 
     #[test]

@@ -32,11 +32,7 @@ pub fn compute_metrics(g: &Ptg, matrix: &TimeMatrix, schedule: &Schedule) -> Sch
     let busy = schedule.busy_area();
     let capacity = schedule.processors as f64 * makespan;
     let serial: f64 = g.task_ids().map(|v| matrix.time(v, 1)).sum();
-    let times: Vec<f64> = schedule
-        .placements
-        .iter()
-        .map(|p| p.duration())
-        .collect();
+    let times: Vec<f64> = schedule.placements.iter().map(|p| p.duration()).collect();
     let cp = critical_path_length(g, &times);
     let mut wait_sum = 0.0;
     for v in g.task_ids() {
@@ -50,7 +46,11 @@ pub fn compute_metrics(g: &Ptg, matrix: &TimeMatrix, schedule: &Schedule) -> Sch
     ScheduleMetrics {
         makespan,
         utilization: if capacity > 0.0 { busy / capacity } else { 0.0 },
-        speedup_vs_serial: if makespan > 0.0 { serial / makespan } else { 0.0 },
+        speedup_vs_serial: if makespan > 0.0 {
+            serial / makespan
+        } else {
+            0.0
+        },
         cp_stretch: if cp > 0.0 { makespan / cp } else { 0.0 },
         mean_wait: wait_sum / g.task_count() as f64,
     }

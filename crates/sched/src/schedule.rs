@@ -109,10 +109,7 @@ impl Schedule {
 
     /// The schedule's makespan: the latest finish time.
     pub fn makespan(&self) -> f64 {
-        self.placements
-            .iter()
-            .map(|p| p.finish)
-            .fold(0.0, f64::max)
+        self.placements.iter().map(|p| p.finish).fold(0.0, f64::max)
     }
 
     /// Busy processor-seconds: `Σ_v duration(v) · width(v)`.

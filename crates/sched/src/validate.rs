@@ -14,11 +14,19 @@ pub enum ScheduleViolation {
     /// Task uses a different processor count than its allocation.
     WidthMismatch { task: TaskId, alloc: u32, used: u32 },
     /// Task duration disagrees with the execution-time model.
-    DurationMismatch { task: TaskId, expected: f64, actual: f64 },
+    DurationMismatch {
+        task: TaskId,
+        expected: f64,
+        actual: f64,
+    },
     /// A task starts before one of its predecessors finishes.
     DependencyViolated { pred: TaskId, succ: TaskId },
     /// Two tasks overlap in time on the same processor.
-    ProcessorOverlap { a: TaskId, b: TaskId, processor: u32 },
+    ProcessorOverlap {
+        a: TaskId,
+        b: TaskId,
+        processor: u32,
+    },
 }
 
 impl fmt::Display for ScheduleViolation {
@@ -111,8 +119,7 @@ pub fn all_violations(
     }
 
     // Processor capacity: per processor, sort intervals and scan.
-    let mut per_proc: Vec<Vec<(f64, f64, TaskId)>> =
-        vec![Vec::new(); schedule.processors as usize];
+    let mut per_proc: Vec<Vec<(f64, f64, TaskId)>> = vec![Vec::new(); schedule.processors as usize];
     for pl in &schedule.placements {
         for &q in &pl.processors {
             per_proc[q as usize].push((pl.start, pl.finish, pl.task));
@@ -169,12 +176,26 @@ mod tests {
         let s = Schedule::new(
             2,
             vec![
-                Placement { task: TaskId(0), start: 0.0, finish: 1.0, processors: vec![0] },
-                Placement { task: TaskId(1), start: 0.5, finish: 1.5, processors: vec![1] },
+                Placement {
+                    task: TaskId(0),
+                    start: 0.0,
+                    finish: 1.0,
+                    processors: vec![0],
+                },
+                Placement {
+                    task: TaskId(1),
+                    start: 0.5,
+                    finish: 1.5,
+                    processors: vec![1],
+                },
             ],
         );
         let v = all_violations(&g, &m, &alloc, &s);
-        assert!(v.iter().any(|x| matches!(x, ScheduleViolation::DependencyViolated { .. })), "{v:?}");
+        assert!(
+            v.iter()
+                .any(|x| matches!(x, ScheduleViolation::DependencyViolated { .. })),
+            "{v:?}"
+        );
     }
 
     #[test]
@@ -188,12 +209,26 @@ mod tests {
         let s = Schedule::new(
             2,
             vec![
-                Placement { task: TaskId(0), start: 0.0, finish: 1.0, processors: vec![0] },
-                Placement { task: TaskId(1), start: 0.5, finish: 1.5, processors: vec![0] },
+                Placement {
+                    task: TaskId(0),
+                    start: 0.0,
+                    finish: 1.0,
+                    processors: vec![0],
+                },
+                Placement {
+                    task: TaskId(1),
+                    start: 0.5,
+                    finish: 1.5,
+                    processors: vec![0],
+                },
             ],
         );
         let v = all_violations(&g, &m, &alloc, &s);
-        assert!(v.iter().any(|x| matches!(x, ScheduleViolation::ProcessorOverlap { processor: 0, .. })), "{v:?}");
+        assert!(
+            v.iter()
+                .any(|x| matches!(x, ScheduleViolation::ProcessorOverlap { processor: 0, .. })),
+            "{v:?}"
+        );
     }
 
     #[test]
@@ -205,13 +240,27 @@ mod tests {
             4,
             vec![
                 // width 1 but allocated 2; duration 2.0 but model says 1.0
-                Placement { task: TaskId(0), start: 0.0, finish: 2.0, processors: vec![0] },
-                Placement { task: TaskId(1), start: 2.0, finish: 3.0, processors: vec![1] },
+                Placement {
+                    task: TaskId(0),
+                    start: 0.0,
+                    finish: 2.0,
+                    processors: vec![0],
+                },
+                Placement {
+                    task: TaskId(1),
+                    start: 2.0,
+                    finish: 3.0,
+                    processors: vec![1],
+                },
             ],
         );
         let v = all_violations(&g, &m, &alloc, &s);
-        assert!(v.iter().any(|x| matches!(x, ScheduleViolation::WidthMismatch { .. })));
-        assert!(v.iter().any(|x| matches!(x, ScheduleViolation::DurationMismatch { .. })));
+        assert!(v
+            .iter()
+            .any(|x| matches!(x, ScheduleViolation::WidthMismatch { .. })));
+        assert!(v
+            .iter()
+            .any(|x| matches!(x, ScheduleViolation::DurationMismatch { .. })));
     }
 
     #[test]
@@ -221,11 +270,19 @@ mod tests {
         let alloc = Allocation::ones(2);
         let s = Schedule::new(
             2,
-            vec![Placement { task: TaskId(0), start: 0.0, finish: 1.0, processors: vec![0] }],
+            vec![Placement {
+                task: TaskId(0),
+                start: 0.0,
+                finish: 1.0,
+                processors: vec![0],
+            }],
         );
         assert_eq!(
             validate_schedule(&g, &m, &alloc, &s),
-            Err(ScheduleViolation::TaskCountMismatch { expected: 2, actual: 1 })
+            Err(ScheduleViolation::TaskCountMismatch {
+                expected: 2,
+                actual: 1
+            })
         );
     }
 
@@ -240,8 +297,18 @@ mod tests {
         let s = Schedule::new(
             1,
             vec![
-                Placement { task: TaskId(0), start: 0.0, finish: 1.0, processors: vec![0] },
-                Placement { task: TaskId(1), start: 1.0, finish: 2.0, processors: vec![0] },
+                Placement {
+                    task: TaskId(0),
+                    start: 0.0,
+                    finish: 1.0,
+                    processors: vec![0],
+                },
+                Placement {
+                    task: TaskId(1),
+                    start: 1.0,
+                    finish: 2.0,
+                    processors: vec![0],
+                },
             ],
         );
         assert!(all_violations(&g, &m, &alloc, &s).is_empty());

@@ -28,12 +28,11 @@ fn build_graph(n: usize, edges: &[(usize, usize)]) -> Ptg {
 
 fn scenario() -> impl Strategy<Value = (usize, Vec<(usize, usize)>, u32, Vec<u32>)> {
     (2usize..25).prop_flat_map(|n| {
-        let edge = (0usize..n, 0usize..n)
-            .prop_filter_map("fwd", |(a, b)| match a.cmp(&b) {
-                std::cmp::Ordering::Less => Some((a, b)),
-                std::cmp::Ordering::Greater => Some((b, a)),
-                std::cmp::Ordering::Equal => None,
-            });
+        let edge = (0usize..n, 0usize..n).prop_filter_map("fwd", |(a, b)| match a.cmp(&b) {
+            std::cmp::Ordering::Less => Some((a, b)),
+            std::cmp::Ordering::Greater => Some((b, a)),
+            std::cmp::Ordering::Equal => None,
+        });
         (2u32..20).prop_flat_map(move |p| {
             (
                 Just(n),

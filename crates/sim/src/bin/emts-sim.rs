@@ -9,13 +9,19 @@
 //! usage: emts-sim --platform <file> --ptg <file>
 //!                 [--algorithm cpa|hcpa|mcpa|delta|emts5|emts10]
 //!                 [--model model1|model2] [--seed <u64>]
-//!                 [--gantt] [--json]
+//!                 [--gantt] [--json] [--report <out.json>]
 //! ```
+//!
+//! `--report` writes a schema-versioned [`obs::RunReport`] (phase spans,
+//! counters, histograms, convergence trace) that `emts-report` can
+//! pretty-print or diff.
 
 use exec_model::PaperModel;
+use obs::StatsRecorder;
 use platform::file::parse_platform;
+use serde::Serialize;
 use sim::formats::parse_ptg;
-use sim::runner::{run, Algorithm};
+use sim::runner::{run_obs, Algorithm};
 
 struct Args {
     platform: String,
@@ -25,6 +31,7 @@ struct Args {
     seed: u64,
     gantt: bool,
     json: bool,
+    report: Option<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -35,6 +42,7 @@ fn parse_args() -> Result<Args, String> {
     let mut seed = 2011u64;
     let mut gantt = false;
     let mut json = false;
+    let mut report = None;
     let mut iter = std::env::args().skip(1);
     while let Some(arg) = iter.next() {
         match arg.as_str() {
@@ -58,6 +66,7 @@ fn parse_args() -> Result<Args, String> {
             }
             "--gantt" => gantt = true,
             "--json" => json = true,
+            "--report" => report = Some(iter.next().ok_or("--report needs a file")?),
             other => return Err(format!("unknown flag {other:?}")),
         }
     }
@@ -69,6 +78,7 @@ fn parse_args() -> Result<Args, String> {
         seed,
         gantt,
         json,
+        report,
     })
 }
 
@@ -80,7 +90,8 @@ fn main() {
             eprintln!(
                 "usage: emts-sim --platform <file> --ptg <file> \
                  [--algorithm cpa|hcpa|mcpa|delta|emts5|emts10] \
-                 [--model model1|model2] [--seed <u64>] [--gantt] [--json]"
+                 [--model model1|model2] [--seed <u64>] [--gantt] [--json] \
+                 [--report <out.json>]"
             );
             std::process::exit(2);
         }
@@ -103,7 +114,35 @@ fn main() {
     });
 
     let model = args.model.instantiate();
-    let (report, schedule) = run(args.algorithm, &graph, &cluster, model.as_ref(), args.seed);
+    let rec = StatsRecorder::new();
+    let (report, schedule, trace) = run_obs(
+        args.algorithm,
+        &graph,
+        &cluster,
+        model.as_ref(),
+        args.seed,
+        &rec,
+    );
+
+    if let Some(path) = &args.report {
+        let mut obs_report = rec.report("emts-sim");
+        obs_report
+            .meta
+            .insert("algorithm".into(), report.algorithm.clone());
+        obs_report
+            .meta
+            .insert("platform".into(), report.platform.clone());
+        obs_report.meta.insert("model".into(), report.model.clone());
+        obs_report.meta.insert("seed".into(), args.seed.to_string());
+        obs_report
+            .meta
+            .insert("tasks".into(), report.tasks.to_string());
+        obs_report.convergence = trace.as_ref().map(|t| t.to_value());
+        if let Err(e) = obs_report.save(std::path::Path::new(path)) {
+            eprintln!("cannot write report {path}: {e}");
+            std::process::exit(1);
+        }
+    }
 
     if args.json {
         println!(
@@ -120,10 +159,7 @@ fn main() {
             report.makespan,
             100.0 * report.sim.utilization()
         );
-        println!(
-            "allocation: {:?}",
-            report.allocation
-        );
+        println!("allocation: {:?}", report.allocation);
         println!(
             "allocation step {:.1} ms, mapping step {:.2} ms",
             report.allocation_seconds * 1e3,

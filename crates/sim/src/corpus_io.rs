@@ -64,11 +64,13 @@ pub fn save_corpus(dir: &Path, corpus: &Corpus) -> Result<usize, CorpusIoError> 
             n: e.n,
         })
         .collect();
-    let manifest_json =
-        serde_json::to_string_pretty(&manifest).map_err(CorpusIoError::Manifest)?;
+    let manifest_json = serde_json::to_string_pretty(&manifest).map_err(CorpusIoError::Manifest)?;
     fs::write(dir.join("manifest.json"), manifest_json)?;
     for entry in &corpus.entries {
-        fs::write(dir.join(format!("{}.ptg", entry.name)), render_ptg(&entry.ptg))?;
+        fs::write(
+            dir.join(format!("{}.ptg", entry.name)),
+            render_ptg(&entry.ptg),
+        )?;
     }
     Ok(corpus.entries.len())
 }

@@ -9,9 +9,10 @@
 //! against the mapper's own numbers.
 
 use crate::event::{Event, EventKind, EventQueue};
+use obs::{NoopRecorder, Recorder};
 use ptg::{Ptg, TaskId};
-use serde::{Deserialize, Serialize};
 use sched::Schedule;
+use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Why a replay failed.
@@ -86,6 +87,17 @@ const REL_TOL: f64 = 1e-9;
 
 /// Replays `schedule` for `g` and returns the execution report.
 pub fn execute(g: &Ptg, schedule: &Schedule) -> Result<SimReport, ExecutionError> {
+    execute_obs(g, schedule, &NoopRecorder)
+}
+
+/// [`execute`] with telemetry: counts processed events (`sim.events`) and
+/// publishes the replay's headline numbers as gauges. With
+/// [`NoopRecorder`] this compiles down to the plain replay loop.
+pub fn execute_obs<R: Recorder>(
+    g: &Ptg,
+    schedule: &Schedule,
+    rec: &R,
+) -> Result<SimReport, ExecutionError> {
     if schedule.task_count() != g.task_count() {
         return Err(ExecutionError::TaskCountMismatch {
             expected: g.task_count(),
@@ -168,13 +180,20 @@ pub fn execute(g: &Ptg, schedule: &Schedule) -> Result<SimReport, ExecutionError
     }
     debug_assert!(finished.iter().all(|&f| f));
     let _ = REL_TOL;
-    Ok(SimReport {
+    let report = SimReport {
         makespan,
         tasks_executed: executed,
         busy_seconds,
         peak_parallel_tasks,
         peak_busy_processors,
-    })
+    };
+    if R::ENABLED {
+        rec.add("sim.events", 2 * executed as u64);
+        rec.gauge("sim.utilization", report.utilization());
+        rec.gauge("sim.peak_parallel_tasks", peak_parallel_tasks as f64);
+        rec.gauge("sim.peak_busy_processors", peak_busy_processors as f64);
+    }
+    Ok(report)
 }
 
 #[cfg(test)]
@@ -235,10 +254,30 @@ mod tests {
         let bad = Schedule::new(
             4,
             vec![
-                Placement { task: TaskId(0), start: 0.0, finish: 2.0, processors: vec![0] },
-                Placement { task: TaskId(1), start: 1.0, finish: 3.0, processors: vec![1] },
-                Placement { task: TaskId(2), start: 2.0, finish: 4.0, processors: vec![2] },
-                Placement { task: TaskId(3), start: 4.0, finish: 6.0, processors: vec![3] },
+                Placement {
+                    task: TaskId(0),
+                    start: 0.0,
+                    finish: 2.0,
+                    processors: vec![0],
+                },
+                Placement {
+                    task: TaskId(1),
+                    start: 1.0,
+                    finish: 3.0,
+                    processors: vec![1],
+                },
+                Placement {
+                    task: TaskId(2),
+                    start: 2.0,
+                    finish: 4.0,
+                    processors: vec![2],
+                },
+                Placement {
+                    task: TaskId(3),
+                    start: 4.0,
+                    finish: 6.0,
+                    processors: vec![3],
+                },
             ],
         );
         assert_eq!(
@@ -259,8 +298,18 @@ mod tests {
         let bad = Schedule::new(
             2,
             vec![
-                Placement { task: TaskId(0), start: 0.0, finish: 2.0, processors: vec![0] },
-                Placement { task: TaskId(1), start: 1.0, finish: 3.0, processors: vec![0] },
+                Placement {
+                    task: TaskId(0),
+                    start: 0.0,
+                    finish: 2.0,
+                    processors: vec![0],
+                },
+                Placement {
+                    task: TaskId(1),
+                    start: 1.0,
+                    finish: 3.0,
+                    processors: vec![0],
+                },
             ],
         );
         assert_eq!(
@@ -283,8 +332,18 @@ mod tests {
         let s = Schedule::new(
             1,
             vec![
-                Placement { task: TaskId(0), start: 0.0, finish: 2.0, processors: vec![0] },
-                Placement { task: TaskId(1), start: 2.0, finish: 4.0, processors: vec![0] },
+                Placement {
+                    task: TaskId(0),
+                    start: 0.0,
+                    finish: 2.0,
+                    processors: vec![0],
+                },
+                Placement {
+                    task: TaskId(1),
+                    start: 2.0,
+                    finish: 4.0,
+                    processors: vec![0],
+                },
             ],
         );
         let report = execute(&g, &s).unwrap();
@@ -297,7 +356,12 @@ mod tests {
         let g = diamond();
         let s = Schedule::new(
             1,
-            vec![Placement { task: TaskId(0), start: 0.0, finish: 1.0, processors: vec![0] }],
+            vec![Placement {
+                task: TaskId(0),
+                start: 0.0,
+                finish: 1.0,
+                processors: vec![0],
+            }],
         );
         assert!(matches!(
             execute(&g, &s).unwrap_err(),

@@ -62,20 +62,22 @@ pub fn parse_ptg(input: &str) -> Result<Ptg, PtgFileError> {
                     line: line_no,
                     content: line.into(),
                 })?;
-                let flop: f64 = parts
-                    .next()
-                    .and_then(|s| s.parse().ok())
-                    .ok_or(PtgFileError::BadNumber {
-                        line: line_no,
-                        field: "flop",
-                    })?;
-                let alpha: f64 = parts
-                    .next()
-                    .and_then(|s| s.parse().ok())
-                    .ok_or(PtgFileError::BadNumber {
-                        line: line_no,
-                        field: "alpha",
-                    })?;
+                let flop: f64 =
+                    parts
+                        .next()
+                        .and_then(|s| s.parse().ok())
+                        .ok_or(PtgFileError::BadNumber {
+                            line: line_no,
+                            field: "flop",
+                        })?;
+                let alpha: f64 =
+                    parts
+                        .next()
+                        .and_then(|s| s.parse().ok())
+                        .ok_or(PtgFileError::BadNumber {
+                            line: line_no,
+                            field: "alpha",
+                        })?;
                 b.push_task(ptg::Task {
                     name: name.to_string(),
                     flop,
@@ -83,20 +85,22 @@ pub fn parse_ptg(input: &str) -> Result<Ptg, PtgFileError> {
                 });
             }
             Some("edge") => {
-                let from: u32 = parts
-                    .next()
-                    .and_then(|s| s.parse().ok())
-                    .ok_or(PtgFileError::BadNumber {
-                        line: line_no,
-                        field: "edge source",
-                    })?;
-                let to: u32 = parts
-                    .next()
-                    .and_then(|s| s.parse().ok())
-                    .ok_or(PtgFileError::BadNumber {
-                        line: line_no,
-                        field: "edge target",
-                    })?;
+                let from: u32 =
+                    parts
+                        .next()
+                        .and_then(|s| s.parse().ok())
+                        .ok_or(PtgFileError::BadNumber {
+                            line: line_no,
+                            field: "edge source",
+                        })?;
+                let to: u32 =
+                    parts
+                        .next()
+                        .and_then(|s| s.parse().ok())
+                        .ok_or(PtgFileError::BadNumber {
+                            line: line_no,
+                            field: "edge target",
+                        })?;
                 b.add_edge(TaskId(from), TaskId(to))
                     .map_err(|e| PtgFileError::Graph(e.to_string()))?;
             }

@@ -1,13 +1,14 @@
 //! End-to-end experiment pipeline: platform + PTG + algorithm → report.
 
-use crate::executor::{execute, SimReport};
-use emts::{Emts, EmtsConfig};
+use crate::executor::{execute_obs, SimReport};
+use emts::{ConvergenceTrace, Emts, EmtsConfig};
 use exec_model::{ExecutionTimeModel, TimeMatrix};
 use heuristics::{Allocator, Cpa, DeltaCritical, Hcpa, Mcpa, Mcpa2};
+use obs::{NoopRecorder, Recorder};
 use platform::Cluster;
 use ptg::Ptg;
-use serde::{Deserialize, Serialize};
 use sched::{Allocation, ListScheduler, Mapper, Schedule};
+use serde::{Deserialize, Serialize};
 use std::time::Instant;
 
 /// Every scheduling algorithm the simulator can run.
@@ -71,14 +72,33 @@ impl Algorithm {
     /// Computes the allocation for `g`. EMTS variants derive their RNG from
     /// `seed`; heuristics are deterministic and ignore it.
     pub fn allocate(self, g: &Ptg, matrix: &TimeMatrix, seed: u64) -> Allocation {
+        self.allocate_obs(g, matrix, seed, &NoopRecorder).0
+    }
+
+    /// [`Algorithm::allocate`] with telemetry. EMTS variants thread the
+    /// recorder through the evolutionary loop and also return their
+    /// convergence trace; heuristics return `None`.
+    pub fn allocate_obs<R: Recorder>(
+        self,
+        g: &Ptg,
+        matrix: &TimeMatrix,
+        seed: u64,
+        rec: &R,
+    ) -> (Allocation, Option<ConvergenceTrace>) {
         match self {
-            Algorithm::Cpa => Cpa::default().allocate(g, matrix),
-            Algorithm::Hcpa => Hcpa.allocate(g, matrix),
-            Algorithm::Mcpa => Mcpa.allocate(g, matrix),
-            Algorithm::Mcpa2 => Mcpa2.allocate(g, matrix),
-            Algorithm::DeltaCritical => DeltaCritical::default().allocate(g, matrix),
-            Algorithm::Emts5 => Emts::new(EmtsConfig::emts5()).run(g, matrix, seed).best,
-            Algorithm::Emts10 => Emts::new(EmtsConfig::emts10()).run(g, matrix, seed).best,
+            Algorithm::Cpa => (Cpa::default().allocate(g, matrix), None),
+            Algorithm::Hcpa => (Hcpa.allocate(g, matrix), None),
+            Algorithm::Mcpa => (Mcpa.allocate(g, matrix), None),
+            Algorithm::Mcpa2 => (Mcpa2.allocate(g, matrix), None),
+            Algorithm::DeltaCritical => (DeltaCritical::default().allocate(g, matrix), None),
+            Algorithm::Emts5 => {
+                let r = Emts::new(EmtsConfig::emts5()).run_recorded(g, matrix, seed, rec);
+                (r.best, Some(r.trace))
+            }
+            Algorithm::Emts10 => {
+                let r = Emts::new(EmtsConfig::emts10()).run_recorded(g, matrix, seed, rec);
+                (r.best, Some(r.trace))
+            }
         }
     }
 }
@@ -121,15 +141,41 @@ pub fn run<M: ExecutionTimeModel + ?Sized>(
     model: &M,
     seed: u64,
 ) -> (RunReport, Schedule) {
-    let matrix = TimeMatrix::compute(g, model, cluster.speed_flops(), cluster.processors);
+    let (report, schedule, _) = run_obs(algorithm, g, cluster, model, seed, &NoopRecorder);
+    (report, schedule)
+}
+
+/// [`run`] with telemetry: wraps the pipeline stages in `matrix` /
+/// `allocate` / `map` / `replay` spans and surfaces the EMTS convergence
+/// trace (if the algorithm is an EMTS variant) alongside the report.
+pub fn run_obs<M: ExecutionTimeModel + ?Sized, R: Recorder>(
+    algorithm: Algorithm,
+    g: &Ptg,
+    cluster: &Cluster,
+    model: &M,
+    seed: u64,
+    rec: &R,
+) -> (RunReport, Schedule, Option<ConvergenceTrace>) {
+    let matrix = rec.time("matrix", || {
+        TimeMatrix::compute(g, model, cluster.speed_flops(), cluster.processors)
+    });
     let t0 = Instant::now();
-    let alloc = algorithm.allocate(g, &matrix, seed);
+    let (alloc, trace) = {
+        let _span = rec.span("allocate");
+        algorithm.allocate_obs(g, &matrix, seed, rec)
+    };
     let allocation_seconds = t0.elapsed().as_secs_f64();
     let t1 = Instant::now();
-    let schedule = ListScheduler.map(g, &matrix, &alloc);
+    let schedule = rec.time("map", || ListScheduler.map(g, &matrix, &alloc));
     let mapping_seconds = t1.elapsed().as_secs_f64();
     let makespan = schedule.makespan();
-    let sim = execute(g, &schedule).expect("mapper emits executable schedules");
+    let sim = {
+        let _span = rec.span("replay");
+        execute_obs(g, &schedule, rec).expect("mapper emits executable schedules")
+    };
+    if R::ENABLED {
+        rec.gauge("run.makespan", makespan);
+    }
     assert!(
         (sim.makespan - makespan).abs() <= 1e-9 * makespan.max(1.0),
         "simulator ({}) and mapper ({}) disagree",
@@ -149,6 +195,7 @@ pub fn run<M: ExecutionTimeModel + ?Sized>(
             mapping_seconds,
         },
         schedule,
+        trace,
     )
 }
 

@@ -7,8 +7,8 @@
 
 use crate::event::{Event, EventKind, EventQueue};
 use ptg::{Ptg, TaskId};
-use serde::{Deserialize, Serialize};
 use sched::Schedule;
+use serde::{Deserialize, Serialize};
 use std::fmt::Write as _;
 
 /// One logged simulation step.

@@ -54,7 +54,8 @@ pub struct WelchTest {
 pub fn welch_t_test(a: &[f64], b: &[f64]) -> WelchTest {
     assert!(a.len() >= 2 && b.len() >= 2, "need ≥ 2 values per sample");
     let mean = |s: &[f64]| s.iter().sum::<f64>() / s.len() as f64;
-    let var = |s: &[f64], m: f64| s.iter().map(|v| (v - m).powi(2)).sum::<f64>() / (s.len() - 1) as f64;
+    let var =
+        |s: &[f64], m: f64| s.iter().map(|v| (v - m).powi(2)).sum::<f64>() / (s.len() - 1) as f64;
     let (ma, mb) = (mean(a), mean(b));
     let (va, vb) = (var(a, ma), var(b, mb));
     let (na, nb) = (a.len() as f64, b.len() as f64);
@@ -63,7 +64,11 @@ pub fn welch_t_test(a: &[f64], b: &[f64]) -> WelchTest {
     if se2 == 0.0 {
         // Identical constant samples: no evidence of difference (t = 0) or
         // infinite evidence (means differ with zero variance).
-        let t = if mean_diff == 0.0 { 0.0 } else { f64::INFINITY * mean_diff.signum() };
+        let t = if mean_diff == 0.0 {
+            0.0
+        } else {
+            f64::INFINITY * mean_diff.signum()
+        };
         return WelchTest {
             t,
             df: na + nb - 2.0,
@@ -73,8 +78,7 @@ pub fn welch_t_test(a: &[f64], b: &[f64]) -> WelchTest {
     }
     let t = mean_diff / se2.sqrt();
     // Welch–Satterthwaite approximation.
-    let df = se2.powi(2)
-        / ((va / na).powi(2) / (na - 1.0) + (vb / nb).powi(2) / (nb - 1.0));
+    let df = se2.powi(2) / ((va / na).powi(2) / (na - 1.0) + (vb / nb).powi(2) / (nb - 1.0));
     let critical = t_quantile_975(df.floor().max(1.0) as usize);
     WelchTest {
         t,

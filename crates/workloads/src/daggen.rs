@@ -46,7 +46,10 @@ impl DaggenParams {
             (0.0..=1.0).contains(&self.regularity),
             "regularity in [0,1]"
         );
-        assert!(self.density > 0.0 && self.density <= 1.0, "density in (0,1]");
+        assert!(
+            self.density > 0.0 && self.density <= 1.0,
+            "density in (0,1]"
+        );
     }
 
     /// True if this parameter set generates layered PTGs.
@@ -85,8 +88,7 @@ pub fn random_ptg<R: Rng + ?Sized>(params: &DaggenParams, costs: &CostConfig, rn
 
     for (l, &size) in sizes.iter().enumerate() {
         // Layered corpora share the cost shape inside a level.
-        let layer_pattern =
-            CostPattern::ALL[rng.gen_range(0..CostPattern::ALL.len())];
+        let layer_pattern = CostPattern::ALL[rng.gen_range(0..CostPattern::ALL.len())];
         let layer_d = rng.gen_range(costs.d_min..=costs.d_max);
         let level: Vec<TaskId> = (0..size)
             .map(|i| {

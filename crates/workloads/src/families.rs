@@ -69,7 +69,8 @@ pub fn binary_out_tree<R: Rng + ?Sized>(depth: u32, costs: &CostConfig, rng: &mu
     }
     for i in 1..n {
         let parent = TaskId::from_index((i - 1) / 2);
-        b.add_edge(parent, TaskId::from_index(i)).expect("fresh edge");
+        b.add_edge(parent, TaskId::from_index(i))
+            .expect("fresh edge");
     }
     b.build().expect("trees are acyclic")
 }

@@ -20,7 +20,10 @@ pub fn fft_task_count(k: u32) -> usize {
 /// Builds an FFT PTG with `k` leaves (`k` must be a power of two ≥ 2) and
 /// random task costs drawn from `costs`.
 pub fn fft_ptg<R: Rng + ?Sized>(k: u32, costs: &CostConfig, rng: &mut R) -> Ptg {
-    assert!(k >= 2 && k.is_power_of_two(), "k must be a power of two ≥ 2");
+    assert!(
+        k >= 2 && k.is_power_of_two(),
+        "k must be a power of two ≥ 2"
+    );
     let log_k = k.trailing_zeros();
     let mut b = PtgBuilder::with_capacity(fft_task_count(k));
     let add = |b: &mut PtgBuilder, name: String, rng: &mut R| -> TaskId {
@@ -143,7 +146,11 @@ mod tests {
         let a = fft_ptg(8, &CostConfig::default(), &mut ChaCha8Rng::seed_from_u64(1));
         let b = fft_ptg(8, &CostConfig::default(), &mut ChaCha8Rng::seed_from_u64(2));
         assert_eq!(a.edge_count(), b.edge_count());
-        assert!(a.tasks().iter().zip(b.tasks()).any(|(x, y)| x.flop != y.flop));
+        assert!(a
+            .tasks()
+            .iter()
+            .zip(b.tasks())
+            .any(|(x, y)| x.flop != y.flop));
     }
 
     #[test]

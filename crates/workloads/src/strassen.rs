@@ -113,7 +113,9 @@ mod tests {
         let lv = PrecedenceLevels::compute(&g);
         assert_eq!(lv.level_count(), 5);
         assert_eq!(
-            (0..5).map(|l| lv.tasks_on_level(l).len()).collect::<Vec<_>>(),
+            (0..5)
+                .map(|l| lv.tasks_on_level(l).len())
+                .collect::<Vec<_>>(),
             vec![1, 10, 7, 4, 1]
         );
     }
@@ -167,6 +169,10 @@ mod tests {
         let a = strassen_ptg(&CostConfig::default(), &mut ChaCha8Rng::seed_from_u64(1));
         let b = strassen_ptg(&CostConfig::default(), &mut ChaCha8Rng::seed_from_u64(2));
         assert_eq!(a.edge_count(), b.edge_count());
-        assert!(a.tasks().iter().zip(b.tasks()).any(|(x, y)| x.flop != y.flop));
+        assert!(a
+            .tasks()
+            .iter()
+            .zip(b.tasks())
+            .any(|(x, y)| x.flop != y.flop));
     }
 }

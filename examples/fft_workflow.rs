@@ -23,7 +23,13 @@ fn main() {
     let costs = CostConfig::default();
 
     println!("FFT workflows on {cluster}, Model 2 (non-monotonic)\n");
-    let mut table = TextTable::new(["tasks", "algorithm", "makespan [s]", "utilization", "alloc time [ms]"]);
+    let mut table = TextTable::new([
+        "tasks",
+        "algorithm",
+        "makespan [s]",
+        "utilization",
+        "alloc time [ms]",
+    ]);
     for k in [2u32, 4, 8, 16] {
         let g = fft_ptg(k, &costs, &mut rng);
         for alg in [

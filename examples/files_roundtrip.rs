@@ -29,13 +29,17 @@ fn main() {
     std::fs::write(&platform_path, render_platform(&platform::chti())).expect("write platform");
     let g = strassen_ptg(&CostConfig::default(), &mut ChaCha8Rng::seed_from_u64(4));
     std::fs::write(&ptg_path, render_ptg(&g)).expect("write PTG");
-    println!("wrote {} and {}", platform_path.display(), ptg_path.display());
+    println!(
+        "wrote {} and {}",
+        platform_path.display(),
+        ptg_path.display()
+    );
 
     // Read them back and run the full pipeline.
     let cluster = parse_platform(&std::fs::read_to_string(&platform_path).expect("read platform"))
         .expect("valid platform file");
-    let g = parse_ptg(&std::fs::read_to_string(&ptg_path).expect("read PTG"))
-        .expect("valid PTG file");
+    let g =
+        parse_ptg(&std::fs::read_to_string(&ptg_path).expect("read PTG")).expect("valid PTG file");
     let model = PaperModel::Model2.instantiate();
     let (report, _) = run(algorithm, &g, &cluster, model.as_ref(), 42);
 

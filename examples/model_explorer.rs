@@ -42,7 +42,14 @@ fn main() {
     let mono2 = Monotonized::new(SyntheticModel::default());
     let cliff = CacheCliff;
 
-    let mut table = TextTable::new(["p", "Amdahl", "Model 2", "Downey", "mono(M2)", "cache-cliff"]);
+    let mut table = TextTable::new([
+        "p",
+        "Amdahl",
+        "Model 2",
+        "Downey",
+        "mono(M2)",
+        "cache-cliff",
+    ]);
     for p in [1u32, 2, 3, 4, 5, 6, 8, 9, 12, 16, 20] {
         table.push([
             p.to_string(),

@@ -81,6 +81,8 @@ fn main() {
         grid.cluster_count(),
         100.0 * (grid_result.seed_makespan / grid_result.best_makespan - 1.0),
         grid_result.seed_makespan,
-        grid_result.best_makespan.min(grid_result.hcpa_native_makespan)
+        grid_result
+            .best_makespan
+            .min(grid_result.hcpa_native_makespan)
     );
 }

@@ -38,7 +38,11 @@ fn main() {
     // Step 1: a classic two-step heuristic.
     let (mcpa_alloc, mcpa_makespan) = allocate_and_map(&Mcpa, &g, &matrix);
     println!("MCPA individual (Fig. 2 encoding — s(v_i) at position i):");
-    println!("  {:?}  → makespan {:.2} s", mcpa_alloc.as_slice(), mcpa_makespan);
+    println!(
+        "  {:?}  → makespan {:.2} s",
+        mcpa_alloc.as_slice(),
+        mcpa_makespan
+    );
 
     // Step 2: EMTS evolves the allocations, seeded by MCPA/HCPA/Δ-critical.
     let result = Emts::new(EmtsConfig::emts5()).run(&g, &matrix, 42);

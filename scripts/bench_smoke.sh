@@ -6,7 +6,11 @@
 # the paper's hard case (irregular n=100 DAGGEN on Grelon, P=120, one
 # generation-sized batch of λ=25) — and writes BENCH_fitness.json at the
 # repo root with per-evaluation medians and the memo-cache statistics of a
-# real EMTS10 run.
+# real EMTS10 run. Also writes BENCH_fitness_report.json, the telemetry
+# RunReport (phase spans, counters, histograms) of that EMTS10 run —
+# inspect it with `cargo run --bin emts-report -- show BENCH_fitness_report.json`.
+# The bench additionally asserts the no-op recorder adds <1% overhead to
+# the serial fitness path (NOOP_OVERHEAD line).
 #
 # Usage: scripts/bench_smoke.sh
 
@@ -15,11 +19,13 @@ cd "$(dirname "$0")/.."
 
 BATCH=25
 OUT=BENCH_fitness.json
+REPORT=BENCH_fitness_report.json
 LOG=$(mktemp)
 trap 'rm -f "$LOG"' EXIT
 
 cargo bench --offline -p bench --bench mapper 2>&1 | tee "$LOG"
-cargo bench --offline -p bench --bench emts_generation -- fitness 2>&1 | tee -a "$LOG"
+EMTS_RUN_REPORT="$REPORT" \
+    cargo bench --offline -p bench --bench emts_generation -- fitness 2>&1 | tee -a "$LOG"
 
 awk -v batch="$BATCH" '
     /^CRITERION_RESULT id=fitness\// {
@@ -78,3 +84,6 @@ awk -v batch="$BATCH" '
 
 echo "wrote $OUT:"
 cat "$OUT"
+if [ -f "$REPORT" ]; then
+    echo "wrote $REPORT (inspect with: cargo run --bin emts-report -- show $REPORT)"
+fi

@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Local CI gate: formatting, lints, and the full test suite.
+#
+# Everything runs offline against the vendored dependencies (the
+# workspace pins `--offline` builds; the container has no registry
+# access). Run before every push:
+#
+#   scripts/ci.sh
+#
+# Fails fast: the first failing step stops the run.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo fmt --check"
+cargo fmt --check
+
+echo "== cargo clippy (workspace, all targets, warnings are errors)"
+cargo clippy --offline --workspace --all-targets -- -D warnings
+
+echo "== cargo test (workspace)"
+cargo test -q --offline --workspace
+
+echo "CI OK"

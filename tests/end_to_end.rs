@@ -32,7 +32,12 @@ fn every_algorithm_survives_a_mixed_corpus_on_chti() {
         PtgClass::Irregular,
     ] {
         let entry = corpus.by_class(class).next().expect("class populated");
-        for alg in [Algorithm::Cpa, Algorithm::Mcpa, Algorithm::DeltaCritical, Algorithm::Emts5] {
+        for alg in [
+            Algorithm::Cpa,
+            Algorithm::Mcpa,
+            Algorithm::DeltaCritical,
+            Algorithm::Emts5,
+        ] {
             let (report, schedule) = run(alg, &entry.ptg, &cluster, model.as_ref(), 5);
             assert!(report.makespan > 0.0, "{}/{:?}", alg.name(), class);
             assert_eq!(schedule.task_count(), entry.ptg.task_count());

@@ -142,11 +142,7 @@ fn series_contraction_preserves_single_processor_makespan() {
     );
     let m_orig = TimeMatrix::compute(&g, &Amdahl, 1e9, 1);
     let m_merged = TimeMatrix::compute(&merged, &Amdahl, 1e9, 1);
-    let ms_orig = ListScheduler.makespan(
-        &g,
-        &m_orig,
-        &sched::Allocation::ones(g.task_count()),
-    );
+    let ms_orig = ListScheduler.makespan(&g, &m_orig, &sched::Allocation::ones(g.task_count()));
     let ms_merged = ListScheduler.makespan(
         &merged,
         &m_merged,

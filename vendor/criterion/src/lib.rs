@@ -24,9 +24,7 @@ impl Default for Criterion {
         // `cargo bench -- <filter>` forwards everything after `--`;
         // cargo itself injects `--bench`. Everything that is not a flag
         // is treated as a substring filter.
-        let filter = std::env::args()
-            .skip(1)
-            .find(|a| !a.starts_with('-'));
+        let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
         Criterion { filter }
     }
 }

@@ -296,9 +296,7 @@ pub mod test_runner {
                 match strategy.generate(&mut self.rng) {
                     Some(value) => {
                         let shown = format!("{value:?}");
-                        if let Err(payload) =
-                            catch_unwind(AssertUnwindSafe(|| test(value)))
-                        {
+                        if let Err(payload) = catch_unwind(AssertUnwindSafe(|| test(value))) {
                             eprintln!(
                                 "proptest `{}`: case {case}/{} failed for input:\n  {shown}",
                                 self.name, self.config.cases
@@ -408,8 +406,13 @@ mod tests {
     fn filter_map_rejects_and_retries() {
         use rand::SeedableRng;
         let mut rng = crate::TestRng::seed_from_u64(7);
-        let s = (0usize..10, 0usize..10)
-            .prop_filter_map("distinct", |(a, b)| if a != b { Some((a, b)) } else { None });
+        let s = (0usize..10, 0usize..10).prop_filter_map("distinct", |(a, b)| {
+            if a != b {
+                Some((a, b))
+            } else {
+                None
+            }
+        });
         let v = collection::vec(s, 50usize).generate(&mut rng).unwrap();
         assert_eq!(v.len(), 50);
         assert!(v.iter().all(|&(a, b)| a != b));
@@ -431,7 +434,7 @@ mod tests {
 
         #[test]
         fn macro_compiles_and_runs(x in 1u32..100, (a, b) in (0u8..5, 0u8..5)) {
-            prop_assert!(x >= 1 && x < 100);
+            prop_assert!((1..100).contains(&x));
             prop_assert!(a < 5 && b < 5);
         }
 

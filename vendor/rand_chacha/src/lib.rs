@@ -48,8 +48,8 @@ impl ChaCha8Rng {
             quarter_round(&mut w, 2, 7, 8, 13);
             quarter_round(&mut w, 3, 4, 9, 14);
         }
-        for i in 0..16 {
-            self.buf[i] = w[i].wrapping_add(self.state[i]);
+        for ((b, &wi), &si) in self.buf.iter_mut().zip(&w).zip(&self.state) {
+            *b = wi.wrapping_add(si);
         }
         // Advance the 64-bit block counter.
         let (lo, carry) = self.state[12].overflowing_add(1);

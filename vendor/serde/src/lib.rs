@@ -173,6 +173,16 @@ impl<T: Serialize> Serialize for [T] {
     }
 }
 
+impl<T: Serialize> Serialize for std::collections::BTreeMap<String, T> {
+    fn to_value(&self) -> Value {
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| (k.clone(), v.to_value()))
+                .collect(),
+        )
+    }
+}
+
 impl<T: Serialize> Serialize for Option<T> {
     fn to_value(&self) -> Value {
         match self {
@@ -276,6 +286,22 @@ impl<T: Deserialize> Deserialize for Vec<T> {
     }
 }
 
+impl<T: Deserialize> Deserialize for std::collections::BTreeMap<String, T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Object(fields) => fields
+                .iter()
+                .map(|(k, v)| {
+                    T::from_value(v)
+                        .map(|t| (k.clone(), t))
+                        .map_err(|e| DeError::custom(format!("BTreeMap[{k}]: {e}")))
+                })
+                .collect(),
+            _ => Err(DeError::expected("object", "BTreeMap")),
+        }
+    }
+}
+
 impl<T: Deserialize> Deserialize for Option<T> {
     fn from_value(v: &Value) -> Result<Self, DeError> {
         match v {
@@ -340,7 +366,7 @@ mod tests {
     fn primitives_round_trip() {
         assert_eq!(u32::from_value(&42u32.to_value()).unwrap(), 42);
         assert_eq!(f64::from_value(&1.5f64.to_value()).unwrap(), 1.5);
-        assert_eq!(bool::from_value(&true.to_value()).unwrap(), true);
+        assert!(bool::from_value(&true.to_value()).unwrap());
         assert_eq!(
             String::from_value(&"hi".to_string().to_value()).unwrap(),
             "hi"
