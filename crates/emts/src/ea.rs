@@ -48,6 +48,12 @@ pub struct EmtsResult {
     /// Offspring whose mapping was aborted early by the rejection strategy
     /// (always 0 when `rejection` is off).
     pub rejected: usize,
+    /// Offspring dropped by the (µ+λ) survival screen — their makespan
+    /// provably exceeded the worst current parent, so plus-selection could
+    /// never keep them. Counted separately from `rejected` (which tracks
+    /// the paper's §VI cutoff) and always 0 under comma-selection or when
+    /// the rejection strategy already owns the cutoff.
+    pub pruned: usize,
 }
 
 impl EmtsResult {
@@ -124,6 +130,13 @@ impl Emts {
         // the scheduler object (runs stay independent).
         let mut op = self.op;
 
+        // With no worker threads (serial mode, or a single-core machine)
+        // every offspring funnels through the caller's thread anyway, so it
+        // takes the incremental path: parents carry recorded evaluations
+        // and offspring replay the unchanged schedule prefix. With workers,
+        // batch dispatch wins and offspring are evaluated fresh. Both paths
+        // are bit-identical, so the trajectory is machine-independent.
+        let use_delta = pool.workers() == 0;
         let mut engine = FitnessEngine::new(pool);
         let mut population = rec.time("seed", || initial_population(cfg, &op, g, matrix, &mut rng));
         let mut evaluations = population.len();
@@ -140,11 +153,32 @@ impl Emts {
 
         let mut generations_run = 0;
         let mut rejected = 0usize;
+        let mut pruned = 0usize;
         for u in 0..cfg.generations {
             if let Some(budget) = cfg.time_budget {
                 if start.elapsed() >= budget {
                     break;
                 }
+            }
+            engine.begin_generation();
+            if use_delta {
+                // Attach recorded evaluations to the survivors that lack
+                // one (fresh mutants from the previous generation). The
+                // record is a full mapper pass, so its makespan must agree
+                // with the already-evaluated fitness to the bit.
+                rec.time("record", || {
+                    for ind in &mut population {
+                        if ind.record.is_none() {
+                            let r = engine.record(&ind.alloc);
+                            assert_eq!(
+                                r.makespan().to_bits(),
+                                ind.fitness.to_bits(),
+                                "recorded evaluation diverged from fitness"
+                            );
+                            ind.record = Some(r);
+                        }
+                    }
+                });
             }
             let m = mutation_count(u, cfg.generations, cfg.fm, v);
             // Mutation consumes the RNG on this thread only, so parallel
@@ -153,22 +187,24 @@ impl Emts {
                 .iter()
                 .map(|i| i.fitness)
                 .fold(f64::INFINITY, f64::min);
-            let offspring_allocs: Vec<Allocation> = rec.time("mutate", || {
-                (0..cfg.lambda)
-                    .map(|_| {
-                        let parent =
-                            &population[rand::Rng::gen_range(&mut rng, 0..population.len())];
-                        let mut alloc = parent.alloc.clone();
-                        op.mutate(&mut alloc, m, p_max, &mut rng);
-                        alloc
-                    })
-                    .collect()
+            let mut offspring_allocs: Vec<Allocation> = Vec::with_capacity(cfg.lambda);
+            let mut offspring_changed: Vec<Vec<ptg::TaskId>> = Vec::with_capacity(cfg.lambda);
+            let mut offspring_parent: Vec<usize> = Vec::with_capacity(cfg.lambda);
+            rec.time("mutate", || {
+                for _ in 0..cfg.lambda {
+                    let pidx = rand::Rng::gen_range(&mut rng, 0..population.len());
+                    let mut alloc = population[pidx].alloc.clone();
+                    let changed = op.mutate(&mut alloc, m, p_max, &mut rng);
+                    offspring_allocs.push(alloc);
+                    offspring_changed.push(changed);
+                    offspring_parent.push(pidx);
+                }
             });
             // Rejection cutoff: fixed at the generation's start so the
             // result is independent of evaluation order. With
             // comma-selection every offspring must survive, so rejection is
             // unsound there and disabled.
-            let cutoff = if cfg.rejection && !cfg.comma_selection {
+            let rejection_cutoff = if cfg.rejection && !cfg.comma_selection {
                 let best = population
                     .iter()
                     .map(|i| i.fitness)
@@ -177,7 +213,39 @@ impl Emts {
             } else {
                 f64::INFINITY
             };
-            let fitness = rec.time("evaluate", || engine.evaluate(&offspring_allocs, cutoff));
+            // Survival screen: under plus-selection an offspring whose
+            // makespan exceeds the worst current parent is discarded by
+            // select_best with certainty (µ parents all rank ahead of it),
+            // so evaluating past that bound is wasted work. A screened-out
+            // offspring also never counts as a 1/5-rule success (its
+            // makespan exceeds the generation-start best), so the whole
+            // trajectory — selection, σ adaptation, RNG stream — is
+            // untouched. Unsound under comma-selection, where parents die.
+            let survival_cutoff = if cfg.comma_selection {
+                f64::INFINITY
+            } else {
+                population.iter().map(|i| i.fitness).fold(0.0f64, f64::max)
+            };
+            let cutoff = rejection_cutoff.min(survival_cutoff);
+            let fitness: Vec<Option<f64>> = rec.time("evaluate", || {
+                if use_delta {
+                    offspring_allocs
+                        .iter()
+                        .enumerate()
+                        .map(|(i, alloc)| {
+                            let parent = &population[offspring_parent[i]];
+                            engine.eval_offspring(
+                                parent.record.as_deref(),
+                                alloc,
+                                &offspring_changed[i],
+                                cutoff,
+                            )
+                        })
+                        .collect()
+                } else {
+                    engine.evaluate(&offspring_allocs, cutoff)
+                }
+            });
             evaluations += offspring_allocs.len();
             let offspring: Vec<Individual> = offspring_allocs
                 .into_iter()
@@ -185,7 +253,11 @@ impl Emts {
                 .filter_map(|(alloc, f)| match f {
                     Some(f) => Some(Individual::new(alloc, f, "mutant")),
                     None => {
-                        rejected += 1;
+                        if cfg.rejection {
+                            rejected += 1;
+                        } else {
+                            pruned += 1;
+                        }
                         None
                     }
                 })
@@ -230,6 +302,10 @@ impl Emts {
 
         trace.cache_hits = engine.cache_hits();
         trace.cache_misses = engine.cache_misses();
+        trace.delta_evals = engine.delta_evals();
+        trace.lb_pruned = engine.lb_pruned();
+        trace.prefix_reuse_events = engine.prefix_reuse_events();
+        trace.noop_skips = engine.noop_skips();
         let best = population
             .into_iter()
             .min_by(|a, b| {
@@ -239,8 +315,14 @@ impl Emts {
             })
             .expect("population is never empty");
         if R::ENABLED {
+            // The engine emits hit/miss deltas as they happen; a run whose
+            // offspring all miss (or a zero-generation run) must still
+            // surface both counters, so touch them with zero deltas.
+            rec.add("emts.cache.hits", 0);
+            rec.add("emts.cache.misses", 0);
             rec.add("emts.evaluations", evaluations as u64);
             rec.add("emts.rejected", rejected as u64);
+            rec.add("emts.pruned", pruned as u64);
             rec.add("emts.generations", generations_run as u64);
             rec.gauge("emts.best_makespan", best.fitness);
             rec.gauge("emts.seed_makespan", seed_makespan);
@@ -255,6 +337,7 @@ impl Emts {
             wall_time: start.elapsed(),
             generations_run,
             rejected,
+            pruned,
         }
     }
 }
@@ -353,6 +436,44 @@ mod tests {
         // λ offspring of each of the 5 generations.
         assert_eq!(r.trace.cache_hits + r.trace.cache_misses, 5 * 25);
         assert!((0.0..=1.0).contains(&r.trace.cache_hit_rate()));
+    }
+
+    #[test]
+    fn serial_runs_route_every_miss_through_the_delta_path() {
+        let (g, m) = fft_setup(true);
+        let r = Emts::new(EmtsConfig {
+            parallel_evaluation: false,
+            ..EmtsConfig::emts5()
+        })
+        .run(&g, &m, 2);
+        // Serial mode has no workers, so the incremental path serves all
+        // engine misses; hits (memo, no-op skips, within-generation
+        // rejection replays) account for the rest of the λ·U offspring.
+        assert_eq!(r.trace.delta_evals, r.trace.cache_misses);
+        assert_eq!(r.trace.cache_hits + r.trace.cache_misses, 5 * 25);
+        assert!(r.trace.lb_pruned + r.pruned + r.rejected <= 5 * 25);
+        assert!(r.trace.noop_skips <= r.trace.cache_hits);
+    }
+
+    #[test]
+    fn survival_pruning_never_changes_the_outcome_visible_to_selection() {
+        // The survival screen only drops offspring that plus-selection
+        // would discard anyway, so serial (delta+screen) and the reference
+        // trajectory pinned by the other tests must coincide. Spot-check:
+        // both evaluation modes of the same config and seed agree exactly.
+        let (g, m) = fft_setup(true);
+        let serial = Emts::new(EmtsConfig {
+            parallel_evaluation: false,
+            ..EmtsConfig::emts5()
+        })
+        .run(&g, &m, 11);
+        let parallel = Emts::new(EmtsConfig::emts5()).run(&g, &m, 11);
+        assert_eq!(serial.best, parallel.best);
+        assert_eq!(
+            serial.best_makespan.to_bits(),
+            parallel.best_makespan.to_bits()
+        );
+        assert_eq!(serial.trace.generations, parallel.trace.generations);
     }
 
     #[test]

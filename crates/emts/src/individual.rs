@@ -1,12 +1,13 @@
 //! EA individuals: an allocation with its (lazily attached) fitness.
 
-use sched::Allocation;
+use sched::{Allocation, EvalRecord};
+use std::sync::Arc;
 
 /// One individual of the EMTS population (the paper's Fig. 2 encoding).
 ///
 /// Fitness is the makespan of the list-scheduled allocation — smaller is
 /// fitter.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct Individual {
     /// The genotype: per-task processor counts.
     pub alloc: Allocation,
@@ -15,6 +16,18 @@ pub struct Individual {
     /// Where this individual came from (seed name or `"mutant"`), kept for
     /// experiment traces.
     pub origin: &'static str,
+    /// Recorded evaluation of `alloc` (bottom levels + schedule prefix
+    /// checkpoints), attached lazily once the individual survives into a
+    /// generation whose offspring are evaluated through the delta path.
+    pub record: Option<Arc<EvalRecord>>,
+}
+
+/// Identity is the genotype and its evaluation — the attached record is a
+/// cache of derived data, not state.
+impl PartialEq for Individual {
+    fn eq(&self, other: &Self) -> bool {
+        self.alloc == other.alloc && self.fitness == other.fitness && self.origin == other.origin
+    }
 }
 
 impl Individual {
@@ -28,6 +41,7 @@ impl Individual {
             alloc,
             fitness,
             origin,
+            record: None,
         }
     }
 

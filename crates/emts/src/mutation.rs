@@ -60,18 +60,26 @@ impl MutationOperator {
     }
 
     /// Mutates `m` distinct alleles of `alloc` in place, clamping each new
-    /// value into `[1, p_max]`.
+    /// value into `[1, p_max]`, and returns the alleles whose value
+    /// actually changed.
+    ///
+    /// Clamping can be a no-op (shrinking a width-1 task, stretching a
+    /// width-`p_max` one), so the returned set may be smaller than `m` —
+    /// even empty, in which case the offspring equals its parent and the
+    /// fitness engine skips re-evaluation entirely. The RNG draw sequence
+    /// is independent of the clamp outcomes.
     pub fn mutate<R: Rng + ?Sized>(
         &self,
         alloc: &mut Allocation,
         m: usize,
         p_max: u32,
         rng: &mut R,
-    ) {
+    ) -> Vec<ptg::TaskId> {
         let v = alloc.len();
         let m = m.min(v);
         // Partial Fisher–Yates over the index set picks m distinct alleles.
         let mut indices: Vec<usize> = (0..v).collect();
+        let mut changed = Vec::with_capacity(m);
         for i in 0..m {
             let j = rng.gen_range(i..v);
             indices.swap(i, j);
@@ -79,8 +87,12 @@ impl MutationOperator {
             let delta = self.sample_delta(rng);
             let current = alloc.of(idx) as i64;
             let next = (current + delta).clamp(1, p_max as i64) as u32;
-            alloc.set(idx, next);
+            if next != current as u32 {
+                alloc.set(idx, next);
+                changed.push(idx);
+            }
         }
+        changed
     }
 }
 
@@ -183,6 +195,41 @@ mod tests {
             // identity, is what we count, so allow ≤ m.
             assert!(changed <= m, "m = {m}, changed {changed}");
             assert!(changed >= 1);
+        }
+    }
+
+    #[test]
+    fn mutate_reports_exactly_the_alleles_that_differ() {
+        let op = MutationOperator::paper();
+        let mut r = rng();
+        for m in [1usize, 4, 10] {
+            let before = Allocation::uniform(10, 50);
+            let mut after = before.clone();
+            let changed = op.mutate(&mut after, m, 100, &mut r);
+            let diff: Vec<usize> = (0..10)
+                .filter(|&i| before.as_slice()[i] != after.as_slice()[i])
+                .collect();
+            let mut reported: Vec<usize> = changed.iter().map(|t| t.index()).collect();
+            reported.sort_unstable();
+            assert_eq!(reported, diff, "m = {m}");
+        }
+    }
+
+    #[test]
+    fn zero_width_mutation_is_detected_as_empty_change_set() {
+        // Shrink-only operator on an all-ones allocation: every delta is
+        // negative and clamps straight back to 1, so nothing changes and
+        // the engine can skip re-evaluating the offspring.
+        let op = MutationOperator {
+            shrink_prob: 1.0,
+            ..MutationOperator::paper()
+        };
+        let mut r = rng();
+        for _ in 0..50 {
+            let mut alloc = Allocation::uniform(12, 1);
+            let changed = op.mutate(&mut alloc, 5, 64, &mut r);
+            assert!(changed.is_empty(), "clamped no-op reported {changed:?}");
+            assert!(alloc.as_slice().iter().all(|&s| s == 1));
         }
     }
 

@@ -31,9 +31,11 @@
 
 use exec_model::TimeMatrix;
 use obs::{NoopRecorder, Recorder};
-use ptg::Ptg;
-use sched::{Allocation, BoundedEval, EvalScratch, ListScheduler};
+use ptg::critpath::BlRepairer;
+use ptg::{Ptg, TaskId};
+use sched::{Allocation, BoundedEval, EvalRecord, EvalScratch, ListScheduler};
 use std::collections::HashMap;
+use std::hash::BuildHasherDefault;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
@@ -393,29 +395,116 @@ struct Cached {
     reject_key: f64,
 }
 
+/// FNV-1a over the allocation's genes — the memo key.
+///
+/// Probing by a 64-bit hash (with full-equality confirmation on the
+/// collision chain) replaces hashing the whole `Vec<u32>` through SipHash
+/// on every lookup; the same hash keys the within-generation dedup maps.
+fn alloc_hash(a: &Allocation) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &gene in a.as_slice() {
+        h ^= gene as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Keys are already FNV-mixed 64-bit hashes — pass them straight through
+/// instead of re-hashing with SipHash.
+#[derive(Default)]
+struct PassthroughHasher(u64);
+
+impl std::hash::Hasher for PassthroughHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+    fn write(&mut self, _: &[u8]) {
+        unreachable!("only u64 keys are hashed");
+    }
+    fn write_u64(&mut self, n: u64) {
+        self.0 = n;
+    }
+}
+
+type Passthrough = BuildHasherDefault<PassthroughHasher>;
+
 /// Memoizing front end of the evaluation engine.
 ///
-/// Keyed by the full allocation vector. Only *completed* evaluations are
-/// cached (a rejection proves nothing about other cutoffs); a hit decides
+/// Keyed by a 64-bit allocation hash with full-equality confirmation. Only
+/// *completed* evaluations are memoized across generations (a rejection
+/// proves nothing about other cutoffs); rejections are still deduped
+/// *within* a generation, whose cutoff is constant, via a per-generation
+/// set cleared by [`FitnessEngine::begin_generation`]. A hit decides
 /// accept/reject from the stored `reject_key` with the engine's exact test,
 /// so hits and misses are bit-for-bit interchangeable.
+///
+/// Two evaluation paths coexist:
+/// * [`FitnessEngine::evaluate`] — batch dispatch through the
+///   [`EvalPool`] (the multi-core path),
+/// * [`FitnessEngine::record`] + [`FitnessEngine::eval_offspring`] — the
+///   serial delta path: parents carry an [`EvalRecord`] and each offspring
+///   is evaluated incrementally against it (repaired bottom levels,
+///   lower-bound prescreen, prefix-checkpoint replay).
 pub struct FitnessEngine<'p, 'env, R: Recorder = NoopRecorder> {
     pool: &'p mut EvalPool<'env, R>,
-    cache: HashMap<Allocation, Cached>,
+    cache: HashMap<u64, Vec<(Allocation, Cached)>, Passthrough>,
+    /// Allocations rejected at this generation's cutoff (cleared by
+    /// [`Self::begin_generation`]).
+    gen_rejected: HashMap<u64, Vec<Allocation>, Passthrough>,
+    /// Caller-thread scratch for the delta/record path (the pool's own
+    /// scratch serves its batch path).
+    scratch: EvalScratch,
+    repairer: BlRepairer,
+    cache_entries: usize,
     hits: usize,
     misses: usize,
+    noop_skips: usize,
+    delta_evals: usize,
+    lb_pruned: usize,
+    prefix_reuse_events: u64,
 }
 
 impl<'p, 'env, R: Recorder> FitnessEngine<'p, 'env, R> {
-    /// Wraps `pool` with an empty cache. Telemetry (the `emts.cache.*`
-    /// counters) flows into the pool's recorder.
+    /// Wraps `pool` with an empty cache. Telemetry (the `emts.cache.*` and
+    /// `fitness.*` counters) flows into the pool's recorder.
     pub fn new(pool: &'p mut EvalPool<'env, R>) -> Self {
+        let repairer = BlRepairer::new(pool.g);
         FitnessEngine {
             pool,
-            cache: HashMap::new(),
+            cache: HashMap::default(),
+            gen_rejected: HashMap::default(),
+            scratch: EvalScratch::new(),
+            repairer,
+            cache_entries: 0,
             hits: 0,
             misses: 0,
+            noop_skips: 0,
+            delta_evals: 0,
+            lb_pruned: 0,
+            prefix_reuse_events: 0,
         }
+    }
+
+    fn cache_probe(&self, hash: u64, a: &Allocation) -> Option<Cached> {
+        self.cache
+            .get(&hash)?
+            .iter()
+            .find(|(k, _)| k == a)
+            .map(|&(_, c)| c)
+    }
+
+    fn cache_insert(&mut self, hash: u64, a: &Allocation, c: Cached) {
+        let chain = self.cache.entry(hash).or_default();
+        if !chain.iter().any(|(k, _)| k == a) {
+            chain.push((a.clone(), c));
+            self.cache_entries += 1;
+        }
+    }
+
+    /// Starts a new generation: forgets which allocations were rejected at
+    /// the previous generation's cutoff (the new cutoff may accept them).
+    pub fn begin_generation(&mut self) {
+        self.gen_rejected.clear();
     }
 
     /// Bounded fitness of every allocation (`None` = rejected), positional.
@@ -426,22 +515,27 @@ impl<'p, 'env, R: Recorder> FitnessEngine<'p, 'env, R> {
         // Must match the mapper's rejection threshold exactly (see
         // `ListScheduler::makespan_bounded` for why the slack exists).
         let threshold = cutoff * (1.0 + 1e-9);
+        let hashes: Vec<u64> = allocs.iter().map(alloc_hash).collect();
         let mut results: Vec<Option<f64>> = vec![None; allocs.len()];
-        let mut first_seen: HashMap<&Allocation, usize> = HashMap::new();
+        let mut first_seen: HashMap<u64, Vec<usize>, Passthrough> = HashMap::default();
         let mut miss_indices: Vec<usize> = Vec::new();
         let mut aliases: Vec<(usize, usize)> = Vec::new();
         let hits_before = self.hits;
         let misses_before = self.misses;
         for (i, a) in allocs.iter().enumerate() {
-            if let Some(c) = self.cache.get(a) {
+            let h = hashes[i];
+            if let Some(c) = self.cache_probe(h, a) {
                 self.hits += 1;
                 results[i] = (c.reject_key <= threshold).then_some(c.makespan);
-            } else if let Some(&j) = first_seen.get(a) {
+            } else if let Some(&j) = first_seen
+                .get(&h)
+                .and_then(|chain| chain.iter().find(|&&j| allocs[j] == *a))
+            {
                 self.hits += 1;
                 aliases.push((i, j));
             } else {
                 self.misses += 1;
-                first_seen.insert(a, i);
+                first_seen.entry(h).or_default().push(i);
                 miss_indices.push(i);
             }
         }
@@ -459,8 +553,9 @@ impl<'p, 'env, R: Recorder> FitnessEngine<'p, 'env, R> {
                         makespan,
                         reject_key,
                     } => {
-                        self.cache.insert(
-                            allocs[i].clone(),
+                        self.cache_insert(
+                            hashes[i],
+                            &allocs[i],
                             Cached {
                                 makespan,
                                 reject_key,
@@ -478,7 +573,150 @@ impl<'p, 'env, R: Recorder> FitnessEngine<'p, 'env, R> {
         results
     }
 
-    /// Evaluations answered from the cache (including in-batch duplicates).
+    /// Fully evaluates `alloc` and captures the [`EvalRecord`] the delta
+    /// path replays offspring against.
+    ///
+    /// Scheduler counters flow into the recorder (this is a real mapper
+    /// pass), but **no** `pool.eval_seconds` sample is emitted and no
+    /// hit/miss is counted: recording survivors is bookkeeping for the next
+    /// generation, not an offspring evaluation.
+    pub fn record(&mut self, alloc: &Allocation) -> Arc<EvalRecord> {
+        let rec = self.pool.recorder();
+        Arc::new(ListScheduler.evaluate_recorded(
+            self.pool.g,
+            self.pool.matrix,
+            alloc,
+            &mut self.scratch,
+            rec,
+        ))
+    }
+
+    /// Bounded fitness of one offspring via the incremental path
+    /// (`None` = rejected at `cutoff`). Bit-identical to
+    /// [`Self::evaluate`] on the same input.
+    ///
+    /// `changed` lists the genes where `child` differs from the parent
+    /// behind `parent_record` (as reported by
+    /// [`crate::MutationOperator::mutate`]). The pipeline, cheapest test
+    /// first: no-op skip (empty `changed` replays the parent's decision) →
+    /// memo probe → this generation's rejection set → delta evaluation
+    /// (repaired bottom levels, LB prescreen, checkpoint replay). Every
+    /// offspring counts as exactly one cache hit or miss; only the last
+    /// step is a miss.
+    pub fn eval_offspring(
+        &mut self,
+        parent_record: Option<&EvalRecord>,
+        child: &Allocation,
+        changed: &[TaskId],
+        cutoff: f64,
+    ) -> Option<f64> {
+        let threshold = cutoff * (1.0 + 1e-9);
+        let rec = self.pool.recorder();
+        if changed.is_empty() {
+            if let Some(r) = parent_record {
+                self.hits += 1;
+                self.noop_skips += 1;
+                if R::ENABLED {
+                    rec.add("emts.cache.hits", 1);
+                    rec.add("fitness.noop_skips", 1);
+                }
+                return r.decide(cutoff);
+            }
+        }
+        let h = alloc_hash(child);
+        if let Some(c) = self.cache_probe(h, child) {
+            self.hits += 1;
+            if R::ENABLED {
+                rec.add("emts.cache.hits", 1);
+            }
+            return (c.reject_key <= threshold).then_some(c.makespan);
+        }
+        if self
+            .gen_rejected
+            .get(&h)
+            .is_some_and(|chain| chain.iter().any(|k| k == child))
+        {
+            // Same allocation, same cutoff (constant within a generation):
+            // same rejection.
+            self.hits += 1;
+            if R::ENABLED {
+                rec.add("emts.cache.hits", 1);
+            }
+            return None;
+        }
+        self.misses += 1;
+        let eval_start = if R::ENABLED {
+            Some(Instant::now())
+        } else {
+            None
+        };
+        let outcome = match parent_record {
+            Some(r) => {
+                let d = ListScheduler.evaluate_delta(
+                    self.pool.g,
+                    self.pool.matrix,
+                    r,
+                    child,
+                    changed,
+                    cutoff,
+                    &mut self.scratch,
+                    &mut self.repairer,
+                    rec,
+                );
+                self.delta_evals += 1;
+                self.prefix_reuse_events += u64::from(d.events_reused);
+                if d.lb_pruned {
+                    self.lb_pruned += 1;
+                }
+                if R::ENABLED {
+                    rec.add("fitness.delta_evals", 1);
+                    rec.add("fitness.prefix_reuse_events", u64::from(d.events_reused));
+                    if d.lb_pruned {
+                        rec.add("fitness.lb_pruned", 1);
+                    }
+                }
+                d.outcome
+            }
+            None => ListScheduler.evaluate_bounded_obs(
+                self.pool.g,
+                self.pool.matrix,
+                child,
+                cutoff,
+                &mut self.scratch,
+                rec,
+            ),
+        };
+        if let Some(t) = eval_start {
+            rec.latency("pool.eval_seconds", t.elapsed().as_secs_f64());
+            rec.add("emts.cache.misses", 1);
+        }
+        match outcome {
+            BoundedEval::Complete {
+                makespan,
+                reject_key,
+            } => {
+                self.cache_insert(
+                    h,
+                    child,
+                    Cached {
+                        makespan,
+                        reject_key,
+                    },
+                );
+                Some(makespan)
+            }
+            BoundedEval::Rejected => {
+                let chain = self.gen_rejected.entry(h).or_default();
+                if !chain.iter().any(|k| k == child) {
+                    chain.push(child.clone());
+                }
+                None
+            }
+        }
+    }
+
+    /// Evaluations answered from the cache (including in-batch duplicates,
+    /// no-op skips and within-generation rejection replays).
     pub fn cache_hits(&self) -> usize {
         self.hits
     }
@@ -490,7 +728,28 @@ impl<'p, 'env, R: Recorder> FitnessEngine<'p, 'env, R> {
 
     /// Distinct completed allocations currently cached.
     pub fn cache_len(&self) -> usize {
-        self.cache.len()
+        self.cache_entries
+    }
+
+    /// Offspring skipped because their mutation was a clamped no-op.
+    pub fn noop_skips(&self) -> usize {
+        self.noop_skips
+    }
+
+    /// Misses evaluated through the incremental (delta) path.
+    pub fn delta_evals(&self) -> usize {
+        self.delta_evals
+    }
+
+    /// Delta evaluations rejected by the lower-bound prescreen alone.
+    pub fn lb_pruned(&self) -> usize {
+        self.lb_pruned
+    }
+
+    /// Placement events replayed from parent prefixes instead of being
+    /// simulated.
+    pub fn prefix_reuse_events(&self) -> u64 {
+        self.prefix_reuse_events
     }
 }
 
@@ -683,5 +942,123 @@ mod tests {
         let mut sorted = values.to_vec();
         sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
         sorted[sorted.len() / 2]
+    }
+
+    #[test]
+    fn alloc_hash_distinguishes_permutations_and_neighbors() {
+        let a = Allocation::from_vec(vec![1, 2, 3, 4]);
+        let b = Allocation::from_vec(vec![4, 3, 2, 1]);
+        let c = Allocation::from_vec(vec![1, 2, 3, 5]);
+        assert_ne!(alloc_hash(&a), alloc_hash(&b));
+        assert_ne!(alloc_hash(&a), alloc_hash(&c));
+        assert_eq!(alloc_hash(&a), alloc_hash(&a.clone()));
+    }
+
+    #[test]
+    fn offspring_path_is_bit_identical_to_fresh_evaluation() {
+        let (g, m, allocs) = setup();
+        let parent = allocs[0].clone();
+        let exact_parent = ListScheduler.makespan(&g, &m, &parent);
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        EvalPool::with(&g, &m, false, |pool| {
+            let mut engine = FitnessEngine::new(pool);
+            let record = engine.record(&parent);
+            assert_eq!(record.makespan().to_bits(), exact_parent.to_bits());
+            for cutoff in [f64::INFINITY, exact_parent * 1.05, exact_parent * 0.9] {
+                engine.begin_generation();
+                for _ in 0..20 {
+                    let mut child = parent.clone();
+                    let mut changed = Vec::new();
+                    for _ in 0..rng.gen_range(1..=3usize) {
+                        let t = ptg::TaskId(rng.gen_range(0..50u32));
+                        child.set(t, rng.gen_range(1..=120));
+                        changed.push(t);
+                    }
+                    let got = engine.eval_offspring(Some(&record), &child, &changed, cutoff);
+                    let fresh = ListScheduler.makespan_bounded(&g, &m, &child, cutoff);
+                    assert_eq!(
+                        got.map(f64::to_bits),
+                        fresh.map(f64::to_bits),
+                        "cutoff {cutoff}"
+                    );
+                }
+            }
+        });
+    }
+
+    #[test]
+    fn noop_offspring_replays_parent_decision_as_a_hit() {
+        let (g, m, allocs) = setup();
+        let parent = allocs[0].clone();
+        let ms = ListScheduler.makespan(&g, &m, &parent);
+        EvalPool::with(&g, &m, false, |pool| {
+            let mut engine = FitnessEngine::new(pool);
+            let record = engine.record(&parent);
+            let got = engine.eval_offspring(Some(&record), &parent, &[], f64::INFINITY);
+            assert_eq!(got.map(f64::to_bits), Some(ms.to_bits()));
+            assert_eq!(engine.cache_hits(), 1);
+            assert_eq!(engine.cache_misses(), 0);
+            assert_eq!(engine.noop_skips(), 1);
+            // At a cutoff below the parent's makespan the replay rejects.
+            assert_eq!(
+                engine.eval_offspring(Some(&record), &parent, &[], ms * 0.5),
+                None
+            );
+        });
+    }
+
+    #[test]
+    fn within_generation_rejections_are_deduped_until_the_next_generation() {
+        let (g, m, allocs) = setup();
+        let parent = allocs[0].clone();
+        let ms = ListScheduler.makespan(&g, &m, &parent);
+        // A clearly-worse child: stretch one gene, screen far below parent.
+        let mut child = parent.clone();
+        let t0 = ptg::TaskId(0);
+        child.set(t0, if parent.of(t0) == 120 { 1 } else { 120 });
+        let cutoff = ms * 0.1;
+        EvalPool::with(&g, &m, false, |pool| {
+            let mut engine = FitnessEngine::new(pool);
+            let record = engine.record(&parent);
+            engine.begin_generation();
+            assert_eq!(
+                engine.eval_offspring(Some(&record), &child, &[t0], cutoff),
+                None
+            );
+            let misses_after_first = engine.cache_misses();
+            // Same offspring again in the same generation: a hit, no eval.
+            assert_eq!(
+                engine.eval_offspring(Some(&record), &child, &[t0], cutoff),
+                None
+            );
+            assert_eq!(engine.cache_misses(), misses_after_first);
+            assert_eq!(engine.cache_hits(), 1);
+            // Next generation may have a different cutoff: re-evaluated.
+            engine.begin_generation();
+            assert_eq!(
+                engine.eval_offspring(Some(&record), &child, &[t0], f64::INFINITY),
+                Some(ListScheduler.makespan(&g, &m, &child))
+            );
+            assert_eq!(engine.cache_misses(), misses_after_first + 1);
+        });
+    }
+
+    #[test]
+    fn offspring_and_batch_paths_share_the_memo() {
+        let (g, m, allocs) = setup();
+        let parent = allocs[0].clone();
+        EvalPool::with(&g, &m, false, |pool| {
+            let mut engine = FitnessEngine::new(pool);
+            let record = engine.record(&parent);
+            let mut child = parent.clone();
+            child.set(ptg::TaskId(3), 7);
+            let via_delta =
+                engine.eval_offspring(Some(&record), &child, &[ptg::TaskId(3)], f64::INFINITY);
+            assert_eq!(engine.cache_misses(), 1);
+            // The batch path must now answer the same allocation from cache.
+            let via_batch = engine.evaluate(std::slice::from_ref(&child), f64::INFINITY);
+            assert_eq!(engine.cache_misses(), 1, "expected a memo hit");
+            assert_eq!(via_batch[0].map(f64::to_bits), via_delta.map(f64::to_bits));
+        });
     }
 }

@@ -81,6 +81,22 @@ pub struct ConvergenceTrace {
     pub cache_hits: usize,
     /// Fitness requests that ran the mapper.
     pub cache_misses: usize,
+    /// Misses evaluated through the incremental (delta) path rather than a
+    /// full mapper pass (0 when the run used batch evaluation).
+    #[serde(default)]
+    pub delta_evals: usize,
+    /// Delta evaluations rejected by the critical-path/area lower-bound
+    /// prescreen before any scheduling.
+    #[serde(default)]
+    pub lb_pruned: usize,
+    /// Placement events replayed from parent prefix checkpoints instead of
+    /// being simulated.
+    #[serde(default)]
+    pub prefix_reuse_events: u64,
+    /// Offspring skipped entirely because their mutation was a clamped
+    /// no-op (counted in `cache_hits` too).
+    #[serde(default)]
+    pub noop_skips: usize,
 }
 
 impl ConvergenceTrace {
@@ -88,8 +104,7 @@ impl ConvergenceTrace {
     pub fn with_capacity(capacity: usize) -> Self {
         ConvergenceTrace {
             generations: Vec::with_capacity(capacity),
-            cache_hits: 0,
-            cache_misses: 0,
+            ..ConvergenceTrace::default()
         }
     }
 

@@ -1,0 +1,117 @@
+//! Release-mode regression guard for the incremental fitness path.
+//!
+//! Fails if delta evaluation of single-gene mutants is slower than the
+//! pooled full evaluation of the same offspring on the paper's hard case
+//! (irregular n=100 DAGGEN on Grelon, P=120). `#[ignore]` because wall
+//! clock in a debug build is meaningless — `scripts/ci.sh` runs it with
+//! `cargo test --release -- --ignored`.
+
+use emts::parallel::EvalPool;
+use exec_model::{SyntheticModel, TimeMatrix};
+use obs::NoopRecorder;
+use platform::grelon;
+use ptg::critpath::BlRepairer;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use sched::{Allocation, BoundedEval, EvalScratch, ListScheduler};
+use std::time::Instant;
+use workloads::{daggen::random_ptg, CostConfig, DaggenParams};
+
+#[test]
+#[ignore = "wall-clock guard; run in release via scripts/ci.sh"]
+fn delta_path_is_not_slower_than_pooled_full_evaluation() {
+    const LAMBDA: usize = 25;
+    const ROUNDS: usize = 7;
+
+    let mut rng = ChaCha8Rng::seed_from_u64(17);
+    let costs = CostConfig::default();
+    let g = random_ptg(
+        &DaggenParams {
+            n: 100,
+            width: 0.5,
+            regularity: 0.2,
+            density: 0.2,
+            jump: 2,
+        },
+        &costs,
+        &mut rng,
+    );
+    let cluster = grelon();
+    let matrix = TimeMatrix::compute(
+        &g,
+        &SyntheticModel::default(),
+        cluster.speed_flops(),
+        cluster.processors,
+    );
+    let tasks = g.task_count();
+    let parent = Allocation::from_vec(
+        (0..tasks)
+            .map(|_| rng.gen_range(1..=cluster.processors))
+            .collect(),
+    );
+
+    let mut scratch = EvalScratch::new();
+    let mut repairer = BlRepairer::new(&g);
+    let record = ListScheduler.evaluate_recorded(&g, &matrix, &parent, &mut scratch, &NoopRecorder);
+
+    // λ single-gene mutants of the recorded parent, produced by the
+    // paper's mutation operator (Gaussian width change, σ = 5, m = 1) —
+    // the exact distribution the EA feeds the delta path.
+    let op = emts::MutationOperator::paper();
+    let mutants: Vec<(Allocation, ptg::TaskId)> = std::iter::repeat_with(|| {
+        let mut child = parent.clone();
+        let changed = op.mutate(&mut child, 1, cluster.processors, &mut rng);
+        changed.first().map(|&gene| (child, gene))
+    })
+    .flatten()
+    .take(LAMBDA)
+    .collect();
+    let batch: Vec<Allocation> = mutants.iter().map(|(a, _)| a.clone()).collect();
+
+    // Interleaved min-of-k: alternate the two paths so frequency scaling and
+    // cache warmth hit both equally; compare the best round of each.
+    let mut best_pooled = f64::INFINITY;
+    let mut best_delta = f64::INFINITY;
+    EvalPool::with(&g, &matrix, true, |pool| {
+        for _ in 0..ROUNDS {
+            let t = Instant::now();
+            let full = pool.run_batch(batch.clone(), f64::INFINITY);
+            let pooled_s = t.elapsed().as_secs_f64();
+            best_pooled = best_pooled.min(pooled_s);
+
+            let t = Instant::now();
+            let mut check = 0u64;
+            for (child, gene) in &mutants {
+                let d = ListScheduler.evaluate_delta(
+                    &g,
+                    &matrix,
+                    &record,
+                    child,
+                    std::slice::from_ref(gene),
+                    f64::INFINITY,
+                    &mut scratch,
+                    &mut repairer,
+                    &NoopRecorder,
+                );
+                if let BoundedEval::Complete { makespan, .. } = d.outcome {
+                    check ^= makespan.to_bits();
+                }
+            }
+            let delta_s = t.elapsed().as_secs_f64();
+            best_delta = best_delta.min(delta_s);
+            std::hint::black_box((full, check));
+        }
+    });
+
+    let pooled_ns = best_pooled * 1e9 / LAMBDA as f64;
+    let delta_ns = best_delta * 1e9 / LAMBDA as f64;
+    println!(
+        "PERF_GUARD pooled_ns_per_eval={pooled_ns:.1} delta_ns_per_eval={delta_ns:.1} \
+         speedup={:.2}",
+        pooled_ns / delta_ns
+    );
+    assert!(
+        best_delta <= best_pooled,
+        "delta path regressed: {delta_ns:.1} ns/eval vs pooled {pooled_ns:.1} ns/eval"
+    );
+}

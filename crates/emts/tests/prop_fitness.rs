@@ -8,8 +8,11 @@
 //! answered at a different cutoff than the one they were computed under.
 
 use emts::parallel::{evaluate_fitness_bounded, EvalPool, FitnessEngine};
+use emts::MutationOperator;
 use exec_model::{SyntheticModel, TimeMatrix};
+use obs::NoopRecorder;
 use proptest::prelude::*;
+use ptg::critpath::BlRepairer;
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use sched::{Allocation, BoundedEval, EvalScratch, ListScheduler};
@@ -119,5 +122,88 @@ proptest! {
                 .collect();
             assert_eq!(cached, fresh, "cached cutoff decision diverged");
         });
+    }
+
+    /// The incremental path — recorded parent, repaired bottom levels,
+    /// lower-bound prescreen, prefix-checkpoint replay — must be
+    /// bit-identical to a fresh bounded evaluation along whole mutation
+    /// chains, where each accepted offspring becomes the next recorded
+    /// parent. When the prescreen fires, the offspring's true makespan must
+    /// indeed exceed the cutoff (the prune is a proof, not a heuristic).
+    #[test]
+    fn delta_chains_match_fresh_evaluation((seed, n, p, cutoff_factor) in scenario()) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0x9e37_79b9);
+        let params = DaggenParams {
+            n,
+            width: 0.5,
+            regularity: 0.4,
+            density: 0.3,
+            jump: 2,
+        };
+        let g = random_ptg(&params, &CostConfig::default(), &mut rng);
+        let m = TimeMatrix::compute(&g, &SyntheticModel::default(), 3.1e9, p);
+        let tasks = g.task_count();
+        let op = MutationOperator::paper();
+        let mut scratch = EvalScratch::new();
+        let mut repairer = BlRepairer::new(&g);
+
+        let mut parent =
+            Allocation::from_vec((0..tasks).map(|_| rng.gen_range(1..=p)).collect());
+        let mut record =
+            ListScheduler.evaluate_recorded(&g, &m, &parent, &mut scratch, &NoopRecorder);
+        prop_assert_eq!(
+            record.makespan().to_bits(),
+            sched::Mapper::makespan(&ListScheduler, &g, &m, &parent).to_bits()
+        );
+        let mut pruned_seen = 0usize;
+        for step in 0..10 {
+            let mut child = parent.clone();
+            let mutated = 1 + step % 5;
+            let changed = op.mutate(&mut child, mutated, p, &mut rng);
+            // Alternate unconstrained and tight cutoffs along the chain;
+            // tight ones exercise the prescreen and mid-prefix rejections.
+            let cutoff = if step % 2 == 0 {
+                f64::INFINITY
+            } else {
+                record.makespan() * cutoff_factor
+            };
+            let delta = ListScheduler.evaluate_delta(
+                &g,
+                &m,
+                &record,
+                &child,
+                &changed,
+                cutoff,
+                &mut scratch,
+                &mut repairer,
+                &NoopRecorder,
+            );
+            let fresh = ListScheduler.makespan_bounded(&g, &m, &child, cutoff);
+            match (delta.outcome, fresh) {
+                (BoundedEval::Complete { makespan, .. }, Some(f)) => {
+                    prop_assert_eq!(makespan.to_bits(), f.to_bits(), "step {}", step);
+                }
+                (BoundedEval::Rejected, None) => {}
+                (d, f) => prop_assert!(false, "step {}: delta {:?} vs fresh {:?}", step, d, f),
+            }
+            if delta.lb_pruned {
+                pruned_seen += 1;
+                let true_ms = sched::Mapper::makespan(&ListScheduler, &g, &m, &child);
+                prop_assert!(
+                    true_ms > cutoff,
+                    "LB-pruned offspring has makespan {} ≤ cutoff {}",
+                    true_ms,
+                    cutoff
+                );
+            }
+            // The chain continues from the child regardless of the cutoff
+            // outcome (the EA re-records only survivors; here we stress the
+            // machinery on every link).
+            record = ListScheduler.evaluate_recorded(&g, &m, &child, &mut scratch, &NoopRecorder);
+            parent = child;
+        }
+        // Not every chain prunes — but the counter must never exceed the
+        // tight-cutoff steps.
+        prop_assert!(pruned_seen <= 5);
     }
 }

@@ -1,0 +1,932 @@
+//! Incremental (delta) fitness evaluation for the list scheduler.
+//!
+//! A (µ+λ)-ES offspring differs from its parent in a handful of genes, yet a
+//! fresh evaluation recomputes every bottom level and replays every placement
+//! event. This module removes that redundancy in three exact steps:
+//!
+//! 1. **Delta bottom levels** — the parent's [`EvalRecord`] keeps its
+//!    times/bottom-level vectors; only the changed tasks and their ancestors
+//!    are repaired via [`ptg::critpath::BlRepairer`], with bitwise change
+//!    detection cutting each propagation branch.
+//! 2. **Lower-bound prescreen** — before any scheduling, the offspring's
+//!    critical-path and area bounds (the same quantities as
+//!    [`crate::bounds`]) are tested against the cutoff. Both are true lower
+//!    bounds on `reject_key = max_v (start + bl)`, so a prescreen rejection
+//!    is exactly a rejection the full evaluation would also have produced —
+//!    just without simulating anything.
+//! 3. **Prefix checkpoints** — the record carries snapshots of the
+//!    scheduler's complete simulation state (processor-group heap, ready
+//!    set, data-ready vector, in-degrees) taken every
+//!    [`CHECKPOINT_INTERVAL`] placement events, plus per-task ready
+//!    windows (entry/pop events) and start times. Until the first event
+//!    whose *outcome* can differ — a time-dirty task's own placement, or a
+//!    pop decision flipped by a repaired priority — the offspring's event
+//!    sequence is *bit-identical* to the parent's, so evaluation restores
+//!    the newest checkpoint at or before that point and only simulates the
+//!    suffix.
+//!
+//! Every path returns the same `f64` bits as a fresh
+//! [`ListScheduler::evaluate_bounded_with`] — proven by the property tests
+//! in `emts/tests/prop_fitness.rs` and the unit tests below.
+//!
+//! # Why the prefix is exact
+//!
+//! Ready-queue *entry* is structural in this scheduler (a task becomes ready
+//! when its last predecessor is *placed*, not when it finishes), so the pop
+//! sequence is a function of the DAG and the bottom levels alone — execution
+//! times only shape start/finish values. The offspring's event sequence can
+//! therefore diverge from the parent's no earlier than `stop`, the minimum
+//! of
+//!
+//! * the recorded **pop event of each time-dirty task** (its duration first
+//!   matters at its own placement), and
+//! * for each pair of tasks whose recorded ready windows
+//!   `[entered, popped]` overlap and whose relative priority order *flips*
+//!   under the repaired bottom levels, the **first event both are in the
+//!   queue** (`max` of their entry events).
+//!
+//! Induction: while every pop so far matched the parent, the ready queue
+//! holds exactly the parent's task set, so the first divergent pop — if any
+//! — is decided by a flipped pair that coexists *in the parent's windows*;
+//! `stop` is at or before that event. A changed bottom level can only flip
+//! its order against tasks whose level lies in the closed interval swept by
+//! the change, so flip candidates come from a binary search over the
+//! recorded level-sorted order (changed-changed pairs, where both endpoints
+//! moved, are checked pairwise). Restoring any snapshot taken at or before
+//! `stop` and resuming with the offspring's times/bottom levels is thus
+//! indistinguishable from evaluating the offspring from scratch — with one
+//! repair: re-prioritized tasks may now be *placed inside* the reused
+//! prefix, and `reject_key` accumulates `start + bl`, so the prefix maximum
+//! is rebuilt from the recorded start times and the offspring's levels
+//! (starts are unchanged; `f64::max` is exact, so the rebuilt value is
+//! bit-identical to a fresh accumulation). Heap *layout* does not need to
+//! be preserved: every heap key is unique (`seq` for groups, the task id
+//! tiebreak for ready tasks), so pop order is a function of content only.
+
+use crate::allocation::Allocation;
+use crate::mapper::{BoundedEval, EvalScratch, ListScheduler, OrderedF64, ProcGroup, ReadyTask};
+use exec_model::TimeMatrix;
+use obs::Recorder;
+use ptg::critpath::BlRepairer;
+use ptg::{Ptg, TaskId};
+use std::cmp::Reverse;
+
+/// Placement events between consecutive prefix snapshots.
+///
+/// Smaller intervals waste memory and snapshot time on the recording pass;
+/// larger ones throw away reusable prefix on the delta pass. Eight events
+/// (~1/12 of the paper's 100-task graphs) keeps the expected replay loss
+/// below half an interval while a record stays ~a dozen snapshots.
+pub const CHECKPOINT_INTERVAL: u32 = 8;
+
+/// One snapshot of the grouped scheduling loop between two events.
+#[derive(Debug, Clone)]
+struct Checkpoint {
+    /// Number of placements completed when the snapshot was taken.
+    events: u32,
+    /// Running `max finish` at the snapshot.
+    makespan: f64,
+    /// Next insertion counter for the group heap.
+    next_seq: u64,
+    /// Contents of the processor-group heap (order irrelevant: keys are
+    /// unique, so a rebuilt heap pops identically).
+    groups: Vec<ProcGroup>,
+    /// Tasks in the ready queue. Priorities are re-derived from the
+    /// *offspring's* bottom levels on restore.
+    ready: Vec<TaskId>,
+    /// Latest finish over scheduled predecessors, per task.
+    data_ready: Vec<f64>,
+    /// Unscheduled-predecessor counts, per task.
+    in_deg: Vec<usize>,
+}
+
+/// Everything a parent evaluation must remember so offspring can be
+/// evaluated incrementally against it.
+///
+/// Built by [`ListScheduler::evaluate_recorded`]; consumed (any number of
+/// times) by [`ListScheduler::evaluate_delta`]. A record is only produced
+/// for *completed* schedules — the EA records survivors, whose makespan is
+/// finite by construction.
+#[derive(Debug, Clone)]
+pub struct EvalRecord {
+    /// Per-task execution times of the recorded allocation.
+    times: Vec<f64>,
+    /// Per-task bottom levels of the recorded allocation.
+    bl: Vec<f64>,
+    /// Per task: placements completed when it entered the ready queue.
+    entered: Vec<u32>,
+    /// Per task: the placement event that popped it (`entered ≤ popped`).
+    popped: Vec<u32>,
+    /// Per task: its recorded start time (used to rebuild the prefix
+    /// `reject_key` under repaired bottom levels).
+    starts: Vec<f64>,
+    /// Task ids sorted by recorded bottom level ascending (ties by id) —
+    /// the index behind the order-flip candidate search.
+    bl_order: Vec<TaskId>,
+    /// Prefix snapshots, ascending in `events`.
+    checkpoints: Vec<Checkpoint>,
+    makespan: f64,
+    reject_key: f64,
+}
+
+impl EvalRecord {
+    /// The recorded schedule's makespan.
+    #[inline]
+    pub fn makespan(&self) -> f64 {
+        self.makespan
+    }
+
+    /// The recorded schedule's `max_v (start + bl)` — reproduces the
+    /// engine's accept/reject decision for any cutoff (see
+    /// [`BoundedEval`]).
+    #[inline]
+    pub fn reject_key(&self) -> f64 {
+        self.reject_key
+    }
+
+    /// The accept/reject decision the recorded schedule gets under
+    /// `cutoff`, bit-identical to re-running the bounded evaluation.
+    #[inline]
+    pub fn decide(&self, cutoff: f64) -> Option<f64> {
+        (self.reject_key <= cutoff * (1.0 + 1e-9)).then_some(self.makespan)
+    }
+
+    /// Approximate heap footprint in bytes (for capacity planning/tests).
+    pub fn footprint(&self) -> usize {
+        let per_cp = |c: &Checkpoint| {
+            c.groups.len() * std::mem::size_of::<ProcGroup>()
+                + c.ready.len() * std::mem::size_of::<TaskId>()
+                + c.data_ready.len() * 8
+                + c.in_deg.len() * std::mem::size_of::<usize>()
+        };
+        self.times.len() * 8
+            + self.bl.len() * 8
+            + self.starts.len() * 8
+            + self.entered.len() * 4
+            + self.popped.len() * 4
+            + self.bl_order.len() * std::mem::size_of::<TaskId>()
+            + self.checkpoints.iter().map(per_cp).sum::<usize>()
+    }
+}
+
+/// Outcome of one delta evaluation, with its reuse statistics.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DeltaEval {
+    /// The evaluation result — bit-identical to a fresh bounded evaluation
+    /// of the offspring at the same cutoff.
+    pub outcome: BoundedEval,
+    /// True when the rejection came from the cp/area lower-bound prescreen,
+    /// i.e. before any scheduling work.
+    pub lb_pruned: bool,
+    /// Placement events replayed from the parent's prefix (restored, not
+    /// simulated).
+    pub events_reused: u32,
+    /// Events a full evaluation would simulate (= the task count).
+    pub events_total: u32,
+}
+
+impl ListScheduler {
+    /// Full evaluation that additionally captures an [`EvalRecord`]:
+    /// per-task times/bottom levels, ready-entry events and prefix
+    /// snapshots every [`CHECKPOINT_INTERVAL`] placements.
+    ///
+    /// Runs at infinite cutoff (records exist for known-complete
+    /// survivors), so it always completes; the returned record's makespan
+    /// is bit-identical to [`crate::Mapper::makespan`]. Scheduler heap
+    /// counters flow into `rec` exactly as in the plain grouped core.
+    pub fn evaluate_recorded<R: Recorder>(
+        &self,
+        g: &Ptg,
+        matrix: &TimeMatrix,
+        alloc: &Allocation,
+        scratch: &mut EvalScratch,
+        rec: &R,
+    ) -> EvalRecord {
+        Self::prepare_into(g, matrix, alloc, scratch);
+        let v = g.task_count();
+        let mut entered = vec![0u32; v];
+        let mut popped = vec![0u32; v];
+        let mut starts = vec![0.0f64; v];
+        let mut checkpoints =
+            Vec::with_capacity(v.div_ceil(CHECKPOINT_INTERVAL as usize).saturating_sub(1));
+        let mut makespan = 0.0f64;
+        let mut reject_key = 0.0f64;
+        let mut events = 0u32;
+        let mut tasks_placed = 0u64;
+        let mut group_pops = 0u64;
+        let mut group_pushes = 0u64;
+        scratch.groups.clear();
+        scratch.groups.push(Reverse(ProcGroup {
+            avail: OrderedF64(0.0),
+            seq: 0,
+            count: matrix.p_max(),
+        }));
+        let mut next_seq = 1u64;
+
+        // The loop body mirrors `schedule_core_grouped` at infinite cutoff
+        // (the rejection branch is statically false there) — any drift
+        // breaks the bit-identity property tests.
+        while let Some(ReadyTask { task: t, .. }) = scratch.ready.pop() {
+            popped[t.index()] = events;
+            let s = alloc.of(t);
+            let mut need = s;
+            let mut procs_free = 0.0f64;
+            let mut remainder: Option<ProcGroup> = None;
+            while need > 0 {
+                let Reverse(run) = scratch.groups.pop().expect("alloc ≤ P ensured by prepare");
+                if R::ENABLED {
+                    group_pops += 1;
+                }
+                procs_free = run.avail.0;
+                if run.count > need {
+                    remainder = Some(ProcGroup {
+                        count: run.count - need,
+                        ..run
+                    });
+                    need = 0;
+                } else {
+                    need -= run.count;
+                }
+            }
+            let start = scratch.data_ready[t.index()].max(procs_free);
+            starts[t.index()] = start;
+            let lower_bound = start + scratch.bl[t.index()];
+            reject_key = reject_key.max(lower_bound);
+            let finish = start + scratch.times[t.index()];
+            if let Some(run) = remainder {
+                scratch.groups.push(Reverse(run));
+                if R::ENABLED {
+                    group_pushes += 1;
+                }
+            }
+            scratch.groups.push(Reverse(ProcGroup {
+                avail: OrderedF64(finish),
+                seq: next_seq,
+                count: s,
+            }));
+            next_seq += 1;
+            makespan = makespan.max(finish);
+            if R::ENABLED {
+                group_pushes += 1;
+                tasks_placed += 1;
+            }
+            events += 1;
+            for &w in g.successors(t) {
+                scratch.data_ready[w.index()] = scratch.data_ready[w.index()].max(finish);
+                scratch.in_deg[w.index()] -= 1;
+                if scratch.in_deg[w.index()] == 0 {
+                    entered[w.index()] = events;
+                    scratch.ready.push(ReadyTask {
+                        bl: scratch.bl[w.index()],
+                        task: w,
+                    });
+                }
+            }
+            if events.is_multiple_of(CHECKPOINT_INTERVAL) && (events as usize) < v {
+                checkpoints.push(Checkpoint {
+                    events,
+                    makespan,
+                    next_seq,
+                    groups: scratch.groups.iter().map(|r| r.0).collect(),
+                    ready: scratch.ready.iter().map(|r| r.task).collect(),
+                    data_ready: scratch.data_ready.clone(),
+                    in_deg: scratch.in_deg.clone(),
+                });
+            }
+        }
+        if R::ENABLED {
+            rec.add("sched.tasks_placed", tasks_placed);
+            rec.add("sched.group_pops", group_pops);
+            rec.add("sched.group_pushes", group_pushes);
+        }
+        let mut bl_order: Vec<TaskId> = g.task_ids().collect();
+        bl_order.sort_unstable_by(|a, b| {
+            scratch.bl[a.index()]
+                .partial_cmp(&scratch.bl[b.index()])
+                .expect("bottom levels are finite")
+                .then_with(|| a.cmp(b))
+        });
+        EvalRecord {
+            times: scratch.times.clone(),
+            bl: scratch.bl.clone(),
+            entered,
+            popped,
+            starts,
+            bl_order,
+            checkpoints,
+            makespan,
+            reject_key,
+        }
+    }
+
+    /// Evaluates `child` incrementally against its parent's `record`.
+    ///
+    /// `changed` must list every gene where `child` differs from the
+    /// recorded allocation (a superset is fine; duplicates allowed) — the
+    /// EA gets it for free from the mutation operator. The result is
+    /// **bit-identical** to
+    /// [`Self::evaluate_bounded_with`]`(g, matrix, child, cutoff, ..)`.
+    ///
+    /// Cost: two `O(V)` memcpys, bottom-level repair over the changed
+    /// tasks' ancestry, an `O(V)` bound scan, and list scheduling of the
+    /// suffix after the last reusable checkpoint.
+    #[allow(clippy::too_many_arguments)]
+    pub fn evaluate_delta<R: Recorder>(
+        &self,
+        g: &Ptg,
+        matrix: &TimeMatrix,
+        record: &EvalRecord,
+        child: &Allocation,
+        changed: &[TaskId],
+        cutoff: f64,
+        scratch: &mut EvalScratch,
+        repairer: &mut BlRepairer,
+        rec: &R,
+    ) -> DeltaEval {
+        let v = g.task_count();
+        assert_eq!(child.len(), v, "allocation/PTG size mismatch");
+        assert_eq!(record.times.len(), v, "record/PTG size mismatch");
+        let p_max = matrix.p_max();
+        // Same slack rationale as `schedule_core_grouped`.
+        let threshold = cutoff * (1.0 + 1e-9);
+        let events_total = v as u32;
+
+        // 1. Patch times at the changed genes; collect the bitwise-dirty
+        //    subset (a clamped mutation or an equal-time width change leaves
+        //    the schedule untouched).
+        scratch.times.clear();
+        scratch.times.extend_from_slice(&record.times);
+        scratch.dirty.clear();
+        for &t in changed {
+            assert!(child.of(t) <= p_max, "allocation exceeds platform size");
+            let nt = matrix.time(t, child.of(t));
+            if nt.to_bits() != scratch.times[t.index()].to_bits() {
+                scratch.times[t.index()] = nt;
+                scratch.dirty.push(t);
+            }
+        }
+
+        // 2. Repair bottom levels through the dirty tasks' ancestors.
+        scratch.bl.clear();
+        scratch.bl.extend_from_slice(&record.bl);
+        let bl_changed = repairer.repair(g, &scratch.times, &mut scratch.bl, &scratch.dirty);
+
+        // 3. Lower-bound prescreen: cp = max bl and the area bound are both
+        //    ≤ reject_key of any completed schedule, so exceeding the
+        //    threshold here proves the full evaluation would reject too.
+        let cp = scratch.bl.iter().fold(0.0f64, |a, &b| a.max(b));
+        if cp > threshold || child.work_area(&scratch.times) / p_max as f64 > threshold {
+            return DeltaEval {
+                outcome: BoundedEval::Rejected,
+                lb_pruned: true,
+                events_reused: 0,
+                events_total,
+            };
+        }
+
+        // 4. First event whose outcome can differ from the parent's: a
+        //    time-dirty task's own placement, or the first event where a
+        //    repaired bottom level can flip a pop decision (see the module
+        //    docs for the soundness argument).
+        let mut safe = u32::MAX;
+        for &t in &scratch.dirty {
+            safe = safe.min(record.popped[t.index()]);
+        }
+        // A mutation that re-levels much of the graph makes the pairwise
+        // screen quadratic and its answer near-useless; fall back to the
+        // conservative entry-based horizon instead.
+        const FLIP_SCREEN_CAP: usize = 64;
+        if bl_changed.len() > FLIP_SCREEN_CAP {
+            for &t in bl_changed {
+                safe = safe.min(record.entered[t.index()]);
+            }
+        } else {
+            for &t in bl_changed {
+                // Against unchanged tasks, a flip needs the other level
+                // inside the closed interval swept by this change.
+                let old = record.bl[t.index()];
+                let new = scratch.bl[t.index()];
+                let (lo, hi) = if old <= new { (old, new) } else { (new, old) };
+                let from = record
+                    .bl_order
+                    .partition_point(|&u| record.bl[u.index()] < lo);
+                for &u in &record.bl_order[from..] {
+                    if record.bl[u.index()] > hi {
+                        break;
+                    }
+                    if u != t {
+                        check_flip(record, &scratch.bl, t, u, &mut safe);
+                    }
+                }
+            }
+            // Changed-changed pairs: both endpoints moved, so the interval
+            // search over the parent's ordering can miss them.
+            for (i, &a) in bl_changed.iter().enumerate() {
+                for &b in &bl_changed[i + 1..] {
+                    check_flip(record, &scratch.bl, a, b, &mut safe);
+                }
+            }
+        }
+        if safe == u32::MAX {
+            // Bitwise nothing changed: replay the parent's outcome.
+            let outcome = match record.decide(cutoff) {
+                Some(makespan) => BoundedEval::Complete {
+                    makespan,
+                    reject_key: record.reject_key,
+                },
+                None => BoundedEval::Rejected,
+            };
+            return DeltaEval {
+                outcome,
+                lb_pruned: false,
+                events_reused: events_total,
+                events_total,
+            };
+        }
+
+        // 5. Restore the newest snapshot at or before `safe` (or reseed the
+        //    initial state when none qualifies). Ready priorities are
+        //    rebuilt from the offspring's bottom levels.
+        let cp_idx = record.checkpoints.partition_point(|c| c.events <= safe);
+        let (restored_events, makespan0, next_seq0) = if cp_idx == 0 {
+            scratch.in_deg.clear();
+            scratch.in_deg.extend(g.task_ids().map(|t| g.in_degree(t)));
+            scratch.data_ready.clear();
+            scratch.data_ready.resize(v, 0.0);
+            scratch.ready.clear();
+            for t in g.task_ids() {
+                if scratch.in_deg[t.index()] == 0 {
+                    scratch.ready.push(ReadyTask {
+                        bl: scratch.bl[t.index()],
+                        task: t,
+                    });
+                }
+            }
+            scratch.groups.clear();
+            scratch.groups.push(Reverse(ProcGroup {
+                avail: OrderedF64(0.0),
+                seq: 0,
+                count: p_max,
+            }));
+            (0u32, 0.0f64, 1u64)
+        } else {
+            let c = &record.checkpoints[cp_idx - 1];
+            scratch.in_deg.clear();
+            scratch.in_deg.extend_from_slice(&c.in_deg);
+            scratch.data_ready.clear();
+            scratch.data_ready.extend_from_slice(&c.data_ready);
+            scratch.ready.clear();
+            for &t in &c.ready {
+                scratch.ready.push(ReadyTask {
+                    bl: scratch.bl[t.index()],
+                    task: t,
+                });
+            }
+            scratch.groups.clear();
+            for &run in &c.groups {
+                scratch.groups.push(Reverse(run));
+            }
+            (c.events, c.makespan, c.next_seq)
+        };
+        // The prefix `reject_key` must use the *offspring's* bottom levels:
+        // re-prioritized tasks may have been placed inside the replayed
+        // prefix. Start times there are unchanged (no time-dirty task pops
+        // before `safe`), and `f64::max` is exact, so this fold is
+        // bit-identical to a fresh accumulation over the same placements.
+        let mut reject_key0 = 0.0f64;
+        if restored_events > 0 {
+            for t in g.task_ids() {
+                if record.popped[t.index()] < restored_events {
+                    reject_key0 = reject_key0.max(record.starts[t.index()] + scratch.bl[t.index()]);
+                }
+            }
+        }
+        if reject_key0 > threshold {
+            // Some prefix event already exceeded the child's cutoff — the
+            // fresh evaluation would have stopped inside the prefix.
+            return DeltaEval {
+                outcome: BoundedEval::Rejected,
+                lb_pruned: false,
+                events_reused: restored_events,
+                events_total,
+            };
+        }
+
+        // 6. Simulate the suffix.
+        let outcome = resume_grouped(
+            g,
+            child,
+            threshold,
+            scratch,
+            makespan0,
+            reject_key0,
+            next_seq0,
+            rec,
+        );
+        DeltaEval {
+            outcome,
+            lb_pruned: false,
+            events_reused: restored_events,
+            events_total,
+        }
+    }
+}
+
+/// Clamps `safe` to the first event at which tasks `a` and `b` coexist in
+/// the ready queue, if their priority order under the repaired bottom
+/// levels differs from the recorded one. Pairs whose recorded ready
+/// windows are disjoint are never compared by the scheduler and impose no
+/// constraint.
+#[inline]
+fn check_flip(record: &EvalRecord, new_bl: &[f64], a: TaskId, b: TaskId, safe: &mut u32) {
+    let (ea, pa) = (record.entered[a.index()], record.popped[a.index()]);
+    let (eb, pb) = (record.entered[b.index()], record.popped[b.index()]);
+    if ea > pb || eb > pa {
+        return;
+    }
+    let old = ReadyTask {
+        bl: record.bl[a.index()],
+        task: a,
+    }
+    .cmp(&ReadyTask {
+        bl: record.bl[b.index()],
+        task: b,
+    });
+    let new = ReadyTask {
+        bl: new_bl[a.index()],
+        task: a,
+    }
+    .cmp(&ReadyTask {
+        bl: new_bl[b.index()],
+        task: b,
+    });
+    if old != new {
+        *safe = (*safe).min(ea.max(eb));
+    }
+}
+
+/// The grouped scheduling loop resumed from a restored mid-evaluation
+/// state — `schedule_core_grouped` with seeded accumulators and a
+/// precomputed threshold.
+#[allow(clippy::too_many_arguments)]
+fn resume_grouped<R: Recorder>(
+    g: &Ptg,
+    alloc: &Allocation,
+    threshold: f64,
+    scratch: &mut EvalScratch,
+    mut makespan: f64,
+    mut reject_key: f64,
+    mut next_seq: u64,
+    rec: &R,
+) -> BoundedEval {
+    let mut tasks_placed = 0u64;
+    let mut group_pops = 0u64;
+    let mut group_pushes = 0u64;
+    while let Some(ReadyTask { task: t, .. }) = scratch.ready.pop() {
+        let s = alloc.of(t);
+        let mut need = s;
+        let mut procs_free = 0.0f64;
+        let mut remainder: Option<ProcGroup> = None;
+        while need > 0 {
+            let Reverse(run) = scratch.groups.pop().expect("alloc ≤ P ensured by prepare");
+            if R::ENABLED {
+                group_pops += 1;
+            }
+            procs_free = run.avail.0;
+            if run.count > need {
+                remainder = Some(ProcGroup {
+                    count: run.count - need,
+                    ..run
+                });
+                need = 0;
+            } else {
+                need -= run.count;
+            }
+        }
+        let start = scratch.data_ready[t.index()].max(procs_free);
+        let lower_bound = start + scratch.bl[t.index()];
+        if lower_bound > threshold {
+            if R::ENABLED {
+                rec.add("sched.tasks_placed", tasks_placed);
+                rec.add("sched.group_pops", group_pops);
+                rec.add("sched.group_pushes", group_pushes);
+                rec.add("sched.rejections", 1);
+            }
+            return BoundedEval::Rejected;
+        }
+        reject_key = reject_key.max(lower_bound);
+        let finish = start + scratch.times[t.index()];
+        if let Some(run) = remainder {
+            scratch.groups.push(Reverse(run));
+            if R::ENABLED {
+                group_pushes += 1;
+            }
+        }
+        scratch.groups.push(Reverse(ProcGroup {
+            avail: OrderedF64(finish),
+            seq: next_seq,
+            count: s,
+        }));
+        next_seq += 1;
+        makespan = makespan.max(finish);
+        if R::ENABLED {
+            group_pushes += 1;
+            tasks_placed += 1;
+        }
+        for &w in g.successors(t) {
+            scratch.data_ready[w.index()] = scratch.data_ready[w.index()].max(finish);
+            scratch.in_deg[w.index()] -= 1;
+            if scratch.in_deg[w.index()] == 0 {
+                scratch.ready.push(ReadyTask {
+                    bl: scratch.bl[w.index()],
+                    task: w,
+                });
+            }
+        }
+    }
+    if R::ENABLED {
+        rec.add("sched.tasks_placed", tasks_placed);
+        rec.add("sched.group_pops", group_pops);
+        rec.add("sched.group_pushes", group_pushes);
+    }
+    BoundedEval::Complete {
+        makespan,
+        reject_key,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Mapper;
+    use exec_model::Amdahl;
+    use obs::NoopRecorder;
+    use ptg::PtgBuilder;
+
+    /// Layered pseudo-random DAG + platform, no external RNG dependency.
+    fn random_setup(seed: u64, n: usize, p: u32) -> (Ptg, TimeMatrix) {
+        let mut state = seed | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let mut b = PtgBuilder::new();
+        for i in 0..n {
+            let flop = 1e9 + (next() % 1000) as f64 * 1e7;
+            let alpha = (next() % 30) as f64 / 100.0;
+            b.add_task(format!("t{i}"), flop, alpha);
+        }
+        for v in 1..n {
+            for _ in 0..=(next() % 3) {
+                let pr = (next() % v as u64) as u32;
+                let _ = b.add_edge(TaskId(pr), TaskId(v as u32));
+            }
+        }
+        let g = b.build().unwrap();
+        let m = TimeMatrix::compute(&g, &Amdahl, 1e9, p);
+        (g, m)
+    }
+
+    fn random_alloc(seed: u64, n: usize, p: u32) -> Allocation {
+        let mut state = seed | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        Allocation::from_vec((0..n).map(|_| 1 + (next() % p as u64) as u32).collect())
+    }
+
+    /// Mutate `k` genes of `alloc`, returning (child, changed).
+    fn mutate(alloc: &Allocation, seed: u64, k: usize, p: u32) -> (Allocation, Vec<TaskId>) {
+        let mut state = seed | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let mut child = alloc.clone();
+        let mut changed = Vec::new();
+        for _ in 0..k {
+            let idx = TaskId((next() % alloc.len() as u64) as u32);
+            let delta = (next() % 9) as i64 - 4;
+            let cur = child.of(idx) as i64;
+            child.set(idx, (cur + delta).clamp(1, p as i64) as u32);
+            changed.push(idx);
+        }
+        (child, changed)
+    }
+
+    #[test]
+    fn recorded_makespan_matches_fresh_evaluation() {
+        for seed in 1..6u64 {
+            let (g, m) = random_setup(seed, 40, 16);
+            let alloc = random_alloc(seed.wrapping_mul(7), 40, 16);
+            let mut scratch = EvalScratch::new();
+            let record =
+                ListScheduler.evaluate_recorded(&g, &m, &alloc, &mut scratch, &NoopRecorder);
+            let fresh = ListScheduler.makespan(&g, &m, &alloc);
+            assert_eq!(record.makespan().to_bits(), fresh.to_bits(), "seed {seed}");
+            // And the stored reject_key reproduces cutoff decisions.
+            for factor in [0.5, 0.99, 1.0, 1.5] {
+                let cutoff = fresh * factor;
+                assert_eq!(
+                    record.decide(cutoff),
+                    ListScheduler.makespan_bounded(&g, &m, &alloc, cutoff),
+                    "seed {seed} factor {factor}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn delta_evaluation_is_bit_identical_to_fresh() {
+        for seed in 1..8u64 {
+            let (g, m) = random_setup(seed, 50, 24);
+            let parent = random_alloc(seed.wrapping_mul(11), 50, 24);
+            let mut scratch = EvalScratch::new();
+            let mut repairer = BlRepairer::new(&g);
+            let record =
+                ListScheduler.evaluate_recorded(&g, &m, &parent, &mut scratch, &NoopRecorder);
+            for k in [1usize, 2, 5, 20] {
+                let (child, changed) = mutate(&parent, seed.wrapping_mul(31 + k as u64), k, 24);
+                for cutoff_factor in [f64::INFINITY, 1.5, 1.0, 0.8] {
+                    let cutoff = record.makespan() * cutoff_factor;
+                    let delta = ListScheduler.evaluate_delta(
+                        &g,
+                        &m,
+                        &record,
+                        &child,
+                        &changed,
+                        cutoff,
+                        &mut scratch,
+                        &mut repairer,
+                        &NoopRecorder,
+                    );
+                    let fresh =
+                        ListScheduler.evaluate_bounded_with(&g, &m, &child, cutoff, &mut scratch);
+                    match (delta.outcome, fresh) {
+                        (
+                            BoundedEval::Complete {
+                                makespan: a,
+                                reject_key: ka,
+                            },
+                            BoundedEval::Complete {
+                                makespan: b,
+                                reject_key: kb,
+                            },
+                        ) => {
+                            assert_eq!(a.to_bits(), b.to_bits(), "seed {seed} k {k}");
+                            assert_eq!(ka.to_bits(), kb.to_bits(), "seed {seed} k {k}");
+                        }
+                        (BoundedEval::Rejected, BoundedEval::Rejected) => {}
+                        (d, f) => {
+                            panic!("seed {seed} k {k} cutoff {cutoff}: delta {d:?} vs fresh {f:?}")
+                        }
+                    }
+                    assert_eq!(delta.events_total as usize, g.task_count());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn unchanged_child_replays_the_parent_entirely() {
+        let (g, m) = random_setup(3, 40, 16);
+        let parent = random_alloc(5, 40, 16);
+        let mut scratch = EvalScratch::new();
+        let mut repairer = BlRepairer::new(&g);
+        let record = ListScheduler.evaluate_recorded(&g, &m, &parent, &mut scratch, &NoopRecorder);
+        // An empty change set — and a "change" that rewrites the same width.
+        for changed in [vec![], vec![TaskId(0), TaskId(7)]] {
+            let delta = ListScheduler.evaluate_delta(
+                &g,
+                &m,
+                &record,
+                &parent,
+                &changed,
+                f64::INFINITY,
+                &mut scratch,
+                &mut repairer,
+                &NoopRecorder,
+            );
+            assert_eq!(delta.events_reused, g.task_count() as u32);
+            assert!(!delta.lb_pruned);
+            match delta.outcome {
+                BoundedEval::Complete { makespan, .. } => {
+                    assert_eq!(makespan.to_bits(), record.makespan().to_bits())
+                }
+                BoundedEval::Rejected => panic!("infinite cutoff never rejects"),
+            }
+        }
+    }
+
+    #[test]
+    fn lb_prune_fires_only_when_fresh_evaluation_rejects() {
+        let mut pruned = 0usize;
+        for seed in 1..10u64 {
+            let (g, m) = random_setup(seed, 40, 8);
+            let parent = random_alloc(seed, 40, 8);
+            let mut scratch = EvalScratch::new();
+            let mut repairer = BlRepairer::new(&g);
+            let record =
+                ListScheduler.evaluate_recorded(&g, &m, &parent, &mut scratch, &NoopRecorder);
+            // Stretch many genes, then screen at a cutoff below the child's
+            // critical path: the cp bound must trip for some seeds (these
+            // dense random graphs keep the makespan within ~2× of cp).
+            let (child, changed) = mutate(&parent, seed.wrapping_mul(97), 25, 8);
+            let cutoff = record.makespan() * 0.5;
+            let delta = ListScheduler.evaluate_delta(
+                &g,
+                &m,
+                &record,
+                &child,
+                &changed,
+                cutoff,
+                &mut scratch,
+                &mut repairer,
+                &NoopRecorder,
+            );
+            if delta.lb_pruned {
+                pruned += 1;
+                assert_eq!(delta.outcome, BoundedEval::Rejected);
+                assert_eq!(delta.events_reused, 0);
+                // The prescreen may only fire when the true makespan indeed
+                // exceeds the cutoff.
+                let true_ms = ListScheduler.makespan(&g, &m, &child);
+                assert!(
+                    true_ms > cutoff,
+                    "pruned but true makespan {true_ms} ≤ cutoff {cutoff}"
+                );
+            }
+        }
+        assert!(pruned > 0, "prescreen never fired across 9 seeds");
+    }
+
+    #[test]
+    fn prefix_reuse_actually_happens_for_late_changes() {
+        // A heavy backbone chain c0→…→c63 plus one tiny side task hanging
+        // off c62. Mutating the side task changes its own bottom level only:
+        // at c62 the chain tail dominates the max, so the repair is masked
+        // there and never reaches earlier chain tasks. The side task enters
+        // the ready queue at event 63, so nearly the whole prefix replays.
+        let mut b = PtgBuilder::new();
+        let n = 64usize;
+        for i in 0..n {
+            b.add_task(format!("c{i}"), 2e9, 0.1);
+        }
+        b.add_task("side", 1e7, 0.1);
+        for i in 1..n {
+            b.add_edge(TaskId(i as u32 - 1), TaskId(i as u32)).unwrap();
+        }
+        let side = TaskId(n as u32);
+        b.add_edge(TaskId(n as u32 - 2), side).unwrap();
+        let g = b.build().unwrap();
+        let m = TimeMatrix::compute(&g, &Amdahl, 1e9, 8);
+        let parent = Allocation::uniform(n + 1, 2);
+        let mut scratch = EvalScratch::new();
+        let mut repairer = BlRepairer::new(&g);
+        let record = ListScheduler.evaluate_recorded(&g, &m, &parent, &mut scratch, &NoopRecorder);
+        let mut child = parent.clone();
+        child.set(side, 4);
+        let delta = ListScheduler.evaluate_delta(
+            &g,
+            &m,
+            &record,
+            &child,
+            &[side],
+            f64::INFINITY,
+            &mut scratch,
+            &mut repairer,
+            &NoopRecorder,
+        );
+        assert!(
+            delta.events_reused >= 48,
+            "reused only {} of {} events",
+            delta.events_reused,
+            n + 1
+        );
+        let fresh = ListScheduler.makespan(&g, &m, &child);
+        match delta.outcome {
+            BoundedEval::Complete { makespan, .. } => {
+                assert_eq!(makespan.to_bits(), fresh.to_bits())
+            }
+            BoundedEval::Rejected => panic!("infinite cutoff never rejects"),
+        }
+    }
+
+    #[test]
+    fn record_footprint_is_bounded() {
+        let (g, m) = random_setup(2, 100, 32);
+        let alloc = random_alloc(9, 100, 32);
+        let mut scratch = EvalScratch::new();
+        let record = ListScheduler.evaluate_recorded(&g, &m, &alloc, &mut scratch, &NoopRecorder);
+        // ~V/8 checkpoints of O(V) state each: stays well under 100 KiB for
+        // the paper's 100-task graphs.
+        assert!(record.footprint() < 100 * 1024, "{}", record.footprint());
+    }
+}

@@ -24,6 +24,7 @@
 pub mod allocation;
 pub mod bounds;
 pub mod gantt;
+pub mod incremental;
 pub mod mapper;
 pub mod metrics;
 pub mod multi;
@@ -31,5 +32,6 @@ pub mod schedule;
 pub mod validate;
 
 pub use allocation::Allocation;
+pub use incremental::{DeltaEval, EvalRecord, CHECKPOINT_INTERVAL};
 pub use mapper::{BoundedEval, EvalScratch, InsertionScheduler, ListScheduler, Mapper};
 pub use schedule::{Placement, Schedule};

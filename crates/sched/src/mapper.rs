@@ -39,9 +39,9 @@ pub trait Mapper {
 
 /// Priority-queue entry: larger bottom level first, then smaller task id.
 #[derive(Debug, Clone, PartialEq)]
-struct ReadyTask {
-    bl: f64,
-    task: TaskId,
+pub(crate) struct ReadyTask {
+    pub(crate) bl: f64,
+    pub(crate) task: TaskId,
 }
 
 impl Eq for ReadyTask {}
@@ -105,15 +105,15 @@ pub struct ListScheduler;
 #[derive(Debug, Clone, Default)]
 pub struct EvalScratch {
     /// Per-task execution time under the current allocation.
-    times: Vec<f64>,
+    pub(crate) times: Vec<f64>,
     /// Per-task bottom level under the current allocation.
-    bl: Vec<f64>,
+    pub(crate) bl: Vec<f64>,
     /// Remaining unscheduled predecessors per task.
-    in_deg: Vec<usize>,
+    pub(crate) in_deg: Vec<usize>,
     /// Latest finish time over each task's scheduled predecessors.
-    data_ready: Vec<f64>,
+    pub(crate) data_ready: Vec<f64>,
     /// Ready tasks by decreasing bottom level.
-    ready: BinaryHeap<ReadyTask>,
+    pub(crate) ready: BinaryHeap<ReadyTask>,
     /// Min-heap of `(free time, processor)` — used by the full mapper,
     /// which must report concrete processor indices.
     avail: BinaryHeap<Reverse<(OrderedF64, u32)>>,
@@ -124,7 +124,10 @@ pub struct EvalScratch {
     /// can carry `(free time, count)` runs instead of `count` individual
     /// entries. Heap traffic drops from `O(Σ s(v) log P)` to
     /// `O(V log V)` — the dominant cost for wide allocations.
-    groups: BinaryHeap<Reverse<ProcGroup>>,
+    pub(crate) groups: BinaryHeap<Reverse<ProcGroup>>,
+    /// Tasks whose execution time bitwise changed in a delta evaluation
+    /// (see `crate::incremental`).
+    pub(crate) dirty: Vec<TaskId>,
 }
 
 impl EvalScratch {
@@ -145,6 +148,7 @@ impl EvalScratch {
             avail: BinaryHeap::with_capacity(procs as usize),
             popped: Vec::with_capacity(procs as usize),
             groups: BinaryHeap::with_capacity(tasks + 1),
+            dirty: Vec::new(),
         }
     }
 }
@@ -155,10 +159,10 @@ impl EvalScratch {
 /// pop order is fully deterministic, without affecting results (groups with
 /// equal times are interchangeable for start-time purposes).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-struct ProcGroup {
-    avail: OrderedF64,
-    seq: u64,
-    count: u32,
+pub(crate) struct ProcGroup {
+    pub(crate) avail: OrderedF64,
+    pub(crate) seq: u64,
+    pub(crate) count: u32,
 }
 
 impl Ord for ProcGroup {
@@ -230,7 +234,12 @@ impl ListScheduler {
     /// capacity. The processor-side heap is seeded by the placement core
     /// (per-processor entries for the full mapper, one group for the
     /// makespan-only core).
-    fn prepare_into(g: &Ptg, matrix: &TimeMatrix, alloc: &Allocation, scratch: &mut EvalScratch) {
+    pub(crate) fn prepare_into(
+        g: &Ptg,
+        matrix: &TimeMatrix,
+        alloc: &Allocation,
+        scratch: &mut EvalScratch,
+    ) {
         assert_eq!(alloc.len(), g.task_count(), "allocation/PTG size mismatch");
         assert!(
             alloc.as_slice().iter().all(|&p| p <= matrix.p_max()),
@@ -596,7 +605,7 @@ impl ListScheduler {
 
 /// Total-ordered wrapper for finite f64 heap keys.
 #[derive(Debug, Clone, Copy, PartialEq)]
-struct OrderedF64(f64);
+pub(crate) struct OrderedF64(pub(crate) f64);
 
 impl Eq for OrderedF64 {}
 impl PartialOrd for OrderedF64 {

@@ -24,7 +24,9 @@ LOG=$(mktemp)
 trap 'rm -f "$LOG"' EXIT
 
 cargo bench --offline -p bench --bench mapper 2>&1 | tee "$LOG"
-EMTS_RUN_REPORT="$REPORT" \
+# Absolute path: cargo runs bench binaries with the package directory
+# (crates/bench) as their working directory.
+EMTS_RUN_REPORT="$PWD/$REPORT" \
     cargo bench --offline -p bench --bench emts_generation -- fitness 2>&1 | tee -a "$LOG"
 
 awk -v batch="$BATCH" '
@@ -48,10 +50,26 @@ awk -v batch="$BATCH" '
         mapper_order[mn++] = id
     }
     /^CACHE_STATS / {
+        w = ""
         for (i = 1; i <= NF; i++) {
-            if ($i ~ /^hits=/)   hits = substr($i, 6)
-            if ($i ~ /^misses=/) misses = substr($i, 8)
-            if ($i ~ /^rate=/)   rate = substr($i, 6)
+            split($i, kv, "=")
+            if (kv[1] == "workload") w = kv[2]
+        }
+        if (w != "") {
+            cache_order[cn++] = w
+            for (i = 1; i <= NF; i++) {
+                split($i, kv, "=")
+                if (kv[1] != "workload" && kv[1] != "CACHE_STATS")
+                    cache[w, kv[1]] = kv[2]
+            }
+        }
+    }
+    /^DELTA_STATS / {
+        for (i = 1; i <= NF; i++) {
+            split($i, kv, "=")
+            if (kv[1] == "reused_events") delta_reused = kv[2]
+            if (kv[1] == "total_events")  delta_total = kv[2]
+            if (kv[1] == "reuse_rate")    delta_rate = kv[2]
         }
     }
     END {
@@ -76,8 +94,23 @@ awk -v batch="$BATCH" '
         if ("prepr_baseline" in medians && "serial_scratch" in medians)
             printf "  \"speedup_vs_prepr_baseline\": %.1f,\n", \
                 medians["prepr_baseline"] / medians["serial_scratch"]
-        printf "  \"emts10_run_cache\": { \"hits\": %d, \"misses\": %d, \"hit_rate\": %s }\n", \
-            hits, misses, rate
+        if ("pooled" in medians && "delta_single_gene" in medians) {
+            printf "  \"delta_ns_per_eval\": %.1f,\n", medians["delta_single_gene"] / batch
+            printf "  \"speedup_delta_vs_pooled\": %.1f,\n", \
+                medians["pooled"] / medians["delta_single_gene"]
+        }
+        if (delta_total != "")
+            printf "  \"delta_prefix_reuse\": { \"reused_events\": %d, \"total_events\": %d, \"reuse_rate\": %s },\n", \
+                delta_reused, delta_total, delta_rate
+        printf "  \"emts10_run_cache\": {\n"
+        for (i = 0; i < cn; i++) {
+            w = cache_order[i]
+            printf "    \"%s\": { \"hits\": %d, \"misses\": %d, \"hit_rate\": %s, \"noop_skips\": %d, \"lb_pruned\": %d, \"prefix_reuse_events\": %d, \"survival_pruned\": %d }%s\n", \
+                w, cache[w, "hits"], cache[w, "misses"], cache[w, "rate"], \
+                cache[w, "noop_skips"], cache[w, "lb_pruned"], \
+                cache[w, "prefix_reuse_events"], cache[w, "pruned"], (i < cn - 1) ? "," : ""
+        }
+        printf "  }\n"
         printf "}\n"
     }
 ' "$LOG" > "$OUT"

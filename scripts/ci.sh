@@ -21,4 +21,7 @@ cargo clippy --offline --workspace --all-targets -- -D warnings
 echo "== cargo test (workspace)"
 cargo test -q --offline --workspace
 
+echo "== perf guard (release): delta path must not be slower than pooled full eval"
+cargo test --release -q --offline -p emts --test perf_guard -- --ignored
+
 echo "CI OK"
