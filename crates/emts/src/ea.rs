@@ -112,6 +112,24 @@ impl Emts {
         })
     }
 
+    /// [`Self::run_recorded`] with an explicit worker count, bypassing the
+    /// machine-derived default (and `parallel_evaluation`): benchmarks pin
+    /// their concurrency with it, and the robustness tests use it to force
+    /// a worker-backed pool on single-core machines. Results are
+    /// bit-identical to [`Self::run`] for any worker count.
+    pub fn run_with_workers<R: Recorder>(
+        &self,
+        g: &Ptg,
+        matrix: &TimeMatrix,
+        seed: u64,
+        workers: usize,
+        rec: &R,
+    ) -> EmtsResult {
+        EvalPool::with_workers(g, matrix, workers, rec, |pool| {
+            self.run_with_pool(g, matrix, seed, pool)
+        })
+    }
+
     fn run_with_pool<R: Recorder>(
         &self,
         g: &Ptg,
@@ -136,7 +154,7 @@ impl Emts {
         // and offspring replay the unchanged schedule prefix. With workers,
         // batch dispatch wins and offspring are evaluated fresh. Both paths
         // are bit-identical, so the trajectory is machine-independent.
-        let use_delta = pool.workers() == 0;
+        let mut use_delta = pool.workers() == 0;
         let mut engine = FitnessEngine::new(pool);
         let mut population = rec.time("seed", || initial_population(cfg, &op, g, matrix, &mut rng));
         let mut evaluations = population.len();
@@ -161,6 +179,14 @@ impl Emts {
                 }
             }
             engine.begin_generation();
+            if !use_delta && engine.pool_degraded() {
+                // Every worker is gone and none respawned: batches
+                // dispatched to the pool would only come back through the
+                // stall deadline, so finish the run on the serial delta
+                // path. Both paths are bit-identical, so the switch cannot
+                // change the result — only who computes it.
+                use_delta = true;
+            }
             if use_delta {
                 // Attach recorded evaluations to the survivors that lack
                 // one (fresh mutants from the previous generation). The
@@ -306,6 +332,9 @@ impl Emts {
         trace.lb_pruned = engine.lb_pruned();
         trace.prefix_reuse_events = engine.prefix_reuse_events();
         trace.noop_skips = engine.noop_skips();
+        trace.worker_panics = engine.worker_panics();
+        trace.pool_respawns = engine.pool_respawns();
+        trace.serial_fallbacks = engine.serial_fallbacks();
         let best = population
             .into_iter()
             .min_by(|a, b| {

@@ -59,6 +59,6 @@ pub use grid::{GridEmts, GridEmtsConfig, GridEmtsResult};
 pub use individual::Individual;
 pub use island::{IslandConfig, IslandEmts, IslandResult};
 pub use mutation::MutationOperator;
-pub use parallel::{EvalPool, FitnessEngine};
+pub use parallel::{EvalPool, FitnessEngine, PoolError};
 pub use portfolio::{run_portfolio, PortfolioResult};
 pub use trace::{ConvergenceTrace, GenerationStats};

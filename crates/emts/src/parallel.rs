@@ -28,6 +28,32 @@
 //! [`evaluate_fitness`] / [`evaluate_fitness_bounded`] keep the original
 //! scope-per-call implementation as the reference path; the equivalence
 //! tests and the `emts_generation` bench compare the engine against it.
+//!
+//! # Self-healing
+//!
+//! The pool treats its workers as expendable. Failures are contained in
+//! three rings, all of which preserve the batch's results exactly (the
+//! mapper is deterministic, so a re-evaluated item is bit-identical):
+//!
+//! 1. **Per-item containment** — each worker evaluation runs under
+//!    [`std::panic::catch_unwind`]. A panic poisons at most that item: the
+//!    worker counts it (`pool.worker_panics`), discards its scratch (whose
+//!    buffers may be mid-update) and moves on; the caller later fills the
+//!    empty result slot serially (`pool.serial_fallbacks`).
+//! 2. **Worker respawn** — a panic that escapes ring 1 (e.g. a wedged
+//!    claim) unwinds the worker's whole incarnation; the outer loop in
+//!    [`worker_loop`] catches it, counts `pool.respawns` and starts a
+//!    fresh incarnation — new scratch, same OS thread — so the pool
+//!    returns to full strength without touching the thread scope.
+//! 3. **Batch deadline** — the dispatcher waits on the batch with a
+//!    timeout instead of indefinitely. If pending items stop making
+//!    progress ([`PoolError::Stalled`] — a worker died between claiming an
+//!    item and finishing it), the caller evaluates every missing item
+//!    itself and the run continues.
+//!
+//! Lock poisoning is recovered rather than propagated: every mutex here
+//! protects state that is consistent at all times (a `bool`, a channel
+//! receiver), so clearing the poison is correct — see [`lock_recover`].
 
 use exec_model::TimeMatrix;
 use obs::{NoopRecorder, Recorder};
@@ -36,14 +62,119 @@ use ptg::{Ptg, TaskId};
 use sched::{Allocation, BoundedEval, EvalRecord, EvalScratch, ListScheduler};
 use std::collections::HashMap;
 use std::hash::BuildHasherDefault;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
-use std::sync::{Arc, Condvar, Mutex, OnceLock};
-use std::time::Instant;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock, PoisonError};
+use std::time::{Duration, Instant};
 
 /// The shared disabled recorder every un-instrumented entry point points
 /// at (a zero-sized type, so this is purely a lifetime convenience).
 static NOOP: NoopRecorder = NoopRecorder;
+
+/// Why a pool interaction degraded. Degradation is never fatal: the
+/// dispatcher falls back to evaluating the affected items on the calling
+/// thread, so [`EvalPool::run_batch`] always returns a complete result.
+/// The most recent degradation is kept in [`EvalPool::last_error`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PoolError {
+    /// The batch channel had no receiver left, so no worker could be
+    /// handed the batch.
+    Disconnected,
+    /// A dispatched batch stopped making progress before completing — a
+    /// worker died between claiming an item and publishing its result.
+    Stalled {
+        /// Result slots still empty when the stall was declared.
+        missing: usize,
+    },
+}
+
+impl std::fmt::Display for PoolError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PoolError::Disconnected => write!(f, "evaluation pool channel disconnected"),
+            PoolError::Stalled { missing } => {
+                write!(f, "evaluation batch stalled with {missing} missing results")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PoolError {}
+
+/// Failure injection for the pool's self-healing tests.
+///
+/// The armed counters are consumed by *worker threads only* — the caller's
+/// own drain never checks them — so every injected failure exercises a
+/// recovery path instead of unwinding the EA. The hooks are process-global
+/// (tests that arm them must serialize) and cost one relaxed atomic load
+/// per worker evaluation when disarmed.
+#[doc(hidden)]
+pub mod sabotage {
+    use std::sync::atomic::{AtomicI64, Ordering};
+
+    static EVAL_PANICS: AtomicI64 = AtomicI64::new(0);
+    static WORKER_DEATHS: AtomicI64 = AtomicI64::new(0);
+
+    /// Arms the next `n` worker evaluations to panic mid-mapper (a
+    /// "poisoned allocation"): each leaves its result slot empty and costs
+    /// the worker its scratch.
+    pub fn arm_eval_panics(n: u64) {
+        EVAL_PANICS.store(n.min(i64::MAX as u64) as i64, Ordering::SeqCst);
+    }
+
+    /// Arms the next `n` batch-item claims to kill their worker's
+    /// incarnation outright: the claimed item is never finished, so the
+    /// batch stalls until the dispatcher's deadline fires.
+    pub fn arm_worker_deaths(n: u64) {
+        WORKER_DEATHS.store(n.min(i64::MAX as u64) as i64, Ordering::SeqCst);
+    }
+
+    /// Disarms both hooks.
+    pub fn disarm() {
+        EVAL_PANICS.store(0, Ordering::SeqCst);
+        WORKER_DEATHS.store(0, Ordering::SeqCst);
+    }
+
+    fn take(counter: &AtomicI64) -> bool {
+        if counter.load(Ordering::Relaxed) <= 0 {
+            return false;
+        }
+        counter.fetch_sub(1, Ordering::AcqRel) > 0
+    }
+
+    pub(super) fn eval_should_panic() -> bool {
+        take(&EVAL_PANICS)
+    }
+
+    pub(super) fn claim_should_die() -> bool {
+        take(&WORKER_DEATHS)
+    }
+}
+
+/// Locks `m`, recovering the guard if a thread panicked while holding it.
+///
+/// Every critical section around the pool's mutexes leaves the protected
+/// value consistent at all times (`done` is a single bool, the receiver's
+/// internal state is `mpsc`'s own), so a poisoned lock carries no torn
+/// data — clearing the poison is the correct recovery, not a masked bug.
+fn lock_recover<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// State shared between the pool handle and its workers. It lives on the
+/// stack frame of [`EvalPool::with_workers`] *outside* the thread scope,
+/// so respawned worker incarnations keep borrowing it.
+struct PoolCore {
+    /// Hands batches to workers; locked only for the handoff.
+    rx: Mutex<Receiver<Arc<Batch>>>,
+    /// Worker threads currently running `worker_loop`.
+    live: AtomicUsize,
+    /// Evaluations that panicked inside a worker (ring-1 containment).
+    panics: AtomicU64,
+    /// Worker incarnations restarted after an uncontained panic (ring 2).
+    respawns: AtomicU64,
+}
 
 /// Evaluates the makespan of every allocation, in parallel when asked.
 ///
@@ -118,6 +249,13 @@ struct Batch {
 
 /// Claims and evaluates items from `batch` until none remain.
 ///
+/// Worker threads pass `Some(core)`, which turns on ring-1 containment:
+/// the evaluation runs under `catch_unwind`, and a panicking item merely
+/// leaves its result slot empty (counted in `pool.worker_panics`; the
+/// scratch, possibly mid-update when the unwind hit, is rebuilt). The
+/// calling thread passes `None` and evaluates bare — a panic there is the
+/// caller's own bug and must propagate.
+///
 /// When recording, each evaluation's duration feeds the
 /// `pool.eval_seconds` latency histogram (callable from any thread).
 fn drain_batch<R: Recorder>(
@@ -126,58 +264,125 @@ fn drain_batch<R: Recorder>(
     batch: &Batch,
     scratch: &mut EvalScratch,
     rec: &R,
+    core: Option<&PoolCore>,
 ) {
     loop {
         let i = batch.next.fetch_add(1, Ordering::Relaxed);
         if i >= batch.allocs.len() {
             return;
         }
+        if core.is_some() && sabotage::claim_should_die() {
+            // Simulated hard death: unwind with the claim unfinished, so
+            // `pending` never reaches zero and the batch is left to the
+            // dispatcher's stall deadline. `worker_loop`'s outer ring
+            // catches this and respawns the incarnation.
+            panic!("sabotage: worker died mid-item");
+        }
         let eval_start = if R::ENABLED {
             Some(Instant::now())
         } else {
             None
         };
-        let outcome = ListScheduler.evaluate_bounded_obs(
-            g,
-            matrix,
-            &batch.allocs[i],
-            batch.cutoff,
-            scratch,
-            rec,
-        );
+        let outcome = if let Some(core) = core {
+            // AssertUnwindSafe: on Err the scratch (the only &mut crossing
+            // the boundary) is discarded wholesale, never observed torn.
+            let attempt = catch_unwind(AssertUnwindSafe(|| {
+                if sabotage::eval_should_panic() {
+                    panic!("sabotage: poisoned allocation");
+                }
+                ListScheduler.evaluate_bounded_obs(
+                    g,
+                    matrix,
+                    &batch.allocs[i],
+                    batch.cutoff,
+                    scratch,
+                    rec,
+                )
+            }));
+            match attempt {
+                Ok(outcome) => Some(outcome),
+                Err(_) => {
+                    core.panics.fetch_add(1, Ordering::Relaxed);
+                    if R::ENABLED {
+                        rec.add("pool.worker_panics", 1);
+                    }
+                    *scratch = EvalScratch::new();
+                    None
+                }
+            }
+        } else {
+            Some(ListScheduler.evaluate_bounded_obs(
+                g,
+                matrix,
+                &batch.allocs[i],
+                batch.cutoff,
+                scratch,
+                rec,
+            ))
+        };
         if let Some(t) = eval_start {
             rec.latency("pool.eval_seconds", t.elapsed().as_secs_f64());
         }
-        batch.results[i]
-            .set(outcome)
-            .expect("each index is claimed exactly once");
+        if let Some(outcome) = outcome {
+            // May lose a race against the dispatcher's fallback fill of
+            // the same slot; both compute the same value, so first wins.
+            let _ = batch.results[i].set(outcome);
+        }
         if batch.pending.fetch_sub(1, Ordering::AcqRel) == 1 {
-            *batch.done.lock().expect("no poisoned batch lock") = true;
+            *lock_recover(&batch.done) = true;
             batch.done_cv.notify_all();
         }
     }
 }
 
-/// A worker: one scratch for its whole lifetime, batches from the shared
-/// channel until the pool is dropped.
+/// A worker thread: runs incarnations of [`worker_incarnation`] until one
+/// ends cleanly (channel disconnect — the pool shut down). An incarnation
+/// that *panics* out — a failure that escaped per-item containment — is
+/// replaced by a fresh one on the same OS thread: new scratch, respawn
+/// counted. The thread scope never sees a panicked worker.
+fn worker_loop<R: Recorder>(g: &Ptg, matrix: &TimeMatrix, core: &PoolCore, rec: &R) {
+    /// Keeps `PoolCore::live` honest no matter how the thread exits.
+    struct LiveGuard<'a>(&'a AtomicUsize);
+    impl Drop for LiveGuard<'_> {
+        fn drop(&mut self) {
+            self.0.fetch_sub(1, Ordering::AcqRel);
+        }
+    }
+    // `live` was incremented at the spawn site, so the pool handle sees
+    // full strength from the moment it exists.
+    let _guard = LiveGuard(&core.live);
+    loop {
+        match catch_unwind(AssertUnwindSafe(|| {
+            worker_incarnation(g, matrix, core, rec)
+        })) {
+            Ok(()) => break,
+            Err(_) => {
+                core.respawns.fetch_add(1, Ordering::Relaxed);
+                if R::ENABLED {
+                    rec.add("pool.respawns", 1);
+                }
+            }
+        }
+    }
+}
+
+/// One worker incarnation: one scratch for its lifetime, batches from the
+/// shared channel until the pool is dropped.
 ///
-/// When recording, the worker accumulates its busy time locally and flushes
-/// it **once at shutdown**: total seconds into the flat `pool/worker_busy`
-/// phase, its personal total into the `pool.worker_busy_seconds` histogram
-/// (one sample per worker — the per-worker busy-time distribution), and
-/// its batch count into `pool.worker_batches`.
-fn worker_loop<R: Recorder>(
-    g: &Ptg,
-    matrix: &TimeMatrix,
-    rx: &Mutex<Receiver<Arc<Batch>>>,
-    rec: &R,
-) {
+/// When recording, the incarnation accumulates its busy time locally and
+/// flushes it **once at shutdown**: total seconds into the flat
+/// `pool/worker_busy` phase, its personal total into the
+/// `pool.worker_busy_seconds` histogram (one sample per worker — the
+/// per-worker busy-time distribution), and its batch count into
+/// `pool.worker_batches`. An incarnation that dies mid-batch loses its
+/// unflushed telemetry — an accepted imprecision of the failure path.
+fn worker_incarnation<R: Recorder>(g: &Ptg, matrix: &TimeMatrix, core: &PoolCore, rec: &R) {
     let mut scratch = EvalScratch::new();
     let mut busy = 0.0f64;
     let mut batches = 0u64;
     loop {
         // Hold the receiver lock only for the handoff, not the evaluation.
-        let msg = rx.lock().expect("no poisoned receiver lock").recv();
+        let msg = lock_recover(&core.rx).recv();
         match msg {
             Ok(batch) => {
                 let batch_start = if R::ENABLED {
@@ -185,7 +390,7 @@ fn worker_loop<R: Recorder>(
                 } else {
                     None
                 };
-                drain_batch(g, matrix, &batch, &mut scratch, rec);
+                drain_batch(g, matrix, &batch, &mut scratch, rec, Some(core));
                 if let Some(t) = batch_start {
                     busy += t.elapsed().as_secs_f64();
                     batches += 1;
@@ -221,7 +426,23 @@ pub struct EvalPool<'env, R: Recorder = NoopRecorder> {
     /// The calling thread's scratch.
     scratch: EvalScratch,
     rec: &'env R,
+    /// Shared worker-side state; `None` in serial mode.
+    core: Option<&'env PoolCore>,
+    /// Batch items the caller re-evaluated serially after the pool failed
+    /// to produce them (panicked or stalled items).
+    serial_fallbacks: u64,
+    /// The most recent degradation the dispatcher recovered from.
+    last_error: Option<PoolError>,
 }
+
+/// How long the dispatcher waits between progress checks on an
+/// outstanding batch.
+const STALL_WINDOW: Duration = Duration::from_millis(100);
+/// Consecutive windows without a single item completing before the batch
+/// is declared stalled. A false positive (a worker merely slow, not dead)
+/// only costs duplicated work: the caller and the worker race to fill the
+/// same write-once slot with the same deterministic value.
+const STALL_WINDOWS: u32 = 2;
 
 impl<'env> EvalPool<'env> {
     /// Runs `f` with a pool over `g`/`matrix`; workers live exactly as long
@@ -258,6 +479,20 @@ impl<'env, REC: Recorder> EvalPool<'env, REC> {
         } else {
             0
         };
+        Self::with_workers(g, matrix, workers, rec, f)
+    }
+
+    /// [`EvalPool::with_recorder`] with an explicit worker count instead
+    /// of one derived from the machine: benchmarks pin their concurrency
+    /// with it, and the self-healing tests use it to force a worker-backed
+    /// pool on single-core machines (where `with_recorder` chooses zero).
+    pub fn with_workers<T>(
+        g: &Ptg,
+        matrix: &TimeMatrix,
+        workers: usize,
+        rec: &REC,
+        f: impl FnOnce(&mut EvalPool<'_, REC>) -> T,
+    ) -> T {
         if workers == 0 {
             let mut pool = EvalPool {
                 g,
@@ -266,15 +501,28 @@ impl<'env, REC: Recorder> EvalPool<'env, REC> {
                 workers: 0,
                 scratch: EvalScratch::new(),
                 rec,
+                core: None,
+                serial_fallbacks: 0,
+                last_error: None,
             };
             return f(&mut pool);
         }
         let (tx, rx) = channel::<Arc<Batch>>();
-        let rx = Mutex::new(rx);
+        // Outlives the scope below, so respawned incarnations can keep
+        // borrowing it.
+        let core = PoolCore {
+            rx: Mutex::new(rx),
+            live: AtomicUsize::new(0),
+            panics: AtomicU64::new(0),
+            respawns: AtomicU64::new(0),
+        };
         std::thread::scope(|scope| {
             for _ in 0..workers {
-                let rx = &rx;
-                scope.spawn(move || worker_loop(g, matrix, rx, rec));
+                // Incremented here (not in the worker) so the handle sees
+                // full strength from the moment it exists.
+                core.live.fetch_add(1, Ordering::AcqRel);
+                let core = &core;
+                scope.spawn(move || worker_loop(g, matrix, core, rec));
             }
             let mut pool = EvalPool {
                 g,
@@ -283,6 +531,9 @@ impl<'env, REC: Recorder> EvalPool<'env, REC> {
                 workers,
                 scratch: EvalScratch::new(),
                 rec,
+                core: Some(&core),
+                serial_fallbacks: 0,
+                last_error: None,
             };
             let out = f(&mut pool);
             // Dropping the pool drops the sender; workers see the
@@ -295,6 +546,36 @@ impl<'env, REC: Recorder> EvalPool<'env, REC> {
     /// Number of worker threads (0 in serial mode).
     pub fn workers(&self) -> usize {
         self.workers
+    }
+
+    /// Worker threads currently alive (0 in serial mode). Dips below
+    /// [`EvalPool::workers`] only in the instant between a worker thread
+    /// dying outright and — since incarnations respawn in place — never
+    /// coming back; a persistent 0 means the pool is dead weight.
+    pub fn live_workers(&self) -> usize {
+        self.core.map_or(0, |c| c.live.load(Ordering::Acquire))
+    }
+
+    /// Evaluations that panicked inside a worker and were contained
+    /// (ring 1): the affected items were re-evaluated on the caller.
+    pub fn worker_panics(&self) -> u64 {
+        self.core.map_or(0, |c| c.panics.load(Ordering::Relaxed))
+    }
+
+    /// Worker incarnations restarted after an uncontained panic (ring 2).
+    pub fn respawns(&self) -> u64 {
+        self.core.map_or(0, |c| c.respawns.load(Ordering::Relaxed))
+    }
+
+    /// Batch items the caller re-evaluated serially because the pool
+    /// failed to produce them (panicked evaluations, stalled claims).
+    pub fn serial_fallbacks(&self) -> u64 {
+        self.serial_fallbacks
+    }
+
+    /// The most recent degradation the dispatcher recovered from, if any.
+    pub fn last_error(&self) -> Option<PoolError> {
+        self.last_error
     }
 
     /// The recorder this pool reports into.
@@ -358,9 +639,18 @@ impl<'env, REC: Recorder> EvalPool<'env, REC> {
         // One handle per worker; a worker still busy with nothing (batches
         // are strictly sequential) picks its copy up immediately. A stale
         // copy that outlives its batch drains zero items and is discarded.
+        let mut disconnected = false;
         for _ in 0..self.workers.min(n) {
-            tx.send(Arc::clone(&batch))
-                .expect("workers outlive the pool handle");
+            if tx.send(Arc::clone(&batch)).is_err() {
+                // No receiver left — impossible while the scope lives, but
+                // typed recovery keeps it an inconvenience: the caller
+                // simply drains the whole batch itself below.
+                disconnected = true;
+                break;
+            }
+        }
+        if disconnected {
+            self.last_error = Some(PoolError::Disconnected);
         }
         let drain_start = if let Some(t) = dispatch_start {
             self.rec
@@ -369,12 +659,44 @@ impl<'env, REC: Recorder> EvalPool<'env, REC> {
         } else {
             None
         };
-        drain_batch(self.g, self.matrix, &batch, &mut self.scratch, self.rec);
-        let mut done = batch.done.lock().expect("no poisoned batch lock");
-        while !*done {
-            done = batch.done_cv.wait(done).expect("no poisoned batch lock");
+        drain_batch(
+            self.g,
+            self.matrix,
+            &batch,
+            &mut self.scratch,
+            self.rec,
+            None,
+        );
+        if wait_for_batch(&batch) {
+            let missing = batch.results.iter().filter(|s| s.get().is_none()).count();
+            self.last_error = Some(PoolError::Stalled { missing });
         }
-        drop(done);
+        // Fill every slot the workers failed to produce — items lost to a
+        // contained panic (batch completed, slot empty) or to a stall.
+        // The mapper is deterministic, so a refilled item is bit-identical
+        // to what a healthy worker would have produced.
+        let mut fallbacks = 0u64;
+        for (i, slot) in batch.results.iter().enumerate() {
+            if slot.get().is_some() {
+                continue;
+            }
+            let outcome = ListScheduler.evaluate_bounded_obs(
+                self.g,
+                self.matrix,
+                &batch.allocs[i],
+                cutoff,
+                &mut self.scratch,
+                self.rec,
+            );
+            let _ = slot.set(outcome);
+            fallbacks += 1;
+        }
+        if fallbacks > 0 {
+            self.serial_fallbacks += fallbacks;
+            if REC::ENABLED {
+                self.rec.add("pool.serial_fallbacks", fallbacks);
+            }
+        }
         if let Some(t) = drain_start {
             self.rec.phase_add("pool/drain", t.elapsed().as_secs_f64());
             self.rec.add("pool.batches", 1);
@@ -383,9 +705,47 @@ impl<'env, REC: Recorder> EvalPool<'env, REC> {
         batch
             .results
             .iter()
-            .map(|slot| *slot.get().expect("finished batch has every result"))
+            .map(|slot| {
+                *slot
+                    .get()
+                    .expect("every slot is filled after the fallback pass")
+            })
             .collect()
     }
+}
+
+/// Waits until `batch` completes or stalls; true means stalled.
+///
+/// The dispatcher has already drained everything it could claim, so the
+/// only open items are claims held by workers. A healthy worker finishes
+/// its claim in far less than a window; [`STALL_WINDOWS`] consecutive
+/// windows where not a single item completes mean a claim died with its
+/// worker and will never finish on its own.
+fn wait_for_batch(batch: &Batch) -> bool {
+    let mut done = lock_recover(&batch.done);
+    let mut last_pending = batch.pending.load(Ordering::Acquire);
+    let mut idle_windows = 0u32;
+    while !*done {
+        let (guard, _timeout) = batch
+            .done_cv
+            .wait_timeout(done, STALL_WINDOW)
+            .unwrap_or_else(PoisonError::into_inner);
+        done = guard;
+        if *done {
+            break;
+        }
+        let pending = batch.pending.load(Ordering::Acquire);
+        if pending == last_pending {
+            idle_windows += 1;
+            if idle_windows >= STALL_WINDOWS {
+                return true;
+            }
+        } else {
+            idle_windows = 0;
+            last_pending = pending;
+        }
+    }
+    false
 }
 
 /// A completed evaluation's cached outcome.
@@ -751,6 +1111,30 @@ impl<'p, 'env, R: Recorder> FitnessEngine<'p, 'env, R> {
     pub fn prefix_reuse_events(&self) -> u64 {
         self.prefix_reuse_events
     }
+
+    /// Pool health: worker evaluations that panicked and were contained.
+    pub fn worker_panics(&self) -> u64 {
+        self.pool.worker_panics()
+    }
+
+    /// Pool health: worker incarnations respawned after an uncontained
+    /// panic.
+    pub fn pool_respawns(&self) -> u64 {
+        self.pool.respawns()
+    }
+
+    /// Pool health: batch items re-evaluated serially on the caller after
+    /// the pool failed to produce them.
+    pub fn serial_fallbacks(&self) -> u64 {
+        self.pool.serial_fallbacks()
+    }
+
+    /// True when a worker-backed pool has lost every worker: batches
+    /// dispatched to it would all come back through the stall deadline, so
+    /// the EA switches to the serial delta path instead.
+    pub fn pool_degraded(&self) -> bool {
+        self.pool.workers() > 0 && self.pool.live_workers() == 0
+    }
 }
 
 #[cfg(test)]
@@ -1041,6 +1425,126 @@ mod tests {
             );
             assert_eq!(engine.cache_misses(), misses_after_first + 1);
         });
+    }
+
+    /// Serializes the sabotage-hook tests (the hooks are process-global).
+    fn sabotage_guard() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: Mutex<()> = Mutex::new(());
+        lock_recover(&LOCK)
+    }
+
+    #[test]
+    fn worker_panics_are_contained_and_results_stay_exact() {
+        let (g, m, allocs) = setup();
+        let reference = evaluate_fitness(&g, &m, &allocs, false);
+        let _serial = sabotage_guard();
+        // Every worker evaluation panics; the caller's own drain is
+        // unaffected, so each batch must still come back complete and
+        // bit-identical — panicked items refilled serially.
+        sabotage::arm_eval_panics(u64::MAX);
+        EvalPool::with_workers(&g, &m, 2, &NoopRecorder, |pool| {
+            for round in 0..200 {
+                let got: Vec<f64> = pool
+                    .run_batch(allocs.clone(), f64::INFINITY)
+                    .into_iter()
+                    .map(|o| match o {
+                        BoundedEval::Complete { makespan, .. } => makespan,
+                        BoundedEval::Rejected => unreachable!("infinite cutoff"),
+                    })
+                    .collect();
+                assert_eq!(reference, got, "round {round}");
+                if pool.worker_panics() > 0 {
+                    break;
+                }
+            }
+            assert!(
+                pool.worker_panics() > 0,
+                "workers never claimed an item in 200 batches"
+            );
+            assert_eq!(
+                pool.worker_panics(),
+                pool.serial_fallbacks(),
+                "every panicked item must be refilled by the caller"
+            );
+            assert_eq!(pool.live_workers(), 2, "contained panics kill no worker");
+            assert_eq!(pool.respawns(), 0);
+        });
+        sabotage::disarm();
+    }
+
+    #[test]
+    fn dead_worker_stalls_the_batch_and_the_caller_recovers() {
+        let (g, m, allocs) = setup();
+        let reference = evaluate_fitness(&g, &m, &allocs, false);
+        let _serial = sabotage_guard();
+        sabotage::arm_worker_deaths(1);
+        EvalPool::with_workers(&g, &m, 2, &NoopRecorder, |pool| {
+            for round in 0..200 {
+                let got: Vec<f64> = pool
+                    .run_batch(allocs.clone(), f64::INFINITY)
+                    .into_iter()
+                    .map(|o| match o {
+                        BoundedEval::Complete { makespan, .. } => makespan,
+                        BoundedEval::Rejected => unreachable!("infinite cutoff"),
+                    })
+                    .collect();
+                assert_eq!(reference, got, "round {round}");
+                if pool.respawns() > 0 {
+                    break;
+                }
+            }
+            assert_eq!(pool.respawns(), 1, "the dead incarnation must respawn");
+            assert!(
+                pool.serial_fallbacks() >= 1,
+                "the orphaned claim must be refilled by the caller"
+            );
+            assert!(
+                matches!(pool.last_error(), Some(PoolError::Stalled { missing }) if missing >= 1),
+                "expected a stall, got {:?}",
+                pool.last_error()
+            );
+            assert_eq!(pool.live_workers(), 2, "respawn restores full strength");
+            // The pool keeps serving batches after the incident.
+            let after: Vec<f64> = pool
+                .run_batch(allocs.clone(), f64::INFINITY)
+                .into_iter()
+                .map(|o| match o {
+                    BoundedEval::Complete { makespan, .. } => makespan,
+                    BoundedEval::Rejected => unreachable!("infinite cutoff"),
+                })
+                .collect();
+            assert_eq!(reference, after);
+        });
+        sabotage::disarm();
+    }
+
+    #[test]
+    fn pool_error_messages_are_one_line() {
+        let d = PoolError::Disconnected.to_string();
+        let s = PoolError::Stalled { missing: 3 }.to_string();
+        assert!(!d.contains('\n') && !s.contains('\n'));
+        assert!(s.contains('3'));
+    }
+
+    #[test]
+    fn forced_worker_count_matches_serial_results() {
+        let (g, m, allocs) = setup();
+        let reference = evaluate_fitness(&g, &m, &allocs, false);
+        let _serial = sabotage_guard(); // results are sabotage-sensitive
+        for workers in [1, 3] {
+            let got = EvalPool::with_workers(&g, &m, workers, &NoopRecorder, |pool| {
+                assert_eq!(pool.workers(), workers);
+                assert_eq!(pool.live_workers(), workers);
+                pool.run_batch(allocs.clone(), f64::INFINITY)
+                    .into_iter()
+                    .map(|o| match o {
+                        BoundedEval::Complete { makespan, .. } => makespan,
+                        BoundedEval::Rejected => unreachable!("infinite cutoff"),
+                    })
+                    .collect::<Vec<_>>()
+            });
+            assert_eq!(reference, got, "workers={workers}");
+        }
     }
 
     #[test]

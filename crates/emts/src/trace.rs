@@ -97,6 +97,18 @@ pub struct ConvergenceTrace {
     /// no-op (counted in `cache_hits` too).
     #[serde(default)]
     pub noop_skips: usize,
+    /// Worker evaluations that panicked and were contained by the pool
+    /// (the affected items were re-evaluated on the caller — see
+    /// `serial_fallbacks`).
+    #[serde(default)]
+    pub worker_panics: u64,
+    /// Worker incarnations the pool respawned after an uncontained panic.
+    #[serde(default)]
+    pub pool_respawns: u64,
+    /// Batch items the caller re-evaluated serially after the pool failed
+    /// to produce them.
+    #[serde(default)]
+    pub serial_fallbacks: u64,
 }
 
 impl ConvergenceTrace {

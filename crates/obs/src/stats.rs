@@ -4,7 +4,7 @@ use crate::hist::LogHistogram;
 use crate::recorder::Recorder;
 use crate::report::{PhaseStat, RunReport};
 use std::collections::BTreeMap;
-use std::sync::Mutex;
+use std::sync::{Mutex, MutexGuard, PoisonError};
 use std::time::Instant;
 
 /// Aggregating recorder: spans, counters, gauges and histograms behind one
@@ -41,6 +41,17 @@ struct OpenSpan {
 }
 
 impl StatsRecorder {
+    /// Locks the aggregate state, recovering from a poisoned lock.
+    ///
+    /// Every critical section below performs a handful of map updates that
+    /// never panic halfway through a logically-coupled pair, so a poison
+    /// flag (left by an instrumented thread that panicked for unrelated
+    /// reasons, e.g. a contained worker-pool panic) carries no torn data.
+    /// Telemetry must outlive such failures — it is how they get reported.
+    fn locked(&self) -> MutexGuard<'_, Inner> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
     /// A fresh recorder; wall time counts from this moment.
     pub fn new() -> Self {
         StatsRecorder {
@@ -59,7 +70,7 @@ impl StatsRecorder {
     /// Open spans contribute nothing until exited, so snapshot after the
     /// instrumented work completes. `source` names the producing binary.
     pub fn report(&self, source: &str) -> RunReport {
-        let inner = self.inner.lock().expect("recorder lock");
+        let inner = self.locked();
         debug_assert!(
             inner.stack.is_empty(),
             "snapshot taken with open spans: {:?}",
@@ -80,20 +91,12 @@ impl StatsRecorder {
 
     /// Current value of counter `name` (0 if never written).
     pub fn counter(&self, name: &str) -> u64 {
-        self.inner
-            .lock()
-            .expect("recorder lock")
-            .counters
-            .get(name)
-            .copied()
-            .unwrap_or(0)
+        self.locked().counters.get(name).copied().unwrap_or(0)
     }
 
     /// Accumulated seconds of phase `name` (0 if never recorded).
     pub fn phase_seconds(&self, name: &str) -> f64 {
-        self.inner
-            .lock()
-            .expect("recorder lock")
+        self.locked()
             .phases
             .get(name)
             .map(|p| p.seconds)
@@ -112,7 +115,7 @@ impl Recorder for StatsRecorder {
 
     fn span_enter(&self, name: &'static str) {
         let entered = Instant::now();
-        let mut inner = self.inner.lock().expect("recorder lock");
+        let mut inner = self.locked();
         let path = match inner.stack.last() {
             Some(parent) => format!("{}/{name}", parent.path),
             None => name.to_string(),
@@ -121,7 +124,7 @@ impl Recorder for StatsRecorder {
     }
 
     fn span_exit(&self, name: &'static str) {
-        let mut inner = self.inner.lock().expect("recorder lock");
+        let mut inner = self.locked();
         let Some(span) = inner.stack.pop() else {
             debug_assert!(false, "span_exit(\"{name}\") with no span open");
             return;
@@ -138,24 +141,24 @@ impl Recorder for StatsRecorder {
     }
 
     fn phase_add(&self, name: &'static str, seconds: f64) {
-        let mut inner = self.inner.lock().expect("recorder lock");
+        let mut inner = self.locked();
         let stat = inner.phases.entry(name.to_string()).or_default();
         stat.seconds += seconds;
         stat.count += 1;
     }
 
     fn add(&self, name: &'static str, delta: u64) {
-        let mut inner = self.inner.lock().expect("recorder lock");
+        let mut inner = self.locked();
         *inner.counters.entry(name.to_string()).or_insert(0) += delta;
     }
 
     fn gauge(&self, name: &'static str, value: f64) {
-        let mut inner = self.inner.lock().expect("recorder lock");
+        let mut inner = self.locked();
         inner.gauges.insert(name.to_string(), value);
     }
 
     fn latency(&self, name: &'static str, seconds: f64) {
-        let mut inner = self.inner.lock().expect("recorder lock");
+        let mut inner = self.locked();
         inner
             .histograms
             .entry(name.to_string())

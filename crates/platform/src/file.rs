@@ -85,10 +85,15 @@ pub fn parse_platform(input: &str) -> Result<Cluster, PlatformFileError> {
                 }
             }
             "processors" => {
-                let v: u32 = value.parse().map_err(|_| PlatformFileError::BadValue {
-                    line: line_no,
-                    key: key.into(),
-                    value: value.into(),
+                // Validated here (not left to `Cluster::new`'s asserts):
+                // a file is user input, so a zero processor count must
+                // surface as an error, never a panic.
+                let v: u32 = value.parse().ok().filter(|&v| v >= 1).ok_or_else(|| {
+                    PlatformFileError::BadValue {
+                        line: line_no,
+                        key: key.into(),
+                        value: value.into(),
+                    }
                 })?;
                 if processors.replace(v).is_some() {
                     return Err(PlatformFileError::Duplicate {
@@ -98,11 +103,15 @@ pub fn parse_platform(input: &str) -> Result<Cluster, PlatformFileError> {
                 }
             }
             "speed_gflops" => {
-                let v: f64 = value.parse().map_err(|_| PlatformFileError::BadValue {
-                    line: line_no,
-                    key: key.into(),
-                    value: value.into(),
-                })?;
+                let v: f64 = value
+                    .parse()
+                    .ok()
+                    .filter(|&v: &f64| v.is_finite() && v > 0.0)
+                    .ok_or_else(|| PlatformFileError::BadValue {
+                        line: line_no,
+                        key: key.into(),
+                        value: value.into(),
+                    })?;
                 if speed.replace(v).is_some() {
                     return Err(PlatformFileError::Duplicate {
                         line: line_no,
@@ -184,6 +193,28 @@ mod tests {
     fn bad_value_is_reported_with_position() {
         let err = parse_platform("processors many\nspeed_gflops 1").unwrap_err();
         assert!(matches!(err, PlatformFileError::BadValue { line: 1, .. }));
+    }
+
+    #[test]
+    fn out_of_domain_values_are_errors_not_panics() {
+        // These parse as numbers but violate the cluster's invariants; a
+        // platform file is user input, so they must surface as typed
+        // errors (Cluster::new would assert).
+        for bad in [
+            "processors 0\nspeed_gflops 1",
+            "processors 4\nspeed_gflops 0",
+            "processors 4\nspeed_gflops -2.5",
+            "processors 4\nspeed_gflops inf",
+            "processors 4\nspeed_gflops NaN",
+        ] {
+            assert!(
+                matches!(
+                    parse_platform(bad).unwrap_err(),
+                    PlatformFileError::BadValue { .. }
+                ),
+                "{bad:?} must be rejected"
+            );
+        }
     }
 
     #[test]

@@ -28,10 +28,12 @@ pub mod incremental;
 pub mod mapper;
 pub mod metrics;
 pub mod multi;
+pub mod reschedule;
 pub mod schedule;
 pub mod validate;
 
 pub use allocation::Allocation;
 pub use incremental::{DeltaEval, EvalRecord, CHECKPOINT_INTERVAL};
 pub use mapper::{BoundedEval, EvalScratch, InsertionScheduler, ListScheduler, Mapper};
+pub use reschedule::{Rescheduler, ResumeState, RunningTask};
 pub use schedule::{Placement, Schedule};

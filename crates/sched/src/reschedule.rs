@@ -1,0 +1,323 @@
+//! Rescheduling the unfinished remainder of a schedule after a fault.
+//!
+//! When a processor fails mid-execution the original placements are no
+//! longer executable: pending tasks may reference the dead processor, and
+//! wide tasks may no longer fit on the surviving machines. The
+//! [`Rescheduler`] re-runs the paper's mapping step — ready tasks by
+//! decreasing bottom level, each on the earliest-free processor set — over
+//! exactly the *unfinished remainder* of the graph, on the *surviving*
+//! processors, around the tasks that are still running. This is graceful
+//! degradation: the plan shrinks to the machines that are left instead of
+//! aborting the run.
+//!
+//! Invariants of the produced plan (asserted in tests):
+//!
+//! * every unfinished, non-running task receives exactly one placement,
+//! * placements use only surviving processors, pairwise disjoint in
+//!   time per processor, and never overlap a running task's processors
+//!   before that task finishes,
+//! * no task starts before `now`, before a predecessor's (re)planned
+//!   finish, or on more processors than survive,
+//! * allocations are clamped to the survivor count; durations are re-read
+//!   from the time matrix at the clamped width.
+
+use crate::allocation::Allocation;
+use crate::schedule::Placement;
+use exec_model::TimeMatrix;
+use ptg::critpath::bottom_levels;
+use ptg::{Ptg, TaskId};
+
+/// A task that is still executing while the rescheduler plans around it.
+#[derive(Debug, Clone)]
+pub struct RunningTask {
+    /// The executing task.
+    pub task: TaskId,
+    /// Its (estimated) finish time; successors become data-ready then.
+    pub finish: f64,
+    /// The surviving processors it occupies until `finish`.
+    pub processors: Vec<u32>,
+}
+
+/// Execution state at the moment of rescheduling.
+#[derive(Debug, Clone)]
+pub struct ResumeState {
+    /// Current simulation time; nothing may be planned before it.
+    pub now: f64,
+    /// Liveness per processor index (`alive[q]` — dead processors are
+    /// never used again).
+    pub alive: Vec<bool>,
+    /// Per-task finish time for tasks that already completed.
+    pub finished: Vec<Option<f64>>,
+    /// Tasks currently executing on surviving processors.
+    pub running: Vec<RunningTask>,
+}
+
+impl ResumeState {
+    /// Number of surviving processors.
+    pub fn survivors(&self) -> u32 {
+        self.alive.iter().filter(|&&a| a).count() as u32
+    }
+}
+
+/// Re-runs bottom-level list scheduling over the unfinished remainder.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Rescheduler;
+
+impl Rescheduler {
+    /// Plans every unfinished, non-running task of `g` onto the surviving
+    /// processors of `state`. Widths are `min(alloc(v), survivors)`;
+    /// durations come from `matrix` at that width. Returns the new
+    /// placements in planning (priority) order.
+    ///
+    /// # Panics
+    /// Panics if no processor survives or `state`'s vectors disagree with
+    /// `g` in size — both indicate a caller bug, not bad input.
+    pub fn reschedule(
+        &self,
+        g: &Ptg,
+        matrix: &TimeMatrix,
+        alloc: &Allocation,
+        state: &ResumeState,
+    ) -> Vec<Placement> {
+        let n = g.task_count();
+        assert_eq!(state.finished.len(), n, "finished/PTG size mismatch");
+        assert_eq!(alloc.len(), n, "allocation/PTG size mismatch");
+        let survivors = state.survivors();
+        assert!(
+            survivors >= 1,
+            "rescheduling requires a surviving processor"
+        );
+
+        // A task is "settled" when the planner can treat its finish time as
+        // known: finished, or running with a planned finish.
+        let mut settled_finish: Vec<Option<f64>> = state.finished.clone();
+        for r in &state.running {
+            assert!(
+                settled_finish[r.task.index()].is_none(),
+                "{} both finished and running",
+                r.task
+            );
+            settled_finish[r.task.index()] = Some(r.finish);
+        }
+
+        // Priority: bottom levels over the remainder, with settled tasks
+        // contributing zero time (their work is already paid for).
+        let mut times = vec![0.0f64; n];
+        let mut width = vec![0u32; n];
+        for v in g.task_ids() {
+            if settled_finish[v.index()].is_none() {
+                let w = alloc.of(v).min(survivors);
+                width[v.index()] = w;
+                times[v.index()] = matrix.time(v, w);
+            }
+        }
+        let bl = bottom_levels(g, &times);
+
+        // Processor availability: `now` for idle survivors, the running
+        // task's finish for occupied ones; dead processors never appear.
+        let mut avail: Vec<(f64, u32)> = state
+            .alive
+            .iter()
+            .enumerate()
+            .filter(|&(_, &alive)| alive)
+            .map(|(q, _)| (state.now, q as u32))
+            .collect();
+        for r in &state.running {
+            for &q in &r.processors {
+                let slot = avail
+                    .iter_mut()
+                    .find(|(_, p)| *p == q)
+                    .expect("running tasks occupy surviving processors");
+                slot.0 = slot.0.max(r.finish);
+            }
+        }
+
+        // Data readiness and in-degrees over the remainder only.
+        let mut data_ready = vec![state.now; n];
+        let mut in_deg = vec![0usize; n];
+        for v in g.task_ids() {
+            if settled_finish[v.index()].is_some() {
+                continue;
+            }
+            for &p in g.predecessors(v) {
+                match settled_finish[p.index()] {
+                    Some(f) => data_ready[v.index()] = data_ready[v.index()].max(f),
+                    None => in_deg[v.index()] += 1,
+                }
+            }
+        }
+
+        // Plain list scheduling: ready tasks by decreasing bottom level
+        // (ties toward the smaller id), each on the earliest-free
+        // `width(v)` survivors (ties toward the smaller index).
+        let mut ready: Vec<TaskId> = g
+            .task_ids()
+            .filter(|v| settled_finish[v.index()].is_none() && in_deg[v.index()] == 0)
+            .collect();
+        let mut placements = Vec::new();
+        while let Some(pos) = ready
+            .iter()
+            .enumerate()
+            .max_by(|(_, a), (_, b)| {
+                bl[a.index()]
+                    .partial_cmp(&bl[b.index()])
+                    .expect("bottom levels are finite")
+                    .then_with(|| b.cmp(a))
+            })
+            .map(|(i, _)| i)
+        {
+            let v = ready.swap_remove(pos);
+            let s = width[v.index()] as usize;
+            // Earliest-free survivors: sort by (availability, index) and
+            // take the first s.
+            avail.sort_unstable_by(|a, b| {
+                a.0.partial_cmp(&b.0)
+                    .expect("availability is finite")
+                    .then_with(|| a.1.cmp(&b.1))
+            });
+            let procs_free = avail[s - 1].0;
+            let start = data_ready[v.index()].max(procs_free);
+            let finish = start + times[v.index()];
+            let mut processors: Vec<u32> = avail[..s].iter().map(|&(_, q)| q).collect();
+            processors.sort_unstable();
+            for slot in &mut avail[..s] {
+                slot.0 = finish;
+            }
+            placements.push(Placement {
+                task: v,
+                start,
+                finish,
+                processors,
+            });
+            for &w in g.successors(v) {
+                data_ready[w.index()] = data_ready[w.index()].max(finish);
+                in_deg[w.index()] -= 1;
+                if in_deg[w.index()] == 0 {
+                    ready.push(w);
+                }
+            }
+        }
+        placements
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mapper::{ListScheduler, Mapper};
+    use exec_model::Amdahl;
+    use ptg::PtgBuilder;
+
+    fn diamond() -> Ptg {
+        let mut b = PtgBuilder::new();
+        for i in 0..4 {
+            b.add_task(format!("t{i}"), 2e9, 0.0);
+        }
+        b.add_edge(TaskId(0), TaskId(1)).unwrap();
+        b.add_edge(TaskId(0), TaskId(2)).unwrap();
+        b.add_edge(TaskId(1), TaskId(3)).unwrap();
+        b.add_edge(TaskId(2), TaskId(3)).unwrap();
+        b.build().unwrap()
+    }
+
+    fn fresh_state(n: usize, p: usize) -> ResumeState {
+        ResumeState {
+            now: 0.0,
+            alive: vec![true; p],
+            finished: vec![None; n],
+            running: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn full_replan_from_scratch_matches_the_list_scheduler() {
+        let g = diamond();
+        let m = TimeMatrix::compute(&g, &Amdahl, 1e9, 4);
+        let alloc = Allocation::from_vec(vec![2, 1, 2, 4]);
+        let reference = ListScheduler.map(&g, &m, &alloc);
+        let mut placements = Rescheduler.reschedule(&g, &m, &alloc, &fresh_state(4, 4));
+        placements.sort_by_key(|p| p.task);
+        for (got, want) in placements.iter().zip(&reference.placements) {
+            assert_eq!(got.task, want.task);
+            assert_eq!(got.start, want.start, "{}", got.task);
+            assert_eq!(got.finish, want.finish, "{}", got.task);
+        }
+    }
+
+    #[test]
+    fn dead_processors_are_never_used_and_widths_clamp() {
+        let g = diamond();
+        let m = TimeMatrix::compute(&g, &Amdahl, 1e9, 4);
+        let alloc = Allocation::from_vec(vec![4, 4, 4, 4]);
+        let mut state = fresh_state(4, 4);
+        state.alive = vec![true, false, true, false]; // 2 survivors
+        let placements = Rescheduler.reschedule(&g, &m, &alloc, &state);
+        assert_eq!(placements.len(), 4);
+        for pl in &placements {
+            assert!(pl.processors.iter().all(|&q| q == 0 || q == 2), "{pl:?}");
+            assert!(pl.width() <= 2, "{pl:?}");
+        }
+    }
+
+    #[test]
+    fn running_tasks_block_their_processors_and_feed_successors() {
+        let g = diamond();
+        let m = TimeMatrix::compute(&g, &Amdahl, 1e9, 4);
+        let alloc = Allocation::from_vec(vec![1, 1, 1, 1]);
+        let mut state = fresh_state(4, 4);
+        state.now = 3.0;
+        state.finished[0] = Some(2.0);
+        // Task 1 is running on processor 0 until t = 5.
+        state.running.push(RunningTask {
+            task: TaskId(1),
+            finish: 5.0,
+            processors: vec![0],
+        });
+        let placements = Rescheduler.reschedule(&g, &m, &alloc, &state);
+        // Only tasks 2 and 3 get new placements.
+        let mut tasks: Vec<TaskId> = placements.iter().map(|p| p.task).collect();
+        tasks.sort();
+        assert_eq!(tasks, vec![TaskId(2), TaskId(3)]);
+        let p2 = placements.iter().find(|p| p.task == TaskId(2)).unwrap();
+        let p3 = placements.iter().find(|p| p.task == TaskId(3)).unwrap();
+        assert!(p2.start >= 3.0, "nothing starts before now");
+        // Task 3 waits for both the running task 1 (finish 5) and task 2.
+        assert!(p3.start >= 5.0);
+        assert!(p3.start >= p2.finish);
+    }
+
+    #[test]
+    fn replanned_schedule_respects_precedence_and_capacity() {
+        let g = diamond();
+        let m = TimeMatrix::compute(&g, &Amdahl, 1e9, 4);
+        let alloc = Allocation::from_vec(vec![2, 3, 2, 4]);
+        let mut state = fresh_state(4, 4);
+        state.alive[3] = false;
+        let placements = Rescheduler.reschedule(&g, &m, &alloc, &state);
+        // Precedence between replanned tasks.
+        let by_task = |t: u32| placements.iter().find(|p| p.task == TaskId(t)).unwrap();
+        assert!(by_task(1).start >= by_task(0).finish);
+        assert!(by_task(3).start >= by_task(1).finish);
+        assert!(by_task(3).start >= by_task(2).finish);
+        // No processor runs two tasks at once.
+        for (i, a) in placements.iter().enumerate() {
+            for b in &placements[i + 1..] {
+                assert!(
+                    !(a.overlaps_in_time(b) && a.shares_processor(b)),
+                    "{a:?} overlaps {b:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "surviving processor")]
+    fn all_dead_platform_is_rejected() {
+        let g = diamond();
+        let m = TimeMatrix::compute(&g, &Amdahl, 1e9, 4);
+        let alloc = Allocation::ones(4);
+        let mut state = fresh_state(4, 4);
+        state.alive = vec![false; 4];
+        let _ = Rescheduler.reschedule(&g, &m, &alloc, &state);
+    }
+}

@@ -9,19 +9,26 @@
 //! usage: emts-sim --platform <file> --ptg <file>
 //!                 [--algorithm cpa|hcpa|mcpa|delta|emts5|emts10]
 //!                 [--model model1|model2] [--seed <u64>]
+//!                 [--faults <spec>] [--trials <n>]
 //!                 [--gantt] [--json] [--report <out.json>]
 //! ```
 //!
 //! `--report` writes a schema-versioned [`obs::RunReport`] (phase spans,
 //! counters, histograms, convergence trace) that `emts-report` can
 //! pretty-print or diff.
+//!
+//! `--faults` replays the produced schedule under seeded fault injection
+//! (`--trials` independent realizations, default 20) and reports the
+//! makespan-degradation distribution; see [`sim::faults::FaultSpec::parse`]
+//! for the spec grammar, e.g. `--faults "seed=7,perturb=0.2,crash=0.05"`.
 
 use exec_model::PaperModel;
 use obs::StatsRecorder;
 use platform::file::parse_platform;
 use serde::Serialize;
+use sim::faults::FaultSpec;
 use sim::formats::parse_ptg;
-use sim::runner::{run_obs, Algorithm};
+use sim::runner::{run_obs, run_with_faults, Algorithm};
 
 struct Args {
     platform: String,
@@ -29,6 +36,8 @@ struct Args {
     algorithm: Algorithm,
     model: PaperModel,
     seed: u64,
+    faults: Option<FaultSpec>,
+    trials: usize,
     gantt: bool,
     json: bool,
     report: Option<String>,
@@ -40,6 +49,8 @@ fn parse_args() -> Result<Args, String> {
     let mut algorithm = Algorithm::Emts5;
     let mut model = PaperModel::Model2;
     let mut seed = 2011u64;
+    let mut faults = None;
+    let mut trials = 20usize;
     let mut gantt = false;
     let mut json = false;
     let mut report = None;
@@ -64,6 +75,19 @@ fn parse_args() -> Result<Args, String> {
                     .parse()
                     .map_err(|_| "bad --seed value".to_string())?;
             }
+            "--faults" => {
+                let v = iter.next().ok_or("--faults needs a spec")?;
+                faults = Some(FaultSpec::parse(&v).map_err(|e| e.to_string())?);
+            }
+            "--trials" => {
+                trials = iter
+                    .next()
+                    .ok_or("--trials needs a count")?
+                    .parse()
+                    .ok()
+                    .filter(|&t| t >= 1)
+                    .ok_or("bad --trials value (need an integer ≥ 1)")?;
+            }
             "--gantt" => gantt = true,
             "--json" => json = true,
             "--report" => report = Some(iter.next().ok_or("--report needs a file")?),
@@ -76,6 +100,8 @@ fn parse_args() -> Result<Args, String> {
         algorithm,
         model,
         seed,
+        faults,
+        trials,
         gantt,
         json,
         report,
@@ -90,7 +116,8 @@ fn main() {
             eprintln!(
                 "usage: emts-sim --platform <file> --ptg <file> \
                  [--algorithm cpa|hcpa|mcpa|delta|emts5|emts10] \
-                 [--model model1|model2] [--seed <u64>] [--gantt] [--json] \
+                 [--model model1|model2] [--seed <u64>] \
+                 [--faults <spec>] [--trials <n>] [--gantt] [--json] \
                  [--report <out.json>]"
             );
             std::process::exit(2);
@@ -115,14 +142,26 @@ fn main() {
 
     let model = args.model.instantiate();
     let rec = StatsRecorder::new();
-    let (report, schedule, trace) = run_obs(
-        args.algorithm,
-        &graph,
-        &cluster,
-        model.as_ref(),
-        args.seed,
-        &rec,
-    );
+    let (report, schedule, trace) = match &args.faults {
+        Some(spec) => run_with_faults(
+            args.algorithm,
+            &graph,
+            &cluster,
+            model.as_ref(),
+            args.seed,
+            spec,
+            args.trials,
+            &rec,
+        ),
+        None => run_obs(
+            args.algorithm,
+            &graph,
+            &cluster,
+            model.as_ref(),
+            args.seed,
+            &rec,
+        ),
+    };
 
     if let Some(path) = &args.report {
         let mut obs_report = rec.report("emts-sim");
@@ -165,6 +204,21 @@ fn main() {
             report.allocation_seconds * 1e3,
             report.mapping_seconds * 1e3
         );
+        if let Some(f) = &report.faults {
+            println!(
+                "faults [{}] over {} trials: degradation mean {:.4}x, p95 {:.4}x, worst {:.4}x \
+                 ({} retries, {} kills, {} processor failures, {} reschedules)",
+                f.spec,
+                f.trials,
+                f.mean_degradation,
+                f.p95_degradation,
+                f.worst_degradation,
+                f.retries,
+                f.tasks_killed,
+                f.processor_failures,
+                f.reschedules
+            );
+        }
     }
     if args.gantt {
         println!("\n{}", sched::gantt::ascii_gantt(&schedule, 100));

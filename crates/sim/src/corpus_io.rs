@@ -8,7 +8,7 @@
 use crate::formats::{parse_ptg, render_ptg, PtgFileError};
 use serde::{Deserialize, Serialize};
 use std::fs;
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use workloads::{Corpus, CorpusEntry, PtgClass};
 
 /// Per-instance record of the manifest.
@@ -25,18 +25,32 @@ pub struct ManifestEntry {
 /// Errors from corpus persistence.
 #[derive(Debug)]
 pub enum CorpusIoError {
-    /// Filesystem failure.
-    Io(std::io::Error),
+    /// Filesystem failure on a specific path — the path is part of the
+    /// error so a failing batch run names the offending file, not just
+    /// "No such file or directory".
+    Io {
+        path: PathBuf,
+        error: std::io::Error,
+    },
     /// Manifest (de)serialization failure.
     Manifest(serde_json::Error),
     /// A `.ptg` file failed to parse.
     Ptg { name: String, error: PtgFileError },
 }
 
+impl CorpusIoError {
+    fn io(path: &Path, error: std::io::Error) -> Self {
+        CorpusIoError::Io {
+            path: path.to_path_buf(),
+            error,
+        }
+    }
+}
+
 impl std::fmt::Display for CorpusIoError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            CorpusIoError::Io(e) => write!(f, "io error: {e}"),
+            CorpusIoError::Io { path, error } => write!(f, "{}: {error}", path.display()),
             CorpusIoError::Manifest(e) => write!(f, "manifest error: {e}"),
             CorpusIoError::Ptg { name, error } => write!(f, "{name}: {error}"),
         }
@@ -45,16 +59,10 @@ impl std::fmt::Display for CorpusIoError {
 
 impl std::error::Error for CorpusIoError {}
 
-impl From<std::io::Error> for CorpusIoError {
-    fn from(e: std::io::Error) -> Self {
-        CorpusIoError::Io(e)
-    }
-}
-
 /// Writes `corpus` into `dir` (created if missing). Returns the number of
 /// instances written.
 pub fn save_corpus(dir: &Path, corpus: &Corpus) -> Result<usize, CorpusIoError> {
-    fs::create_dir_all(dir)?;
+    fs::create_dir_all(dir).map_err(|e| CorpusIoError::io(dir, e))?;
     let manifest: Vec<ManifestEntry> = corpus
         .entries
         .iter()
@@ -65,24 +73,26 @@ pub fn save_corpus(dir: &Path, corpus: &Corpus) -> Result<usize, CorpusIoError> 
         })
         .collect();
     let manifest_json = serde_json::to_string_pretty(&manifest).map_err(CorpusIoError::Manifest)?;
-    fs::write(dir.join("manifest.json"), manifest_json)?;
+    let manifest_path = dir.join("manifest.json");
+    fs::write(&manifest_path, manifest_json).map_err(|e| CorpusIoError::io(&manifest_path, e))?;
     for entry in &corpus.entries {
-        fs::write(
-            dir.join(format!("{}.ptg", entry.name)),
-            render_ptg(&entry.ptg),
-        )?;
+        let path = dir.join(format!("{}.ptg", entry.name));
+        fs::write(&path, render_ptg(&entry.ptg)).map_err(|e| CorpusIoError::io(&path, e))?;
     }
     Ok(corpus.entries.len())
 }
 
 /// Loads a corpus previously written by [`save_corpus`].
 pub fn load_corpus(dir: &Path) -> Result<Corpus, CorpusIoError> {
-    let manifest_json = fs::read_to_string(dir.join("manifest.json"))?;
+    let manifest_path = dir.join("manifest.json");
+    let manifest_json =
+        fs::read_to_string(&manifest_path).map_err(|e| CorpusIoError::io(&manifest_path, e))?;
     let manifest: Vec<ManifestEntry> =
         serde_json::from_str(&manifest_json).map_err(CorpusIoError::Manifest)?;
     let mut entries = Vec::with_capacity(manifest.len());
     for m in manifest {
-        let text = fs::read_to_string(dir.join(format!("{}.ptg", m.name)))?;
+        let path = dir.join(format!("{}.ptg", m.name));
+        let text = fs::read_to_string(&path).map_err(|e| CorpusIoError::io(&path, e))?;
         let ptg = parse_ptg(&text).map_err(|error| CorpusIoError::Ptg {
             name: m.name.clone(),
             error,
@@ -153,9 +163,39 @@ mod tests {
     }
 
     #[test]
-    fn missing_directory_errors_cleanly() {
+    fn missing_directory_errors_cleanly_and_names_the_path() {
         let err = load_corpus(Path::new("/nonexistent/emts_corpus")).unwrap_err();
-        assert!(matches!(err, CorpusIoError::Io(_)));
+        assert!(matches!(err, CorpusIoError::Io { .. }));
+        assert!(
+            err.to_string().contains("/nonexistent/emts_corpus"),
+            "error must name the offending path: {err}"
+        );
+    }
+
+    #[test]
+    fn truncated_manifest_is_a_manifest_error() {
+        let dir = tmp_dir("truncated");
+        let corpus = small_corpus();
+        save_corpus(&dir, &corpus).unwrap();
+        // Chop the manifest mid-array, as a partial write would.
+        let manifest = fs::read_to_string(dir.join("manifest.json")).unwrap();
+        fs::write(dir.join("manifest.json"), &manifest[..manifest.len() / 2]).unwrap();
+        let err = load_corpus(&dir).unwrap_err();
+        assert!(matches!(err, CorpusIoError::Manifest(_)), "got {err}");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn missing_ptg_file_names_the_missing_path() {
+        let dir = tmp_dir("missing_ptg");
+        let corpus = small_corpus();
+        save_corpus(&dir, &corpus).unwrap();
+        let victim = &corpus.entries[0].name;
+        fs::remove_file(dir.join(format!("{victim}.ptg"))).unwrap();
+        let err = load_corpus(&dir).unwrap_err();
+        assert!(matches!(err, CorpusIoError::Io { .. }));
+        assert!(err.to_string().contains(victim.as_str()), "got {err}");
+        fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

@@ -1,0 +1,1077 @@
+//! Seeded fault injection for schedule replay.
+//!
+//! The paper's simulator assumes execution times are exact and processors
+//! never fail; real clusters exhibit stragglers, crashed tasks and node
+//! failures. This module makes those first-class, deterministically:
+//!
+//! * [`FaultSpec`] — the user-facing fault description, parsed from a
+//!   `key=value,...` string (see [`FaultSpec::parse`] for the grammar),
+//! * [`FaultPlan`] — one concrete, seeded realization of a spec for one
+//!   trial: a perturbation factor per task, a bounded crash list per task
+//!   and an optional failure time per processor. Same spec + seed + trial
+//!   ⇒ same plan, always,
+//! * [`execute_with_faults`] — a dynamic re-simulation of a schedule under
+//!   a plan: tasks keep their planned processors but start when their
+//!   predecessors and processors actually allow it, crashed attempts retry
+//!   after exponential backoff, and a processor failure triggers the
+//!   [`sched::Rescheduler`] over the unfinished remainder of the graph on
+//!   the surviving processors,
+//! * [`fault_trials`] / [`FaultSummary`] — the makespan-degradation
+//!   distribution (mean/p95/worst vs fault-free) over N independent trials.
+//!
+//! Under the *empty* plan the re-simulation provably reproduces the input
+//! schedule bit-for-bit: every duration is re-read from the same
+//! [`TimeMatrix`] the mapper used, the perturbation factor is exactly
+//! `1.0`, and each start time is the IEEE-exact `max` of predecessor
+//! finishes and processor releases — the same expression the mapper
+//! evaluated. The property tests in `tests/prop_faults.rs` hold this
+//! guarantee against random DAGGEN graphs.
+
+use crate::event::EventKind;
+use exec_model::TimeMatrix;
+use ptg::{Ptg, TaskId};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use sched::{Allocation, Rescheduler, ResumeState, RunningTask, Schedule};
+use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::fmt;
+
+/// Upper bound on `retries=` — beyond this the exponential backoff horizon
+/// dwarfs any schedule and almost certainly indicates a typo.
+pub const MAX_RETRIES: u32 = 16;
+
+/// A parse or validation error in a fault specification.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FaultSpecError {
+    /// An item was not of the form `key=value`.
+    BadPair(String),
+    /// The key is not part of the grammar.
+    UnknownKey(String),
+    /// The value failed to parse or is out of range for its key.
+    BadValue {
+        key: String,
+        value: String,
+        expected: &'static str,
+    },
+}
+
+impl fmt::Display for FaultSpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultSpecError::BadPair(item) => {
+                write!(f, "fault spec item {item:?} is not of the form key=value")
+            }
+            FaultSpecError::UnknownKey(key) => write!(
+                f,
+                "unknown fault spec key {key:?} (known: seed, perturb, straggler_prob, \
+                 straggler_factor, crash, retries, backoff, procfail)"
+            ),
+            FaultSpecError::BadValue {
+                key,
+                value,
+                expected,
+            } => {
+                write!(f, "fault spec {key}={value}: expected {expected}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FaultSpecError {}
+
+/// A user-facing fault description; one spec drives many seeded trials.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultSpec {
+    /// Base RNG seed; trial `i` uses a stream derived from `(seed, i)`.
+    pub seed: u64,
+    /// Multiplicative execution-time noise: each task's duration is scaled
+    /// by a factor drawn uniformly from `[1, 1 + perturb]`.
+    pub perturb: f64,
+    /// Probability that a task is a straggler (its factor is additionally
+    /// multiplied by `straggler_factor`).
+    pub straggler_prob: f64,
+    /// Slowdown factor applied to stragglers (≥ 1).
+    pub straggler_factor: f64,
+    /// Per-attempt crash probability: each attempt of a task crashes with
+    /// this probability at a uniform progress point, up to `retries` times.
+    pub crash: f64,
+    /// Retry budget per task. Attempt `retries` (0-based) never crashes,
+    /// so every run completes — that is what *bounded* retry buys.
+    pub retries: u32,
+    /// Backoff before retry `k` (0-based crashed attempt): `backoff · 2^k`
+    /// seconds.
+    pub backoff: f64,
+    /// Per-processor probability of permanent failure at a uniform time
+    /// within the fault-free makespan. At least one processor always
+    /// survives (see [`FaultPlan::realize`]).
+    pub procfail: f64,
+}
+
+impl Default for FaultSpec {
+    fn default() -> Self {
+        FaultSpec {
+            seed: 0,
+            perturb: 0.0,
+            straggler_prob: 0.0,
+            straggler_factor: 3.0,
+            crash: 0.0,
+            retries: 3,
+            backoff: 0.0,
+            procfail: 0.0,
+        }
+    }
+}
+
+impl FaultSpec {
+    /// Parses a `key=value,...` spec. Grammar (all items optional, any
+    /// order): `seed=<u64>`, `perturb=<f64 ≥ 0>`, `straggler_prob=<prob>`,
+    /// `straggler_factor=<f64 ≥ 1>`, `crash=<prob>`, `retries=<0..=16>`,
+    /// `backoff=<f64 ≥ 0>`, `procfail=<prob>`. The empty string is the
+    /// fault-free spec.
+    pub fn parse(s: &str) -> Result<FaultSpec, FaultSpecError> {
+        let mut spec = FaultSpec::default();
+        for item in s.split(',').map(str::trim).filter(|i| !i.is_empty()) {
+            let (key, value) = item
+                .split_once('=')
+                .ok_or_else(|| FaultSpecError::BadPair(item.to_string()))?;
+            let (key, value) = (key.trim(), value.trim());
+            let bad = |expected: &'static str| FaultSpecError::BadValue {
+                key: key.to_string(),
+                value: value.to_string(),
+                expected,
+            };
+            let prob = |field: &mut f64| -> Result<(), FaultSpecError> {
+                *field = value
+                    .parse::<f64>()
+                    .ok()
+                    .filter(|p| (0.0..=1.0).contains(p))
+                    .ok_or_else(|| bad("a probability in [0, 1]"))?;
+                Ok(())
+            };
+            match key {
+                "seed" => {
+                    spec.seed = value.parse().map_err(|_| bad("an unsigned integer"))?;
+                }
+                "perturb" => {
+                    spec.perturb = value
+                        .parse::<f64>()
+                        .ok()
+                        .filter(|x| x.is_finite() && *x >= 0.0)
+                        .ok_or_else(|| bad("a finite value ≥ 0"))?;
+                }
+                "straggler_prob" => prob(&mut spec.straggler_prob)?,
+                "straggler_factor" => {
+                    spec.straggler_factor = value
+                        .parse::<f64>()
+                        .ok()
+                        .filter(|x| x.is_finite() && *x >= 1.0)
+                        .ok_or_else(|| bad("a finite value ≥ 1"))?;
+                }
+                "crash" => prob(&mut spec.crash)?,
+                "retries" => {
+                    spec.retries = value
+                        .parse::<u32>()
+                        .ok()
+                        .filter(|r| *r <= MAX_RETRIES)
+                        .ok_or_else(|| bad("an integer in 0..=16"))?;
+                }
+                "backoff" => {
+                    spec.backoff = value
+                        .parse::<f64>()
+                        .ok()
+                        .filter(|x| x.is_finite() && *x >= 0.0)
+                        .ok_or_else(|| bad("a finite value ≥ 0"))?;
+                }
+                "procfail" => prob(&mut spec.procfail)?,
+                _ => return Err(FaultSpecError::UnknownKey(key.to_string())),
+            }
+        }
+        Ok(spec)
+    }
+
+    /// Canonical `key=value,...` rendering; parses back to `self`.
+    pub fn canonical(&self) -> String {
+        format!(
+            "seed={},perturb={},straggler_prob={},straggler_factor={},crash={},retries={},backoff={},procfail={}",
+            self.seed,
+            self.perturb,
+            self.straggler_prob,
+            self.straggler_factor,
+            self.crash,
+            self.retries,
+            self.backoff,
+            self.procfail
+        )
+    }
+
+    /// True when no realization of this spec can inject any fault.
+    pub fn is_fault_free(&self) -> bool {
+        self.perturb == 0.0
+            && self.straggler_prob == 0.0
+            && self.crash == 0.0
+            && self.procfail == 0.0
+    }
+}
+
+/// One concrete, deterministic realization of a [`FaultSpec`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    /// Multiplicative duration factor per task (exactly `1.0` ⇒ no
+    /// perturbation; multiplying by `1.0` is IEEE-exact).
+    pub factors: Vec<f64>,
+    /// Crash-progress points per task: attempt `k` (0-based) crashes at
+    /// progress `crashes[v][k]` iff `k < crashes[v].len()`. Lists are
+    /// bounded by the retry budget, so the attempt after the last listed
+    /// crash always completes.
+    pub crashes: Vec<Vec<f64>>,
+    /// Backoff before retry `k`: `backoff_base · 2^k` seconds.
+    pub backoff_base: f64,
+    /// Permanent failure time per processor (`None` ⇒ the processor
+    /// survives the whole run). Never all `Some`.
+    pub proc_fail: Vec<Option<f64>>,
+}
+
+impl FaultPlan {
+    /// The fault-free plan: unit factors, no crashes, no failures. Replay
+    /// under this plan is bit-identical to the input schedule.
+    pub fn empty(tasks: usize, processors: u32) -> FaultPlan {
+        FaultPlan {
+            factors: vec![1.0; tasks],
+            crashes: vec![Vec::new(); tasks],
+            backoff_base: 0.0,
+            proc_fail: vec![None; processors as usize],
+        }
+    }
+
+    /// Realizes `spec` for `trial` over `tasks` tasks and `processors`
+    /// processors. `horizon` bounds processor-failure times (pass the
+    /// fault-free makespan). Fully determined by
+    /// `(spec, trial, tasks, processors, horizon)`.
+    ///
+    /// If every processor draws a failure, the one failing *last* is kept
+    /// alive instead, so the rescheduler always has a survivor.
+    pub fn realize(
+        spec: &FaultSpec,
+        trial: u64,
+        tasks: usize,
+        processors: u32,
+        horizon: f64,
+    ) -> FaultPlan {
+        assert!(
+            horizon.is_finite() && horizon > 0.0,
+            "bad horizon {horizon}"
+        );
+        // Distinct, collision-free stream per (seed, trial).
+        let mut rng =
+            ChaCha8Rng::seed_from_u64(spec.seed ^ trial.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let mut factors = Vec::with_capacity(tasks);
+        for _ in 0..tasks {
+            let mut f = if spec.perturb > 0.0 {
+                1.0 + rng.gen_range(0.0..=spec.perturb)
+            } else {
+                1.0
+            };
+            if spec.straggler_prob > 0.0 && rng.gen_bool(spec.straggler_prob) {
+                f *= spec.straggler_factor;
+            }
+            factors.push(f);
+        }
+        let mut crashes = vec![Vec::new(); tasks];
+        if spec.crash > 0.0 {
+            for list in &mut crashes {
+                while (list.len() as u32) < spec.retries && rng.gen_bool(spec.crash) {
+                    list.push(rng.gen_range(0.0..1.0));
+                }
+            }
+        }
+        let mut proc_fail = vec![None; processors as usize];
+        if spec.procfail > 0.0 {
+            for slot in &mut proc_fail {
+                if rng.gen_bool(spec.procfail) {
+                    *slot = Some(rng.gen_range(0.0..horizon));
+                }
+            }
+            if proc_fail.iter().all(Option::is_some) {
+                // Keep the processor that would fail last alive.
+                let survivor = proc_fail
+                    .iter()
+                    .enumerate()
+                    .max_by(|(qa, a), (qb, b)| {
+                        a.unwrap()
+                            .partial_cmp(&b.unwrap())
+                            .expect("failure times are finite")
+                            .then_with(|| qb.cmp(qa))
+                    })
+                    .map(|(q, _)| q)
+                    .expect("at least one processor");
+                proc_fail[survivor] = None;
+            }
+        }
+        FaultPlan {
+            factors,
+            crashes,
+            backoff_base: spec.backoff,
+            proc_fail,
+        }
+    }
+
+    /// True when this plan injects nothing (replay is bit-identical).
+    pub fn is_empty(&self) -> bool {
+        self.factors.iter().all(|&f| f == 1.0)
+            && self.crashes.iter().all(Vec::is_empty)
+            && self.proc_fail.iter().all(Option::is_none)
+    }
+}
+
+/// One logged event of a faulty replay, in simulation order.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FaultEvent {
+    /// Simulation time.
+    pub time: f64,
+    /// The task involved.
+    pub task: TaskId,
+    /// What happened.
+    pub kind: FaultEventKind,
+}
+
+/// Kinds of faulty-replay events.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FaultEventKind {
+    /// An attempt began executing.
+    Start,
+    /// The task completed.
+    Finish,
+    /// The attempt crashed; the task will retry after backoff.
+    Crash,
+    /// The attempt was killed by a processor failure; the task will be
+    /// rescheduled (its retry budget is not charged).
+    Kill,
+}
+
+/// Result of one faulty replay.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultyReport {
+    /// Time of the last finish.
+    pub makespan: f64,
+    /// Chronological event log (starts, finishes, crashes, kills).
+    pub events: Vec<FaultEvent>,
+    /// Crashed attempts that were retried.
+    pub retries: usize,
+    /// Attempts killed by processor failures.
+    pub tasks_killed: usize,
+    /// Processors that failed during the run (failures after the last
+    /// finish never surface).
+    pub processor_failures: Vec<u32>,
+    /// Times the rescheduler replanned the remainder.
+    pub reschedules: usize,
+}
+
+impl FaultyReport {
+    /// `(time, task, is_start)` triples of the start/finish events —
+    /// directly comparable against [`crate::trace::trace_schedule`].
+    pub fn start_finish_trace(&self) -> Vec<(f64, TaskId, bool)> {
+        self.events
+            .iter()
+            .filter_map(|e| match e.kind {
+                FaultEventKind::Start => Some((e.time, e.task, true)),
+                FaultEventKind::Finish => Some((e.time, e.task, false)),
+                _ => None,
+            })
+            .collect()
+    }
+}
+
+/// A wake-up of the faulty replay loop. Min-ordered by time; at equal
+/// times finishes run first (matching [`crate::event::EventQueue`]), then
+/// crashes, then backoff expiries, then processor failures; final ties
+/// break by id for determinism.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Wake {
+    time: f64,
+    /// 0 = finish, 1 = crash, 2 = backoff expiry, 3 = processor failure.
+    rank: u8,
+    /// Task id for ranks 0–2, processor id for rank 3.
+    id: u32,
+    /// Start epoch the event belongs to (ranks 0–1); stale epochs are
+    /// dropped.
+    epoch: u32,
+}
+
+impl Eq for Wake {}
+impl Ord for Wake {
+    fn cmp(&self, other: &Self) -> Ordering {
+        other
+            .time
+            .partial_cmp(&self.time)
+            .expect("wake times are finite")
+            .then_with(|| other.rank.cmp(&self.rank))
+            .then_with(|| other.id.cmp(&self.id))
+    }
+}
+impl PartialOrd for Wake {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Per-task dynamic state of the faulty replay.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum TaskState {
+    /// Waiting to start; not before `ready_at` (backoff).
+    Pending { ready_at: f64 },
+    /// Executing since `start`; `finish`/`crash_at` are this attempt's
+    /// terminal event.
+    Running { finish: f64 },
+    /// Done at `finish`.
+    Finished { finish: f64 },
+}
+
+/// Replays `schedule` for `g` under `plan`, dynamically.
+///
+/// Tasks keep their planned processor sets but start when their
+/// predecessors have finished, all their processors are free *and* their
+/// (re)planned start time has been reached — the dispatcher follows the
+/// schedule, it never runs ahead of it. Under the empty plan that
+/// reproduces the planned starts bit-for-bit. Crashed
+/// attempts release their processors, back off exponentially and retry;
+/// a processor failure kills the attempts running on it (retry budget
+/// untouched) and hands every unfinished, non-running task to the
+/// [`Rescheduler`], which replans the remainder onto the survivors.
+/// `alloc` must be the allocation the schedule was mapped from; the
+/// rescheduler clamps it to the surviving processor count.
+///
+/// # Panics
+/// Panics if `plan`/`alloc`/`schedule` sizes disagree with `g`, or the
+/// replay stalls — all indicate caller or internal bugs, never bad user
+/// input.
+pub fn execute_with_faults(
+    g: &Ptg,
+    matrix: &TimeMatrix,
+    schedule: &Schedule,
+    alloc: &Allocation,
+    plan: &FaultPlan,
+) -> FaultyReport {
+    let n = g.task_count();
+    assert_eq!(schedule.task_count(), n, "schedule/PTG size mismatch");
+    assert_eq!(plan.factors.len(), n, "plan factors/PTG size mismatch");
+    assert_eq!(plan.crashes.len(), n, "plan crashes/PTG size mismatch");
+    assert_eq!(alloc.len(), n, "allocation/PTG size mismatch");
+    let p_total = schedule.processors as usize;
+    assert_eq!(plan.proc_fail.len(), p_total, "plan/platform size mismatch");
+
+    // Assignments start as planned; the rescheduler may replace them.
+    let mut procs: Vec<Vec<u32>> = vec![Vec::new(); n];
+    let mut duration = vec![0.0f64; n];
+    // Start-priority when several pending tasks compete for freed
+    // processors: planned start, then id. Fault-free there is no
+    // contention and each task starts exactly at its planned time.
+    let mut priority = vec![0.0f64; n];
+    for pl in &schedule.placements {
+        let v = pl.task.index();
+        procs[v] = pl.processors.clone();
+        duration[v] = matrix.time(pl.task, pl.width()) * plan.factors[v];
+        priority[v] = pl.start;
+    }
+
+    let mut state = vec![TaskState::Pending { ready_at: 0.0 }; n];
+    let mut attempt = vec![0usize; n];
+    let mut epoch = vec![0u32; n];
+    let mut unfinished_preds: Vec<usize> = g.task_ids().map(|v| g.predecessors(v).len()).collect();
+    let mut alive = vec![true; p_total];
+    let mut owner: Vec<Option<TaskId>> = vec![None; p_total];
+    let mut unfinished = n;
+
+    let mut queue: BinaryHeap<Wake> = BinaryHeap::new();
+    for (q, fail) in plan.proc_fail.iter().enumerate() {
+        if let Some(t) = fail {
+            queue.push(Wake {
+                time: *t,
+                rank: 3,
+                id: q as u32,
+                epoch: 0,
+            });
+        }
+    }
+    // One wake-up per planned start, so a task gated on its planned time
+    // (rather than on a finish event) still gets a dispatch scan. Stale
+    // wakes are harmless: rank 2 only triggers a scan.
+    for (i, &start) in priority.iter().enumerate() {
+        if start > 0.0 {
+            queue.push(Wake {
+                time: start,
+                rank: 2,
+                id: i as u32,
+                epoch: 0,
+            });
+        }
+    }
+
+    let mut events = Vec::with_capacity(2 * n);
+    let mut retries = 0usize;
+    let mut tasks_killed = 0usize;
+    let mut processor_failures = Vec::new();
+    let mut reschedules = 0usize;
+    let mut makespan = 0.0f64;
+
+    // Ordered list of pending candidates, rebuilt lazily: scanning all
+    // tasks per wake is O(V) and V ≤ a few hundred here; keep it simple.
+    let start_scan = |now: f64,
+                      state: &mut Vec<TaskState>,
+                      attempt: &[usize],
+                      epoch: &mut Vec<u32>,
+                      unfinished_preds: &[usize],
+                      procs: &[Vec<u32>],
+                      duration: &[f64],
+                      priority: &[f64],
+                      owner: &mut Vec<Option<TaskId>>,
+                      queue: &mut BinaryHeap<Wake>,
+                      events: &mut Vec<FaultEvent>| {
+        // A task is dispatchable once its backoff expired, its
+        // predecessors finished *and* its (re)planned start has been
+        // reached: the dispatcher follows the schedule, it never runs
+        // ahead of it. Without the planned-start gate a task whose
+        // processors happen to be idle early would jump the plan, and the
+        // fault-free replay would no longer be bit-identical to the
+        // baseline.
+        let mut candidates: Vec<TaskId> = (0..n as u32)
+            .map(TaskId)
+            .filter(|v| {
+                matches!(state[v.index()], TaskState::Pending { ready_at } if ready_at <= now)
+                    && unfinished_preds[v.index()] == 0
+                    && priority[v.index()] <= now
+            })
+            .collect();
+        candidates.sort_unstable_by(|a, b| {
+            priority[a.index()]
+                .partial_cmp(&priority[b.index()])
+                .expect("priorities are finite")
+                .then_with(|| a.cmp(b))
+        });
+        for v in candidates {
+            let i = v.index();
+            // Atomic check-and-start: take the processors only if *all*
+            // are free and alive — no hold-and-wait, hence no deadlock.
+            if !procs[i].iter().all(|&q| owner[q as usize].is_none()) {
+                continue;
+            }
+            debug_assert!(!procs[i].is_empty(), "{v} has no processors");
+            for &q in &procs[i] {
+                owner[q as usize] = Some(v);
+            }
+            epoch[i] += 1;
+            let crash_list = &plan.crashes[i];
+            let (finish, rank) = if attempt[i] < crash_list.len() {
+                (now + crash_list[attempt[i]] * duration[i], 1)
+            } else {
+                (now + duration[i], 0)
+            };
+            state[i] = TaskState::Running { finish };
+            queue.push(Wake {
+                time: finish,
+                rank,
+                id: v.0,
+                epoch: epoch[i],
+            });
+            events.push(FaultEvent {
+                time: now,
+                task: v,
+                kind: FaultEventKind::Start,
+            });
+        }
+    };
+
+    start_scan(
+        0.0,
+        &mut state,
+        &attempt,
+        &mut epoch,
+        &unfinished_preds,
+        &procs,
+        &duration,
+        &priority,
+        &mut owner,
+        &mut queue,
+        &mut events,
+    );
+
+    while unfinished > 0 {
+        let head = queue
+            .pop()
+            .expect("faulty replay stalled with unfinished tasks");
+        let now = head.time;
+        // Batch every wake at this instant before the start scan, so
+        // same-time finishes are all logged (and their processors all
+        // freed) before any start — matching the event-queue ordering of
+        // the baseline replay.
+        let mut batch = vec![head];
+        while let Some(next) = queue.peek() {
+            if next.time == now {
+                batch.push(queue.pop().expect("peeked"));
+            } else {
+                break;
+            }
+        }
+        for wake in batch {
+            match wake.rank {
+                // Finish.
+                0 => {
+                    let v = TaskId(wake.id);
+                    let i = v.index();
+                    if wake.epoch != epoch[i] {
+                        continue; // attempt was killed; stale event
+                    }
+                    let TaskState::Running { finish } = state[i] else {
+                        continue;
+                    };
+                    debug_assert_eq!(finish, now);
+                    state[i] = TaskState::Finished { finish: now };
+                    for &q in &procs[i] {
+                        debug_assert_eq!(owner[q as usize], Some(v));
+                        owner[q as usize] = None;
+                    }
+                    for &w in g.successors(v) {
+                        unfinished_preds[w.index()] -= 1;
+                    }
+                    unfinished -= 1;
+                    makespan = makespan.max(now);
+                    events.push(FaultEvent {
+                        time: now,
+                        task: v,
+                        kind: FaultEventKind::Finish,
+                    });
+                }
+                // Crash.
+                1 => {
+                    let v = TaskId(wake.id);
+                    let i = v.index();
+                    if wake.epoch != epoch[i] {
+                        continue;
+                    }
+                    if !matches!(state[i], TaskState::Running { .. }) {
+                        continue;
+                    }
+                    for &q in &procs[i] {
+                        owner[q as usize] = None;
+                    }
+                    let backoff = plan.backoff_base * (1u64 << attempt[i].min(63)) as f64;
+                    attempt[i] += 1;
+                    retries += 1;
+                    let ready_at = now + backoff;
+                    state[i] = TaskState::Pending { ready_at };
+                    queue.push(Wake {
+                        time: ready_at,
+                        rank: 2,
+                        id: v.0,
+                        epoch: 0,
+                    });
+                    events.push(FaultEvent {
+                        time: now,
+                        task: v,
+                        kind: FaultEventKind::Crash,
+                    });
+                }
+                // Backoff expiry: no state change, just a wake-up.
+                2 => {}
+                // Processor failure.
+                3 => {
+                    let q = wake.id as usize;
+                    if !alive[q] {
+                        continue;
+                    }
+                    alive[q] = false;
+                    processor_failures.push(wake.id);
+                    // Kill every attempt running on the dead processor;
+                    // the retry budget is not charged for hardware.
+                    for i in 0..n {
+                        if !matches!(state[i], TaskState::Running { .. }) {
+                            continue;
+                        }
+                        if !procs[i].contains(&wake.id) {
+                            continue;
+                        }
+                        let v = TaskId(i as u32);
+                        for &p in &procs[i] {
+                            owner[p as usize] = None;
+                        }
+                        epoch[i] += 1; // invalidate the pending terminal event
+                        state[i] = TaskState::Pending { ready_at: now };
+                        tasks_killed += 1;
+                        events.push(FaultEvent {
+                            time: now,
+                            task: v,
+                            kind: FaultEventKind::Kill,
+                        });
+                    }
+                    // Replan the unfinished remainder onto the survivors.
+                    let resume = ResumeState {
+                        now,
+                        alive: alive.clone(),
+                        finished: state
+                            .iter()
+                            .map(|s| match s {
+                                TaskState::Finished { finish } => Some(*finish),
+                                _ => None,
+                            })
+                            .collect(),
+                        running: state
+                            .iter()
+                            .enumerate()
+                            .filter_map(|(i, s)| match s {
+                                TaskState::Running { finish } => Some(RunningTask {
+                                    task: TaskId(i as u32),
+                                    finish: *finish,
+                                    processors: procs[i].clone(),
+                                }),
+                                _ => None,
+                            })
+                            .collect(),
+                    };
+                    let replanned = Rescheduler.reschedule(g, matrix, alloc, &resume);
+                    reschedules += 1;
+                    for pl in replanned {
+                        let i = pl.task.index();
+                        duration[i] = matrix.time(pl.task, pl.width()) * plan.factors[i];
+                        procs[i] = pl.processors;
+                        priority[i] = pl.start;
+                        // Re-arm the dispatch gate at the new planned start.
+                        queue.push(Wake {
+                            time: pl.start.max(now),
+                            rank: 2,
+                            id: pl.task.0,
+                            epoch: 0,
+                        });
+                    }
+                }
+                _ => unreachable!(),
+            }
+        }
+        start_scan(
+            now,
+            &mut state,
+            &attempt,
+            &mut epoch,
+            &unfinished_preds,
+            &procs,
+            &duration,
+            &priority,
+            &mut owner,
+            &mut queue,
+            &mut events,
+        );
+    }
+
+    FaultyReport {
+        makespan,
+        events,
+        retries,
+        tasks_killed,
+        processor_failures,
+        reschedules,
+    }
+}
+
+/// Degradation distribution over N seeded fault trials of one schedule.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultSummary {
+    /// The spec string the trials were realized from.
+    pub spec: String,
+    /// Number of independent trials.
+    pub trials: usize,
+    /// Makespan of the undisturbed schedule (the baseline).
+    pub fault_free_makespan: f64,
+    /// Mean of `faulty_makespan / fault_free_makespan` over the trials.
+    pub mean_degradation: f64,
+    /// 95th percentile of the degradation ratios.
+    pub p95_degradation: f64,
+    /// Worst (largest) degradation ratio.
+    pub worst_degradation: f64,
+    /// Total crashed attempts across all trials.
+    pub retries: usize,
+    /// Total attempts killed by processor failures across all trials.
+    pub tasks_killed: usize,
+    /// Total processor failures across all trials.
+    pub processor_failures: usize,
+    /// Total rescheduler invocations across all trials.
+    pub reschedules: usize,
+}
+
+/// Runs `trials` independent realizations of `spec` against `schedule`
+/// and summarizes the makespan-degradation distribution. Deterministic:
+/// trial `i` always uses the plan `FaultPlan::realize(spec, i, ..)`.
+pub fn fault_trials(
+    g: &Ptg,
+    matrix: &TimeMatrix,
+    schedule: &Schedule,
+    alloc: &Allocation,
+    spec: &FaultSpec,
+    trials: usize,
+) -> FaultSummary {
+    assert!(trials >= 1, "at least one trial");
+    let baseline = schedule.makespan();
+    let mut degradations = Vec::with_capacity(trials);
+    let mut retries = 0;
+    let mut tasks_killed = 0;
+    let mut processor_failures = 0;
+    let mut reschedules = 0;
+    for trial in 0..trials {
+        let plan = FaultPlan::realize(
+            spec,
+            trial as u64,
+            g.task_count(),
+            schedule.processors,
+            baseline,
+        );
+        let report = execute_with_faults(g, matrix, schedule, alloc, &plan);
+        degradations.push(report.makespan / baseline);
+        retries += report.retries;
+        tasks_killed += report.tasks_killed;
+        processor_failures += report.processor_failures.len();
+        reschedules += report.reschedules;
+    }
+    degradations.sort_unstable_by(|a, b| a.partial_cmp(b).expect("finite degradations"));
+    let mean = degradations.iter().sum::<f64>() / trials as f64;
+    let p95_index = ((trials as f64 * 0.95).ceil() as usize).max(1) - 1;
+    FaultSummary {
+        spec: spec.canonical(),
+        trials,
+        fault_free_makespan: baseline,
+        mean_degradation: mean,
+        p95_degradation: degradations[p95_index.min(trials - 1)],
+        worst_degradation: *degradations.last().expect("at least one trial"),
+        retries,
+        tasks_killed,
+        processor_failures,
+        reschedules,
+    }
+}
+
+/// Maps a [`FaultEventKind`] onto the baseline ordering ranks (finish
+/// before start at equal times) — used by tests comparing traces.
+pub fn baseline_kind(kind: FaultEventKind) -> Option<EventKind> {
+    match kind {
+        FaultEventKind::Start => Some(EventKind::Start),
+        FaultEventKind::Finish => Some(EventKind::Finish),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::trace_schedule;
+    use exec_model::Amdahl;
+    use ptg::PtgBuilder;
+    use sched::{ListScheduler, Mapper};
+
+    fn diamond() -> Ptg {
+        let mut b = PtgBuilder::new();
+        for i in 0..4 {
+            b.add_task(format!("t{i}"), 2e9, 0.5);
+        }
+        b.add_edge(TaskId(0), TaskId(1)).unwrap();
+        b.add_edge(TaskId(0), TaskId(2)).unwrap();
+        b.add_edge(TaskId(1), TaskId(3)).unwrap();
+        b.add_edge(TaskId(2), TaskId(3)).unwrap();
+        b.build().unwrap()
+    }
+
+    fn mapped(alloc: Vec<u32>) -> (Ptg, TimeMatrix, Allocation, Schedule) {
+        let g = diamond();
+        let m = TimeMatrix::compute(&g, &Amdahl, 1e9, 4);
+        let a = Allocation::from_vec(alloc);
+        let s = ListScheduler.map(&g, &m, &a);
+        (g, m, a, s)
+    }
+
+    #[test]
+    fn spec_grammar_round_trips() {
+        let spec = FaultSpec::parse(
+            "seed=42, perturb=0.2, straggler_prob=0.05, straggler_factor=4, \
+             crash=0.1, retries=2, backoff=0.5, procfail=0.02",
+        )
+        .unwrap();
+        assert_eq!(spec.seed, 42);
+        assert_eq!(spec.perturb, 0.2);
+        assert_eq!(spec.straggler_factor, 4.0);
+        assert_eq!(spec.retries, 2);
+        assert!(!spec.is_fault_free());
+        assert!(FaultSpec::parse("").unwrap().is_fault_free());
+        assert!(FaultSpec::parse("seed=7").unwrap().is_fault_free());
+    }
+
+    #[test]
+    fn spec_errors_are_one_line_diagnostics() {
+        for (input, needle) in [
+            ("perturb", "key=value"),
+            ("bogus=1", "unknown fault spec key"),
+            ("crash=1.5", "probability in [0, 1]"),
+            ("retries=99", "0..=16"),
+            ("perturb=-1", "≥ 0"),
+            ("straggler_factor=0.5", "≥ 1"),
+            ("seed=abc", "unsigned integer"),
+        ] {
+            let err = FaultSpec::parse(input).unwrap_err().to_string();
+            assert!(err.contains(needle), "{input}: {err}");
+            assert!(!err.contains('\n'));
+        }
+    }
+
+    #[test]
+    fn plans_are_deterministic_per_trial_and_distinct_across_trials() {
+        let spec = FaultSpec::parse("seed=3,perturb=0.3,crash=0.5,procfail=0.2").unwrap();
+        let a = FaultPlan::realize(&spec, 0, 40, 8, 100.0);
+        let b = FaultPlan::realize(&spec, 0, 40, 8, 100.0);
+        let c = FaultPlan::realize(&spec, 1, 40, 8, 100.0);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert!(!a.is_empty());
+    }
+
+    #[test]
+    fn crash_lists_respect_the_retry_budget() {
+        let spec = FaultSpec::parse("crash=1,retries=2").unwrap();
+        let plan = FaultPlan::realize(&spec, 0, 10, 4, 100.0);
+        assert!(plan.crashes.iter().all(|l| l.len() == 2));
+        let none = FaultSpec::parse("crash=1,retries=0").unwrap();
+        let plan = FaultPlan::realize(&none, 0, 10, 4, 100.0);
+        assert!(plan.crashes.iter().all(Vec::is_empty));
+    }
+
+    #[test]
+    fn at_least_one_processor_always_survives() {
+        let spec = FaultSpec::parse("procfail=1").unwrap();
+        for trial in 0..20 {
+            let plan = FaultPlan::realize(&spec, trial, 5, 6, 50.0);
+            assert!(plan.proc_fail.iter().any(Option::is_none), "trial {trial}");
+        }
+    }
+
+    #[test]
+    fn empty_plan_replay_is_bit_identical() {
+        let (g, m, a, s) = mapped(vec![2, 1, 2, 4]);
+        let plan = FaultPlan::empty(4, 4);
+        let report = execute_with_faults(&g, &m, &s, &a, &plan);
+        assert_eq!(report.makespan, s.makespan(), "bit-identical makespan");
+        let baseline: Vec<(f64, TaskId, bool)> = trace_schedule(&g, &s)
+            .iter()
+            .map(|e| (e.time, e.task, e.is_start))
+            .collect();
+        assert_eq!(report.start_finish_trace(), baseline);
+        assert_eq!(report.retries, 0);
+        assert_eq!(report.reschedules, 0);
+    }
+
+    #[test]
+    fn perturbation_slows_the_run_down() {
+        let (g, m, a, s) = mapped(vec![2, 1, 2, 4]);
+        let mut plan = FaultPlan::empty(4, 4);
+        plan.factors = vec![2.0; 4];
+        let report = execute_with_faults(&g, &m, &s, &a, &plan);
+        assert!(report.makespan > s.makespan());
+        // Dependencies still hold under the perturbed timeline.
+        let finish_of = |t: u32| {
+            report
+                .events
+                .iter()
+                .find(|e| e.task == TaskId(t) && e.kind == FaultEventKind::Finish)
+                .unwrap()
+                .time
+        };
+        let start_of = |t: u32| {
+            report
+                .events
+                .iter()
+                .find(|e| e.task == TaskId(t) && e.kind == FaultEventKind::Start)
+                .unwrap()
+                .time
+        };
+        assert!(start_of(3) >= finish_of(1).max(finish_of(2)));
+    }
+
+    #[test]
+    fn crashes_retry_with_backoff_and_complete() {
+        let (g, m, a, s) = mapped(vec![1, 1, 1, 1]);
+        let mut plan = FaultPlan::empty(4, 4);
+        plan.crashes[0] = vec![0.5, 0.5]; // two crashes, then success
+        plan.backoff_base = 1.0;
+        let report = execute_with_faults(&g, &m, &s, &a, &plan);
+        assert_eq!(report.retries, 2);
+        let crashes: Vec<f64> = report
+            .events
+            .iter()
+            .filter(|e| e.kind == FaultEventKind::Crash)
+            .map(|e| e.time)
+            .collect();
+        assert_eq!(crashes.len(), 2);
+        let starts: Vec<f64> = report
+            .events
+            .iter()
+            .filter(|e| e.task == TaskId(0) && e.kind == FaultEventKind::Start)
+            .map(|e| e.time)
+            .collect();
+        assert_eq!(starts.len(), 3);
+        // Backoff doubles: retry 0 waits 1s, retry 1 waits 2s.
+        assert!((starts[1] - crashes[0] - 1.0).abs() < 1e-12);
+        assert!((starts[2] - crashes[1] - 2.0).abs() < 1e-12);
+        assert!(report.makespan > s.makespan());
+        // Everything still finishes exactly once.
+        let finishes = report
+            .events
+            .iter()
+            .filter(|e| e.kind == FaultEventKind::Finish)
+            .count();
+        assert_eq!(finishes, 4);
+    }
+
+    #[test]
+    fn processor_failure_triggers_reschedule_and_the_run_completes() {
+        let (g, m, a, s) = mapped(vec![4, 2, 2, 4]);
+        let mut plan = FaultPlan::empty(4, 4);
+        // Kill processor 3 mid-run (during the wide source task).
+        let t0 = s.placements[0].finish / 2.0;
+        plan.proc_fail[3] = Some(t0);
+        let report = execute_with_faults(&g, &m, &s, &a, &plan);
+        assert_eq!(report.processor_failures, vec![3]);
+        assert!(report.reschedules >= 1);
+        assert!(report.tasks_killed >= 1);
+        assert!(report.makespan > s.makespan());
+        // Nothing starts on the dead processor after the failure, and all
+        // tasks finish.
+        assert_eq!(
+            report
+                .events
+                .iter()
+                .filter(|e| e.kind == FaultEventKind::Finish)
+                .count(),
+            4
+        );
+    }
+
+    #[test]
+    fn fault_trials_summarize_the_degradation_distribution() {
+        let (g, m, a, s) = mapped(vec![2, 1, 2, 4]);
+        let spec = FaultSpec::parse("seed=9,perturb=0.5").unwrap();
+        let summary = fault_trials(&g, &m, &s, &a, &spec, 20);
+        assert_eq!(summary.trials, 20);
+        assert_eq!(summary.fault_free_makespan, s.makespan());
+        assert!(summary.mean_degradation >= 1.0);
+        assert!(summary.p95_degradation >= summary.mean_degradation * 0.9);
+        assert!(summary.worst_degradation >= summary.p95_degradation);
+        // Deterministic: same spec, same summary.
+        let again = fault_trials(&g, &m, &s, &a, &spec, 20);
+        assert_eq!(summary, again);
+    }
+
+    #[test]
+    fn fault_free_trials_report_unit_degradation() {
+        let (g, m, a, s) = mapped(vec![2, 1, 2, 4]);
+        let spec = FaultSpec::default();
+        let summary = fault_trials(&g, &m, &s, &a, &spec, 3);
+        assert_eq!(summary.mean_degradation, 1.0);
+        assert_eq!(summary.p95_degradation, 1.0);
+        assert_eq!(summary.worst_degradation, 1.0);
+        assert_eq!(summary.retries, 0);
+    }
+}

@@ -26,6 +26,10 @@ pub enum PtgFileError {
     Malformed { line: usize, content: String },
     /// A numeric field failed to parse.
     BadNumber { line: usize, field: &'static str },
+    /// A task's numbers parsed but violate the domain (`flop > 0` finite,
+    /// `alpha ∈ [0, 1]`) — caught at the offending line rather than left
+    /// to surface as a line-less graph error at `build` time.
+    BadTask { line: usize, message: String },
     /// Graph construction failed (cycle, bad edge, invalid task, …).
     Graph(String),
 }
@@ -38,6 +42,9 @@ impl fmt::Display for PtgFileError {
             }
             PtgFileError::BadNumber { line, field } => {
                 write!(f, "line {line}: cannot parse {field}")
+            }
+            PtgFileError::BadTask { line, message } => {
+                write!(f, "line {line}: {message}")
             }
             PtgFileError::Graph(msg) => write!(f, "graph error: {msg}"),
         }
@@ -78,11 +85,16 @@ pub fn parse_ptg(input: &str) -> Result<Ptg, PtgFileError> {
                             line: line_no,
                             field: "alpha",
                         })?;
-                b.push_task(ptg::Task {
+                let task = ptg::Task {
                     name: name.to_string(),
                     flop,
                     alpha,
-                });
+                };
+                task.validate().map_err(|message| PtgFileError::BadTask {
+                    line: line_no,
+                    message,
+                })?;
+                b.push_task(task);
             }
             Some("edge") => {
                 let from: u32 =
@@ -198,6 +210,25 @@ mod tests {
                 field: "edge target"
             }
         );
+    }
+
+    #[test]
+    fn out_of_domain_task_values_are_rejected_at_their_line() {
+        for bad in [
+            "task a -1e9 0.1",
+            "task a 0 0.1",
+            "task a inf 0.1",
+            "task a NaN 0.1",
+            "task a 1e9 -0.1",
+            "task a 1e9 1.5",
+            "task a 1e9 NaN",
+        ] {
+            let text = format!("task ok 1e9 0.5\n{bad}\n");
+            match parse_ptg(&text).unwrap_err() {
+                PtgFileError::BadTask { line, .. } => assert_eq!(line, 2, "{bad:?}"),
+                other => panic!("{bad:?}: expected BadTask, got {other}"),
+            }
+        }
     }
 
     #[test]

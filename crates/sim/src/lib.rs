@@ -22,9 +22,14 @@
 pub mod corpus_io;
 pub mod event;
 pub mod executor;
+pub mod faults;
 pub mod formats;
 pub mod runner;
 pub mod trace;
 
 pub use executor::{ExecutionError, SimReport};
-pub use runner::{Algorithm, RunReport};
+pub use faults::{
+    execute_with_faults, fault_trials, FaultPlan, FaultSpec, FaultSpecError, FaultSummary,
+    FaultyReport,
+};
+pub use runner::{run_with_faults, Algorithm, RunReport};

@@ -1,6 +1,7 @@
 //! End-to-end experiment pipeline: platform + PTG + algorithm → report.
 
 use crate::executor::{execute_obs, SimReport};
+use crate::faults::{fault_trials, FaultSpec, FaultSummary};
 use emts::{ConvergenceTrace, Emts, EmtsConfig};
 use exec_model::{ExecutionTimeModel, TimeMatrix};
 use heuristics::{Allocator, Cpa, DeltaCritical, Hcpa, Mcpa, Mcpa2};
@@ -125,6 +126,9 @@ pub struct RunReport {
     pub allocation_seconds: f64,
     /// Seconds spent mapping the final allocation.
     pub mapping_seconds: f64,
+    /// Makespan-degradation distribution under fault injection (`None` —
+    /// serialized as JSON `null` — outside `--faults` runs).
+    pub faults: Option<FaultSummary>,
 }
 
 /// Runs `algorithm` for `g` on `cluster` under `model`, replays the
@@ -193,10 +197,48 @@ pub fn run_obs<M: ExecutionTimeModel + ?Sized, R: Recorder>(
             sim,
             allocation_seconds,
             mapping_seconds,
+            faults: None,
         },
         schedule,
         trace,
     )
+}
+
+/// [`run_obs`] followed by `trials` seeded fault-injection replays of the
+/// produced schedule; the degradation distribution lands in
+/// `report.faults`. Deterministic for a fixed `(algorithm, seed, spec)`.
+#[allow(clippy::too_many_arguments)] // mirrors run_obs + the fault knobs
+pub fn run_with_faults<M: ExecutionTimeModel + ?Sized, R: Recorder>(
+    algorithm: Algorithm,
+    g: &Ptg,
+    cluster: &Cluster,
+    model: &M,
+    seed: u64,
+    spec: &FaultSpec,
+    trials: usize,
+    rec: &R,
+) -> (RunReport, Schedule, Option<ConvergenceTrace>) {
+    let (mut report, schedule, trace) = run_obs(algorithm, g, cluster, model, seed, rec);
+    let matrix = TimeMatrix::compute(g, model, cluster.speed_flops(), cluster.processors);
+    let alloc = Allocation::from_vec(report.allocation.clone());
+    let summary = rec.time("faults", || {
+        fault_trials(g, &matrix, &schedule, &alloc, spec, trials)
+    });
+    if R::ENABLED {
+        rec.add("faults.trials", summary.trials as u64);
+        rec.add("faults.retries", summary.retries as u64);
+        rec.add("faults.tasks_killed", summary.tasks_killed as u64);
+        rec.add(
+            "faults.processor_failures",
+            summary.processor_failures as u64,
+        );
+        rec.add("faults.reschedules", summary.reschedules as u64);
+        rec.gauge("faults.mean_degradation", summary.mean_degradation);
+        rec.gauge("faults.p95_degradation", summary.p95_degradation);
+        rec.gauge("faults.worst_degradation", summary.worst_degradation);
+    }
+    report.faults = Some(summary);
+    (report, schedule, trace)
 }
 
 #[cfg(test)]
@@ -262,6 +304,48 @@ mod tests {
         let back: RunReport = serde_json::from_str(&json).unwrap();
         assert_eq!(back.algorithm, "MCPA");
         assert_eq!(back.makespan, report.makespan);
+    }
+
+    #[test]
+    fn fault_runs_attach_a_summary_and_are_reproducible() {
+        let g = graph();
+        let cluster = chti();
+        let model = SyntheticModel::default();
+        let spec = crate::faults::FaultSpec::parse("seed=5,perturb=0.3,crash=0.1").unwrap();
+        let (a, _, _) = run_with_faults(
+            Algorithm::Mcpa,
+            &g,
+            &cluster,
+            &model,
+            1,
+            &spec,
+            8,
+            &obs::NoopRecorder,
+        );
+        let fa = a.faults.as_ref().expect("fault summary attached");
+        assert_eq!(fa.trials, 8);
+        assert!(fa.mean_degradation >= 1.0);
+        assert!(fa.worst_degradation >= fa.p95_degradation);
+        let (b, _, _) = run_with_faults(
+            Algorithm::Mcpa,
+            &g,
+            &cluster,
+            &model,
+            1,
+            &spec,
+            8,
+            &obs::NoopRecorder,
+        );
+        assert_eq!(a.faults, b.faults);
+        // JSON round-trip keeps the summary; fault-free reports omit it.
+        let json = serde_json::to_string(&a).unwrap();
+        let back: RunReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.faults, a.faults);
+        let (plain, _) = run(Algorithm::Mcpa, &g, &cluster, &model, 1);
+        let plain_json = serde_json::to_string(&plain).unwrap();
+        assert!(plain_json.contains("\"faults\":null"));
+        let back: RunReport = serde_json::from_str(&plain_json).unwrap();
+        assert_eq!(back.faults, None);
     }
 
     #[test]

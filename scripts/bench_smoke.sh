@@ -23,13 +23,26 @@ REPORT=BENCH_fitness_report.json
 LOG=$(mktemp)
 trap 'rm -f "$LOG"' EXIT
 
+echo "== robustness smoke: fault-injected p95 degradation per workload"
+FAULT_SPEC="seed=2011,perturb=0.2,straggler_prob=0.05,straggler_factor=4,crash=0.05,retries=3,backoff=0.5,procfail=0.02"
+robust_p95() {
+    cargo run -q --offline --release -p sim --bin emts-sim -- \
+        --platform data/chti.platform --ptg "data/$1.ptg" --algorithm mcpa \
+        --faults "$FAULT_SPEC" --trials 20 --json \
+        | awk -F': ' '/"p95_degradation"/ { gsub(/,/, "", $2); print $2 }'
+}
+P95_FFT=$(robust_p95 fft16)
+P95_IRR=$(robust_p95 irregular_n50)
+echo "p95 degradation: fft16=${P95_FFT}x irregular_n50=${P95_IRR}x"
+
 cargo bench --offline -p bench --bench mapper 2>&1 | tee "$LOG"
 # Absolute path: cargo runs bench binaries with the package directory
 # (crates/bench) as their working directory.
 EMTS_RUN_REPORT="$PWD/$REPORT" \
     cargo bench --offline -p bench --bench emts_generation -- fitness 2>&1 | tee -a "$LOG"
 
-awk -v batch="$BATCH" '
+awk -v batch="$BATCH" -v fault_spec="$FAULT_SPEC" \
+    -v p95_fft="$P95_FFT" -v p95_irr="$P95_IRR" '
     /^CRITERION_RESULT id=fitness\// {
         id = ""; median = ""
         for (i = 1; i <= NF; i++) {
@@ -102,6 +115,14 @@ awk -v batch="$BATCH" '
         if (delta_total != "")
             printf "  \"delta_prefix_reuse\": { \"reused_events\": %d, \"total_events\": %d, \"reuse_rate\": %s },\n", \
                 delta_reused, delta_total, delta_rate
+        if (p95_fft != "" && p95_irr != "") {
+            printf "  \"robust_p95_degradation\": {\n"
+            printf "    \"spec\": \"%s\",\n", fault_spec
+            printf "    \"trials\": 20,\n"
+            printf "    \"fft16\": %s,\n", p95_fft
+            printf "    \"irregular_n50\": %s\n", p95_irr
+            printf "  },\n"
+        }
         printf "  \"emts10_run_cache\": {\n"
         for (i = 0; i < cn; i++) {
             w = cache_order[i]

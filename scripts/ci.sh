@@ -24,4 +24,23 @@ cargo test -q --offline --workspace
 echo "== perf guard (release): delta path must not be slower than pooled full eval"
 cargo test --release -q --offline -p emts --test perf_guard -- --ignored
 
+echo "== fault smoke: seeded injection is reproducible, fault-free replay is bit-identical"
+SIM="cargo run -q --offline -p sim --bin emts-sim --"
+FAULT_A=$(mktemp) FAULT_B=$(mktemp)
+trap 'rm -f "$FAULT_A" "$FAULT_B"' EXIT
+SPEC="seed=2011,perturb=0.2,straggler_prob=0.05,straggler_factor=4,crash=0.05,procfail=0.02"
+$SIM --platform data/chti.platform --ptg data/irregular_n50.ptg --algorithm mcpa \
+    --faults "$SPEC" --trials 5 --json | grep -v '_seconds' > "$FAULT_A"
+$SIM --platform data/chti.platform --ptg data/irregular_n50.ptg --algorithm mcpa \
+    --faults "$SPEC" --trials 5 --json | grep -v '_seconds' > "$FAULT_B"
+# Byte-identical apart from the wall-clock timing fields.
+cmp "$FAULT_A" "$FAULT_B" \
+    || { echo "seeded fault runs are not reproducible" >&2; exit 1; }
+# A spec that arms no fault source must degrade the makespan by exactly 1x
+# in every trial — the dynamic replay is bit-identical to the plan.
+$SIM --platform data/chti.platform --ptg data/fft16.ptg --algorithm mcpa \
+    --faults "seed=7" --trials 3 --json > "$FAULT_A"
+grep -q '"worst_degradation": 1.0,' "$FAULT_A" \
+    || { echo "fault-free replay is not bit-identical to the baseline" >&2; exit 1; }
+
 echo "CI OK"
