@@ -35,11 +35,11 @@ fn main() {
     h.say("individual I (one allele per task, allele i = s(v_i)):\n");
     let mut genotype = String::from("  position: ");
     for i in 1..=individual.len() {
-        write!(genotype, "{i:>4}").unwrap();
+        let _ = write!(genotype, "{i:>4}");
     }
     genotype.push_str("\n  allele  : ");
     for &s in individual.as_slice() {
-        write!(genotype, "{s:>4}").unwrap();
+        let _ = write!(genotype, "{s:>4}");
     }
     h.say(genotype);
     h.say(format_args!(

@@ -139,6 +139,7 @@ impl Emts {
     ) -> EmtsResult {
         let rec = pool.recorder();
         let _run_span = rec.span("ea");
+        // lint:allow(src-timing) -- results report elapsed wall time.
         let start = Instant::now();
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
         let v = g.task_count();

@@ -89,6 +89,7 @@ impl GridEmts {
         grid: &Grid,
         seed: u64,
     ) -> GridEmtsResult {
+        // lint:allow(src-timing) -- results report elapsed wall time.
         let start = Instant::now();
         let cfg = &self.cfg.base;
         let op = MutationOperator {

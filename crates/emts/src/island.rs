@@ -77,6 +77,7 @@ impl IslandEmts {
     /// Runs the island model; deterministic in `seed` (island `i` uses
     /// stream `seed·islands + i + epoch` per epoch).
     pub fn run(&self, g: &Ptg, matrix: &TimeMatrix, seed: u64) -> IslandResult {
+        // lint:allow(src-timing) -- results report elapsed wall time.
         let start = Instant::now();
         let cfg = &self.cfg;
         // Per-epoch generation budget (≥ 1 each).

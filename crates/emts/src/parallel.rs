@@ -279,6 +279,7 @@ fn drain_batch<R: Recorder>(
             panic!("sabotage: worker died mid-item");
         }
         let eval_start = if R::ENABLED {
+            // lint:allow(src-timing) -- recorder phase accounting.
             Some(Instant::now())
         } else {
             None
@@ -386,6 +387,7 @@ fn worker_incarnation<R: Recorder>(g: &Ptg, matrix: &TimeMatrix, core: &PoolCore
         match msg {
             Ok(batch) => {
                 let batch_start = if R::ENABLED {
+                    // lint:allow(src-timing) -- recorder phase accounting.
                     Some(Instant::now())
                 } else {
                     None
@@ -601,6 +603,7 @@ impl<'env, REC: Recorder> EvalPool<'env, REC> {
                     .iter()
                     .map(|a| {
                         let eval_start = if REC::ENABLED {
+                            // lint:allow(src-timing) -- recorder phase accounting.
                             Some(Instant::now())
                         } else {
                             None
@@ -623,6 +626,7 @@ impl<'env, REC: Recorder> EvalPool<'env, REC> {
             }
         };
         let dispatch_start = if REC::ENABLED {
+            // lint:allow(src-timing) -- recorder phase accounting.
             Some(Instant::now())
         } else {
             None
@@ -655,6 +659,7 @@ impl<'env, REC: Recorder> EvalPool<'env, REC> {
         let drain_start = if let Some(t) = dispatch_start {
             self.rec
                 .phase_add("pool/dispatch", t.elapsed().as_secs_f64());
+            // lint:allow(src-timing) -- recorder phase accounting.
             Some(Instant::now())
         } else {
             None
@@ -1006,6 +1011,7 @@ impl<'p, 'env, R: Recorder> FitnessEngine<'p, 'env, R> {
         }
         self.misses += 1;
         let eval_start = if R::ENABLED {
+            // lint:allow(src-timing) -- recorder phase accounting.
             Some(Instant::now())
         } else {
             None

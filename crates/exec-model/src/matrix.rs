@@ -59,6 +59,7 @@ impl TimeMatrix {
     /// # Panics
     /// Panics (via debug assertion / slice indexing) if `p` is 0 or exceeds
     /// `p_max`, or if `v` is out of range.
+    // lint:hot-path
     #[inline]
     pub fn time(&self, v: TaskId, p: u32) -> f64 {
         debug_assert!(p >= 1 && p <= self.p_max, "p = {p} out of range");
@@ -76,6 +77,7 @@ impl TimeMatrix {
     }
 
     /// Writes the per-task times for `alloc` into `out` without allocating.
+    // lint:hot-path
     pub fn fill_times(&self, alloc: &[u32], out: &mut Vec<f64>) {
         assert_eq!(alloc.len(), self.task_count());
         out.clear();

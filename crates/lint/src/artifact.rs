@@ -1,0 +1,353 @@
+//! Schedule-artifact analysis (Family A): static checks over a committed
+//! `*.schedule.json` bundle, with no execution.
+//!
+//! An artifact bundles everything needed to audit one scheduling run:
+//! the platform, the execution-time model name, the PTG (in the text
+//! format of [`sim::formats`]), the allocation, the schedule and the
+//! makespan the producer *reported*. The analyzer then:
+//!
+//! 1. re-derives the [`TimeMatrix`] and enumerates every schedule
+//!    violation through [`sched::for_each_violation`] (precedence,
+//!    processor overlap, width/duration mismatches),
+//! 2. cross-checks the reported makespan against the schedule itself and
+//!    against the critical-path and area lower bounds of
+//!    [`sched::bounds`] — a makespan below a proven lower bound cannot
+//!    come from a real run, so the artifact is corrupt,
+//! 3. flags the allocation smells the paper motivates: tasks allocated
+//!    past their speedup sweet spot, and non-monotonic (Model-2) waste
+//!    where strictly fewer processors would run a task at least as fast.
+//!
+//! Corrupt input must yield findings, never panics: the JSON is
+//! structurally validated before any `TaskId`-indexed access.
+
+use crate::findings::Finding;
+use crate::rules;
+use exec_model::{PaperModel, TimeMatrix};
+use platform::Cluster;
+use ptg::Ptg;
+use sched::bounds::lower_bounds;
+use sched::{for_each_violation, Allocation, Schedule};
+use serde::{Deserialize, Serialize};
+
+/// Relative tolerance for makespan comparisons, matching the validator's.
+const REL_TOL: f64 = 1e-9;
+
+/// A self-contained scheduling-run artifact (`*.schedule.json`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScheduleArtifact {
+    /// The cluster the schedule targets.
+    pub platform: Cluster,
+    /// Execution-time model name (`model1` / `model2`, see
+    /// [`PaperModel::parse`]).
+    pub model: String,
+    /// The PTG in the text format of [`sim::formats::parse_ptg`].
+    pub ptg: String,
+    /// Per-task processor counts, indexed by task id.
+    pub allocation: Vec<u32>,
+    /// The schedule under audit.
+    pub schedule: Schedule,
+    /// The makespan the producing run reported.
+    pub reported_makespan: f64,
+}
+
+impl ScheduleArtifact {
+    /// Packages a scheduling run into an artifact, reporting the
+    /// schedule's own makespan.
+    pub fn new(
+        platform: Cluster,
+        model: PaperModel,
+        g: &Ptg,
+        alloc: &Allocation,
+        schedule: Schedule,
+    ) -> ScheduleArtifact {
+        let reported_makespan = schedule.makespan();
+        ScheduleArtifact {
+            platform,
+            model: match model {
+                PaperModel::Model1 => "model1".to_string(),
+                PaperModel::Model2 => "model2".to_string(),
+            },
+            ptg: sim::formats::render_ptg(g),
+            allocation: alloc.as_slice().to_vec(),
+            schedule,
+            reported_makespan,
+        }
+    }
+}
+
+/// Lints the JSON text of a schedule artifact. `file` is used for finding
+/// locations only.
+pub fn lint_artifact_json(file: &str, json: &str) -> Vec<Finding> {
+    match serde_json::from_str::<ScheduleArtifact>(json) {
+        Ok(artifact) => lint_artifact(file, &artifact),
+        Err(e) => vec![Finding::new(
+            &rules::ARTIFACT_MALFORMED,
+            file,
+            None,
+            format!("not a schedule artifact: {e}"),
+        )],
+    }
+}
+
+/// Lints a parsed schedule artifact.
+pub fn lint_artifact(file: &str, artifact: &ScheduleArtifact) -> Vec<Finding> {
+    let mut out = Vec::new();
+    let malformed = |message: String| Finding::new(&rules::ARTIFACT_MALFORMED, file, None, message);
+
+    // Serde bypasses every constructor, so each component is re-validated
+    // here before any indexed access — corrupt artifacts must produce
+    // findings, not panics.
+    let p = artifact.platform.processors;
+    if p < 1 {
+        return vec![malformed("platform has zero processors".into())];
+    }
+    if !(artifact.platform.speed_gflops.is_finite() && artifact.platform.speed_gflops > 0.0) {
+        return vec![malformed(format!(
+            "platform speed must be positive and finite, got {}",
+            artifact.platform.speed_gflops
+        ))];
+    }
+    let Some(model) = PaperModel::parse(&artifact.model) else {
+        return vec![malformed(format!(
+            "unknown execution-time model {:?}",
+            artifact.model
+        ))];
+    };
+    let g = match sim::formats::parse_ptg(&artifact.ptg) {
+        Ok(g) => g,
+        Err(e) => return vec![malformed(format!("embedded ptg: {e}"))],
+    };
+    if artifact.allocation.len() != g.task_count() {
+        return vec![malformed(format!(
+            "allocation covers {} tasks, PTG has {}",
+            artifact.allocation.len(),
+            g.task_count()
+        ))];
+    }
+    if let Some((i, &a)) = artifact
+        .allocation
+        .iter()
+        .enumerate()
+        .find(|&(_, &a)| !(1..=p).contains(&a))
+    {
+        return vec![malformed(format!(
+            "allocation of v{i} is {a}, platform has {p} processors"
+        ))];
+    }
+    if artifact.schedule.processors != p {
+        return vec![malformed(format!(
+            "schedule spans {} processors, platform has {p}",
+            artifact.schedule.processors
+        ))];
+    }
+    for (i, pl) in artifact.schedule.placements.iter().enumerate() {
+        if pl.task.index() != i {
+            return vec![malformed(format!(
+                "placement {i} is for {}, placements must be dense and sorted",
+                pl.task
+            ))];
+        }
+        if pl.processors.is_empty()
+            || pl.processors.windows(2).any(|w| w[0] >= w[1])
+            || pl.processors.iter().any(|&q| q >= p)
+        {
+            return vec![malformed(format!(
+                "{}: processor list must be strictly increasing within 0..{p}",
+                pl.task
+            ))];
+        }
+        if !(pl.start.is_finite()
+            && pl.finish.is_finite()
+            && pl.start >= 0.0
+            && pl.finish >= pl.start)
+        {
+            return vec![malformed(format!(
+                "{}: placement times must be finite with finish >= start >= 0",
+                pl.task
+            ))];
+        }
+    }
+    if !artifact.reported_makespan.is_finite() {
+        return vec![malformed(format!(
+            "reported makespan must be finite, got {}",
+            artifact.reported_makespan
+        ))];
+    }
+
+    let matrix = TimeMatrix::compute(&g, &model.instantiate(), artifact.platform.speed_flops(), p);
+    let alloc = Allocation::from_vec(artifact.allocation.clone());
+
+    // 1. Every schedule violation, through the shared enumerator.
+    for_each_violation(&g, &matrix, &alloc, &artifact.schedule, &mut |v| {
+        let rule = match &v {
+            sched::ScheduleViolation::TaskCountMismatch { .. } => &rules::SCHED_TASK_COUNT,
+            sched::ScheduleViolation::WidthMismatch { .. } => &rules::SCHED_WIDTH,
+            sched::ScheduleViolation::DurationMismatch { .. } => &rules::SCHED_DURATION,
+            sched::ScheduleViolation::DependencyViolated { .. } => &rules::SCHED_PRECEDENCE,
+            sched::ScheduleViolation::ProcessorOverlap { .. } => &rules::SCHED_OVERLAP,
+        };
+        out.push(Finding::new(rule, file, None, v.to_string()));
+        true
+    });
+
+    // 2. Makespan cross-checks: against the schedule, then against the
+    // lower bounds (a reported makespan below a proven bound is
+    // impossible, so the artifact is corrupt).
+    let actual = artifact.schedule.makespan();
+    let reported = artifact.reported_makespan;
+    if (reported - actual).abs() > REL_TOL * actual.max(1.0) {
+        out.push(Finding::new(
+            &rules::SCHED_MAKESPAN_REPORT,
+            file,
+            None,
+            format!("reported makespan {reported}s, schedule finishes at {actual}s"),
+        ));
+    }
+    let bounds = lower_bounds(&g, &matrix, &alloc);
+    for (bound, name) in [
+        (bounds.critical_path, "critical-path"),
+        (bounds.area, "area"),
+    ] {
+        if reported < bound * (1.0 - REL_TOL) {
+            out.push(Finding::new(
+                &rules::SCHED_BELOW_BOUND,
+                file,
+                None,
+                format!("reported makespan {reported}s beats the {name} lower bound {bound}s"),
+            ));
+        }
+    }
+
+    // 3. Allocation smells under the configured execution-time model.
+    for v in g.task_ids() {
+        let a = alloc.of(v);
+        let best = matrix.best_p(v);
+        if a > best {
+            out.push(Finding::new(
+                &rules::ALLOC_PAST_SWEET_SPOT,
+                file,
+                None,
+                format!(
+                    "{v} allocated {a} processors past its sweet spot {best} \
+                     ({}s vs {}s)",
+                    matrix.time(v, a),
+                    matrix.time(v, best)
+                ),
+            ));
+        } else if let Some(q) = (1..a).find(|&q| matrix.time(v, q) <= matrix.time(v, a)) {
+            out.push(Finding::new(
+                &rules::ALLOC_NONMONOTONIC_WASTE,
+                file,
+                None,
+                format!(
+                    "{v} allocated {a} processors but {q} would be at least as fast \
+                     ({}s vs {}s)",
+                    matrix.time(v, q),
+                    matrix.time(v, a)
+                ),
+            ));
+        }
+    }
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use exec_model::Amdahl;
+    use sched::{ListScheduler, Mapper};
+
+    fn chain(n: usize) -> Ptg {
+        let mut b = ptg::PtgBuilder::new();
+        for i in 0..n {
+            b.add_task(format!("t{i}"), 2e9, 0.0);
+        }
+        for i in 1..n {
+            let _ = b.add_edge(ptg::TaskId::from_index(i - 1), ptg::TaskId::from_index(i));
+        }
+        b.build().expect("chain is acyclic")
+    }
+
+    fn clean_artifact() -> ScheduleArtifact {
+        let g = chain(3);
+        let cluster = Cluster::new("test", 4, 1.0);
+        let m = TimeMatrix::compute(&g, &Amdahl, cluster.speed_flops(), 4);
+        let alloc = Allocation::from_vec(vec![2, 4, 1]);
+        let s = ListScheduler.map(&g, &m, &alloc);
+        ScheduleArtifact::new(cluster, PaperModel::Model1, &g, &alloc, s)
+    }
+
+    #[test]
+    fn mapper_artifact_is_clean() {
+        let a = clean_artifact();
+        assert_eq!(lint_artifact("a.schedule.json", &a), vec![]);
+        let json = serde_json::to_string(&a).expect("artifacts serialize");
+        assert_eq!(lint_artifact_json("a.schedule.json", &json), vec![]);
+    }
+
+    #[test]
+    fn garbage_json_is_a_single_malformed_finding() {
+        let f = lint_artifact_json("x.schedule.json", "{not json");
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, "artifact-malformed");
+    }
+
+    #[test]
+    fn structural_corruption_never_panics() {
+        let base = clean_artifact();
+        let mut sparse = base.clone();
+        sparse.schedule.placements[1].task = ptg::TaskId(5);
+        let mut oob = base.clone();
+        oob.schedule.placements[0].processors = vec![99];
+        let mut nan = base.clone();
+        nan.schedule.placements[0].start = f64::NAN;
+        let mut alien_model = base.clone();
+        alien_model.model = "model9".into();
+        let mut short_alloc = base.clone();
+        short_alloc.allocation.pop();
+        for bad in [sparse, oob, nan, alien_model, short_alloc] {
+            let f = lint_artifact("x.schedule.json", &bad);
+            assert_eq!(f.len(), 1, "{f:?}");
+            assert_eq!(f[0].rule, "artifact-malformed");
+        }
+    }
+
+    #[test]
+    fn tampered_report_fires_makespan_and_bound_rules() {
+        let mut a = clean_artifact();
+        a.reported_makespan = 0.001;
+        let f = lint_artifact("x.schedule.json", &a);
+        assert!(f.iter().any(|x| x.rule == "sched-makespan-report"), "{f:?}");
+        assert!(f.iter().any(|x| x.rule == "sched-below-bound"), "{f:?}");
+    }
+
+    #[test]
+    fn precedence_violation_maps_to_its_rule() {
+        let mut a = clean_artifact();
+        // Pull task 1 earlier than its predecessor's finish while keeping
+        // its duration intact.
+        let d = a.schedule.placements[1].duration();
+        a.schedule.placements[1].start = 0.0;
+        a.schedule.placements[1].finish = d;
+        let f = lint_artifact("x.schedule.json", &a);
+        assert!(f.iter().any(|x| x.rule == "sched-precedence"), "{f:?}");
+    }
+
+    #[test]
+    fn sweet_spot_smell_fires_under_amdahl_with_serial_tasks() {
+        // alpha = 1.0 tasks cannot speed up: any allocation > 1 is past the
+        // sweet spot.
+        let mut b = ptg::PtgBuilder::new();
+        b.add_task("serial", 1e9, 1.0);
+        let g = b.build().expect("single task");
+        let cluster = Cluster::new("test", 4, 1.0);
+        let m = TimeMatrix::compute(&g, &Amdahl, cluster.speed_flops(), 4);
+        let alloc = Allocation::from_vec(vec![3]);
+        let s = ListScheduler.map(&g, &m, &alloc);
+        let a = ScheduleArtifact::new(cluster, PaperModel::Model1, &g, &alloc, s);
+        let f = lint_artifact("x.schedule.json", &a);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, "alloc-past-sweet-spot");
+    }
+}

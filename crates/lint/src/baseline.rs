@@ -1,0 +1,116 @@
+//! Committed baselines: accept today's findings, gate only what is new.
+//!
+//! A baseline is a JSON file of finding fingerprints (rule + file +
+//! message, deliberately line-free so edits above a known finding do not
+//! resurrect it). `emts-lint --baseline <file>` drops findings whose
+//! fingerprint appears in the baseline; `--write-baseline <file>` records
+//! the current findings so a legacy tree can adopt the analyzer
+//! incrementally while still failing on regressions.
+
+use crate::findings::Finding;
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+
+/// Schema version of the baseline file.
+pub const BASELINE_VERSION: u32 = 1;
+
+/// The on-disk baseline format.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Baseline {
+    /// Format version, for forward evolution.
+    pub version: u32,
+    /// Accepted findings, one entry each.
+    pub entries: Vec<BaselineEntry>,
+}
+
+/// One accepted finding.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BaselineEntry {
+    /// Rule id of the accepted finding.
+    pub rule: String,
+    /// File the finding is in.
+    pub file: String,
+    /// The finding's message (part of the identity).
+    pub message: String,
+}
+
+impl Baseline {
+    /// Builds a baseline accepting exactly `findings`.
+    pub fn from_findings(findings: &[Finding]) -> Baseline {
+        Baseline {
+            version: BASELINE_VERSION,
+            entries: findings
+                .iter()
+                .map(|f| BaselineEntry {
+                    rule: f.rule.clone(),
+                    file: f.file.clone(),
+                    message: f.message.clone(),
+                })
+                .collect(),
+        }
+    }
+
+    /// Parses a baseline file.
+    pub fn parse(json: &str) -> Result<Baseline, String> {
+        let b: Baseline = serde_json::from_str(json).map_err(|e| format!("bad baseline: {e}"))?;
+        if b.version != BASELINE_VERSION {
+            return Err(format!(
+                "baseline version {} unsupported (expected {BASELINE_VERSION})",
+                b.version
+            ));
+        }
+        Ok(b)
+    }
+
+    /// Serializes the baseline.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).unwrap_or_else(|_| "{}".to_string())
+    }
+
+    /// Splits findings into (new, baselined). Each baseline entry absorbs
+    /// any number of identical findings — a fingerprint is an identity,
+    /// not a budget.
+    pub fn partition(&self, findings: Vec<Finding>) -> (Vec<Finding>, Vec<Finding>) {
+        let accepted: HashSet<String> = self
+            .entries
+            .iter()
+            .map(|e| format!("{}\u{1f}{}\u{1f}{}", e.rule, e.file, e.message))
+            .collect();
+        findings
+            .into_iter()
+            .partition(|f| !accepted.contains(&f.fingerprint()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules;
+
+    #[test]
+    fn round_trip_and_partition() {
+        let old = Finding::new(&rules::PTG_CYCLE, "g.ptg", Some(3), "cycle");
+        let new = Finding::new(&rules::PTG_ORPHAN, "g.ptg", Some(5), "orphan");
+        let b = Baseline::from_findings(std::slice::from_ref(&old));
+        let b = Baseline::parse(&b.to_json()).expect("round trip");
+        let (fresh, known) = b.partition(vec![old.clone(), new.clone()]);
+        assert_eq!(fresh, vec![new]);
+        assert_eq!(known, vec![old]);
+    }
+
+    #[test]
+    fn line_drift_does_not_resurrect_baselined_findings() {
+        let at3 = Finding::new(&rules::PTG_CYCLE, "g.ptg", Some(3), "cycle");
+        let at9 = Finding::new(&rules::PTG_CYCLE, "g.ptg", Some(9), "cycle");
+        let b = Baseline::from_findings(&[at3]);
+        let (fresh, known) = b.partition(vec![at9]);
+        assert!(fresh.is_empty());
+        assert_eq!(known.len(), 1);
+    }
+
+    #[test]
+    fn version_mismatch_is_rejected() {
+        assert!(Baseline::parse(r#"{"version": 99, "entries": []}"#).is_err());
+        assert!(Baseline::parse("not json").is_err());
+    }
+}

@@ -1,0 +1,600 @@
+//! Source-invariant lint (Family B): a hand-rolled Rust token scanner
+//! enforcing project invariants over `crates/*/src`.
+//!
+//! No `syn` lives under `vendor/`, and none is needed: the rules only
+//! require a lexer that is exact about what is *code* — it skips string
+//! and char literals, line and (nested) block comments, and raw strings —
+//! plus enough structure tracking to know the current function, whether
+//! the item is under `#[cfg(test)]`/`#[test]`, and where attributes end.
+//!
+//! Two comment pragmas steer the scanner:
+//!
+//! * `// lint:allow(rule-id, ...)` — suppresses those rules on the same
+//!   line (trailing comment) or the directly following line (standalone
+//!   comment). Every suppression is an audited exception.
+//! * `// lint:hot-path` — marks the *next* `fn` as allocation-free: any
+//!   allocating call inside it is reported by `src-hot-path-alloc`.
+
+use crate::findings::Finding;
+use crate::rules;
+use std::collections::{HashMap, HashSet};
+
+/// One lexed token: identifiers and single punctuation characters.
+/// Literals, comments and whitespace never reach the scanner.
+#[derive(Debug, Clone, PartialEq)]
+enum Tok<'a> {
+    Ident(&'a str),
+    Punct(char),
+}
+
+/// Lexer output: the token stream plus the pragma side tables.
+struct Lexed<'a> {
+    toks: Vec<(Tok<'a>, usize)>,
+    /// `line -> rule ids` from `// lint:allow(...)` comments.
+    allows: HashMap<usize, HashSet<String>>,
+    /// Lines of `// lint:hot-path` pragmas, in order.
+    hot_paths: Vec<usize>,
+}
+
+fn lex(src: &str) -> Lexed<'_> {
+    let bytes = src.as_bytes();
+    let mut toks = Vec::new();
+    let mut allows: HashMap<usize, HashSet<String>> = HashMap::new();
+    let mut hot_paths = Vec::new();
+    let mut i = 0;
+    let mut line = 1;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            '/' if bytes.get(i + 1) == Some(&b'/') => {
+                let end = src[i..].find('\n').map_or(bytes.len(), |n| i + n);
+                parse_pragma(src[i + 2..end].trim(), line, &mut allows, &mut hot_paths);
+                i = end;
+            }
+            '/' if bytes.get(i + 1) == Some(&b'*') => {
+                // Nested block comments, counting newlines.
+                let mut depth = 1;
+                i += 2;
+                while i < bytes.len() && depth > 0 {
+                    match (bytes[i], bytes.get(i + 1)) {
+                        (b'/', Some(b'*')) => {
+                            depth += 1;
+                            i += 2;
+                        }
+                        (b'*', Some(b'/')) => {
+                            depth -= 1;
+                            i += 2;
+                        }
+                        (b'\n', _) => {
+                            line += 1;
+                            i += 1;
+                        }
+                        _ => i += 1,
+                    }
+                }
+            }
+            '"' => i = skip_string(bytes, i, &mut line),
+            '\'' => {
+                // Char literal or lifetime. A char literal is either an
+                // escape ('\…') or exactly one char before the closing
+                // quote; everything else ('a in <'a>, 'static) is a
+                // lifetime — only the quote itself is consumed.
+                if bytes.get(i + 1) == Some(&b'\\') {
+                    i += 2; // opening quote + backslash
+                    if i < bytes.len() {
+                        i += 1; // the escaped character
+                    }
+                    while i < bytes.len() && bytes[i] != b'\'' {
+                        i += 1; // \u{…} payloads
+                    }
+                    i += 1; // closing quote
+                } else if i + 2 < bytes.len() && bytes[i + 2] == b'\'' {
+                    i += 3;
+                } else {
+                    i += 1;
+                }
+            }
+            _ if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len()
+                    && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                let ident = &src[start..i];
+                // String prefixes: r"…", r#"…"#, b"…", br#"…"#.
+                let is_raw = matches!(ident, "r" | "b" | "br" | "rb");
+                if is_raw && i < bytes.len() && (bytes[i] == b'"' || bytes[i] == b'#') {
+                    i = skip_raw_string(bytes, i, &mut line);
+                } else {
+                    toks.push((Tok::Ident(ident), line));
+                }
+            }
+            _ if c.is_ascii_digit() => {
+                // Numbers (including suffixes like 1e9, 0xff, 3u32) carry
+                // no rule signal; dots stay separate tokens so `x.0.expect`
+                // still lexes its `.` before `expect`.
+                while i < bytes.len()
+                    && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+            }
+            _ if c.is_whitespace() => i += 1,
+            _ => {
+                toks.push((Tok::Punct(c), line));
+                i += 1;
+            }
+        }
+    }
+    Lexed {
+        toks,
+        allows,
+        hot_paths,
+    }
+}
+
+/// Skips a regular string literal starting at the opening quote.
+fn skip_string(bytes: &[u8], mut i: usize, line: &mut usize) -> usize {
+    i += 1;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\\' => i += 2,
+            b'"' => return i + 1,
+            b'\n' => {
+                *line += 1;
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    i
+}
+
+/// Skips a raw string; `i` points at the first `#` or `"` after the `r`
+/// prefix.
+fn skip_raw_string(bytes: &[u8], mut i: usize, line: &mut usize) -> usize {
+    let mut hashes = 0;
+    while i < bytes.len() && bytes[i] == b'#' {
+        hashes += 1;
+        i += 1;
+    }
+    if i >= bytes.len() || bytes[i] != b'"' {
+        return i; // `r#ident` raw identifier, not a string
+    }
+    i += 1;
+    while i < bytes.len() {
+        if bytes[i] == b'\n' {
+            *line += 1;
+        } else if bytes[i] == b'"' && bytes[i + 1..].iter().take(hashes).all(|&b| b == b'#') {
+            return i + 1 + hashes;
+        }
+        i += 1;
+    }
+    i
+}
+
+/// Parses `lint:allow(...)` / `lint:hot-path` out of a line comment body.
+fn parse_pragma(
+    comment: &str,
+    line: usize,
+    allows: &mut HashMap<usize, HashSet<String>>,
+    hot_paths: &mut Vec<usize>,
+) {
+    let Some(rest) = comment.strip_prefix("lint:") else {
+        return;
+    };
+    // Trailing prose after the pragma is encouraged — every suppression
+    // should say why (`// lint:allow(x) -- reason`).
+    if rest == "hot-path" || rest.starts_with("hot-path ") {
+        hot_paths.push(line);
+    } else if let Some(args) = rest
+        .strip_prefix("allow(")
+        .and_then(|a| a.find(')').map(|close| &a[..close]))
+    {
+        let entry = allows.entry(line).or_default();
+        for id in args.split(',').map(str::trim).filter(|s| !s.is_empty()) {
+            entry.insert(id.to_string());
+        }
+    }
+}
+
+/// True for function names the unwrap rule treats as user-input parse
+/// paths.
+fn is_parse_path(name: &str) -> bool {
+    name == "from_str"
+        || name.starts_with("parse")
+        || name.starts_with("read_")
+        || name.starts_with("load_")
+}
+
+/// Method names whose calls allocate (used by `src-hot-path-alloc`).
+const ALLOC_METHODS: &[&str] = &["to_string", "to_vec", "to_owned", "collect"];
+/// Types whose constructors allocate.
+const ALLOC_TYPES: &[&str] = &[
+    "Box", "Vec", "String", "HashMap", "HashSet", "BTreeMap", "BTreeSet", "VecDeque",
+];
+
+/// A function currently being scanned.
+struct FnFrame {
+    name: String,
+    /// Brace depth *outside* the body; the frame pops when depth returns
+    /// here.
+    depth: usize,
+    hot_path: bool,
+}
+
+/// Lints one Rust source file. `timing_exempt` is set for the crates whose
+/// whole point is wall-clock measurement (`obs`, `bench`).
+pub fn lint_source(file: &str, src: &str, timing_exempt: bool) -> Vec<Finding> {
+    let lexed = lex(src);
+    let toks = &lexed.toks;
+    let mut out = Vec::new();
+    let mut emit = |rule: &'static crate::rules::Rule, line: usize, message: String| {
+        // A `lint:allow` on the same line (trailing comment) or directly
+        // above (standalone comment) suppresses the finding.
+        let allowed = [line, line.saturating_sub(1)]
+            .iter()
+            .any(|l| lexed.allows.get(l).is_some_and(|ids| ids.contains(rule.id)));
+        if !allowed {
+            out.push(Finding::new(rule, file, Some(line), message));
+        }
+    };
+
+    let mut depth = 0usize;
+    let mut fns: Vec<FnFrame> = Vec::new();
+    let mut pending_fn: Option<FnFrame> = None;
+    let mut pending_test = false;
+    let mut skip_above: Option<usize> = None; // test region: skip while depth > this
+    let mut hot_pragmas = lexed.hot_paths.iter().copied().peekable();
+
+    let mut i = 0;
+    while i < toks.len() {
+        let (tok, line) = &toks[i];
+        let in_test = skip_above.is_some();
+        match tok {
+            Tok::Punct('#') => {
+                // Attribute: #[...] or #![...]; scan to the matching ']'.
+                let mut j = i + 1;
+                if matches!(toks.get(j), Some((Tok::Punct('!'), _))) {
+                    j += 1;
+                }
+                if matches!(toks.get(j), Some((Tok::Punct('['), _))) {
+                    let mut brackets = 0usize;
+                    let mut has_test = false;
+                    let mut negated = false;
+                    while let Some((t, _)) = toks.get(j) {
+                        match t {
+                            Tok::Punct('[') => brackets += 1,
+                            Tok::Punct(']') => {
+                                brackets -= 1;
+                                if brackets == 0 {
+                                    break;
+                                }
+                            }
+                            Tok::Ident("test") => has_test = true,
+                            Tok::Ident("not") => negated = true,
+                            _ => {}
+                        }
+                        j += 1;
+                    }
+                    // #[test], #[cfg(test)], #[cfg_attr(test, …)] mark the
+                    // next item as test code; #[cfg(not(test))] does not.
+                    if has_test && !negated {
+                        pending_test = true;
+                    }
+                    i = j + 1;
+                    continue;
+                }
+            }
+            Tok::Punct('{') => {
+                if pending_test && skip_above.is_none() {
+                    skip_above = Some(depth);
+                    pending_test = false;
+                }
+                if let Some(frame) = pending_fn.take() {
+                    fns.push(frame);
+                }
+                depth += 1;
+            }
+            Tok::Punct('}') => {
+                depth = depth.saturating_sub(1);
+                if skip_above == Some(depth) {
+                    skip_above = None;
+                }
+                while fns.last().is_some_and(|f| f.depth >= depth) {
+                    fns.pop();
+                }
+            }
+            Tok::Punct(';') => {
+                // A `;` before any body cancels pending items (trait method
+                // declarations, `#[cfg(test)] use …;`).
+                pending_fn = None;
+                pending_test = false;
+            }
+            Tok::Ident("fn") => {
+                if let Some((Tok::Ident(name), _)) = toks.get(i + 1) {
+                    let mut hot = false;
+                    while hot_pragmas.peek().is_some_and(|&p| p <= *line) {
+                        hot_pragmas.next();
+                        hot = true;
+                    }
+                    pending_fn = Some(FnFrame {
+                        name: name.to_string(),
+                        depth,
+                        hot_path: hot,
+                    });
+                }
+            }
+            Tok::Ident("panic")
+                if !in_test
+                    && matches!(toks.get(i + 1), Some((Tok::Punct('!'), _)))
+                    && fns.last().is_some_and(|f| is_parse_path(&f.name)) =>
+            {
+                let f = fns.last().expect("checked above");
+                emit(
+                    &rules::SRC_UNWRAP_PARSE,
+                    *line,
+                    format!("panic! in parse path fn {}", f.name),
+                );
+            }
+            Tok::Ident(name @ ("unwrap" | "expect")) if !in_test => {
+                let dotted = i > 0 && matches!(toks[i - 1].0, Tok::Punct('.'));
+                let called = matches!(toks.get(i + 1), Some((Tok::Punct('('), _)));
+                if dotted && called {
+                    if fns.last().is_some_and(|f| is_parse_path(&f.name)) {
+                        let f = fns.last().expect("checked above");
+                        emit(
+                            &rules::SRC_UNWRAP_PARSE,
+                            *line,
+                            format!(".{name}() in parse path fn {}", f.name),
+                        );
+                    }
+                    // write!(…).unwrap() / writeln!(…).expect(…): walk back
+                    // over the macro's balanced parens to its name.
+                    if let Some(mac) = write_macro_before(toks, i - 1) {
+                        emit(
+                            &rules::SRC_WRITE_UNWRAP,
+                            *line,
+                            format!("{mac}!(…).{name}() — propagate the fmt::Result instead"),
+                        );
+                    }
+                }
+            }
+            Tok::Ident(t @ ("Instant" | "SystemTime"))
+                if !in_test
+                    && !timing_exempt
+                    && matches!(toks.get(i + 1), Some((Tok::Punct(':'), _)))
+                    && matches!(toks.get(i + 2), Some((Tok::Punct(':'), _)))
+                    && matches!(toks.get(i + 3), Some((Tok::Ident("now"), _))) =>
+            {
+                emit(
+                    &rules::SRC_TIMING,
+                    *line,
+                    format!("{t}::now() outside the obs/bench crates"),
+                );
+            }
+            _ => {}
+        }
+
+        // Hot-path allocation checks, independent of the rules above.
+        if !in_test && fns.last().is_some_and(|f| f.hot_path) {
+            if let Tok::Ident(name) = tok {
+                let next_bang = matches!(toks.get(i + 1), Some((Tok::Punct('!'), _)));
+                let prev_dot = i > 0 && matches!(toks[i - 1].0, Tok::Punct('.'));
+                let path_call = ALLOC_TYPES.contains(name)
+                    && matches!(toks.get(i + 1), Some((Tok::Punct(':'), _)))
+                    && matches!(toks.get(i + 2), Some((Tok::Punct(':'), _)))
+                    && matches!(
+                        toks.get(i + 3),
+                        Some((Tok::Ident("new" | "with_capacity" | "from"), _))
+                    );
+                if (matches!(*name, "vec" | "format") && next_bang)
+                    || (prev_dot && ALLOC_METHODS.contains(name))
+                    || path_call
+                {
+                    emit(
+                        &rules::SRC_HOT_PATH_ALLOC,
+                        *line,
+                        format!(
+                            "allocating call `{name}` inside hot-path fn {}",
+                            fns.last().map(|f| f.name.as_str()).unwrap_or("?")
+                        ),
+                    );
+                }
+            }
+        }
+        i += 1;
+    }
+    out
+}
+
+/// If the token before `close_dot` (a `.`) is the `)` closing a
+/// `write!(…)` / `writeln!(…)` macro call, returns the macro name.
+fn write_macro_before<'a>(toks: &[(Tok<'a>, usize)], dot: usize) -> Option<&'a str> {
+    if dot == 0 || !matches!(toks[dot - 1].0, Tok::Punct(')')) {
+        return None;
+    }
+    let mut depth = 0usize;
+    let mut j = dot - 1;
+    loop {
+        match toks[j].0 {
+            Tok::Punct(')') => depth += 1,
+            Tok::Punct('(') => {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+            _ => {}
+        }
+        if j == 0 {
+            return None;
+        }
+        j -= 1;
+    }
+    if j >= 2
+        && matches!(toks[j - 1].0, Tok::Punct('!'))
+        && matches!(toks[j - 2].0, Tok::Ident("write" | "writeln"))
+    {
+        match toks[j - 2].0 {
+            Tok::Ident(name) => Some(name),
+            Tok::Punct(_) => None,
+        }
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn findings(src: &str) -> Vec<(String, usize)> {
+        lint_source("x.rs", src, false)
+            .into_iter()
+            .map(|f| (f.rule, f.line.unwrap_or(0)))
+            .collect()
+    }
+
+    #[test]
+    fn unwrap_in_parse_fn_is_flagged_outside_tests() {
+        let src = r#"
+fn parse_config(s: &str) -> u32 {
+    s.parse().unwrap()
+}
+fn render(x: u32) -> String {
+    maybe(x).unwrap()
+}
+"#;
+        assert_eq!(findings(src), vec![("src-unwrap-parse".to_string(), 3)]);
+    }
+
+    #[test]
+    fn expect_and_panic_in_parse_paths() {
+        let src = "fn from_str(s: &str) { s.parse().expect(\"n\"); }\n\
+                   fn load_file(p: &str) { panic!(\"missing {p}\"); }\n";
+        assert_eq!(
+            findings(src),
+            vec![
+                ("src-unwrap-parse".to_string(), 1),
+                ("src-unwrap-parse".to_string(), 2)
+            ]
+        );
+    }
+
+    #[test]
+    fn cfg_test_modules_and_test_fns_are_skipped() {
+        let src = r#"
+#[cfg(test)]
+mod tests {
+    fn parse_helper(s: &str) -> u32 { s.parse().unwrap() }
+}
+#[test]
+fn parses() { parse_number("7").unwrap(); }
+fn parse_number(s: &str) -> Option<u32> { s.parse().ok() }
+"#;
+        assert_eq!(findings(src), vec![]);
+    }
+
+    #[test]
+    fn cfg_test_on_a_use_does_not_skip_the_next_item() {
+        let src =
+            "#[cfg(test)]\nuse std::fmt;\nfn parse_x(s: &str) { s.parse::<u32>().unwrap(); }\n";
+        assert_eq!(findings(src), vec![("src-unwrap-parse".to_string(), 3)]);
+    }
+
+    #[test]
+    fn timing_rule_and_exemption() {
+        let src = "fn tick() { let t = Instant::now(); let s = SystemTime::now(); }\n";
+        assert_eq!(
+            findings(src),
+            vec![("src-timing".to_string(), 1), ("src-timing".to_string(), 1)]
+        );
+        assert_eq!(lint_source("x.rs", src, true), vec![]);
+    }
+
+    #[test]
+    fn write_unwrap_chain_is_flagged_anywhere() {
+        let src = "fn render(out: &mut String) {\n    writeln!(out, \"x {}\", 1).unwrap();\n\
+                       write!(out, \"y\").expect(\"fmt\");\n}\n";
+        assert_eq!(
+            findings(src),
+            vec![
+                ("src-write-unwrap".to_string(), 2),
+                ("src-write-unwrap".to_string(), 3)
+            ]
+        );
+    }
+
+    #[test]
+    fn strings_comments_and_lifetimes_hide_tokens() {
+        let src = r##"
+fn parse_docs<'a>(s: &'a str) -> &'a str {
+    // s.parse().unwrap() in a comment
+    /* nested /* writeln!(x).unwrap() */ block */
+    let _c = 'x';
+    let _e = '\n';
+    let raw = r#"Instant::now() . unwrap ( ) "#;
+    let plain = "panic!(\"no\")";
+    s
+}
+"##;
+        assert_eq!(findings(src), vec![]);
+    }
+
+    #[test]
+    fn allow_pragma_suppresses_same_and_next_line() {
+        let src = "fn parse_a(s: &str) { s.parse::<u32>().unwrap() /* keep */; } // lint:allow(src-unwrap-parse)\n\
+                   fn parse_b(s: &str) {\n    // lint:allow(src-unwrap-parse)\n    s.parse::<u32>().unwrap();\n}\n\
+                   fn parse_c(s: &str) { s.parse::<u32>().unwrap(); } // lint:allow(other-rule)\n";
+        assert_eq!(findings(src), vec![("src-unwrap-parse".to_string(), 6)]);
+    }
+
+    #[test]
+    fn hot_path_pragma_flags_allocations_in_the_next_fn_only() {
+        let src = r#"
+// lint:hot-path
+fn inner_kernel(xs: &mut [u32]) {
+    let v = vec![1, 2];
+    let s = String::new();
+    let t = x.to_string();
+    let b = Box::new(3);
+    let c: Vec<u32> = xs.iter().copied().collect();
+}
+fn relaxed() -> Vec<u32> {
+    vec![1]
+}
+"#;
+        let got = findings(src);
+        assert_eq!(
+            got.iter().map(|(r, _)| r.as_str()).collect::<Vec<_>>(),
+            vec!["src-hot-path-alloc"; 5]
+        );
+        assert_eq!(
+            got.iter().map(|(_, l)| *l).collect::<Vec<_>>(),
+            vec![4, 5, 6, 7, 8]
+        );
+    }
+
+    #[test]
+    fn nested_fn_pops_back_to_the_outer_frame() {
+        let src = r#"
+fn parse_outer(s: &str) {
+    fn helper() -> u32 { 7 }
+    s.parse::<u32>().unwrap();
+}
+"#;
+        assert_eq!(findings(src), vec![("src-unwrap-parse".to_string(), 4)]);
+    }
+
+    #[test]
+    fn raw_identifiers_and_byte_strings_lex() {
+        let src = "fn parse_r(s: &str) { let r#type = b\"bytes\"; let _ = br#\"raw\"#; s.parse::<u32>().unwrap(); }\n";
+        assert_eq!(findings(src), vec![("src-unwrap-parse".to_string(), 1)]);
+    }
+}

@@ -1,0 +1,87 @@
+//! Property: the list scheduler's output on random DAGGEN PTGs — under
+//! both execution-time models — packages into a lint-clean artifact at any
+//! severity.
+//!
+//! Allocations are sanitized to the *prefix sweet spot*: for a raw draw
+//! `r`, the task gets the smallest argmin of `t(v, ·)` over `1..=r`. That
+//! allocation is strictly faster than every smaller width (no
+//! `alloc-nonmonotonic-waste`) and never exceeds the global sweet spot (no
+//! `alloc-past-sweet-spot`), so a correct mapper must produce zero
+//! findings.
+
+use exec_model::{PaperModel, TimeMatrix};
+use lint::lint_artifact;
+use lint::ScheduleArtifact;
+use platform::Cluster;
+use proptest::prelude::*;
+use ptg::TaskId;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use sched::{Allocation, ListScheduler, Mapper};
+use workloads::{CostConfig, DaggenParams};
+
+/// Smallest processor count minimizing `t(v, ·)` over `1..=cap`.
+fn prefix_sweet_spot(m: &TimeMatrix, v: TaskId, cap: u32) -> u32 {
+    let mut best = 1;
+    for p in 2..=cap {
+        if m.time(v, p) < m.time(v, best) {
+            best = p;
+        }
+    }
+    best
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn list_scheduler_output_is_lint_clean(
+        seed in 0u64..1_000_000,
+        n in 2usize..30,
+        width in 0.2f64..=0.8,
+        density in 0.2f64..=0.8,
+        jump in 0usize..3,
+        processors in 2u32..16,
+        model_choice in 0u32..2,
+    ) {
+        let params = DaggenParams {
+            n,
+            width,
+            regularity: 0.5,
+            density,
+            jump,
+        };
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let g = workloads::daggen::random_ptg(&params, &CostConfig::default(), &mut rng);
+
+        let model = if model_choice == 1 { PaperModel::Model2 } else { PaperModel::Model1 };
+        let cluster = Cluster::new("prop", processors, 4.0);
+        let m = TimeMatrix::compute(
+            &g,
+            &model.instantiate(),
+            cluster.speed_flops(),
+            processors,
+        );
+
+        // Raw draws derived from the seeded rng, then sanitized per task.
+        let alloc: Vec<u32> = g
+            .task_ids()
+            .enumerate()
+            .map(|(i, v)| {
+                let raw = 1 + ((seed >> (i % 32)) as u32 + i as u32) % processors;
+                prefix_sweet_spot(&m, v, raw)
+            })
+            .collect();
+        let alloc = Allocation::from_vec(alloc);
+        let schedule = ListScheduler.map(&g, &m, &alloc);
+
+        let artifact = ScheduleArtifact::new(cluster, model, &g, &alloc, schedule);
+        let findings = lint_artifact("prop.schedule.json", &artifact);
+        prop_assert!(findings.is_empty(), "{findings:?}");
+
+        // And through the JSON round trip the driver takes.
+        let json = serde_json::to_string(&artifact).expect("artifacts serialize");
+        let findings = lint::lint_artifact_json("prop.schedule.json", &json);
+        prop_assert!(findings.is_empty(), "{findings:?}");
+    }
+}

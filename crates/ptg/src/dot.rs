@@ -1,7 +1,7 @@
 //! Graphviz DOT export for PTGs.
 
 use crate::graph::Ptg;
-use std::fmt::Write as _;
+use std::fmt;
 
 /// Options controlling DOT output.
 #[derive(Debug, Clone)]
@@ -24,12 +24,12 @@ impl Default for DotOptions {
     }
 }
 
-/// Renders the PTG in Graphviz DOT format.
-pub fn to_dot(g: &Ptg, opts: &DotOptions) -> String {
-    let mut out = String::new();
-    writeln!(out, "digraph {} {{", sanitize(&opts.name)).unwrap();
-    writeln!(out, "  rankdir=TB;").unwrap();
-    writeln!(out, "  node [shape=box];").unwrap();
+/// Writes the PTG in Graphviz DOT format to any [`fmt::Write`] sink,
+/// propagating write errors instead of panicking.
+pub fn write_dot<W: fmt::Write>(out: &mut W, g: &Ptg, opts: &DotOptions) -> fmt::Result {
+    writeln!(out, "digraph {} {{", sanitize(&opts.name))?;
+    writeln!(out, "  rankdir=TB;")?;
+    writeln!(out, "  node [shape=box];")?;
     for v in g.task_ids() {
         let t = g.task(v);
         let label = if opts.show_costs {
@@ -42,19 +42,27 @@ pub fn to_dot(g: &Ptg, opts: &DotOptions) -> String {
         } else {
             escape(&t.name)
         };
-        writeln!(out, "  n{} [label=\"{}\"];", v.0, label).unwrap();
+        writeln!(out, "  n{} [label=\"{}\"];", v.0, label)?;
     }
     for (a, b) in g.edges() {
-        writeln!(out, "  n{} -> n{};", a.0, b.0).unwrap();
+        writeln!(out, "  n{} -> n{};", a.0, b.0)?;
     }
     if opts.rank_by_level {
         let lv = crate::levels::PrecedenceLevels::compute(g);
         for (_, tasks) in lv.iter() {
             let ids: Vec<String> = tasks.iter().map(|t| format!("n{}", t.0)).collect();
-            writeln!(out, "  {{ rank=same; {}; }}", ids.join("; ")).unwrap();
+            writeln!(out, "  {{ rank=same; {}; }}", ids.join("; "))?;
         }
     }
-    writeln!(out, "}}").unwrap();
+    writeln!(out, "}}")?;
+    Ok(())
+}
+
+/// Renders the PTG in Graphviz DOT format.
+pub fn to_dot(g: &Ptg, opts: &DotOptions) -> String {
+    let mut out = String::new();
+    // Writing to a String cannot fail.
+    let _ = write_dot(&mut out, g, opts);
     out
 }
 

@@ -2,17 +2,19 @@
 
 use crate::schedule::Schedule;
 use ptg::Ptg;
-use std::fmt::Write as _;
+use std::fmt;
 
-/// Renders an ASCII Gantt chart: one row per processor, time binned into
-/// `width` columns. Each cell shows the last two digits of the task id
-/// running there (`.` = idle).
-pub fn ascii_gantt(schedule: &Schedule, width: usize) -> String {
+/// Writes an ASCII Gantt chart to any [`fmt::Write`] sink, propagating
+/// write errors instead of panicking. See [`ascii_gantt`].
+pub fn write_ascii_gantt<W: fmt::Write>(
+    out: &mut W,
+    schedule: &Schedule,
+    width: usize,
+) -> fmt::Result {
     assert!(width >= 4, "chart width too small");
     let makespan = schedule.makespan();
-    let mut out = String::new();
     if makespan <= 0.0 {
-        return "(empty schedule)\n".into();
+        return writeln!(out, "(empty schedule)");
     }
     let dt = makespan / width as f64;
     // cell[proc][col] = Some(task)
@@ -30,18 +32,27 @@ pub fn ascii_gantt(schedule: &Schedule, width: usize) -> String {
     writeln!(
         out,
         "time: 0 .. {makespan:.3} s  ({width} cols, {dt:.3} s/col)"
-    )
-    .unwrap();
+    )?;
     for (q, row) in cells.iter().enumerate() {
-        write!(out, "P{q:>3} |").unwrap();
+        write!(out, "P{q:>3} |")?;
         for cell in row {
             match cell {
-                Some(t) => write!(out, "{:02}", t % 100).unwrap(),
-                None => out.push_str(" ."),
+                Some(t) => write!(out, "{:02}", t % 100)?,
+                None => out.write_str(" .")?,
             }
         }
-        out.push('\n');
+        out.write_char('\n')?;
     }
+    Ok(())
+}
+
+/// Renders an ASCII Gantt chart: one row per processor, time binned into
+/// `width` columns. Each cell shows the last two digits of the task id
+/// running there (`.` = idle).
+pub fn ascii_gantt(schedule: &Schedule, width: usize) -> String {
+    let mut out = String::new();
+    // Writing to a String cannot fail.
+    let _ = write_ascii_gantt(&mut out, schedule, width);
     out
 }
 
@@ -66,22 +77,24 @@ impl Default for SvgOptions {
     }
 }
 
-/// Renders the schedule as a standalone SVG document, one horizontal band
-/// per processor, one rectangle per (task, processor-span) with a color
-/// derived from the task id.
-pub fn svg_gantt(g: &Ptg, schedule: &Schedule, opts: &SvgOptions) -> String {
+/// Writes the schedule as a standalone SVG document to any [`fmt::Write`]
+/// sink, propagating write errors instead of panicking. See [`svg_gantt`].
+pub fn write_svg_gantt<W: fmt::Write>(
+    out: &mut W,
+    g: &Ptg,
+    schedule: &Schedule,
+    opts: &SvgOptions,
+) -> fmt::Result {
     let makespan = schedule.makespan().max(1e-12);
     let w = opts.width_px as f64;
     let rows = schedule.processors;
     let h = (rows * opts.row_px) as f64 + 30.0;
-    let mut out = String::new();
     writeln!(
         out,
         r#"<svg xmlns="http://www.w3.org/2000/svg" width="{}" height="{}" viewBox="0 0 {} {}">"#,
         opts.width_px, h as u32, opts.width_px, h as u32
-    )
-    .unwrap();
-    writeln!(out, r#"<rect width="100%" height="100%" fill="white"/>"#).unwrap();
+    )?;
+    writeln!(out, r#"<rect width="100%" height="100%" fill="white"/>"#)?;
     for p in &schedule.placements {
         let x = p.start / makespan * w;
         let bw = ((p.finish - p.start) / makespan * w).max(0.5);
@@ -93,8 +106,7 @@ pub fn svg_gantt(g: &Ptg, schedule: &Schedule, opts: &SvgOptions) -> String {
             writeln!(
                 out,
                 r#"<rect x="{x:.2}" y="{y:.2}" width="{bw:.2}" height="{bh:.2}" fill="{color}" stroke="black" stroke-width="0.4"/>"#
-            )
-            .unwrap();
+            )?;
             if opts.labels && bw > 28.0 && bh >= 10.0 {
                 writeln!(
                     out,
@@ -102,8 +114,7 @@ pub fn svg_gantt(g: &Ptg, schedule: &Schedule, opts: &SvgOptions) -> String {
                     x + 2.0,
                     y + bh / 2.0 + 3.0,
                     xml_escape(&g.task(p.task).name)
-                )
-                .unwrap();
+                )?;
             }
         }
     }
@@ -112,15 +123,23 @@ pub fn svg_gantt(g: &Ptg, schedule: &Schedule, opts: &SvgOptions) -> String {
     writeln!(
         out,
         r#"<text x="0" y="{axis_y:.0}" font-size="10" font-family="monospace">0 s</text>"#
-    )
-    .unwrap();
+    )?;
     writeln!(
         out,
         r#"<text x="{:.0}" y="{axis_y:.0}" font-size="10" font-family="monospace" text-anchor="end">{makespan:.2} s</text>"#,
         w
-    )
-    .unwrap();
-    writeln!(out, "</svg>").unwrap();
+    )?;
+    writeln!(out, "</svg>")?;
+    Ok(())
+}
+
+/// Renders the schedule as a standalone SVG document, one horizontal band
+/// per processor, one rectangle per (task, processor-span) with a color
+/// derived from the task id.
+pub fn svg_gantt(g: &Ptg, schedule: &Schedule, opts: &SvgOptions) -> String {
+    let mut out = String::new();
+    // Writing to a String cannot fail.
+    let _ = write_svg_gantt(&mut out, g, schedule, opts);
     out
 }
 

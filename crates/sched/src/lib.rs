@@ -37,3 +37,4 @@ pub use incremental::{DeltaEval, EvalRecord, CHECKPOINT_INTERVAL};
 pub use mapper::{BoundedEval, EvalScratch, InsertionScheduler, ListScheduler, Mapper};
 pub use reschedule::{Rescheduler, ResumeState, RunningTask};
 pub use schedule::{Placement, Schedule};
+pub use validate::{all_violations, for_each_violation, validate_schedule, ScheduleViolation};

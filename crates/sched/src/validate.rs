@@ -60,16 +60,21 @@ impl std::error::Error for ScheduleViolation {}
 /// Checks every invariant of a schedule against its PTG, allocation and
 /// execution-time matrix. Returns the first violation found (tests usually
 /// want [`all_violations`] instead).
+///
+/// Thin wrapper over [`for_each_violation`]: it stops the enumerator at the
+/// first violation instead of re-scanning the whole schedule.
 pub fn validate_schedule(
     g: &Ptg,
     matrix: &TimeMatrix,
     alloc: &Allocation,
     schedule: &Schedule,
 ) -> Result<(), ScheduleViolation> {
-    all_violations(g, matrix, alloc, schedule)
-        .into_iter()
-        .next()
-        .map_or(Ok(()), Err)
+    let mut first = None;
+    for_each_violation(g, matrix, alloc, schedule, &mut |v| {
+        first = Some(v);
+        false // stop after the first violation
+    });
+    first.map_or(Ok(()), Err)
 }
 
 /// Collects **all** violations of a schedule.
@@ -80,32 +85,59 @@ pub fn all_violations(
     schedule: &Schedule,
 ) -> Vec<ScheduleViolation> {
     let mut out = Vec::new();
+    for_each_violation(g, matrix, alloc, schedule, &mut |v| {
+        out.push(v);
+        true
+    });
+    out
+}
+
+/// The single violation enumerator behind [`validate_schedule`],
+/// [`all_violations`] and the `emts-lint` schedule rules.
+///
+/// Calls `sink` for every violation in a deterministic order (per-task width
+/// and duration checks, then dependency checks in edge order, then per-
+/// processor capacity scans). `sink` returns `false` to stop enumeration —
+/// that is how the short-circuit API avoids scanning past the first
+/// violation. A task-count mismatch always terminates the enumeration since
+/// every later check indexes placements by task id.
+pub fn for_each_violation(
+    g: &Ptg,
+    matrix: &TimeMatrix,
+    alloc: &Allocation,
+    schedule: &Schedule,
+    sink: &mut dyn FnMut(ScheduleViolation) -> bool,
+) {
     if schedule.task_count() != g.task_count() {
-        out.push(ScheduleViolation::TaskCountMismatch {
+        sink(ScheduleViolation::TaskCountMismatch {
             expected: g.task_count(),
             actual: schedule.task_count(),
         });
-        return out; // everything below indexes by task
+        return; // everything below indexes by task
     }
     const REL_TOL: f64 = 1e-9;
 
     for v in g.task_ids() {
         let p = schedule.placement(v);
-        if p.width() != alloc.of(v) {
-            out.push(ScheduleViolation::WidthMismatch {
+        if p.width() != alloc.of(v)
+            && !sink(ScheduleViolation::WidthMismatch {
                 task: v,
                 alloc: alloc.of(v),
                 used: p.width(),
-            });
+            })
+        {
+            return;
         }
         let expected = matrix.time(v, p.width().max(1));
         let actual = p.duration();
-        if (actual - expected).abs() > REL_TOL * expected.max(1.0) {
-            out.push(ScheduleViolation::DurationMismatch {
+        if (actual - expected).abs() > REL_TOL * expected.max(1.0)
+            && !sink(ScheduleViolation::DurationMismatch {
                 task: v,
                 expected,
                 actual,
-            });
+            })
+        {
+            return;
         }
     }
 
@@ -113,8 +145,10 @@ pub fn all_violations(
     for (a, b) in g.edges() {
         let fa = schedule.placement(a).finish;
         let sb = schedule.placement(b).start;
-        if sb + REL_TOL * fa.max(1.0) < fa {
-            out.push(ScheduleViolation::DependencyViolated { pred: a, succ: b });
+        if sb + REL_TOL * fa.max(1.0) < fa
+            && !sink(ScheduleViolation::DependencyViolated { pred: a, succ: b })
+        {
+            return;
         }
     }
 
@@ -126,21 +160,23 @@ pub fn all_violations(
         }
     }
     for (q, intervals) in per_proc.iter_mut().enumerate() {
-        intervals.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite times"));
+        intervals.sort_by(|a, b| a.0.total_cmp(&b.0));
         for w in intervals.windows(2) {
             let (_, f0, t0) = w[0];
             let (s1, f1, t1) = w[1];
             // Allow touching intervals; zero-duration tasks can share an instant.
-            if s1 + REL_TOL * f0.max(1.0) < f0 && f1 > s1 {
-                out.push(ScheduleViolation::ProcessorOverlap {
+            if s1 + REL_TOL * f0.max(1.0) < f0
+                && f1 > s1
+                && !sink(ScheduleViolation::ProcessorOverlap {
                     a: t0,
                     b: t1,
                     processor: q as u32,
-                });
+                })
+            {
+                return;
             }
         }
     }
-    out
 }
 
 #[cfg(test)]
@@ -284,6 +320,44 @@ mod tests {
                 actual: 1
             })
         );
+    }
+
+    #[test]
+    fn short_circuit_agrees_with_the_full_enumeration() {
+        // Schedule with several simultaneous violations: the short-circuit
+        // path must return exactly the first violation of the full list,
+        // because both are driven by the same enumerator.
+        let g = chain2();
+        let m = TimeMatrix::compute(&g, &Amdahl, 1e9, 4);
+        let alloc = Allocation::from_vec(vec![2, 1]);
+        let s = Schedule::new(
+            4,
+            vec![
+                Placement {
+                    task: TaskId(0),
+                    start: 0.0,
+                    finish: 2.0,
+                    processors: vec![0],
+                },
+                Placement {
+                    task: TaskId(1),
+                    start: 0.5,
+                    finish: 1.5,
+                    processors: vec![0],
+                },
+            ],
+        );
+        let all = all_violations(&g, &m, &alloc, &s);
+        assert!(all.len() >= 3, "{all:?}");
+        assert_eq!(validate_schedule(&g, &m, &alloc, &s), Err(all[0].clone()));
+
+        // And the early exit really stops the enumerator.
+        let mut seen = 0;
+        for_each_violation(&g, &m, &alloc, &s, &mut |_| {
+            seen += 1;
+            false
+        });
+        assert_eq!(seen, 1);
     }
 
     #[test]

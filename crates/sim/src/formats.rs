@@ -133,20 +133,27 @@ pub fn parse_ptg(input: &str) -> Result<Ptg, PtgFileError> {
     b.build().map_err(|e| PtgFileError::Graph(e.to_string()))
 }
 
-/// Renders a PTG in the text format ([`parse_ptg`] round-trips it).
-pub fn render_ptg(g: &Ptg) -> String {
-    use std::fmt::Write as _;
-    let mut out = String::new();
-    writeln!(out, "# {} tasks, {} edges", g.task_count(), g.edge_count()).unwrap();
+/// Writes a PTG in the text format to any [`fmt::Write`] sink, propagating
+/// write errors instead of panicking.
+pub fn write_ptg<W: fmt::Write>(out: &mut W, g: &Ptg) -> fmt::Result {
+    writeln!(out, "# {} tasks, {} edges", g.task_count(), g.edge_count())?;
     for v in g.task_ids() {
         let t = g.task(v);
         // Space-free names keep the format line-parseable.
         let name = t.name.replace(char::is_whitespace, "_");
-        writeln!(out, "task {} {} {}", name, t.flop, t.alpha).unwrap();
+        writeln!(out, "task {} {} {}", name, t.flop, t.alpha)?;
     }
     for (a, c) in g.edges() {
-        writeln!(out, "edge {} {}", a.0, c.0).unwrap();
+        writeln!(out, "edge {} {}", a.0, c.0)?;
     }
+    Ok(())
+}
+
+/// Renders a PTG in the text format ([`parse_ptg`] round-trips it).
+pub fn render_ptg(g: &Ptg) -> String {
+    let mut out = String::new();
+    // Writing to a String cannot fail.
+    let _ = write_ptg(&mut out, g);
     out
 }
 

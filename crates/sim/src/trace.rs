@@ -71,7 +71,7 @@ pub fn trace_schedule(g: &Ptg, schedule: &Schedule) -> Vec<TraceEntry> {
 pub fn render_trace(g: &Ptg, trace: &[TraceEntry]) -> String {
     let mut out = String::new();
     for e in trace {
-        writeln!(
+        let _ = writeln!(
             out,
             "{:>10.4}s  {:<6} {:<16} busy={:<4} running={}",
             e.time,
@@ -79,8 +79,7 @@ pub fn render_trace(g: &Ptg, trace: &[TraceEntry]) -> String {
             g.task(e.task).name,
             e.busy_processors,
             e.running_tasks
-        )
-        .unwrap();
+        );
     }
     out
 }

@@ -88,15 +88,14 @@ impl Histogram {
         for (i, &c) in self.counts.iter().enumerate() {
             let lo = self.lo + i as f64 * bin_width;
             let bar_len = (c as f64 / max as f64 * width as f64).round() as usize;
-            writeln!(
+            let _ = writeln!(
                 out,
                 "{:>9.2} | {:<w$} {}",
                 lo,
                 "#".repeat(bar_len),
                 c,
                 w = width
-            )
-            .unwrap();
+            );
         }
         out
     }

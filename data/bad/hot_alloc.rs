@@ -1,0 +1,7 @@
+//! Corpus: src-hot-path-alloc — an allocating call in a hot-path function.
+
+// lint:hot-path
+fn inner_loop(xs: &[f64]) -> f64 {
+    let copy = xs.to_vec();
+    copy.iter().sum()
+}

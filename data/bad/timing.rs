@@ -1,0 +1,7 @@
+//! Corpus: src-timing — wall-clock reads outside the obs/bench crates.
+
+use std::time::Instant;
+
+fn tick() -> Instant {
+    Instant::now()
+}

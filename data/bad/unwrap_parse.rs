@@ -1,0 +1,5 @@
+//! Corpus: src-unwrap-parse — unwrap on a user-input parse path.
+
+fn parse_count(s: &str) -> u32 {
+    s.trim().parse().unwrap()
+}

@@ -1,0 +1,9 @@
+//! Corpus: src-write-unwrap — fmt::Result unwrapped instead of propagated.
+
+use std::fmt::Write as _;
+
+fn render(n: u32) -> String {
+    let mut out = String::new();
+    writeln!(out, "n = {n}").unwrap();
+    out
+}

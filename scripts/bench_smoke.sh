@@ -35,6 +35,14 @@ P95_FFT=$(robust_p95 fft16)
 P95_IRR=$(robust_p95 irregular_n50)
 echo "p95 degradation: fft16=${P95_FFT}x irregular_n50=${P95_IRR}x"
 
+echo "== lint smoke: full-tree emts-lint wall time"
+cargo build -q --offline --release -p lint
+LINT_T0=$(date +%s%N)
+target/release/emts-lint --deny none crates data > /dev/null
+LINT_T1=$(date +%s%N)
+LINT_WALL_MS=$(( (LINT_T1 - LINT_T0) / 1000000 ))
+echo "emts-lint over crates/ + data/: ${LINT_WALL_MS} ms"
+
 cargo bench --offline -p bench --bench mapper 2>&1 | tee "$LOG"
 # Absolute path: cargo runs bench binaries with the package directory
 # (crates/bench) as their working directory.
@@ -42,7 +50,7 @@ EMTS_RUN_REPORT="$PWD/$REPORT" \
     cargo bench --offline -p bench --bench emts_generation -- fitness 2>&1 | tee -a "$LOG"
 
 awk -v batch="$BATCH" -v fault_spec="$FAULT_SPEC" \
-    -v p95_fft="$P95_FFT" -v p95_irr="$P95_IRR" '
+    -v p95_fft="$P95_FFT" -v p95_irr="$P95_IRR" -v lint_wall_ms="$LINT_WALL_MS" '
     /^CRITERION_RESULT id=fitness\// {
         id = ""; median = ""
         for (i = 1; i <= NF; i++) {
@@ -123,6 +131,8 @@ awk -v batch="$BATCH" -v fault_spec="$FAULT_SPEC" \
             printf "    \"irregular_n50\": %s\n", p95_irr
             printf "  },\n"
         }
+        if (lint_wall_ms != "")
+            printf "  \"lint_wall_ms\": %d,\n", lint_wall_ms
         printf "  \"emts10_run_cache\": {\n"
         for (i = 0; i < cn; i++) {
             w = cache_order[i]

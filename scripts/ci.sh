@@ -21,6 +21,20 @@ cargo clippy --offline --workspace --all-targets -- -D warnings
 echo "== cargo test (workspace)"
 cargo test -q --offline --workspace
 
+echo "== emts-lint: source and committed artifacts must be clean"
+cargo build -q --offline --release -p lint
+LINT=target/release/emts-lint
+# Source tree plus the known-good data files; data/bad is the negative
+# corpus and is deliberately excluded (globs do not descend into bad/).
+$LINT --format json --deny warning crates data/*.ptg data/*.platform > /dev/null \
+    || { echo "emts-lint found new findings" >&2; exit 1; }
+# Inverted check: the corpus must keep tripping the gate, otherwise the
+# analyzer has gone blind.
+if $LINT --deny warning data/bad > /dev/null 2>&1; then
+    echo "emts-lint passed data/bad — the negative corpus no longer fires" >&2
+    exit 1
+fi
+
 echo "== perf guard (release): delta path must not be slower than pooled full eval"
 cargo test --release -q --offline -p emts --test perf_guard -- --ignored
 
