@@ -1,0 +1,340 @@
+//! `emts-stream` — streaming PTG scheduling throughput harness.
+//!
+//! Schedules an unbounded stream of DAGGEN PTGs ([`workloads::stream`])
+//! through the list scheduler's fitness core without ever materializing a
+//! corpus: each item is generated from `(seed, index)`, costed on the
+//! Grelon cluster model, mapped, and discarded. Progress folds into an
+//! order-independent [`StreamCheckpoint`] fingerprint, so an interrupted,
+//! sharded, resumed run is checkable bit for bit against an uninterrupted
+//! one — `scripts/ci.sh` does exactly that, and `scripts/bench_smoke.sh`
+//! runs the full 100 000-item stream into `BENCH_throughput.json`.
+//!
+//! The reported throughput is *honest single-core end-to-end*: one thread,
+//! and the clock covers generation + time-matrix construction + mapping
+//! for every item of the current invocation. The separate mapper probe
+//! isolates the fitness core itself (ns per evaluation and per heap pop on
+//! the paper's hard case).
+//!
+//! ```text
+//! emts-stream [--count N] [--seed S] [--shards M]
+//!             [--checkpoint FILE] [--checkpoint-every N] [--stop-after N]
+//!             [--out FILE] [--no-probe] [--quiet]
+//! ```
+
+use exec_model::{Amdahl, TimeMatrix};
+use obs::StatsRecorder;
+use platform::grelon;
+use rand::{Rng, SeedableRng};
+use sched::{Allocation, EvalScratch, ListScheduler};
+use serde::Serialize;
+use std::path::PathBuf;
+use std::time::Instant;
+use workloads::stream::{shard_len, PtgStream, StreamCheckpoint};
+use workloads::{CostConfig, DaggenParams};
+
+struct Args {
+    count: u64,
+    seed: u64,
+    shards: u32,
+    checkpoint: Option<PathBuf>,
+    checkpoint_every: u64,
+    stop_after: Option<u64>,
+    out: Option<PathBuf>,
+    probe: bool,
+    quiet: bool,
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        Args {
+            count: 100_000,
+            seed: 2011,
+            shards: 1,
+            checkpoint: None,
+            checkpoint_every: 4096,
+            stop_after: None,
+            out: None,
+            probe: true,
+            quiet: false,
+        }
+    }
+}
+
+const USAGE: &str = "usage: emts-stream [--count <items>] [--seed <u64>] [--shards <m>] \
+     [--checkpoint <file>] [--checkpoint-every <items>] [--stop-after <items>] \
+     [--out <file>] [--no-probe] [--quiet]";
+
+impl Args {
+    fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Self, String> {
+        let mut out = Args::default();
+        let mut iter = args.into_iter().skip(1);
+        fn num<T: std::str::FromStr>(v: Option<String>, flag: &str) -> Result<T, String> {
+            let v = v.ok_or_else(|| format!("{flag} needs a value"))?;
+            v.parse().map_err(|_| format!("bad {flag} value {v:?}"))
+        }
+        while let Some(arg) = iter.next() {
+            match arg.as_str() {
+                "--count" => out.count = num(iter.next(), "--count")?,
+                "--seed" => out.seed = num(iter.next(), "--seed")?,
+                "--shards" => {
+                    out.shards = num(iter.next(), "--shards")?;
+                    if out.shards == 0 {
+                        return Err("--shards must be at least 1".into());
+                    }
+                }
+                "--checkpoint" => {
+                    out.checkpoint = Some(PathBuf::from(
+                        iter.next().ok_or("--checkpoint needs a file")?,
+                    ));
+                }
+                "--checkpoint-every" => {
+                    out.checkpoint_every = num(iter.next(), "--checkpoint-every")?;
+                    if out.checkpoint_every == 0 {
+                        return Err("--checkpoint-every must be at least 1".into());
+                    }
+                }
+                "--stop-after" => out.stop_after = Some(num(iter.next(), "--stop-after")?),
+                "--out" => out.out = Some(PathBuf::from(iter.next().ok_or("--out needs a file")?)),
+                "--no-probe" => out.probe = false,
+                "--quiet" | "-q" => out.quiet = true,
+                "--help" | "-h" => return Err(USAGE.into()),
+                other => return Err(format!("unknown flag {other:?}\n{USAGE}")),
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// Isolated fitness-core measurement on the paper's hard case (irregular
+/// n=100 on Grelon): exact heap-pop count from one instrumented
+/// evaluation, then best-of-5 timed batches of plain evaluations.
+#[derive(Serialize)]
+struct MapperProbe {
+    workload: String,
+    pops_per_eval: u64,
+    ns_per_eval: f64,
+    mapper_ns_per_pop: f64,
+}
+
+fn mapper_probe(seed: u64) -> MapperProbe {
+    let costs = CostConfig::default();
+    let params = DaggenParams {
+        n: 100,
+        width: 0.5,
+        regularity: 0.2,
+        density: 0.2,
+        jump: 2,
+    };
+    let cluster = grelon();
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+    let g = workloads::daggen::random_ptg(&params, &costs, &mut rng);
+    let matrix = TimeMatrix::compute(&g, &Amdahl, cluster.speed_flops(), cluster.processors);
+    let widths: Vec<u32> = (0..g.task_count())
+        .map(|_| rng.gen_range(1..=cluster.processors))
+        .collect();
+    let alloc = Allocation::from_vec(widths);
+    let mut scratch = EvalScratch::with_capacity(g.task_count(), cluster.processors);
+
+    // Pop count: ready-queue pops (one per task) plus availability-run
+    // heap pops, from one recorded evaluation.
+    let stats = StatsRecorder::new();
+    let _ = ListScheduler.evaluate_bounded_obs(
+        &g,
+        &matrix,
+        &alloc,
+        f64::INFINITY,
+        &mut scratch,
+        &stats,
+    );
+    let pops = stats.counter("sched.tasks_placed") + stats.counter("sched.group_pops");
+
+    // Timing: five batches of 200 plain evaluations, keep the fastest.
+    const BATCH: u32 = 200;
+    let mut best = f64::INFINITY;
+    for _ in 0..5 {
+        let t0 = Instant::now();
+        for _ in 0..BATCH {
+            let m = ListScheduler
+                .makespan_bounded_with(&g, &matrix, &alloc, f64::INFINITY, &mut scratch)
+                .expect("infinite cutoff never rejects");
+            std::hint::black_box(m);
+        }
+        best = best.min(t0.elapsed().as_secs_f64() * 1e9 / BATCH as f64);
+    }
+    MapperProbe {
+        workload: format!(
+            "irregular n=100 on {} (P={})",
+            cluster.name, cluster.processors
+        ),
+        pops_per_eval: pops,
+        ns_per_eval: best,
+        mapper_ns_per_pop: best / pops as f64,
+    }
+}
+
+/// Result JSON written by `--out` (and printed unless `--quiet`).
+#[derive(Serialize)]
+struct StreamResult {
+    seed: u64,
+    count: u64,
+    shards: u32,
+    platform: String,
+    model: String,
+    completed: bool,
+    items_done: u64,
+    items_this_run: u64,
+    tasks_scheduled: u64,
+    mean_makespan: f64,
+    fingerprint: String,
+    elapsed_seconds: f64,
+    throughput_ptgs_per_sec: f64,
+    /// `null` unless the run completed with probing enabled (the vendored
+    /// serde derive has no field-skipping, so an absent probe serializes
+    /// as JSON null).
+    mapper_probe: Option<MapperProbe>,
+}
+
+fn load_checkpoint(args: &Args) -> Result<StreamCheckpoint, String> {
+    if let Some(path) = &args.checkpoint {
+        if path.exists() {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+            let cp: StreamCheckpoint = serde_json::from_str(&text)
+                .map_err(|e| format!("cannot parse {}: {e}", path.display()))?;
+            if !cp.matches(args.seed, args.count, args.shards) {
+                return Err(format!(
+                    "checkpoint {} belongs to a different run \
+                     (seed {} count {} shards {}, asked for seed {} count {} shards {})",
+                    path.display(),
+                    cp.seed,
+                    cp.total,
+                    cp.shard_count,
+                    args.seed,
+                    args.count,
+                    args.shards
+                ));
+            }
+            return Ok(cp);
+        }
+    }
+    Ok(StreamCheckpoint::new(args.seed, args.count, args.shards))
+}
+
+fn save_checkpoint(args: &Args, cp: &StreamCheckpoint) {
+    if let Some(path) = &args.checkpoint {
+        let json = serde_json::to_string_pretty(cp).expect("checkpoints serialize infallibly");
+        if let Err(e) = std::fs::write(path, json) {
+            eprintln!("cannot write checkpoint {}: {e}", path.display());
+            std::process::exit(1);
+        }
+    }
+}
+
+fn main() {
+    let args = match Args::parse(std::env::args()) {
+        Ok(args) => args,
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        }
+    };
+    let mut cp = match load_checkpoint(&args) {
+        Ok(cp) => cp,
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        }
+    };
+
+    let costs = CostConfig::default();
+    let cluster = grelon();
+    let scheduler = ListScheduler;
+    let mut scratch = EvalScratch::with_capacity(128, cluster.processors);
+    let budget = args.stop_after.unwrap_or(u64::MAX);
+    let mut processed_this_run = 0u64;
+    let mut since_checkpoint = 0u64;
+    let mut stopped_early = false;
+    let t0 = Instant::now();
+
+    'shards: for shard in 0..args.shards {
+        let done = cp.done[shard as usize];
+        if done >= shard_len(args.count, shard, args.shards) {
+            continue;
+        }
+        let mut stream = PtgStream::shard(args.seed, args.count, shard, args.shards, costs.clone());
+        stream.skip_items(done);
+        for mut item in stream {
+            let matrix = TimeMatrix::compute(
+                &item.ptg,
+                &Amdahl,
+                cluster.speed_flops(),
+                cluster.processors,
+            );
+            let widths: Vec<u32> = (0..item.ptg.task_count())
+                .map(|_| item.rng.gen_range(1..=cluster.processors))
+                .collect();
+            let alloc = Allocation::from_vec(widths);
+            let makespan = scheduler
+                .makespan_bounded_with(&item.ptg, &matrix, &alloc, f64::INFINITY, &mut scratch)
+                .expect("infinite cutoff never rejects");
+            cp.fold(shard, item.index, item.ptg.task_count() as u64, makespan);
+            processed_this_run += 1;
+            since_checkpoint += 1;
+            if since_checkpoint >= args.checkpoint_every {
+                save_checkpoint(&args, &cp);
+                since_checkpoint = 0;
+            }
+            if processed_this_run >= budget {
+                stopped_early = !cp.is_complete();
+                break 'shards;
+            }
+        }
+    }
+    let elapsed = t0.elapsed().as_secs_f64();
+    save_checkpoint(&args, &cp);
+
+    let completed = cp.is_complete();
+    let result = StreamResult {
+        seed: args.seed,
+        count: args.count,
+        shards: args.shards,
+        platform: format!("{} (P={})", cluster.name, cluster.processors),
+        model: "amdahl".into(),
+        completed,
+        items_done: cp.items_done(),
+        items_this_run: processed_this_run,
+        tasks_scheduled: cp.tasks,
+        mean_makespan: if cp.items_done() > 0 {
+            cp.result_sum / cp.items_done() as f64
+        } else {
+            0.0
+        },
+        fingerprint: format!("{:016x}", cp.fingerprint),
+        elapsed_seconds: elapsed,
+        throughput_ptgs_per_sec: if elapsed > 0.0 {
+            processed_this_run as f64 / elapsed
+        } else {
+            0.0
+        },
+        mapper_probe: (args.probe && completed).then(|| mapper_probe(args.seed)),
+    };
+
+    let json = serde_json::to_string_pretty(&result).expect("results serialize infallibly");
+    if let Some(path) = &args.out {
+        if let Err(e) = std::fs::write(path, &json) {
+            eprintln!("cannot write {}: {e}", path.display());
+            std::process::exit(1);
+        }
+    }
+    if !args.quiet {
+        println!("{json}");
+        if stopped_early {
+            println!(
+                "stopped after {processed_this_run} items ({} of {} done); \
+                 rerun with the same --checkpoint to resume",
+                cp.items_done(),
+                args.count
+            );
+        }
+    }
+}

@@ -307,7 +307,7 @@ fn drain_batch<R: Recorder>(
                     if R::ENABLED {
                         rec.add("pool.worker_panics", 1);
                     }
-                    *scratch = EvalScratch::new();
+                    *scratch = EvalScratch::with_capacity(g.task_count(), matrix.p_max());
                     None
                 }
             }
@@ -378,7 +378,7 @@ fn worker_loop<R: Recorder>(g: &Ptg, matrix: &TimeMatrix, core: &PoolCore, rec: 
 /// `pool.worker_batches`. An incarnation that dies mid-batch loses its
 /// unflushed telemetry — an accepted imprecision of the failure path.
 fn worker_incarnation<R: Recorder>(g: &Ptg, matrix: &TimeMatrix, core: &PoolCore, rec: &R) {
-    let mut scratch = EvalScratch::new();
+    let mut scratch = EvalScratch::with_capacity(g.task_count(), matrix.p_max());
     let mut busy = 0.0f64;
     let mut batches = 0u64;
     loop {
@@ -501,7 +501,7 @@ impl<'env, REC: Recorder> EvalPool<'env, REC> {
                 matrix,
                 tx: None,
                 workers: 0,
-                scratch: EvalScratch::new(),
+                scratch: EvalScratch::with_capacity(g.task_count(), matrix.p_max()),
                 rec,
                 core: None,
                 serial_fallbacks: 0,
@@ -531,7 +531,7 @@ impl<'env, REC: Recorder> EvalPool<'env, REC> {
                 matrix,
                 tx: Some(tx),
                 workers,
-                scratch: EvalScratch::new(),
+                scratch: EvalScratch::with_capacity(g.task_count(), matrix.p_max()),
                 rec,
                 core: Some(&core),
                 serial_fallbacks: 0,
@@ -834,11 +834,12 @@ impl<'p, 'env, R: Recorder> FitnessEngine<'p, 'env, R> {
     /// `fitness.*` counters) flows into the pool's recorder.
     pub fn new(pool: &'p mut EvalPool<'env, R>) -> Self {
         let repairer = BlRepairer::new(pool.g);
+        let scratch = EvalScratch::with_capacity(pool.g.task_count(), pool.matrix.p_max());
         FitnessEngine {
             pool,
             cache: HashMap::default(),
             gen_rejected: HashMap::default(),
-            scratch: EvalScratch::new(),
+            scratch,
             repairer,
             cache_entries: 0,
             hits: 0,

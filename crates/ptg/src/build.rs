@@ -115,6 +115,7 @@ impl PtgBuilder {
             pred: self.pred,
             topo,
             edge_count: self.edge_count,
+            csr: std::sync::OnceLock::new(),
         })
     }
 }

@@ -30,6 +30,7 @@ pub fn bottom_levels(g: &Ptg, times: &[f64]) -> Vec<f64> {
 ///
 /// # Panics
 /// Panics if `times.len() != g.task_count()`.
+// lint:hot-path
 pub fn bottom_levels_into(g: &Ptg, times: &[f64], out: &mut Vec<f64>) {
     assert_eq!(
         times.len(),
@@ -38,11 +39,15 @@ pub fn bottom_levels_into(g: &Ptg, times: &[f64], out: &mut Vec<f64>) {
     );
     out.clear();
     out.resize(g.task_count(), 0.0);
+    // The CSR view walks each successor list as one contiguous slice; the
+    // fold order equals the builder adjacency order, so the f64::max chain —
+    // and therefore every produced bit pattern — matches the Vec<Vec> walk.
+    let csr = g.csr();
     for &v in g.topo_order().iter().rev() {
-        let down = g
-            .successors(v)
+        let down = csr
+            .successors(v.0)
             .iter()
-            .map(|&s| out[s.index()])
+            .map(|&s| out[s as usize])
             .fold(0.0f64, f64::max);
         out[v.index()] = times[v.index()] + down;
     }
@@ -190,22 +195,24 @@ impl BlRepairer {
         }
         // Successors always carry larger topo positions, so popping deepest
         // first means every successor's bl is final when a task recomputes,
-        // and each task is processed at most once.
+        // and each task is processed at most once. The CSR walk preserves
+        // adjacency order, keeping the f64::max folds bit-identical.
+        let csr = g.csr();
         while let Some((_, v)) = self.heap.pop() {
             self.queued[v.index()] = false;
-            let down = g
-                .successors(v)
+            let down = csr
+                .successors(v.0)
                 .iter()
-                .map(|&s| bl[s.index()])
+                .map(|&s| bl[s as usize])
                 .fold(0.0f64, f64::max);
             let new = times[v.index()] + down;
             if new.to_bits() != bl[v.index()].to_bits() {
                 bl[v.index()] = new;
                 self.changed.push(v);
-                for &p in g.predecessors(v) {
-                    if !self.queued[p.index()] {
-                        self.queued[p.index()] = true;
-                        self.heap.push((self.topo_pos[p.index()], p));
+                for &p in csr.predecessors(v.0) {
+                    if !self.queued[p as usize] {
+                        self.queued[p as usize] = true;
+                        self.heap.push((self.topo_pos[p as usize], TaskId(p)));
                     }
                 }
             }

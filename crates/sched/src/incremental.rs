@@ -64,12 +64,12 @@
 //! tiebreak for ready tasks), so pop order is a function of content only.
 
 use crate::allocation::Allocation;
-use crate::mapper::{BoundedEval, EvalScratch, ListScheduler, OrderedF64, ProcGroup, ReadyTask};
+use crate::mapper::{BoundedEval, EvalScratch, ListScheduler, ReadyTask};
+use crate::soa_heap::{group_avail, group_count, group_entry, ready_entry, ready_task};
 use exec_model::TimeMatrix;
 use obs::Recorder;
 use ptg::critpath::BlRepairer;
 use ptg::{Ptg, TaskId};
-use std::cmp::Reverse;
 
 /// Placement events between consecutive prefix snapshots.
 ///
@@ -87,17 +87,18 @@ struct Checkpoint {
     /// Running `max finish` at the snapshot.
     makespan: f64,
     /// Next insertion counter for the group heap.
-    next_seq: u64,
-    /// Contents of the processor-group heap (order irrelevant: keys are
-    /// unique, so a rebuilt heap pops identically).
-    groups: Vec<ProcGroup>,
+    next_seq: u32,
+    /// Contents of the processor-group heap as raw packed
+    /// `(avail key, seq, count)` words (order irrelevant: keys are unique,
+    /// so a rebuilt heap pops identically — see [`crate::soa_heap`]).
+    groups: Vec<u128>,
     /// Tasks in the ready queue. Priorities are re-derived from the
     /// *offspring's* bottom levels on restore.
     ready: Vec<TaskId>,
     /// Latest finish over scheduled predecessors, per task.
     data_ready: Vec<f64>,
     /// Unscheduled-predecessor counts, per task.
-    in_deg: Vec<usize>,
+    in_deg: Vec<u32>,
 }
 
 /// Everything a parent evaluation must remember so offspring can be
@@ -154,10 +155,10 @@ impl EvalRecord {
     /// Approximate heap footprint in bytes (for capacity planning/tests).
     pub fn footprint(&self) -> usize {
         let per_cp = |c: &Checkpoint| {
-            c.groups.len() * std::mem::size_of::<ProcGroup>()
+            c.groups.len() * std::mem::size_of::<u128>()
                 + c.ready.len() * std::mem::size_of::<TaskId>()
                 + c.data_ready.len() * 8
-                + c.in_deg.len() * std::mem::size_of::<usize>()
+                + c.in_deg.len() * std::mem::size_of::<u32>()
         };
         self.times.len() * 8
             + self.bl.len() * 8
@@ -215,55 +216,52 @@ impl ListScheduler {
         let mut tasks_placed = 0u64;
         let mut group_pops = 0u64;
         let mut group_pushes = 0u64;
+        let csr = g.csr();
+        let widths = alloc.as_slice();
+        scratch.ready.clear();
+        for &t in csr.sources() {
+            scratch.ready.push(ready_entry(scratch.bl[t as usize], t));
+        }
         scratch.groups.clear();
-        scratch.groups.push(Reverse(ProcGroup {
-            avail: OrderedF64(0.0),
-            seq: 0,
-            count: matrix.p_max(),
-        }));
-        let mut next_seq = 1u64;
+        scratch.groups.push(group_entry(0.0, 0, matrix.p_max()));
+        let mut next_seq = 1u32;
 
         // The loop body mirrors `schedule_core_grouped` at infinite cutoff
         // (the rejection branch is statically false there) — any drift
         // breaks the bit-identity property tests.
-        while let Some(ReadyTask { task: t, .. }) = scratch.ready.pop() {
-            popped[t.index()] = events;
-            let s = alloc.of(t);
+        while let Some(entry) = scratch.ready.pop() {
+            let t = ready_task(entry) as usize;
+            popped[t] = events;
+            let s = widths[t];
             let mut need = s;
-            let mut procs_free = 0.0f64;
-            let mut remainder: Option<ProcGroup> = None;
+            let mut run = 0u128;
+            let mut remainder = 0u128;
             while need > 0 {
-                let Reverse(run) = scratch.groups.pop().expect("alloc ≤ P ensured by prepare");
+                run = scratch.groups.pop().expect("alloc ≤ P ensured by prepare");
                 if R::ENABLED {
                     group_pops += 1;
                 }
-                procs_free = run.avail.0;
-                if run.count > need {
-                    remainder = Some(ProcGroup {
-                        count: run.count - need,
-                        ..run
-                    });
+                let count = group_count(run);
+                if count > need {
+                    remainder = run - need as u128;
                     need = 0;
                 } else {
-                    need -= run.count;
+                    need -= count;
                 }
             }
-            let start = scratch.data_ready[t.index()].max(procs_free);
-            starts[t.index()] = start;
-            let lower_bound = start + scratch.bl[t.index()];
+            let procs_free = group_avail(run);
+            let start = scratch.data_ready[t].max(procs_free);
+            starts[t] = start;
+            let lower_bound = start + scratch.bl[t];
             reject_key = reject_key.max(lower_bound);
-            let finish = start + scratch.times[t.index()];
-            if let Some(run) = remainder {
-                scratch.groups.push(Reverse(run));
+            let finish = start + scratch.times[t];
+            if remainder != 0 {
+                scratch.groups.push(remainder);
                 if R::ENABLED {
                     group_pushes += 1;
                 }
             }
-            scratch.groups.push(Reverse(ProcGroup {
-                avail: OrderedF64(finish),
-                seq: next_seq,
-                count: s,
-            }));
+            scratch.groups.push(group_entry(finish, next_seq, s));
             next_seq += 1;
             makespan = makespan.max(finish);
             if R::ENABLED {
@@ -271,15 +269,13 @@ impl ListScheduler {
                 tasks_placed += 1;
             }
             events += 1;
-            for &w in g.successors(t) {
-                scratch.data_ready[w.index()] = scratch.data_ready[w.index()].max(finish);
-                scratch.in_deg[w.index()] -= 1;
-                if scratch.in_deg[w.index()] == 0 {
-                    entered[w.index()] = events;
-                    scratch.ready.push(ReadyTask {
-                        bl: scratch.bl[w.index()],
-                        task: w,
-                    });
+            for &w in csr.successors(t as u32) {
+                let wi = w as usize;
+                scratch.data_ready[wi] = scratch.data_ready[wi].max(finish);
+                scratch.in_deg[wi] -= 1;
+                if scratch.in_deg[wi] == 0 {
+                    entered[wi] = events;
+                    scratch.ready.push(ready_entry(scratch.bl[wi], w));
                 }
             }
             if events.is_multiple_of(CHECKPOINT_INTERVAL) && (events as usize) < v {
@@ -287,8 +283,12 @@ impl ListScheduler {
                     events,
                     makespan,
                     next_seq,
-                    groups: scratch.groups.iter().map(|r| r.0).collect(),
-                    ready: scratch.ready.iter().map(|r| r.task).collect(),
+                    groups: scratch.groups.iter().copied().collect(),
+                    ready: scratch
+                        .ready
+                        .iter()
+                        .map(|&e| TaskId(ready_task(e)))
+                        .collect(),
                     data_ready: scratch.data_ready.clone(),
                     in_deg: scratch.in_deg.clone(),
                 });
@@ -449,26 +449,18 @@ impl ListScheduler {
         //    rebuilt from the offspring's bottom levels.
         let cp_idx = record.checkpoints.partition_point(|c| c.events <= safe);
         let (restored_events, makespan0, next_seq0) = if cp_idx == 0 {
+            let csr = g.csr();
             scratch.in_deg.clear();
-            scratch.in_deg.extend(g.task_ids().map(|t| g.in_degree(t)));
+            scratch.in_deg.extend_from_slice(csr.in_degrees());
             scratch.data_ready.clear();
             scratch.data_ready.resize(v, 0.0);
             scratch.ready.clear();
-            for t in g.task_ids() {
-                if scratch.in_deg[t.index()] == 0 {
-                    scratch.ready.push(ReadyTask {
-                        bl: scratch.bl[t.index()],
-                        task: t,
-                    });
-                }
+            for &t in csr.sources() {
+                scratch.ready.push(ready_entry(scratch.bl[t as usize], t));
             }
             scratch.groups.clear();
-            scratch.groups.push(Reverse(ProcGroup {
-                avail: OrderedF64(0.0),
-                seq: 0,
-                count: p_max,
-            }));
-            (0u32, 0.0f64, 1u64)
+            scratch.groups.push(group_entry(0.0, 0, p_max));
+            (0u32, 0.0f64, 1u32)
         } else {
             let c = &record.checkpoints[cp_idx - 1];
             scratch.in_deg.clear();
@@ -477,14 +469,11 @@ impl ListScheduler {
             scratch.data_ready.extend_from_slice(&c.data_ready);
             scratch.ready.clear();
             for &t in &c.ready {
-                scratch.ready.push(ReadyTask {
-                    bl: scratch.bl[t.index()],
-                    task: t,
-                });
+                scratch.ready.push(ready_entry(scratch.bl[t.index()], t.0));
             }
             scratch.groups.clear();
             for &run in &c.groups {
-                scratch.groups.push(Reverse(run));
+                scratch.groups.push(run);
             }
             (c.events, c.makespan, c.next_seq)
         };
@@ -567,7 +556,9 @@ fn check_flip(record: &EvalRecord, new_bl: &[f64], a: TaskId, b: TaskId, safe: &
 
 /// The grouped scheduling loop resumed from a restored mid-evaluation
 /// state — `schedule_core_grouped` with seeded accumulators and a
-/// precomputed threshold.
+/// precomputed threshold. Same struct-of-arrays loop state as the full
+/// core: raw `u32` ids, CSR adjacency, packed-`u128` heaps.
+// lint:hot-path
 #[allow(clippy::too_many_arguments)]
 fn resume_grouped<R: Recorder>(
     g: &Ptg,
@@ -576,35 +567,49 @@ fn resume_grouped<R: Recorder>(
     scratch: &mut EvalScratch,
     mut makespan: f64,
     mut reject_key: f64,
-    mut next_seq: u64,
+    mut next_seq: u32,
     rec: &R,
 ) -> BoundedEval {
     let mut tasks_placed = 0u64;
     let mut group_pops = 0u64;
     let mut group_pushes = 0u64;
-    while let Some(ReadyTask { task: t, .. }) = scratch.ready.pop() {
-        let s = alloc.of(t);
+    let csr = g.csr();
+    let widths = alloc.as_slice();
+    let EvalScratch {
+        times,
+        bl,
+        in_deg,
+        data_ready,
+        ready,
+        groups,
+        ..
+    } = scratch;
+    let times = times.as_slice();
+    let bl = bl.as_slice();
+    let in_deg = in_deg.as_mut_slice();
+    let data_ready = data_ready.as_mut_slice();
+    while let Some(entry) = ready.pop() {
+        let t = ready_task(entry) as usize;
+        let s = widths[t];
         let mut need = s;
-        let mut procs_free = 0.0f64;
-        let mut remainder: Option<ProcGroup> = None;
+        let mut run = 0u128;
+        let mut remainder = 0u128;
         while need > 0 {
-            let Reverse(run) = scratch.groups.pop().expect("alloc ≤ P ensured by prepare");
+            run = groups.pop().expect("alloc ≤ P ensured by prepare");
             if R::ENABLED {
                 group_pops += 1;
             }
-            procs_free = run.avail.0;
-            if run.count > need {
-                remainder = Some(ProcGroup {
-                    count: run.count - need,
-                    ..run
-                });
+            let count = group_count(run);
+            if count > need {
+                remainder = run - need as u128;
                 need = 0;
             } else {
-                need -= run.count;
+                need -= count;
             }
         }
-        let start = scratch.data_ready[t.index()].max(procs_free);
-        let lower_bound = start + scratch.bl[t.index()];
+        let procs_free = group_avail(run);
+        let start = data_ready[t].max(procs_free);
+        let lower_bound = start + bl[t];
         if lower_bound > threshold {
             if R::ENABLED {
                 rec.add("sched.tasks_placed", tasks_placed);
@@ -615,32 +620,26 @@ fn resume_grouped<R: Recorder>(
             return BoundedEval::Rejected;
         }
         reject_key = reject_key.max(lower_bound);
-        let finish = start + scratch.times[t.index()];
-        if let Some(run) = remainder {
-            scratch.groups.push(Reverse(run));
+        let finish = start + times[t];
+        if remainder != 0 {
+            groups.push(remainder);
             if R::ENABLED {
                 group_pushes += 1;
             }
         }
-        scratch.groups.push(Reverse(ProcGroup {
-            avail: OrderedF64(finish),
-            seq: next_seq,
-            count: s,
-        }));
+        groups.push(group_entry(finish, next_seq, s));
         next_seq += 1;
         makespan = makespan.max(finish);
         if R::ENABLED {
             group_pushes += 1;
             tasks_placed += 1;
         }
-        for &w in g.successors(t) {
-            scratch.data_ready[w.index()] = scratch.data_ready[w.index()].max(finish);
-            scratch.in_deg[w.index()] -= 1;
-            if scratch.in_deg[w.index()] == 0 {
-                scratch.ready.push(ReadyTask {
-                    bl: scratch.bl[w.index()],
-                    task: w,
-                });
+        for &w in csr.successors(t as u32) {
+            let wi = w as usize;
+            data_ready[wi] = data_ready[wi].max(finish);
+            in_deg[wi] -= 1;
+            if in_deg[wi] == 0 {
+                ready.push(ready_entry(bl[wi], w));
             }
         }
     }

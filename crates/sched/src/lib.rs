@@ -30,6 +30,7 @@ pub mod metrics;
 pub mod multi;
 pub mod reschedule;
 pub mod schedule;
+mod soa_heap;
 pub mod validate;
 
 pub use allocation::Allocation;

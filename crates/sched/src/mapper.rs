@@ -15,12 +15,26 @@
 
 use crate::allocation::Allocation;
 use crate::schedule::{Placement, Schedule};
+use crate::soa_heap::{
+    group_avail, group_count, group_entry, ready_entry, ready_task, MaxHeap128, MinHeap128,
+};
 use exec_model::TimeMatrix;
 use obs::{NoopRecorder, Recorder};
 use ptg::critpath::{bottom_levels, bottom_levels_into};
 use ptg::{Ptg, TaskId};
 use std::cmp::{Ordering, Reverse};
 use std::collections::BinaryHeap;
+
+thread_local! {
+    /// Per-thread scratch behind the convenience entry points ([`Mapper::map`],
+    /// [`Mapper::makespan`], [`ListScheduler::makespan_bounded`],
+    /// [`ListScheduler::makespan_bounded_reference`]): after a thread's first
+    /// call these paths reuse steady-state buffers instead of allocating a
+    /// fresh [`EvalScratch`] per evaluation. Long-lived workers should still
+    /// hold their own scratch and call the `_with` variants directly.
+    static SHARED_SCRATCH: std::cell::RefCell<EvalScratch> =
+        std::cell::RefCell::new(EvalScratch::new());
+}
 
 /// A mapping algorithm: allocation → schedule.
 pub trait Mapper {
@@ -109,11 +123,17 @@ pub struct EvalScratch {
     /// Per-task bottom level under the current allocation.
     pub(crate) bl: Vec<f64>,
     /// Remaining unscheduled predecessors per task.
-    pub(crate) in_deg: Vec<usize>,
+    pub(crate) in_deg: Vec<u32>,
     /// Latest finish time over each task's scheduled predecessors.
     pub(crate) data_ready: Vec<f64>,
-    /// Ready tasks by decreasing bottom level.
-    pub(crate) ready: BinaryHeap<ReadyTask>,
+    /// Ready tasks by decreasing bottom level, as packed
+    /// `(bl key, ¬task id)` entries (see [`crate::soa_heap`]) — the grouped
+    /// fitness core's queue.
+    pub(crate) ready: MaxHeap128,
+    /// Old-style ready queue for the per-processor reference core, kept on
+    /// the comparator-driven `BinaryHeap` so the oracle shares no queue
+    /// implementation with the SoA fast path.
+    ready_ref: BinaryHeap<ReadyTask>,
     /// Min-heap of `(free time, processor)` — used by the full mapper,
     /// which must report concrete processor indices.
     avail: BinaryHeap<Reverse<(OrderedF64, u32)>>,
@@ -122,9 +142,10 @@ pub struct EvalScratch {
     /// Min-heap of processor *groups* for the makespan-only core: every
     /// processor popped for a task gets the same finish time, so the heap
     /// can carry `(free time, count)` runs instead of `count` individual
-    /// entries. Heap traffic drops from `O(Σ s(v) log P)` to
-    /// `O(V log V)` — the dominant cost for wide allocations.
-    pub(crate) groups: BinaryHeap<Reverse<ProcGroup>>,
+    /// entries, packed as `(avail key, seq, count)` words. Heap traffic
+    /// drops from `O(Σ s(v) log P)` to `O(V log V)` — the dominant cost
+    /// for wide allocations.
+    pub(crate) groups: MinHeap128,
     /// Tasks whose execution time bitwise changed in a delta evaluation
     /// (see `crate::incremental`).
     pub(crate) dirty: Vec<TaskId>,
@@ -144,40 +165,13 @@ impl EvalScratch {
             bl: Vec::with_capacity(tasks),
             in_deg: Vec::with_capacity(tasks),
             data_ready: Vec::with_capacity(tasks),
-            ready: BinaryHeap::with_capacity(tasks),
+            ready: MaxHeap128::with_capacity(tasks),
+            ready_ref: BinaryHeap::with_capacity(tasks),
             avail: BinaryHeap::with_capacity(procs as usize),
             popped: Vec::with_capacity(procs as usize),
-            groups: BinaryHeap::with_capacity(tasks + 1),
+            groups: MinHeap128::with_capacity(tasks + 1),
             dirty: Vec::new(),
         }
-    }
-}
-
-/// A run of processors sharing one availability time.
-///
-/// `seq` is a per-evaluation insertion counter: it makes heap keys unique so
-/// pop order is fully deterministic, without affecting results (groups with
-/// equal times are interchangeable for start-time purposes).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub(crate) struct ProcGroup {
-    pub(crate) avail: OrderedF64,
-    pub(crate) seq: u64,
-    pub(crate) count: u32,
-}
-
-impl Ord for ProcGroup {
-    // Same rationale as `ReadyTask::cmp`: keep heap comparisons inlinable
-    // from other crates' monomorphizations of the fitness core.
-    #[inline]
-    fn cmp(&self, other: &Self) -> Ordering {
-        (self.avail, self.seq).cmp(&(other.avail, other.seq))
-    }
-}
-
-impl PartialOrd for ProcGroup {
-    #[inline]
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
     }
 }
 
@@ -231,9 +225,10 @@ impl ListScheduler {
 
     /// Resets `scratch`'s task-side buffers for an evaluation of `alloc` on
     /// `g`; no allocation once the buffers have reached steady-state
-    /// capacity. The processor-side heap is seeded by the placement core
-    /// (per-processor entries for the full mapper, one group for the
-    /// makespan-only core).
+    /// capacity. In-degrees are one memcpy from the graph's CSR view. The
+    /// queues are seeded by the placement cores themselves (each core owns
+    /// its queue representation).
+    // lint:hot-path
     pub(crate) fn prepare_into(
         g: &Ptg,
         matrix: &TimeMatrix,
@@ -248,18 +243,9 @@ impl ListScheduler {
         matrix.fill_times(alloc.as_slice(), &mut scratch.times);
         bottom_levels_into(g, &scratch.times, &mut scratch.bl);
         scratch.in_deg.clear();
-        scratch.in_deg.extend(g.task_ids().map(|v| g.in_degree(v)));
+        scratch.in_deg.extend_from_slice(g.csr().in_degrees());
         scratch.data_ready.clear();
         scratch.data_ready.resize(g.task_count(), 0.0);
-        scratch.ready.clear();
-        for v in g.task_ids() {
-            if scratch.in_deg[v.index()] == 0 {
-                scratch.ready.push(ReadyTask {
-                    bl: scratch.bl[v.index()],
-                    task: v,
-                });
-            }
-        }
     }
 
     /// The per-processor placement routine behind [`Mapper::map`] (and the
@@ -272,6 +258,11 @@ impl ListScheduler {
     /// task. `on_place` observes every placement `(task, start, finish,
     /// popped processors)`; the full mapper records placements there while
     /// the makespan-only reference passes a no-op.
+    ///
+    /// This core deliberately stays on the pre-refactor data structures —
+    /// comparator-driven `BinaryHeap`s and the graph's pointer adjacency —
+    /// so the bit-identity property tests pit two independent
+    /// implementations against each other.
     #[inline]
     fn schedule_core<F>(
         g: &Ptg,
@@ -291,12 +282,21 @@ impl ListScheduler {
         let threshold = cutoff * (1.0 + 1e-9);
         let mut makespan = 0.0f64;
         let mut reject_key = 0.0f64;
+        scratch.ready_ref.clear();
+        for v in g.task_ids() {
+            if scratch.in_deg[v.index()] == 0 {
+                scratch.ready_ref.push(ReadyTask {
+                    bl: scratch.bl[v.index()],
+                    task: v,
+                });
+            }
+        }
         scratch.avail.clear();
         for q in 0..p_max {
             scratch.avail.push(Reverse((OrderedF64(0.0), q)));
         }
 
-        while let Some(ReadyTask { task: v, .. }) = scratch.ready.pop() {
+        while let Some(ReadyTask { task: v, .. }) = scratch.ready_ref.pop() {
             let s = alloc.of(v) as usize;
             scratch.popped.clear();
             for _ in 0..s {
@@ -325,7 +325,7 @@ impl ListScheduler {
                 scratch.data_ready[w.index()] = scratch.data_ready[w.index()].max(finish);
                 scratch.in_deg[w.index()] -= 1;
                 if scratch.in_deg[w.index()] == 0 {
-                    scratch.ready.push(ReadyTask {
+                    scratch.ready_ref.push(ReadyTask {
                         bl: scratch.bl[w.index()],
                         task: w,
                     });
@@ -362,6 +362,15 @@ impl ListScheduler {
     /// check). Counter names: `sched.tasks_placed` (ready-queue pops),
     /// `sched.group_pops` / `sched.group_pushes` (processor-group heap
     /// traffic), `sched.rejections` (evaluations stopped by the cutoff).
+    ///
+    /// The loop state is pure struct-of-arrays: task ids are raw `u32`
+    /// indices into the scratch's parallel `Vec<f64>`/`Vec<u32>` columns,
+    /// adjacency comes from the graph's CSR arenas, and both heaps are
+    /// hand-rolled flat arrays of packed `u128` keys whose integer order
+    /// equals the old comparator order (see [`crate::soa_heap`] for the
+    /// layouts and the argument why pop order — and therefore every result
+    /// bit — is unchanged).
+    // lint:hot-path
     fn schedule_core_grouped<R: Recorder>(
         g: &Ptg,
         alloc: &Allocation,
@@ -377,39 +386,60 @@ impl ListScheduler {
         let mut tasks_placed = 0u64;
         let mut group_pops = 0u64;
         let mut group_pushes = 0u64;
-        scratch.groups.clear();
-        scratch.groups.push(Reverse(ProcGroup {
-            avail: OrderedF64(0.0),
-            seq: 0,
-            count: p_max,
-        }));
-        let mut next_seq = 1u64;
+        // The whole loop runs on flat state: raw `u32` ids into parallel
+        // slices, CSR adjacency, packed-`u128` heaps. Splitting the scratch
+        // borrow up front keeps every access a direct slice index.
+        let csr = g.csr();
+        let widths = alloc.as_slice();
+        let EvalScratch {
+            times,
+            bl,
+            in_deg,
+            data_ready,
+            ready,
+            groups,
+            ..
+        } = scratch;
+        let times = times.as_slice();
+        let bl = bl.as_slice();
+        let in_deg = in_deg.as_mut_slice();
+        let data_ready = data_ready.as_mut_slice();
+        ready.clear();
+        for &v in csr.sources() {
+            ready.push(ready_entry(bl[v as usize], v));
+        }
+        groups.clear();
+        groups.push(group_entry(0.0, 0, p_max));
+        let mut next_seq = 1u32;
 
-        while let Some(ReadyTask { task: v, .. }) = scratch.ready.pop() {
-            let s = alloc.of(v);
+        while let Some(entry) = ready.pop() {
+            let v = ready_task(entry) as usize;
+            let s = widths[v];
             let mut need = s;
-            let mut procs_free = 0.0f64;
-            let mut remainder: Option<ProcGroup> = None;
+            let mut run = 0u128;
+            // Sentinel: a real entry is never 0 (the availability key of any
+            // non-negative time has the sign-flip bit set).
+            let mut remainder = 0u128;
             while need > 0 {
-                let Reverse(run) = scratch.groups.pop().expect("alloc ≤ P ensured by prepare");
+                run = groups.pop().expect("alloc ≤ P ensured by prepare");
                 if R::ENABLED {
                     group_pops += 1;
                 }
-                // Runs pop in nondecreasing availability order, so the last
-                // one visited carries the s(v)-th smallest free time.
-                procs_free = run.avail.0;
-                if run.count > need {
-                    remainder = Some(ProcGroup {
-                        count: run.count - need,
-                        ..run
-                    });
+                let count = group_count(run);
+                if count > need {
+                    // The count lives in the low 32 bits: subtracting edits
+                    // it in place without touching the (time, seq) key.
+                    remainder = run - need as u128;
                     need = 0;
                 } else {
-                    need -= run.count;
+                    need -= count;
                 }
             }
-            let start = scratch.data_ready[v.index()].max(procs_free);
-            let lower_bound = start + scratch.bl[v.index()];
+            // Runs pop in nondecreasing availability order, so the last one
+            // visited carries the s(v)-th smallest free time.
+            let procs_free = group_avail(run);
+            let start = data_ready[v].max(procs_free);
+            let lower_bound = start + bl[v];
             if lower_bound > threshold {
                 if R::ENABLED {
                     rec.add("sched.tasks_placed", tasks_placed);
@@ -420,32 +450,26 @@ impl ListScheduler {
                 return BoundedEval::Rejected;
             }
             reject_key = reject_key.max(lower_bound);
-            let finish = start + scratch.times[v.index()];
-            if let Some(run) = remainder {
-                scratch.groups.push(Reverse(run));
+            let finish = start + times[v];
+            if remainder != 0 {
+                groups.push(remainder);
                 if R::ENABLED {
                     group_pushes += 1;
                 }
             }
-            scratch.groups.push(Reverse(ProcGroup {
-                avail: OrderedF64(finish),
-                seq: next_seq,
-                count: s,
-            }));
+            groups.push(group_entry(finish, next_seq, s));
             next_seq += 1;
             makespan = makespan.max(finish);
             if R::ENABLED {
                 group_pushes += 1;
                 tasks_placed += 1;
             }
-            for &w in g.successors(v) {
-                scratch.data_ready[w.index()] = scratch.data_ready[w.index()].max(finish);
-                scratch.in_deg[w.index()] -= 1;
-                if scratch.in_deg[w.index()] == 0 {
-                    scratch.ready.push(ReadyTask {
-                        bl: scratch.bl[w.index()],
-                        task: w,
-                    });
+            for &w in csr.successors(v as u32) {
+                let wi = w as usize;
+                data_ready[wi] = data_ready[wi].max(finish);
+                in_deg[wi] -= 1;
+                if in_deg[wi] == 0 {
+                    ready.push(ready_entry(bl[wi], w));
                 }
             }
         }
@@ -464,35 +488,39 @@ impl ListScheduler {
 impl Mapper for ListScheduler {
     fn map(&self, g: &Ptg, matrix: &TimeMatrix, alloc: &Allocation) -> Schedule {
         let p_total = matrix.p_max();
-        let mut scratch = EvalScratch::with_capacity(g.task_count(), p_total);
-        Self::prepare_into(g, matrix, alloc, &mut scratch);
-        let mut placements = Vec::with_capacity(g.task_count());
-        let outcome = Self::schedule_core(
-            g,
-            alloc,
-            p_total,
-            f64::INFINITY,
-            &mut scratch,
-            |task, start, finish, popped| {
-                let mut processors: Vec<u32> = popped.iter().map(|&(_, q)| q).collect();
-                processors.sort_unstable();
-                placements.push(Placement {
-                    task,
-                    start,
-                    finish,
-                    processors,
-                });
-            },
-        );
-        debug_assert!(matches!(outcome, BoundedEval::Complete { .. }));
-        Schedule::new(p_total, placements)
+        SHARED_SCRATCH.with_borrow_mut(|scratch| {
+            Self::prepare_into(g, matrix, alloc, scratch);
+            let mut placements = Vec::with_capacity(g.task_count());
+            let outcome = Self::schedule_core(
+                g,
+                alloc,
+                p_total,
+                f64::INFINITY,
+                scratch,
+                |task, start, finish, popped| {
+                    let mut processors: Vec<u32> = popped.iter().map(|&(_, q)| q).collect();
+                    processors.sort_unstable();
+                    placements.push(Placement {
+                        task,
+                        start,
+                        finish,
+                        processors,
+                    });
+                },
+            );
+            debug_assert!(matches!(outcome, BoundedEval::Complete { .. }));
+            Schedule::new(p_total, placements)
+        })
     }
 
     /// Makespan-only evaluation: the same placement routine with placement
     /// recording compiled out — this is the EA's inner loop.
+    // lint:hot-path
     fn makespan(&self, g: &Ptg, matrix: &TimeMatrix, alloc: &Allocation) -> f64 {
-        let mut scratch = EvalScratch::with_capacity(g.task_count(), matrix.p_max());
-        self.makespan_bounded_with(g, matrix, alloc, f64::INFINITY, &mut scratch)
+        SHARED_SCRATCH
+            .with_borrow_mut(|scratch| {
+                self.makespan_bounded_with(g, matrix, alloc, f64::INFINITY, scratch)
+            })
             .expect("infinite cutoff never rejects")
     }
 
@@ -514,6 +542,7 @@ impl ListScheduler {
     /// mapped below the cutoff the bound is exact at the sink, hence
     /// `makespan_bounded(..., f64::INFINITY)` always returns
     /// `Some(makespan)` equal to [`Mapper::makespan`].
+    // lint:hot-path
     pub fn makespan_bounded(
         &self,
         g: &Ptg,
@@ -521,14 +550,16 @@ impl ListScheduler {
         alloc: &Allocation,
         cutoff: f64,
     ) -> Option<f64> {
-        let mut scratch = EvalScratch::with_capacity(g.task_count(), matrix.p_max());
-        self.makespan_bounded_with(g, matrix, alloc, cutoff, &mut scratch)
+        SHARED_SCRATCH.with_borrow_mut(|scratch| {
+            self.makespan_bounded_with(g, matrix, alloc, cutoff, scratch)
+        })
     }
 
     /// [`Self::makespan_bounded`] with caller-provided buffers: after the
     /// first call on a given problem size, evaluation performs **zero heap
     /// allocations**. This is the entry point the EA's evaluation engine
     /// uses, one scratch per worker thread.
+    // lint:hot-path
     pub fn makespan_bounded_with(
         &self,
         g: &Ptg,
@@ -546,6 +577,7 @@ impl ListScheduler {
     /// Like [`Self::makespan_bounded_with`], but a completed evaluation
     /// also reports its rejection key (see [`BoundedEval`]) so callers can
     /// memoize accept/reject decisions exactly.
+    // lint:hot-path
     pub fn evaluate_bounded_with(
         &self,
         g: &Ptg,
@@ -562,6 +594,7 @@ impl ListScheduler {
     /// `schedule_core_grouped` for the counter names). With
     /// [`obs::NoopRecorder`] this *is* `evaluate_bounded_with` — every
     /// probe compiles away.
+    // lint:hot-path
     pub fn evaluate_bounded_obs<R: Recorder>(
         &self,
         g: &Ptg,
@@ -576,10 +609,11 @@ impl ListScheduler {
     }
 
     /// The straightforward per-processor evaluation, retained as the
-    /// correctness oracle for the grouped fitness core and as the benchmark
-    /// baseline for the pre-engine implementation: fresh buffers every call,
-    /// one heap entry per processor. Produces bit-identical results to
-    /// [`Self::makespan_bounded`].
+    /// correctness oracle for the grouped SoA fitness core: comparator-driven
+    /// `BinaryHeap`s, pointer adjacency, one heap entry per processor —
+    /// the pre-refactor implementation, algorithm for algorithm. Produces
+    /// bit-identical results to [`Self::makespan_bounded`].
+    // lint:hot-path
     pub fn makespan_bounded_reference(
         &self,
         g: &Ptg,
@@ -587,19 +621,13 @@ impl ListScheduler {
         alloc: &Allocation,
         cutoff: f64,
     ) -> Option<f64> {
-        let mut scratch = EvalScratch::with_capacity(g.task_count(), matrix.p_max());
-        Self::prepare_into(g, matrix, alloc, &mut scratch);
-        match Self::schedule_core(
-            g,
-            alloc,
-            matrix.p_max(),
-            cutoff,
-            &mut scratch,
-            |_, _, _, _| {},
-        ) {
-            BoundedEval::Complete { makespan, .. } => Some(makespan),
-            BoundedEval::Rejected => None,
-        }
+        SHARED_SCRATCH.with_borrow_mut(|scratch| {
+            Self::prepare_into(g, matrix, alloc, scratch);
+            match Self::schedule_core(g, alloc, matrix.p_max(), cutoff, scratch, |_, _, _, _| {}) {
+                BoundedEval::Complete { makespan, .. } => Some(makespan),
+                BoundedEval::Rejected => None,
+            }
+        })
     }
 }
 

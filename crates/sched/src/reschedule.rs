@@ -132,15 +132,18 @@ impl Rescheduler {
             }
         }
 
-        // Data readiness and in-degrees over the remainder only.
+        // Data readiness and in-degrees over the remainder only. The CSR
+        // arenas visit predecessors in builder order, exactly as the
+        // pointer adjacency did — the `f64::max` folds stay bit-identical.
+        let csr = g.csr();
         let mut data_ready = vec![state.now; n];
         let mut in_deg = vec![0usize; n];
         for v in g.task_ids() {
             if settled_finish[v.index()].is_some() {
                 continue;
             }
-            for &p in g.predecessors(v) {
-                match settled_finish[p.index()] {
+            for &p in csr.predecessors(v.0) {
+                match settled_finish[p as usize] {
                     Some(f) => data_ready[v.index()] = data_ready[v.index()].max(f),
                     None => in_deg[v.index()] += 1,
                 }
@@ -189,11 +192,12 @@ impl Rescheduler {
                 finish,
                 processors,
             });
-            for &w in g.successors(v) {
-                data_ready[w.index()] = data_ready[w.index()].max(finish);
-                in_deg[w.index()] -= 1;
-                if in_deg[w.index()] == 0 {
-                    ready.push(w);
+            for &w in csr.successors(v.0) {
+                let wi = w as usize;
+                data_ready[wi] = data_ready[wi].max(finish);
+                in_deg[wi] -= 1;
+                if in_deg[wi] == 0 {
+                    ready.push(TaskId(w));
                 }
             }
         }

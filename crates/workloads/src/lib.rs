@@ -11,7 +11,11 @@
 //!   doubles, FLOP patterns `a·d`, `a·d·log₂ d`, `d^{3/2}`, `a ∈ [2⁶, 2⁹]`,
 //!   `α ~ U[0, 0.25]`,
 //! * [`corpus`] — the full paper corpus: 400 FFT + 100 Strassen + 108
-//!   layered + 324 irregular PTGs (scalable down for quick runs).
+//!   layered + 324 irregular PTGs (scalable down for quick runs),
+//! * [`stream`] — unbounded generate-and-discard DAGGEN streams for
+//!   throughput experiments: index-addressed items, deterministic
+//!   sharding, order-independent progress fingerprints for
+//!   checkpoint/resume.
 //!
 //! All generators are deterministic given an RNG, so experiments are
 //! reproducible from a seed.
@@ -22,7 +26,9 @@ pub mod daggen;
 pub mod families;
 pub mod fft;
 pub mod strassen;
+pub mod stream;
 
 pub use corpus::{Corpus, CorpusEntry, PtgClass};
 pub use costs::{CostConfig, CostPattern};
 pub use daggen::DaggenParams;
+pub use stream::{PtgStream, StreamCheckpoint, StreamItem};

@@ -12,6 +12,11 @@
 # The bench additionally asserts the no-op recorder adds <1% overhead to
 # the serial fitness path (NOOP_OVERHEAD line).
 #
+# Also runs the streaming harness (`emts-stream`, 100k DAGGEN PTGs
+# generated and scheduled on the fly, single-core) and writes its result —
+# honest end-to-end PTGs/sec plus an isolated fitness-core probe
+# (ns/eval, ns per heap pop) — to BENCH_throughput.json.
+#
 # Usage: scripts/bench_smoke.sh
 
 set -euo pipefail
@@ -20,8 +25,17 @@ cd "$(dirname "$0")/.."
 BATCH=25
 OUT=BENCH_fitness.json
 REPORT=BENCH_fitness_report.json
+THROUGHPUT_OUT=BENCH_throughput.json
+STREAM_COUNT=100000
 LOG=$(mktemp)
 trap 'rm -f "$LOG"' EXIT
+
+echo "== streaming throughput: $STREAM_COUNT DAGGEN PTGs end-to-end, single core"
+cargo build -q --offline --release -p bench --bin emts-stream
+target/release/emts-stream --count "$STREAM_COUNT" --seed 2011 --quiet \
+    --out "$THROUGHPUT_OUT"
+echo "wrote $THROUGHPUT_OUT:"
+cat "$THROUGHPUT_OUT"
 
 echo "== robustness smoke: fault-injected p95 degradation per workload"
 FAULT_SPEC="seed=2011,perturb=0.2,straggler_prob=0.05,straggler_factor=4,crash=0.05,retries=3,backoff=0.5,procfail=0.02"

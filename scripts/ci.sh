@@ -35,8 +35,34 @@ if $LINT --deny warning data/bad > /dev/null 2>&1; then
     exit 1
 fi
 
-echo "== perf guard (release): delta path must not be slower than pooled full eval"
+echo "== perf guards (release): delta vs pooled, SoA core vs reference oracle"
 cargo test --release -q --offline -p emts --test perf_guard -- --ignored
+
+echo "== streaming smoke: sharded + interrupted + resumed 1k-PTG stream is bit-identical"
+cargo build -q --offline --release -p bench --bin emts-stream
+STREAM=target/release/emts-stream
+STREAM_DIR=$(mktemp -d)
+# Uninterrupted single-shard run vs a 4-way sharded run stopped after 300
+# items mid-checkpoint-interval and resumed from its checkpoint: the
+# order-independent fingerprints must agree exactly.
+$STREAM --count 1000 --seed 2011 --no-probe --quiet --out "$STREAM_DIR/full.json"
+$STREAM --count 1000 --seed 2011 --shards 4 --checkpoint "$STREAM_DIR/cp.json" \
+    --checkpoint-every 128 --stop-after 300 --no-probe --quiet \
+    --out "$STREAM_DIR/partial.json"
+$STREAM --count 1000 --seed 2011 --shards 4 --checkpoint "$STREAM_DIR/cp.json" \
+    --no-probe --quiet --out "$STREAM_DIR/resumed.json"
+grep -q '"completed": false' "$STREAM_DIR/partial.json" \
+    || { echo "stream smoke: --stop-after did not interrupt the run" >&2; exit 1; }
+grep -q '"completed": true' "$STREAM_DIR/resumed.json" \
+    || { echo "stream smoke: resumed run did not complete" >&2; exit 1; }
+FP_FULL=$(grep '"fingerprint"' "$STREAM_DIR/full.json")
+FP_RESUMED=$(grep '"fingerprint"' "$STREAM_DIR/resumed.json")
+[ -n "$FP_FULL" ] && [ "$FP_FULL" = "$FP_RESUMED" ] \
+    || { echo "stream smoke: resumed sharded run diverged from the uninterrupted run" >&2
+         echo "  full:    $FP_FULL" >&2
+         echo "  resumed: $FP_RESUMED" >&2
+         exit 1; }
+rm -rf "$STREAM_DIR"
 
 echo "== fault smoke: seeded injection is reproducible, fault-free replay is bit-identical"
 SIM="cargo run -q --offline -p sim --bin emts-sim --"
