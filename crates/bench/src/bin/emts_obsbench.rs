@@ -1,0 +1,238 @@
+//! `emts-obsbench` — observability cost microbenchmark.
+//!
+//! Measures what the `obs` layer costs where it matters — the mapper hot
+//! loop on the paper's hard case (irregular n=100 on Grelon, P=120) — and
+//! what the flight recorder delivers at saturation:
+//!
+//! * `noop_overhead_pct` / `stats_overhead_pct` / `flight_overhead_pct` —
+//!   one instrumented evaluation pass per recorder flavour, interleaved
+//!   min-of-k against the bare (uninstrumented) mapper loop,
+//! * `events_per_sec` — single-thread flight-recorder event throughput,
+//! * `drop_rate_at_capacity` — fraction of events dropped when a
+//!   fixed-capacity ring is pushed far past its size, with exact-drop
+//!   accounting cross-checked.
+//!
+//! `scripts/bench_smoke.sh` writes the JSON to `BENCH_obs.json`, and
+//! `emts-report regress` gates CI against the committed baseline.
+//!
+//! ```text
+//! emts-obsbench [--out <file>] [--rounds <k>]
+//! ```
+
+use exec_model::{SyntheticModel, TimeMatrix};
+use obs::{FlightRecorder, NoopRecorder, Recorder, StatsRecorder};
+use platform::grelon;
+use rand::{Rng, SeedableRng};
+use sched::{Allocation, EvalScratch, ListScheduler};
+use serde::Serialize;
+use std::time::Instant;
+use workloads::{daggen::random_ptg, CostConfig, DaggenParams};
+
+const USAGE: &str = "usage: emts-obsbench [--out <file>] [--rounds <k>]";
+
+/// Events pushed through the throughput / saturation measurements.
+const EVENT_PUSHES: u64 = 1 << 20;
+
+/// Ring capacity for the saturation measurement — small enough that
+/// virtually every push overwrites, so the measured rate is the
+/// steady-state overwrite path, not the growth path.
+const SATURATION_CAPACITY: usize = 4096;
+
+#[derive(Serialize)]
+struct ObsBench {
+    workload: String,
+    rounds: usize,
+    batch: usize,
+    /// Bare mapper loop, no recorder type parameter in sight.
+    raw_ns_per_eval: f64,
+    /// Overhead of the instrumented path with each recorder flavour, in
+    /// percent over `raw_ns_per_eval` (min-of-k, interleaved; negative
+    /// values are measurement noise on a shared host).
+    noop_overhead_pct: f64,
+    stats_overhead_pct: f64,
+    flight_overhead_pct: f64,
+    /// Single-thread `Recorder::event` throughput into a ring big enough
+    /// to never wrap during the measurement.
+    events_per_sec: f64,
+    /// Same, but into a `SATURATION_CAPACITY`-slot ring that wraps almost
+    /// every push.
+    saturated_events_per_sec: f64,
+    /// Fraction of `EVENT_PUSHES` dropped by the saturated ring — exact
+    /// accounting, so this is `(pushes - capacity) / pushes` by
+    /// construction.
+    drop_rate_at_capacity: f64,
+}
+
+fn main() {
+    let mut out: Option<String> = None;
+    let mut rounds = 25usize;
+    let mut iter = std::env::args().skip(1);
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--out" => out = Some(iter.next().unwrap_or_else(|| die("--out needs a file"))),
+            "--rounds" => {
+                rounds = iter
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&k| k >= 1)
+                    .unwrap_or_else(|| die("--rounds needs an integer ≥ 1"));
+            }
+            "--help" | "-h" => die(USAGE),
+            other => die(&format!("unknown flag {other:?}\n{USAGE}")),
+        }
+    }
+
+    let result = measure(rounds);
+    let json = serde_json::to_string_pretty(&result).expect("results serialize infallibly");
+    match &out {
+        Some(path) => {
+            if let Err(e) = std::fs::write(path, &json) {
+                eprintln!("cannot write {path}: {e}");
+                std::process::exit(1);
+            }
+        }
+        None => println!("{json}"),
+    }
+    println!(
+        "TRACE_OVERHEAD raw_ns_per_eval={:.0} noop_pct={:.2} stats_pct={:.2} flight_pct={:.2}",
+        result.raw_ns_per_eval,
+        result.noop_overhead_pct,
+        result.stats_overhead_pct,
+        result.flight_overhead_pct
+    );
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("{msg}");
+    std::process::exit(2);
+}
+
+fn measure(rounds: usize) -> ObsBench {
+    const LAMBDA: usize = 25;
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(17);
+    let costs = CostConfig::default();
+    let g = random_ptg(
+        &DaggenParams {
+            n: 100,
+            width: 0.5,
+            regularity: 0.2,
+            density: 0.2,
+            jump: 2,
+        },
+        &costs,
+        &mut rng,
+    );
+    let cluster = grelon();
+    let matrix = TimeMatrix::compute(
+        &g,
+        &SyntheticModel::default(),
+        cluster.speed_flops(),
+        cluster.processors,
+    );
+    let allocs: Vec<Allocation> = (0..LAMBDA)
+        .map(|_| {
+            Allocation::from_vec(
+                (0..g.task_count())
+                    .map(|_| rng.gen_range(1..=cluster.processors))
+                    .collect(),
+            )
+        })
+        .collect();
+    let mut scratch = EvalScratch::with_capacity(g.task_count(), cluster.processors);
+
+    // One timed pass of the whole batch through the bare mapper loop.
+    let raw_pass = |scratch: &mut EvalScratch| {
+        let t = Instant::now();
+        for a in &allocs {
+            std::hint::black_box(ListScheduler.makespan_bounded_with(
+                &g,
+                &matrix,
+                a,
+                f64::INFINITY,
+                scratch,
+            ));
+        }
+        t.elapsed().as_secs_f64()
+    };
+    // Same batch through the instrumented path under `rec`.
+    fn obs_pass<R: Recorder>(
+        g: &ptg::Ptg,
+        matrix: &TimeMatrix,
+        allocs: &[Allocation],
+        scratch: &mut EvalScratch,
+        rec: &R,
+    ) -> f64 {
+        let t = Instant::now();
+        for a in allocs {
+            std::hint::black_box(ListScheduler.evaluate_bounded_obs(
+                g,
+                matrix,
+                a,
+                f64::INFINITY,
+                scratch,
+                rec,
+            ));
+        }
+        t.elapsed().as_secs_f64()
+    }
+
+    let stats = StatsRecorder::new();
+    // Big enough that the mapper's per-eval flush never wraps — wrap cost
+    // is measured separately below.
+    let flight = FlightRecorder::with_capacity(1 << 20);
+
+    // Warm every path once, then interleave the four sides per round so
+    // host noise hits them all alike; keep each side's fastest pass.
+    let _ = raw_pass(&mut scratch);
+    let _ = obs_pass(&g, &matrix, &allocs, &mut scratch, &NoopRecorder);
+    let _ = obs_pass(&g, &matrix, &allocs, &mut scratch, &stats);
+    let _ = obs_pass(&g, &matrix, &allocs, &mut scratch, &flight);
+    let (mut raw, mut noop, mut st, mut fl) =
+        (f64::INFINITY, f64::INFINITY, f64::INFINITY, f64::INFINITY);
+    for _ in 0..rounds {
+        raw = raw.min(raw_pass(&mut scratch));
+        noop = noop.min(obs_pass(&g, &matrix, &allocs, &mut scratch, &NoopRecorder));
+        st = st.min(obs_pass(&g, &matrix, &allocs, &mut scratch, &stats));
+        fl = fl.min(obs_pass(&g, &matrix, &allocs, &mut scratch, &flight));
+    }
+    let pct = |side: f64| (side / raw - 1.0) * 100.0;
+
+    // Raw event throughput into a ring that never wraps during the run.
+    let big = FlightRecorder::with_capacity(EVENT_PUSHES as usize + 1);
+    let t = Instant::now();
+    for i in 0..EVENT_PUSHES {
+        big.event("bench.tick", i);
+    }
+    let events_per_sec = EVENT_PUSHES as f64 / t.elapsed().as_secs_f64();
+    assert_eq!(big.total_dropped(), 0, "oversized ring must not drop");
+
+    // Saturation: a small ring wraps on almost every push; drop
+    // accounting must stay exact.
+    let small = FlightRecorder::with_capacity(SATURATION_CAPACITY);
+    let t = Instant::now();
+    for i in 0..EVENT_PUSHES {
+        small.event("bench.tick", i);
+    }
+    let saturated_events_per_sec = EVENT_PUSHES as f64 / t.elapsed().as_secs_f64();
+    assert_eq!(
+        small.total_dropped(),
+        EVENT_PUSHES - SATURATION_CAPACITY as u64,
+        "drop accounting must be exact at capacity"
+    );
+
+    ObsBench {
+        workload: format!(
+            "irregular n=100 on {} (P={})",
+            cluster.name, cluster.processors
+        ),
+        rounds,
+        batch: LAMBDA,
+        raw_ns_per_eval: raw * 1e9 / LAMBDA as f64,
+        noop_overhead_pct: pct(noop),
+        stats_overhead_pct: pct(st),
+        flight_overhead_pct: pct(fl),
+        events_per_sec,
+        saturated_events_per_sec,
+        drop_rate_at_capacity: small.total_dropped() as f64 / EVENT_PUSHES as f64,
+    }
+}

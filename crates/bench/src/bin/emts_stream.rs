@@ -18,11 +18,18 @@
 //! ```text
 //! emts-stream [--count N] [--seed S] [--shards M]
 //!             [--checkpoint FILE] [--checkpoint-every N] [--stop-after N]
-//!             [--out FILE] [--no-probe] [--quiet]
+//!             [--out FILE] [--report FILE] [--no-probe] [--quiet]
 //! ```
+//!
+//! `--report` writes a schema-versioned [`obs::RunReport`]: the run is
+//! wrapped in a `stream` span with one `shard` child per shard processed,
+//! and the checkpoint/resume life cycle surfaces as counters
+//! (`stream.items`, `stream.resumed_items`, `stream.checkpoints_saved`,
+//! `stream.shards_run`) — so a sharded, interrupted, resumed run leaves
+//! the same audit trail `emts-sim` runs do.
 
 use exec_model::{Amdahl, TimeMatrix};
-use obs::StatsRecorder;
+use obs::{Recorder, StatsRecorder};
 use platform::grelon;
 use rand::{Rng, SeedableRng};
 use sched::{Allocation, EvalScratch, ListScheduler};
@@ -40,6 +47,7 @@ struct Args {
     checkpoint_every: u64,
     stop_after: Option<u64>,
     out: Option<PathBuf>,
+    report: Option<PathBuf>,
     probe: bool,
     quiet: bool,
 }
@@ -54,6 +62,7 @@ impl Default for Args {
             checkpoint_every: 4096,
             stop_after: None,
             out: None,
+            report: None,
             probe: true,
             quiet: false,
         }
@@ -62,7 +71,7 @@ impl Default for Args {
 
 const USAGE: &str = "usage: emts-stream [--count <items>] [--seed <u64>] [--shards <m>] \
      [--checkpoint <file>] [--checkpoint-every <items>] [--stop-after <items>] \
-     [--out <file>] [--no-probe] [--quiet]";
+     [--out <file>] [--report <file>] [--no-probe] [--quiet]";
 
 impl Args {
     fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Self, String> {
@@ -95,6 +104,9 @@ impl Args {
                 }
                 "--stop-after" => out.stop_after = Some(num(iter.next(), "--stop-after")?),
                 "--out" => out.out = Some(PathBuf::from(iter.next().ok_or("--out needs a file")?)),
+                "--report" => {
+                    out.report = Some(PathBuf::from(iter.next().ok_or("--report needs a file")?));
+                }
                 "--no-probe" => out.probe = false,
                 "--quiet" | "-q" => out.quiet = true,
                 "--help" | "-h" => return Err(USAGE.into()),
@@ -220,13 +232,14 @@ fn load_checkpoint(args: &Args) -> Result<StreamCheckpoint, String> {
     Ok(StreamCheckpoint::new(args.seed, args.count, args.shards))
 }
 
-fn save_checkpoint(args: &Args, cp: &StreamCheckpoint) {
+fn save_checkpoint(args: &Args, cp: &StreamCheckpoint, rec: &StatsRecorder) {
     if let Some(path) = &args.checkpoint {
         let json = serde_json::to_string_pretty(cp).expect("checkpoints serialize infallibly");
         if let Err(e) = std::fs::write(path, json) {
             eprintln!("cannot write checkpoint {}: {e}", path.display());
             std::process::exit(1);
         }
+        rec.add("stream.checkpoints_saved", 1);
     }
 }
 
@@ -254,6 +267,11 @@ fn main() {
     let mut processed_this_run = 0u64;
     let mut since_checkpoint = 0u64;
     let mut stopped_early = false;
+    let rec = StatsRecorder::new();
+    // Items already folded by a previous invocation of this checkpointed
+    // run: the report distinguishes resumed progress from fresh work.
+    rec.add("stream.resumed_items", cp.items_done());
+    let stream_span = rec.span("stream");
     let t0 = Instant::now();
 
     'shards: for shard in 0..args.shards {
@@ -261,6 +279,8 @@ fn main() {
         if done >= shard_len(args.count, shard, args.shards) {
             continue;
         }
+        let _shard_span = rec.span("shard");
+        rec.add("stream.shards_run", 1);
         let mut stream = PtgStream::shard(args.seed, args.count, shard, args.shards, costs.clone());
         stream.skip_items(done);
         for mut item in stream {
@@ -278,10 +298,12 @@ fn main() {
                 .makespan_bounded_with(&item.ptg, &matrix, &alloc, f64::INFINITY, &mut scratch)
                 .expect("infinite cutoff never rejects");
             cp.fold(shard, item.index, item.ptg.task_count() as u64, makespan);
+            rec.add("stream.items", 1);
+            rec.add("stream.tasks", item.ptg.task_count() as u64);
             processed_this_run += 1;
             since_checkpoint += 1;
             if since_checkpoint >= args.checkpoint_every {
-                save_checkpoint(&args, &cp);
+                save_checkpoint(&args, &cp, &rec);
                 since_checkpoint = 0;
             }
             if processed_this_run >= budget {
@@ -291,7 +313,8 @@ fn main() {
         }
     }
     let elapsed = t0.elapsed().as_secs_f64();
-    save_checkpoint(&args, &cp);
+    drop(stream_span);
+    save_checkpoint(&args, &cp, &rec);
 
     let completed = cp.is_complete();
     let result = StreamResult {
@@ -318,6 +341,28 @@ fn main() {
         },
         mapper_probe: (args.probe && completed).then(|| mapper_probe(args.seed)),
     };
+
+    if let Some(path) = &args.report {
+        rec.gauge(
+            "stream.throughput_ptgs_per_sec",
+            result.throughput_ptgs_per_sec,
+        );
+        rec.gauge("stream.mean_makespan", result.mean_makespan);
+        let mut report = rec.report("emts-stream");
+        report.meta.insert("seed".into(), args.seed.to_string());
+        report.meta.insert("count".into(), args.count.to_string());
+        report.meta.insert("shards".into(), args.shards.to_string());
+        report
+            .meta
+            .insert("completed".into(), completed.to_string());
+        report
+            .meta
+            .insert("fingerprint".into(), result.fingerprint.clone());
+        if let Err(e) = report.save(path) {
+            eprintln!("cannot write report {}: {e}", path.display());
+            std::process::exit(1);
+        }
+    }
 
     let json = serde_json::to_string_pretty(&result).expect("results serialize infallibly");
     if let Some(path) = &args.out {

@@ -180,6 +180,14 @@ impl Emts {
                 }
             }
             engine.begin_generation();
+            // Timeline marker plus counter snapshots: the per-generation
+            // series in the trace records each counter's delta over this
+            // generation, not the running total.
+            rec.event("ea.generation", u as u64);
+            let gen_hits = engine.cache_hits();
+            let gen_misses = engine.cache_misses();
+            let gen_delta_evals = engine.delta_evals();
+            let gen_prefix_reuse = engine.prefix_reuse_events();
             if !use_delta && engine.pool_degraded() {
                 // Every worker is gone and none respawned: batches
                 // dispatched to the pool would only come back through the
@@ -320,11 +328,16 @@ impl Emts {
                 select_best(pool, cfg.mu)
             };
             generations_run = u + 1;
-            trace.push(GenerationStats::from_fitness(
+            let mut stats = GenerationStats::from_fitness(
                 u,
                 &population.iter().map(|i| i.fitness).collect::<Vec<_>>(),
                 m,
-            ));
+            );
+            stats.cache_hits = engine.cache_hits() - gen_hits;
+            stats.cache_misses = engine.cache_misses() - gen_misses;
+            stats.delta_evals = engine.delta_evals() - gen_delta_evals;
+            stats.prefix_reuse_events = engine.prefix_reuse_events() - gen_prefix_reuse;
+            trace.push(stats);
         }
 
         trace.cache_hits = engine.cache_hits();
@@ -503,7 +516,15 @@ mod tests {
             serial.best_makespan.to_bits(),
             parallel.best_makespan.to_bits()
         );
-        assert_eq!(serial.trace.generations, parallel.trace.generations);
+        // Compare trajectories, not engine counters: delta_evals and
+        // prefix reuse legitimately differ between the two paths.
+        let keys = |r: &EmtsResult| {
+            r.trace
+                .iter()
+                .map(GenerationStats::fitness_key)
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(keys(&serial), keys(&parallel));
     }
 
     #[test]

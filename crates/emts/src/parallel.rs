@@ -392,7 +392,11 @@ fn worker_incarnation<R: Recorder>(g: &Ptg, matrix: &TimeMatrix, core: &PoolCore
                 } else {
                     None
                 };
+                // Thread-local span: one `pool.batch` interval per drained
+                // batch on this worker's flight-recorder lane.
+                let batch_span = rec.trace_span("pool.batch");
                 drain_batch(g, matrix, &batch, &mut scratch, rec, Some(core));
+                drop(batch_span);
                 if let Some(t) = batch_start {
                     busy += t.elapsed().as_secs_f64();
                     batches += 1;
@@ -519,12 +523,17 @@ impl<'env, REC: Recorder> EvalPool<'env, REC> {
             respawns: AtomicU64::new(0),
         };
         std::thread::scope(|scope| {
-            for _ in 0..workers {
+            for i in 0..workers {
                 // Incremented here (not in the worker) so the handle sees
                 // full strength from the moment it exists.
                 core.live.fetch_add(1, Ordering::AcqRel);
                 let core = &core;
-                scope.spawn(move || worker_loop(g, matrix, core, rec));
+                // Named threads give flight-recorder lanes (and panic
+                // messages) a stable worker identity.
+                std::thread::Builder::new()
+                    .name(format!("worker-{i}"))
+                    .spawn_scoped(scope, move || worker_loop(g, matrix, core, rec))
+                    .expect("spawning a pool worker thread");
             }
             let mut pool = EvalPool {
                 g,
@@ -659,6 +668,9 @@ impl<'env, REC: Recorder> EvalPool<'env, REC> {
         let drain_start = if let Some(t) = dispatch_start {
             self.rec
                 .phase_add("pool/dispatch", t.elapsed().as_secs_f64());
+            // Timeline marker: a batch of `n` items was handed to the
+            // workers.
+            self.rec.event("pool.batch.dispatch", n as u64);
             // lint:allow(src-timing) -- recorder phase accounting.
             Some(Instant::now())
         } else {
@@ -706,6 +718,8 @@ impl<'env, REC: Recorder> EvalPool<'env, REC> {
             self.rec.phase_add("pool/drain", t.elapsed().as_secs_f64());
             self.rec.add("pool.batches", 1);
             self.rec.add("pool.evals", n as u64);
+            // Timeline marker: every slot of the batch is filled.
+            self.rec.event("pool.batch.complete", n as u64);
         }
         batch
             .results

@@ -21,6 +21,21 @@ pub struct GenerationStats {
     /// Number of alleles mutated per offspring this generation (0 for the
     /// seed population).
     pub mutated_alleles: usize,
+    /// Fitness requests this generation answered from the memo cache
+    /// (includes no-op skips and within-generation rejection replays).
+    #[serde(default)]
+    pub cache_hits: usize,
+    /// Fitness requests this generation that ran the mapper.
+    #[serde(default)]
+    pub cache_misses: usize,
+    /// Misses this generation served by the incremental (delta) path
+    /// (0 on the batch/pool path).
+    #[serde(default)]
+    pub delta_evals: usize,
+    /// Placement events this generation replayed from parent prefix
+    /// checkpoints instead of being simulated (0 on the batch/pool path).
+    #[serde(default)]
+    pub prefix_reuse_events: u64,
 }
 
 impl GenerationStats {
@@ -59,12 +74,32 @@ impl GenerationStats {
             worst,
             rejected: fitness.len() - finite,
             mutated_alleles,
+            cache_hits: 0,
+            cache_misses: 0,
+            delta_evals: 0,
+            prefix_reuse_events: 0,
         }
     }
 
     /// True for the entry describing the seed population.
     pub fn is_seed(&self) -> bool {
         self.generation == Self::SEED
+    }
+
+    /// The trajectory-defining fields: fitness summary and mutation
+    /// strength, with float payloads compared bit-for-bit. Excludes the
+    /// per-generation engine counters, which legitimately differ between
+    /// the delta and pool evaluation paths even when the search
+    /// trajectories coincide exactly.
+    pub fn fitness_key(&self) -> (usize, u64, u64, u64, usize, usize) {
+        (
+            self.generation,
+            self.best.to_bits(),
+            self.mean.to_bits(),
+            self.worst.to_bits(),
+            self.rejected,
+            self.mutated_alleles,
+        )
     }
 }
 

@@ -200,6 +200,8 @@ rules! {
         "write!/writeln! result unwrapped instead of propagated");
     SRC_HOT_PATH_ALLOC = ("src-hot-path-alloc", Warning, Source,
         "allocating call inside a function marked // lint:hot-path");
+    SRC_HOT_PATH_RECORDER = ("src-hot-path-recorder", Warning, Source,
+        "StatsRecorder constructed inside a function marked // lint:hot-path");
 }
 
 /// Looks a rule up by its stable id.

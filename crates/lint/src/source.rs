@@ -13,7 +13,10 @@
 //!   line (trailing comment) or the directly following line (standalone
 //!   comment). Every suppression is an audited exception.
 //! * `// lint:hot-path` — marks the *next* `fn` as allocation-free: any
-//!   allocating call inside it is reported by `src-hot-path-alloc`.
+//!   allocating call inside it is reported by `src-hot-path-alloc`, and a
+//!   `StatsRecorder::…` construction by `src-hot-path-recorder` (hot
+//!   paths must take a generic `&impl Recorder` so the no-op flavour
+//!   compiles out).
 
 use crate::findings::Finding;
 use crate::rules;
@@ -406,6 +409,23 @@ pub fn lint_source(file: &str, src: &str, timing_exempt: bool) -> Vec<Finding> {
                         ),
                     );
                 }
+                // A hot-path fn must take its recorder as `&R: Recorder` so
+                // the no-op flavour compiles out — constructing the concrete
+                // `StatsRecorder` inline defeats that and allocates.
+                if *name == "StatsRecorder"
+                    && matches!(toks.get(i + 1), Some((Tok::Punct(':'), _)))
+                    && matches!(toks.get(i + 2), Some((Tok::Punct(':'), _)))
+                {
+                    emit(
+                        &rules::SRC_HOT_PATH_RECORDER,
+                        *line,
+                        format!(
+                            "StatsRecorder constructed inside hot-path fn {} — \
+                             take a `&impl Recorder` parameter instead",
+                            fns.last().map(|f| f.name.as_str()).unwrap_or("?")
+                        ),
+                    );
+                }
             }
         }
         i += 1;
@@ -578,6 +598,28 @@ fn relaxed() -> Vec<u32> {
         assert_eq!(
             got.iter().map(|(_, l)| *l).collect::<Vec<_>>(),
             vec![4, 5, 6, 7, 8]
+        );
+    }
+
+    #[test]
+    fn hot_path_pragma_flags_stats_recorder_construction() {
+        let src = r#"
+// lint:hot-path
+fn inner_kernel(xs: &[f64]) -> f64 {
+    let rec = StatsRecorder::new();
+    rec.add("evals", 1);
+    xs.iter().sum()
+}
+fn setup() -> StatsRecorder {
+    StatsRecorder::new()
+}
+fn generic(rec: &StatsRecorder) {
+    rec.add("ok", 1);
+}
+"#;
+        assert_eq!(
+            findings(src),
+            vec![("src-hot-path-recorder".to_string(), 4)]
         );
     }
 

@@ -12,7 +12,11 @@
 //!
 //! A finished run is snapshotted into a schema-versioned [`RunReport`]
 //! (JSON via the vendored serde subset) which the `emts-report` binary
-//! pretty-prints and diffs.
+//! pretty-prints, diffs, renders as per-generation timelines and
+//! self-time flame tables, and gates for benchmark regressions
+//! ([`regress`]). The event-level view is the [`FlightRecorder`]: a
+//! fixed-capacity per-thread ring of typed events with exact drop
+//! accounting, exported as Chrome Trace Event JSON ([`trace`]).
 //!
 //! Built from scratch against the offline container (no crates.io
 //! `tracing`/`metrics`); the only dependencies are the vendored `serde`
@@ -20,11 +24,14 @@
 
 pub mod hist;
 pub mod recorder;
+pub mod regress;
 pub mod render;
 pub mod report;
 pub mod stats;
+pub mod trace;
 
 pub use hist::LogHistogram;
-pub use recorder::{NoopRecorder, Recorder, Span};
+pub use recorder::{NoopRecorder, Recorder, Span, TraceSpan};
 pub use report::{PhaseStat, ReportError, RunReport, SCHEMA_VERSION};
 pub use stats::StatsRecorder;
+pub use trace::{FlightRecorder, LaneSnapshot, TeeRecorder, TraceEvent, TraceEventKind};

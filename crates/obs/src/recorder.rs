@@ -46,6 +46,43 @@ pub trait Recorder: Sync {
     /// Records one duration sample into latency histogram `name`.
     fn latency(&self, name: &'static str, seconds: f64);
 
+    /// Records a point-in-time marker carrying an opaque payload
+    /// (batch sizes, decision horizons, sampled heap-pop indices, …).
+    ///
+    /// Event-stream sinks (the flight recorder) keep each occurrence on
+    /// the timeline; aggregating sinks default to counting occurrences
+    /// under `name`, and the no-op recorder erases the probe entirely.
+    fn event(&self, name: &'static str, value: u64) {
+        if Self::ENABLED {
+            self.add(name, 1);
+        }
+        let _ = value;
+    }
+
+    /// Opens a *trace* span: like [`Recorder::span_enter`] but scoped to
+    /// the calling thread, so worker threads may use it concurrently.
+    /// Aggregating sinks whose span stack is single-threaded default to
+    /// ignoring trace spans (workers already report busy time through
+    /// [`Recorder::phase_add`]); the flight recorder records them on the
+    /// calling thread's lane.
+    fn trace_enter(&self, name: &'static str) {
+        let _ = name;
+    }
+
+    /// Closes the calling thread's innermost trace span, which must be
+    /// named `name`.
+    fn trace_exit(&self, name: &'static str) {
+        let _ = name;
+    }
+
+    /// RAII guard: enters a thread-local trace span, exits it on drop.
+    fn trace_span(&self, name: &'static str) -> TraceSpan<'_, Self>
+    where
+        Self: Sized,
+    {
+        TraceSpan::new(self, name)
+    }
+
     /// RAII guard: enters a span, exits it on drop.
     fn span(&self, name: &'static str) -> Span<'_, Self>
     where
@@ -87,6 +124,30 @@ impl<R: Recorder> Drop for Span<'_, R> {
     }
 }
 
+/// RAII guard for thread-local trace spans, returned by
+/// [`Recorder::trace_span`].
+pub struct TraceSpan<'r, R: Recorder> {
+    rec: &'r R,
+    name: &'static str,
+}
+
+impl<'r, R: Recorder> TraceSpan<'r, R> {
+    fn new(rec: &'r R, name: &'static str) -> Self {
+        if R::ENABLED {
+            rec.trace_enter(name);
+        }
+        TraceSpan { rec, name }
+    }
+}
+
+impl<R: Recorder> Drop for TraceSpan<'_, R> {
+    fn drop(&mut self) {
+        if R::ENABLED {
+            self.rec.trace_exit(self.name);
+        }
+    }
+}
+
 /// The disabled recorder: every probe compiles to nothing.
 ///
 /// This is the default recorder of every instrumented entry point, so
@@ -116,6 +177,15 @@ impl Recorder for NoopRecorder {
 
     #[inline(always)]
     fn latency(&self, _name: &'static str, _seconds: f64) {}
+
+    #[inline(always)]
+    fn event(&self, _name: &'static str, _value: u64) {}
+
+    #[inline(always)]
+    fn trace_enter(&self, _name: &'static str) {}
+
+    #[inline(always)]
+    fn trace_exit(&self, _name: &'static str) {}
 }
 
 #[cfg(test)]

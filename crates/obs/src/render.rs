@@ -1,7 +1,8 @@
-//! Human-readable rendering of run reports: single-report summaries and
-//! A/B diffs for regression triage.
+//! Human-readable rendering of run reports: single-report summaries,
+//! A/B diffs, per-generation timelines, and flame-style self-time tables.
 
 use crate::report::RunReport;
+use serde::Value;
 use std::fmt::Write as _;
 
 /// Engineering notation for seconds: picks ns/µs/ms/s.
@@ -17,6 +18,19 @@ pub fn fmt_seconds(s: f64) -> String {
         format!("{:.2} ms", s * 1e3)
     } else {
         format!("{s:.3} s")
+    }
+}
+
+/// Compact numeric formatting for metric values: integral values render
+/// without a fraction, everything else with Rust's shortest round-trip
+/// float form; `NaN` (a missing side of a comparison) renders as `–`.
+pub fn fmt_count(v: f64) -> String {
+    if v.is_nan() {
+        "–".to_string()
+    } else if v.fract() == 0.0 && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
     }
 }
 
@@ -209,6 +223,162 @@ pub fn render_diff(a: &RunReport, b: &RunReport) -> String {
     out
 }
 
+/// Renders the report's embedded per-generation series as a table.
+///
+/// The convergence trace is opaque to `obs` (it is produced by `emts`,
+/// which sits above this crate), so the renderer is *schema-free*: it
+/// takes the `generations` array from the convergence object and prints
+/// one column per numeric field, in the order the producer wrote them.
+/// The sentinel generation `usize::MAX` (the seed population) renders as
+/// `seed`. Trailing whole-run fields of the convergence object (cache
+/// totals, delta counters) are listed after the table.
+pub fn render_timeline(r: &RunReport) -> String {
+    let mut out = String::new();
+    let Some(conv) = &r.convergence else {
+        let _ = writeln!(out, "no convergence trace in this report ({})", r.source);
+        return out;
+    };
+    let Some(Value::Array(gens)) = conv.get("generations") else {
+        let _ = writeln!(out, "convergence trace has no generations array");
+        return out;
+    };
+    if gens.is_empty() {
+        let _ = writeln!(out, "convergence trace is empty");
+        return out;
+    }
+    let _ = writeln!(
+        out,
+        "per-generation series — {} ({} rows)",
+        r.source,
+        gens.len()
+    );
+    // Columns: numeric fields of the first row, producer order.
+    let columns: Vec<&str> = match &gens[0] {
+        Value::Object(fields) => fields
+            .iter()
+            .filter(|(_, v)| matches!(v, Value::Int(_) | Value::Float(_)))
+            .map(|(k, _)| k.as_str())
+            .collect(),
+        _ => Vec::new(),
+    };
+    if columns.is_empty() {
+        let _ = writeln!(out, "generations carry no numeric fields");
+        return out;
+    }
+    const SEED_SENTINEL: i128 = usize::MAX as i128;
+    let cell = |row: &Value, col: &str| -> String {
+        match row.get(col) {
+            Some(Value::Int(i)) if col == "generation" && *i == SEED_SENTINEL => "seed".into(),
+            Some(Value::Int(i)) => format!("{i}"),
+            Some(Value::Float(f)) => format!("{f:.4}"),
+            _ => "–".into(),
+        }
+    };
+    let mut widths: Vec<usize> = columns.iter().map(|c| c.len()).collect();
+    for row in gens {
+        for (i, col) in columns.iter().enumerate() {
+            widths[i] = widths[i].max(cell(row, col).len());
+        }
+    }
+    for (i, col) in columns.iter().enumerate() {
+        let _ = write!(
+            out,
+            "{}{:>width$}",
+            if i > 0 { "  " } else { "" },
+            col,
+            width = widths[i]
+        );
+    }
+    let _ = writeln!(out);
+    for row in gens {
+        for (i, col) in columns.iter().enumerate() {
+            let _ = write!(
+                out,
+                "{}{:>width$}",
+                if i > 0 { "  " } else { "" },
+                cell(row, col),
+                width = widths[i]
+            );
+        }
+        let _ = writeln!(out);
+    }
+    if let Some(fields) = conv.as_object() {
+        let totals: Vec<String> = fields
+            .iter()
+            .filter_map(|(k, v)| match v {
+                Value::Int(i) if k != "generations" => Some(format!("{k}={i}")),
+                Value::Float(f) if k != "generations" => Some(format!("{k}={f}")),
+                _ => None,
+            })
+            .collect();
+        if !totals.is_empty() {
+            let _ = writeln!(out, "run totals: {}", totals.join(" "));
+        }
+    }
+    out
+}
+
+/// Renders a flame-style *self-time* table over the report's span tree.
+///
+/// A phase's self time is its recorded seconds minus the seconds of its
+/// direct children (`"ea"` minus `"ea/mutate"`, `"ea/evaluate"`, …), i.e.
+/// the time the phase spent in its own code rather than in instrumented
+/// sub-phases — the number a flame graph would show as the bar's exposed
+/// width. Sorted widest first.
+pub fn render_flame(r: &RunReport) -> String {
+    let mut out = String::new();
+    if r.phases.is_empty() {
+        let _ = writeln!(out, "no phase spans in this report ({})", r.source);
+        return out;
+    }
+    let mut rows: Vec<(&String, f64, f64, u64)> = r
+        .phases
+        .iter()
+        .map(|(path, stat)| {
+            let prefix = format!("{path}/");
+            let children: f64 = r
+                .phases
+                .iter()
+                .filter(|(p, _)| p.starts_with(&prefix) && !p[prefix.len()..].contains('/'))
+                .map(|(_, s)| s.seconds)
+                .sum();
+            // Clamp: clock jitter can make children sum to a hair more
+            // than the parent.
+            (
+                path,
+                (stat.seconds - children).max(0.0),
+                stat.seconds,
+                stat.count,
+            )
+        })
+        .collect();
+    let total_self: f64 = rows.iter().map(|(_, s, _, _)| *s).sum();
+    rows.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("self times are finite"));
+    let _ = writeln!(
+        out,
+        "flame (self time) — {} — total instrumented {}",
+        r.source,
+        fmt_seconds(total_self)
+    );
+    let width = rows.iter().map(|(p, ..)| p.len()).max().unwrap_or(0);
+    for (path, self_s, total_s, count) in rows {
+        let share = if total_self > 0.0 {
+            self_s / total_self
+        } else {
+            0.0
+        };
+        let bar = "#".repeat((share * 40.0).round() as usize);
+        let _ = writeln!(
+            out,
+            "  {path:<width$}  self {:>10}  total {:>10}  ×{count:<8} {:5.1}% {bar}",
+            fmt_seconds(self_s),
+            fmt_seconds(total_s),
+            share * 100.0
+        );
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -266,6 +436,47 @@ mod tests {
         ] {
             assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
         }
+    }
+
+    #[test]
+    fn flame_ranks_by_self_time_and_subtracts_children() {
+        let mut r = RunReport::new("flame-test");
+        for (path, seconds) in [("ea", 10.0), ("ea/evaluate", 7.0), ("ea/mutate", 1.0)] {
+            r.phases
+                .insert(path.into(), PhaseStat { seconds, count: 1 });
+        }
+        let text = render_flame(&r);
+        // ea self = 10 − (7+1) = 2s; evaluate leads with 7s of self time.
+        let eval_at = text.find("ea/evaluate").expect("evaluate row");
+        let ea_at = text.find("  ea ").expect("ea row");
+        assert!(eval_at < ea_at, "evaluate should rank first:\n{text}");
+        assert!(text.contains("2.000 s"), "{text}");
+        assert!(text.contains("7.000 s"), "{text}");
+    }
+
+    #[test]
+    fn timeline_renders_generation_rows_and_seed_sentinel() {
+        let mut r = RunReport::new("timeline-test");
+        r.convergence = Some(
+            serde_json::parse(&format!(
+                r#"{{"generations": [
+                     {{"generation": {}, "best": 12.5, "mean": 14.0}},
+                     {{"generation": 0, "best": 11.0, "mean": 12.0}}],
+                    "cache_hits": 3, "cache_misses": 7}}"#,
+                usize::MAX
+            ))
+            .expect("test JSON parses"),
+        );
+        let text = render_timeline(&r);
+        assert!(text.contains("seed"), "{text}");
+        assert!(text.contains("11.0000"), "{text}");
+        assert!(text.contains("cache_hits=3"), "{text}");
+    }
+
+    #[test]
+    fn timeline_without_trace_says_so() {
+        let r = RunReport::new("empty");
+        assert!(render_timeline(&r).contains("no convergence trace"));
     }
 
     #[test]

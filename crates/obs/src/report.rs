@@ -130,6 +130,14 @@ impl RunReport {
         RunReport::from_value(&value).map_err(|e| ReportError::Parse(e.to_string()))
     }
 
+    /// Peeks at a report's declared `schema_version` without validating
+    /// the rest, so callers comparing two reports can name *both* versions
+    /// in one error instead of failing on whichever file loads first.
+    pub fn schema_version_of(text: &str) -> Option<u32> {
+        let value = serde_json::parse(text).ok()?;
+        u32::from_value(value.get("schema_version")?).ok()
+    }
+
     /// Writes the report as pretty JSON, creating parent directories.
     pub fn save(&self, path: &Path) -> Result<(), ReportError> {
         if let Some(dir) = path.parent() {

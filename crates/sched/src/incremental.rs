@@ -376,6 +376,9 @@ impl ListScheduler {
         //    threshold here proves the full evaluation would reject too.
         let cp = scratch.bl.iter().fold(0.0f64, |a, &b| a.max(b));
         if cp > threshold || child.work_area(&scratch.times) / p_max as f64 > threshold {
+            if R::ENABLED {
+                rec.event("sched.delta.lb_prune", 0);
+            }
             return DeltaEval {
                 outcome: BoundedEval::Rejected,
                 lb_pruned: true,
@@ -428,6 +431,10 @@ impl ListScheduler {
             }
         }
         if safe == u32::MAX {
+            if R::ENABLED {
+                // Horizon event, full-reuse case: nothing invalidated.
+                rec.event("sched.delta.horizon", pack_horizon(safe, events_total));
+            }
             // Bitwise nothing changed: replay the parent's outcome.
             let outcome = match record.decide(cutoff) {
                 Some(makespan) => BoundedEval::Complete {
@@ -477,6 +484,12 @@ impl ListScheduler {
             }
             (c.events, c.makespan, c.next_seq)
         };
+        if R::ENABLED {
+            // Delta-horizon decision: where the replay may diverge (`safe`,
+            // high half) vs the checkpointed prefix actually restored
+            // (`restored_events`, low half).
+            rec.event("sched.delta.horizon", pack_horizon(safe, restored_events));
+        }
         // The prefix `reject_key` must use the *offspring's* bottom levels:
         // re-prioritized tasks may have been placed inside the replayed
         // prefix. Start times there are unchanged (no time-dirty task pops
@@ -519,6 +532,15 @@ impl ListScheduler {
             events_total,
         }
     }
+}
+
+/// Packs a delta-horizon decision into one event payload: the first event
+/// index at which the replay may diverge from the parent (`safe`, high 32
+/// bits — `u32::MAX` means nothing was invalidated) and the checkpointed
+/// prefix length actually reused (low 32 bits).
+#[inline]
+fn pack_horizon(safe: u32, reused: u32) -> u64 {
+    ((safe as u64) << 32) | reused as u64
 }
 
 /// Clamps `safe` to the first event at which tasks `a` and `b` coexist in

@@ -424,6 +424,18 @@ impl ListScheduler {
                 run = groups.pop().expect("alloc ≤ P ensured by prepare");
                 if R::ENABLED {
                     group_pops += 1;
+                    // Sampled heap-pop probe: every `POP_SAMPLE`-th pop
+                    // lands on the event timeline (flight recorder) or
+                    // bumps a counter (stats). Power-of-two mask, and the
+                    // whole branch folds away under the no-op recorder.
+                    // 4096 keeps the flight-recorder overhead on a full
+                    // n=100 evaluation (a few thousand pops) near one
+                    // sampled event — the ≤5% tracing budget leaves no
+                    // room for an event every 512 pops.
+                    const POP_SAMPLE: u64 = 4096;
+                    if group_pops & (POP_SAMPLE - 1) == 0 {
+                        rec.event("sched.pop.sample", group_pops);
+                    }
                 }
                 let count = group_count(run);
                 if count > need {

@@ -9,8 +9,9 @@
 //! usage: emts-sim --platform <file> --ptg <file>
 //!                 [--algorithm cpa|hcpa|mcpa|delta|emts5|emts10]
 //!                 [--model model1|model2] [--seed <u64>]
-//!                 [--faults <spec>] [--trials <n>]
+//!                 [--faults <spec>] [--trials <n>] [--workers <n>]
 //!                 [--gantt] [--json] [--report <out.json>]
+//!                 [--trace <out.trace.json>]
 //! ```
 //!
 //! `--report` writes a schema-versioned [`obs::RunReport`] (phase spans,
@@ -21,14 +22,21 @@
 //! (`--trials` independent realizations, default 20) and reports the
 //! makespan-degradation distribution; see [`sim::faults::FaultSpec::parse`]
 //! for the spec grammar, e.g. `--faults "seed=7,perturb=0.2,crash=0.05"`.
+//!
+//! `--trace` attaches an [`obs::FlightRecorder`] to the whole run and
+//! writes a Chrome Trace Event JSON file (load it at `ui.perfetto.dev` or
+//! `chrome://tracing`) with one lane per thread. Combine with
+//! `--workers <n>` — which pins the EMTS evaluation pool to `n` worker
+//! threads instead of the machine-derived default — to see each pool
+//! worker's batches on its own lane. Neither flag changes any result.
 
 use exec_model::PaperModel;
-use obs::StatsRecorder;
+use obs::{FlightRecorder, Recorder, StatsRecorder, TeeRecorder};
 use platform::file::parse_platform;
 use serde::Serialize;
 use sim::faults::FaultSpec;
 use sim::formats::parse_ptg;
-use sim::runner::{run_obs, run_with_faults, Algorithm};
+use sim::runner::{run_obs_workers, run_with_faults_workers, Algorithm};
 
 struct Args {
     platform: String,
@@ -38,9 +46,11 @@ struct Args {
     seed: u64,
     faults: Option<FaultSpec>,
     trials: usize,
+    workers: Option<usize>,
     gantt: bool,
     json: bool,
     report: Option<String>,
+    trace: Option<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -51,9 +61,11 @@ fn parse_args() -> Result<Args, String> {
     let mut seed = 2011u64;
     let mut faults = None;
     let mut trials = 20usize;
+    let mut workers = None;
     let mut gantt = false;
     let mut json = false;
     let mut report = None;
+    let mut trace = None;
     let mut iter = std::env::args().skip(1);
     while let Some(arg) = iter.next() {
         match arg.as_str() {
@@ -88,9 +100,18 @@ fn parse_args() -> Result<Args, String> {
                     .filter(|&t| t >= 1)
                     .ok_or("bad --trials value (need an integer ≥ 1)")?;
             }
+            "--workers" => {
+                workers = Some(
+                    iter.next()
+                        .ok_or("--workers needs a count")?
+                        .parse()
+                        .map_err(|_| "bad --workers value".to_string())?,
+                );
+            }
             "--gantt" => gantt = true,
             "--json" => json = true,
             "--report" => report = Some(iter.next().ok_or("--report needs a file")?),
+            "--trace" => trace = Some(iter.next().ok_or("--trace needs a file")?),
             other => return Err(format!("unknown flag {other:?}")),
         }
     }
@@ -102,10 +123,50 @@ fn parse_args() -> Result<Args, String> {
         seed,
         faults,
         trials,
+        workers,
         gantt,
         json,
         report,
+        trace,
     })
+}
+
+/// Runs the pipeline under `rec` — generic so the same code path serves
+/// the plain [`StatsRecorder`] and the `--trace` tee into a
+/// [`FlightRecorder`].
+fn run_recorded<R: Recorder>(
+    args: &Args,
+    graph: &ptg::Ptg,
+    cluster: &platform::Cluster,
+    model: &dyn exec_model::ExecutionTimeModel,
+    rec: &R,
+) -> (
+    sim::RunReport,
+    sched::Schedule,
+    Option<emts::ConvergenceTrace>,
+) {
+    match &args.faults {
+        Some(spec) => run_with_faults_workers(
+            args.algorithm,
+            graph,
+            cluster,
+            model,
+            args.seed,
+            spec,
+            args.trials,
+            args.workers,
+            rec,
+        ),
+        None => run_obs_workers(
+            args.algorithm,
+            graph,
+            cluster,
+            model,
+            args.seed,
+            args.workers,
+            rec,
+        ),
+    }
 }
 
 fn main() {
@@ -117,8 +178,9 @@ fn main() {
                 "usage: emts-sim --platform <file> --ptg <file> \
                  [--algorithm cpa|hcpa|mcpa|delta|emts5|emts10] \
                  [--model model1|model2] [--seed <u64>] \
-                 [--faults <spec>] [--trials <n>] [--gantt] [--json] \
-                 [--report <out.json>]"
+                 [--faults <spec>] [--trials <n>] [--workers <n>] \
+                 [--gantt] [--json] [--report <out.json>] \
+                 [--trace <out.trace.json>]"
             );
             std::process::exit(2);
         }
@@ -142,26 +204,24 @@ fn main() {
 
     let model = args.model.instantiate();
     let rec = StatsRecorder::new();
-    let (report, schedule, trace) = match &args.faults {
-        Some(spec) => run_with_faults(
-            args.algorithm,
+    let flight = args.trace.as_ref().map(|_| FlightRecorder::new());
+    let (report, schedule, trace) = match &flight {
+        Some(f) => run_recorded(
+            &args,
             &graph,
             &cluster,
             model.as_ref(),
-            args.seed,
-            spec,
-            args.trials,
-            &rec,
+            &TeeRecorder(&rec, f),
         ),
-        None => run_obs(
-            args.algorithm,
-            &graph,
-            &cluster,
-            model.as_ref(),
-            args.seed,
-            &rec,
-        ),
+        None => run_recorded(&args, &graph, &cluster, model.as_ref(), &rec),
     };
+
+    if let (Some(path), Some(f)) = (&args.trace, &flight) {
+        if let Err(e) = std::fs::write(path, f.chrome_trace_json()) {
+            eprintln!("cannot write trace {path}: {e}");
+            std::process::exit(1);
+        }
+    }
 
     if let Some(path) = &args.report {
         let mut obs_report = rec.report("emts-sim");
@@ -176,6 +236,9 @@ fn main() {
         obs_report
             .meta
             .insert("tasks".into(), report.tasks.to_string());
+        if let Some(w) = args.workers {
+            obs_report.meta.insert("workers".into(), w.to_string());
+        }
         obs_report.convergence = trace.as_ref().map(|t| t.to_value());
         if let Err(e) = obs_report.save(std::path::Path::new(path)) {
             eprintln!("cannot write report {path}: {e}");

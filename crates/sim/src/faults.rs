@@ -29,6 +29,7 @@
 
 use crate::event::EventKind;
 use exec_model::TimeMatrix;
+use obs::{NoopRecorder, Recorder};
 use ptg::{Ptg, TaskId};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
@@ -808,6 +809,24 @@ pub fn fault_trials(
     spec: &FaultSpec,
     trials: usize,
 ) -> FaultSummary {
+    fault_trials_obs(g, matrix, schedule, alloc, spec, trials, &NoopRecorder)
+}
+
+/// [`fault_trials`] with telemetry: each trial runs under a
+/// `faults.trial` trace span, and trials that injected retries, kills or
+/// reschedules drop timeline instants (`faults.retry`, `faults.kill`,
+/// `faults.reschedule`) so a fault-injected episode can be located in a
+/// flight-recorder export. Never changes any result — the trial loop is
+/// deterministic with or without a recorder.
+pub fn fault_trials_obs<R: Recorder>(
+    g: &Ptg,
+    matrix: &TimeMatrix,
+    schedule: &Schedule,
+    alloc: &Allocation,
+    spec: &FaultSpec,
+    trials: usize,
+    rec: &R,
+) -> FaultSummary {
     assert!(trials >= 1, "at least one trial");
     let baseline = schedule.makespan();
     let mut degradations = Vec::with_capacity(trials);
@@ -816,6 +835,7 @@ pub fn fault_trials(
     let mut processor_failures = 0;
     let mut reschedules = 0;
     for trial in 0..trials {
+        let trial_span = rec.trace_span("faults.trial");
         let plan = FaultPlan::realize(
             spec,
             trial as u64,
@@ -824,6 +844,18 @@ pub fn fault_trials(
             baseline,
         );
         let report = execute_with_faults(g, matrix, schedule, alloc, &plan);
+        if R::ENABLED {
+            if report.retries > 0 {
+                rec.event("faults.retry", report.retries as u64);
+            }
+            if report.tasks_killed > 0 {
+                rec.event("faults.kill", report.tasks_killed as u64);
+            }
+            if report.reschedules > 0 {
+                rec.event("faults.reschedule", report.reschedules as u64);
+            }
+        }
+        drop(trial_span);
         degradations.push(report.makespan / baseline);
         retries += report.retries;
         tasks_killed += report.tasks_killed;

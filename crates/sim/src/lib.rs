@@ -29,7 +29,7 @@ pub mod trace;
 
 pub use executor::{ExecutionError, SimReport};
 pub use faults::{
-    execute_with_faults, fault_trials, FaultPlan, FaultSpec, FaultSpecError, FaultSummary,
-    FaultyReport,
+    execute_with_faults, fault_trials, fault_trials_obs, FaultPlan, FaultSpec, FaultSpecError,
+    FaultSummary, FaultyReport,
 };
-pub use runner::{run_with_faults, Algorithm, RunReport};
+pub use runner::{run_with_faults, run_with_faults_workers, Algorithm, RunReport};

@@ -1,7 +1,7 @@
 //! End-to-end experiment pipeline: platform + PTG + algorithm → report.
 
 use crate::executor::{execute_obs, SimReport};
-use crate::faults::{fault_trials, FaultSpec, FaultSummary};
+use crate::faults::{FaultSpec, FaultSummary};
 use emts::{ConvergenceTrace, Emts, EmtsConfig};
 use exec_model::{ExecutionTimeModel, TimeMatrix};
 use heuristics::{Allocator, Cpa, DeltaCritical, Hcpa, Mcpa, Mcpa2};
@@ -86,20 +86,38 @@ impl Algorithm {
         seed: u64,
         rec: &R,
     ) -> (Allocation, Option<ConvergenceTrace>) {
+        self.allocate_obs_workers(g, matrix, seed, None, rec)
+    }
+
+    /// [`Algorithm::allocate_obs`] with an explicit EMTS worker count.
+    /// `Some(w)` pins the evaluation pool to `w` worker threads (so a
+    /// flight-recorder export shows one lane per worker even on a
+    /// single-core machine); `None` keeps the machine-derived default.
+    /// Heuristics ignore the knob. Results are bit-identical either way.
+    pub fn allocate_obs_workers<R: Recorder>(
+        self,
+        g: &Ptg,
+        matrix: &TimeMatrix,
+        seed: u64,
+        workers: Option<usize>,
+        rec: &R,
+    ) -> (Allocation, Option<ConvergenceTrace>) {
+        let emts = |cfg: EmtsConfig| {
+            let emts = Emts::new(cfg);
+            let r = match workers {
+                Some(w) => emts.run_with_workers(g, matrix, seed, w, rec),
+                None => emts.run_recorded(g, matrix, seed, rec),
+            };
+            (r.best, Some(r.trace))
+        };
         match self {
             Algorithm::Cpa => (Cpa::default().allocate(g, matrix), None),
             Algorithm::Hcpa => (Hcpa.allocate(g, matrix), None),
             Algorithm::Mcpa => (Mcpa.allocate(g, matrix), None),
             Algorithm::Mcpa2 => (Mcpa2.allocate(g, matrix), None),
             Algorithm::DeltaCritical => (DeltaCritical::default().allocate(g, matrix), None),
-            Algorithm::Emts5 => {
-                let r = Emts::new(EmtsConfig::emts5()).run_recorded(g, matrix, seed, rec);
-                (r.best, Some(r.trace))
-            }
-            Algorithm::Emts10 => {
-                let r = Emts::new(EmtsConfig::emts10()).run_recorded(g, matrix, seed, rec);
-                (r.best, Some(r.trace))
-            }
+            Algorithm::Emts5 => emts(EmtsConfig::emts5()),
+            Algorithm::Emts10 => emts(EmtsConfig::emts10()),
         }
     }
 }
@@ -160,6 +178,20 @@ pub fn run_obs<M: ExecutionTimeModel + ?Sized, R: Recorder>(
     seed: u64,
     rec: &R,
 ) -> (RunReport, Schedule, Option<ConvergenceTrace>) {
+    run_obs_workers(algorithm, g, cluster, model, seed, None, rec)
+}
+
+/// [`run_obs`] with an explicit EMTS worker count (see
+/// [`Algorithm::allocate_obs_workers`]); `None` keeps the default.
+pub fn run_obs_workers<M: ExecutionTimeModel + ?Sized, R: Recorder>(
+    algorithm: Algorithm,
+    g: &Ptg,
+    cluster: &Cluster,
+    model: &M,
+    seed: u64,
+    workers: Option<usize>,
+    rec: &R,
+) -> (RunReport, Schedule, Option<ConvergenceTrace>) {
     let matrix = rec.time("matrix", || {
         TimeMatrix::compute(g, model, cluster.speed_flops(), cluster.processors)
     });
@@ -167,7 +199,7 @@ pub fn run_obs<M: ExecutionTimeModel + ?Sized, R: Recorder>(
     let t0 = Instant::now();
     let (alloc, trace) = {
         let _span = rec.span("allocate");
-        algorithm.allocate_obs(g, &matrix, seed, rec)
+        algorithm.allocate_obs_workers(g, &matrix, seed, workers, rec)
     };
     let allocation_seconds = t0.elapsed().as_secs_f64();
     // lint:allow(src-timing)
@@ -220,11 +252,29 @@ pub fn run_with_faults<M: ExecutionTimeModel + ?Sized, R: Recorder>(
     trials: usize,
     rec: &R,
 ) -> (RunReport, Schedule, Option<ConvergenceTrace>) {
-    let (mut report, schedule, trace) = run_obs(algorithm, g, cluster, model, seed, rec);
+    run_with_faults_workers(algorithm, g, cluster, model, seed, spec, trials, None, rec)
+}
+
+/// [`run_with_faults`] with an explicit EMTS worker count (see
+/// [`Algorithm::allocate_obs_workers`]); `None` keeps the default.
+#[allow(clippy::too_many_arguments)] // mirrors run_with_faults + workers
+pub fn run_with_faults_workers<M: ExecutionTimeModel + ?Sized, R: Recorder>(
+    algorithm: Algorithm,
+    g: &Ptg,
+    cluster: &Cluster,
+    model: &M,
+    seed: u64,
+    spec: &FaultSpec,
+    trials: usize,
+    workers: Option<usize>,
+    rec: &R,
+) -> (RunReport, Schedule, Option<ConvergenceTrace>) {
+    let (mut report, schedule, trace) =
+        run_obs_workers(algorithm, g, cluster, model, seed, workers, rec);
     let matrix = TimeMatrix::compute(g, model, cluster.speed_flops(), cluster.processors);
     let alloc = Allocation::from_vec(report.allocation.clone());
     let summary = rec.time("faults", || {
-        fault_trials(g, &matrix, &schedule, &alloc, spec, trials)
+        crate::faults::fault_trials_obs(g, &matrix, &schedule, &alloc, spec, trials, rec)
     });
     if R::ENABLED {
         rec.add("faults.trials", summary.trials as u64);

@@ -1,0 +1,9 @@
+//! Corpus: src-hot-path-recorder — a concrete StatsRecorder constructed
+//! inside a hot-path function instead of a generic `&impl Recorder`.
+
+// lint:hot-path
+fn inner_loop(xs: &[f64]) -> f64 {
+    let rec = StatsRecorder::new();
+    rec.add("evals", xs.len() as u64);
+    xs.iter().sum()
+}

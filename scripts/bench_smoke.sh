@@ -10,12 +10,18 @@
 # RunReport (phase spans, counters, histograms) of that EMTS10 run —
 # inspect it with `cargo run --bin emts-report -- show BENCH_fitness_report.json`.
 # The bench additionally asserts the no-op recorder adds <1% overhead to
-# the serial fitness path (NOOP_OVERHEAD line).
+# the serial fitness path (NOOP_OVERHEAD line) and that the live flight
+# recorder stays within its mapper-loop budget (TRACE_OVERHEAD line).
 #
 # Also runs the streaming harness (`emts-stream`, 100k DAGGEN PTGs
 # generated and scheduled on the fly, single-core) and writes its result —
 # honest end-to-end PTGs/sec plus an isolated fitness-core probe
 # (ns/eval, ns per heap pop) — to BENCH_throughput.json.
+#
+# Observability cost lands in BENCH_obs.json (`emts-obsbench`): recorder
+# overhead on the mapper loop, flight-recorder events/sec, and the exact
+# drop rate at ring capacity. `emts-report regress` diffs every fresh
+# BENCH_*.json against the committed baseline in scripts/ci.sh.
 #
 # Usage: scripts/bench_smoke.sh
 
@@ -36,6 +42,13 @@ target/release/emts-stream --count "$STREAM_COUNT" --seed 2011 --quiet \
     --out "$THROUGHPUT_OUT"
 echo "wrote $THROUGHPUT_OUT:"
 cat "$THROUGHPUT_OUT"
+
+echo "== observability cost: recorder overhead, event throughput, drop accounting"
+OBS_OUT=BENCH_obs.json
+cargo build -q --offline --release -p bench --bin emts-obsbench
+target/release/emts-obsbench --rounds 40 --out "$OBS_OUT"
+echo "wrote $OBS_OUT:"
+cat "$OBS_OUT"
 
 echo "== robustness smoke: fault-injected p95 degradation per workload"
 FAULT_SPEC="seed=2011,perturb=0.2,straggler_prob=0.05,straggler_factor=4,crash=0.05,retries=3,backoff=0.5,procfail=0.02"

@@ -35,8 +35,32 @@ if $LINT --deny warning data/bad > /dev/null 2>&1; then
     exit 1
 fi
 
-echo "== perf guards (release): delta vs pooled, SoA core vs reference oracle"
+echo "== perf guards (release): delta vs pooled, flight-recorder budget, SoA core vs oracle"
 cargo test --release -q --offline -p emts --test perf_guard -- --ignored
+
+echo "== perf-regression observatory: regress gate must pass clean and catch inflation"
+cargo build -q --offline --release -p obs --bin emts-report
+EMTS_REPORT=target/release/emts-report
+REGRESS_DIR=$(mktemp -d)
+# Every committed baseline compared against itself must pass (exit 0)...
+for BASE in BENCH_fitness.json BENCH_throughput.json BENCH_obs.json; do
+    [ -f "$BASE" ] || continue
+    $EMTS_REPORT regress "$BASE" "$BASE" > /dev/null \
+        || { echo "regress gate: $BASE self-comparison reported a regression" >&2; exit 1; }
+done
+# ...and a synthetically inflated copy must fail with a non-zero exit,
+# otherwise the observatory has gone blind. 10x every numeric leaf; the
+# default 40% tolerance must flag that on the higher-is-worse metrics.
+awk '{ while (match($0, /: [0-9]+(\.[0-9]+)?/)) {
+           v = substr($0, RSTART + 2, RLENGTH - 2)
+           printf "%s: %s", substr($0, 1, RSTART - 1), v * 10
+           $0 = substr($0, RSTART + RLENGTH) }
+       print }' BENCH_fitness.json > "$REGRESS_DIR/inflated.json"
+if $EMTS_REPORT regress BENCH_fitness.json "$REGRESS_DIR/inflated.json" > /dev/null; then
+    echo "regress gate passed a 10x-inflated benchmark — the gate is not gating" >&2
+    exit 1
+fi
+rm -rf "$REGRESS_DIR"
 
 echo "== streaming smoke: sharded + interrupted + resumed 1k-PTG stream is bit-identical"
 cargo build -q --offline --release -p bench --bin emts-stream

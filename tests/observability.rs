@@ -5,7 +5,7 @@
 
 use emts::{Emts, EmtsConfig};
 use exec_model::{SyntheticModel, TimeMatrix};
-use obs::{RunReport, StatsRecorder};
+use obs::{FlightRecorder, RunReport, StatsRecorder};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use sim::runner::{run_obs, Algorithm};
@@ -114,6 +114,62 @@ fn reports_round_trip_and_diff() {
     let shown = obs::render::render_report(&a);
     assert!(shown.contains("ea/select"));
     assert!(shown.contains("emts.cache.hits"));
+}
+
+#[test]
+fn flight_recorder_traces_one_lane_per_pool_worker() {
+    const WORKERS: usize = 3;
+    let g = graph(7);
+    let cluster = platform::grelon();
+    let model = SyntheticModel::default();
+    let matrix = TimeMatrix::compute(&g, &model, cluster.speed_flops(), cluster.processors);
+    let flight = FlightRecorder::new();
+    let result = Emts::new(EmtsConfig::emts10()).run_with_workers(&g, &matrix, 5, WORKERS, &flight);
+    assert!(result.best_makespan.is_finite());
+
+    // One ring per thread that recorded anything: the driving thread plus
+    // every pool worker — workers time their batch items, so each lane is
+    // guaranteed events.
+    let lanes: Vec<String> = flight.snapshot().into_iter().map(|l| l.name).collect();
+    assert_eq!(
+        lanes.len(),
+        WORKERS + 1,
+        "expected main + {WORKERS} worker lanes, got {lanes:?}"
+    );
+    for w in 0..WORKERS {
+        let name = format!("worker-{w}");
+        assert!(lanes.iter().any(|l| l == &name), "missing lane {name}");
+    }
+
+    // The Chrome trace is loadable JSON with one named thread per lane,
+    // and the span pairing produced complete ("X") events.
+    let trace = serde_json::parse(&flight.chrome_trace_json()).expect("chrome trace parses");
+    let events = match trace.get("traceEvents") {
+        Some(serde::Value::Array(evs)) => evs,
+        other => panic!("traceEvents is not an array: {other:?}"),
+    };
+    let ph_count = |ph: &str| {
+        events
+            .iter()
+            .filter(|e| e.get("ph").and_then(serde::Value::as_str) == Some(ph))
+            .count()
+    };
+    let thread_names = events
+        .iter()
+        .filter(|e| {
+            e.get("ph").and_then(serde::Value::as_str) == Some("M")
+                && e.get("name").and_then(serde::Value::as_str) == Some("thread_name")
+        })
+        .count();
+    assert_eq!(thread_names, lanes.len(), "one thread_name event per lane");
+    assert!(ph_count("X") > 0, "trace contains complete span events");
+    // The pool batches themselves are on the timeline.
+    assert!(
+        events
+            .iter()
+            .any(|e| { e.get("name").and_then(serde::Value::as_str) == Some("pool.batch") }),
+        "pool batch spans are traced"
+    );
 }
 
 #[test]
