@@ -56,6 +56,23 @@ pub struct EmtsConfig {
     /// Draw mutation magnitudes from `U{1..=2σ}` instead of the asymmetric
     /// folded normal. Only for the mutation-operator ablation.
     pub uniform_mutation: bool,
+    /// Route pooled batch evaluation through the two-tier fitness
+    /// pipeline: a cheap tier-1 surrogate interval per offspring, exact
+    /// evaluation only when the interval cannot prove rejection at the
+    /// current cutoff (see `sched::surrogate`). Never changes any result
+    /// visible to selection — screening skips exactly the offspring the
+    /// bounded exact evaluation would reject. No effect on the
+    /// serial/delta path, and inert under comma-selection or a disabled
+    /// rejection strategy (both leave the cutoff infinite for most of the
+    /// run, where nothing screens). Off by default.
+    #[serde(default)]
+    pub two_tier: bool,
+    /// Probability that an offspring is produced by single-point crossover
+    /// of two distinct parents' allocation vectors (GA-style, after the
+    /// GA/LSH literature) before mutation. 0.0 — the paper's pure-ES
+    /// configuration — disables recombination entirely and is the default.
+    #[serde(default)]
+    pub crossover_prob: f64,
     /// Adapt both σ parameters online with Rechenberg's 1/5 success rule
     /// (the classic step-size control from the evolution-strategy
     /// literature the paper cites): after each generation, grow σ when more
@@ -105,6 +122,10 @@ impl EmtsConfig {
             self.rejection_slack >= 1.0,
             "rejection_slack below 1.0 could reject improving offspring"
         );
+        assert!(
+            (0.0..=1.0).contains(&self.crossover_prob),
+            "crossover_prob must lie in [0, 1]"
+        );
     }
 }
 
@@ -125,6 +146,8 @@ impl Default for EmtsConfig {
             comma_selection: false,
             rejection: false,
             rejection_slack: 1.5,
+            two_tier: false,
+            crossover_prob: 0.0,
             uniform_mutation: false,
             adaptive_sigma: false,
         }

@@ -1,6 +1,7 @@
 //! The EMTS evolution loop (§III).
 
 use crate::config::EmtsConfig;
+use crate::crossover::single_point;
 use crate::individual::{select_best, Individual};
 use crate::mutation::{mutation_count, MutationOperator};
 use crate::parallel::{EvalPool, FitnessEngine};
@@ -11,7 +12,7 @@ use obs::Recorder;
 use ptg::Ptg;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
-use sched::Allocation;
+use sched::{Allocation, Surrogate};
 use std::time::{Duration, Instant};
 
 /// The EMTS scheduler.
@@ -156,6 +157,14 @@ impl Emts {
         // batch dispatch wins and offspring are evaluated fresh. Both paths
         // are bit-identical, so the trajectory is machine-independent.
         let mut use_delta = pool.workers() == 0;
+        // Two-tier screening only pays off on the batch path (the delta
+        // path already prescreens with the same bounds per offspring), so
+        // the surrogate configuration is consulted only when `!use_delta`.
+        // The hot path uses the rungs-only screening configuration: the
+        // full-interval replay costs about as much per event as the exact
+        // core and never screens earlier than it rejects (see
+        // `Surrogate::screening`).
+        let two_tier = cfg.two_tier.then(Surrogate::screening);
         let mut engine = FitnessEngine::new(pool);
         let mut population = rec.time("seed", || initial_population(cfg, &op, g, matrix, &mut rng));
         let mut evaluations = population.len();
@@ -188,6 +197,10 @@ impl Emts {
             let gen_misses = engine.cache_misses();
             let gen_delta_evals = engine.delta_evals();
             let gen_prefix_reuse = engine.prefix_reuse_events();
+            let gen_surrogate = engine.surrogate_evals();
+            let gen_skipped = engine.exact_skipped();
+            let gen_ambiguous = engine.ambiguous_fallbacks();
+            let (gen_wsum, gen_wcount) = engine.surrogate_width_stats();
             if !use_delta && engine.pool_degraded() {
                 // Every worker is gone and none respawned: batches
                 // dispatched to the pool would only come back through the
@@ -228,8 +241,28 @@ impl Emts {
             rec.time("mutate", || {
                 for _ in 0..cfg.lambda {
                     let pidx = rand::Rng::gen_range(&mut rng, 0..population.len());
-                    let mut alloc = population[pidx].alloc.clone();
-                    let changed = op.mutate(&mut alloc, m, p_max, &mut rng);
+                    // Optional single-point crossover before mutation. The
+                    // outer probability guard must precede every RNG draw so
+                    // the default configuration (crossover_prob = 0.0, the
+                    // paper's pure ES) consumes the exact same stream as
+                    // before the operator existed.
+                    let (mut alloc, mut changed) = if cfg.crossover_prob > 0.0
+                        && population.len() > 1
+                        && rand::Rng::gen_bool(&mut rng, cfg.crossover_prob)
+                    {
+                        // Second parent distinct from the first.
+                        let mut qidx = rand::Rng::gen_range(&mut rng, 0..population.len() - 1);
+                        if qidx >= pidx {
+                            qidx += 1;
+                        }
+                        single_point(&population[pidx].alloc, &population[qidx].alloc, &mut rng)
+                    } else {
+                        (population[pidx].alloc.clone(), Vec::new())
+                    };
+                    // The delta path needs every allele where the offspring
+                    // may differ from parent `pidx`: crossover's diff plus
+                    // the mutated alleles (duplicates are allowed).
+                    changed.extend(op.mutate(&mut alloc, m, p_max, &mut rng));
                     offspring_allocs.push(alloc);
                     offspring_changed.push(changed);
                     offspring_parent.push(pidx);
@@ -277,6 +310,8 @@ impl Emts {
                             )
                         })
                         .collect()
+                } else if let Some(sur) = &two_tier {
+                    engine.evaluate_two_tier(&offspring_allocs, cutoff, sur)
                 } else {
                     engine.evaluate(&offspring_allocs, cutoff)
                 }
@@ -337,6 +372,15 @@ impl Emts {
             stats.cache_misses = engine.cache_misses() - gen_misses;
             stats.delta_evals = engine.delta_evals() - gen_delta_evals;
             stats.prefix_reuse_events = engine.prefix_reuse_events() - gen_prefix_reuse;
+            stats.surrogate_evals = engine.surrogate_evals() - gen_surrogate;
+            stats.exact_skipped = engine.exact_skipped() - gen_skipped;
+            stats.ambiguous_fallbacks = engine.ambiguous_fallbacks() - gen_ambiguous;
+            let (wsum, wcount) = engine.surrogate_width_stats();
+            stats.surrogate_interval_width = if wcount > gen_wcount {
+                (wsum - gen_wsum) / (wcount - gen_wcount) as f64
+            } else {
+                0.0
+            };
             trace.push(stats);
         }
 
@@ -349,6 +393,9 @@ impl Emts {
         trace.worker_panics = engine.worker_panics();
         trace.pool_respawns = engine.pool_respawns();
         trace.serial_fallbacks = engine.serial_fallbacks();
+        trace.surrogate_evals = engine.surrogate_evals();
+        trace.exact_skipped = engine.exact_skipped();
+        trace.ambiguous_fallbacks = engine.ambiguous_fallbacks();
         let best = population
             .into_iter()
             .min_by(|a, b| {
@@ -525,6 +572,138 @@ mod tests {
                 .collect::<Vec<_>>()
         };
         assert_eq!(keys(&serial), keys(&parallel));
+    }
+
+    #[test]
+    fn two_tier_screening_is_invisible_to_selection() {
+        // The surrogate screen only skips exact evaluations it has proved
+        // would be rejected at the cutoff, so the whole trajectory — best
+        // individual, per-generation fitness summaries, pruned counts —
+        // must be bit-identical to the all-exact batch run.
+        let (g, m) = fft_setup(true);
+        for seed in [2u64, 11] {
+            let base = Emts::new(EmtsConfig::emts5()).run_with_workers(
+                &g,
+                &m,
+                seed,
+                2,
+                &obs::NoopRecorder,
+            );
+            let tiered = Emts::new(EmtsConfig {
+                two_tier: true,
+                ..EmtsConfig::emts5()
+            })
+            .run_with_workers(&g, &m, seed, 2, &obs::NoopRecorder);
+            assert_eq!(base.best, tiered.best);
+            assert_eq!(base.best_makespan.to_bits(), tiered.best_makespan.to_bits());
+            assert_eq!(base.pruned, tiered.pruned);
+            assert_eq!(base.rejected, tiered.rejected);
+            let keys = |r: &EmtsResult| {
+                r.trace
+                    .iter()
+                    .map(GenerationStats::fitness_key)
+                    .collect::<Vec<_>>()
+            };
+            assert_eq!(keys(&base), keys(&tiered));
+        }
+    }
+
+    #[test]
+    fn two_tier_counters_account_for_the_screen() {
+        let (g, m) = fft_setup(true);
+        let r = Emts::new(EmtsConfig {
+            two_tier: true,
+            ..EmtsConfig::emts5()
+        })
+        .run_with_workers(&g, &m, 2, 2, &obs::NoopRecorder);
+        // Every cache miss went through tier 1, screened offspring still
+        // count as misses, and the per-generation series sums to the run
+        // totals.
+        assert_eq!(r.trace.surrogate_evals, r.trace.cache_misses);
+        assert_eq!(r.trace.cache_hits + r.trace.cache_misses, 5 * 25);
+        assert!(r.trace.exact_skipped <= r.trace.surrogate_evals);
+        assert!(r.trace.ambiguous_fallbacks + r.trace.exact_skipped <= r.trace.surrogate_evals);
+        assert!(
+            r.trace.exact_skipped > 0,
+            "survival cutoff never screened anything on the headline workload"
+        );
+        let gen_sums = |f: fn(&GenerationStats) -> usize| -> usize {
+            r.trace.iter().filter(|s| !s.is_seed()).map(f).sum()
+        };
+        assert_eq!(gen_sums(|s| s.surrogate_evals), r.trace.surrogate_evals);
+        assert_eq!(gen_sums(|s| s.exact_skipped), r.trace.exact_skipped);
+        assert_eq!(
+            gen_sums(|s| s.ambiguous_fallbacks),
+            r.trace.ambiguous_fallbacks
+        );
+    }
+
+    #[test]
+    fn two_tier_is_inert_on_the_serial_path_and_under_comma_selection() {
+        let (g, m) = fft_setup(true);
+        let serial = Emts::new(EmtsConfig {
+            two_tier: true,
+            parallel_evaluation: false,
+            ..EmtsConfig::emts5()
+        })
+        .run(&g, &m, 4);
+        assert_eq!(serial.trace.surrogate_evals, 0);
+        assert_eq!(serial.trace.delta_evals, serial.trace.cache_misses);
+        let comma = Emts::new(EmtsConfig {
+            two_tier: true,
+            comma_selection: true,
+            ..EmtsConfig::emts5()
+        })
+        .run_with_workers(&g, &m, 4, 2, &obs::NoopRecorder);
+        // Comma-selection leaves the cutoff infinite; tier 1 is bypassed.
+        assert_eq!(comma.trace.surrogate_evals, 0);
+        assert_eq!(comma.trace.exact_skipped, 0);
+    }
+
+    #[test]
+    fn crossover_keeps_plus_selection_guarantees_and_determinism() {
+        let (g, m) = fft_setup(true);
+        let cfg = EmtsConfig {
+            crossover_prob: 0.5,
+            ..EmtsConfig::emts5()
+        };
+        let a = Emts::new(cfg.clone()).run(&g, &m, 13);
+        let b = Emts::new(cfg).run(&g, &m, 13);
+        assert_eq!(a.best, b.best);
+        assert_eq!(a.best_makespan.to_bits(), b.best_makespan.to_bits());
+        assert!(a.best_makespan <= a.seed_makespan + 1e-12);
+        assert!(a.best.is_valid_for(&g, 20));
+        // Recombination must actually change the search relative to the
+        // pure ES under the same seed.
+        let pure = Emts::new(EmtsConfig::emts5()).run(&g, &m, 13);
+        assert!(
+            a.trace
+                .iter()
+                .zip(&pure.trace)
+                .any(|(x, y)| x.mean != y.mean),
+            "crossover had no effect on the trajectory"
+        );
+    }
+
+    #[test]
+    fn crossover_prob_zero_is_bit_identical_to_the_pure_es() {
+        // The guard must keep the RNG stream untouched: explicitly setting
+        // 0.0 and the default must coincide to the bit.
+        let (g, m) = fft_setup(true);
+        let base = Emts::new(EmtsConfig::emts5()).run(&g, &m, 7);
+        let zero = Emts::new(EmtsConfig {
+            crossover_prob: 0.0,
+            ..EmtsConfig::emts5()
+        })
+        .run(&g, &m, 7);
+        assert_eq!(base.best, zero.best);
+        let keys = |r: &EmtsResult| {
+            r.trace
+                .iter()
+                .map(GenerationStats::fitness_key)
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(keys(&base), keys(&zero));
     }
 
     #[test]

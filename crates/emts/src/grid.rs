@@ -150,8 +150,24 @@ impl GridEmts {
             let m = mutation_count(u, cfg.generations, cfg.fm, g.task_count());
             let mut offspring: Vec<(GridAllocation, f64)> = Vec::with_capacity(cfg.lambda);
             for _ in 0..cfg.lambda {
-                let parent = &population[rng.gen_range(0..population.len())].0;
-                let mut alloc = parent.clone();
+                let pidx = rng.gen_range(0..population.len());
+                let mut alloc = population[pidx].0.clone();
+                // Optional single-point crossover on the (cluster, width)
+                // vector, mirroring the flat EA. The probability guard
+                // precedes every draw so the default crossover_prob = 0.0
+                // keeps the historical RNG stream bit-for-bit.
+                if cfg.crossover_prob > 0.0
+                    && population.len() > 1
+                    && alloc.per_task.len() > 1
+                    && rng.gen_bool(cfg.crossover_prob)
+                {
+                    let mut qidx = rng.gen_range(0..population.len() - 1);
+                    if qidx >= pidx {
+                        qidx += 1;
+                    }
+                    let cut = rng.gen_range(1..alloc.per_task.len());
+                    alloc.per_task[cut..].copy_from_slice(&population[qidx].0.per_task[cut..]);
+                }
                 self.mutate(&mut alloc, m, grid, &op, &mut rng);
                 let f = fitness_of(&alloc);
                 offspring.push((alloc, f));
@@ -289,6 +305,26 @@ mod tests {
         let result = GridEmts::default().run(&g, &SyntheticModel::default(), &grid, 13);
         assert!(result.best.per_task.iter().all(|&(k, _)| k == 0));
         assert!(result.best_makespan <= result.seed_makespan + 1e-9);
+    }
+
+    #[test]
+    fn crossover_variant_keeps_guarantees_and_determinism() {
+        let g = sample(6);
+        let grid = grid5000_pair();
+        let model = SyntheticModel::default();
+        let cfg = GridEmtsConfig {
+            base: EmtsConfig {
+                crossover_prob: 0.4,
+                ..EmtsConfig::emts5()
+            },
+            ..GridEmtsConfig::default()
+        };
+        let a = GridEmts::new(cfg.clone()).run(&g, &model, &grid, 15);
+        let b = GridEmts::new(cfg).run(&g, &model, &grid, 15);
+        assert_eq!(a.best, b.best);
+        assert_eq!(a.best_makespan, b.best_makespan);
+        assert!(a.best_makespan <= a.seed_makespan + 1e-9);
+        assert!(a.best.is_valid_for(&g, &grid));
     }
 
     #[test]

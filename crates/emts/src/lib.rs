@@ -43,6 +43,7 @@
 //! ```
 
 pub mod config;
+pub mod crossover;
 pub mod ea;
 pub mod grid;
 pub mod individual;
@@ -54,6 +55,7 @@ pub mod seeds;
 pub mod trace;
 
 pub use config::EmtsConfig;
+pub use crossover::single_point;
 pub use ea::{Emts, EmtsResult};
 pub use grid::{GridEmts, GridEmtsConfig, GridEmtsResult};
 pub use individual::Individual;

@@ -59,7 +59,9 @@ use exec_model::TimeMatrix;
 use obs::{NoopRecorder, Recorder};
 use ptg::critpath::BlRepairer;
 use ptg::{Ptg, TaskId};
-use sched::{Allocation, BoundedEval, EvalRecord, EvalScratch, ListScheduler};
+use sched::{
+    Allocation, BoundedEval, EvalRecord, EvalScratch, ListScheduler, Surrogate, TwoTierEval,
+};
 use std::collections::HashMap;
 use std::hash::BuildHasherDefault;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -228,6 +230,62 @@ pub fn evaluate_fitness_bounded(
     results
 }
 
+/// How a batch evaluates each of its items.
+#[derive(Debug, Clone, Copy)]
+enum EvalMode {
+    /// Exact bounded evaluation for every item.
+    Exact,
+    /// Tier-1 surrogate screen per item, exact core only when the interval
+    /// cannot prove rejection — screening cost thereby runs on the workers
+    /// ("the screening is itself pooled").
+    TwoTier(Surrogate),
+}
+
+/// One item's outcome under its batch's [`EvalMode`].
+#[derive(Debug, Clone, Copy)]
+enum ItemEval {
+    Exact(BoundedEval),
+    Tiered(TwoTierEval),
+}
+
+impl ItemEval {
+    fn into_exact(self) -> BoundedEval {
+        match self {
+            ItemEval::Exact(e) => e,
+            ItemEval::Tiered(_) => unreachable!("exact batch produced a tiered result"),
+        }
+    }
+
+    fn into_tiered(self) -> TwoTierEval {
+        match self {
+            ItemEval::Tiered(t) => t,
+            ItemEval::Exact(_) => unreachable!("two-tier batch produced an exact result"),
+        }
+    }
+}
+
+/// Evaluates one allocation under `mode` — the single evaluation routine
+/// behind workers, the caller's drain, the small-batch inline path and the
+/// fallback fill, so every path of a batch agrees on the tier policy.
+fn eval_one<R: Recorder>(
+    g: &Ptg,
+    matrix: &TimeMatrix,
+    a: &Allocation,
+    cutoff: f64,
+    mode: EvalMode,
+    scratch: &mut EvalScratch,
+    rec: &R,
+) -> ItemEval {
+    match mode {
+        EvalMode::Exact => {
+            ItemEval::Exact(ListScheduler.evaluate_bounded_obs(g, matrix, a, cutoff, scratch, rec))
+        }
+        EvalMode::TwoTier(cfg) => ItemEval::Tiered(
+            ListScheduler.evaluate_two_tier_obs(g, matrix, a, cutoff, &cfg, scratch, rec),
+        ),
+    }
+}
+
 /// One batch of evaluations shared between the pool's workers.
 ///
 /// Workers claim indices with an atomic counter, so items are never
@@ -236,10 +294,11 @@ pub fn evaluate_fitness_bounded(
 struct Batch {
     allocs: Vec<Allocation>,
     cutoff: f64,
+    mode: EvalMode,
     /// Next unclaimed index.
     next: AtomicUsize,
     /// One write-once slot per allocation.
-    results: Vec<OnceLock<BoundedEval>>,
+    results: Vec<OnceLock<ItemEval>>,
     /// Items not yet finished; the worker that finishes the last one flags
     /// `done`.
     pending: AtomicUsize,
@@ -291,11 +350,12 @@ fn drain_batch<R: Recorder>(
                 if sabotage::eval_should_panic() {
                     panic!("sabotage: poisoned allocation");
                 }
-                ListScheduler.evaluate_bounded_obs(
+                eval_one(
                     g,
                     matrix,
                     &batch.allocs[i],
                     batch.cutoff,
+                    batch.mode,
                     scratch,
                     rec,
                 )
@@ -312,11 +372,12 @@ fn drain_batch<R: Recorder>(
                 }
             }
         } else {
-            Some(ListScheduler.evaluate_bounded_obs(
+            Some(eval_one(
                 g,
                 matrix,
                 &batch.allocs[i],
                 batch.cutoff,
+                batch.mode,
                 scratch,
                 rec,
             ))
@@ -596,6 +657,35 @@ impl<'env, REC: Recorder> EvalPool<'env, REC> {
 
     /// Evaluates every allocation under `cutoff`; results are positional.
     pub fn run_batch(&mut self, allocs: Vec<Allocation>, cutoff: f64) -> Vec<BoundedEval> {
+        self.run_batch_mode(allocs, cutoff, EvalMode::Exact)
+            .into_iter()
+            .map(ItemEval::into_exact)
+            .collect()
+    }
+
+    /// Two-tier variant of [`Self::run_batch`]: every item gets a tier-1
+    /// surrogate interval (computed on whichever worker claims it, so
+    /// screening cost is pooled like exact evaluation), and the exact core
+    /// runs in the same claim only when the interval cannot prove
+    /// rejection at `cutoff`.
+    pub fn run_batch_two_tier(
+        &mut self,
+        allocs: Vec<Allocation>,
+        cutoff: f64,
+        sur: &Surrogate,
+    ) -> Vec<TwoTierEval> {
+        self.run_batch_mode(allocs, cutoff, EvalMode::TwoTier(*sur))
+            .into_iter()
+            .map(ItemEval::into_tiered)
+            .collect()
+    }
+
+    fn run_batch_mode(
+        &mut self,
+        allocs: Vec<Allocation>,
+        cutoff: f64,
+        mode: EvalMode,
+    ) -> Vec<ItemEval> {
         let n = allocs.len();
         if n == 0 {
             return Vec::new();
@@ -617,11 +707,12 @@ impl<'env, REC: Recorder> EvalPool<'env, REC> {
                         } else {
                             None
                         };
-                        let outcome = ListScheduler.evaluate_bounded_obs(
+                        let outcome = eval_one(
                             self.g,
                             self.matrix,
                             a,
                             cutoff,
+                            mode,
                             &mut self.scratch,
                             self.rec,
                         );
@@ -643,6 +734,7 @@ impl<'env, REC: Recorder> EvalPool<'env, REC> {
         let batch = Arc::new(Batch {
             allocs,
             cutoff,
+            mode,
             next: AtomicUsize::new(0),
             results: (0..n).map(|_| OnceLock::new()).collect(),
             pending: AtomicUsize::new(n),
@@ -697,11 +789,12 @@ impl<'env, REC: Recorder> EvalPool<'env, REC> {
             if slot.get().is_some() {
                 continue;
             }
-            let outcome = ListScheduler.evaluate_bounded_obs(
+            let outcome = eval_one(
                 self.g,
                 self.matrix,
                 &batch.allocs[i],
                 cutoff,
+                mode,
                 &mut self.scratch,
                 self.rec,
             );
@@ -841,6 +934,13 @@ pub struct FitnessEngine<'p, 'env, R: Recorder = NoopRecorder> {
     delta_evals: usize,
     lb_pruned: usize,
     prefix_reuse_events: u64,
+    surrogate_evals: usize,
+    exact_skipped: usize,
+    ambiguous_fallbacks: usize,
+    /// Sum and count of *finite* surrogate interval widths, for the
+    /// per-generation mean in the trace.
+    surrogate_width_sum: f64,
+    surrogate_widths: usize,
 }
 
 impl<'p, 'env, R: Recorder> FitnessEngine<'p, 'env, R> {
@@ -862,6 +962,11 @@ impl<'p, 'env, R: Recorder> FitnessEngine<'p, 'env, R> {
             delta_evals: 0,
             lb_pruned: 0,
             prefix_reuse_events: 0,
+            surrogate_evals: 0,
+            exact_skipped: 0,
+            ambiguous_fallbacks: 0,
+            surrogate_width_sum: 0.0,
+            surrogate_widths: 0,
         }
     }
 
@@ -887,11 +992,17 @@ impl<'p, 'env, R: Recorder> FitnessEngine<'p, 'env, R> {
         self.gen_rejected.clear();
     }
 
-    /// Bounded fitness of every allocation (`None` = rejected), positional.
-    ///
-    /// Duplicates — across generations via the cache, and within the batch
-    /// via in-batch dedup — are evaluated once.
-    pub fn evaluate(&mut self, allocs: &[Allocation], cutoff: f64) -> Vec<Option<f64>> {
+    /// Memo/dedup pre-pass shared by [`Self::evaluate`] and
+    /// [`Self::evaluate_two_tier`]: probes the cross-generation cache and
+    /// dedups within the batch, returning the result column (hits already
+    /// decided), the per-allocation hashes, the miss set still needing the
+    /// pool, and the in-batch aliases to copy afterwards.
+    #[allow(clippy::type_complexity)]
+    fn probe_batch(
+        &mut self,
+        allocs: &[Allocation],
+        cutoff: f64,
+    ) -> (Vec<Option<f64>>, Vec<u64>, Vec<usize>, Vec<(usize, usize)>) {
         // Must match the mapper's rejection threshold exactly (see
         // `ListScheduler::makespan_bounded` for why the slack exists).
         let threshold = cutoff * (1.0 + 1e-9);
@@ -924,27 +1035,115 @@ impl<'p, 'env, R: Recorder> FitnessEngine<'p, 'env, R> {
             rec.add("emts.cache.hits", (self.hits - hits_before) as u64);
             rec.add("emts.cache.misses", (self.misses - misses_before) as u64);
         }
+        (results, hashes, miss_indices, aliases)
+    }
+
+    /// Folds one exact outcome into the memo cache and returns its fitness
+    /// (`None` = rejected).
+    fn absorb_outcome(
+        &mut self,
+        hash: u64,
+        alloc: &Allocation,
+        outcome: BoundedEval,
+    ) -> Option<f64> {
+        match outcome {
+            BoundedEval::Complete {
+                makespan,
+                reject_key,
+            } => {
+                self.cache_insert(
+                    hash,
+                    alloc,
+                    Cached {
+                        makespan,
+                        reject_key,
+                    },
+                );
+                Some(makespan)
+            }
+            BoundedEval::Rejected => None,
+        }
+    }
+
+    /// Bounded fitness of every allocation (`None` = rejected), positional.
+    ///
+    /// Duplicates — across generations via the cache, and within the batch
+    /// via in-batch dedup — are evaluated once.
+    pub fn evaluate(&mut self, allocs: &[Allocation], cutoff: f64) -> Vec<Option<f64>> {
+        let (mut results, hashes, miss_indices, aliases) = self.probe_batch(allocs, cutoff);
         if !miss_indices.is_empty() {
             let batch: Vec<Allocation> = miss_indices.iter().map(|&i| allocs[i].clone()).collect();
             let outcomes = self.pool.run_batch(batch, cutoff);
             for (&i, outcome) in miss_indices.iter().zip(outcomes) {
+                results[i] = self.absorb_outcome(hashes[i], &allocs[i], outcome);
+            }
+        }
+        for (i, j) in aliases {
+            results[i] = results[j];
+        }
+        results
+    }
+
+    /// [`Self::evaluate`] through the two-tier pipeline: every miss gets a
+    /// pooled tier-1 surrogate interval first, and the exact core runs
+    /// only when the interval cannot prove rejection at `cutoff`.
+    ///
+    /// Results are bit-identical to [`Self::evaluate`] on the same input:
+    /// screening skips exactly the offspring whose exact evaluation would
+    /// return `None` at this cutoff (see `sched::surrogate` for the
+    /// argument), and every other offspring — including every one whose
+    /// interval leaves survival ambiguous — falls back to the unchanged
+    /// exact evaluation. An infinite cutoff (comma selection, or no
+    /// better-than cutoff yet) can never screen, so it routes straight to
+    /// the exact path with zero surrogate overhead.
+    pub fn evaluate_two_tier(
+        &mut self,
+        allocs: &[Allocation],
+        cutoff: f64,
+        sur: &Surrogate,
+    ) -> Vec<Option<f64>> {
+        if !cutoff.is_finite() {
+            return self.evaluate(allocs, cutoff);
+        }
+        let (mut results, hashes, miss_indices, aliases) = self.probe_batch(allocs, cutoff);
+        if !miss_indices.is_empty() {
+            let batch: Vec<Allocation> = miss_indices.iter().map(|&i| allocs[i].clone()).collect();
+            let outcomes = self.pool.run_batch_two_tier(batch, cutoff, sur);
+            let total = outcomes.len();
+            let mut screened = 0usize;
+            let mut ambiguous = 0usize;
+            for (&i, outcome) in miss_indices.iter().zip(outcomes) {
                 match outcome {
-                    BoundedEval::Complete {
-                        makespan,
-                        reject_key,
-                    } => {
-                        self.cache_insert(
-                            hashes[i],
-                            &allocs[i],
-                            Cached {
-                                makespan,
-                                reject_key,
-                            },
-                        );
-                        results[i] = Some(makespan);
+                    TwoTierEval::Screened(_) => {
+                        // Proven: the exact evaluation would reject. The
+                        // rejection is not memoized (the cache only keeps
+                        // completed schedules), matching the exact path.
+                        screened += 1;
+                        results[i] = None;
                     }
-                    BoundedEval::Rejected => results[i] = None,
+                    TwoTierEval::Exact(score, eval) => {
+                        if score.ambiguous(cutoff) {
+                            ambiguous += 1;
+                        }
+                        if score.hi.is_finite() {
+                            self.surrogate_width_sum += score.width();
+                            self.surrogate_widths += 1;
+                        }
+                        results[i] = self.absorb_outcome(hashes[i], &allocs[i], eval);
+                    }
                 }
+            }
+            self.surrogate_evals += total;
+            self.exact_skipped += screened;
+            self.ambiguous_fallbacks += ambiguous;
+            if R::ENABLED {
+                let rec = self.pool.recorder();
+                rec.add("fitness.surrogate_evals", total as u64);
+                rec.add("fitness.exact_skipped", screened as u64);
+                rec.add("fitness.ambiguous_fallbacks", ambiguous as u64);
+                // Timeline instants: how the tier decision split this batch.
+                rec.event("fitness.tier1.screened", screened as u64);
+                rec.event("fitness.tier2.exact", (total - screened) as u64);
             }
         }
         for (i, j) in aliases {
@@ -1131,6 +1330,29 @@ impl<'p, 'env, R: Recorder> FitnessEngine<'p, 'env, R> {
     /// simulated.
     pub fn prefix_reuse_events(&self) -> u64 {
         self.prefix_reuse_events
+    }
+
+    /// Offspring scored by the tier-1 surrogate.
+    pub fn surrogate_evals(&self) -> usize {
+        self.surrogate_evals
+    }
+
+    /// Exact evaluations the surrogate screen made unnecessary.
+    pub fn exact_skipped(&self) -> usize {
+        self.exact_skipped
+    }
+
+    /// Surrogate intervals that straddled the cutoff, deferring the
+    /// survival decision to the exact fallback.
+    pub fn ambiguous_fallbacks(&self) -> usize {
+        self.ambiguous_fallbacks
+    }
+
+    /// Sum of all finite surrogate interval widths (seconds), and how many
+    /// there were — the trace derives per-generation means from deltas of
+    /// these.
+    pub fn surrogate_width_stats(&self) -> (f64, usize) {
+        (self.surrogate_width_sum, self.surrogate_widths)
     }
 
     /// Pool health: worker evaluations that panicked and were contained.

@@ -109,6 +109,16 @@ pub fn default_portfolio() -> Vec<(String, EmtsConfig)> {
                 ..EmtsConfig::default()
             },
         ),
+        // Recombination variant: a quarter of the offspring start from a
+        // single-point crossover of two parents before mutation. The only
+        // member that departs from the paper's mutation-only reproduction.
+        (
+            "EMTS5 ⊕ crossover".into(),
+            EmtsConfig {
+                crossover_prob: 0.25,
+                ..EmtsConfig::emts5()
+            },
+        ),
     ]
 }
 
@@ -131,7 +141,7 @@ mod tests {
         let (g, m) = setup();
         let portfolio = default_portfolio();
         let result = run_portfolio(&portfolio, &g, &m, 7);
-        assert_eq!(result.members.len(), 4);
+        assert_eq!(result.members.len(), 5);
         let best = result.best().result.best_makespan;
         for member in &result.members {
             assert!(

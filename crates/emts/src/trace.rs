@@ -36,6 +36,22 @@ pub struct GenerationStats {
     /// checkpoints instead of being simulated (0 on the batch/pool path).
     #[serde(default)]
     pub prefix_reuse_events: u64,
+    /// Offspring this generation scored by the tier-1 surrogate (0 unless
+    /// the two-tier pipeline is active).
+    #[serde(default)]
+    pub surrogate_evals: usize,
+    /// Offspring this generation whose exact evaluation was skipped
+    /// because the surrogate interval proved rejection.
+    #[serde(default)]
+    pub exact_skipped: usize,
+    /// Offspring this generation whose surrogate interval straddled the
+    /// cutoff, forcing the exact-evaluation fallback to decide survival.
+    #[serde(default)]
+    pub ambiguous_fallbacks: usize,
+    /// Mean surrogate interval width (`hi - lo`) over this generation's
+    /// finite intervals, in makespan seconds (0 when none were produced).
+    #[serde(default)]
+    pub surrogate_interval_width: f64,
 }
 
 impl GenerationStats {
@@ -78,6 +94,10 @@ impl GenerationStats {
             cache_misses: 0,
             delta_evals: 0,
             prefix_reuse_events: 0,
+            surrogate_evals: 0,
+            exact_skipped: 0,
+            ambiguous_fallbacks: 0,
+            surrogate_interval_width: 0.0,
         }
     }
 
@@ -144,6 +164,16 @@ pub struct ConvergenceTrace {
     /// to produce them.
     #[serde(default)]
     pub serial_fallbacks: u64,
+    /// Offspring scored by the tier-1 surrogate over the whole run.
+    #[serde(default)]
+    pub surrogate_evals: usize,
+    /// Exact evaluations the surrogate screen made unnecessary.
+    #[serde(default)]
+    pub exact_skipped: usize,
+    /// Surrogate intervals that straddled the cutoff and fell back to the
+    /// exact tier for the survival decision.
+    #[serde(default)]
+    pub ambiguous_fallbacks: usize,
 }
 
 impl ConvergenceTrace {

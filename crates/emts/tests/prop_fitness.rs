@@ -8,14 +8,15 @@
 //! answered at a different cutoff than the one they were computed under.
 
 use emts::parallel::{evaluate_fitness_bounded, EvalPool, FitnessEngine};
-use emts::MutationOperator;
-use exec_model::{SyntheticModel, TimeMatrix};
+use emts::trace::GenerationStats;
+use emts::{Emts, EmtsConfig, EmtsResult, MutationOperator};
+use exec_model::{Amdahl, SyntheticModel, TimeMatrix};
 use obs::NoopRecorder;
 use proptest::prelude::*;
 use ptg::critpath::BlRepairer;
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
-use sched::{Allocation, BoundedEval, EvalScratch, ListScheduler};
+use sched::{Allocation, BoundedEval, EvalScratch, ListScheduler, Surrogate};
 use workloads::{daggen::random_ptg, CostConfig, DaggenParams};
 
 fn scenario() -> impl Strategy<Value = (u64, usize, u32, f64)> {
@@ -205,5 +206,102 @@ proptest! {
         // Not every chain prunes — but the counter must never exceed the
         // tight-cutoff steps.
         prop_assert!(pruned_seen <= 5);
+    }
+
+    /// Tier-1 screening must be *provably* invisible: on random DAGGEN
+    /// PTGs under both execution models, the two-tier engine's per-batch
+    /// answers and the EA's per-generation survivors are bit-identical to
+    /// the all-exact run — at infinite and tight rejection cutoffs, on the
+    /// pooled path, and on the degraded-pool (0-worker) batch path.
+    #[test]
+    fn survivors_bit_identical_two_tier_vs_exact((seed, n, p, cutoff_factor) in scenario()) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0x51ed_2701);
+        let params = DaggenParams {
+            n,
+            width: 0.5,
+            regularity: 0.4,
+            density: 0.3,
+            jump: 2,
+        };
+        let g = random_ptg(&params, &CostConfig::default(), &mut rng);
+        let tasks = g.task_count();
+        let sur = Surrogate::default();
+        for model2 in [false, true] {
+            let m = if model2 {
+                TimeMatrix::compute(&g, &SyntheticModel::default(), 3.1e9, p)
+            } else {
+                TimeMatrix::compute(&g, &Amdahl, 3.1e9, p)
+            };
+
+            // Engine level: raw batches at an unconstrained and a tight
+            // cutoff. Screened offspring and exact rejections both surface
+            // as None, so whole result vectors must coincide.
+            let allocs: Vec<Allocation> = (0..12)
+                .map(|_| Allocation::from_vec((0..tasks).map(|_| rng.gen_range(1..=p)).collect()))
+                .collect();
+            let exact: Vec<f64> = allocs
+                .iter()
+                .map(|a| sched::Mapper::makespan(&ListScheduler, &g, &m, a))
+                .collect();
+            let mut sorted = exact.clone();
+            sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite makespans"));
+            let median = sorted[sorted.len() / 2];
+            for cutoff in [f64::INFINITY, median * cutoff_factor] {
+                for parallel in [true, false] {
+                    let all_exact = EvalPool::with(&g, &m, parallel, |pool| {
+                        let mut e = FitnessEngine::new(pool);
+                        e.evaluate(&allocs, cutoff)
+                    });
+                    let tiered = EvalPool::with(&g, &m, parallel, |pool| {
+                        let mut e = FitnessEngine::new(pool);
+                        e.evaluate_two_tier(&allocs, cutoff, &sur)
+                    });
+                    prop_assert_eq!(
+                        &all_exact, &tiered,
+                        "model2={} cutoff={} parallel={}", model2, cutoff, parallel
+                    );
+                }
+            }
+
+            // EA level: whole mutation chains with the rejection strategy
+            // active, so tier 1 sees both the survival and the rejection
+            // cutoff. Survivor summaries must match generation by
+            // generation.
+            let cfg = EmtsConfig {
+                mu: 4,
+                lambda: 10,
+                generations: 4,
+                rejection: true,
+                rejection_slack: 0.5 + cutoff_factor,
+                ..EmtsConfig::default()
+            };
+            let ea_seed = seed ^ u64::from(model2);
+            let base = Emts::new(cfg.clone()).run_with_workers(&g, &m, ea_seed, 2, &NoopRecorder);
+            let tiered = Emts::new(EmtsConfig {
+                two_tier: true,
+                ..cfg.clone()
+            })
+            .run_with_workers(&g, &m, ea_seed, 2, &NoopRecorder);
+            // Serial pool (0 workers) falls back to the delta path, where
+            // two-tier is inert by design — the trajectory must still agree.
+            let serial = Emts::new(EmtsConfig {
+                two_tier: true,
+                ..cfg
+            })
+            .run_with_workers(&g, &m, ea_seed, 0, &NoopRecorder);
+            let keys = |r: &EmtsResult| {
+                r.trace
+                    .iter()
+                    .map(GenerationStats::fitness_key)
+                    .collect::<Vec<_>>()
+            };
+            prop_assert_eq!(base.best.as_slice(), tiered.best.as_slice());
+            prop_assert_eq!(base.best_makespan.to_bits(), tiered.best_makespan.to_bits());
+            prop_assert_eq!(keys(&base), keys(&tiered), "model2={}", model2);
+            prop_assert_eq!(base.rejected, tiered.rejected);
+            prop_assert_eq!(base.pruned, tiered.pruned);
+            prop_assert_eq!(keys(&base), keys(&serial), "serial path model2={}", model2);
+            prop_assert_eq!(serial.trace.surrogate_evals, 0, "delta path must not consult tier 1");
+        }
     }
 }

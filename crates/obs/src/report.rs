@@ -9,7 +9,13 @@ use std::path::Path;
 /// Version of the [`RunReport`] JSON layout. Bump on any incompatible
 /// change; [`RunReport::from_json`] rejects mismatches outright rather than
 /// guessing at migrations.
-pub const SCHEMA_VERSION: u32 = 1;
+///
+/// v2: the embedded convergence trace carries the two-tier fitness
+/// pipeline's surrogate series (`surrogate_evals`, `exact_skipped`,
+/// `ambiguous_fallbacks`, `surrogate_interval_width`), which the
+/// `emts-report surrogate` view requires; v1 reports predate the
+/// pipeline and are rejected with a [`ReportError::SchemaMismatch`].
+pub const SCHEMA_VERSION: u32 = 2;
 
 /// Accumulated wall time of one named phase.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]

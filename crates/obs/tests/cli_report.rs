@@ -52,8 +52,9 @@ fn show_renders_a_report() {
 
 #[test]
 fn diff_on_mismatched_schema_versions_is_one_typed_line() {
-    let a = write("diff_v1.json", &sample_report());
-    let future = sample_report().replacen("\"schema_version\": 1", "\"schema_version\": 99", 1);
+    let a = write("diff_current.json", &sample_report());
+    let current = format!("\"schema_version\": {}", obs::report::SCHEMA_VERSION);
+    let future = sample_report().replacen(&current, "\"schema_version\": 99", 1);
     assert!(
         future.contains("\"schema_version\": 99"),
         "fixture edit failed"
@@ -64,7 +65,10 @@ fn diff_on_mismatched_schema_versions_is_one_typed_line() {
     let err = String::from_utf8_lossy(&out.stderr);
     assert_eq!(err.lines().count(), 1, "expected one line, got:\n{err}");
     assert!(err.contains("schema mismatch"), "{err}");
-    assert!(err.contains("schema v1"), "{err}");
+    assert!(
+        err.contains(&format!("schema v{}", obs::report::SCHEMA_VERSION)),
+        "{err}"
+    );
     assert!(err.contains("schema v99"), "{err}");
 }
 
@@ -99,6 +103,42 @@ fn timeline_and_flame_render_from_a_report_file() {
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("self"), "{text}");
     assert!(text.contains("ea/evaluate"), "{text}");
+}
+
+#[test]
+fn surrogate_view_renders_screen_rates() {
+    let mut report = RunReport::from_json(&sample_report()).expect("sample parses");
+    report.convergence = Some(
+        serde_json::parse(
+            r#"{"generations": [{"generation": 0, "surrogate_evals": 10,
+                 "exact_skipped": 4, "ambiguous_fallbacks": 1,
+                 "surrogate_interval_width": 0.125}],
+                "surrogate_evals": 10, "exact_skipped": 4}"#,
+        )
+        .expect("trace parses"),
+    );
+    let path = write("surrogate.json", &report.to_json());
+    let out = run(bin().arg("surrogate").arg(&path));
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("40.0%"), "{text}");
+    assert!(text.contains("surrogate_evals=10"), "{text}");
+}
+
+#[test]
+fn surrogate_view_rejects_pre_bump_reports_with_one_typed_line() {
+    // Reports written before the v2 schema bump predate the surrogate
+    // series entirely; the view must fail with the loader's one-line
+    // SchemaMismatch error, not render an empty or all-zero table.
+    let current = format!("\"schema_version\": {}", obs::report::SCHEMA_VERSION);
+    let old = sample_report().replacen(&current, "\"schema_version\": 1", 1);
+    assert!(old.contains("\"schema_version\": 1"), "fixture edit failed");
+    let path = write("surrogate_v1.json", &old);
+    let out = run(bin().arg("surrogate").arg(&path));
+    assert_eq!(out.status.code(), Some(2));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(err.lines().count(), 1, "expected one line, got:\n{err}");
+    assert!(err.contains("schema version 1 is not supported"), "{err}");
 }
 
 #[test]

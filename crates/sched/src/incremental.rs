@@ -64,6 +64,7 @@
 //! tiebreak for ready tasks), so pop order is a function of content only.
 
 use crate::allocation::Allocation;
+use crate::bounds::{area_bound, critical_path_bound};
 use crate::mapper::{BoundedEval, EvalScratch, ListScheduler, ReadyTask};
 use crate::soa_heap::{group_avail, group_count, group_entry, ready_entry, ready_task};
 use exec_model::TimeMatrix;
@@ -374,8 +375,8 @@ impl ListScheduler {
         // 3. Lower-bound prescreen: cp = max bl and the area bound are both
         //    ≤ reject_key of any completed schedule, so exceeding the
         //    threshold here proves the full evaluation would reject too.
-        let cp = scratch.bl.iter().fold(0.0f64, |a, &b| a.max(b));
-        if cp > threshold || child.work_area(&scratch.times) / p_max as f64 > threshold {
+        let cp = critical_path_bound(&scratch.bl);
+        if cp > threshold || area_bound(child, &scratch.times, p_max) > threshold {
             if R::ENABLED {
                 rec.event("sched.delta.lb_prune", 0);
             }

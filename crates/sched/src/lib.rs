@@ -31,6 +31,7 @@ pub mod multi;
 pub mod reschedule;
 pub mod schedule;
 mod soa_heap;
+pub mod surrogate;
 pub mod validate;
 
 pub use allocation::Allocation;
@@ -38,4 +39,5 @@ pub use incremental::{DeltaEval, EvalRecord, CHECKPOINT_INTERVAL};
 pub use mapper::{BoundedEval, EvalScratch, InsertionScheduler, ListScheduler, Mapper};
 pub use reschedule::{Rescheduler, ResumeState, RunningTask};
 pub use schedule::{Placement, Schedule};
+pub use surrogate::{surrogate_score_obs, Surrogate, SurrogateScore, TwoTierEval};
 pub use validate::{all_violations, for_each_violation, validate_schedule, ScheduleViolation};

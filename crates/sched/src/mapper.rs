@@ -149,6 +149,14 @@ pub struct EvalScratch {
     /// Tasks whose execution time bitwise changed in a delta evaluation
     /// (see `crate::incremental`).
     pub(crate) dirty: Vec<TaskId>,
+    /// Latest-finish column for the tier-1 surrogate's *upper* replay side
+    /// (the lower side reuses `data_ready`; see [`crate::surrogate`]).
+    pub(crate) sur_ready_hi: Vec<f64>,
+    /// Bucketed availability runs `(free time, processor count)` for the
+    /// surrogate's lower-bound replay side.
+    pub(crate) runs_lo: Vec<(f64, u32)>,
+    /// Same, upper-bound side.
+    pub(crate) runs_hi: Vec<(f64, u32)>,
 }
 
 impl EvalScratch {
@@ -171,6 +179,9 @@ impl EvalScratch {
             popped: Vec::with_capacity(procs as usize),
             groups: MinHeap128::with_capacity(tasks + 1),
             dirty: Vec::new(),
+            sur_ready_hi: Vec::with_capacity(tasks),
+            runs_lo: Vec::with_capacity(32),
+            runs_hi: Vec::with_capacity(32),
         }
     }
 }
@@ -371,7 +382,7 @@ impl ListScheduler {
     /// layouts and the argument why pop order — and therefore every result
     /// bit — is unchanged).
     // lint:hot-path
-    fn schedule_core_grouped<R: Recorder>(
+    pub(crate) fn schedule_core_grouped<R: Recorder>(
         g: &Ptg,
         alloc: &Allocation,
         p_max: u32,

@@ -1,0 +1,675 @@
+//! Tier-1 surrogate fitness: a provably conservative score interval per
+//! offspring, ~an order of magnitude cheaper than exact evaluation.
+//!
+//! The (µ+λ) engine only ever keeps the top µ of µ+λ individuals, so most
+//! exact evaluations are spent proving that an offspring *loses*. This
+//! module produces, per allocation, an interval `[lo, hi]` bracketing the
+//! exact bounded evaluation's `reject_key`/makespan, from three
+//! progressively tighter (and costlier) rungs:
+//!
+//! 1. the **area bound** (no bottom levels needed),
+//! 2. the **critical-path bound** — exactly the quantity the exact core
+//!    tests at its first pop,
+//! 3. a **bucketed replay** of the grouped SoA scheduling loop: processor
+//!    availability is tracked as at most `buckets` runs of `(free time,
+//!    count)` instead of a per-group heap, and the event loop stops after
+//!    `horizon` placements.
+//!
+//! # Why screening preserves bit-identity
+//!
+//! Ready-queue pop order in this scheduler is *structural*: a task becomes
+//! ready when its last predecessor is placed, and the pop key is `(bottom
+//! level, id)` — no start or finish time participates (see
+//! [`crate::incremental`]'s module docs). The replay therefore pops in the
+//! **same order** as the exact core. Its lower availability multiset
+//! pointwise lower-bounds the true one — popping the `s` earliest
+//! processors from a dominated sorted multiset yields an earlier `s`-th
+//! free time, and re-inserting an earlier finish preserves dominance, as
+//! does collapsing a full run list onto the *earlier* time of an adjacent
+//! pair. By induction every replayed `start' ≤ start`, so `start' + bl >
+//! threshold` proves the exact core would reject this offspring at the
+//! same cutoff (its own `start + bl` at the same pop is at least as
+//! large, and rejection at any pop yields [`BoundedEval::Rejected`]).
+//! `SurrogateScore::screens` is exactly that test — same `(1 + 1e-9)`
+//! threshold slack as the exact core and the delta prescreen, same bound
+//! expressions as [`crate::bounds`], so all tiers compare bit-identical
+//! quantities.
+//!
+//! The upper side runs in the same pass with the collapse flipped to keep
+//! the *later* time of a merged pair, giving `hi ≥` the exact makespan
+//! when the replay finishes (an exhausted horizon or an early screen
+//! leaves `hi = ∞`). `hi` never affects correctness — the engine uses it
+//! only to classify *ambiguous* offspring (interval straddles the cutoff)
+//! for observability, and every unscreened offspring goes to tier 2
+//! regardless.
+
+use crate::allocation::Allocation;
+use crate::bounds::{area_bound, critical_path_bound};
+use crate::mapper::{BoundedEval, EvalScratch, ListScheduler};
+use crate::soa_heap::{ready_entry, ready_task};
+use exec_model::TimeMatrix;
+use obs::Recorder;
+use ptg::critpath::bottom_levels_into;
+use ptg::Ptg;
+
+/// Tuning knobs for the tier-1 replay. The defaults keep the replay
+/// linear-time with tiny constants on the paper's 100-task graphs while
+/// never binding the horizon there.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Surrogate {
+    /// Maximum availability runs tracked per side; a full list collapses
+    /// its closest adjacent pair toward the sound side. Must be ≥ 1.
+    pub buckets: usize,
+    /// Maximum placements replayed before giving up on tightening the
+    /// interval (the bounds gathered so far remain valid; `hi` becomes
+    /// infinite).
+    pub horizon: usize,
+}
+
+impl Default for Surrogate {
+    fn default() -> Self {
+        Surrogate {
+            buckets: 8,
+            horizon: 4096,
+        }
+    }
+}
+
+impl Surrogate {
+    /// Hot-path screening configuration: rung bounds only, no replay.
+    ///
+    /// Measurement on the paper's Grelon/100-task workloads showed the
+    /// replay prices itself out of the fused hot path: it pops tasks in
+    /// the exact core's order at a comparable per-event cost, and its
+    /// lower-bounded start times cross any cutoff no earlier than the
+    /// exact core's own reject test does — so every replay event spent on
+    /// an eventually-unscreened offspring is pure overhead, while a
+    /// screened one would have been rejected by tier 2 for the same
+    /// price. The area/critical-path rungs are the part that is genuinely
+    /// ~10× cheaper than an exact evaluation, so the fused engine runs
+    /// just those and leaves the full-interval replay (the [`Default`]
+    /// configuration) to analysis contexts that want `hi` and interval
+    /// widths.
+    pub fn screening() -> Self {
+        Surrogate {
+            buckets: 8,
+            horizon: 0,
+        }
+    }
+}
+
+/// A conservative score interval for one allocation at one cutoff.
+///
+/// `lo` lower-bounds the exact bounded evaluation's `reject_key` (hence
+/// also the makespan of a completed schedule); `hi` upper-bounds the exact
+/// makespan, or is `∞` when the replay could not finish.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SurrogateScore {
+    /// Proven lower bound on the exact `reject_key`.
+    pub lo: f64,
+    /// Upper bound on the exact makespan (`∞` when unknown).
+    pub hi: f64,
+}
+
+impl SurrogateScore {
+    /// True when the interval proves the exact bounded evaluation would
+    /// return [`BoundedEval::Rejected`] at `cutoff` — the offspring cannot
+    /// survive selection and tier 2 may be skipped without changing any
+    /// decision. Same threshold slack as the exact core.
+    #[inline]
+    pub fn screens(&self, cutoff: f64) -> bool {
+        self.lo > cutoff * (1.0 + 1e-9)
+    }
+
+    /// True when the interval straddles the cutoff: survival is genuinely
+    /// unknown and only the tier-2 exact evaluation can decide it.
+    #[inline]
+    pub fn ambiguous(&self, cutoff: f64) -> bool {
+        !self.screens(cutoff) && self.hi > cutoff * (1.0 + 1e-9)
+    }
+
+    /// Interval width (`∞` when the replay did not finish).
+    #[inline]
+    pub fn width(&self) -> f64 {
+        self.hi - self.lo
+    }
+}
+
+/// Outcome of a fused two-tier evaluation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TwoTierEval {
+    /// Tier 1 proved the exact evaluation would reject at this cutoff, so
+    /// tier 2 never ran.
+    Screened(SurrogateScore),
+    /// Tier 1 could not rule survival out; tier 2 ran the exact grouped
+    /// core. The exact outcome decides — the score is observability only.
+    Exact(SurrogateScore, BoundedEval),
+}
+
+/// Which way a full run list collapses an adjacent pair: `Down` keeps the
+/// earlier free time (sound for the lower side), `Up` the later (upper
+/// side).
+#[derive(Clone, Copy, PartialEq)]
+enum MergeSide {
+    Down,
+    Up,
+}
+
+/// Pops the `s` earliest processors off the time-sorted run list and
+/// returns the free time of the latest one taken — the same quantity the
+/// exact core reads from its final group pop.
+#[inline]
+fn take_runs(runs: &mut Vec<(f64, u32)>, s: u32) -> f64 {
+    let mut need = s;
+    let mut used = 0usize;
+    let mut t = 0.0f64;
+    for r in runs.iter_mut() {
+        t = r.0;
+        if r.1 > need {
+            r.1 -= need;
+            need = 0;
+            break;
+        }
+        need -= r.1;
+        used += 1;
+        if need == 0 {
+            break;
+        }
+    }
+    debug_assert_eq!(need, 0, "allocation exceeds tracked processors");
+    runs.drain(..used);
+    t
+}
+
+/// Inserts `count` processors freeing at `time` into the sorted run list,
+/// coalescing equal times; when the list exceeds `cap`, the adjacent pair
+/// with the smallest time gap collapses toward `side`.
+#[inline]
+fn insert_run(runs: &mut Vec<(f64, u32)>, time: f64, count: u32, cap: usize, side: MergeSide) {
+    let pos = runs.partition_point(|r| r.0 < time);
+    if pos < runs.len() && runs[pos].0 == time {
+        runs[pos].1 += count;
+    } else {
+        runs.insert(pos, (time, count));
+    }
+    if runs.len() > cap {
+        let mut best = 0usize;
+        let mut best_gap = f64::INFINITY;
+        for i in 0..runs.len() - 1 {
+            let gap = runs[i + 1].0 - runs[i].0;
+            if gap < best_gap {
+                best_gap = gap;
+                best = i;
+            }
+        }
+        let (t_later, c_later) = runs.remove(best + 1);
+        let kept = &mut runs[best];
+        kept.1 += c_later;
+        if side == MergeSide::Up {
+            kept.0 = t_later;
+        }
+    }
+}
+
+/// Computes the tier-1 interval for `alloc` at `cutoff`.
+///
+/// Leaves `scratch.times`/`scratch.bl` holding the allocation's values so
+/// a fused tier 2 can reuse them — **unless** the area rung screened (bl
+/// is then stale), which is fine because a screened offspring never
+/// reaches tier 2. `scratch.in_deg`/`scratch.data_ready` are consumed as
+/// the replay's dependency columns and must be re-seeded before an exact
+/// run (see [`ListScheduler::evaluate_two_tier_obs`]).
+// lint:hot-path
+pub fn surrogate_score_obs<R: Recorder>(
+    g: &Ptg,
+    matrix: &TimeMatrix,
+    alloc: &Allocation,
+    cutoff: f64,
+    cfg: &Surrogate,
+    scratch: &mut EvalScratch,
+    rec: &R,
+) -> SurrogateScore {
+    let n = g.task_count();
+    assert_eq!(alloc.len(), n, "allocation/PTG size mismatch");
+    let p_max = matrix.p_max();
+    assert!(
+        alloc.as_slice().iter().all(|&p| p <= p_max),
+        "allocation exceeds platform size"
+    );
+    // Same slack rationale as `schedule_core_grouped`.
+    let threshold = cutoff * (1.0 + 1e-9);
+
+    // Rung 1: per-task times and the area bound — no bottom levels yet.
+    matrix.fill_times(alloc.as_slice(), &mut scratch.times);
+    let area = area_bound(alloc, &scratch.times, p_max);
+    if area > threshold {
+        if R::ENABLED {
+            rec.add("sched.surrogate.area_screens", 1);
+        }
+        return SurrogateScore {
+            lo: area,
+            hi: f64::INFINITY,
+        };
+    }
+
+    // Rung 2: bottom levels and the critical-path bound — the exact same
+    // quantity the exact core tests at its first pop.
+    bottom_levels_into(g, &scratch.times, &mut scratch.bl);
+    let cp = critical_path_bound(&scratch.bl);
+    let mut lo = cp.max(area);
+    if cp > threshold {
+        if R::ENABLED {
+            rec.add("sched.surrogate.cp_screens", 1);
+        }
+        return SurrogateScore {
+            lo,
+            hi: f64::INFINITY,
+        };
+    }
+
+    // Rung 3: bucketed replay, both interval sides in one pass (valid
+    // because pop order is time-independent — see the module docs).
+    let cap = cfg.buckets.max(1);
+    let csr = g.csr();
+    let widths = alloc.as_slice();
+    let EvalScratch {
+        times,
+        bl,
+        in_deg,
+        data_ready,
+        ready,
+        sur_ready_hi,
+        runs_lo,
+        runs_hi,
+        ..
+    } = scratch;
+    let times = times.as_slice();
+    let bl = bl.as_slice();
+    in_deg.clear();
+    in_deg.extend_from_slice(csr.in_degrees());
+    data_ready.clear();
+    data_ready.resize(n, 0.0);
+    sur_ready_hi.clear();
+    sur_ready_hi.resize(n, 0.0);
+    runs_lo.clear();
+    runs_lo.push((0.0, p_max));
+    runs_hi.clear();
+    runs_hi.push((0.0, p_max));
+    ready.clear();
+    for &v in csr.sources() {
+        ready.push(ready_entry(bl[v as usize], v));
+    }
+    let mut hi = 0.0f64;
+    let mut placed = 0usize;
+    let mut horizon_hit = false;
+    while let Some(entry) = ready.pop() {
+        if placed >= cfg.horizon {
+            horizon_hit = true;
+            break;
+        }
+        placed += 1;
+        let v = ready_task(entry) as usize;
+        let s = widths[v];
+        let free_lo = take_runs(runs_lo, s);
+        let free_hi = take_runs(runs_hi, s);
+        let start_lo = data_ready[v].max(free_lo);
+        let lb = start_lo + bl[v];
+        if lb > lo {
+            lo = lb;
+        }
+        if lb > threshold {
+            // The exact core's `start + bl` at this same pop is ≥ `lb`, so
+            // it rejects here (or earlier).
+            if R::ENABLED {
+                rec.add("sched.surrogate.replay_screens", 1);
+                rec.add("sched.surrogate.replay_screen_events", placed as u64);
+            }
+            return SurrogateScore {
+                lo,
+                hi: f64::INFINITY,
+            };
+        }
+        let finish_lo = start_lo + times[v];
+        let finish_hi = sur_ready_hi[v].max(free_hi) + times[v];
+        if finish_hi > hi {
+            hi = finish_hi;
+        }
+        insert_run(runs_lo, finish_lo, s, cap, MergeSide::Down);
+        insert_run(runs_hi, finish_hi, s, cap, MergeSide::Up);
+        for &w in csr.successors(v as u32) {
+            let wi = w as usize;
+            data_ready[wi] = data_ready[wi].max(finish_lo);
+            sur_ready_hi[wi] = sur_ready_hi[wi].max(finish_hi);
+            in_deg[wi] -= 1;
+            if in_deg[wi] == 0 {
+                ready.push(ready_entry(bl[wi], w));
+            }
+        }
+    }
+    if R::ENABLED {
+        rec.add("sched.surrogate.replays", 1);
+        rec.add("sched.surrogate.replay_events", placed as u64);
+    }
+    let hi = if horizon_hit {
+        f64::INFINITY
+    } else {
+        hi.max(lo)
+    };
+    SurrogateScore { lo, hi }
+}
+
+impl ListScheduler {
+    /// Fused two-tier evaluation: tier-1 surrogate first, the exact
+    /// grouped core only when the interval cannot rule survival out.
+    ///
+    /// Exactly one of the two outcomes:
+    /// * [`TwoTierEval::Screened`] — the exact evaluation at this cutoff
+    ///   is *proven* to be [`BoundedEval::Rejected`], without running it;
+    /// * [`TwoTierEval::Exact`] — the carried [`BoundedEval`] is
+    ///   bit-identical to [`Self::evaluate_bounded_obs`] at the same
+    ///   cutoff.
+    // lint:hot-path
+    #[allow(clippy::too_many_arguments)]
+    pub fn evaluate_two_tier_obs<R: Recorder>(
+        &self,
+        g: &Ptg,
+        matrix: &TimeMatrix,
+        alloc: &Allocation,
+        cutoff: f64,
+        cfg: &Surrogate,
+        scratch: &mut EvalScratch,
+        rec: &R,
+    ) -> TwoTierEval {
+        let score = surrogate_score_obs(g, matrix, alloc, cutoff, cfg, scratch, rec);
+        if score.screens(cutoff) {
+            if R::ENABLED {
+                rec.event("sched.tier.screened", score.lo.to_bits());
+            }
+            return TwoTierEval::Screened(score);
+        }
+        // Tier 2 reuses tier 1's times and bottom levels; only the
+        // dependency columns the replay consumed need re-seeding.
+        let csr = g.csr();
+        scratch.in_deg.clear();
+        scratch.in_deg.extend_from_slice(csr.in_degrees());
+        scratch.data_ready.clear();
+        scratch.data_ready.resize(g.task_count(), 0.0);
+        let eval = Self::schedule_core_grouped(g, alloc, matrix.p_max(), cutoff, scratch, rec);
+        TwoTierEval::Exact(score, eval)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Mapper;
+    use exec_model::{Amdahl, SyntheticModel};
+    use obs::NoopRecorder;
+    use ptg::{PtgBuilder, TaskId};
+
+    fn xorshift(seed: u64) -> impl FnMut() -> u64 {
+        let mut state = seed | 1;
+        move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        }
+    }
+
+    fn random_setup(seed: u64, n: usize, p: u32, amdahl: bool) -> (Ptg, TimeMatrix) {
+        let mut next = xorshift(seed);
+        let mut b = PtgBuilder::new();
+        for i in 0..n {
+            let flop = 1e9 + (next() % 1000) as f64 * 1e7;
+            let alpha = (next() % 30) as f64 / 100.0;
+            b.add_task(format!("t{i}"), flop, alpha);
+        }
+        for v in 1..n {
+            for _ in 0..=(next() % 3) {
+                let pr = (next() % v as u64) as u32;
+                let _ = b.add_edge(TaskId(pr), TaskId(v as u32));
+            }
+        }
+        let g = b.build().unwrap();
+        let m = if amdahl {
+            TimeMatrix::compute(&g, &Amdahl, 1e9, p)
+        } else {
+            TimeMatrix::compute(&g, &SyntheticModel::default(), 1e9, p)
+        };
+        (g, m)
+    }
+
+    fn random_alloc(seed: u64, n: usize, p: u32) -> Allocation {
+        let mut next = xorshift(seed);
+        Allocation::from_vec((0..n).map(|_| 1 + (next() % p as u64) as u32).collect())
+    }
+
+    #[test]
+    fn interval_brackets_the_exact_makespan() {
+        let cfg = Surrogate::default();
+        for seed in 1..20u64 {
+            for amdahl in [false, true] {
+                let (g, m) = random_setup(seed, 50, 24, amdahl);
+                let alloc = random_alloc(seed.wrapping_mul(13), 50, 24);
+                let mut scratch = EvalScratch::new();
+                let score = surrogate_score_obs(
+                    &g,
+                    &m,
+                    &alloc,
+                    f64::INFINITY,
+                    &cfg,
+                    &mut scratch,
+                    &NoopRecorder,
+                );
+                let exact = ListScheduler.makespan(&g, &m, &alloc);
+                assert!(
+                    score.lo <= exact && exact <= score.hi,
+                    "seed {seed} amdahl {amdahl}: [{}, {}] misses {exact}",
+                    score.lo,
+                    score.hi
+                );
+                assert!(score.width() >= 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn screening_implies_exact_rejection() {
+        // Whenever tier 1 screens, the exact bounded evaluation must agree
+        // — the bit-identity contract the engine builds on.
+        let cfg = Surrogate::default();
+        let mut screened = 0usize;
+        for seed in 1..30u64 {
+            let (g, m) = random_setup(seed, 50, 16, seed % 2 == 0);
+            let base = random_alloc(seed, 50, 16);
+            let cutoff = ListScheduler.makespan(&g, &m, &base);
+            for k in 0..4u64 {
+                let alloc = random_alloc(seed.wrapping_mul(101 + k), 50, 16);
+                let mut scratch = EvalScratch::new();
+                let score =
+                    surrogate_score_obs(&g, &m, &alloc, cutoff, &cfg, &mut scratch, &NoopRecorder);
+                if score.screens(cutoff) {
+                    screened += 1;
+                    assert_eq!(
+                        ListScheduler.makespan_bounded(&g, &m, &alloc, cutoff),
+                        None,
+                        "seed {seed} k {k}: screened but exact completed"
+                    );
+                }
+            }
+        }
+        assert!(screened > 0, "screen never fired across 29 seeds");
+    }
+
+    #[test]
+    fn two_tier_exact_arm_is_bit_identical_to_direct_evaluation() {
+        let cfg = Surrogate::default();
+        for seed in 1..12u64 {
+            let (g, m) = random_setup(seed, 40, 16, seed % 2 == 0);
+            let alloc = random_alloc(seed.wrapping_mul(7), 40, 16);
+            let base = ListScheduler.makespan(&g, &m, &alloc);
+            for factor in [f64::INFINITY, 2.0, 1.0, 0.7] {
+                let cutoff = base * factor;
+                let mut scratch = EvalScratch::new();
+                let tiered = ListScheduler.evaluate_two_tier_obs(
+                    &g,
+                    &m,
+                    &alloc,
+                    cutoff,
+                    &cfg,
+                    &mut scratch,
+                    &NoopRecorder,
+                );
+                let fresh =
+                    ListScheduler.evaluate_bounded_with(&g, &m, &alloc, cutoff, &mut scratch);
+                match tiered {
+                    TwoTierEval::Screened(score) => {
+                        assert!(score.screens(cutoff));
+                        assert_eq!(fresh, BoundedEval::Rejected, "seed {seed} factor {factor}");
+                    }
+                    TwoTierEval::Exact(_, eval) => {
+                        assert_eq!(eval, fresh, "seed {seed} factor {factor}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dead_interval_never_triggers_exact_evaluation() {
+        // An interval strictly below the cutoff... cannot exist on the
+        // screening side: screening means `lo` strictly *above*. The
+        // satellite contract is the dual — once the interval proves the
+        // offspring dead (lo beyond the cutoff), tier 2 must not run. The
+        // grouped core counts every placement into the recorder, so a
+        // screened fused evaluation must leave the placement counter at
+        // zero.
+        use obs::StatsRecorder;
+        let cfg = Surrogate::default();
+        let mut found = false;
+        for seed in 1..30u64 {
+            let (g, m) = random_setup(seed, 50, 16, false);
+            let alloc = random_alloc(seed.wrapping_mul(31), 50, 16);
+            let base = ListScheduler.makespan(&g, &m, &random_alloc(seed, 50, 16));
+            let cutoff = base * 0.3;
+            let mut scratch = EvalScratch::new();
+            let rec = StatsRecorder::default();
+            let tiered = ListScheduler.evaluate_two_tier_obs(
+                &g,
+                &m,
+                &alloc,
+                cutoff,
+                &cfg,
+                &mut scratch,
+                &rec,
+            );
+            if let TwoTierEval::Screened(score) = tiered {
+                found = true;
+                assert!(score.screens(cutoff));
+                assert_eq!(
+                    rec.counter("sched.tasks_placed"),
+                    0,
+                    "seed {seed}: exact core ran after a screen"
+                );
+            }
+        }
+        assert!(found, "no screened evaluation across 29 seeds");
+    }
+
+    #[test]
+    fn infinite_cutoff_never_screens_and_gives_a_finite_interval() {
+        let cfg = Surrogate::default();
+        let (g, m) = random_setup(5, 60, 32, false);
+        let alloc = random_alloc(9, 60, 32);
+        let mut scratch = EvalScratch::new();
+        let score = surrogate_score_obs(
+            &g,
+            &m,
+            &alloc,
+            f64::INFINITY,
+            &cfg,
+            &mut scratch,
+            &NoopRecorder,
+        );
+        assert!(!score.screens(f64::INFINITY));
+        assert!(!score.ambiguous(f64::INFINITY));
+        assert!(score.hi.is_finite());
+    }
+
+    #[test]
+    fn exhausted_horizon_keeps_lo_sound_and_hi_infinite() {
+        let cfg = Surrogate {
+            buckets: 8,
+            horizon: 5,
+        };
+        let (g, m) = random_setup(3, 60, 16, true);
+        let alloc = random_alloc(4, 60, 16);
+        let mut scratch = EvalScratch::new();
+        let score = surrogate_score_obs(
+            &g,
+            &m,
+            &alloc,
+            f64::INFINITY,
+            &cfg,
+            &mut scratch,
+            &NoopRecorder,
+        );
+        assert!(score.hi.is_infinite());
+        let exact = ListScheduler.makespan(&g, &m, &alloc);
+        assert!(score.lo <= exact);
+    }
+
+    #[test]
+    fn one_bucket_degrades_gracefully() {
+        // cap = 1 collapses every insert; the interval stays valid, just
+        // loose.
+        let cfg = Surrogate {
+            buckets: 1,
+            horizon: usize::MAX,
+        };
+        for seed in 1..8u64 {
+            let (g, m) = random_setup(seed, 40, 8, false);
+            let alloc = random_alloc(seed, 40, 8);
+            let mut scratch = EvalScratch::new();
+            let score = surrogate_score_obs(
+                &g,
+                &m,
+                &alloc,
+                f64::INFINITY,
+                &cfg,
+                &mut scratch,
+                &NoopRecorder,
+            );
+            let exact = ListScheduler.makespan(&g, &m, &alloc);
+            assert!(
+                score.lo <= exact && exact <= score.hi,
+                "seed {seed}: [{}, {}] misses {exact}",
+                score.lo,
+                score.hi
+            );
+        }
+    }
+
+    #[test]
+    fn run_list_take_and_insert_keep_counts_conserved() {
+        let mut runs = vec![(0.0, 8u32)];
+        let t = take_runs(&mut runs, 3);
+        assert_eq!(t, 0.0);
+        assert_eq!(runs, vec![(0.0, 5)]);
+        insert_run(&mut runs, 2.0, 3, 4, MergeSide::Down);
+        assert_eq!(runs, vec![(0.0, 5), (2.0, 3)]);
+        // Taking 6 spans both runs; the returned time is the later one.
+        let t = take_runs(&mut runs, 6);
+        assert_eq!(t, 2.0);
+        assert_eq!(runs, vec![(2.0, 2)]);
+        // Cap overflow collapses the closest pair toward the chosen side.
+        insert_run(&mut runs, 5.0, 1, 3, MergeSide::Down);
+        insert_run(&mut runs, 5.1, 2, 3, MergeSide::Down);
+        insert_run(&mut runs, 9.0, 3, 3, MergeSide::Down);
+        assert_eq!(runs, vec![(2.0, 2), (5.0, 3), (9.0, 3)]);
+        insert_run(&mut runs, 9.5, 1, 3, MergeSide::Up);
+        assert_eq!(runs, vec![(2.0, 2), (5.0, 3), (9.5, 4)]);
+        assert_eq!(runs.iter().map(|r| r.1).sum::<u32>(), 9);
+    }
+}

@@ -1,0 +1,12 @@
+//! Corpus: src-surrogate-exact-confirm — the tier-1 screening interval is
+//! consumed as a fitness value; survivors are never confirmed by an exact
+//! evaluation, so selection can diverge from the all-exact EA.
+
+fn screen_generation(pop: &[Allocation], cutoff: f64) -> Vec<f64> {
+    let mut fitness = Vec::with_capacity(pop.len());
+    for alloc in pop {
+        let score = surrogate_score_obs(g, matrix, alloc, cutoff, &cfg, &mut scratch, &rec);
+        fitness.push(score.lo);
+    }
+    fitness
+}

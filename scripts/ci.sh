@@ -35,7 +35,7 @@ if $LINT --deny warning data/bad > /dev/null 2>&1; then
     exit 1
 fi
 
-echo "== perf guards (release): delta vs pooled, flight-recorder budget, SoA core vs oracle"
+echo "== perf guards (release): delta vs pooled, flight-recorder budget, SoA core vs oracle, two-tier vs all-exact"
 cargo test --release -q --offline -p emts --test perf_guard -- --ignored
 
 echo "== perf-regression observatory: regress gate must pass clean and catch inflation"
