@@ -12,7 +12,7 @@ use obs::Recorder;
 use ptg::Ptg;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
-use sched::{Allocation, Surrogate};
+use sched::{Allocation, ListScheduler, Mapper, Surrogate};
 use std::time::{Duration, Instant};
 
 /// The EMTS scheduler.
@@ -91,7 +91,32 @@ impl Emts {
     /// memo cache — see [`crate::parallel`]. Neither changes any result.
     pub fn run(&self, g: &Ptg, matrix: &TimeMatrix, seed: u64) -> EmtsResult {
         EvalPool::with(g, matrix, self.cfg.parallel_evaluation, |pool| {
-            self.run_with_pool(g, matrix, seed, pool)
+            self.run_with_pool(g, matrix, seed, pool, None, &[])
+        })
+    }
+
+    /// Anytime/budgeted mode for the online control loop: like
+    /// [`Self::run_recorded`], but the generation loop additionally stops
+    /// at an absolute wall-clock `deadline` (checked at generation
+    /// boundaries; best-so-far is returned), and `warm` allocations —
+    /// typically the incumbent plan of the previous decision epoch — are
+    /// merged into the seed population before evolution starts.
+    ///
+    /// Warm individuals that duplicate an existing seed are skipped, and
+    /// with `deadline = None` and `warm = &[]` this is bit-identical to
+    /// [`Self::run_recorded`] — the default path consumes the exact same
+    /// RNG stream and performs no extra selection.
+    pub fn run_deadline<R: Recorder>(
+        &self,
+        g: &Ptg,
+        matrix: &TimeMatrix,
+        seed: u64,
+        deadline: Option<Instant>,
+        warm: &[Allocation],
+        rec: &R,
+    ) -> EmtsResult {
+        EvalPool::with_recorder(g, matrix, self.cfg.parallel_evaluation, rec, |pool| {
+            self.run_with_pool(g, matrix, seed, pool, deadline, warm)
         })
     }
 
@@ -109,7 +134,7 @@ impl Emts {
         rec: &R,
     ) -> EmtsResult {
         EvalPool::with_recorder(g, matrix, self.cfg.parallel_evaluation, rec, |pool| {
-            self.run_with_pool(g, matrix, seed, pool)
+            self.run_with_pool(g, matrix, seed, pool, None, &[])
         })
     }
 
@@ -127,7 +152,7 @@ impl Emts {
         rec: &R,
     ) -> EmtsResult {
         EvalPool::with_workers(g, matrix, workers, rec, |pool| {
-            self.run_with_pool(g, matrix, seed, pool)
+            self.run_with_pool(g, matrix, seed, pool, None, &[])
         })
     }
 
@@ -137,6 +162,8 @@ impl Emts {
         matrix: &TimeMatrix,
         seed: u64,
         pool: &mut EvalPool<'_, R>,
+        deadline: Option<Instant>,
+        warm: &[Allocation],
     ) -> EmtsResult {
         let rec = pool.recorder();
         let _run_span = rec.span("ea");
@@ -168,6 +195,31 @@ impl Emts {
         let mut engine = FitnessEngine::new(pool);
         let mut population = rec.time("seed", || initial_population(cfg, &op, g, matrix, &mut rng));
         let mut evaluations = population.len();
+        if !warm.is_empty() {
+            // Warm-start from incumbent individuals (online rolling
+            // horizon): inject them alongside the heuristic seeds, then
+            // keep the best µ. Exact duplicates of existing members are
+            // skipped — in particular, a warm seed that *is* one of the
+            // heuristic seeds leaves the run bit-identical to a cold
+            // start (no extra evaluation, no re-sorting of the
+            // population, same RNG stream).
+            let mut merged = false;
+            for alloc in warm {
+                assert_eq!(alloc.len(), v, "warm allocation/PTG size mismatch");
+                let mut a = alloc.clone();
+                a.clamp(p_max);
+                if population.iter().any(|ind| ind.alloc == a) {
+                    continue;
+                }
+                let fitness = ListScheduler.makespan(g, matrix, &a);
+                population.push(Individual::new(a, fitness, "warm"));
+                evaluations += 1;
+                merged = true;
+            }
+            if merged {
+                population = select_best(population, cfg.mu);
+            }
+        }
         let seed_makespan = population
             .iter()
             .map(|i| i.fitness)
@@ -187,6 +239,10 @@ impl Emts {
                 if start.elapsed() >= budget {
                     break;
                 }
+            }
+            // lint:allow(src-timing) -- anytime-mode deadline, checked at generation boundaries
+            if deadline.is_some_and(|d| Instant::now() >= d) {
+                break;
             }
             engine.begin_generation();
             // Timeline marker plus counter snapshots: the per-generation

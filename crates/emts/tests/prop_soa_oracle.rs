@@ -138,13 +138,10 @@ proptest! {
                 model_name
             );
 
-            let state = ResumeState {
-                now: 0.0,
-                alive: vec![true; p as usize],
-                finished: vec![None; g.task_count()],
-                running: Vec::new(),
-            };
-            let replan = Rescheduler.reschedule(&g, &m, &alloc, &state);
+            let state = ResumeState::fresh(g.task_count(), p as usize, 0.0);
+            let replan = Rescheduler
+                .reschedule(&g, &m, &alloc, &state)
+                .expect("live platform");
             prop_assert_eq!(replan.len(), g.task_count());
             for pl in &replan {
                 let want = schedule.placement(pl.task);

@@ -54,6 +54,13 @@ pub fn direction_of(path: &str) -> Direction {
         "fallbacks",
         "rejected",
         "misses",
+        "overruns",
+        "overrun",
+        "degraded",
+        "killed",
+        "stretch",
+        "wait",
+        "makespan",
     ]) {
         return Direction::HigherIsWorse;
     }
@@ -66,6 +73,8 @@ pub fn direction_of(path: &str) -> Direction {
             "hits",
             "reused",
             "reuse",
+            "attainment",
+            "utilization",
         ])
     {
         return Direction::LowerIsWorse;
@@ -409,6 +418,31 @@ mod tests {
         );
         assert_eq!(direction_of("events_per_sec"), Direction::LowerIsWorse);
         assert_eq!(direction_of("tasks_scheduled"), Direction::Neutral);
+    }
+
+    #[test]
+    fn online_metric_names_infer_their_bad_direction() {
+        for worse_up in [
+            "rolling.queue_wait_mean",
+            "rolling.stretch_p95",
+            "reactive.makespan",
+            "rolling.deadline_overruns",
+            "rolling.watchdog_degraded",
+            "reactive.tasks_killed",
+        ] {
+            assert_eq!(
+                direction_of(worse_up),
+                Direction::HigherIsWorse,
+                "{worse_up}"
+            );
+        }
+        for worse_down in ["rolling.slo_attainment", "reactive.utilization"] {
+            assert_eq!(
+                direction_of(worse_down),
+                Direction::LowerIsWorse,
+                "{worse_down}"
+            );
+        }
     }
 
     #[test]

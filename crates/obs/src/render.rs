@@ -89,6 +89,7 @@ pub fn render_report(r: &RunReport) -> String {
     if let Some(rate) = r.cache_hit_rate() {
         let _ = writeln!(out, "cache hit rate: {:.1}%", rate * 100.0);
     }
+    out.push_str(&render_fault_kinds(r));
     if !r.gauges.is_empty() {
         let _ = writeln!(out, "gauges:");
         let width = r.gauges.keys().map(|k| k.len()).max().unwrap_or(0);
@@ -120,6 +121,46 @@ pub fn render_report(r: &RunReport) -> String {
         let _ = writeln!(
             out,
             "convergence trace: present (use --json for the raw data)"
+        );
+    }
+    out
+}
+
+/// Renders the per-fault-kind breakdown as its own table, when the run
+/// recorded any `faults.kind.<kind>.*` metrics (fault-injection runs).
+/// Empty string otherwise, so `render_report` can append unconditionally.
+fn render_fault_kinds(r: &RunReport) -> String {
+    const PREFIX: &str = "faults.kind.";
+    let mut kinds: Vec<&str> = r
+        .counters
+        .keys()
+        .filter_map(|k| k.strip_prefix(PREFIX)?.split('.').next())
+        .collect();
+    kinds.sort_unstable();
+    kinds.dedup();
+    if kinds.is_empty() {
+        return String::new();
+    }
+    let mut out = String::new();
+    let _ = writeln!(out, "fault kinds:");
+    let width = kinds.iter().map(|k| k.len()).max().unwrap_or(0);
+    for kind in kinds {
+        let counter = |leaf: &str| {
+            r.counters
+                .get(&format!("{PREFIX}{kind}.{leaf}"))
+                .copied()
+                .unwrap_or(0)
+        };
+        let events = counter("events");
+        let trials = counter("trials_affected");
+        let degradation = r
+            .gauges
+            .get(&format!("{PREFIX}{kind}.mean_degradation"))
+            .map(|d| format!("  mean degradation {d:.3}×"))
+            .unwrap_or_default();
+        let _ = writeln!(
+            out,
+            "  {kind:<width$}  events {events:<6} trials affected {trials:<4}{degradation}"
         );
     }
     out
@@ -498,6 +539,31 @@ mod tests {
         ] {
             assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
         }
+    }
+
+    #[test]
+    fn fault_kind_breakdown_renders_as_its_own_section() {
+        let mut r = report("faulted", 1.0, 60);
+        r.counters.insert("faults.kind.crash.events".into(), 12);
+        r.counters
+            .insert("faults.kind.crash.trials_affected".into(), 5);
+        r.counters.insert("faults.kind.straggler.events".into(), 3);
+        r.gauges
+            .insert("faults.kind.crash.mean_degradation".into(), 1.25);
+        let text = render_report(&r);
+        for needle in [
+            "fault kinds:",
+            "crash",
+            "events 12",
+            "trials affected 5",
+            "mean degradation 1.250×",
+            "straggler",
+        ] {
+            assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
+        }
+        // Fault-free reports must not grow the section.
+        let clean = render_report(&report("clean", 1.0, 60));
+        assert!(!clean.contains("fault kinds:"), "{clean}");
     }
 
     #[test]

@@ -37,7 +37,7 @@ pub mod validate;
 pub use allocation::Allocation;
 pub use incremental::{DeltaEval, EvalRecord, CHECKPOINT_INTERVAL};
 pub use mapper::{BoundedEval, EvalScratch, InsertionScheduler, ListScheduler, Mapper};
-pub use reschedule::{Rescheduler, ResumeState, RunningTask};
+pub use reschedule::{RescheduleError, Rescheduler, ResumeState, RunningTask};
 pub use schedule::{Placement, Schedule};
 pub use surrogate::{surrogate_score_obs, Surrogate, SurrogateScore, TwoTierEval};
 pub use validate::{all_violations, for_each_violation, validate_schedule, ScheduleViolation};

@@ -26,6 +26,31 @@ use crate::schedule::Placement;
 use exec_model::TimeMatrix;
 use ptg::critpath::bottom_levels;
 use ptg::{Ptg, TaskId};
+use std::fmt;
+
+/// Why a reschedule request could not produce a plan.
+///
+/// Bad *state shapes* (vector length mismatches) remain panics — they are
+/// caller bugs — but an empty platform is a legitimate runtime outcome
+/// under fault injection and churn, so it is a typed error the simulator
+/// can surface as a one-line diagnostic instead of a crash.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RescheduleError {
+    /// Every processor has failed: there is nothing left to plan onto.
+    NoSurvivors,
+}
+
+impl fmt::Display for RescheduleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RescheduleError::NoSurvivors => {
+                write!(f, "no surviving processors: the whole platform is down")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RescheduleError {}
 
 /// A task that is still executing while the rescheduler plans around it.
 #[derive(Debug, Clone)]
@@ -50,9 +75,28 @@ pub struct ResumeState {
     pub finished: Vec<Option<f64>>,
     /// Tasks currently executing on surviving processors.
     pub running: Vec<RunningTask>,
+    /// Per-processor earliest-availability floors for work *outside* the
+    /// graph being planned (other jobs' in-flight or already-admitted
+    /// placements). Empty means "no foreign work"; otherwise one entry per
+    /// processor, and planning on processor `q` starts no earlier than
+    /// `busy_until[q]`. This is what lets a backlog of independent jobs be
+    /// admitted one after another onto the same machines.
+    pub busy_until: Vec<f64>,
 }
 
 impl ResumeState {
+    /// A state with nothing finished, nothing running, and every
+    /// processor alive and free at `now`.
+    pub fn fresh(tasks: usize, processors: usize, now: f64) -> Self {
+        ResumeState {
+            now,
+            alive: vec![true; processors],
+            finished: vec![None; tasks],
+            running: Vec::new(),
+            busy_until: Vec::new(),
+        }
+    }
+
     /// Number of surviving processors.
     pub fn survivors(&self) -> u32 {
         self.alive.iter().filter(|&&a| a).count() as u32
@@ -67,26 +111,39 @@ impl Rescheduler {
     /// Plans every unfinished, non-running task of `g` onto the surviving
     /// processors of `state`. Widths are `min(alloc(v), survivors)`;
     /// durations come from `matrix` at that width. Returns the new
-    /// placements in planning (priority) order.
+    /// placements in planning (priority) order, or
+    /// [`RescheduleError::NoSurvivors`] when every processor is down.
+    ///
+    /// Node *joins* need no special entry point: a processor that flips
+    /// `alive[q]` from `false` to `true` between calls simply re-enters the
+    /// availability pool (free from `max(now, busy_until[q])`), and widths
+    /// clamp to the *current* survivor count, so capacity growth is picked
+    /// up on the next replan.
     ///
     /// # Panics
-    /// Panics if no processor survives or `state`'s vectors disagree with
-    /// `g` in size — both indicate a caller bug, not bad input.
+    /// Panics if `state`'s vectors disagree with `g` in size — a caller
+    /// bug, not bad input.
     pub fn reschedule(
         &self,
         g: &Ptg,
         matrix: &TimeMatrix,
         alloc: &Allocation,
         state: &ResumeState,
-    ) -> Vec<Placement> {
+    ) -> Result<Vec<Placement>, RescheduleError> {
         let n = g.task_count();
         assert_eq!(state.finished.len(), n, "finished/PTG size mismatch");
         assert_eq!(alloc.len(), n, "allocation/PTG size mismatch");
+        if !state.busy_until.is_empty() {
+            assert_eq!(
+                state.busy_until.len(),
+                state.alive.len(),
+                "busy_until/alive size mismatch"
+            );
+        }
         let survivors = state.survivors();
-        assert!(
-            survivors >= 1,
-            "rescheduling requires a surviving processor"
-        );
+        if survivors == 0 {
+            return Err(RescheduleError::NoSurvivors);
+        }
 
         // A task is "settled" when the planner can treat its finish time as
         // known: finished, or running with a planned finish.
@@ -113,14 +170,18 @@ impl Rescheduler {
         }
         let bl = bottom_levels(g, &times);
 
-        // Processor availability: `now` for idle survivors, the running
-        // task's finish for occupied ones; dead processors never appear.
+        // Processor availability: `now` for idle survivors (raised to any
+        // foreign-work floor), the running task's finish for occupied
+        // ones; dead processors never appear.
         let mut avail: Vec<(f64, u32)> = state
             .alive
             .iter()
             .enumerate()
             .filter(|&(_, &alive)| alive)
-            .map(|(q, _)| (state.now, q as u32))
+            .map(|(q, _)| {
+                let floor = state.busy_until.get(q).copied().unwrap_or(state.now);
+                (state.now.max(floor), q as u32)
+            })
             .collect();
         for r in &state.running {
             for &q in &r.processors {
@@ -201,7 +262,7 @@ impl Rescheduler {
                 }
             }
         }
-        placements
+        Ok(placements)
     }
 }
 
@@ -225,12 +286,7 @@ mod tests {
     }
 
     fn fresh_state(n: usize, p: usize) -> ResumeState {
-        ResumeState {
-            now: 0.0,
-            alive: vec![true; p],
-            finished: vec![None; n],
-            running: Vec::new(),
-        }
+        ResumeState::fresh(n, p, 0.0)
     }
 
     #[test]
@@ -239,7 +295,9 @@ mod tests {
         let m = TimeMatrix::compute(&g, &Amdahl, 1e9, 4);
         let alloc = Allocation::from_vec(vec![2, 1, 2, 4]);
         let reference = ListScheduler.map(&g, &m, &alloc);
-        let mut placements = Rescheduler.reschedule(&g, &m, &alloc, &fresh_state(4, 4));
+        let mut placements = Rescheduler
+            .reschedule(&g, &m, &alloc, &fresh_state(4, 4))
+            .unwrap();
         placements.sort_by_key(|p| p.task);
         for (got, want) in placements.iter().zip(&reference.placements) {
             assert_eq!(got.task, want.task);
@@ -255,7 +313,7 @@ mod tests {
         let alloc = Allocation::from_vec(vec![4, 4, 4, 4]);
         let mut state = fresh_state(4, 4);
         state.alive = vec![true, false, true, false]; // 2 survivors
-        let placements = Rescheduler.reschedule(&g, &m, &alloc, &state);
+        let placements = Rescheduler.reschedule(&g, &m, &alloc, &state).unwrap();
         assert_eq!(placements.len(), 4);
         for pl in &placements {
             assert!(pl.processors.iter().all(|&q| q == 0 || q == 2), "{pl:?}");
@@ -277,7 +335,7 @@ mod tests {
             finish: 5.0,
             processors: vec![0],
         });
-        let placements = Rescheduler.reschedule(&g, &m, &alloc, &state);
+        let placements = Rescheduler.reschedule(&g, &m, &alloc, &state).unwrap();
         // Only tasks 2 and 3 get new placements.
         let mut tasks: Vec<TaskId> = placements.iter().map(|p| p.task).collect();
         tasks.sort();
@@ -297,7 +355,7 @@ mod tests {
         let alloc = Allocation::from_vec(vec![2, 3, 2, 4]);
         let mut state = fresh_state(4, 4);
         state.alive[3] = false;
-        let placements = Rescheduler.reschedule(&g, &m, &alloc, &state);
+        let placements = Rescheduler.reschedule(&g, &m, &alloc, &state).unwrap();
         // Precedence between replanned tasks.
         let by_task = |t: u32| placements.iter().find(|p| p.task == TaskId(t)).unwrap();
         assert!(by_task(1).start >= by_task(0).finish);
@@ -315,13 +373,61 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "surviving processor")]
-    fn all_dead_platform_is_rejected() {
+    fn all_dead_platform_is_a_typed_error() {
         let g = diamond();
         let m = TimeMatrix::compute(&g, &Amdahl, 1e9, 4);
         let alloc = Allocation::ones(4);
         let mut state = fresh_state(4, 4);
         state.alive = vec![false; 4];
-        let _ = Rescheduler.reschedule(&g, &m, &alloc, &state);
+        let err = Rescheduler
+            .reschedule(&g, &m, &alloc, &state)
+            .expect_err("an empty platform must be rejected");
+        assert_eq!(err, RescheduleError::NoSurvivors);
+        assert!(err.to_string().contains("no surviving processors"));
+    }
+
+    #[test]
+    fn node_join_expands_capacity_on_the_next_replan() {
+        let g = diamond();
+        let m = TimeMatrix::compute(&g, &Amdahl, 1e9, 4);
+        let alloc = Allocation::from_vec(vec![4, 4, 4, 4]);
+        // First plan on a degraded 2-processor platform...
+        let mut state = fresh_state(4, 4);
+        state.alive = vec![true, true, false, false];
+        let degraded = Rescheduler.reschedule(&g, &m, &alloc, &state).unwrap();
+        assert!(degraded.iter().all(|p| p.width() <= 2));
+        let degraded_makespan = degraded.iter().map(|p| p.finish).fold(0.0, f64::max);
+        // ...then two nodes join: same call, wider plan, no worse finish.
+        state.alive = vec![true, true, true, true];
+        let joined = Rescheduler.reschedule(&g, &m, &alloc, &state).unwrap();
+        assert!(joined.iter().any(|p| p.width() == 4), "joins unused");
+        let joined_makespan = joined.iter().map(|p| p.finish).fold(0.0, f64::max);
+        assert!(joined_makespan <= degraded_makespan);
+        assert!(joined
+            .iter()
+            .any(|p| p.processors.contains(&2) || p.processors.contains(&3)));
+    }
+
+    #[test]
+    fn busy_until_floors_defer_admission_per_processor() {
+        let g = diamond();
+        let m = TimeMatrix::compute(&g, &Amdahl, 1e9, 4);
+        let alloc = Allocation::ones(4);
+        let mut state = fresh_state(4, 4);
+        // Foreign jobs occupy processors 0 and 1 until t = 10; 2 and 3
+        // are free immediately.
+        state.busy_until = vec![10.0, 10.0, 0.0, 0.0];
+        let placements = Rescheduler.reschedule(&g, &m, &alloc, &state).unwrap();
+        for pl in &placements {
+            for &q in &pl.processors {
+                if q < 2 {
+                    assert!(pl.start >= 10.0, "admitted before the floor: {pl:?}");
+                }
+            }
+        }
+        // The free processors are used first: the entry task lands on 2/3.
+        let entry = placements.iter().find(|p| p.task == TaskId(0)).unwrap();
+        assert_eq!(entry.start, 0.0);
+        assert!(entry.processors.iter().all(|&q| q >= 2), "{entry:?}");
     }
 }

@@ -33,7 +33,7 @@ use obs::{NoopRecorder, Recorder};
 use ptg::{Ptg, TaskId};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
-use sched::{Allocation, Rescheduler, ResumeState, RunningTask, Schedule};
+use sched::{Allocation, RescheduleError, Rescheduler, ResumeState, RunningTask, Schedule};
 use serde::{Deserialize, Serialize};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
@@ -67,7 +67,7 @@ impl fmt::Display for FaultSpecError {
             FaultSpecError::UnknownKey(key) => write!(
                 f,
                 "unknown fault spec key {key:?} (known: seed, perturb, straggler_prob, \
-                 straggler_factor, crash, retries, backoff, procfail)"
+                 straggler_factor, crash, retries, backoff, procfail, kill_all)"
             ),
             FaultSpecError::BadValue {
                 key,
@@ -108,6 +108,13 @@ pub struct FaultSpec {
     /// within the fault-free makespan. At least one processor always
     /// survives (see [`FaultPlan::realize`]).
     pub procfail: f64,
+    /// Catastrophic total failure: when set, *every* processor fails at
+    /// this fraction of the fault-free makespan, overriding the
+    /// keep-one-survivor rule. The replay then has no platform left and
+    /// reports [`RescheduleError::NoSurvivors`] — the negative path the
+    /// typed error exists for.
+    #[serde(default)]
+    pub kill_all: Option<f64>,
 }
 
 impl Default for FaultSpec {
@@ -121,6 +128,7 @@ impl Default for FaultSpec {
             retries: 3,
             backoff: 0.0,
             procfail: 0.0,
+            kill_all: None,
         }
     }
 }
@@ -129,7 +137,8 @@ impl FaultSpec {
     /// Parses a `key=value,...` spec. Grammar (all items optional, any
     /// order): `seed=<u64>`, `perturb=<f64 ≥ 0>`, `straggler_prob=<prob>`,
     /// `straggler_factor=<f64 ≥ 1>`, `crash=<prob>`, `retries=<0..=16>`,
-    /// `backoff=<f64 ≥ 0>`, `procfail=<prob>`. The empty string is the
+    /// `backoff=<f64 ≥ 0>`, `procfail=<prob>`,
+    /// `kill_all=<fraction in [0, 1]>`. The empty string is the
     /// fault-free spec.
     pub fn parse(s: &str) -> Result<FaultSpec, FaultSpecError> {
         let mut spec = FaultSpec::default();
@@ -186,6 +195,15 @@ impl FaultSpec {
                         .ok_or_else(|| bad("a finite value ≥ 0"))?;
                 }
                 "procfail" => prob(&mut spec.procfail)?,
+                "kill_all" => {
+                    spec.kill_all = Some(
+                        value
+                            .parse::<f64>()
+                            .ok()
+                            .filter(|x| (0.0..=1.0).contains(x))
+                            .ok_or_else(|| bad("a makespan fraction in [0, 1]"))?,
+                    );
+                }
                 _ => return Err(FaultSpecError::UnknownKey(key.to_string())),
             }
         }
@@ -194,7 +212,7 @@ impl FaultSpec {
 
     /// Canonical `key=value,...` rendering; parses back to `self`.
     pub fn canonical(&self) -> String {
-        format!(
+        let mut s = format!(
             "seed={},perturb={},straggler_prob={},straggler_factor={},crash={},retries={},backoff={},procfail={}",
             self.seed,
             self.perturb,
@@ -204,7 +222,11 @@ impl FaultSpec {
             self.retries,
             self.backoff,
             self.procfail
-        )
+        );
+        if let Some(frac) = self.kill_all {
+            s.push_str(&format!(",kill_all={frac}"));
+        }
+        s
     }
 
     /// True when no realization of this spec can inject any fault.
@@ -213,6 +235,7 @@ impl FaultSpec {
             && self.straggler_prob == 0.0
             && self.crash == 0.0
             && self.procfail == 0.0
+            && self.kill_all.is_none()
     }
 }
 
@@ -230,8 +253,15 @@ pub struct FaultPlan {
     /// Backoff before retry `k`: `backoff_base · 2^k` seconds.
     pub backoff_base: f64,
     /// Permanent failure time per processor (`None` ⇒ the processor
-    /// survives the whole run). Never all `Some`.
+    /// survives the whole run). All `Some` only under `kill_all`.
     pub proc_fail: Vec<Option<f64>>,
+    /// Per-task: did the straggler draw fire? (Distinguishes the
+    /// straggler contribution to `factors` from plain perturbation for
+    /// the per-kind breakdown.)
+    pub stragglers: Vec<bool>,
+    /// Per-task: did a non-unit perturbation draw land? (`factors[v]`
+    /// may still be 1.0 when only the straggler multiplier fired.)
+    pub perturbed: Vec<bool>,
 }
 
 impl FaultPlan {
@@ -243,6 +273,8 @@ impl FaultPlan {
             crashes: vec![Vec::new(); tasks],
             backoff_base: 0.0,
             proc_fail: vec![None; processors as usize],
+            stragglers: vec![false; tasks],
+            perturbed: vec![false; tasks],
         }
     }
 
@@ -268,14 +300,18 @@ impl FaultPlan {
         let mut rng =
             ChaCha8Rng::seed_from_u64(spec.seed ^ trial.wrapping_mul(0x9E37_79B9_7F4A_7C15));
         let mut factors = Vec::with_capacity(tasks);
-        for _ in 0..tasks {
+        let mut stragglers = vec![false; tasks];
+        let mut perturbed = vec![false; tasks];
+        for i in 0..tasks {
             let mut f = if spec.perturb > 0.0 {
                 1.0 + rng.gen_range(0.0..=spec.perturb)
             } else {
                 1.0
             };
+            perturbed[i] = f != 1.0;
             if spec.straggler_prob > 0.0 && rng.gen_bool(spec.straggler_prob) {
                 f *= spec.straggler_factor;
+                stragglers[i] = true;
             }
             factors.push(f);
         }
@@ -310,11 +346,18 @@ impl FaultPlan {
                 proc_fail[survivor] = None;
             }
         }
+        if let Some(frac) = spec.kill_all {
+            // Catastrophe drill: the whole platform goes down at once —
+            // deliberately *not* subject to the keep-one-survivor rule.
+            proc_fail.fill(Some(frac * horizon));
+        }
         FaultPlan {
             factors,
             crashes,
             backoff_base: spec.backoff,
             proc_fail,
+            stragglers,
+            perturbed,
         }
     }
 
@@ -443,6 +486,11 @@ enum TaskState {
 /// `alloc` must be the allocation the schedule was mapped from; the
 /// rescheduler clamps it to the surviving processor count.
 ///
+/// Returns [`RescheduleError::NoSurvivors`] when a failure leaves no
+/// processor alive (only reachable via `kill_all`, since `realize` keeps
+/// a survivor otherwise) — graceful degradation has a floor, and hitting
+/// it is a reportable outcome, not a crash.
+///
 /// # Panics
 /// Panics if `plan`/`alloc`/`schedule` sizes disagree with `g`, or the
 /// replay stalls — all indicate caller or internal bugs, never bad user
@@ -453,7 +501,7 @@ pub fn execute_with_faults(
     schedule: &Schedule,
     alloc: &Allocation,
     plan: &FaultPlan,
-) -> FaultyReport {
+) -> Result<FaultyReport, RescheduleError> {
     let n = g.task_count();
     assert_eq!(schedule.task_count(), n, "schedule/PTG size mismatch");
     assert_eq!(plan.factors.len(), n, "plan factors/PTG size mismatch");
@@ -728,8 +776,9 @@ pub fn execute_with_faults(
                                 _ => None,
                             })
                             .collect(),
+                        busy_until: Vec::new(),
                     };
-                    let replanned = Rescheduler.reschedule(g, matrix, alloc, &resume);
+                    let replanned = Rescheduler.reschedule(g, matrix, alloc, &resume)?;
                     reschedules += 1;
                     for pl in replanned {
                         let i = pl.task.index();
@@ -763,14 +812,43 @@ pub fn execute_with_faults(
         );
     }
 
-    FaultyReport {
+    Ok(FaultyReport {
         makespan,
         events,
         retries,
         tasks_killed,
         processor_failures,
         reschedules,
-    }
+    })
+}
+
+/// Occurrence and impact of one fault kind across a trial batch.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct KindStat {
+    /// Trials in which this kind fired at least once.
+    pub trials_affected: usize,
+    /// Total individual events of this kind across all trials (crashed
+    /// attempts, straggler tasks, perturbed tasks, failed processors).
+    pub events: usize,
+    /// Mean makespan degradation over the *affected* trials only
+    /// (`0.0` when no trial was affected). Kinds co-occur within a
+    /// trial, so these means attribute shared degradation to every kind
+    /// present — they rank kinds, they do not decompose the total.
+    pub mean_degradation: f64,
+}
+
+/// Per-fault-kind breakdown of a trial batch: which injection source
+/// fired, how often, and how bad the affected trials were.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct FaultKindBreakdown {
+    /// Task-attempt crashes (retried after backoff).
+    pub crash: KindStat,
+    /// Straggler slowdowns (`straggler_factor` multiplier).
+    pub straggler: KindStat,
+    /// Plain execution-time perturbation (`[1, 1 + perturb]` noise).
+    pub perturb: KindStat,
+    /// Permanent processor failures (rescheduler invoked).
+    pub node_failure: KindStat,
 }
 
 /// Degradation distribution over N seeded fault trials of one schedule.
@@ -796,11 +874,18 @@ pub struct FaultSummary {
     pub processor_failures: usize,
     /// Total rescheduler invocations across all trials.
     pub reschedules: usize,
+    /// Per-fault-kind breakdown (counts and mean degradation). Defaults
+    /// to all-zero when deserializing reports written before the field
+    /// existed.
+    #[serde(default)]
+    pub kinds: FaultKindBreakdown,
 }
 
 /// Runs `trials` independent realizations of `spec` against `schedule`
 /// and summarizes the makespan-degradation distribution. Deterministic:
 /// trial `i` always uses the plan `FaultPlan::realize(spec, i, ..)`.
+/// Fails with [`RescheduleError::NoSurvivors`] when a trial kills the
+/// whole platform (`kill_all`).
 pub fn fault_trials(
     g: &Ptg,
     matrix: &TimeMatrix,
@@ -808,7 +893,7 @@ pub fn fault_trials(
     alloc: &Allocation,
     spec: &FaultSpec,
     trials: usize,
-) -> FaultSummary {
+) -> Result<FaultSummary, RescheduleError> {
     fault_trials_obs(g, matrix, schedule, alloc, spec, trials, &NoopRecorder)
 }
 
@@ -826,7 +911,7 @@ pub fn fault_trials_obs<R: Recorder>(
     spec: &FaultSpec,
     trials: usize,
     rec: &R,
-) -> FaultSummary {
+) -> Result<FaultSummary, RescheduleError> {
     assert!(trials >= 1, "at least one trial");
     let baseline = schedule.makespan();
     let mut degradations = Vec::with_capacity(trials);
@@ -834,6 +919,10 @@ pub fn fault_trials_obs<R: Recorder>(
     let mut tasks_killed = 0;
     let mut processor_failures = 0;
     let mut reschedules = 0;
+    let mut kinds = FaultKindBreakdown::default();
+    // (events this trial, degradation) accumulators per kind; folded into
+    // the mean at the end.
+    let mut kind_sums = [0.0f64; 4];
     for trial in 0..trials {
         let trial_span = rec.trace_span("faults.trial");
         let plan = FaultPlan::realize(
@@ -843,7 +932,7 @@ pub fn fault_trials_obs<R: Recorder>(
             schedule.processors,
             baseline,
         );
-        let report = execute_with_faults(g, matrix, schedule, alloc, &plan);
+        let report = execute_with_faults(g, matrix, schedule, alloc, &plan)?;
         if R::ENABLED {
             if report.retries > 0 {
                 rec.event("faults.retry", report.retries as u64);
@@ -856,16 +945,45 @@ pub fn fault_trials_obs<R: Recorder>(
             }
         }
         drop(trial_span);
-        degradations.push(report.makespan / baseline);
+        let degradation = report.makespan / baseline;
+        degradations.push(degradation);
         retries += report.retries;
         tasks_killed += report.tasks_killed;
         processor_failures += report.processor_failures.len();
         reschedules += report.reschedules;
+        let straggler_tasks = plan.stragglers.iter().filter(|&&s| s).count();
+        let perturbed_tasks = plan.perturbed.iter().filter(|&&p| p).count();
+        let trial_kinds = [
+            (&mut kinds.crash, report.retries, 0),
+            (&mut kinds.straggler, straggler_tasks, 1),
+            (&mut kinds.perturb, perturbed_tasks, 2),
+            (&mut kinds.node_failure, report.processor_failures.len(), 3),
+        ];
+        for (stat, events, slot) in trial_kinds {
+            if events > 0 {
+                stat.trials_affected += 1;
+                stat.events += events;
+                kind_sums[slot] += degradation;
+            }
+        }
+    }
+    for (stat, sum) in [
+        &mut kinds.crash,
+        &mut kinds.straggler,
+        &mut kinds.perturb,
+        &mut kinds.node_failure,
+    ]
+    .into_iter()
+    .zip(kind_sums)
+    {
+        if stat.trials_affected > 0 {
+            stat.mean_degradation = sum / stat.trials_affected as f64;
+        }
     }
     degradations.sort_unstable_by(|a, b| a.partial_cmp(b).expect("finite degradations"));
     let mean = degradations.iter().sum::<f64>() / trials as f64;
     let p95_index = ((trials as f64 * 0.95).ceil() as usize).max(1) - 1;
-    FaultSummary {
+    Ok(FaultSummary {
         spec: spec.canonical(),
         trials,
         fault_free_makespan: baseline,
@@ -876,6 +994,295 @@ pub fn fault_trials_obs<R: Recorder>(
         tasks_killed,
         processor_failures,
         reschedules,
+        kinds,
+    })
+}
+
+/// A parsed cluster-churn description for the online simulator: how
+/// often nodes fail, how quickly they come back, and how many spare
+/// nodes can join mid-run. One spec + one seed ⇒ one deterministic
+/// event stream ([`ChurnStream`]).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChurnSpec {
+    /// Mean exponential inter-failure time in simulated seconds
+    /// (`0` ⇒ no stochastic failures).
+    pub fail_every: f64,
+    /// Mean exponential repair delay after a failure (`0` ⇒ failures are
+    /// permanent).
+    pub repair_after: f64,
+    /// Spare nodes beyond the platform's initial capacity that may join
+    /// during the run.
+    pub spares: u32,
+    /// Mean exponential inter-join time for spares (`0` ⇒ spares never
+    /// join).
+    pub join_every: f64,
+    /// Catastrophic full-cluster failure at this absolute simulated time
+    /// (permanent; no repairs follow).
+    pub fail_all_at: Option<f64>,
+}
+
+impl Default for ChurnSpec {
+    fn default() -> Self {
+        ChurnSpec {
+            fail_every: 0.0,
+            repair_after: 0.0,
+            spares: 0,
+            join_every: 0.0,
+            fail_all_at: None,
+        }
+    }
+}
+
+impl ChurnSpec {
+    /// Parses a `key=value,...` churn spec. Grammar (all items optional,
+    /// any order): `fail_every=<f64 ≥ 0>`, `repair_after=<f64 ≥ 0>`,
+    /// `spares=<u32>`, `join_every=<f64 ≥ 0>`,
+    /// `fail_all_at=<f64 ≥ 0>`. The empty string is the churn-free spec.
+    pub fn parse(s: &str) -> Result<ChurnSpec, FaultSpecError> {
+        let mut spec = ChurnSpec::default();
+        for item in s.split(',').map(str::trim).filter(|i| !i.is_empty()) {
+            let (key, value) = item
+                .split_once('=')
+                .ok_or_else(|| FaultSpecError::BadPair(item.to_string()))?;
+            let (key, value) = (key.trim(), value.trim());
+            let bad = |expected: &'static str| FaultSpecError::BadValue {
+                key: key.to_string(),
+                value: value.to_string(),
+                expected,
+            };
+            let nonneg = || {
+                value
+                    .parse::<f64>()
+                    .ok()
+                    .filter(|x| x.is_finite() && *x >= 0.0)
+                    .ok_or_else(|| bad("a finite value ≥ 0"))
+            };
+            match key {
+                "fail_every" => spec.fail_every = nonneg()?,
+                "repair_after" => spec.repair_after = nonneg()?,
+                "join_every" => spec.join_every = nonneg()?,
+                "fail_all_at" => spec.fail_all_at = Some(nonneg()?),
+                "spares" => {
+                    spec.spares = value.parse().map_err(|_| bad("an unsigned integer"))?;
+                }
+                _ => return Err(FaultSpecError::UnknownKey(key.to_string())),
+            }
+        }
+        Ok(spec)
+    }
+
+    /// Canonical `key=value,...` rendering; parses back to `self`.
+    pub fn canonical(&self) -> String {
+        let mut s = format!(
+            "fail_every={},repair_after={},spares={},join_every={}",
+            self.fail_every, self.repair_after, self.spares, self.join_every
+        );
+        if let Some(t) = self.fail_all_at {
+            s.push_str(&format!(",fail_all_at={t}"));
+        }
+        s
+    }
+
+    /// True when this spec can emit no event at all.
+    pub fn is_quiet(&self) -> bool {
+        self.fail_every == 0.0
+            && self.fail_all_at.is_none()
+            && (self.spares == 0 || self.join_every == 0.0)
+    }
+}
+
+/// One cluster-membership change in the online simulation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ChurnEventKind {
+    /// The node with this index went down.
+    Fail(u32),
+    /// A previously failed node came back.
+    Recover(u32),
+    /// Spare number `k` (0-based; the consumer maps it past the initial
+    /// capacity) joined the cluster for the first time.
+    Join(u32),
+    /// Every live node failed at once, permanently.
+    FailAll,
+}
+
+// The vendored serde derive handles unit-variant enums only, so the
+// data-carrying event kind serializes by hand as a single-key tagged
+// object: `{"fail": 3}`, `{"fail_all": null}`, ...
+impl Serialize for ChurnEventKind {
+    fn to_value(&self) -> serde::Value {
+        let (tag, payload) = match self {
+            ChurnEventKind::Fail(q) => ("fail", serde::Value::Int(*q as i128)),
+            ChurnEventKind::Recover(q) => ("recover", serde::Value::Int(*q as i128)),
+            ChurnEventKind::Join(k) => ("join", serde::Value::Int(*k as i128)),
+            ChurnEventKind::FailAll => ("fail_all", serde::Value::Null),
+        };
+        serde::Value::Object(vec![(tag.to_string(), payload)])
+    }
+}
+
+impl Deserialize for ChurnEventKind {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {
+        let obj = v
+            .as_object()
+            .filter(|o| o.len() == 1)
+            .ok_or_else(|| serde::DeError::expected("tagged object", "ChurnEventKind"))?;
+        let (tag, payload) = &obj[0];
+        let node = || u32::from_value(payload).map_err(|e| serde::DeError::custom(e.to_string()));
+        match tag.as_str() {
+            "fail" => Ok(ChurnEventKind::Fail(node()?)),
+            "recover" => Ok(ChurnEventKind::Recover(node()?)),
+            "join" => Ok(ChurnEventKind::Join(node()?)),
+            "fail_all" => Ok(ChurnEventKind::FailAll),
+            other => Err(serde::DeError::expected(
+                "fail|recover|join|fail_all",
+                &format!("ChurnEventKind tag `{other}`"),
+            )),
+        }
+    }
+}
+
+/// A timestamped churn event.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ChurnEvent {
+    /// Simulated time of the membership change.
+    pub time: f64,
+    /// What changed.
+    pub kind: ChurnEventKind,
+}
+
+/// Lazy, seeded generator of the churn event stream.
+///
+/// Times are sampled from exponential inter-arrival draws on a dedicated
+/// ChaCha8 stream; failure *victims* are drawn uniformly over the nodes
+/// alive at pop time, so the stream is deterministic for a deterministic
+/// consumer. Lazy generation means an unbounded horizon costs nothing:
+/// events are only materialized as the simulation advances past them.
+#[derive(Debug, Clone)]
+pub struct ChurnStream {
+    spec: ChurnSpec,
+    rng: ChaCha8Rng,
+    next_fail: Option<f64>,
+    fail_all: Option<f64>,
+    /// Spare nodes join in index order at successive join times.
+    next_join: Option<(f64, u32)>,
+    spares_left: u32,
+    /// Pending repairs as (time, node), kept sorted ascending by time.
+    repairs: Vec<(f64, u32)>,
+}
+
+impl ChurnStream {
+    /// Creates the stream for `spec`, seeded independently of the fault
+    /// and workload streams.
+    pub fn new(spec: &ChurnSpec, seed: u64) -> ChurnStream {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0xC1F7_85D1_A5B3_42E9);
+        let next_fail = (spec.fail_every > 0.0).then(|| Self::exp(&mut rng, spec.fail_every));
+        let next_join = (spec.spares > 0 && spec.join_every > 0.0)
+            .then(|| (Self::exp(&mut rng, spec.join_every), 0));
+        ChurnStream {
+            spec: spec.clone(),
+            rng,
+            next_fail,
+            fail_all: spec.fail_all_at,
+            next_join,
+            spares_left: spec.spares,
+            repairs: Vec::new(),
+        }
+    }
+
+    fn exp(rng: &mut ChaCha8Rng, mean: f64) -> f64 {
+        // Inverse-CDF exponential; `gen::<f64>()` is in [0, 1) so the
+        // log argument stays strictly positive.
+        -mean * (1.0 - rng.gen::<f64>()).ln()
+    }
+
+    /// Time of the next event, if any is scheduled.
+    pub fn peek_time(&self) -> Option<f64> {
+        let mut t: Option<f64> = None;
+        let mut consider = |c: Option<f64>| {
+            if let Some(ct) = c {
+                t = Some(t.map_or(ct, |cur: f64| cur.min(ct)));
+            }
+        };
+        consider(self.next_fail);
+        consider(self.fail_all);
+        consider(self.next_join.map(|(jt, _)| jt));
+        consider(self.repairs.first().map(|&(rt, _)| rt));
+        t
+    }
+
+    /// Pops the next event at or before `until`, given the nodes
+    /// currently alive. Returns `None` when no event falls in the
+    /// window. Failure victims are drawn over `alive`; a failure drawn
+    /// while nothing is alive is consumed silently (there is nothing
+    /// left to kill). After [`ChurnEventKind::FailAll`] the stream goes
+    /// permanently quiet.
+    pub fn pop_before(&mut self, until: f64, alive: &[bool]) -> Option<ChurnEvent> {
+        loop {
+            let t = self.peek_time()?;
+            if t > until {
+                return None;
+            }
+            // Total failure preempts and silences everything else.
+            if self.fail_all == Some(t) {
+                self.fail_all = None;
+                self.next_fail = None;
+                self.next_join = None;
+                self.repairs.clear();
+                return Some(ChurnEvent {
+                    time: t,
+                    kind: ChurnEventKind::FailAll,
+                });
+            }
+            if let Some(&(rt, node)) = self.repairs.first() {
+                if rt == t {
+                    self.repairs.remove(0);
+                    return Some(ChurnEvent {
+                        time: t,
+                        kind: ChurnEventKind::Recover(node),
+                    });
+                }
+            }
+            if let Some((jt, idx)) = self.next_join {
+                if jt == t {
+                    self.spares_left -= 1;
+                    self.next_join = (self.spares_left > 0)
+                        .then(|| (jt + Self::exp(&mut self.rng, self.spec.join_every), idx + 1));
+                    return Some(ChurnEvent {
+                        time: t,
+                        kind: ChurnEventKind::Join(idx),
+                    });
+                }
+            }
+            if self.next_fail == Some(t) {
+                self.next_fail = Some(t + Self::exp(&mut self.rng, self.spec.fail_every));
+                let live: Vec<u32> = alive
+                    .iter()
+                    .enumerate()
+                    .filter(|&(_, &a)| a)
+                    .map(|(q, _)| q as u32)
+                    .collect();
+                if live.is_empty() {
+                    continue; // nothing to kill; consume the draw
+                }
+                let victim = live[self.rng.gen_range(0..live.len())];
+                if self.spec.repair_after > 0.0 {
+                    let back = t + Self::exp(&mut self.rng, self.spec.repair_after);
+                    let at = self.repairs.partition_point(|&(rt, _)| rt <= back);
+                    self.repairs.insert(at, (back, victim));
+                }
+                return Some(ChurnEvent {
+                    time: t,
+                    kind: ChurnEventKind::Fail(victim),
+                });
+            }
+        }
+    }
+
+    /// True when a capacity-restoring event (repair or join) is still
+    /// scheduled — the online loop uses this to decide between waiting
+    /// out a total outage and giving up with `NoSurvivors`.
+    pub fn capacity_pending(&self) -> bool {
+        !self.repairs.is_empty() || self.next_join.is_some()
     }
 }
 
@@ -984,7 +1391,7 @@ mod tests {
     fn empty_plan_replay_is_bit_identical() {
         let (g, m, a, s) = mapped(vec![2, 1, 2, 4]);
         let plan = FaultPlan::empty(4, 4);
-        let report = execute_with_faults(&g, &m, &s, &a, &plan);
+        let report = execute_with_faults(&g, &m, &s, &a, &plan).unwrap();
         assert_eq!(report.makespan, s.makespan(), "bit-identical makespan");
         let baseline: Vec<(f64, TaskId, bool)> = trace_schedule(&g, &s)
             .iter()
@@ -1000,7 +1407,7 @@ mod tests {
         let (g, m, a, s) = mapped(vec![2, 1, 2, 4]);
         let mut plan = FaultPlan::empty(4, 4);
         plan.factors = vec![2.0; 4];
-        let report = execute_with_faults(&g, &m, &s, &a, &plan);
+        let report = execute_with_faults(&g, &m, &s, &a, &plan).unwrap();
         assert!(report.makespan > s.makespan());
         // Dependencies still hold under the perturbed timeline.
         let finish_of = |t: u32| {
@@ -1028,7 +1435,7 @@ mod tests {
         let mut plan = FaultPlan::empty(4, 4);
         plan.crashes[0] = vec![0.5, 0.5]; // two crashes, then success
         plan.backoff_base = 1.0;
-        let report = execute_with_faults(&g, &m, &s, &a, &plan);
+        let report = execute_with_faults(&g, &m, &s, &a, &plan).unwrap();
         assert_eq!(report.retries, 2);
         let crashes: Vec<f64> = report
             .events
@@ -1064,7 +1471,7 @@ mod tests {
         // Kill processor 3 mid-run (during the wide source task).
         let t0 = s.placements[0].finish / 2.0;
         plan.proc_fail[3] = Some(t0);
-        let report = execute_with_faults(&g, &m, &s, &a, &plan);
+        let report = execute_with_faults(&g, &m, &s, &a, &plan).unwrap();
         assert_eq!(report.processor_failures, vec![3]);
         assert!(report.reschedules >= 1);
         assert!(report.tasks_killed >= 1);
@@ -1085,14 +1492,14 @@ mod tests {
     fn fault_trials_summarize_the_degradation_distribution() {
         let (g, m, a, s) = mapped(vec![2, 1, 2, 4]);
         let spec = FaultSpec::parse("seed=9,perturb=0.5").unwrap();
-        let summary = fault_trials(&g, &m, &s, &a, &spec, 20);
+        let summary = fault_trials(&g, &m, &s, &a, &spec, 20).unwrap();
         assert_eq!(summary.trials, 20);
         assert_eq!(summary.fault_free_makespan, s.makespan());
         assert!(summary.mean_degradation >= 1.0);
         assert!(summary.p95_degradation >= summary.mean_degradation * 0.9);
         assert!(summary.worst_degradation >= summary.p95_degradation);
         // Deterministic: same spec, same summary.
-        let again = fault_trials(&g, &m, &s, &a, &spec, 20);
+        let again = fault_trials(&g, &m, &s, &a, &spec, 20).unwrap();
         assert_eq!(summary, again);
     }
 
@@ -1100,10 +1507,142 @@ mod tests {
     fn fault_free_trials_report_unit_degradation() {
         let (g, m, a, s) = mapped(vec![2, 1, 2, 4]);
         let spec = FaultSpec::default();
-        let summary = fault_trials(&g, &m, &s, &a, &spec, 3);
+        let summary = fault_trials(&g, &m, &s, &a, &spec, 3).unwrap();
         assert_eq!(summary.mean_degradation, 1.0);
         assert_eq!(summary.p95_degradation, 1.0);
         assert_eq!(summary.worst_degradation, 1.0);
         assert_eq!(summary.retries, 0);
+        assert_eq!(summary.kinds, FaultKindBreakdown::default());
+    }
+
+    #[test]
+    fn kill_all_surfaces_no_survivors_as_a_typed_error() {
+        let (g, m, a, s) = mapped(vec![2, 1, 2, 4]);
+        let spec = FaultSpec::parse("seed=1,kill_all=0.5").unwrap();
+        assert!(!spec.is_fault_free());
+        let plan = FaultPlan::realize(&spec, 0, 4, 4, s.makespan());
+        assert!(plan.proc_fail.iter().all(Option::is_some));
+        let err =
+            execute_with_faults(&g, &m, &s, &a, &plan).expect_err("total failure must be an error");
+        assert_eq!(err, RescheduleError::NoSurvivors);
+        let err = fault_trials(&g, &m, &s, &a, &spec, 2).expect_err("trials propagate");
+        assert_eq!(err, RescheduleError::NoSurvivors);
+    }
+
+    #[test]
+    fn kind_breakdown_attributes_events_to_their_sources() {
+        let (g, m, a, s) = mapped(vec![2, 1, 2, 4]);
+        // Stragglers always fire, perturbation always draws, no crashes
+        // or node failures.
+        let spec =
+            FaultSpec::parse("seed=5,perturb=0.4,straggler_prob=1,straggler_factor=2").unwrap();
+        let summary = fault_trials(&g, &m, &s, &a, &spec, 4).unwrap();
+        let k = &summary.kinds;
+        assert_eq!(k.straggler.trials_affected, 4);
+        assert_eq!(k.straggler.events, 16, "every task a straggler");
+        assert!(k.straggler.mean_degradation >= 2.0, "{k:?}");
+        assert!(k.perturb.trials_affected >= 1);
+        assert!(k.perturb.mean_degradation >= 1.0);
+        assert_eq!(k.crash, KindStat::default());
+        assert_eq!(k.node_failure, KindStat::default());
+        // Crash-only spec populates only the crash kind.
+        let spec = FaultSpec::parse("seed=5,crash=1,retries=1,backoff=1").unwrap();
+        let summary = fault_trials(&g, &m, &s, &a, &spec, 2).unwrap();
+        assert_eq!(summary.kinds.crash.trials_affected, 2);
+        assert_eq!(summary.kinds.crash.events, summary.retries);
+        assert!(summary.kinds.crash.mean_degradation > 1.0);
+        assert_eq!(summary.kinds.straggler, KindStat::default());
+    }
+
+    #[test]
+    fn churn_grammar_round_trips_and_rejects_bad_input() {
+        let spec =
+            ChurnSpec::parse("fail_every=30, repair_after=90, spares=2, join_every=120").unwrap();
+        assert_eq!(spec.fail_every, 30.0);
+        assert_eq!(spec.spares, 2);
+        assert!(!spec.is_quiet());
+        assert_eq!(ChurnSpec::parse(&spec.canonical()).unwrap(), spec);
+        assert!(ChurnSpec::parse("").unwrap().is_quiet());
+        // Spares without a join rate can never appear.
+        assert!(ChurnSpec::parse("spares=3").unwrap().is_quiet());
+        let all = ChurnSpec::parse("fail_all_at=100").unwrap();
+        assert!(!all.is_quiet());
+        assert_eq!(ChurnSpec::parse(&all.canonical()).unwrap(), all);
+        for (input, needle) in [
+            ("fail_every", "key=value"),
+            ("bogus=1", "unknown fault spec key"),
+            ("fail_every=-2", "≥ 0"),
+            ("spares=x", "unsigned integer"),
+        ] {
+            let err = ChurnSpec::parse(input).unwrap_err().to_string();
+            assert!(err.contains(needle), "{input}: {err}");
+            assert!(!err.contains('\n'));
+        }
+    }
+
+    #[test]
+    fn churn_stream_is_deterministic_and_repairs_follow_failures() {
+        let spec = ChurnSpec::parse("fail_every=10,repair_after=20").unwrap();
+        let drain = |mut s: ChurnStream| {
+            let mut alive = vec![true; 4];
+            let mut events = Vec::new();
+            while let Some(ev) = s.pop_before(200.0, &alive) {
+                match ev.kind {
+                    ChurnEventKind::Fail(q) => alive[q as usize] = false,
+                    ChurnEventKind::Recover(q) => alive[q as usize] = true,
+                    _ => {}
+                }
+                events.push(ev);
+            }
+            events
+        };
+        let a = drain(ChurnStream::new(&spec, 42));
+        let b = drain(ChurnStream::new(&spec, 42));
+        assert_eq!(a, b, "same seed, same stream");
+        assert!(!a.is_empty());
+        assert!(a.windows(2).all(|w| w[0].time <= w[1].time), "ordered");
+        assert!(a.iter().any(|e| matches!(e.kind, ChurnEventKind::Fail(_))));
+        assert!(a
+            .iter()
+            .any(|e| matches!(e.kind, ChurnEventKind::Recover(_))));
+        let c = drain(ChurnStream::new(&spec, 43));
+        assert_ne!(a, c, "different seed, different stream");
+    }
+
+    #[test]
+    fn churn_joins_and_fail_all_behave() {
+        let spec = ChurnSpec::parse("spares=2,join_every=5").unwrap();
+        let mut s = ChurnStream::new(&spec, 7);
+        assert!(s.capacity_pending());
+        let alive = vec![true; 4];
+        let j0 = s.pop_before(f64::INFINITY, &alive).unwrap();
+        let j1 = s.pop_before(f64::INFINITY, &alive).unwrap();
+        assert_eq!(j0.kind, ChurnEventKind::Join(0));
+        assert_eq!(j1.kind, ChurnEventKind::Join(1));
+        assert!(j0.time <= j1.time);
+        assert!(s.pop_before(f64::INFINITY, &alive).is_none());
+        assert!(!s.capacity_pending());
+        // fail_all_at silences everything after it fires.
+        let spec = ChurnSpec::parse("fail_every=1,repair_after=1,fail_all_at=10").unwrap();
+        let mut s = ChurnStream::new(&spec, 7);
+        let mut saw_fail_all = false;
+        let mut live = vec![true; 4];
+        while let Some(ev) = s.pop_before(1000.0, &live) {
+            match ev.kind {
+                ChurnEventKind::Fail(q) => live[q as usize] = false,
+                ChurnEventKind::Recover(q) => live[q as usize] = true,
+                ChurnEventKind::FailAll => {
+                    assert_eq!(ev.time, 10.0);
+                    saw_fail_all = true;
+                }
+                ChurnEventKind::Join(_) => unreachable!("no spares"),
+            }
+            assert!(
+                !saw_fail_all || matches!(ev.kind, ChurnEventKind::FailAll),
+                "events after total failure"
+            );
+        }
+        assert!(saw_fail_all);
+        assert!(!s.capacity_pending());
     }
 }

@@ -24,12 +24,15 @@ pub mod event;
 pub mod executor;
 pub mod faults;
 pub mod formats;
+pub mod online;
 pub mod runner;
 pub mod trace;
 
 pub use executor::{ExecutionError, SimReport};
 pub use faults::{
-    execute_with_faults, fault_trials, fault_trials_obs, FaultPlan, FaultSpec, FaultSpecError,
-    FaultSummary, FaultyReport,
+    execute_with_faults, fault_trials, fault_trials_obs, ChurnEvent, ChurnEventKind, ChurnSpec,
+    ChurnStream, FaultKindBreakdown, FaultPlan, FaultSpec, FaultSpecError, FaultSummary,
+    FaultyReport, KindStat,
 };
+pub use online::{run_online, OnlineConfig, OnlineError, OnlineReport};
 pub use runner::{run_with_faults, run_with_faults_workers, Algorithm, RunReport};

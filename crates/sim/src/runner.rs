@@ -8,7 +8,7 @@ use heuristics::{Allocator, Cpa, DeltaCritical, Hcpa, Mcpa, Mcpa2};
 use obs::{NoopRecorder, Recorder};
 use platform::Cluster;
 use ptg::Ptg;
-use sched::{Allocation, ListScheduler, Mapper, Schedule};
+use sched::{Allocation, ListScheduler, Mapper, RescheduleError, Schedule};
 use serde::{Deserialize, Serialize};
 use std::time::Instant;
 
@@ -241,6 +241,8 @@ pub fn run_obs_workers<M: ExecutionTimeModel + ?Sized, R: Recorder>(
 /// [`run_obs`] followed by `trials` seeded fault-injection replays of the
 /// produced schedule; the degradation distribution lands in
 /// `report.faults`. Deterministic for a fixed `(algorithm, seed, spec)`.
+/// Fails with [`RescheduleError::NoSurvivors`] when a trial kills the
+/// whole platform (a `kill_all` spec).
 #[allow(clippy::too_many_arguments)] // mirrors run_obs + the fault knobs
 pub fn run_with_faults<M: ExecutionTimeModel + ?Sized, R: Recorder>(
     algorithm: Algorithm,
@@ -251,7 +253,7 @@ pub fn run_with_faults<M: ExecutionTimeModel + ?Sized, R: Recorder>(
     spec: &FaultSpec,
     trials: usize,
     rec: &R,
-) -> (RunReport, Schedule, Option<ConvergenceTrace>) {
+) -> Result<(RunReport, Schedule, Option<ConvergenceTrace>), RescheduleError> {
     run_with_faults_workers(algorithm, g, cluster, model, seed, spec, trials, None, rec)
 }
 
@@ -268,14 +270,14 @@ pub fn run_with_faults_workers<M: ExecutionTimeModel + ?Sized, R: Recorder>(
     trials: usize,
     workers: Option<usize>,
     rec: &R,
-) -> (RunReport, Schedule, Option<ConvergenceTrace>) {
+) -> Result<(RunReport, Schedule, Option<ConvergenceTrace>), RescheduleError> {
     let (mut report, schedule, trace) =
         run_obs_workers(algorithm, g, cluster, model, seed, workers, rec);
     let matrix = TimeMatrix::compute(g, model, cluster.speed_flops(), cluster.processors);
     let alloc = Allocation::from_vec(report.allocation.clone());
     let summary = rec.time("faults", || {
         crate::faults::fault_trials_obs(g, &matrix, &schedule, &alloc, spec, trials, rec)
-    });
+    })?;
     if R::ENABLED {
         rec.add("faults.trials", summary.trials as u64);
         rec.add("faults.retries", summary.retries as u64);
@@ -288,9 +290,49 @@ pub fn run_with_faults_workers<M: ExecutionTimeModel + ?Sized, R: Recorder>(
         rec.gauge("faults.mean_degradation", summary.mean_degradation);
         rec.gauge("faults.p95_degradation", summary.p95_degradation);
         rec.gauge("faults.worst_degradation", summary.worst_degradation);
+        type KindNames = (&'static str, &'static str, &'static str);
+        let kind_rows: [(KindNames, crate::faults::KindStat); 4] = [
+            (
+                (
+                    "faults.kind.crash.trials_affected",
+                    "faults.kind.crash.events",
+                    "faults.kind.crash.mean_degradation",
+                ),
+                summary.kinds.crash,
+            ),
+            (
+                (
+                    "faults.kind.straggler.trials_affected",
+                    "faults.kind.straggler.events",
+                    "faults.kind.straggler.mean_degradation",
+                ),
+                summary.kinds.straggler,
+            ),
+            (
+                (
+                    "faults.kind.perturb.trials_affected",
+                    "faults.kind.perturb.events",
+                    "faults.kind.perturb.mean_degradation",
+                ),
+                summary.kinds.perturb,
+            ),
+            (
+                (
+                    "faults.kind.node_failure.trials_affected",
+                    "faults.kind.node_failure.events",
+                    "faults.kind.node_failure.mean_degradation",
+                ),
+                summary.kinds.node_failure,
+            ),
+        ];
+        for ((trials_name, events_name, mean_name), stat) in kind_rows {
+            rec.add(trials_name, stat.trials_affected as u64);
+            rec.add(events_name, stat.events as u64);
+            rec.gauge(mean_name, stat.mean_degradation);
+        }
     }
     report.faults = Some(summary);
-    (report, schedule, trace)
+    Ok((report, schedule, trace))
 }
 
 #[cfg(test)]
@@ -373,7 +415,8 @@ mod tests {
             &spec,
             8,
             &obs::NoopRecorder,
-        );
+        )
+        .unwrap();
         let fa = a.faults.as_ref().expect("fault summary attached");
         assert_eq!(fa.trials, 8);
         assert!(fa.mean_degradation >= 1.0);
@@ -387,7 +430,8 @@ mod tests {
             &spec,
             8,
             &obs::NoopRecorder,
-        );
+        )
+        .unwrap();
         assert_eq!(a.faults, b.faults);
         // JSON round-trip keeps the summary; fault-free reports omit it.
         let json = serde_json::to_string(&a).unwrap();

@@ -243,3 +243,101 @@ fn report_flag_writes_a_loadable_run_report() {
     let loaded = obs::RunReport::load(Path::new(&report_path)).expect("report loads");
     assert_eq!(loaded.meta["algorithm"], "MCPA");
 }
+
+#[test]
+fn kill_all_fault_is_a_clean_one_line_failure() {
+    // Satellite of the typed `NoSurvivors` error: the whole platform
+    // dying mid-run must surface as a one-line diagnostic, not a panic.
+    let platform = valid_platform();
+    let ptg = valid_ptg();
+    let out = emts_sim(&[
+        "--platform",
+        platform.to_str().unwrap(),
+        "--ptg",
+        ptg.to_str().unwrap(),
+        "--algorithm",
+        "mcpa",
+        "--faults",
+        "seed=3,kill_all=0.5",
+    ]);
+    assert_clean_failure(&out, "no surviving processors", "kill_all fault run");
+    assert_eq!(out.status.code(), Some(1), "runtime failure, not usage");
+}
+
+#[test]
+fn online_mode_rejects_one_shot_flags() {
+    let platform = valid_platform();
+    let ptg = valid_ptg();
+    for extra in [
+        &["--ptg", ptg.to_str().unwrap()][..],
+        &["--faults", "seed=1"][..],
+        &["--gantt"][..],
+    ] {
+        let mut args = vec!["--online", "--platform", platform.to_str().unwrap()];
+        args.extend_from_slice(extra);
+        let out = emts_sim(&args);
+        assert_eq!(
+            out.status.code(),
+            Some(2),
+            "{extra:?} must be a usage error in online mode"
+        );
+        assert_clean_failure(&out, "--online", &format!("online + {extra:?}"));
+    }
+}
+
+#[test]
+fn online_total_outage_without_repair_fails_cleanly() {
+    let platform = valid_platform();
+    let out = emts_sim(&[
+        "--online",
+        "--platform",
+        platform.to_str().unwrap(),
+        "--jobs",
+        "2",
+        "--seed",
+        "7",
+        "--churn",
+        "fail_all_at=40",
+        "--reactive-only",
+    ]);
+    assert_clean_failure(&out, "no surviving processors", "online fail_all churn");
+    assert_eq!(out.status.code(), Some(1));
+}
+
+#[test]
+fn online_json_is_reproducible_modulo_wall_clock() {
+    // Same seed, same config: the JSON reports must agree on every line
+    // except the `*_seconds` wall-clock measurements.
+    let platform = valid_platform();
+    let run = || {
+        let out = emts_sim(&[
+            "--online",
+            "--platform",
+            platform.to_str().unwrap(),
+            "--jobs",
+            "3",
+            "--seed",
+            "11",
+            "--arrival-mean",
+            "25",
+            "--epoch",
+            "50",
+            "--churn",
+            "fail_every=150,repair_after=90",
+            "--json",
+        ]);
+        assert!(
+            out.status.success(),
+            "online run failed: {}",
+            first_stderr_line(&out)
+        );
+        String::from_utf8_lossy(&out.stdout)
+            .lines()
+            .filter(|l| !l.contains("_seconds"))
+            .collect::<Vec<_>>()
+            .join("\n")
+    };
+    let (a, b) = (run(), run());
+    assert!(a.contains("\"rolling\""), "mode must be rolling: {a}");
+    assert_eq!(a, b, "seeded online runs diverged");
+}

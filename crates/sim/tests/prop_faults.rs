@@ -75,7 +75,7 @@ proptest! {
     ) {
         let (g, m, alloc, s) = scheduled(n, width, density, jump, p, seed);
         let plan = FaultPlan::empty(g.task_count(), s.processors);
-        let report = execute_with_faults(&g, &m, &s, &alloc, &plan);
+        let report = execute_with_faults(&g, &m, &s, &alloc, &plan).unwrap();
 
         prop_assert_eq!(
             report.makespan.to_bits(),
@@ -117,13 +117,13 @@ proptest! {
         let plan_b = FaultPlan::realize(&spec, 0, g.task_count(), s.processors, s.makespan());
         prop_assert_eq!(&plan_a, &plan_b, "plan realization is nondeterministic");
 
-        let run_a = execute_with_faults(&g, &m, &s, &alloc, &plan_a);
-        let run_b = execute_with_faults(&g, &m, &s, &alloc, &plan_b);
+        let run_a = execute_with_faults(&g, &m, &s, &alloc, &plan_a).unwrap();
+        let run_b = execute_with_faults(&g, &m, &s, &alloc, &plan_b).unwrap();
         prop_assert_eq!(run_a.makespan.to_bits(), run_b.makespan.to_bits());
         prop_assert_eq!(&run_a.events, &run_b.events, "event logs diverged");
 
-        let sum_a = fault_trials(&g, &m, &s, &alloc, &spec, 5);
-        let sum_b = fault_trials(&g, &m, &s, &alloc, &spec, 5);
+        let sum_a = fault_trials(&g, &m, &s, &alloc, &spec, 5).unwrap();
+        let sum_b = fault_trials(&g, &m, &s, &alloc, &spec, 5).unwrap();
         prop_assert_eq!(sum_a, sum_b, "trial summaries diverged");
     }
 }

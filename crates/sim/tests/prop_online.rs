@@ -1,0 +1,138 @@
+//! Property-based guarantees for the online control loop.
+//!
+//! Two contracts, checked over random master seeds:
+//!
+//! 1. **One-shot identity** — `--online` with a single job, zero churn
+//!    and an unbounded epoch budget degenerates to the one-shot
+//!    optimizer: the job is planned exactly once, at epoch 0, by the
+//!    same EMTS run on the same matrix, so its completion time equals
+//!    the one-shot best makespan *bit for bit*. The rolling-horizon
+//!    machinery must be a no-op wrapper when nothing is rolling.
+//! 2. **Seeded reproducibility** — a fixed config reproduces the entire
+//!    simulated-time record on every run: the epoch-by-epoch event
+//!    trace, per-job outcomes, adopted rings, and makespan bits. Only
+//!    `*_seconds` wall-clock fields may differ.
+
+use proptest::prelude::*;
+
+use emts::{Emts, EmtsConfig};
+use exec_model::{Amdahl, TimeMatrix};
+use obs::NoopRecorder;
+use platform::Cluster;
+use sim::faults::ChurnSpec;
+use sim::online::{epoch_seed, run_online, OnlineConfig};
+use workloads::stream::item;
+use workloads::CostConfig;
+
+fn cluster() -> Cluster {
+    Cluster::new("prop", 16, 2.0)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Single job, zero churn, unbounded budget ⇒ the online completion
+    /// time is the one-shot EMTS makespan, bit for bit.
+    #[test]
+    fn degenerate_online_run_matches_the_one_shot_optimizer(seed in 0u64..u64::MAX) {
+        let cluster = cluster();
+        let cfg = OnlineConfig {
+            seed,
+            jobs: 1,
+            arrival_mean: 0.0,
+            epoch: 60.0,
+            epoch_budget: None,
+            churn: ChurnSpec::default(),
+            emts: Some(EmtsConfig::emts5()),
+            ..OnlineConfig::default()
+        };
+        let report = run_online(&cluster, &Amdahl, &cfg, &NoopRecorder)
+            .expect("a churn-free run always completes");
+
+        // The reference: the same graph, matrix and seed through the
+        // plain one-shot entry point.
+        let g = item(seed, 0, &CostConfig::default()).ptg;
+        let m = TimeMatrix::compute(&g, &Amdahl, cluster.speed_flops(), cluster.processors);
+        let oneshot = Emts::new(EmtsConfig::emts5()).run(&g, &m, epoch_seed(seed, 0));
+
+        prop_assert_eq!(report.jobs.len(), 1);
+        let job = &report.jobs[0];
+        prop_assert_eq!(job.arrival, 0.0);
+        prop_assert_eq!(job.queue_wait, 0.0, "nothing to wait behind");
+        prop_assert_eq!(
+            job.completion.to_bits(),
+            oneshot.best_makespan.to_bits(),
+            "online completion {} != one-shot makespan {}",
+            job.completion,
+            oneshot.best_makespan
+        );
+        prop_assert_eq!(report.totals.makespan.to_bits(), oneshot.best_makespan.to_bits());
+        // Planned exactly once, by ring 0, and never again.
+        prop_assert_eq!(report.totals.decision_epochs, 1);
+        prop_assert_eq!(report.totals.ring0_epochs, 1);
+        prop_assert_eq!(report.totals.watchdog_degraded, 0);
+        prop_assert_eq!(report.totals.deadline_overruns, 0);
+        prop_assert_eq!(report.totals.reactive_replans, 0);
+    }
+
+    /// Fixed seed ⇒ identical event traces, job outcomes and epoch
+    /// decisions across runs, even under heavy churn.
+    #[test]
+    fn seeded_online_runs_are_deterministic(seed in 0u64..u64::MAX) {
+        let cluster = cluster();
+        let cfg = OnlineConfig {
+            seed,
+            jobs: 4,
+            arrival_mean: 20.0,
+            epoch: 45.0,
+            epoch_budget: None,
+            churn: ChurnSpec::parse(
+                "fail_every=80,repair_after=120,spares=2,join_every=150",
+            ).unwrap(),
+            emts: Some(EmtsConfig::emts5()),
+            ..OnlineConfig::default()
+        };
+        let a = run_online(&cluster, &Amdahl, &cfg, &NoopRecorder).unwrap();
+        let b = run_online(&cluster, &Amdahl, &cfg, &NoopRecorder).unwrap();
+
+        prop_assert_eq!(&a.events, &b.events, "event traces diverged");
+        prop_assert_eq!(&a.jobs, &b.jobs, "job outcomes diverged");
+        prop_assert_eq!(a.totals.makespan.to_bits(), b.totals.makespan.to_bits());
+        let decisions = |r: &sim::online::OnlineReport| -> Vec<(usize, u8, usize, usize, bool)> {
+            r.epochs
+                .iter()
+                .map(|e| (e.epoch, e.ring, e.backlog, e.admitted, e.degraded))
+                .collect()
+        };
+        prop_assert_eq!(decisions(&a), decisions(&b), "epoch decisions diverged");
+        prop_assert_eq!(a.totals.tasks_killed, b.totals.tasks_killed);
+        prop_assert_eq!(a.totals.node_failures, b.totals.node_failures);
+    }
+}
+
+/// A single-node cluster that keeps dying and recovering: the loop must
+/// stall through the total outages (capacity is pending) and still
+/// finish every job.
+#[test]
+fn total_outage_with_pending_repair_stalls_and_recovers() {
+    let cluster = Cluster::new("fragile", 1, 2.0);
+    let cfg = OnlineConfig {
+        seed: 42,
+        jobs: 2,
+        arrival_mean: 10.0,
+        epoch: 30.0,
+        churn: ChurnSpec::parse("fail_every=200,repair_after=50").unwrap(),
+        emts: None, // reactive-only: the point is survival, not quality
+        ..OnlineConfig::default()
+    };
+    let report = run_online(&cluster, &Amdahl, &cfg, &NoopRecorder)
+        .expect("repairs are always pending, so the run must finish");
+    assert_eq!(report.totals.completed, 2);
+    assert!(report.totals.node_failures >= 1, "the node must have died");
+    assert_eq!(
+        report.totals.node_failures, report.totals.node_recoveries,
+        "every failure is followed by a repair"
+    );
+    assert_eq!(report.mode, "reactive");
+    assert_eq!(report.totals.ring0_epochs + report.totals.ring1_epochs, 0);
+}

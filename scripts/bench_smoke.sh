@@ -64,6 +64,64 @@ P95_FFT=$(robust_p95 fft16)
 P95_IRR=$(robust_p95 irregular_n50)
 echo "p95 degradation: fft16=${P95_FFT}x irregular_n50=${P95_IRR}x"
 
+echo "== online smoke: rolling-horizon vs reactive-only under churn"
+ONLINE_OUT=BENCH_online.json
+ONLINE_CHURN="fail_every=200,repair_after=120,spares=1,join_every=500"
+ONLINE_ARGS="--platform data/chti.platform --online --jobs 6 --seed 2011 \
+    --arrival-mean 40 --epoch 60 --epoch-budget-ms 5000 --churn $ONLINE_CHURN --json"
+ONLINE_ROLLING=$(mktemp) ONLINE_REACTIVE=$(mktemp)
+cargo run -q --offline --release -p sim --bin emts-sim -- $ONLINE_ARGS \
+    > "$ONLINE_ROLLING"
+cargo run -q --offline --release -p sim --bin emts-sim -- $ONLINE_ARGS --reactive-only \
+    > "$ONLINE_REACTIVE"
+# Every decision epoch must have met its budget, in both modes.
+for MODE_FILE in "$ONLINE_ROLLING" "$ONLINE_REACTIVE"; do
+    grep -q '"deadline_overruns": 0' "$MODE_FILE" \
+        || { echo "online benchmark: a decision epoch overran its budget" >&2; exit 1; }
+done
+online_block() {
+    awk -F': ' '
+        function val(s) { s = $2; gsub(/,/, "", s); return s }
+        /"makespan"/          { mk = val() }
+        /"queue_wait_mean"/   { qw = val() }
+        /"stretch_mean"/      { sm = val() }
+        /"stretch_p95"/       { sp = val() }
+        /"utilization"/       { ut = val() }
+        /"slo_attainment"/    { slo = val() }
+        /"deadline_overruns"/ { ov = val() }
+        /"watchdog_degraded"/ { wd = val() }
+        /"ring0_epochs"/      { r0 = val() }
+        /"ring1_epochs"/      { r1 = val() }
+        /"ring2_epochs"/      { r2 = val() }
+        /"reactive_replans"/  { rr = val() }
+        /"tasks_killed"/      { tk = val() }
+        END {
+            printf "    \"makespan\": %s,\n", mk
+            printf "    \"queue_wait_mean\": %s,\n", qw
+            printf "    \"stretch_mean\": %s,\n", sm
+            printf "    \"stretch_p95\": %s,\n", sp
+            printf "    \"utilization\": %s,\n", ut
+            printf "    \"slo_attainment\": %s,\n", slo
+            printf "    \"deadline_overruns\": %s,\n", ov
+            printf "    \"watchdog_degraded\": %s,\n", wd
+            printf "    \"ring_epochs\": [%s, %s, %s],\n", r0, r1, r2
+            printf "    \"reactive_replans\": %s,\n", rr
+            printf "    \"tasks_killed\": %s\n", tk
+        }' "$1"
+}
+{
+    printf '{\n'
+    printf '  "workload": "6 streamed DAGGEN jobs on chti (P=20, +1 spare), epoch 60 s, budget 5 s",\n'
+    printf '  "seed": 2011,\n'
+    printf '  "churn": "%s",\n' "$ONLINE_CHURN"
+    printf '  "rolling": {\n';  online_block "$ONLINE_ROLLING";  printf '  },\n'
+    printf '  "reactive": {\n'; online_block "$ONLINE_REACTIVE"; printf '  }\n'
+    printf '}\n'
+} > "$ONLINE_OUT"
+rm -f "$ONLINE_ROLLING" "$ONLINE_REACTIVE"
+echo "wrote $ONLINE_OUT:"
+cat "$ONLINE_OUT"
+
 echo "== lint smoke: full-tree emts-lint wall time"
 cargo build -q --offline --release -p lint
 LINT_T0=$(date +%s%N)

@@ -43,7 +43,7 @@ cargo build -q --offline --release -p obs --bin emts-report
 EMTS_REPORT=target/release/emts-report
 REGRESS_DIR=$(mktemp -d)
 # Every committed baseline compared against itself must pass (exit 0)...
-for BASE in BENCH_fitness.json BENCH_throughput.json BENCH_obs.json; do
+for BASE in BENCH_fitness.json BENCH_throughput.json BENCH_obs.json BENCH_online.json; do
     [ -f "$BASE" ] || continue
     $EMTS_REPORT regress "$BASE" "$BASE" > /dev/null \
         || { echo "regress gate: $BASE self-comparison reported a regression" >&2; exit 1; }
@@ -106,5 +106,35 @@ $SIM --platform data/chti.platform --ptg data/fft16.ptg --algorithm mcpa \
     --faults "seed=7" --trials 3 --json > "$FAULT_A"
 grep -q '"worst_degradation": 1.0,' "$FAULT_A" \
     || { echo "fault-free replay is not bit-identical to the baseline" >&2; exit 1; }
+
+echo "== online smoke: rolling-horizon loop is seeded-reproducible and degrades, never dies"
+# Same seed twice under churn: byte-identical apart from wall-clock fields.
+$SIM --platform data/chti.platform --online --jobs 4 --seed 2011 \
+    --arrival-mean 30 --epoch 60 --churn "fail_every=150,repair_after=90,spares=1,join_every=400" \
+    --json | grep -v '_seconds' > "$FAULT_A"
+$SIM --platform data/chti.platform --online --jobs 4 --seed 2011 \
+    --arrival-mean 30 --epoch 60 --churn "fail_every=150,repair_after=90,spares=1,join_every=400" \
+    --json | grep -v '_seconds' > "$FAULT_B"
+cmp "$FAULT_A" "$FAULT_B" \
+    || { echo "seeded online runs are not reproducible" >&2; exit 1; }
+# Killing the whole platform with nothing pending must be a clean typed
+# failure (one stderr line, exit 1), never a panic.
+if $SIM --platform data/chti.platform --online --jobs 2 --seed 7 \
+    --churn "fail_all_at=40" --reactive-only 2> "$FAULT_A"; then
+    echo "online kill-all run exited zero — NoSurvivors was swallowed" >&2; exit 1
+fi
+grep -q "no surviving processors" "$FAULT_A" \
+    || { echo "online kill-all diagnostic missing from stderr" >&2; cat "$FAULT_A" >&2; exit 1; }
+if grep -q "panicked" "$FAULT_A"; then
+    echo "online kill-all run panicked" >&2; cat "$FAULT_A" >&2; exit 1
+fi
+# A sabotaged epoch must fall back to a cheaper ring (watchdog degrades)
+# while still meeting its decision budget — zero overruns.
+$SIM --platform data/chti.platform --online --jobs 2 --seed 11 --arrival-mean 0 \
+    --epoch-budget-ms 5000 --sabotage-ring0 0 --json > "$FAULT_A"
+grep -q '"watchdog_degraded": [1-9]' "$FAULT_A" \
+    || { echo "sabotaged epoch did not register a watchdog degradation" >&2; exit 1; }
+grep -q '"deadline_overruns": 0' "$FAULT_A" \
+    || { echo "online decision epoch overran its budget" >&2; exit 1; }
 
 echo "CI OK"
