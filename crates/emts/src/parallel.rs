@@ -267,6 +267,7 @@ impl ItemEval {
 /// Evaluates one allocation under `mode` — the single evaluation routine
 /// behind workers, the caller's drain, the small-batch inline path and the
 /// fallback fill, so every path of a batch agrees on the tier policy.
+// lint:panic-root
 fn eval_one<R: Recorder>(
     g: &Ptg,
     matrix: &TimeMatrix,
@@ -317,6 +318,7 @@ struct Batch {
 ///
 /// When recording, each evaluation's duration feeds the
 /// `pool.eval_seconds` latency histogram (callable from any thread).
+// lint:panic-root
 fn drain_batch<R: Recorder>(
     g: &Ptg,
     matrix: &TimeMatrix,
@@ -335,6 +337,7 @@ fn drain_batch<R: Recorder>(
             // `pending` never reaches zero and the batch is left to the
             // dispatcher's stall deadline. `worker_loop`'s outer ring
             // catches this and respawns the incarnation.
+            // lint:allow(src-panic-reach) -- deliberate fault injection; the incarnation ring contains the unwind
             panic!("sabotage: worker died mid-item");
         }
         let eval_start = if R::ENABLED {
@@ -348,6 +351,7 @@ fn drain_batch<R: Recorder>(
             // the boundary) is discarded wholesale, never observed torn.
             let attempt = catch_unwind(AssertUnwindSafe(|| {
                 if sabotage::eval_should_panic() {
+                    // lint:allow(src-panic-reach) -- deliberate fault injection; caught by the per-item catch_unwind
                     panic!("sabotage: poisoned allocation");
                 }
                 eval_one(
@@ -402,6 +406,7 @@ fn drain_batch<R: Recorder>(
 /// that *panics* out — a failure that escaped per-item containment — is
 /// replaced by a fresh one on the same OS thread: new scratch, respawn
 /// counted. The thread scope never sees a panicked worker.
+// lint:panic-root
 fn worker_loop<R: Recorder>(g: &Ptg, matrix: &TimeMatrix, core: &PoolCore, rec: &R) {
     /// Keeps `PoolCore::live` honest no matter how the thread exits.
     struct LiveGuard<'a>(&'a AtomicUsize);
@@ -438,6 +443,7 @@ fn worker_loop<R: Recorder>(g: &Ptg, matrix: &TimeMatrix, core: &PoolCore, rec: 
 /// per-worker busy-time distribution), and its batch count into
 /// `pool.worker_batches`. An incarnation that dies mid-batch loses its
 /// unflushed telemetry — an accepted imprecision of the failure path.
+// lint:panic-root
 fn worker_incarnation<R: Recorder>(g: &Ptg, matrix: &TimeMatrix, core: &PoolCore, rec: &R) {
     let mut scratch = EvalScratch::with_capacity(g.task_count(), matrix.p_max());
     let mut busy = 0.0f64;

@@ -1,8 +1,19 @@
 //! The analyzer driver: walks paths, classifies inputs by suffix and runs
 //! the matching rule family.
+//!
+//! Source files get the two-pass treatment: pass 1 scans every file once,
+//! producing single-site findings *and* per-function facts; pass 2 builds
+//! the workspace call graph over all collected facts and runs the dataflow
+//! propagations (panic-reachability, determinism taint, transitive
+//! hot-path allocation) plus the suppression audit. Telemetry artifacts
+//! (`BENCH_*.json`, `*_report.json`, `*.trace.json`) are cross-checked by
+//! [`crate::reports`].
 
+use crate::callgraph::CallGraph;
 use crate::findings::{sort_findings, Finding};
-use crate::{artifact, files, source};
+use crate::source::FileFacts;
+use crate::{artifact, dataflow, files, reports, source};
+use std::collections::BTreeSet;
 use std::path::{Path, PathBuf};
 
 /// Directories never descended into: build output, vendored dependencies
@@ -24,6 +35,9 @@ enum Kind {
     Platform,
     Faults,
     Artifact,
+    Report,
+    Bench,
+    Trace,
     Source,
     Skip,
 }
@@ -32,6 +46,17 @@ fn classify(path: &Path) -> Kind {
     let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
     if name.ends_with(".schedule.json") {
         return Kind::Artifact;
+    }
+    // `_report.json` outranks the `BENCH_` prefix: BENCH_fitness_report.json
+    // is a RunReport that happens to live in the benchmark family.
+    if name.ends_with("_report.json") {
+        return Kind::Report;
+    }
+    if name.ends_with(".trace.json") {
+        return Kind::Trace;
+    }
+    if name.starts_with("BENCH_") && name.ends_with(".json") {
+        return Kind::Bench;
     }
     match path.extension().and_then(|e| e.to_str()) {
         Some("ptg") => Kind::Ptg,
@@ -90,10 +115,23 @@ pub fn lint_paths(paths: &[PathBuf]) -> Result<Vec<Finding>, DriverError> {
     worklist.sort();
     worklist.dedup();
 
+    // Pass 1: per-file rules; source files also yield call-graph facts and
+    // a ledger of which allow pragmas earned their keep.
     let mut findings = Vec::new();
+    let mut facts: Vec<FileFacts> = Vec::new();
+    let mut used: BTreeSet<(String, usize, String)> = BTreeSet::new();
     for path in &worklist {
-        findings.extend(lint_file(path)?);
+        findings.extend(lint_file(path, &mut facts, &mut used)?);
     }
+
+    // Pass 2: workspace call graph, dataflow propagations, stale-allow
+    // audit (which needs the combined pass-1 + pass-2 pragma ledger).
+    let graph = CallGraph::build(&facts);
+    let flow = dataflow::run(&graph);
+    findings.extend(flow.findings);
+    used.extend(flow.used_allows);
+    findings.extend(dataflow::stale_allow_audit(&graph, &used));
+
     sort_findings(&mut findings);
     Ok(findings)
 }
@@ -126,8 +164,13 @@ fn collect(path: &Path, out: &mut Vec<PathBuf>, explicit: bool) -> Result<(), Dr
     }
 }
 
-/// Lints a single already-classified file.
-fn lint_file(path: &Path) -> Result<Vec<Finding>, DriverError> {
+/// Lints a single already-classified file (pass 1). Source files push
+/// their call-graph facts into `facts` and their pragma usage into `used`.
+fn lint_file(
+    path: &Path,
+    facts: &mut Vec<FileFacts>,
+    used: &mut BTreeSet<(String, usize, String)>,
+) -> Result<Vec<Finding>, DriverError> {
     let kind = classify(path);
     if kind == Kind::Skip {
         return Ok(Vec::new());
@@ -145,7 +188,17 @@ fn lint_file(path: &Path) -> Result<Vec<Finding>, DriverError> {
         Kind::Platform => files::lint_platform_file(&file, &text),
         Kind::Faults => files::lint_fault_file(&file, &text),
         Kind::Artifact => artifact::lint_artifact_json(&file, &text),
-        Kind::Source => source::lint_source(&file, &text, timing_exempt(path)),
+        Kind::Report => reports::lint_report_json(&file, &text),
+        Kind::Bench => reports::lint_bench_json(&file, &text),
+        Kind::Trace => reports::lint_trace_json(&file, &text),
+        Kind::Source => {
+            let scan = source::scan_source(&file, &text, timing_exempt(path));
+            for (line, rule) in scan.used_allows {
+                used.insert((file.clone(), line, rule));
+            }
+            facts.push(scan.facts);
+            scan.findings
+        }
         Kind::Skip => Vec::new(),
     })
 }
@@ -161,6 +214,13 @@ mod tests {
         assert_eq!(classify(Path::new("x.faults")), Kind::Faults);
         assert_eq!(classify(Path::new("x.spec")), Kind::Faults);
         assert_eq!(classify(Path::new("run.schedule.json")), Kind::Artifact);
+        assert_eq!(classify(Path::new("BENCH_fitness.json")), Kind::Bench);
+        assert_eq!(
+            classify(Path::new("BENCH_fitness_report.json")),
+            Kind::Report
+        );
+        assert_eq!(classify(Path::new("run_report.json")), Kind::Report);
+        assert_eq!(classify(Path::new("pool.trace.json")), Kind::Trace);
         assert_eq!(classify(Path::new("other.json")), Kind::Skip);
         assert_eq!(classify(Path::new("lib.rs")), Kind::Source);
         assert_eq!(classify(Path::new("README.md")), Kind::Skip);

@@ -21,6 +21,11 @@ pub struct Finding {
     pub line: Option<usize>,
     /// One-line human-readable message.
     pub message: String,
+    /// Call-chain witness for the dataflow rules: each entry is one hop
+    /// (`fn name @ file:line`), ending at the offending site. Empty for
+    /// single-site findings. Excluded from [`Finding::fingerprint`] — the
+    /// entries carry line numbers, which must not churn baselines.
+    pub witness: Vec<String>,
 }
 
 impl Finding {
@@ -38,7 +43,14 @@ impl Finding {
             file: file.into(),
             line,
             message: message.into(),
+            witness: Vec::new(),
         }
+    }
+
+    /// Attaches a call-chain witness (builder style).
+    pub fn with_witness(mut self, witness: Vec<String>) -> Finding {
+        self.witness = witness;
+        self
     }
 
     /// The identity used by baselines: rule + file + message. Line numbers

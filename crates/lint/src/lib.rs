@@ -29,10 +29,13 @@
 
 pub mod artifact;
 pub mod baseline;
+pub mod callgraph;
+pub mod dataflow;
 pub mod driver;
 pub mod files;
 pub mod findings;
 pub mod output;
+pub mod reports;
 pub mod rules;
 pub mod source;
 

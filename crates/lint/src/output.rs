@@ -50,6 +50,9 @@ pub fn render_text(findings: &[Finding], baselined: usize) -> String {
     let mut out = String::new();
     for f in findings {
         let _ = writeln!(out, "{f}");
+        if !f.witness.is_empty() {
+            let _ = writeln!(out, "    witness: {}", f.witness.join(" → "));
+        }
     }
     let s = summarize(findings);
     let _ = write!(

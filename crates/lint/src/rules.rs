@@ -71,6 +71,12 @@ pub enum Category {
     Faults,
     /// `*.rs` project source.
     Source,
+    /// `BENCH_*.json` benchmark baselines.
+    Bench,
+    /// `*_report.json` RunReport artifacts.
+    Report,
+    /// `*.trace.json` Chrome-trace exports.
+    Trace,
 }
 
 impl fmt::Display for Category {
@@ -81,6 +87,9 @@ impl fmt::Display for Category {
             Category::Platform => write!(f, "platform"),
             Category::Faults => write!(f, "faults"),
             Category::Source => write!(f, "source"),
+            Category::Bench => write!(f, "bench"),
+            Category::Report => write!(f, "report"),
+            Category::Trace => write!(f, "trace"),
         }
     }
 }
@@ -94,6 +103,9 @@ impl Category {
             "platform" => Some(Category::Platform),
             "faults" => Some(Category::Faults),
             "source" => Some(Category::Source),
+            "bench" => Some(Category::Bench),
+            "report" => Some(Category::Report),
+            "trace" => Some(Category::Trace),
             _ => None,
         }
     }
@@ -204,6 +216,24 @@ rules! {
         "StatsRecorder constructed inside a function marked // lint:hot-path");
     SRC_SURROGATE_EXACT_CONFIRM = ("src-surrogate-exact-confirm", Warning, Source,
         "surrogate screening consumed without an exact evaluation in the same function");
+
+    // Family B — workspace dataflow (call-graph propagations, pass 2).
+    SRC_PANIC_REACH = ("src-panic-reach", Warning, Source,
+        "panic!/unwrap/expect reachable through calls from a parse path or a // lint:panic-root fn");
+    SRC_DETERMINISM_TAINT = ("src-determinism-taint", Warning, Source,
+        "nondeterminism source flows into a deterministic-artifact producer");
+    SRC_HOT_PATH_ALLOC_TRANSITIVE = ("src-hot-path-alloc-transitive", Warning, Source,
+        "// lint:hot-path fn reaches an allocating callee through the call graph");
+    LINT_STALE_ALLOW = ("lint-stale-allow", Warning, Source,
+        "lint:allow pragma whose rule no longer fires here, or that names an unknown rule");
+
+    // Family C — committed artifact cross-checks.
+    BENCH_UNKNOWN_DIRECTION = ("bench-unknown-direction", Warning, Bench,
+        "numeric leaf in a BENCH_*.json has no known regress direction token — it can never gate");
+    REPORT_SPAN_BALANCE = ("report-span-balance", Error, Report,
+        "RunReport phase spans are unbalanced or inconsistent with wall time");
+    TRACE_NESTING = ("trace-nesting", Error, Trace,
+        "Chrome-trace complete events do not nest properly within their thread lane");
 }
 
 /// Looks a rule up by its stable id.

@@ -20,11 +20,11 @@
 
 use crate::findings::Finding;
 use crate::rules;
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
 
 /// One lexed token: identifiers and single punctuation characters.
 /// Literals, comments and whitespace never reach the scanner.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 enum Tok<'a> {
     Ident(&'a str),
     Punct(char),
@@ -37,6 +37,8 @@ struct Lexed<'a> {
     allows: HashMap<usize, HashSet<String>>,
     /// Lines of `// lint:hot-path` pragmas, in order.
     hot_paths: Vec<usize>,
+    /// Lines of `// lint:panic-root` pragmas, in order.
+    panic_roots: Vec<usize>,
 }
 
 fn lex(src: &str) -> Lexed<'_> {
@@ -44,6 +46,7 @@ fn lex(src: &str) -> Lexed<'_> {
     let mut toks = Vec::new();
     let mut allows: HashMap<usize, HashSet<String>> = HashMap::new();
     let mut hot_paths = Vec::new();
+    let mut panic_roots = Vec::new();
     let mut i = 0;
     let mut line = 1;
     while i < bytes.len() {
@@ -55,7 +58,13 @@ fn lex(src: &str) -> Lexed<'_> {
             }
             '/' if bytes.get(i + 1) == Some(&b'/') => {
                 let end = src[i..].find('\n').map_or(bytes.len(), |n| i + n);
-                parse_pragma(src[i + 2..end].trim(), line, &mut allows, &mut hot_paths);
+                parse_pragma(
+                    src[i + 2..end].trim(),
+                    line,
+                    &mut allows,
+                    &mut hot_paths,
+                    &mut panic_roots,
+                );
                 i = end;
             }
             '/' if bytes.get(i + 1) == Some(&b'*') => {
@@ -138,6 +147,7 @@ fn lex(src: &str) -> Lexed<'_> {
         toks,
         allows,
         hot_paths,
+        panic_roots,
     }
 }
 
@@ -181,12 +191,14 @@ fn skip_raw_string(bytes: &[u8], mut i: usize, line: &mut usize) -> usize {
     i
 }
 
-/// Parses `lint:allow(...)` / `lint:hot-path` out of a line comment body.
+/// Parses `lint:allow(...)` / `lint:hot-path` / `lint:panic-root` out of a
+/// line comment body.
 fn parse_pragma(
     comment: &str,
     line: usize,
     allows: &mut HashMap<usize, HashSet<String>>,
     hot_paths: &mut Vec<usize>,
+    panic_roots: &mut Vec<usize>,
 ) {
     let Some(rest) = comment.strip_prefix("lint:") else {
         return;
@@ -195,6 +207,8 @@ fn parse_pragma(
     // should say why (`// lint:allow(x) -- reason`).
     if rest == "hot-path" || rest.starts_with("hot-path ") {
         hot_paths.push(line);
+    } else if rest == "panic-root" || rest.starts_with("panic-root ") {
+        panic_roots.push(line);
     } else if let Some(args) = rest
         .strip_prefix("allow(")
         .and_then(|a| a.find(')').map(|close| &a[..close]))
@@ -237,44 +251,250 @@ const ALLOC_TYPES: &[&str] = &[
     "Box", "Vec", "String", "HashMap", "HashSet", "BTreeMap", "BTreeSet", "VecDeque",
 ];
 
+/// Types whose mention in a function's signature or body marks it as a
+/// deterministic-artifact *sink* for the determinism-taint propagation:
+/// these produce RunReport counters, convergence traces, stream
+/// fingerprints, or online event traces.
+const SINK_TYPES: &[&str] = &[
+    "ConvergenceTrace",
+    "RunReport",
+    "StreamCheckpoint",
+    "OnlineEvent",
+];
+/// Method names that iterate a collection (used to spot `HashMap`/`HashSet`
+/// iteration, which yields nondeterministic order).
+const ITER_METHODS: &[&str] = &[
+    "iter",
+    "iter_mut",
+    "keys",
+    "values",
+    "values_mut",
+    "into_iter",
+    "drain",
+];
+/// Identifiers that look like calls (`name(`) but never are.
+const NOT_CALLS: &[&str] = &[
+    "if", "while", "for", "match", "return", "loop", "in", "as", "move", "fn", "let", "else",
+    "Some", "Ok", "Err", "None", "Self",
+];
+
+/// One call made inside a function body (pass-1 fact; resolved in pass 2).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CallSite {
+    /// Called identifier (`bar` in `foo.bar(…)` / `Foo::bar(…)`).
+    pub name: String,
+    /// `Foo` in `Foo::bar(…)`; `Self::` is rewritten to the enclosing impl
+    /// owner at extraction time.
+    pub qualifier: Option<String>,
+    /// True when the name was preceded by `::` (even if the qualifying
+    /// token was not a plain identifier, e.g. `<T as Trait>::bar(…)`).
+    pub qualified: bool,
+    /// True for method-call syntax `recv.bar(…)`.
+    pub dotted: bool,
+    /// Line of the call site.
+    pub line: usize,
+}
+
+/// One interesting source location inside a function body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Site {
+    /// Line of the site.
+    pub line: usize,
+    /// Human-readable description, e.g. `panic!`, `.unwrap()`,
+    /// `Instant::now()`, `vec!`.
+    pub what: String,
+}
+
+/// Everything pass 1 knows about one function.
+#[derive(Debug, Clone, Default)]
+pub struct FnFact {
+    /// Function name as written after `fn`.
+    pub name: String,
+    /// Enclosing `impl` block's self type, if any.
+    pub owner: Option<String>,
+    /// Line of the `fn` keyword.
+    pub line: usize,
+    /// Marked `// lint:hot-path`: must stay allocation-free.
+    pub hot_path: bool,
+    /// Marked `// lint:panic-root`: a typed-error boundary (EvalPool worker
+    /// rings) from which no panic may be reachable.
+    pub panic_root: bool,
+    /// Name matches the user-input parse-path convention
+    /// (`from_str`/`parse*`/`read_*`/`load_*`).
+    pub parse_path: bool,
+    /// References a deterministic-artifact type (see [`SINK_TYPES`]) in its
+    /// signature or body, or is a method of one.
+    pub sink: bool,
+    /// Every call made in the body, in source order.
+    pub calls: Vec<CallSite>,
+    /// `panic!` / `.unwrap()` / `.expect(…)` sites in the body.
+    pub panic_sites: Vec<Site>,
+    /// Allocating calls in the body (`vec!`, `Box::new`, `.collect()`, …).
+    pub alloc_sites: Vec<Site>,
+    /// Nondeterminism sources in the body (clocks, env, hash iteration).
+    pub nondet_sites: Vec<Site>,
+    /// Count of indexing expressions (`xs[i]`); extracted but deliberately
+    /// excluded from panic-reachability (see DESIGN §15 ambiguity limits).
+    pub index_sites: usize,
+}
+
+/// Pass-1 facts for one file.
+#[derive(Debug, Clone, Default)]
+pub struct FileFacts {
+    /// Path the file was scanned under.
+    pub file: String,
+    /// `lint` for `crates/lint/src/…`; `None` outside `crates/`.
+    pub krate: Option<String>,
+    /// Facts for every non-test function, in source order.
+    pub fns: Vec<FnFact>,
+    /// Every `lint:allow` pragma in the file, deterministically ordered:
+    /// `line -> rule ids`. Input to the suppression audit.
+    pub allows: BTreeMap<usize, BTreeSet<String>>,
+}
+
+/// Output of [`scan_source`]: per-line findings plus the facts and the
+/// allow-pragma usage ledger that pass 2 extends.
+#[derive(Debug, Default)]
+pub struct ScanResult {
+    /// Per-line findings (same set `lint_source` returns).
+    pub findings: Vec<Finding>,
+    /// Extracted facts for pass 2.
+    pub facts: FileFacts,
+    /// `(pragma line, rule id)` pairs that suppressed a finding or removed
+    /// a fact in this pass.
+    pub used_allows: BTreeSet<(usize, String)>,
+}
+
+/// Crate name from a workspace-relative path (`crates/<name>/…`).
+pub fn crate_of(file: &str) -> Option<String> {
+    let mut parts = file.split(['/', '\\']);
+    while let Some(p) = parts.next() {
+        if p == "crates" {
+            return parts.next().map(str::to_string);
+        }
+    }
+    None
+}
+
 /// A function currently being scanned.
 struct FnFrame {
     name: String,
     /// Brace depth *outside* the body; the frame pops when depth returns
     /// here.
     depth: usize,
+    /// Line of the `fn` keyword.
+    line: usize,
+    owner: Option<String>,
+    /// Created inside a `#[cfg(test)]`/`#[test]` region: no fact is kept.
+    in_test: bool,
     hot_path: bool,
+    panic_root: bool,
+    sink: bool,
     /// Line of the first `surrogate_score_obs(…)` call in the body, if any
     /// (only recorded outside test code).
     surrogate_line: Option<usize>,
     /// Whether the body also calls an exact evaluator (see
     /// [`EXACT_CONFIRM_CALLS`]).
     exact_confirm: bool,
+    calls: Vec<CallSite>,
+    panic_sites: Vec<Site>,
+    alloc_sites: Vec<Site>,
+    nondet_sites: Vec<Site>,
+    index_sites: usize,
+    /// Locals bound to a `HashMap`/`HashSet` in this body (`let m = …`).
+    hash_locals: HashSet<String>,
+}
+
+/// Shared mutable scan state: findings out, pragma-usage ledger, and the
+/// allow table consulted by both.
+struct Ctx<'a> {
+    file: &'a str,
+    allows: &'a HashMap<usize, HashSet<String>>,
+    findings: Vec<Finding>,
+    used: BTreeSet<(usize, String)>,
+}
+
+impl Ctx<'_> {
+    /// Pragma line allowing `id` at `line` (same line or the line above).
+    fn allow_line(&self, line: usize, id: &str) -> Option<usize> {
+        [line, line.saturating_sub(1)]
+            .into_iter()
+            .find(|l| self.allows.get(l).is_some_and(|ids| ids.contains(id)))
+    }
+
+    fn emit(&mut self, rule: &'static crate::rules::Rule, line: usize, message: String) {
+        if let Some(l) = self.allow_line(line, rule.id) {
+            self.used.insert((l, rule.id.to_string()));
+        } else {
+            self.findings
+                .push(Finding::new(rule, self.file, Some(line), message));
+        }
+    }
+
+    /// True when any of `ids` is allowed at `line`; marks the pragma used.
+    /// Used to drop *facts* (panic/nondet/alloc sites) at their source.
+    fn fact_allowed(&mut self, line: usize, ids: &[&str]) -> bool {
+        let mut hit = false;
+        for id in ids {
+            if let Some(l) = self.allow_line(line, id) {
+                self.used.insert((l, id.to_string()));
+                hit = true;
+            }
+        }
+        hit
+    }
+}
+
+/// `let`-binding tracker: records locals initialised from `HashMap`/
+/// `HashSet` so their iteration can be flagged as order-nondeterministic.
+enum LetSt {
+    Idle,
+    WaitName,
+    Active { name: String, hashy: bool },
 }
 
 /// Lints one Rust source file. `timing_exempt` is set for the crates whose
 /// whole point is wall-clock measurement (`obs`, `bench`).
 pub fn lint_source(file: &str, src: &str, timing_exempt: bool) -> Vec<Finding> {
+    scan_source(file, src, timing_exempt).findings
+}
+
+/// Scans one Rust source file: emits the per-line findings *and* extracts
+/// the per-function facts pass 2 builds the workspace call graph from.
+/// A `lint:allow` on the same line (trailing comment) or directly above
+/// (standalone comment) suppresses a finding; for the dataflow rules it
+/// also removes the underlying fact at its source (a suppressed panic /
+/// clock / allocation site never enters the propagation).
+pub fn scan_source(file: &str, src: &str, timing_exempt: bool) -> ScanResult {
     let lexed = lex(src);
     let toks = &lexed.toks;
-    let mut out = Vec::new();
-    let mut emit = |rule: &'static crate::rules::Rule, line: usize, message: String| {
-        // A `lint:allow` on the same line (trailing comment) or directly
-        // above (standalone comment) suppresses the finding.
-        let allowed = [line, line.saturating_sub(1)]
-            .iter()
-            .any(|l| lexed.allows.get(l).is_some_and(|ids| ids.contains(rule.id)));
-        if !allowed {
-            out.push(Finding::new(rule, file, Some(line), message));
-        }
+    // Lines holding a `*_seconds` identifier: the wall-clock-reporting
+    // escape hatch for the determinism-taint propagation.
+    let seconds_lines: HashSet<usize> = toks
+        .iter()
+        .filter_map(|(t, l)| match t {
+            Tok::Ident(id) if id.ends_with("_seconds") || *id == "seconds" => Some(*l),
+            _ => None,
+        })
+        .collect();
+    let mut ctx = Ctx {
+        file,
+        allows: &lexed.allows,
+        findings: Vec::new(),
+        used: BTreeSet::new(),
     };
+    let mut facts: Vec<FnFact> = Vec::new();
 
     let mut depth = 0usize;
     let mut fns: Vec<FnFrame> = Vec::new();
+    let mut impls: Vec<(String, usize)> = Vec::new();
     let mut pending_fn: Option<FnFrame> = None;
+    let mut pending_impl: Option<String> = None;
     let mut pending_test = false;
     let mut skip_above: Option<usize> = None; // test region: skip while depth > this
     let mut hot_pragmas = lexed.hot_paths.iter().copied().peekable();
+    let mut root_pragmas = lexed.panic_roots.iter().copied().peekable();
+    let mut let_st = LetSt::Idle;
 
     let mut i = 0;
     while i < toks.len() {
@@ -320,8 +540,12 @@ pub fn lint_source(file: &str, src: &str, timing_exempt: bool) -> Vec<Finding> {
                     skip_above = Some(depth);
                     pending_test = false;
                 }
-                if let Some(frame) = pending_fn.take() {
+                if let Some(mut frame) = pending_fn.take() {
+                    frame.in_test = skip_above.is_some();
                     fns.push(frame);
+                }
+                if let Some(owner) = pending_impl.take() {
+                    impls.push((owner, depth));
                 }
                 depth += 1;
             }
@@ -330,27 +554,19 @@ pub fn lint_source(file: &str, src: &str, timing_exempt: bool) -> Vec<Finding> {
                 if skip_above == Some(depth) {
                     skip_above = None;
                 }
+                while impls.last().is_some_and(|(_, d)| *d >= depth) {
+                    impls.pop();
+                }
                 while fns.last().is_some_and(|f| f.depth >= depth) {
                     let f = fns.pop().expect("checked above");
-                    if let Some(surrogate_line) = f.surrogate_line {
-                        if !f.exact_confirm {
-                            emit(
-                                &rules::SRC_SURROGATE_EXACT_CONFIRM,
-                                surrogate_line,
-                                format!(
-                                    "fn {} screens with surrogate_score_obs but never \
-                                     confirms survivors with an exact evaluation",
-                                    f.name
-                                ),
-                            );
-                        }
-                    }
+                    finish_frame(f, &mut facts, &mut ctx);
                 }
             }
             Tok::Punct(';') => {
                 // A `;` before any body cancels pending items (trait method
                 // declarations, `#[cfg(test)] use …;`).
                 pending_fn = None;
+                pending_impl = None;
                 pending_test = false;
             }
             Tok::Ident("fn") => {
@@ -360,47 +576,108 @@ pub fn lint_source(file: &str, src: &str, timing_exempt: bool) -> Vec<Finding> {
                         hot_pragmas.next();
                         hot = true;
                     }
+                    let mut root = false;
+                    while root_pragmas.peek().is_some_and(|&p| p <= *line) {
+                        root_pragmas.next();
+                        root = true;
+                    }
                     pending_fn = Some(FnFrame {
                         name: name.to_string(),
                         depth,
+                        line: *line,
+                        owner: impls.last().map(|(o, _)| o.clone()),
+                        in_test,
                         hot_path: hot,
+                        panic_root: root,
+                        sink: false,
                         surrogate_line: None,
                         exact_confirm: false,
+                        calls: Vec::new(),
+                        panic_sites: Vec::new(),
+                        alloc_sites: Vec::new(),
+                        nondet_sites: Vec::new(),
+                        index_sites: 0,
+                        hash_locals: HashSet::new(),
                     });
                 }
             }
+            Tok::Ident("impl") if pending_fn.is_none() && fns.is_empty() => {
+                // Item-position `impl` block: find the self type — the last
+                // angle-depth-0 path segment, reset at `for` (trait impls),
+                // stopping at `where`/`{`. `impl Trait` in fn signatures
+                // never reaches here: a fn frame or pending fn is live.
+                let mut owner: Option<&str> = None;
+                let mut angle = 0usize;
+                let mut j = i + 1;
+                while let Some((t, _)) = toks.get(j) {
+                    match t {
+                        Tok::Punct('{' | ';') if angle == 0 => break,
+                        Tok::Punct('<') => angle += 1,
+                        // `->` inside fn-pointer generics is not a close.
+                        Tok::Punct('>')
+                            if !matches!(toks.get(j - 1), Some((Tok::Punct('-'), _))) =>
+                        {
+                            angle = angle.saturating_sub(1);
+                        }
+                        Tok::Ident("for") if angle == 0 => owner = None,
+                        Tok::Ident("where") if angle == 0 => break,
+                        Tok::Ident(id) if angle == 0 => owner = Some(id),
+                        _ => {}
+                    }
+                    j += 1;
+                }
+                pending_impl = owner.map(str::to_string);
+            }
             Tok::Ident("panic")
-                if !in_test
-                    && matches!(toks.get(i + 1), Some((Tok::Punct('!'), _)))
-                    && fns.last().is_some_and(|f| is_parse_path(&f.name)) =>
+                if !in_test && matches!(toks.get(i + 1), Some((Tok::Punct('!'), _))) =>
             {
-                let f = fns.last().expect("checked above");
-                emit(
-                    &rules::SRC_UNWRAP_PARSE,
-                    *line,
-                    format!("panic! in parse path fn {}", f.name),
-                );
+                if fns.last().is_some_and(|f| is_parse_path(&f.name)) {
+                    let fname = fns.last().expect("checked above").name.clone();
+                    ctx.emit(
+                        &rules::SRC_UNWRAP_PARSE,
+                        *line,
+                        format!("panic! in parse path fn {fname}"),
+                    );
+                }
+                if fns.last().is_some() && !ctx.fact_allowed(*line, &["src-panic-reach"]) {
+                    fns.last_mut()
+                        .expect("checked above")
+                        .panic_sites
+                        .push(Site {
+                            line: *line,
+                            what: "panic!".to_string(),
+                        });
+                }
             }
             Tok::Ident(name @ ("unwrap" | "expect")) if !in_test => {
                 let dotted = i > 0 && matches!(toks[i - 1].0, Tok::Punct('.'));
                 let called = matches!(toks.get(i + 1), Some((Tok::Punct('('), _)));
                 if dotted && called {
                     if fns.last().is_some_and(|f| is_parse_path(&f.name)) {
-                        let f = fns.last().expect("checked above");
-                        emit(
+                        let fname = fns.last().expect("checked above").name.clone();
+                        ctx.emit(
                             &rules::SRC_UNWRAP_PARSE,
                             *line,
-                            format!(".{name}() in parse path fn {}", f.name),
+                            format!(".{name}() in parse path fn {fname}"),
                         );
                     }
                     // write!(…).unwrap() / writeln!(…).expect(…): walk back
                     // over the macro's balanced parens to its name.
                     if let Some(mac) = write_macro_before(toks, i - 1) {
-                        emit(
+                        ctx.emit(
                             &rules::SRC_WRITE_UNWRAP,
                             *line,
                             format!("{mac}!(…).{name}() — propagate the fmt::Result instead"),
                         );
+                    }
+                    if fns.last().is_some() && !ctx.fact_allowed(*line, &["src-panic-reach"]) {
+                        fns.last_mut()
+                            .expect("checked above")
+                            .panic_sites
+                            .push(Site {
+                                line: *line,
+                                what: format!(".{name}()"),
+                            });
                     }
                 }
             }
@@ -411,11 +688,62 @@ pub fn lint_source(file: &str, src: &str, timing_exempt: bool) -> Vec<Finding> {
                     && matches!(toks.get(i + 2), Some((Tok::Punct(':'), _)))
                     && matches!(toks.get(i + 3), Some((Tok::Ident("now"), _))) =>
             {
-                emit(
+                ctx.emit(
                     &rules::SRC_TIMING,
                     *line,
                     format!("{t}::now() outside the obs/bench crates"),
                 );
+                // Taint source, unless it feeds a `*_seconds` reporting
+                // field or carries the timing escape hatch.
+                if fns.last().is_some()
+                    && !seconds_lines.contains(line)
+                    && !ctx.fact_allowed(*line, &["src-timing", "src-determinism-taint"])
+                {
+                    fns.last_mut()
+                        .expect("checked above")
+                        .nondet_sites
+                        .push(Site {
+                            line: *line,
+                            what: format!("{t}::now()"),
+                        });
+                }
+            }
+            Tok::Ident("env")
+                if !in_test
+                    && matches!(toks.get(i + 1), Some((Tok::Punct(':'), _)))
+                    && matches!(toks.get(i + 2), Some((Tok::Punct(':'), _)))
+                    && matches!(
+                        toks.get(i + 3),
+                        Some((Tok::Ident("var" | "vars" | "var_os"), _))
+                    ) =>
+            {
+                let in_fn = fns.last().is_some();
+                if in_fn && !ctx.fact_allowed(*line, &["src-determinism-taint"]) {
+                    fns.last_mut()
+                        .expect("checked above")
+                        .nondet_sites
+                        .push(Site {
+                            line: *line,
+                            what: "env read".to_string(),
+                        });
+                }
+            }
+            Tok::Ident("thread")
+                if !in_test
+                    && matches!(toks.get(i + 1), Some((Tok::Punct(':'), _)))
+                    && matches!(toks.get(i + 2), Some((Tok::Punct(':'), _)))
+                    && matches!(toks.get(i + 3), Some((Tok::Ident("current"), _))) =>
+            {
+                let in_fn = fns.last().is_some();
+                if in_fn && !ctx.fact_allowed(*line, &["src-determinism-taint"]) {
+                    fns.last_mut()
+                        .expect("checked above")
+                        .nondet_sites
+                        .push(Site {
+                            line: *line,
+                            what: "thread::current()".to_string(),
+                        });
+                }
             }
             Tok::Ident("surrogate_score_obs")
                 if !in_test
@@ -442,23 +770,70 @@ pub fn lint_source(file: &str, src: &str, timing_exempt: bool) -> Vec<Finding> {
             _ => {}
         }
 
-        // Hot-path allocation checks, independent of the rules above.
-        if !in_test && fns.last().is_some_and(|f| f.hot_path) {
-            if let Tok::Ident(name) = tok {
-                let next_bang = matches!(toks.get(i + 1), Some((Tok::Punct('!'), _)));
-                let prev_dot = i > 0 && matches!(toks[i - 1].0, Tok::Punct('.'));
-                let path_call = ALLOC_TYPES.contains(name)
-                    && matches!(toks.get(i + 1), Some((Tok::Punct(':'), _)))
-                    && matches!(toks.get(i + 2), Some((Tok::Punct(':'), _)))
-                    && matches!(
-                        toks.get(i + 3),
-                        Some((Tok::Ident("new" | "with_capacity" | "from"), _))
-                    );
-                if (matches!(*name, "vec" | "format") && next_bang)
-                    || (prev_dot && ALLOC_METHODS.contains(name))
-                    || path_call
-                {
-                    emit(
+        // `let`-binding tracker (feeds hash_locals; sees every token).
+        let_st = match (let_st, tok) {
+            (_, Tok::Ident("let")) => LetSt::WaitName,
+            (LetSt::WaitName, Tok::Ident("mut")) => LetSt::WaitName,
+            (LetSt::WaitName, Tok::Ident(name)) => LetSt::Active {
+                name: name.to_string(),
+                hashy: false,
+            },
+            (LetSt::WaitName, Tok::Punct(_)) => LetSt::Idle,
+            (LetSt::Active { name, .. }, Tok::Ident("HashMap" | "HashSet")) => {
+                LetSt::Active { name, hashy: true }
+            }
+            (LetSt::Active { name, hashy }, Tok::Punct(';')) => {
+                if hashy {
+                    if let Some(f) = fns.last_mut() {
+                        f.hash_locals.insert(name);
+                    }
+                }
+                LetSt::Idle
+            }
+            (LetSt::Active { .. }, Tok::Punct('{' | '}')) => LetSt::Idle,
+            (st, _) => st,
+        };
+
+        // Fact extraction independent of the rule arms above: sink markers,
+        // allocation sites (every fn — pass 2 propagates them into hot
+        // paths), hash-iteration order, call edges, indexing.
+        if let Tok::Ident(name) = *tok {
+            let next_bang = matches!(toks.get(i + 1), Some((Tok::Punct('!'), _)));
+            let prev_dot = i > 0 && matches!(toks[i - 1].0, Tok::Punct('.'));
+            let after_fn = i > 0 && matches!(toks[i - 1].0, Tok::Ident("fn"));
+            let path_ctor = ALLOC_TYPES.contains(&name)
+                && matches!(toks.get(i + 1), Some((Tok::Punct(':'), _)))
+                && matches!(toks.get(i + 2), Some((Tok::Punct(':'), _)))
+                && matches!(
+                    toks.get(i + 3),
+                    Some((Tok::Ident("new" | "with_capacity" | "from"), _))
+                );
+
+            // A deterministic-artifact type in the signature (pending fn)
+            // or body marks the function as a taint sink.
+            if SINK_TYPES.contains(&name) {
+                if let Some(pf) = pending_fn.as_mut() {
+                    pf.sink = true;
+                } else if let Some(f) = fns.last_mut() {
+                    f.sink = true;
+                }
+            }
+
+            let is_alloc = (matches!(name, "vec" | "format") && next_bang)
+                || (prev_dot && ALLOC_METHODS.contains(&name))
+                || path_ctor;
+            if is_alloc && !in_test && fns.last().is_some() {
+                if !ctx.fact_allowed(*line, &["src-hot-path-alloc-transitive"]) {
+                    fns.last_mut()
+                        .expect("checked above")
+                        .alloc_sites
+                        .push(Site {
+                            line: *line,
+                            what: name.to_string(),
+                        });
+                }
+                if fns.last().is_some_and(|f| f.hot_path) {
+                    ctx.emit(
                         &rules::SRC_HOT_PATH_ALLOC,
                         *line,
                         format!(
@@ -467,45 +842,211 @@ pub fn lint_source(file: &str, src: &str, timing_exempt: bool) -> Vec<Finding> {
                         ),
                     );
                 }
-                // A hot-path fn must take its recorder as `&R: Recorder` so
-                // the no-op flavour compiles out — constructing the concrete
-                // `StatsRecorder` inline defeats that and allocates.
-                if *name == "StatsRecorder"
-                    && matches!(toks.get(i + 1), Some((Tok::Punct(':'), _)))
-                    && matches!(toks.get(i + 2), Some((Tok::Punct(':'), _)))
-                {
-                    emit(
-                        &rules::SRC_HOT_PATH_RECORDER,
-                        *line,
-                        format!(
-                            "StatsRecorder constructed inside hot-path fn {} — \
-                             take a `&impl Recorder` parameter instead",
-                            fns.last().map(|f| f.name.as_str()).unwrap_or("?")
-                        ),
-                    );
+            }
+            // A hot-path fn must take its recorder as `&R: Recorder` so
+            // the no-op flavour compiles out — constructing the concrete
+            // `StatsRecorder` inline defeats that and allocates.
+            if name == "StatsRecorder"
+                && !in_test
+                && fns.last().is_some_and(|f| f.hot_path)
+                && matches!(toks.get(i + 1), Some((Tok::Punct(':'), _)))
+                && matches!(toks.get(i + 2), Some((Tok::Punct(':'), _)))
+            {
+                ctx.emit(
+                    &rules::SRC_HOT_PATH_RECORDER,
+                    *line,
+                    format!(
+                        "StatsRecorder constructed inside hot-path fn {} — \
+                         take a `&impl Recorder` parameter instead",
+                        fns.last().map(|f| f.name.as_str()).unwrap_or("?")
+                    ),
+                );
+            }
+
+            // Iterating a HashMap/HashSet local: order nondeterminism.
+            if !in_test && ITER_METHODS.contains(&name) && prev_dot && i >= 2 {
+                if let Tok::Ident(recv) = toks[i - 2].0 {
+                    if fns.last().is_some_and(|f| f.hash_locals.contains(recv))
+                        && !ctx.fact_allowed(*line, &["src-determinism-taint"])
+                    {
+                        fns.last_mut()
+                            .expect("checked above")
+                            .nondet_sites
+                            .push(Site {
+                                line: *line,
+                                what: format!("{recv}.{name}() — HashMap/HashSet iteration order"),
+                            });
+                    }
                 }
+            }
+            if name == "in" && !in_test {
+                // `for k in &m {` with m a hash local (the `.iter()` form is
+                // caught above).
+                let mut j = i + 1;
+                while matches!(
+                    toks.get(j),
+                    Some((Tok::Punct('&'), _)) | Some((Tok::Ident("mut"), _))
+                ) {
+                    j += 1;
+                }
+                if let Some((Tok::Ident(v), _)) = toks.get(j) {
+                    if matches!(toks.get(j + 1), Some((Tok::Punct('{'), _)))
+                        && fns.last().is_some_and(|f| f.hash_locals.contains(*v))
+                        && !ctx.fact_allowed(*line, &["src-determinism-taint"])
+                    {
+                        fns.last_mut()
+                            .expect("checked above")
+                            .nondet_sites
+                            .push(Site {
+                                line: *line,
+                                what: format!("for … in {v} — HashMap/HashSet iteration order"),
+                            });
+                    }
+                }
+            }
+
+            // Call edge (direct `name(…)` or turbofish `name::<…>(…)`).
+            if !in_test
+                && !after_fn
+                && !NOT_CALLS.contains(&name)
+                && call_paren_after(toks, i)
+                && fns.last().is_some()
+            {
+                let qualified = i >= 2
+                    && matches!(toks[i - 1].0, Tok::Punct(':'))
+                    && matches!(toks[i - 2].0, Tok::Punct(':'));
+                let mut qualifier = if qualified && i >= 3 {
+                    match toks[i - 3].0 {
+                        Tok::Ident(q) => Some(q.to_string()),
+                        _ => None, // `<T as Trait>::name(…)` — unresolvable
+                    }
+                } else {
+                    None
+                };
+                if qualifier.as_deref() == Some("Self") {
+                    qualifier = fns.last().and_then(|f| f.owner.clone());
+                }
+                fns.last_mut().expect("checked above").calls.push(CallSite {
+                    name: name.to_string(),
+                    qualifier,
+                    qualified,
+                    dotted: prev_dot,
+                    line: *line,
+                });
+            }
+        } else if matches!(tok, Tok::Punct('['))
+            && !in_test
+            && i > 0
+            && matches!(toks[i - 1].0, Tok::Ident(_) | Tok::Punct(')' | ']'))
+        {
+            if let Some(f) = fns.last_mut() {
+                f.index_sites += 1;
             }
         }
         i += 1;
     }
     // Unbalanced braces never pop the remaining frames; drain them so the
-    // surrogate rule still reports (balanced files never reach this).
+    // body-scoped rules still report and the facts survive (balanced files
+    // never reach this).
     for f in fns.drain(..).rev() {
-        if let Some(surrogate_line) = f.surrogate_line {
-            if !f.exact_confirm {
-                emit(
-                    &rules::SRC_SURROGATE_EXACT_CONFIRM,
-                    surrogate_line,
-                    format!(
-                        "fn {} screens with surrogate_score_obs but never \
-                         confirms survivors with an exact evaluation",
-                        f.name
-                    ),
-                );
-            }
+        finish_frame(f, &mut facts, &mut ctx);
+    }
+
+    let allows = lexed
+        .allows
+        .iter()
+        .map(|(l, ids)| (*l, ids.iter().cloned().collect::<BTreeSet<_>>()))
+        .collect();
+    ScanResult {
+        findings: ctx.findings,
+        facts: FileFacts {
+            file: file.to_string(),
+            krate: crate_of(file),
+            fns: facts,
+            allows,
+        },
+        used_allows: ctx.used,
+    }
+}
+
+/// Pops one fn frame: fires the body-scoped rules and records its fact.
+fn finish_frame(f: FnFrame, facts: &mut Vec<FnFact>, ctx: &mut Ctx<'_>) {
+    if let Some(surrogate_line) = f.surrogate_line {
+        if !f.exact_confirm {
+            ctx.emit(
+                &rules::SRC_SURROGATE_EXACT_CONFIRM,
+                surrogate_line,
+                format!(
+                    "fn {} screens with surrogate_score_obs but never \
+                     confirms survivors with an exact evaluation",
+                    f.name
+                ),
+            );
         }
     }
-    out
+    if !f.in_test {
+        let sink = f.sink || f.owner.as_deref().is_some_and(|o| SINK_TYPES.contains(&o));
+        // Fn-level exemption: an allow on the declaration line clears the
+        // whole fn's allocation facts (for e.g. a build-once-and-cache fn
+        // whose allocations hot paths never see in steady state).
+        let alloc_sites = if !f.alloc_sites.is_empty()
+            && ctx.fact_allowed(f.line, &[rules::SRC_HOT_PATH_ALLOC_TRANSITIVE.id])
+        {
+            Vec::new()
+        } else {
+            f.alloc_sites
+        };
+        facts.push(FnFact {
+            parse_path: is_parse_path(&f.name),
+            name: f.name,
+            owner: f.owner,
+            line: f.line,
+            hot_path: f.hot_path,
+            panic_root: f.panic_root,
+            sink,
+            calls: f.calls,
+            panic_sites: f.panic_sites,
+            alloc_sites,
+            nondet_sites: f.nondet_sites,
+            index_sites: f.index_sites,
+        });
+    }
+}
+
+/// True when identifier token `i` is directly called: `name(` or the
+/// turbofish form `name::<…>(`.
+fn call_paren_after(toks: &[(Tok<'_>, usize)], i: usize) -> bool {
+    match toks.get(i + 1) {
+        Some((Tok::Punct('('), _)) => true,
+        Some((Tok::Punct(':'), _)) => {
+            if !matches!(toks.get(i + 2), Some((Tok::Punct(':'), _)))
+                || !matches!(toks.get(i + 3), Some((Tok::Punct('<'), _)))
+            {
+                return false;
+            }
+            let mut angle = 0usize;
+            let mut j = i + 3;
+            while let Some((t, _)) = toks.get(j) {
+                match t {
+                    Tok::Punct('<') => angle += 1,
+                    // `->` inside fn-pointer generics is not a close.
+                    Tok::Punct('>') if !matches!(toks.get(j - 1), Some((Tok::Punct('-'), _))) => {
+                        angle = angle.saturating_sub(1);
+                        if angle == 0 {
+                            return matches!(toks.get(j + 1), Some((Tok::Punct('('), _)));
+                        }
+                    }
+                    _ => {}
+                }
+                j += 1;
+                if j > i + 64 {
+                    return false; // runaway: not a turbofish
+                }
+            }
+            false
+        }
+        _ => false,
+    }
 }
 
 /// If the token before `close_dot` (a `.`) is the `)` closing a
@@ -782,5 +1323,234 @@ fn exact_only(pool: &mut EvalPool) {
     fn raw_identifiers_and_byte_strings_lex() {
         let src = "fn parse_r(s: &str) { let r#type = b\"bytes\"; let _ = br#\"raw\"#; s.parse::<u32>().unwrap(); }\n";
         assert_eq!(findings(src), vec![("src-unwrap-parse".to_string(), 1)]);
+    }
+
+    // ---- pass-1 fact extraction --------------------------------------
+
+    fn facts(src: &str) -> FileFacts {
+        scan_source("crates/demo/src/x.rs", src, false).facts
+    }
+
+    #[test]
+    fn facts_record_calls_with_owner_and_qualifier() {
+        let src = r#"
+impl Mapper {
+    fn plan(&self, g: &Ptg) -> f64 {
+        let lb = bounds::lower_bound(g);
+        Self::refine(lb);
+        self.finish(lb)
+    }
+}
+fn free_call() {
+    helper::<u32>(1);
+}
+"#;
+        let f = facts(src);
+        assert_eq!(f.krate.as_deref(), Some("demo"));
+        assert_eq!(f.fns.len(), 2);
+        let plan = &f.fns[0];
+        assert_eq!(plan.name, "plan");
+        assert_eq!(plan.owner.as_deref(), Some("Mapper"));
+        let calls: Vec<(&str, Option<&str>, bool)> = plan
+            .calls
+            .iter()
+            .map(|c| (c.name.as_str(), c.qualifier.as_deref(), c.dotted))
+            .collect();
+        assert_eq!(
+            calls,
+            vec![
+                ("lower_bound", Some("bounds"), false),
+                ("refine", Some("Mapper"), false), // Self:: rewritten
+                ("finish", None, true),
+            ]
+        );
+        // Turbofish call is still a call.
+        assert_eq!(f.fns[1].calls.len(), 1);
+        assert_eq!(f.fns[1].calls[0].name, "helper");
+    }
+
+    #[test]
+    fn facts_record_panic_sites_and_panic_root_pragma() {
+        let src = r#"
+// lint:panic-root
+fn worker_loop(rx: &Receiver) {
+    step().unwrap();
+}
+fn step() -> Result<(), PoolError> {
+    panic!("boom");
+}
+fn quiet() -> u32 { 7 }
+"#;
+        let f = facts(src);
+        assert!(f.fns[0].panic_root);
+        assert_eq!(f.fns[0].panic_sites.len(), 1);
+        assert_eq!(f.fns[0].panic_sites[0].what, ".unwrap()");
+        assert!(!f.fns[1].panic_root);
+        assert_eq!(f.fns[1].panic_sites[0].what, "panic!");
+        assert!(f.fns[2].panic_sites.is_empty());
+    }
+
+    #[test]
+    fn allow_at_site_removes_the_fact_and_is_marked_used() {
+        let src = r#"
+fn guarded() {
+    maybe().unwrap(); // lint:allow(src-panic-reach) -- contained by catch_unwind
+}
+"#;
+        let r = scan_source("x.rs", src, false);
+        assert!(r.facts.fns[0].panic_sites.is_empty());
+        assert!(r.used_allows.contains(&(3, "src-panic-reach".to_string())));
+    }
+
+    #[test]
+    fn nondet_sites_with_seconds_escape_and_allow() {
+        let src = r#"
+fn trace_epoch() {
+    let t0 = Instant::now(); // lint:allow(src-timing) -- phase accounting
+    let wall_seconds = Instant::now(); // lint:allow(src-timing)
+    let id = thread::current().id();
+    let home = env::var("HOME");
+}
+"#;
+        let r = scan_source("x.rs", src, false);
+        let f = &r.facts.fns[0];
+        // Both clock reads escape (allow + _seconds); thread/env stay.
+        let whats: Vec<&str> = f.nondet_sites.iter().map(|s| s.what.as_str()).collect();
+        assert_eq!(whats, vec!["thread::current()", "env read"]);
+        // The timing findings themselves are suppressed and audited.
+        assert!(r.findings.is_empty());
+        assert!(r.used_allows.contains(&(3, "src-timing".to_string())));
+    }
+
+    #[test]
+    fn timing_exempt_crates_contribute_no_clock_taint() {
+        let src = "fn measure() { let t = Instant::now(); }
+";
+        let r = scan_source("crates/obs/src/x.rs", src, true);
+        assert!(r.findings.is_empty());
+        assert!(r.facts.fns[0].nondet_sites.is_empty());
+    }
+
+    #[test]
+    fn hash_iteration_is_a_nondet_site() {
+        let src = r#"
+fn tally(xs: &[u32]) -> u32 {
+    let mut seen = HashMap::new();
+    let ordered = BTreeMap::new();
+    let mut total = 0;
+    for k in &seen {
+        total += k;
+    }
+    for v in &ordered {
+        total += v;
+    }
+    total + seen.keys().count() as u32
+}
+"#;
+        let f = facts(src);
+        let whats: Vec<&str> = f.fns[0]
+            .nondet_sites
+            .iter()
+            .map(|s| s.what.as_str())
+            .collect();
+        assert_eq!(
+            whats,
+            vec![
+                "for … in seen — HashMap/HashSet iteration order",
+                "seen.keys() — HashMap/HashSet iteration order",
+            ]
+        );
+    }
+
+    #[test]
+    fn alloc_sites_recorded_for_all_fns_not_just_hot() {
+        let src = r#"
+fn relaxed() -> Vec<u32> {
+    let mut v = Vec::new();
+    v.push(1);
+    let s = format!("x");
+    xs.iter().copied().collect()
+}
+"#;
+        let f = facts(src);
+        let whats: Vec<&str> = f.fns[0]
+            .alloc_sites
+            .iter()
+            .map(|s| s.what.as_str())
+            .collect();
+        assert_eq!(whats, vec!["Vec", "format", "collect"]);
+        // No finding: the fn is not hot.
+        assert!(scan_source("x.rs", src, false).findings.is_empty());
+    }
+
+    #[test]
+    fn fn_level_allow_clears_all_alloc_facts_of_the_fn() {
+        let src = r#"
+// lint:allow(src-hot-path-alloc-transitive) -- builds once, then cached
+fn build_cache() -> Vec<u32> {
+    let mut v = Vec::new();
+    v.extend(0..4);
+    v.to_vec()
+}
+"#;
+        let res = scan_source("x.rs", src, false);
+        assert!(res.facts.fns[0].alloc_sites.is_empty());
+        assert!(res
+            .used_allows
+            .contains(&(2, "src-hot-path-alloc-transitive".to_string())));
+    }
+
+    #[test]
+    fn sink_marker_from_signature_body_and_owner() {
+        let src = r#"
+fn build_trace(gens: usize) -> ConvergenceTrace {
+    walk(gens)
+}
+impl RunReport {
+    fn bump(&mut self) {}
+}
+fn unrelated() {}
+"#;
+        let f = facts(src);
+        assert!(f.fns[0].sink);
+        assert!(f.fns[1].sink); // owner is a sink type
+        assert!(!f.fns[2].sink);
+    }
+
+    #[test]
+    fn test_fns_produce_no_facts() {
+        let src = r#"
+#[cfg(test)]
+mod tests {
+    fn helper() { panic!("test only"); }
+}
+fn real() {}
+"#;
+        let f = facts(src);
+        assert_eq!(f.fns.len(), 1);
+        assert_eq!(f.fns[0].name, "real");
+    }
+
+    #[test]
+    fn index_sites_counted() {
+        let src = "fn pick(xs: &[u32], i: usize) -> u32 { xs[i] + xs[0] }\n";
+        assert_eq!(facts(src).fns[0].index_sites, 2);
+    }
+
+    #[test]
+    fn keywords_and_macros_are_not_call_edges() {
+        let src = r#"
+fn flow(x: u32) -> u32 {
+    if check(x) { return x; }
+    let y = match x { 0 => Some(1), _ => None };
+    vec![1, 2].len() as u32
+}
+"#;
+        let names: Vec<String> = facts(src).fns[0]
+            .calls
+            .iter()
+            .map(|c| c.name.clone())
+            .collect();
+        assert_eq!(names, vec!["check", "len"]);
     }
 }

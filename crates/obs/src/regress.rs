@@ -29,6 +29,95 @@ pub enum Direction {
     Neutral,
 }
 
+/// Canonical direction-token tables. These four constants are the single
+/// source of truth for metric-direction inference: [`direction_of`] votes
+/// with them, the `emts-lint` artifact cross-checker (`bench-unknown-
+/// direction`) consumes them to reject committed benchmark keys no table
+/// covers, and `scripts/ci.sh`'s inflation check relies on them through
+/// `emts-report regress`. Add a token here — nowhere else — when a
+/// benchmark grows a new metric family.
+///
+/// Badness words win outright (a `drop_rate` is a drop, not a rate), then
+/// goodness words, then unit suffixes.
+pub const BAD_UP_TOKENS: &[&str] = &[
+    "dropped",
+    "drops",
+    "drop",
+    "degradation",
+    "overhead",
+    "panics",
+    "respawns",
+    "fallbacks",
+    "rejected",
+    "misses",
+    "overruns",
+    "overrun",
+    "degraded",
+    "killed",
+    "stretch",
+    "wait",
+    "makespan",
+    "replans",
+    "findings",
+    "stale",
+    "pops",
+];
+
+/// Tokens voting lower-is-worse: throughput, savings and quality rates.
+pub const BAD_DOWN_TOKENS: &[&str] = &[
+    "throughput",
+    "speedup",
+    "improvement",
+    "rate",
+    "hits",
+    "reused",
+    "reuse",
+    "attainment",
+    "utilization",
+    "skips",
+    "skipped",
+    "pruned",
+];
+
+/// Unit-suffix tokens voting higher-is-worse (costs), consulted last.
+pub const BAD_UP_UNIT_TOKENS: &[&str] = &[
+    "ns", "us", "ms", "secs", "seconds", "wall", "elapsed", "latency", "bytes", "mem",
+];
+
+/// Configuration and identity tokens: values that describe *what ran*
+/// (batch sizes, seeds, structural counts), not *how well*. They never
+/// gate, and the `bench-unknown-direction` lint accepts them as known.
+pub const IDENTITY_TOKENS: &[&str] = &[
+    "size",
+    "seed",
+    "trials",
+    "count",
+    "counts",
+    "version",
+    "shards",
+    "rounds",
+    "jobs",
+    "epoch",
+    "epochs",
+    "scheduled",
+    "batch",
+    "events",
+    "items",
+    "tasks",
+    "capacity",
+    "generations",
+    "horizon",
+    "workers",
+];
+
+fn path_tokens(path: &str) -> Vec<String> {
+    path.to_ascii_lowercase()
+        .split(['.', '_', '-', '[', ']'])
+        .filter(|t| !t.is_empty())
+        .map(str::to_string)
+        .collect()
+}
+
 /// Infers the bad direction for a dotted metric path.
 ///
 /// Tokens from the *whole* path (split on `.`, `_`, `-`) vote in priority
@@ -36,55 +125,30 @@ pub enum Direction {
 /// parent object and `emts10_run_cache.*.hit_rate` reads as a rate even
 /// though its leaf name alone says nothing.
 pub fn direction_of(path: &str) -> Direction {
-    let lower = path.to_ascii_lowercase();
-    let tokens: Vec<&str> = lower
-        .split(['.', '_', '-', '[', ']'])
-        .filter(|t| !t.is_empty())
-        .collect();
-    let has = |names: &[&str]| tokens.iter().any(|t| names.contains(t));
+    let tokens = path_tokens(path);
+    let has = |names: &[&str]| tokens.iter().any(|t| names.contains(&t.as_str()));
     // Badness words win outright: a `drop_rate` is a drop, not a rate.
-    if has(&[
-        "dropped",
-        "drops",
-        "drop",
-        "degradation",
-        "overhead",
-        "panics",
-        "respawns",
-        "fallbacks",
-        "rejected",
-        "misses",
-        "overruns",
-        "overrun",
-        "degraded",
-        "killed",
-        "stretch",
-        "wait",
-        "makespan",
-    ]) {
+    if has(BAD_UP_TOKENS) {
         return Direction::HigherIsWorse;
     }
-    if lower.contains("per_sec")
-        || has(&[
-            "throughput",
-            "speedup",
-            "improvement",
-            "rate",
-            "hits",
-            "reused",
-            "reuse",
-            "attainment",
-            "utilization",
-        ])
-    {
+    if path.to_ascii_lowercase().contains("per_sec") || has(BAD_DOWN_TOKENS) {
         return Direction::LowerIsWorse;
     }
-    if has(&[
-        "ns", "us", "ms", "secs", "seconds", "wall", "elapsed", "latency", "bytes", "mem",
-    ]) {
+    if has(BAD_UP_UNIT_TOKENS) {
         return Direction::HigherIsWorse;
     }
     Direction::Neutral
+}
+
+/// True when the path names configuration or identity (an
+/// [`IDENTITY_TOKENS`] vote): a numeric leaf that is *expected* to have no
+/// regress direction. The `bench-unknown-direction` lint flags numeric
+/// leaves that are neither directed nor identity — metrics the regress
+/// gate would silently never check.
+pub fn is_identity(path: &str) -> bool {
+    path_tokens(path)
+        .iter()
+        .any(|t| IDENTITY_TOKENS.contains(&t.as_str()))
 }
 
 /// What happened to one metric between baseline and fresh.

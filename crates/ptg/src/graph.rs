@@ -36,6 +36,7 @@ pub struct CsrAdjacency {
 }
 
 impl CsrAdjacency {
+    // lint:allow(src-hot-path-alloc-transitive) -- builds once per graph behind OnceCell; hot-path callers of Ptg::csr hit the cached view
     fn build(succ: &[Vec<TaskId>], pred: &[Vec<TaskId>], edge_count: usize) -> Self {
         let n = succ.len();
         let mut csr = CsrAdjacency {

@@ -25,6 +25,7 @@ impl TaskId {
     /// outside the problem sizes considered here).
     #[inline]
     pub fn from_index(idx: usize) -> Self {
+        // lint:allow(src-panic-reach) -- documented panic; reaching it needs a graph with more than u32::MAX tasks
         TaskId(u32::try_from(idx).expect("task index exceeds u32::MAX"))
     }
 }

@@ -432,6 +432,7 @@ impl ListScheduler {
             // non-negative time has the sign-flip bit set).
             let mut remainder = 0u128;
             while need > 0 {
+                // lint:allow(src-panic-reach) -- invariant expect: prepare_into caps every allocation at P, so the group heap cannot run dry
                 run = groups.pop().expect("alloc ≤ P ensured by prepare");
                 if R::ENABLED {
                     group_pops += 1;

@@ -905,7 +905,6 @@ impl<'a, R: Recorder> Online<'a, R> {
         // lint:allow(src-timing) -- the epoch budget is a wall-clock contract of the loop
         let t0 = Instant::now();
         let budget = self.cfg.epoch_budget;
-        // lint:allow(src-timing)
         let slice_ok = |frac: f64| budget.is_none_or(|b| t0.elapsed() < b.mul_f64(frac));
 
         let rec = self.rec;
@@ -925,8 +924,6 @@ impl<'a, R: Recorder> Online<'a, R> {
                     ring = 1;
                     let sabotaged = self.cfg.sabotage_ring0.contains(&epoch_index);
                     if !sabotaged && slice_ok(0.5) {
-                        // lint:allow(src-timing) -- anytime deadline for
-                        // the in-epoch optimizer.
                         let deadline = budget.map(|b| t0 + b.mul_f64(0.9));
                         let emts_cfg = self.cfg.emts.clone().expect("checked above");
                         let result = Emts::new(emts_cfg).run_deadline(
@@ -960,7 +957,6 @@ impl<'a, R: Recorder> Online<'a, R> {
             (ring, degraded)
         });
 
-        // lint:allow(src-timing)
         let decision_seconds = t0.elapsed().as_secs_f64();
         let overran = budget.is_some_and(|b| decision_seconds > b.as_secs_f64());
         self.dirty = false;

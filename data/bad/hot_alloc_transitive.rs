@@ -1,0 +1,13 @@
+//! Corpus: `src-hot-path-alloc-transitive` — a `// lint:hot-path` fn whose
+//! own body is allocation-free but whose helper allocates. The single-site
+//! `src-hot-path-alloc` rule cannot see this; only the call-graph pass can.
+
+// lint:hot-path
+fn hot_inner(xs: &mut [u32]) {
+    scratch(xs);
+}
+
+fn scratch(xs: &mut [u32]) {
+    let v = xs.to_vec();
+    let _ = v;
+}

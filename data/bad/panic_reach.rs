@@ -1,0 +1,15 @@
+//! Corpus: `src-panic-reach` — a panic hidden two helper calls below a
+//! parse path. The parse fn's own body is clean, so only the call-graph
+//! propagation can see the panic.
+
+fn parse_widget(s: &str) -> u32 {
+    helper(s)
+}
+
+fn helper(s: &str) -> u32 {
+    deep(s)
+}
+
+fn deep(s: &str) -> u32 {
+    panic!("invalid widget: {s}")
+}

@@ -1,0 +1,8 @@
+//! Corpus: `lint-stale-allow` — an allow pragma whose rule never fires at
+//! its site. Escapes that outlive the code they excused rot into silent
+//! blanket suppressions; the audit flags them.
+
+fn quiet() -> u32 {
+    // lint:allow(src-timing) -- nothing here reads a clock
+    41 + 1
+}

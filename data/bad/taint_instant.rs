@@ -1,0 +1,18 @@
+//! Corpus: `src-determinism-taint` — `Instant::now()` two calls below a
+//! fn that produces a `RunReport`. The clock read also fires the
+//! single-site `src-timing` rule at its own line (documented companion).
+
+fn emit_report(gens: usize) -> RunReport {
+    let stamp = jitter(gens);
+    build(stamp)
+}
+
+fn jitter(gens: usize) -> u64 {
+    wobble(gens)
+}
+
+fn wobble(gens: usize) -> u64 {
+    let t = Instant::now();
+    let _ = t;
+    gens as u64
+}

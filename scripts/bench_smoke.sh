@@ -124,11 +124,34 @@ cat "$ONLINE_OUT"
 
 echo "== lint smoke: full-tree emts-lint wall time"
 cargo build -q --offline --release -p lint
+LINT=target/release/emts-lint
 LINT_T0=$(date +%s%N)
-target/release/emts-lint --deny none crates data > /dev/null
+$LINT --deny none crates data > /dev/null
 LINT_T1=$(date +%s%N)
 LINT_WALL_MS=$(( (LINT_T1 - LINT_T0) / 1000000 ))
 echo "emts-lint over crates/ + data/: ${LINT_WALL_MS} ms"
+
+echo "== lint v2 smoke: workspace call-graph analysis wall time and rule hits"
+# The full two-pass analysis (scan + call graph + dataflow + artifact
+# cross-checks) over everything CI lints; must stay interactive-fast.
+LINT_V2_BUDGET_MS=2000
+LINT_T0=$(date +%s%N)
+$LINT --format json --deny none crates data/*.ptg data/*.platform BENCH_*.json \
+    > "$LOG.lintv2"
+LINT_T1=$(date +%s%N)
+LINT_V2_WALL_MS=$(( (LINT_T1 - LINT_T0) / 1000000 ))
+LINT_V2_TREE_FINDINGS=$(grep -c '"rule"' "$LOG.lintv2" || true)
+# Rule hits on the negative corpus: the number of distinct rules firing on
+# data/bad. Falling means corpus entries have gone blind.
+LINT_V2_CORPUS_HITS=$($LINT --format json --deny none data/bad \
+    | grep -o '"rule": "[^"]*"' | sort -u | wc -l)
+rm -f "$LOG.lintv2"
+echo "lint v2 over the CI lint set: ${LINT_V2_WALL_MS} ms," \
+     "${LINT_V2_TREE_FINDINGS} tree findings, ${LINT_V2_CORPUS_HITS} corpus rule hits"
+if [ "$LINT_V2_WALL_MS" -ge "$LINT_V2_BUDGET_MS" ]; then
+    echo "lint v2 took ${LINT_V2_WALL_MS} ms — over the ${LINT_V2_BUDGET_MS} ms single-core budget" >&2
+    exit 1
+fi
 
 cargo bench --offline -p bench --bench mapper 2>&1 | tee "$LOG"
 # Absolute path: cargo runs bench binaries with the package directory
@@ -137,7 +160,10 @@ EMTS_RUN_REPORT="$PWD/$REPORT" \
     cargo bench --offline -p bench --bench emts_generation -- fitness 2>&1 | tee -a "$LOG"
 
 awk -v batch="$BATCH" -v fault_spec="$FAULT_SPEC" \
-    -v p95_fft="$P95_FFT" -v p95_irr="$P95_IRR" -v lint_wall_ms="$LINT_WALL_MS" '
+    -v p95_fft="$P95_FFT" -v p95_irr="$P95_IRR" -v lint_wall_ms="$LINT_WALL_MS" \
+    -v lint_v2_wall_ms="$LINT_V2_WALL_MS" \
+    -v lint_v2_tree_findings="$LINT_V2_TREE_FINDINGS" \
+    -v lint_v2_corpus_hits="$LINT_V2_CORPUS_HITS" '
     /^CRITERION_RESULT id=fitness\// {
         id = ""; median = ""
         for (i = 1; i <= NF; i++) {
@@ -237,6 +263,13 @@ awk -v batch="$BATCH" -v fault_spec="$FAULT_SPEC" \
         }
         if (lint_wall_ms != "")
             printf "  \"lint_wall_ms\": %d,\n", lint_wall_ms
+        if (lint_v2_wall_ms != "") {
+            printf "  \"lint_v2\": {\n"
+            printf "    \"wall_ms\": %d,\n", lint_v2_wall_ms
+            printf "    \"tree_findings\": %d,\n", lint_v2_tree_findings
+            printf "    \"corpus_rule_hits\": %d\n", lint_v2_corpus_hits
+            printf "  },\n"
+        }
         printf "  \"emts10_run_cache\": {\n"
         for (i = 0; i < cn; i++) {
             w = cache_order[i]

@@ -21,19 +21,50 @@ cargo clippy --offline --workspace --all-targets -- -D warnings
 echo "== cargo test (workspace)"
 cargo test -q --offline --workspace
 
-echo "== emts-lint: source and committed artifacts must be clean"
+echo "== emts-lint: source, call-graph dataflow and committed artifacts must be clean"
 cargo build -q --offline --release -p lint
 LINT=target/release/emts-lint
-# Source tree plus the known-good data files; data/bad is the negative
-# corpus and is deliberately excluded (globs do not descend into bad/).
-$LINT --format json --deny warning crates data/*.ptg data/*.platform > /dev/null \
-    || { echo "emts-lint found new findings" >&2; exit 1; }
-# Inverted check: the corpus must keep tripping the gate, otherwise the
-# analyzer has gone blind.
-if $LINT --deny warning data/bad > /dev/null 2>&1; then
-    echo "emts-lint passed data/bad — the negative corpus no longer fires" >&2
+LINT_BASELINE=lint-baseline.json
+# Source tree plus the known-good data files and committed telemetry
+# artifacts; data/bad is the negative corpus and is deliberately excluded
+# (globs do not descend into bad/). Exit codes are gated exactly:
+# 1 means findings, 2 means the analyzer itself broke — conflating them
+# would let an internal error masquerade as a clean run (or vice versa).
+LINT_PATHS=(crates data/*.ptg data/*.platform BENCH_*.json)
+set +e
+$LINT --format json --deny warning --baseline "$LINT_BASELINE" "${LINT_PATHS[@]}" > /dev/null
+LINT_RC=$?
+set -e
+case $LINT_RC in
+    0) ;;
+    1) echo "emts-lint found new findings (fix them, or record accepted ones: $LINT --write-baseline $LINT_BASELINE ${LINT_PATHS[*]})" >&2
+       exit 1 ;;
+    2) echo "emts-lint internal error (exit 2) on the clean tree" >&2; exit 1 ;;
+    *) echo "emts-lint exited with unexpected status $LINT_RC" >&2; exit 1 ;;
+esac
+# Ratchet: the committed baseline may only shrink. When the tree has fewer
+# findings than the baseline records, the baseline is stale — shrink it
+# with one command and commit the result.
+BASELINE_COUNT=$(grep -c '"rule"' "$LINT_BASELINE" || true)
+CURRENT_COUNT=$($LINT --format json --deny none "${LINT_PATHS[@]}" | grep -c '"rule"' || true)
+if [ "$CURRENT_COUNT" -lt "$BASELINE_COUNT" ]; then
+    echo "lint baseline is stale ($BASELINE_COUNT entries, tree has $CURRENT_COUNT findings) — shrink it:" >&2
+    echo "  $LINT --write-baseline $LINT_BASELINE ${LINT_PATHS[*]}" >&2
     exit 1
 fi
+# Inverted check: the corpus must keep tripping the gate with exit 1
+# exactly — exit 0 means the analyzer has gone blind, exit 2 means it
+# crashed on the corpus instead of analyzing it.
+set +e
+$LINT --deny warning data/bad > /dev/null 2>&1
+CORPUS_RC=$?
+set -e
+case $CORPUS_RC in
+    1) ;;
+    0) echo "emts-lint passed data/bad — the negative corpus no longer fires" >&2; exit 1 ;;
+    2) echo "emts-lint internal error (exit 2) on data/bad" >&2; exit 1 ;;
+    *) echo "emts-lint exited with unexpected status $CORPUS_RC on data/bad" >&2; exit 1 ;;
+esac
 
 echo "== perf guards (release): delta vs pooled, flight-recorder budget, SoA core vs oracle, two-tier vs all-exact"
 cargo test --release -q --offline -p emts --test perf_guard -- --ignored
